@@ -1,0 +1,689 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md for the experiment index), plus the
+   ablations, on the synthetic assembly-tree corpus. Run with
+
+     dune exec bench/main.exe -- [--scale N] [--seed N] [--section NAME]*
+                                 [--bechamel] [--list]
+
+   Sections: theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2
+             ablation-child-order ablation-bestk rounds all (default). *)
+
+module T = Tt_core.Tree
+module P = Tt_profile.Perf_profile
+module Plot = Tt_profile.Ascii_plot
+module Table = Tt_profile.Table
+
+let scale = ref 1
+let seed = ref 42
+let sections : string list ref = ref []
+let run_bechamel = ref true
+let csv_dir : string option ref = ref None
+
+let usage = "dune exec bench/main.exe -- [options]"
+
+let spec =
+  [ ("--scale", Arg.Set_int scale, "N corpus scale factor (default 1)");
+    ("--seed", Arg.Set_int seed, "N corpus seed (default 42)");
+    ( "--section",
+      Arg.String (fun s -> sections := s :: !sections),
+      "NAME run only this section (repeatable)" );
+    ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-benchmarks (default)");
+    ("--no-bechamel", Arg.Clear run_bechamel, " skip the Bechamel micro-benchmarks");
+    ( "--csv",
+      Arg.String (fun d -> csv_dir := Some d),
+      "DIR also write every figure's curves as CSV files into DIR" );
+    ( "--list",
+      Arg.Unit
+        (fun () ->
+          print_endline
+            "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds";
+          exit 0),
+      " list sections" )
+  ]
+
+let maybe_csv name curves =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (P.to_csv curves);
+      close_out oc;
+      Printf.printf "[csv] wrote %s\n" path
+
+let wanted name =
+  match !sections with [] -> true | l -> List.mem name l || List.mem "all" l
+
+let header name descr =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "== %s — %s\n" name descr;
+  Printf.printf "==================================================================\n%!"
+
+(* ----------------------------------------------------------------- corpus *)
+
+let corpus =
+  lazy
+    (let t0 = Sys.time () in
+     let c = Tt_workloads.Dataset.corpus ~scale:!scale ~seed:!seed () in
+     Printf.printf "[corpus] %d assembly trees (scale %d, seed %d) built in %.1fs\n%!"
+       (List.length c) !scale !seed (Sys.time () -. t0);
+     c)
+
+(* opt/po memory for every instance, computed once *)
+let memory_results =
+  lazy
+    (List.map
+       (fun (i : Tt_workloads.Dataset.instance) ->
+         let po = Tt_core.Postorder_opt.best_memory i.tree in
+         let opt = Tt_core.Liu_exact.min_memory i.tree in
+         (i, po, opt))
+       (Lazy.force corpus))
+
+(* ------------------------------------------------------------- Theorem 1 *)
+
+let theorem1 () =
+  header "Theorem 1 (Fig. 3)" "best postorder is arbitrarily worse than optimal";
+  let b = 3 and m = 300 and eps = 1 in
+  let rows =
+    List.map
+      (fun levels ->
+        let tree = Tt_core.Instances.harpoon_nested ~branches:b ~levels ~m ~eps in
+        let po = Tt_core.Postorder_opt.best_memory tree in
+        let opt = Tt_core.Liu_exact.min_memory tree in
+        let predicted_po = m + eps + (levels * (b - 1) * (m / b)) in
+        [ string_of_int levels;
+          string_of_int (T.size tree);
+          string_of_int po;
+          string_of_int predicted_po;
+          string_of_int opt;
+          Printf.sprintf "%.3f" (float_of_int po /. float_of_int opt)
+        ])
+      [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  print_string
+    (Table.render
+       ~header:[ "L"; "nodes"; "PostOrder"; "paper formula"; "optimal"; "ratio" ]
+       rows);
+  Printf.printf
+    "shape check: PostOrder grows linearly in L while the optimum stays ~%d;\n\
+     the ratio is unbounded, as Theorem 1 states (paper formula: M+eps+L(b-1)M/b).\n"
+    (m + (2 * b * eps))
+
+(* ------------------------------------------------------------- Theorem 2 *)
+
+let theorem2 () =
+  header "Theorem 2 (Fig. 4)" "MinIO is NP-complete: the 2-Partition gadget";
+  let demo name a expect_part =
+    let tree, memory, bound = Tt_core.Instances.two_partition_gadget a in
+    let exact = Tt_core.Brute_force.min_io tree ~memory in
+    let _, order = Tt_core.Minmem.run tree in
+    let ff = Tt_core.Minio.io_volume tree ~memory ~order Tt_core.Minio.First_fit in
+    Printf.printf
+      "%s: a = [%s]  M = %d, I/O bound S/2 = %d -> exact min I/O = %s, First Fit = %s\n"
+      name
+      (String.concat "; " (Array.to_list (Array.map string_of_int a)))
+      memory bound
+      (match exact with Some io -> string_of_int io | None -> "infeasible")
+      (match ff with Some io -> string_of_int io | None -> "infeasible");
+    (match (exact, expect_part) with
+    | Some io, true when io = bound -> print_endline "  => partition exists: bound met"
+    | Some io, false when io > bound ->
+        print_endline "  => no partition: bound unreachable, exactly as the reduction predicts"
+    | _ -> print_endline "  => UNEXPECTED (see tests)")
+  in
+  demo "yes-instance" [| 2; 1; 1 |] true;
+  demo "yes-instance" [| 4; 1; 3 |] true;
+  demo "no-instance " [| 10; 3; 3 |] false;
+  demo "no-instance " [| 12; 3; 3 |] false
+
+(* ------------------------------------------------------- Fig. 5 / Table I *)
+
+let fig5_table1 () =
+  header "Figure 5 + Table I" "memory of the best postorder vs the optimal traversal";
+  let results = Lazy.force memory_results in
+  let ratios =
+    List.map (fun (_, po, opt) -> float_of_int po /. float_of_int opt) results
+  in
+  let non_optimal = List.filter (fun r -> r > 1.0 +. 1e-12) ratios in
+  let n = List.length ratios and k = List.length non_optimal in
+  let stats = Array.of_list ratios in
+  let mx, _ = (Tt_util.Statistics.min_max stats |> snd, ()) in
+  print_string
+    (Table.render_kv
+       [ ("Non optimal PostOrder traversals", Printf.sprintf "%.1f%%  (paper: 4.2%%)"
+            (100. *. float_of_int k /. float_of_int n));
+         ("Max. PostOrder to opt. cost ratio", Printf.sprintf "%.2f  (paper: 1.18)" mx);
+         ("Avg. PostOrder to opt. cost ratio", Printf.sprintf "%.3f  (paper: 1.01)"
+            (Tt_util.Statistics.mean stats));
+         ("Std. dev. of the ratio", Printf.sprintf "%.3f  (paper: 0.01)"
+            (Tt_util.Statistics.stddev stats))
+       ]);
+  if k = 0 then
+    print_endline "PostOrder optimal on every instance at this scale; Figure 5 skipped."
+  else begin
+    (* the paper's Figure 5 restricts the profile to non-optimal cases *)
+    let costs =
+      List.filter_map
+        (fun (_, po, opt) ->
+          if po > opt then Some [| float_of_int opt; float_of_int po |] else None)
+        results
+      |> Array.of_list
+    in
+    let curves = P.compute ~names:[ "Optimal"; "PostOrder" ] costs in
+    maybe_csv "fig5" curves;
+    print_string
+      (Plot.render
+         ~title:
+           (Printf.sprintf
+              "Figure 5: memory perf profile on the %d non-optimal instances" k)
+         curves)
+  end
+
+(* ------------------------------------------------------------------ Fig. 6 *)
+
+let fig6 () =
+  header "Figure 6" "running times of PostOrder / Liu / MinMem";
+  let insts = Lazy.force corpus in
+  let algos =
+    [ ("MinMem", fun t -> ignore (Tt_core.Minmem.run t));
+      ("PostOrder", fun t -> ignore (Tt_core.Postorder_opt.run t));
+      ("Liu", fun t -> ignore (Tt_core.Liu_exact.run t))
+    ]
+  in
+  let costs =
+    List.map
+      (fun (i : Tt_workloads.Dataset.instance) ->
+        Array.of_list
+          (List.map
+             (fun (_, f) ->
+               let _, dt = Tt_util.Timer.time_repeat ~min_time:0.002 (fun () -> f i.tree) in
+               dt)
+             algos))
+      insts
+    |> Array.of_list
+  in
+  let names = List.map fst algos in
+  let curves = P.compute ~tau_max:5.0 ~names costs in
+  maybe_csv "fig6" curves;
+  print_string (Plot.render ~title:"Figure 6: runtime performance profile" curves);
+  List.iteri
+    (fun j name ->
+      Printf.printf "%-10s fastest on %.0f%% of instances\n" name
+        (100. *. P.fraction_within costs ~column:j ~tau:1.0))
+    names;
+  Printf.printf "paper shape: MinMem fastest in ~80%% of cases, Liu slowest -> %s wins here\n"
+    (P.dominant curves)
+
+(* ------------------------------------------------------------------ Fig. 7 *)
+
+(* MinIO instances: per tree, a few memory budgets between the largest
+   single-node requirement and the traversal's in-core peak. *)
+let minio_instances order_of =
+  List.filter_map
+    (fun (i : Tt_workloads.Dataset.instance) ->
+      let order = order_of i.tree in
+      let peak = Tt_core.Traversal.peak i.tree order in
+      let lo = T.max_mem_req i.tree in
+      if peak <= lo then None
+      else
+        Some
+          (List.filter_map
+             (fun fraction ->
+               let memory = lo + int_of_float (fraction *. float_of_int (peak - lo)) in
+               if memory >= peak then None else Some (i, order, memory))
+             [ 0.0; 0.25; 0.5; 0.75 ])
+    )
+    (Lazy.force corpus)
+  |> List.concat
+
+let fig7 () =
+  header "Figure 7" "I/O volume of the six eviction heuristics on MinMem traversals";
+  let cases = minio_instances (fun t -> snd (Tt_core.Minmem.run t)) in
+  Printf.printf "%d (tree, memory) cases\n" (List.length cases);
+  let names = List.map fst Tt_core.Minio.all_policies in
+  let costs =
+    List.map
+      (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
+        Array.of_list
+          (List.map
+             (fun (_, pol) ->
+               match Tt_core.Minio.io_volume i.tree ~memory ~order pol with
+               | Some io -> float_of_int io
+               | None -> infinity)
+             Tt_core.Minio.all_policies))
+      cases
+    |> Array.of_list
+  in
+  let curves = P.compute ~tau_max:4.0 ~names costs in
+  maybe_csv "fig7" curves;
+  print_string (Plot.render ~title:"Figure 7: I/O perf profile (MinMem traversals)" curves);
+  List.iteri
+    (fun j name ->
+      Printf.printf "%-14s best on %5.1f%% of cases, avg ratio %.3f\n" name
+        (100. *. P.fraction_within costs ~column:j ~tau:1.0)
+        (Tt_util.Statistics.mean (P.ratios costs ~column:j)))
+    names;
+  Printf.printf "paper shape: First Fit ~ Best K Comb. > fills > LSNF/Best Fit -> winner: %s\n"
+    (P.dominant curves);
+  (* extension: gap to the divisible lower bound *)
+  let gaps =
+    List.filter_map
+      (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
+        match
+          ( Tt_core.Minio.io_volume i.tree ~memory ~order Tt_core.Minio.First_fit,
+            Tt_core.Minio.divisible_lower_bound i.tree ~memory ~order )
+        with
+        | Some io, Some lb when lb > 0. -> Some (float_of_int io /. lb)
+        | Some _, Some _ -> None
+        | _ -> None)
+      cases
+  in
+  if gaps <> [] then
+    Printf.printf
+      "extension: First Fit vs divisible-LSNF lower bound: avg %.3fx, max %.3fx (%d cases)\n"
+      (Tt_util.Statistics.mean (Array.of_list gaps))
+      (snd (Tt_util.Statistics.min_max (Array.of_list gaps)))
+      (List.length gaps)
+
+(* ------------------------------------------------------------------ Fig. 8 *)
+
+let fig8 () =
+  header "Figure 8" "traversal sources for out-of-core execution (policy: First Fit)";
+  let sources =
+    [ ("PostOrder + First Fit", fun t -> snd (Tt_core.Postorder_opt.run t));
+      ("Liu + First Fit", fun t -> snd (Tt_core.Liu_exact.run t));
+      ("MinMem + First Fit", fun t -> snd (Tt_core.Minmem.run t))
+    ]
+  in
+  let portfolio_io tree memory =
+    let rng = Tt_util.Rng.create (!seed + 3) in
+    match Tt_core.Minio_search.run ~attempts:6 ~rng tree ~memory with
+    | Some o -> float_of_int o.Tt_core.Minio_search.io
+    | None -> infinity
+  in
+  (* memory budgets must be shared across traversals: use the MinMem
+     traversal peaks to define them, as the paper ranges from max MemReq
+     to the minimal memory of the traversal *)
+  let cases = minio_instances (fun t -> snd (Tt_core.Minmem.run t)) in
+  let costs =
+    List.map
+      (fun ((i : Tt_workloads.Dataset.instance), _minmem_order, memory) ->
+        Array.of_list
+          (List.map
+             (fun (_, order_of) ->
+               let order = order_of i.tree in
+               match
+                 Tt_core.Minio.io_volume i.tree ~memory ~order Tt_core.Minio.First_fit
+               with
+               | Some io -> float_of_int io
+               | None -> infinity)
+             sources
+          @ [ portfolio_io i.tree memory ]))
+      cases
+    |> Array.of_list
+  in
+  let names = List.map fst sources @ [ "Portfolio (extension)" ] in
+  let curves = P.compute ~tau_max:4.0 ~names costs in
+  maybe_csv "fig8" curves;
+  print_string (Plot.render ~title:"Figure 8: I/O by traversal source" curves);
+  List.iteri
+    (fun j name ->
+      Printf.printf "%-22s best on %5.1f%% of cases, avg ratio %.3f\n" name
+        (100. *. P.fraction_within costs ~column:j ~tau:1.0)
+        (Tt_util.Statistics.mean (P.ratios costs ~column:j)))
+    names;
+  Printf.printf "paper shape: PostOrder best, Liu in between, MinMem worst -> winner: %s\n"
+    (P.dominant curves)
+
+(* ---------------------------------------------------- Fig. 9 / Table II *)
+
+let fig9_table2 () =
+  header "Figure 9 + Table II" "PostOrder vs optimal on randomly re-weighted trees";
+  let random_insts =
+    Tt_workloads.Random_weights.corpus ~variants:3 ~seed:(!seed + 7) (Lazy.force corpus)
+  in
+  Printf.printf "%d random trees (structures from the corpus, weights ~ §VI-E)\n"
+    (List.length random_insts);
+  let results =
+    List.map
+      (fun (i : Tt_workloads.Dataset.instance) ->
+        let po = Tt_core.Postorder_opt.best_memory i.tree in
+        let opt = Tt_core.Liu_exact.min_memory i.tree in
+        (po, opt))
+      random_insts
+  in
+  let ratios =
+    Array.of_list (List.map (fun (po, opt) -> float_of_int po /. float_of_int opt) results)
+  in
+  let k = Array.length (Array.of_seq (Seq.filter (fun r -> r > 1. +. 1e-12) (Array.to_seq ratios))) in
+  print_string
+    (Table.render_kv
+       [ ("Non optimal PostOrder traversals", Printf.sprintf "%.0f%%  (paper: 61%%)"
+            (100. *. float_of_int k /. float_of_int (Array.length ratios)));
+         ("Max. PostOrder to opt. cost ratio", Printf.sprintf "%.2f  (paper: 2.22)"
+            (snd (Tt_util.Statistics.min_max ratios)));
+         ("Avg. PostOrder to opt. cost ratio", Printf.sprintf "%.3f  (paper: 1.12)"
+            (Tt_util.Statistics.mean ratios));
+         ("Std. dev. of the ratio", Printf.sprintf "%.3f  (paper: 0.13)"
+            (Tt_util.Statistics.stddev ratios))
+       ]);
+  let costs =
+    Array.of_list
+      (List.map (fun (po, opt) -> [| float_of_int opt; float_of_int po |]) results)
+  in
+  let curves = P.compute ~tau_max:2.5 ~names:[ "Optimal"; "PostOrder" ] costs in
+  maybe_csv "fig9" curves;
+  print_string (Plot.render ~title:"Figure 9: memory perf profile on random trees" curves)
+
+(* -------------------------------------------------------------- ablations *)
+
+let ablation_child_order () =
+  header "Ablation" "child-ordering rule inside the postorder algorithm";
+  let results = Lazy.force memory_results in
+  let rules =
+    [ ( "increasing P-f (Liu's rule)",
+        fun tree ->
+          float_of_int (Tt_core.Postorder_opt.best_memory tree) );
+      ( "natural order",
+        fun tree ->
+          float_of_int
+            (Tt_core.Postorder_opt.peak_with_child_order tree (fun i ->
+                 tree.T.children.(i))) );
+      ( "increasing subtree peak",
+        fun tree ->
+          let peaks = Tt_core.Postorder_opt.subtree_peaks tree in
+          float_of_int
+            (Tt_core.Postorder_opt.peak_with_child_order tree (fun i ->
+                 let cs = Array.copy tree.T.children.(i) in
+                 Array.sort (fun a b -> compare peaks.(a) peaks.(b)) cs;
+                 cs)) )
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let ratios =
+          List.map
+            (fun ((i : Tt_workloads.Dataset.instance), _, opt) ->
+              f i.tree /. float_of_int opt)
+            results
+        in
+        let a = Array.of_list ratios in
+        [ name;
+          Printf.sprintf "%.4f" (Tt_util.Statistics.mean a);
+          Printf.sprintf "%.3f" (snd (Tt_util.Statistics.min_max a));
+          Printf.sprintf "%.1f%%"
+            (100. *. Tt_util.Statistics.fraction (fun r -> r <= 1. +. 1e-12) a)
+        ])
+      rules
+  in
+  print_string
+    (Table.render ~header:[ "child order"; "avg ratio"; "max ratio"; "optimal" ] rows)
+
+let ablation_bestk () =
+  header "Ablation" "Best-K Combination for K = 1..8 (paper uses K = 5)";
+  let cases = minio_instances (fun t -> snd (Tt_core.Minmem.run t)) in
+  let ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let policies =
+    List.map (fun k -> (Printf.sprintf "Best-%d" k, Tt_core.Minio.Best_k k)) ks
+    @ [ ("First Fit", Tt_core.Minio.First_fit) ]
+  in
+  let costs =
+    List.map
+      (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
+        Array.of_list
+          (List.map
+             (fun (_, pol) ->
+               match Tt_core.Minio.io_volume i.tree ~memory ~order pol with
+               | Some io -> float_of_int io
+               | None -> infinity)
+             policies))
+      cases
+    |> Array.of_list
+  in
+  let rows =
+    List.mapi
+      (fun j (name, _) ->
+        [ name;
+          Printf.sprintf "%.4f" (Tt_util.Statistics.mean (P.ratios costs ~column:j));
+          Printf.sprintf "%.1f%%" (100. *. P.fraction_within costs ~column:j ~tau:1.0)
+        ])
+      policies
+  in
+  print_string (Table.render ~header:[ "policy"; "avg ratio"; "best" ] rows)
+
+let rounds () =
+  header "MinMem rounds" "number of Explore rounds (complexity evidence)";
+  let insts = Lazy.force corpus in
+  let data =
+    List.map
+      (fun (i : Tt_workloads.Dataset.instance) ->
+        (T.size i.tree, Tt_core.Minmem.iterations i.tree))
+      insts
+  in
+  let rs = Array.of_list (List.map (fun (_, r) -> float_of_int r) data) in
+  let ps = Array.of_list (List.map (fun (p, _) -> float_of_int p) data) in
+  Printf.printf
+    "rounds: avg %.1f, max %.0f over trees of avg size %.0f (worst-case bound: O(p))\n"
+    (Tt_util.Statistics.mean rs)
+    (snd (Tt_util.Statistics.min_max rs))
+    (Tt_util.Statistics.mean ps)
+
+
+
+
+(* ------------------------------------------------------ parallel extension *)
+
+let parallel_section () =
+  header "Parallel extension"
+    "memory-constrained parallel traversal (the conclusion's future work)";
+  let insts =
+    List.filter
+      (fun (i : Tt_workloads.Dataset.instance) ->
+        let p = T.size i.tree in
+        p >= 50 && p <= 1200)
+      (Lazy.force corpus)
+  in
+  let work tree i = 1 + (tree.T.n.(i) / 8) in
+  let procs_list = [ 1; 2; 4; 8; 16 ] in
+  let mem_factors = [ (1.0, "1.0x"); (1.5, "1.5x"); (3.0, "3.0x") ] in
+  Printf.printf "%d trees; speedup vs 1 processor (geometric mean)\n" (List.length insts);
+  let rows =
+    List.map
+      (fun (factor, label) ->
+        let cells =
+          List.map
+            (fun procs ->
+              let speedups =
+                List.filter_map
+                  (fun (i : Tt_workloads.Dataset.instance) ->
+                    let w = work i.tree in
+                    let seq = Tt_core.Parallel.sequential_makespan i.tree ~work:w in
+                    let memory =
+                      int_of_float
+                        (factor *. float_of_int (Tt_core.Minmem.min_memory i.tree))
+                    in
+                    match Tt_core.Parallel.list_schedule i.tree ~procs ~memory ~work:w with
+                    | Some s -> Some (float_of_int seq /. float_of_int s.Tt_core.Parallel.makespan)
+                    | None -> None)
+                  insts
+              in
+              if speedups = [] then "-"
+              else
+                Printf.sprintf "%.2f"
+                  (Tt_util.Statistics.geometric_mean (Array.of_list speedups)))
+            procs_list
+        in
+        (label ^ " memory") :: cells)
+      mem_factors
+  in
+  print_string
+    (Table.render
+       ~header:("budget" :: List.map (fun p -> Printf.sprintf "p=%d" p) procs_list)
+       rows);
+  print_endline
+    "With memory pinned at the sequential optimum, extra processors cannot be\n\
+     fed (speedup saturates); relaxing the budget restores parallelism --\n\
+     memory, not processors, is the binding resource, which is the paper's\n\
+     closing point."
+
+(* ------------------------------------------------- amalgamation ablation *)
+
+let ablation_amalgamation () =
+  header "Ablation" "amalgamation level vs optimal in-core memory";
+  let ms = Tt_workloads.Dataset.matrices ~scale:!scale ~seed:!seed () in
+  let limits = [ 1; 2; 4; 16; 64 ] in
+  let rows =
+    List.filter_map
+      (fun (name, m) ->
+        if (Tt_sparse.Csr.nnz m) > 40_000 then None
+        else begin
+          let cells =
+            List.map
+              (fun limit ->
+                let asm =
+                  Tt_workloads.Pipeline.assembly_tree
+                    ~ordering:Tt_workloads.Pipeline.Min_degree ~amalgamation:limit m
+                in
+                let tree = asm.Tt_etree.Assembly.tree in
+                Printf.sprintf "%d/%d" (T.size tree) (Tt_core.Minmem.min_memory tree))
+              limits
+          in
+          Some (name :: cells)
+        end)
+      ms
+  in
+  print_string
+    (Table.render
+       ~header:("matrix" :: List.map (fun l -> Printf.sprintf "a%d (p/mem)" l) limits)
+       rows);
+  print_endline
+    "More amalgamation: smaller trees, denser fronts, higher optimal memory --\n\
+     the granularity trade-off the paper's corpus construction exercises."
+
+(* -------------------------------------------------- heuristic optimality *)
+
+let minio_gap () =
+  header "MinIO optimality gap"
+    "heuristics vs the exact branch-and-bound (extension beyond the paper)";
+  let cases =
+    List.filter
+      (fun ((i : Tt_workloads.Dataset.instance), _, _) -> T.size i.tree <= 120)
+      (minio_instances (fun t -> snd (Tt_core.Minmem.run t)))
+  in
+  Printf.printf "%d cases with at most 120 nodes\n" (List.length cases);
+  let per_policy = Hashtbl.create 8 in
+  let solved = ref 0 and unsolved = ref 0 in
+  List.iter
+    (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
+      match Tt_core.Minio_exact.given_order ~node_budget:300_000 i.tree ~memory ~order with
+      | exception Failure _ -> incr unsolved
+      | None -> ()
+      | Some exact ->
+          incr solved;
+          List.iter
+            (fun (name, pol) ->
+              match Tt_core.Minio.io_volume i.tree ~memory ~order pol with
+              | Some io ->
+                  let num, den, worst =
+                    try Hashtbl.find per_policy name with Not_found -> (0, 0, 1.0)
+                  in
+                  let ratio =
+                    if exact = 0 then if io = 0 then 1.0 else infinity
+                    else float_of_int io /. float_of_int exact
+                  in
+                  Hashtbl.replace per_policy name
+                    ((if io = exact then num + 1 else num), den + 1, Float.max worst ratio)
+              | None -> ())
+            Tt_core.Minio.all_policies)
+    cases;
+  Printf.printf "exact optimum computed on %d cases (%d exceeded the search budget)\n"
+    !solved !unsolved;
+  let rows =
+    List.map
+      (fun (name, _) ->
+        let num, den, worst = try Hashtbl.find per_policy name with Not_found -> (0, 1, nan) in
+        [ name;
+          Printf.sprintf "%.1f%%" (100. *. float_of_int num /. float_of_int (max den 1));
+          (if worst = infinity then "inf" else Printf.sprintf "%.2f" worst)
+        ])
+      Tt_core.Minio.all_policies
+  in
+  print_string (Table.render ~header:[ "policy"; "exactly optimal"; "worst ratio" ] rows)
+
+(* ------------------------------------------------------------- bechamel *)
+
+let bechamel_suite () =
+  header "Bechamel" "micro-benchmarks, one Test.make per table/figure kernel";
+  let open Bechamel in
+  let tree = (Tt_workloads.Pipeline.assembly_tree (Tt_sparse.Spgen.grid2d (24 * !scale))).Tt_etree.Assembly.tree in
+  let _, order = Tt_core.Minmem.run tree in
+  let memory = T.max_mem_req tree in
+  let tests =
+    [ Test.make ~name:"table1_fig5_postorder" (Staged.stage (fun () ->
+          ignore (Tt_core.Postorder_opt.run tree)));
+      Test.make ~name:"fig6_liu" (Staged.stage (fun () ->
+          ignore (Tt_core.Liu_exact.run tree)));
+      Test.make ~name:"fig6_minmem" (Staged.stage (fun () ->
+          ignore (Tt_core.Minmem.run tree)));
+      Test.make ~name:"fig7_first_fit" (Staged.stage (fun () ->
+          ignore (Tt_core.Minio.io_volume tree ~memory ~order Tt_core.Minio.First_fit)));
+      Test.make ~name:"fig7_best_k" (Staged.stage (fun () ->
+          ignore (Tt_core.Minio.io_volume tree ~memory ~order (Tt_core.Minio.Best_k 5))));
+      Test.make ~name:"fig8_postorder_first_fit" (Staged.stage (fun () ->
+          let order = snd (Tt_core.Postorder_opt.run tree) in
+          ignore (Tt_core.Minio.io_volume tree ~memory ~order Tt_core.Minio.First_fit)));
+      Test.make ~name:"fig9_reweight_postorder" (Staged.stage (fun () ->
+          let rng = Tt_util.Rng.create 1 in
+          let t = Tt_workloads.Random_weights.reweight ~rng tree in
+          ignore (Tt_core.Postorder_opt.best_memory t)));
+      Test.make ~name:"theorem1_harpoon" (Staged.stage (fun () ->
+          ignore (Tt_core.Instances.theorem1_ratio ~branches:3 ~levels:4 ~m:300 ~eps:1)))
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        a)
+    (List.map (fun t -> Test.make_grouped ~name:"g" [ t ]) tests)
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  let t0 = Sys.time () in
+  if wanted "theorem1" then theorem1 ();
+  if wanted "theorem2" then theorem2 ();
+  if wanted "fig5" || wanted "table1" then fig5_table1 ();
+  if wanted "fig6" then fig6 ();
+  if wanted "fig7" then fig7 ();
+  if wanted "fig8" then fig8 ();
+  if wanted "fig9" || wanted "table2" then fig9_table2 ();
+  if wanted "ablation-child-order" then ablation_child_order ();
+  if wanted "ablation-bestk" then ablation_bestk ();
+  if wanted "ablation-amalgamation" then ablation_amalgamation ();
+  if wanted "parallel" then parallel_section ();
+  if wanted "minio-gap" then minio_gap ();
+  if wanted "rounds" then rounds ();
+  if !run_bechamel && (!sections = [] || List.mem "bechamel" !sections) then
+    bechamel_suite ();
+  Printf.printf "\n[bench] total time %.1fs\n" (Sys.time () -. t0)

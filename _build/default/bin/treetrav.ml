@@ -1,0 +1,222 @@
+(* The command-line front end.
+
+     treetrav generate --kind grid2d --size 20 -o grid.mtx
+     treetrav analyze grid.mtx --ordering mindeg --amalgamation 4
+     treetrav schedule grid.mtx --memory 120%   (MinIO planning)
+     treetrav corpus --scale 1                  (describe the bench corpus)  *)
+
+open Cmdliner
+
+module S = Tt_sparse
+
+(* ------------------------------------------------------------- helpers *)
+
+let load_matrix path =
+  let _header, t = S.Matrix_market.read_file path in
+  S.Csr.of_triplet t
+
+let ordering_conv =
+  let parse = function
+    | "natural" -> Ok Tt_workloads.Pipeline.Natural
+    | "rcm" -> Ok Tt_workloads.Pipeline.Rcm
+    | "mindeg" -> Ok Tt_workloads.Pipeline.Min_degree
+    | "nd" -> Ok Tt_workloads.Pipeline.Nested_dissection
+    | s -> Error (`Msg ("unknown ordering: " ^ s))
+  in
+  Arg.conv (parse, fun ppf o -> Fmt.string ppf (Tt_workloads.Pipeline.ordering_name o))
+
+let policy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun (name, _) ->
+          String.lowercase_ascii name
+          = String.lowercase_ascii (String.map (fun c -> if c = '-' then ' ' else c) s))
+        Tt_core.Minio.all_policies
+    with
+    | Some (_, p) -> Ok p
+    | None -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Ok (Tt_core.Minio.Best_k k)
+        | _ -> Error (`Msg ("unknown policy: " ^ s)))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Tt_core.Minio.policy_name p))
+
+(* ------------------------------------------------------------ generate *)
+
+let generate kind size seed output =
+  let rng = Tt_util.Rng.create seed in
+  let m =
+    match kind with
+    | "grid2d" -> S.Spgen.grid2d size
+    | "grid9" -> S.Spgen.grid2d_9pt size
+    | "grid3d" -> S.Spgen.grid3d size
+    | "banded" -> S.Spgen.banded ~rng ~n:size ~bandwidth:(max 2 (size / 50)) ~fill:0.4
+    | "random" -> S.Spgen.random_sym ~rng ~n:size ~nnz_per_row:3.0
+    | "arrow" -> S.Spgen.block_arrow ~n:size ~blocks:8 ~border:(max 2 (size / 40))
+    | "powerlaw" -> S.Spgen.power_law ~rng ~n:size ~edges_per_node:2
+    | "tridiagonal" -> S.Spgen.tridiagonal size
+    | other -> failwith ("unknown kind: " ^ other)
+  in
+  S.Matrix_market.write_file ~symmetry:S.Matrix_market.Symmetric output m;
+  Printf.printf "wrote %s: n = %d, nnz = %d (coordinate real symmetric)\n" output
+    m.S.Csr.nrows (S.Csr.nnz m);
+  0
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt string "grid2d"
+      & info [ "kind"; "k" ] ~docv:"KIND"
+          ~doc:
+            "Matrix family: grid2d, grid9, grid3d, banded, random, arrow, powerlaw, \
+             tridiagonal.")
+  in
+  let size =
+    Arg.(value & opt int 20 & info [ "size"; "n" ] ~docv:"N" ~doc:"Size parameter.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let output =
+    Arg.(value & opt string "matrix.mtx" & info [ "output"; "o" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic SPD matrix in Matrix Market form.")
+    Term.(const generate $ kind $ size $ seed $ output)
+
+(* ------------------------------------------------------------- analyze *)
+
+let analyze path ordering amalgamation =
+  let m = load_matrix path in
+  let asm = Tt_workloads.Pipeline.assembly_tree ~ordering ~amalgamation m in
+  let tree = asm.Tt_etree.Assembly.tree in
+  Printf.printf "matrix: n = %d, nnz = %d\n" m.S.Csr.nrows (S.Csr.nnz m);
+  Printf.printf "assembly tree (%s, amalgamation %d): %s\n"
+    (Tt_workloads.Pipeline.ordering_name ordering)
+    amalgamation
+    (Tt_workloads.Pipeline.stats asm);
+  let po, _ = Tt_core.Postorder_opt.run tree in
+  let (opt, order), rounds = ((Tt_core.Minmem.run tree), Tt_core.Minmem.iterations tree) in
+  Printf.printf "memory: best postorder %d, optimal %d (%s; MinMem rounds: %d)\n" po opt
+    (if po = opt then "postorder is optimal"
+     else Printf.sprintf "postorder +%.2f%%" (100. *. (float_of_int po /. float_of_int opt -. 1.)))
+    rounds;
+  (match Tt_core.Traversal.check tree ~memory:opt order with
+  | Tt_core.Traversal.Feasible _ -> ()
+  | _ -> prerr_endline "internal error: optimal traversal failed validation");
+  0
+
+let analyze_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mtx") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Tt_workloads.Pipeline.Min_degree
+      & info [ "ordering" ] ~docv:"ORD" ~doc:"natural, rcm, mindeg or nd.")
+  in
+  let amalgamation =
+    Arg.(value & opt int 4 & info [ "amalgamation"; "a" ] ~docv:"K"
+           ~doc:"Relaxed amalgamation limit (paper: 1, 2, 4, 16).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"MinMemory analysis of a Matrix Market file's assembly tree.")
+    Term.(const analyze $ path $ ordering $ amalgamation)
+
+(* ------------------------------------------------------------ schedule *)
+
+let schedule path ordering amalgamation memory_pct policy =
+  let m = load_matrix path in
+  let asm = Tt_workloads.Pipeline.assembly_tree ~ordering ~amalgamation m in
+  let tree = asm.Tt_etree.Assembly.tree in
+  let opt = Tt_core.Minmem.min_memory tree in
+  let floor = Tt_core.Tree.max_mem_req tree in
+  let memory =
+    floor + int_of_float (float_of_int (opt - floor) *. memory_pct /. 100.)
+  in
+  Printf.printf "tree: %s\n" (Tt_workloads.Pipeline.stats asm);
+  Printf.printf "in-core optimum %d, working-set floor %d, budget %d (%.0f%%)\n" opt
+    floor memory memory_pct;
+  let plan = Tt_core.Planner.plan ~policy tree ~memory in
+  Printf.printf "%s\n" (Tt_core.Planner.describe plan);
+  (match plan with
+  | Tt_core.Planner.Out_of_core { schedule = sched; io; _ } ->
+      let evictions =
+        Array.fold_left
+          (fun acc t -> if t <> Tt_core.Io_schedule.never then acc + 1 else acc)
+          0 sched.Tt_core.Io_schedule.tau
+      in
+      Printf.printf "%d files evicted; I/O is %.1f%% of the tree's total file volume\n"
+        evictions
+        (100. *. float_of_int io /. float_of_int (max 1 (Tt_core.Tree.total_f tree)))
+  | _ -> ());
+  0
+
+let schedule_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mtx") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Tt_workloads.Pipeline.Min_degree
+      & info [ "ordering" ] ~docv:"ORD")
+  in
+  let amalgamation =
+    Arg.(value & opt int 4 & info [ "amalgamation"; "a" ] ~docv:"K")
+  in
+  let memory =
+    Arg.(
+      value
+      & opt float 50.
+      & info [ "memory"; "m" ] ~docv:"PCT"
+          ~doc:
+            "Memory budget as a percentage of the gap between the working-set floor \
+             and the in-core optimum (0 = floor, 100 = optimum).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Tt_core.Minio.First_fit
+      & info [ "policy"; "p" ] ~docv:"POLICY"
+          ~doc:"lsnf, 'first fit', 'best fit', 'first fill', 'best fill', or K for Best-K.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Plan an out-of-core traversal under a memory budget.")
+    Term.(const schedule $ path $ ordering $ amalgamation $ memory $ policy)
+
+(* -------------------------------------------------------------- corpus *)
+
+let corpus scale seed export =
+  (match export with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (name, m) ->
+          let path = Filename.concat dir (name ^ ".mtx") in
+          S.Matrix_market.write_file ~symmetry:S.Matrix_market.Symmetric path m;
+          Printf.printf "wrote %s (n = %d, nnz = %d)\n" path m.S.Csr.nrows (S.Csr.nnz m))
+        (Tt_workloads.Dataset.matrices ~scale ~seed ())
+  | None ->
+      let insts = Tt_workloads.Dataset.corpus ~scale ~seed () in
+      Printf.printf "%d instances (scale %d, seed %d)\n" (List.length insts) scale seed;
+      List.iter
+        (fun (i : Tt_workloads.Dataset.instance) ->
+          Printf.printf "%-24s p=%d\n" i.name (Tt_core.Tree.size i.tree))
+        insts);
+  0
+
+let corpus_cmd =
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let export =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~docv:"DIR"
+             ~doc:"Write the corpus matrices to DIR in Matrix Market form.")
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List or export the benchmark corpus.")
+    Term.(const corpus $ scale $ seed $ export)
+
+let () =
+  let doc = "memory-optimal tree traversals for sparse matrix factorization" in
+  let info = Cmd.info "treetrav" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd ]))

@@ -1,0 +1,1 @@
+examples/factorization.ml: Array Float Format List Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse

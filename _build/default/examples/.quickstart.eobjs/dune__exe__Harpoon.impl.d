@@ -1,0 +1,1 @@
+examples/harpoon.ml: Array Format List Sys Tt_core

@@ -1,0 +1,1 @@
+examples/harpoon.mli:

@@ -1,0 +1,1 @@
+examples/matrix_market_io.ml: Array Filename Format List Printf Sys Tt_core Tt_etree Tt_ordering Tt_sparse

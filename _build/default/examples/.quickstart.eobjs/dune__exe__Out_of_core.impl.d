@@ -1,0 +1,1 @@
+examples/out_of_core.ml: Format List Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse Tt_util

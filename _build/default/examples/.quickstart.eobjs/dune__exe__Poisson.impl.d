@@ -1,0 +1,1 @@
+examples/poisson.ml: Array Float Format Sys Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse

@@ -1,0 +1,1 @@
+examples/supernodal_demo.ml: Array Format List Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse

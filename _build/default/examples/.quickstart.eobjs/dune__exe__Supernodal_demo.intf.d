@@ -1,0 +1,1 @@
+examples/supernodal_demo.mli:

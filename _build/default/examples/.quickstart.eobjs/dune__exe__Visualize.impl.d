@@ -1,0 +1,1 @@
+examples/visualize.ml: Array Filename Float Format List Printf Sys Tt_core Tt_profile

@@ -1,0 +1,57 @@
+(* Matrix Market interoperability: export a generated matrix, read it
+   back with the hand-written parser, and analyze an arbitrary .mtx file
+   from the command line the way the paper analyzes the UF collection.
+
+     dune exec examples/matrix_market_io.exe -- [file.mtx] *)
+
+module S = Tt_sparse
+
+let analyze name a =
+  let pattern = S.Csr.symmetrize_pattern a in
+  let perm = Tt_ordering.Min_degree.order (Tt_ordering.Graph_adj.of_pattern pattern) in
+  let b = S.Csr.permute_sym pattern perm in
+  let parent = Tt_etree.Elimination_tree.parents b in
+  let col_counts = Tt_etree.Col_counts.counts b ~parent in
+  Format.printf "%s: n = %d, nnz(pattern) = %d, nnz(L) = %d@." name a.S.Csr.nrows
+    (S.Csr.nnz pattern)
+    (Array.fold_left ( + ) 0 col_counts);
+  List.iter
+    (fun limit ->
+      let am = Tt_etree.Amalgamation.run ~parent ~col_counts ~limit in
+      let asm = Tt_etree.Assembly.of_amalgamation am in
+      let tree = asm.Tt_etree.Assembly.tree in
+      let po = Tt_core.Postorder_opt.best_memory tree in
+      let opt = Tt_core.Minmem.min_memory tree in
+      Format.printf
+        "  amalgamation %2d: %5d tree nodes; postorder memory %10d, optimal %10d (%s)@."
+        limit (Tt_core.Tree.size tree) po opt
+        (if po = opt then "postorder optimal" else Printf.sprintf "+%.1f%%"
+           (100. *. (float_of_int po /. float_of_int opt -. 1.))))
+    [ 1; 4; 16 ]
+
+let () =
+  if Array.length Sys.argv > 1 then begin
+    (* user-supplied Matrix Market file *)
+    let _header, t = S.Matrix_market.read_file Sys.argv.(1) in
+    analyze Sys.argv.(1) (S.Csr.of_triplet t)
+  end
+  else begin
+    (* round trip a generated matrix through the MM format *)
+    let a = S.Spgen.grid2d_9pt 14 in
+    let path = Filename.temp_file "treetrav" ".mtx" in
+    S.Matrix_market.write_file ~symmetry:S.Matrix_market.Symmetric path a;
+    Format.printf "wrote %s (coordinate real symmetric)@." path;
+    let header, t = S.Matrix_market.read_file path in
+    Format.printf "read back: %d x %d, %d stored entries, field %s@." header.S.Matrix_market.nrows
+      header.S.Matrix_market.ncols header.S.Matrix_market.nnz
+      (match header.S.Matrix_market.field with
+      | S.Matrix_market.Real -> "real"
+      | S.Matrix_market.Integer -> "integer"
+      | S.Matrix_market.Complex -> "complex"
+      | S.Matrix_market.Pattern -> "pattern");
+    let b = S.Csr.of_triplet t in
+    assert (S.Csr.equal_pattern a b);
+    Format.printf "round trip: pattern identical@.";
+    analyze "grid9-14" b;
+    Sys.remove path
+  end

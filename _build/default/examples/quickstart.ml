@@ -1,0 +1,58 @@
+(* Quickstart: build a small tree workflow by hand, ask the three
+   MinMemory algorithms for traversals, and check them with the
+   Algorithm-1 simulator.
+
+     dune exec examples/quickstart.exe *)
+
+module T = Tt_core.Tree
+
+let () =
+  (* The harpoon of the paper's Figure 3(a) with 3 branches, M = 30,
+     eps = 1: the tree where postorder provably loses. Each node i has an
+     input file f.(i) (produced by its parent) and an execution file
+     n.(i). *)
+  let tree = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  Format.printf "The tree (node [f=input file, n=execution file]):@.%a@." T.pp tree;
+
+  (* 1. the best postorder traversal (Liu 1986) *)
+  let po_mem, po_order = Tt_core.Postorder_opt.run tree in
+  (* 2. Liu's exact algorithm (1987), via hill-valley segments *)
+  let liu_mem, liu_order = Tt_core.Liu_exact.run tree in
+  (* 3. the paper's MinMem exact algorithm (Algorithms 3 and 4) *)
+  let mm_mem, mm_order = Tt_core.Minmem.run tree in
+
+  let show name mem order =
+    Format.printf "%-10s needs %2d words; traversal: %s@." name mem
+      (String.concat " " (Array.to_list (Array.map string_of_int order)))
+  in
+  show "PostOrder" po_mem po_order;
+  show "Liu" liu_mem liu_order;
+  show "MinMem" mm_mem mm_order;
+
+  (* verify the claims with the checker of Algorithm 1 *)
+  List.iter
+    (fun (name, mem, order) ->
+      match Tt_core.Traversal.check tree ~memory:mem order with
+      | Tt_core.Traversal.Feasible peak ->
+          Format.printf "%-10s verified: feasible with %d words (peak %d)@." name mem
+            peak
+      | Tt_core.Traversal.Infeasible_at { step; needed; available } ->
+          Format.printf "%-10s BROKEN at step %d: needs %d, has %d@." name step needed
+            available
+      | Tt_core.Traversal.Invalid_order { reason; _ } ->
+          Format.printf "%-10s INVALID: %s@." name reason)
+    [ ("PostOrder", po_mem, po_order);
+      ("Liu", liu_mem, liu_order);
+      ("MinMem", mm_mem, mm_order)
+    ];
+
+  (* and show that the postorder cannot do better: one word less fails *)
+  (match Tt_core.Traversal.check tree ~memory:(po_mem - 1) po_order with
+  | Tt_core.Traversal.Infeasible_at { step; _ } ->
+      Format.printf
+        "with %d words the postorder traversal runs out of memory at step %d@."
+        (po_mem - 1) step
+  | _ -> Format.printf "unexpected: postorder feasible below its peak?!@.");
+  Format.printf
+    "@.The optimal traversal alternates between branches (ratio %.2f vs postorder).@."
+    (float_of_int po_mem /. float_of_int mm_mem)

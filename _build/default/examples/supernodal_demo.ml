@@ -1,0 +1,53 @@
+(* Supernodal factorization: the paper's amalgamated assembly trees are
+   not only a scheduling model -- they drive a real supernodal solver
+   here. This example factors one matrix at several amalgamation levels
+   and shows the memory/granularity trade-off, checking the tree-model
+   prediction against the measured words each time.
+
+     dune exec examples/supernodal_demo.exe *)
+
+module S = Tt_sparse
+
+let () =
+  let a = S.Spgen.grid2d 18 in
+  let pattern = S.Csr.symmetrize_pattern a in
+  let perm = Tt_ordering.Min_degree.order (Tt_ordering.Graph_adj.of_pattern pattern) in
+  let a = S.Csr.permute_sym a perm in
+  let pattern = S.Csr.symmetrize_pattern a in
+  let parent = Tt_etree.Elimination_tree.parents pattern in
+  let sym = Tt_etree.Symbolic.run pattern ~parent in
+  let n = pattern.S.Csr.nrows in
+  let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+  Format.printf "matrix: n = %d, nnz(L) = %d@.@." n (Tt_etree.Symbolic.nnz_l sym);
+  Format.printf "%-6s %10s %12s %12s %12s %10s@." "amalg" "supernodes"
+    "model peak" "measured" "max front" "residual";
+  List.iter
+    (fun limit ->
+      let amal = Tt_etree.Amalgamation.run ~parent ~col_counts:cc ~limit in
+      let plan = Tt_multifrontal.Supernodal.plan sym amal in
+      let schedule = Tt_multifrontal.Supernodal.default_schedule plan in
+      let r = Tt_multifrontal.Supernodal.run a sym plan ~schedule in
+      (* the tree-model prediction for the same (reversed) schedule *)
+      let asm = Tt_etree.Assembly.of_amalgamation amal in
+      let tree = asm.Tt_etree.Assembly.tree in
+      let p = Tt_core.Tree.size tree in
+      let g = Array.length amal.Tt_etree.Amalgamation.groups in
+      let order =
+        if asm.Tt_etree.Assembly.virtual_root then
+          Array.init p (fun k -> if k = 0 then p - 1 else schedule.(g - k))
+        else Tt_core.Transform.reverse_traversal schedule
+      in
+      let model = Tt_core.Traversal.peak tree order in
+      let max_front = ref 0 in
+      for gi = 0 to g - 1 do
+        max_front := max !max_front (Tt_multifrontal.Supernodal.front_words plan gi)
+      done;
+      Format.printf "%-6d %10d %12d %12d %12d %10.1e@." limit g model
+        r.Tt_multifrontal.Factor.peak_words !max_front
+        (Tt_multifrontal.Factor.residual_norm a r.Tt_multifrontal.Factor.l))
+    [ 1; 2; 4; 8; 16; 32 ];
+  Format.printf
+    "@.More amalgamation -> fewer, larger fronts and a higher peak: the model@.\
+     column always equals the measured column, because the paper's weights@.\
+     (n = eta^2 + 2 eta (mu-1), f = (mu-1)^2) are exactly the supernodal@.\
+     front and contribution-block sizes.@."

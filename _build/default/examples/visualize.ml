@@ -1,0 +1,49 @@
+(* Visualization: write a Graphviz rendering of an assembly tree and
+   compare the memory profiles of the best postorder and the optimal
+   traversal as ASCII charts.
+
+     dune exec examples/visualize.exe -- [out.dot] *)
+
+module T = Tt_core.Tree
+
+let profile_curve name tree order =
+  let prof = Tt_core.Traversal.profile tree order in
+  { Tt_profile.Perf_profile.name;
+    points =
+      Array.mapi (fun k usage -> (float_of_int (k + 1), float_of_int usage)) prof
+  }
+
+let () =
+  let tree = Tt_core.Instances.harpoon_nested ~branches:3 ~levels:2 ~m:60 ~eps:2 in
+  Format.printf "tree: %d nodes, height %d@." (T.size tree) (T.height tree);
+
+  (* Graphviz output *)
+  let dot = T.to_dot tree in
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else
+      Filename.concat (Filename.get_temp_dir_name ()) "treetrav.dot" in
+  let oc = open_out path in
+  output_string oc dot;
+  close_out oc;
+  Format.printf "wrote %s (render with: dot -Tpng %s -o tree.png)@.@." path path;
+
+  (* memory profiles over time: the x axis is the execution step, the y
+     axis is normalized memory (the plot renderer shows fractions) *)
+  let po_mem, po_order = Tt_core.Postorder_opt.run tree in
+  let mm_mem, mm_order = Tt_core.Minmem.run tree in
+  Format.printf "postorder needs %d, optimal %d (ratio %.2f)@." po_mem mm_mem
+    (float_of_int po_mem /. float_of_int mm_mem);
+  let norm (c : Tt_profile.Perf_profile.curve) =
+    let top = Array.fold_left (fun acc (_, y) -> Float.max acc y) 1. c.points in
+    { c with points = Array.map (fun (x, y) -> (x, y /. top)) c.points }
+  in
+  let curves =
+    List.map norm
+      [ profile_curve "PostOrder" tree po_order; profile_curve "MinMem" tree mm_order ]
+  in
+  print_string
+    (Tt_profile.Ascii_plot.render ~width:72 ~height:14
+       ~title:
+         (Printf.sprintf
+            "memory over time (fraction of the postorder peak %d; x = step, log scale)"
+            po_mem)
+       curves)

@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Hashtbl List Postorder_opt Set Traversal Tree

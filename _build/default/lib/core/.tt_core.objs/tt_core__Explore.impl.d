@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array List Tree Tt_util

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Liu_exact Postorder_opt Tree Tt_util

@@ -1,0 +1,1 @@
+lib/core/liu_exact.mli: Segments Tree

@@ -1,0 +1,1 @@
+lib/core/minio.ml: Array Io_schedule List Option Printf Traversal Tree

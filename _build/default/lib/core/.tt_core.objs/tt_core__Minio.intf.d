@@ -1,0 +1,1 @@
+lib/core/minio.mli: Io_schedule Tree

@@ -1,0 +1,1 @@
+lib/core/minio_exact.ml: Array Float List Minio Traversal Tree

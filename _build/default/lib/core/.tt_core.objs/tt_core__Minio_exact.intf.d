@@ -1,0 +1,1 @@
+lib/core/minio_exact.mli: Minio Tree

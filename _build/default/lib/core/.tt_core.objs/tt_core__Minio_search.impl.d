@@ -1,0 +1,1 @@
+lib/core/minio_search.ml: Array Io_schedule List Liu_exact Minio Minmem Postorder_opt Printf Traversal Tree Tt_util

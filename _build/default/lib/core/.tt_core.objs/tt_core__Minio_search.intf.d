@@ -1,0 +1,1 @@
+lib/core/minio_search.mli: Io_schedule Minio Tree Tt_util

@@ -1,0 +1,1 @@
+lib/core/minmem.ml: Array Explore Tree Tt_util

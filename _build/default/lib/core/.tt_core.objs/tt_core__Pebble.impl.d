@@ -1,0 +1,1 @@
+lib/core/pebble.ml: Array Minmem Transform Tree

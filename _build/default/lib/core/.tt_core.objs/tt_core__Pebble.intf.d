@@ -1,0 +1,1 @@
+lib/core/pebble.mli: Tree

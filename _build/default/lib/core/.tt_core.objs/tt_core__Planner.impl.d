@@ -1,0 +1,1 @@
+lib/core/planner.ml: Io_schedule Minio Minio_search Minmem Printf Traversal Tree Tt_util

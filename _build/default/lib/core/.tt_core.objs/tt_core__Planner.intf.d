@@ -1,0 +1,1 @@
+lib/core/planner.mli: Io_schedule Minio Tree

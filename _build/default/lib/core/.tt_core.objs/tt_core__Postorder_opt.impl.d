@@ -1,0 +1,1 @@
+lib/core/postorder_opt.ml: Array List Tree

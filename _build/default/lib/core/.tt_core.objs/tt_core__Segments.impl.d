@@ -1,0 +1,1 @@
+lib/core/segments.ml: Array List Tt_util

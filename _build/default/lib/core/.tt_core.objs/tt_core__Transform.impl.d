@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Liu_exact Traversal Tree

@@ -1,0 +1,1 @@
+lib/core/traversal.ml: Array List Queue Tree Tt_util

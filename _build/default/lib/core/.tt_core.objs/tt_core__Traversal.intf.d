@@ -1,0 +1,1 @@
+lib/core/traversal.mli: Tree Tt_util

@@ -1,0 +1,1 @@
+lib/core/tree.ml: Array Buffer Format List Printf Queue String Tt_util

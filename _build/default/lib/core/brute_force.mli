@@ -1,0 +1,35 @@
+(** Exponential exact oracles, used only by tests and by the small-scale
+    validation benches. They are derived directly from Definitions 1–4,
+    independently of any of the paper's algorithmic insights, and thus
+    serve as ground truth for {!Postorder_opt}, {!Liu_exact}, {!Minmem}
+    and {!Minio}. *)
+
+val min_memory : Tree.t -> int
+(** Exact MinMemory by a shortest-bottleneck-path search over ready-set
+    states (Dijkstra on the state graph with max-cost composition).
+    Exponential state space — intended for trees of ≲ 20 nodes.
+    @raise Invalid_argument if the tree has more than 22 nodes. *)
+
+val min_memory_postorder : Tree.t -> int
+(** Exact best-postorder memory by enumerating all child permutations.
+    @raise Invalid_argument if the tree has more than 9 nodes. *)
+
+val min_io : Tree.t -> memory:int -> int option
+(** Exact MinIO: the least write volume over all traversals and all
+    eviction sets, or [None] when even full eviction cannot make the tree
+    feasible (i.e. [memory < max_mem_req]). Enumerates valid traversals ×
+    subsets of evicted nodes; eviction timing is canonical
+    (write-at-production, read-at-consumption), which is optimal for a
+    fixed evicted set.
+    @raise Invalid_argument if the tree has more than 9 nodes. *)
+
+val min_io_given_order : Tree.t -> memory:int -> int array -> int option
+(** Exact MinIO for a fixed traversal (problem (i) of Theorem 2), by
+    enumeration over evicted sets.
+    @raise Invalid_argument if the tree has more than 20 nodes. *)
+
+val feasible_with_evictions : Tree.t -> memory:int -> int array -> evicted:bool array -> bool
+(** Whether the traversal fits in [memory] when exactly the nodes with
+    [evicted.(i)] have their input files written out at production and
+    read back at consumption. The canonical-timing simulator underlying
+    {!min_io}; exposed for tests against {!Io_schedule.check}. *)

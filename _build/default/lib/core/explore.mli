@@ -1,0 +1,67 @@
+(** The [Explore] tree-exploration routine — Algorithm 3 of the paper.
+
+    [Explore] descends from a node with a fixed amount of available
+    memory and greedily improves a {e cut}: the set of subtree roots whose
+    input files are still resident. A cut member [j] is substituted by the
+    best cut of its own subtree whenever exploring below [j] reaches a
+    state occupying at most [f j] (so the substitution cannot increase the
+    cut's footprint); members are (re-)explored only when the available
+    memory minus the rest of the cut reaches their recorded peak
+    requirement, which guarantees progress and termination.
+
+    On return, either the whole subtree was traversed (empty cut,
+    occupation 0, peak requirement ∞) or the cut is the minimal-occupation
+    state reachable with the given memory, together with the minimum extra
+    memory needed to visit one more node.
+
+    The paper speeds the algorithm up by resuming the root exploration
+    from the previous round's cut ([Linit]/[Trinit] in Algorithm 3). This
+    implementation applies that mechanism at {e every} node through a
+    per-node {!cache} of reached cuts: a subtree's cut state is
+    self-contained and its traversal prefix remains feasible when the
+    available memory grows, so a later call with at least as much memory
+    resumes instead of starting from scratch. *)
+
+type result = {
+  m_cut : int;
+      (** Total file size of the final cut — the minimal reachable memory
+          occupation; {!infinity_mem} when the entry node itself cannot
+          execute. *)
+  cut : int list;
+      (** The cut: roots of the unprocessed subtrees (empty when the whole
+          subtree was traversed). *)
+  mpeak : int;
+      (** Minimum memory with which a further node becomes reachable;
+          always greater than the memory the exploration ran with.
+          {!infinity_mem} when the subtree is fully traversed. *)
+  trav : Tt_util.Rope.t;
+      (** The traversal realizing the cut, starting at the entry node
+          (a rope: cut substitutions concatenate subtree traversals in
+          O(1)). *)
+}
+
+type cache
+(** Per-node resume states, owned by a {!Minmem.run} invocation. *)
+
+val make_cache : Tree.t -> cache
+(** A fresh, empty cache for the given tree. *)
+
+val infinity_mem : int
+(** [max_int], standing for the paper's ∞. *)
+
+val explore :
+  Tree.t ->
+  mpeak_tbl:int array ->
+  cache:cache ->
+  int ->
+  mavail:int ->
+  linit:int list ->
+  trinit:Tt_util.Rope.t ->
+  result
+(** [explore t ~mpeak_tbl ~cache i ~mavail ~linit ~trinit] runs
+    Algorithm 3 from node [i] with [mavail] memory. [mpeak_tbl] is the
+    per-node table of last-known peak requirements, updated in place
+    (size [Tree.size t], initialized to {!infinity_mem} by the caller). A
+    non-empty [linit] resumes from a previously returned cut with its
+    accumulated traversal [trinit] (which is then mutated and returned);
+    an empty [linit] starts fresh by executing [i]. *)

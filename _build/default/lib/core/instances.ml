@@ -1,0 +1,102 @@
+module D = Tt_util.Dynarray_compat
+
+(* Small builder: nodes are appended with an explicit parent. *)
+type builder = { parents : int D.t; fs : int D.t; ns : int D.t }
+
+let builder () = { parents = D.create (); fs = D.create (); ns = D.create () }
+
+let add b ~parent ~f ~n =
+  D.add_last b.parents parent;
+  D.add_last b.fs f;
+  D.add_last b.ns n;
+  D.length b.parents - 1
+
+let build b =
+  Tree.make ~parent:(D.to_array b.parents) ~f:(D.to_array b.fs) ~n:(D.to_array b.ns)
+
+(* The harpoon branch of Figure 3(a), reconstructed from the bounds in the
+   proof of Theorem 1: each branch below the root is a chain with input
+   files M/b, eps, M. In the nested construction the innermost level keeps
+   the M leaf and every outer level chains to the next harpoon root with
+   an eps file, so that the best postorder accumulates (b-1)M/b of pending
+   sibling files per level while the optimal traversal only accumulates
+   (b-1)eps per level. *)
+let harpoon_nested ~branches ~levels ~m ~eps =
+  if branches < 1 then invalid_arg "Instances.harpoon_nested: branches < 1";
+  if levels < 1 then invalid_arg "Instances.harpoon_nested: levels < 1";
+  if m < branches then invalid_arg "Instances.harpoon_nested: m < branches";
+  if eps < 0 then invalid_arg "Instances.harpoon_nested: eps < 0";
+  let b = builder () in
+  let root = add b ~parent:(-1) ~f:0 ~n:0 in
+  let rec level ~parent remaining =
+    for _ = 1 to branches do
+      let a = add b ~parent ~f:(m / branches) ~n:0 in
+      let bb = add b ~parent:a ~f:eps ~n:0 in
+      if remaining = 1 then ignore (add b ~parent:bb ~f:m ~n:0)
+      else begin
+        let r' = add b ~parent:bb ~f:eps ~n:0 in
+        level ~parent:r' (remaining - 1)
+      end
+    done
+  in
+  level ~parent:root levels;
+  build b
+
+let harpoon ~branches ~m ~eps = harpoon_nested ~branches ~levels:1 ~m ~eps
+
+let theorem1_ratio ~branches ~levels ~m ~eps =
+  let tree = harpoon_nested ~branches ~levels ~m ~eps in
+  let po = Postorder_opt.best_memory tree in
+  let opt = Liu_exact.min_memory tree in
+  float_of_int po /. float_of_int opt
+
+let two_partition_gadget a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Instances.two_partition_gadget: empty";
+  Array.iter
+    (fun x -> if x <= 0 then invalid_arg "Instances.two_partition_gadget: a_i <= 0")
+    a;
+  let s = Array.fold_left ( + ) 0 a in
+  if s mod 2 <> 0 then invalid_arg "Instances.two_partition_gadget: odd sum";
+  let b = builder () in
+  let root = add b ~parent:(-1) ~f:0 ~n:0 in
+  Array.iter
+    (fun ai ->
+      let ti = add b ~parent:root ~f:ai ~n:0 in
+      ignore (add b ~parent:ti ~f:s ~n:0))
+    a;
+  let tbig = add b ~parent:root ~f:s ~n:0 in
+  ignore (add b ~parent:tbig ~f:(s / 2) ~n:0);
+  (build b, 2 * s, s / 2)
+
+let chain ~length ~f ~n =
+  if length < 1 then invalid_arg "Instances.chain: length < 1";
+  let parent = Array.init length (fun i -> i - 1) in
+  Tree.make ~parent ~f:(Array.make length f) ~n:(Array.make length n)
+
+let star ~branches ~f_root ~f_leaf ~n =
+  let p = branches + 1 in
+  let parent = Array.init p (fun i -> if i = 0 then -1 else 0) in
+  let f = Array.init p (fun i -> if i = 0 then f_root else f_leaf) in
+  Tree.make ~parent ~f ~n:(Array.make p n)
+
+let caterpillar ~length ~leaves_per_node ~f ~n =
+  if length < 1 then invalid_arg "Instances.caterpillar: length < 1";
+  let b = builder () in
+  let rec spine ~parent remaining =
+    if remaining > 0 then begin
+      let s = add b ~parent ~f ~n in
+      for _ = 1 to leaves_per_node do
+        ignore (add b ~parent:s ~f ~n)
+      done;
+      spine ~parent:s (remaining - 1)
+    end
+  in
+  spine ~parent:(-1) length;
+  build b
+
+let complete_binary ~levels ~f ~n =
+  if levels < 1 then invalid_arg "Instances.complete_binary: levels < 1";
+  let p = (1 lsl levels) - 1 in
+  let parent = Array.init p (fun i -> if i = 0 then -1 else (i - 1) / 2) in
+  Tree.make ~parent ~f:(Array.make p f) ~n:(Array.make p n)

@@ -1,0 +1,55 @@
+(** The paper's tree constructions, plus generic instance families used
+    throughout tests and benches. *)
+
+val harpoon : branches:int -> m:int -> eps:int -> Tree.t
+(** The one-level harpoon graph of Figure 3(a): a root with [branches]
+    chains below it, each chain carrying the input files
+    [M/b, eps, M] (in root-to-leaf order), all execution files zero. The
+    best postorder must keep the [b-1] sibling [M/b] files pending while
+    it finishes one whole branch (peak [M + eps + (b-1)M/b]) whereas the
+    optimal traversal first shrinks every branch to its [eps] file and
+    only then descends (peak [M + b*eps]).
+    @raise Invalid_argument if [branches < 1], [m < branches] or
+    [eps < 0]. *)
+
+val harpoon_nested : branches:int -> levels:int -> m:int -> eps:int -> Tree.t
+(** The iterated construction of Figure 3(b) and Theorem 1, reconstructed
+    from the bounds stated in the proof: every outer level chains each
+    branch's [eps] node to the root of a fresh inner harpoon (with an
+    [eps] input file); only the innermost level keeps the [M] leaves.
+    [levels = 1] is {!harpoon}. The best postorder accumulates
+    [(b-1)M/b] of pending sibling files per level
+    ([M + eps + L(b-1)M/b] in total) while the optimum only accumulates
+    [(b-1)eps] per level, so the ratio grows without bound with
+    [levels] — Theorem 1. *)
+
+val theorem1_ratio : branches:int -> levels:int -> m:int -> eps:int -> float
+(** [PostOrder memory / optimal memory] on {!harpoon_nested}, computed
+    with the real algorithms ({!Postorder_opt} and {!Liu_exact}). *)
+
+val two_partition_gadget : int array -> Tree.t * int * int
+(** The NP-completeness gadget of Figure 4 (Theorem 2), in its out-tree
+    reading. Given the 2-Partition integers [a_1 .. a_n] of even sum [S]:
+    [(tree, memory, io_bound)] with [memory = 2S] and [io_bound = S/2].
+    The tree has [2n + 3] nodes: the root [T_in] ([f = 0]) has the [n]
+    branch heads [T_i] ([f = a_i], each with one leaf child [Tout_i] of
+    file [S]) and [T_big] ([f = S], with one leaf child [Tout_big] of
+    file [S/2]) as children. [memory] equals the root's memory
+    requirement, and the instance admits an out-of-core traversal with
+    I/O volume at most [io_bound] iff some subset of the [a_i] sums to
+    exactly [S/2].
+    @raise Invalid_argument if the array is empty, some [a_i <= 0], or
+    the sum is odd. *)
+
+val chain : length:int -> f:int -> n:int -> Tree.t
+(** A path of [length] nodes with uniform weights. *)
+
+val star : branches:int -> f_root:int -> f_leaf:int -> n:int -> Tree.t
+(** A root with [branches] leaves. *)
+
+val caterpillar : length:int -> leaves_per_node:int -> f:int -> n:int -> Tree.t
+(** A chain whose every node additionally carries [leaves_per_node]
+    leaves — the worst-case family for naive traversal orders. *)
+
+val complete_binary : levels:int -> f:int -> n:int -> Tree.t
+(** Complete binary tree with [levels] levels ([2^levels - 1] nodes). *)

@@ -1,0 +1,51 @@
+(** Out-of-core traversals — Definitions 3 and 4 and Algorithm 2.
+
+    An out-of-core traversal is a pair [(σ, τ)]: [σ] is the execution
+    order (as in {!Traversal}) and [τ] schedules writes to secondary
+    memory. [tau.(i) = s] means the input file of node [i] is written out
+    at the beginning of step [s] (and read back right before [i]
+    executes); [tau.(i) = never] means the file stays in main memory.
+    A file is written at most once and read back at most once, so the
+    write volume [IO = sum of f_i over written i] measures the schedule
+    (Definition 3); total traffic is twice that.
+
+    Note: the paper's Algorithm 2 contains an obvious typo
+    ([if σ(i) >= step then FAILURE] where producedness must be checked);
+    this implementation enforces the mathematically stated constraints
+    (4)–(7) of Definition 3: a file can be written only after its parent
+    executed, only before its owner executes, and never for the root. *)
+
+type t = {
+  order : int array;  (** Execution order, [order.(step) = node]. *)
+  tau : int array;
+      (** [tau.(i)] is the write step of node [i]'s input file, or
+          {!never}. *)
+}
+(** An out-of-core schedule. *)
+
+val never : int
+(** Sentinel ([-1]) for "file never written to secondary memory". *)
+
+val in_core : int array -> t
+(** Schedule that performs no I/O. *)
+
+val io_volume : Tree.t -> t -> int
+(** Write volume of the schedule: sum of [f_i] over written files (does
+    not check feasibility). *)
+
+type check_result =
+  | Feasible of { io : int; peak : int }
+      (** Valid schedule; carries the I/O volume and the main-memory
+          peak. *)
+  | Infeasible_at of { step : int; needed : int; available : int }
+      (** Memory constraint (7) breaks at [step]. *)
+  | Invalid of { step : int; node : int; reason : string }
+      (** Ordering or write-schedule constraint (4)–(6) broken. *)
+
+val check : Tree.t -> memory:int -> t -> check_result
+(** Algorithm 2: simulate the schedule with [memory] words of main
+    memory. *)
+
+val validate_io : Tree.t -> memory:int -> t -> int
+(** [validate_io t ~memory s] is the I/O volume of a feasible schedule.
+    @raise Invalid_argument if the schedule is invalid or infeasible. *)

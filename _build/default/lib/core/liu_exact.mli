@@ -1,0 +1,24 @@
+(** Liu's exact MinMemory algorithm (Liu 1987), via hill–valley segments.
+
+    Works bottom-up on the in-tree reading of the workflow (leaves first,
+    root last — the natural direction for multifrontal assembly trees):
+    each subtree gets a canonical profile, children profiles are merged in
+    non-increasing segment-cost order, and the node's own execution is
+    appended. §III-C of the paper shows the resulting optimal in-tree
+    traversal, reversed, is an optimal out-tree traversal with the same
+    peak, which is what {!run} returns.
+
+    Worst-case complexity O(p²); typically O(p log p)-ish because
+    canonical profiles stay short. *)
+
+val run : Tree.t -> int * int array
+(** [run t] is [(memory, order)]: the optimal memory over {e all}
+    traversals and an (out-tree, top-down) traversal achieving it. *)
+
+val min_memory : Tree.t -> int
+(** First component of {!run}. *)
+
+val profiles : Tree.t -> Segments.t array
+(** Canonical optimal profile of every subtree (in-tree direction),
+    exposed for tests and for the MinIO analysis. [.(i)] starts at 0 and
+    ends at [f i]. *)

@@ -1,0 +1,263 @@
+type policy = Lsnf | First_fit | Best_fit | First_fill | Best_fill | Best_k of int
+
+let policy_name = function
+  | Lsnf -> "LSNF"
+  | First_fit -> "First Fit"
+  | Best_fit -> "Best Fit"
+  | First_fill -> "First Fill"
+  | Best_fill -> "Best Fill"
+  | Best_k k -> Printf.sprintf "Best %d Comb." k
+
+let all_policies =
+  List.map
+    (fun p -> (policy_name p, p))
+    [ Lsnf; First_fit; Best_fit; First_fill; Best_fill; Best_k 5 ]
+
+(* --- policy selection ---------------------------------------------------
+   [select policy s deficit] returns the (indices into [s] of the) files to
+   evict, where [s] lists candidate (node, size) pairs ordered latest-use
+   first and sizes are positive. The returned set's total size is at least
+   [deficit] whenever [s]'s total is. *)
+
+let select policy s deficit =
+  let total = Array.fold_left (fun acc (_, f) -> acc + f) 0 s in
+  if total < deficit then None
+  else begin
+    let chosen = ref [] in
+    let remaining = ref deficit in
+    let available = Array.map (fun x -> (true, x)) s in
+    let take i =
+      let _, (_, f) = available.(i) in
+      available.(i) <- (false, snd available.(i));
+      chosen := i :: !chosen;
+      remaining := !remaining - f
+    in
+    let lsnf_rest () =
+      Array.iteri
+        (fun i (free, (_, f)) ->
+          if free && !remaining > 0 && f > 0 then take i)
+        available
+    in
+    (match policy with
+    | Lsnf -> lsnf_rest ()
+    | First_fit -> begin
+        (* first file at least as large as the deficit; LSNF otherwise *)
+        let found = ref false in
+        Array.iteri
+          (fun i (free, (_, f)) -> if free && (not !found) && f >= !remaining then begin
+               found := true;
+               take i
+             end)
+          available;
+        if not !found then lsnf_rest ()
+      end
+    | Best_fit ->
+        (* repeatedly the file with size closest to the remaining deficit;
+           ties broken towards the front of S (latest use) *)
+        let progress = ref true in
+        while !remaining > 0 && !progress do
+          let best = ref (-1) in
+          let best_d = ref max_int in
+          Array.iteri
+            (fun i (free, (_, f)) ->
+              if free && f > 0 then begin
+                let d = abs (!remaining - f) in
+                if d < !best_d then begin
+                  best_d := d;
+                  best := i
+                end
+              end)
+            available;
+          if !best < 0 then progress := false else take !best
+        done;
+        if !remaining > 0 then lsnf_rest ()
+    | First_fill ->
+        (* repeatedly the first file strictly smaller than the deficit *)
+        let progress = ref true in
+        while !remaining > 0 && !progress do
+          let found = ref (-1) in
+          Array.iteri
+            (fun i (free, (_, f)) ->
+              if free && !found < 0 && f > 0 && f < !remaining then found := i)
+            available;
+          if !found < 0 then progress := false else take !found
+        done;
+        if !remaining > 0 then lsnf_rest ()
+    | Best_fill ->
+        (* repeatedly the largest file strictly smaller than the deficit *)
+        let progress = ref true in
+        while !remaining > 0 && !progress do
+          let best = ref (-1) in
+          let best_f = ref (-1) in
+          Array.iteri
+            (fun i (free, (_, f)) ->
+              if free && f > 0 && f < !remaining && f > !best_f then begin
+                best_f := f;
+                best := i
+              end)
+            available;
+          if !best < 0 then progress := false else take !best
+        done;
+        if !remaining > 0 then lsnf_rest ()
+    | Best_k k ->
+        (* repeatedly the subset of the first k free files whose total is
+           closest to the deficit; ties prefer the larger total so the
+           loop always progresses *)
+        let progress = ref true in
+        while !remaining > 0 && !progress do
+          let front = ref [] in
+          Array.iteri
+            (fun i (free, (_, f)) ->
+              if free && f > 0 && List.length !front < k then front := (i, f) :: !front)
+            available;
+          let front = Array.of_list (List.rev !front) in
+          let m = Array.length front in
+          if m = 0 then progress := false
+          else begin
+            let best_mask = ref 0 and best_d = ref max_int and best_sum = ref 0 in
+            for mask = 1 to (1 lsl m) - 1 do
+              let sum = ref 0 in
+              for b = 0 to m - 1 do
+                if mask land (1 lsl b) <> 0 then sum := !sum + snd front.(b)
+              done;
+              let d = abs (!remaining - !sum) in
+              if d < !best_d || (d = !best_d && !sum > !best_sum) then begin
+                best_d := d;
+                best_sum := !sum;
+                best_mask := mask
+              end
+            done;
+            if !best_sum = 0 then progress := false
+            else
+              for b = 0 to m - 1 do
+                if !best_mask land (1 lsl b) <> 0 then take (fst front.(b))
+              done
+          end
+        done;
+        if !remaining > 0 then lsnf_rest ());
+    Some !chosen
+  end
+
+(* --- simulation --------------------------------------------------------- *)
+
+let run tree ~memory ~order policy =
+  let p = Tree.size tree in
+  if not (Traversal.is_valid_order tree order) then
+    invalid_arg "Minio.run: invalid traversal";
+  let pos = Array.make p 0 in
+  Array.iteri (fun step i -> pos.(i) <- step) order;
+  let tau = Array.make p Io_schedule.never in
+  (* resident ready files; evicted.(i) set when the file is out *)
+  let resident = Array.make p false in
+  let evicted = Array.make p false in
+  resident.(tree.Tree.root) <- true;
+  let mavail = ref (memory - tree.Tree.f.(tree.Tree.root)) in
+  let feasible = ref true in
+  let step = ref 0 in
+  while !feasible && !step < p do
+    let k = !step in
+    let j = order.(k) in
+    (* total free memory that executing j requires: its working set minus
+       its input file if the latter is already resident *)
+    let need = Tree.mem_req tree j - if evicted.(j) then 0 else tree.Tree.f.(j) in
+    if need > !mavail then begin
+      let deficit = need - !mavail in
+      (* candidates: resident produced files other than j's input, latest
+         consumption first; zero-size files are useless to evict *)
+      let cand = ref [] in
+      for i = 0 to p - 1 do
+        if resident.(i) && i <> j && tree.Tree.f.(i) > 0 then
+          cand := (i, tree.Tree.f.(i)) :: !cand
+      done;
+      let s =
+        Array.of_list (List.sort (fun (a, _) (b, _) -> compare pos.(b) pos.(a)) !cand)
+      in
+      match select policy s deficit with
+      | None -> feasible := false
+      | Some indices ->
+          List.iter
+            (fun idx ->
+              let i, fi = s.(idx) in
+              resident.(i) <- false;
+              evicted.(i) <- true;
+              tau.(i) <- k;
+              mavail := !mavail + fi)
+            indices
+    end;
+    if !feasible then begin
+      (* read j's input back if needed, execute, produce children files *)
+      if evicted.(j) then begin
+        evicted.(j) <- false;
+        resident.(j) <- false;
+        mavail := !mavail - tree.Tree.f.(j)
+      end
+      else resident.(j) <- false;
+      mavail := !mavail + tree.Tree.f.(j) - Tree.sum_children_f tree j;
+      Array.iter (fun c -> resident.(c) <- true) tree.Tree.children.(j);
+      incr step
+    end
+  done;
+  if !feasible then Some { Io_schedule.order; tau } else None
+
+let io_volume tree ~memory ~order policy =
+  Option.map (Io_schedule.io_volume tree) (run tree ~memory ~order policy)
+
+let divisible_lower_bound tree ~memory ~order =
+  let p = Tree.size tree in
+  if not (Traversal.is_valid_order tree order) then
+    invalid_arg "Minio.divisible_lower_bound: invalid traversal";
+  let pos = Array.make p 0 in
+  Array.iteri (fun step i -> pos.(i) <- step) order;
+  (* resident fraction (in size units) of each produced, unconsumed file *)
+  let resident = Array.make p 0.0 in
+  resident.(tree.Tree.root) <- float_of_int tree.Tree.f.(tree.Tree.root);
+  let resident_total = ref resident.(tree.Tree.root) in
+  let io = ref 0.0 in
+  let feasible = ref true in
+  let step = ref 0 in
+  while !feasible && !step < p do
+    let j = order.(!step) in
+    let fj = float_of_int tree.Tree.f.(j) in
+    (* bring j's input fully back, then make room for the working set *)
+    let bring = fj -. resident.(j) in
+    resident.(j) <- fj;
+    resident_total := !resident_total +. bring;
+    let working =
+      float_of_int (tree.Tree.n.(j) + Tree.sum_children_f tree j) +. fj
+    in
+    let excess = !resident_total -. fj +. working -. float_of_int memory in
+    if excess > 1e-9 then begin
+      (* evict [excess] units from the files used latest *)
+      let cand = ref [] in
+      for i = 0 to p - 1 do
+        if i <> j && resident.(i) > 0.0 then cand := i :: !cand
+      done;
+      let cand =
+        List.sort (fun a b -> compare pos.(b) pos.(a)) !cand
+      in
+      let remaining = ref excess in
+      List.iter
+        (fun i ->
+          if !remaining > 1e-9 then begin
+            let take = min resident.(i) !remaining in
+            resident.(i) <- resident.(i) -. take;
+            resident_total := !resident_total -. take;
+            io := !io +. take;
+            remaining := !remaining -. take
+          end)
+        cand;
+      if !remaining > 1e-9 then feasible := false
+    end;
+    if !feasible then begin
+      (* consume j's input, produce the children files *)
+      resident_total := !resident_total -. resident.(j);
+      resident.(j) <- 0.0;
+      Array.iter
+        (fun c ->
+          resident.(c) <- float_of_int tree.Tree.f.(c);
+          resident_total := !resident_total +. resident.(c))
+        tree.Tree.children.(j);
+      incr step
+    end
+  done;
+  if !feasible then Some !io else None

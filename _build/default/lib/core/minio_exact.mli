@@ -1,0 +1,35 @@
+(** Exact MinIO for a {e fixed} traversal by branch and bound.
+
+    Problem (i) of Theorem 2 is NP-complete, so no polynomial algorithm is
+    expected; this solver still pushes the practical reach far beyond the
+    2^p subset enumeration of {!Brute_force.min_io_given_order} by
+    exploiting two structural facts:
+
+    - evictions may be assumed to happen only at {e deficit steps} (an
+      eviction performed earlier than needed can be postponed to the
+      deficit it serves without changing the volume), and at a deficit
+      one never evicts a file that is read back before the next deficit;
+    - the divisible relaxation ({!Minio.divisible_lower_bound}) of the
+      residual instance lower-bounds the remaining integral cost, giving
+      an admissible pruning bound; the incumbent is initialized with the
+      best of the paper's six heuristics.
+
+    The search branches, at each deficit, on evict/keep decisions for the
+    resident candidates in latest-use-first order. Worst case remains
+    exponential; in practice trees of 30–60 nodes solve instantly, which
+    is enough to measure the heuristics' true optimality gap (reported by
+    the bench's [minio-gap] section). *)
+
+val given_order :
+  ?node_budget:int -> Tree.t -> memory:int -> order:int array -> int option
+(** Least I/O volume over all eviction schedules for this traversal;
+    [None] if infeasible. [node_budget] (default [2_000_000]) caps the
+    number of explored search nodes.
+    @raise Invalid_argument if the order is invalid.
+    @raise Failure if the budget is exhausted before the search
+    completes (the instance is genuinely hard). *)
+
+val optimality_gap :
+  Tree.t -> memory:int -> order:int array -> (Minio.policy * int * int) list
+(** For every paper heuristic: [(policy, heuristic I/O, exact I/O)] on
+    the given instance (only when both are feasible). *)

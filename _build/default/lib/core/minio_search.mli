@@ -1,0 +1,40 @@
+(** Searching over traversals for MinIO.
+
+    Figure 8 of the paper shows that the traversal fed to the eviction
+    heuristics matters as much as the heuristic itself (PostOrder beats
+    the memory-optimal MinMem traversal out of core). This module turns
+    that observation into a tool: generate a portfolio of candidate
+    traversals — the three algorithmic sources, postorders with perturbed
+    child orders, and random traversals — evaluate each with a policy,
+    and keep the best.
+
+    This is a practical upper-bound procedure for the NP-complete MinIO
+    problem (Theorem 2), complementing the divisible lower bound of
+    {!Minio.divisible_lower_bound}; the bench's [fig8] section reports
+    how much it gains over the fixed sources. *)
+
+type outcome = {
+  order : int array;  (** The best traversal found. *)
+  schedule : Io_schedule.t;  (** Its eviction schedule. *)
+  io : int;  (** Its I/O volume. *)
+  source : string;  (** Which candidate family produced it. *)
+}
+
+val candidates :
+  rng:Tt_util.Rng.t -> attempts:int -> Tree.t -> (string * int array) list
+(** The portfolio: ["postorder"], ["liu"], ["minmem"], plus [attempts]
+    perturbed postorders (["postorder~k"]: each node's children order is
+    randomly shuffled) and [attempts] uniformly random traversals
+    (["random~k"]). *)
+
+val run :
+  ?policy:Minio.policy ->
+  ?attempts:int ->
+  rng:Tt_util.Rng.t ->
+  Tree.t ->
+  memory:int ->
+  outcome option
+(** Best (traversal, schedule) over the portfolio under [policy] (default
+    {!Minio.First_fit}; [attempts] defaults to 8). [None] when no
+    candidate is feasible, i.e. [memory < max_mem_req]. Deterministic
+    given the generator state. *)

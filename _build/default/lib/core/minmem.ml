@@ -1,0 +1,30 @@
+module R = Tt_util.Rope
+
+let run_counting t =
+  let p = Tree.size t in
+  let mpeak_tbl = Array.make p Explore.infinity_mem in
+  let cache = Explore.make_cache t in
+  let mavail = ref 0 in
+  let mpeak = ref (Tree.max_mem_req t) in
+  let cut = ref [] in
+  let trav = ref R.empty in
+  let rounds = ref 0 in
+  while !mpeak < Explore.infinity_mem do
+    mavail := !mpeak;
+    incr rounds;
+    let r =
+      Explore.explore t ~mpeak_tbl ~cache t.Tree.root ~mavail:!mavail ~linit:!cut
+        ~trinit:!trav
+    in
+    if r.Explore.m_cut = Explore.infinity_mem then
+      (* cannot happen: mavail >= MemReq(root) from the first round on *)
+      invalid_arg "Minmem.run: root entry failed";
+    cut := r.Explore.cut;
+    trav := r.Explore.trav;
+    mpeak := r.Explore.mpeak
+  done;
+  ((!mavail, R.to_array !trav), !rounds)
+
+let run t = fst (run_counting t)
+let min_memory t = fst (run t)
+let iterations t = snd (run_counting t)

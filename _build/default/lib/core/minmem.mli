@@ -1,0 +1,25 @@
+(** The [MinMem] exact MinMemory algorithm — Algorithm 4, the paper's
+    main algorithmic contribution.
+
+    [MinMem] drives {!Explore}: starting from the trivial lower bound
+    [max_i MemReq i], it repeatedly re-explores the tree with exactly the
+    memory that the previous attempt reported as necessary to visit one
+    more node, resuming each time from the previously reached cut. The
+    available memory therefore only ever takes values that are exact
+    peak requirements of partial states, and the first value with which
+    the exploration completes is the optimal memory.
+
+    Same worst-case complexity as Liu's exact algorithm, O(p²), but
+    faster in practice on assembly trees (reproduced by the Figure 6
+    bench). *)
+
+val run : Tree.t -> int * int array
+(** [run t] is [(memory, order)]: the optimal memory over all traversals
+    and a traversal achieving it. *)
+
+val min_memory : Tree.t -> int
+(** First component of {!run}. *)
+
+val iterations : Tree.t -> int
+(** Number of [Explore] rounds performed by {!run} — exposed for the
+    complexity experiments. *)

@@ -1,0 +1,61 @@
+(** Memory-constrained parallel tree traversal — the direction the
+    paper's conclusion sketches ("multicore platforms … call for
+    memory-aware computational kernels at every level"), built on the
+    same Equation (1) model.
+
+    Tasks now carry a duration; [procs] workers execute ready tasks
+    concurrently under a shared memory budget. While task [i] runs it
+    holds its whole working set [MemReq i]; a produced-but-unstarted file
+    holds [f i], exactly as in the sequential model — a parallel schedule
+    with one processor and the sequential peak of memory degenerates to a
+    traversal.
+
+    {!list_schedule} is a greedy event-driven list scheduler: at every
+    completion time it starts ready tasks in priority order (longest
+    critical path first by default) as long as a processor and the memory
+    both allow. The result is validated step by step; the bench's
+    [parallel] section sweeps processors × memory over the corpus and
+    shows the memory-bound speedup saturation. *)
+
+type event = {
+  node : int;  (** The task. *)
+  proc : int;  (** Worker index in [0, procs). *)
+  start : int;  (** Start time. *)
+  finish : int;  (** Completion time ([start + work node]). *)
+}
+
+type schedule = {
+  events : event array;  (** One event per task, in start order. *)
+  makespan : int;  (** Completion time of the last task. *)
+  peak_memory : int;  (** Maximum memory in use at any instant. *)
+}
+
+val list_schedule :
+  ?priority:(int -> int) ->
+  Tree.t ->
+  procs:int ->
+  memory:int ->
+  work:(int -> int) ->
+  schedule option
+(** Greedy schedule of the out-tree with [procs] workers within [memory]
+    words. [work i >= 1] is task [i]'s duration; [priority] defaults to
+    the critical-path (bottom) level (higher runs first). [None] when the
+    greedy scheduler deadlocks: a greedy prefix can strand too many open
+    files, just as greedy sequential traversals can — that is the
+    MinMemory phenomenon. Completion is guaranteed when
+    [memory >= Tree.total_f tree + slack for the running extras], and in
+    practice whenever [memory] is at least the sequential optimum; the
+    bench sweeps budgets relative to {!Minmem.min_memory}.
+    @raise Invalid_argument if [procs < 1] or some [work i < 1]. *)
+
+val critical_path : Tree.t -> work:(int -> int) -> int
+(** Length of the heaviest root-to-leaf chain — a makespan lower bound
+    with unlimited processors and memory. *)
+
+val sequential_makespan : Tree.t -> work:(int -> int) -> int
+(** Sum of all durations — the single-processor makespan. *)
+
+val validate : Tree.t -> memory:int -> work:(int -> int) -> schedule -> bool
+(** Independent re-check of a schedule: precedence (a task starts after
+    its parent finishes), processor exclusivity, and the memory bound at
+    every time instant. Used by the tests. *)

@@ -1,0 +1,37 @@
+(** The classical pebble games that MinMemory generalizes (§II-B of the
+    paper).
+
+    Sethi–Ullman (1970): evaluating an expression tree with the fewest
+    registers. In pebble terms every node costs one pebble and a pebble
+    moves from the children to the parent — the {e replacement} model of
+    Figure 1 with unit file sizes. The minimum register count is the
+    classical Sethi–Ullman labeling (for binary trees, the Strahler
+    number), and the equivalence
+
+    [min registers = Minmem.min_memory (unit replacement embedding)]
+
+    is machine-checked in the tests — the paper's remark that MinMemory
+    with trees stays polynomial where general DAGs are NP-hard, made
+    executable. *)
+
+val sethi_ullman : Tree.t -> int
+(** The Sethi–Ullman label of the root for the tree's {e shape} (weights
+    are ignored): leaves need 1 register; a node whose children need
+    [r_1 >= r_2 >= ...] needs [max_k (r_k + k - 1)]. For binary trees
+    this is the Strahler number. *)
+
+val strahler : Tree.t -> int
+(** The Strahler number of the tree's shape: leaves 1; a node with
+    children of Strahler numbers [s_1 >= s_2 >= ...] has
+    [max s_1 (s_2 + 1)] (and [s_1] if unary).
+    For binary trees it coincides with {!sethi_ullman}. *)
+
+val unit_replacement_tree : Tree.t -> Tree.t
+(** The tree's shape embedded in the current model as a unit-size
+    replacement-game instance ({!Transform.of_replacement_model} with
+    every file of size 1): [Minmem.min_memory] of the result is the
+    minimum number of simultaneously live pebbles. *)
+
+val min_registers : Tree.t -> int
+(** [Minmem.min_memory (unit_replacement_tree t)] — the exact pebble
+    optimum, equal to {!sethi_ullman} on every tree (tested). *)

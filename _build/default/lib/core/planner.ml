@@ -1,0 +1,54 @@
+type t =
+  | In_core of { order : int array; peak : int }
+  | Out_of_core of {
+      schedule : Io_schedule.t;
+      io : int;
+      source : string;
+      lower_bound : float;
+    }
+  | Infeasible of { floor : int }
+
+let plan ?(policy = Minio.First_fit) ?(attempts = 8) ?(seed = 0) tree ~memory =
+  let floor = Tree.max_mem_req tree in
+  if memory < floor then Infeasible { floor }
+  else begin
+    let peak, order = Minmem.run tree in
+    if peak <= memory then begin
+      (match Traversal.check tree ~memory order with
+      | Traversal.Feasible _ -> ()
+      | _ -> invalid_arg "Planner.plan: internal validation failure");
+      In_core { order; peak }
+    end
+    else begin
+      let rng = Tt_util.Rng.create seed in
+      match Minio_search.run ~policy ~attempts ~rng tree ~memory with
+      | None -> Infeasible { floor }
+      | Some best ->
+          (match Io_schedule.check tree ~memory best.Minio_search.schedule with
+          | Io_schedule.Feasible _ -> ()
+          | _ -> invalid_arg "Planner.plan: internal validation failure");
+          let lower_bound =
+            match
+              Minio.divisible_lower_bound tree ~memory ~order:best.Minio_search.order
+            with
+            | Some lb -> lb
+            | None -> 0.
+          in
+          Out_of_core
+            { schedule = best.Minio_search.schedule;
+              io = best.Minio_search.io;
+              source = best.Minio_search.source;
+              lower_bound
+            }
+    end
+  end
+
+let describe = function
+  | In_core { peak; _ } ->
+      Printf.sprintf "in-core: optimal traversal, peak %d words, no I/O" peak
+  | Out_of_core { io; source; lower_bound; _ } ->
+      Printf.sprintf
+        "out-of-core: %d words of I/O (traversal source: %s; divisible bound %.1f)" io
+        source lower_bound
+  | Infeasible { floor } ->
+      Printf.sprintf "infeasible: the largest working set needs %d words" floor

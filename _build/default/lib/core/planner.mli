@@ -1,0 +1,39 @@
+(** The one-call planning API a solver would embed.
+
+    Given a tree workflow and a main-memory budget, decide how to run it:
+
+    - if the budget covers the optimal in-core peak ({!Minmem}), return
+      an optimal in-core traversal — no I/O;
+    - otherwise, if the budget covers the largest single working set,
+      search traversal sources and eviction heuristics
+      ({!Minio_search}) and return the cheapest out-of-core schedule
+      found;
+    - otherwise the instance is infeasible and the working-set floor is
+      reported.
+
+    Everything returned is validated against the paper's Algorithm 1/2
+    checkers before being handed out. *)
+
+type t =
+  | In_core of { order : int array; peak : int }
+      (** An optimal traversal fitting the budget ([peak <= memory]). *)
+  | Out_of_core of {
+      schedule : Io_schedule.t;  (** Traversal + eviction schedule. *)
+      io : int;  (** Write volume of the schedule. *)
+      source : string;  (** Traversal family that won the search. *)
+      lower_bound : float;
+          (** Divisible-relaxation lower bound for the winning traversal
+              — [io / lower_bound] bounds the plan's suboptimality for
+              that traversal. *)
+    }
+  | Infeasible of { floor : int }
+      (** No schedule exists below the largest working set [floor]. *)
+
+val plan :
+  ?policy:Minio.policy -> ?attempts:int -> ?seed:int -> Tree.t -> memory:int -> t
+(** Plan an execution within [memory] words. [policy] defaults to
+    {!Minio.First_fit}, [attempts] to 8 candidate traversals per random
+    family, [seed] to 0 (the search is deterministic given the seed). *)
+
+val describe : t -> string
+(** One-line human-readable summary. *)

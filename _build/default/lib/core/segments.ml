@@ -1,0 +1,116 @@
+type node_seq = Empty | Single of int | Cat of node_seq * node_seq
+
+let seq_empty = Empty
+let seq_single i = Single i
+
+let seq_cat a b =
+  match (a, b) with Empty, x -> x | x, Empty -> x | _ -> Cat (a, b)
+
+let seq_to_list s =
+  (* explicit worklist to stay stack-safe on chain-shaped ropes *)
+  let acc = ref [] in
+  let work = ref [ s ] in
+  (* collect in reverse by walking right-to-left *)
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | Empty :: rest -> work := rest
+    | Single i :: rest ->
+        acc := i :: !acc;
+        work := rest
+    | Cat (a, b) :: rest -> work := b :: a :: rest
+  done;
+  (* we pushed b before a, so nodes were visited right-to-left and [acc]
+     is already in left-to-right order *)
+  !acc
+
+type segment = { hill : int; valley : int; seq : node_seq }
+type t = segment list
+
+let cost s = s.hill - s.valley
+
+let fuse a b =
+  { hill = max a.hill b.hill; valley = b.valley; seq = seq_cat a.seq b.seq }
+
+let canonicalize segments =
+  (* Stack holds the canonical prefix in reverse order. Two fusion rules:
+     (1) costs must strictly decrease — one never pauses before a segment
+     at least as expensive as its predecessor; (2) valleys must strictly
+     increase (suffix-minima decomposition) — pausing at a valley that a
+     later segment descends below is never useful, and increasing valleys
+     are exactly the property that makes the decreasing-cost merge rule
+     of {!merge} optimal (see the exchange argument in the tests). *)
+  let push stack s =
+    let rec go stack s =
+      match stack with
+      | top :: rest when cost s >= cost top || top.valley >= s.valley ->
+          go rest (fuse top s)
+      | _ -> s :: stack
+    in
+    go stack s
+  in
+  List.rev (List.fold_left push [] segments)
+
+let singleton ~hill ~valley ~node =
+  if hill < valley then invalid_arg "Segments.singleton: hill < valley";
+  [ { hill; valley; seq = seq_single node } ]
+
+let merge profiles =
+  match profiles with
+  | [] -> []
+  | [ p ] -> p
+  | _ ->
+      let arr = Array.of_list (List.map Array.of_list profiles) in
+      let k = Array.length arr in
+      let idx = Array.make k 0 in
+      (* current retained contribution of each child (0 before its first
+         segment completes) *)
+      let contrib = Array.make k 0 in
+      let total = ref 0 in
+      (* max-heap on segment cost: Int_heap is a min-heap, so negate *)
+      let heap = Tt_util.Int_heap.create k in
+      for c = 0 to k - 1 do
+        if Array.length arr.(c) > 0 then
+          Tt_util.Int_heap.insert heap c (-cost arr.(c).(0))
+      done;
+      let out = ref [] in
+      while not (Tt_util.Int_heap.is_empty heap) do
+        let c, _ = Tt_util.Int_heap.pop_min heap in
+        let s = arr.(c).(idx.(c)) in
+        let base = !total - contrib.(c) in
+        out := { hill = s.hill + base; valley = s.valley + base; seq = s.seq } :: !out;
+        total := base + s.valley;
+        contrib.(c) <- s.valley;
+        idx.(c) <- idx.(c) + 1;
+        if idx.(c) < Array.length arr.(c) then
+          Tt_util.Int_heap.insert heap c (-cost arr.(c).(idx.(c)))
+      done;
+      canonicalize (List.rev !out)
+
+let append_parent prof ~hill ~valley ~node =
+  if hill < valley then invalid_arg "Segments.append_parent: hill < valley";
+  canonicalize (prof @ [ { hill; valley; seq = seq_single node } ])
+
+let peak prof = List.fold_left (fun acc s -> max acc s.hill) 0 prof
+
+let final_valley prof =
+  match List.rev prof with [] -> 0 | s :: _ -> s.valley
+
+let nodes prof =
+  List.concat_map (fun s -> seq_to_list s.seq) prof
+
+let check_canonical prof =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> cost a > cost b && a.valley < b.valley && go rest
+  in
+  List.for_all (fun s -> s.hill >= s.valley) prof && go prof
+
+let of_step_profile ~usage ~after ~order =
+  let segs =
+    Array.to_list
+      (Array.mapi
+         (fun k u -> { hill = u; valley = after.(k); seq = seq_single order.(k) })
+         usage)
+  in
+  canonicalize segs

@@ -1,0 +1,98 @@
+(** Hill–valley segment calculus — the substrate of Liu's exact
+    MinMemory algorithm (Liu 1987, "An application of generalized tree
+    pebbling to sparse matrix factorization"; §IV-B of the paper).
+
+    The memory profile of a (bottom-up, in-tree) traversal of a subtree
+    starts at 0, ends at the subtree's output size, and oscillates in
+    between. Splitting it at its {e suffix minima} yields {e segments}
+    [(hill, valley)]: the profile climbs to [hill], then descends to
+    [valley]. A profile is kept {e canonical}, meaning two monotonicity
+    properties hold simultaneously:
+
+    - costs [hill - valley] strictly decrease: one never pauses before a
+      segment at least as expensive as its predecessor (fusing on cost
+      ties is required for the merge theorem, see the tie analysis in the
+      tests);
+    - valleys strictly increase (suffix-minima decomposition): pausing at
+      a valley that a later segment descends below is never useful. This
+      property makes the exchange argument behind {!merge} independent of
+      the chains' current contributions: with increasing valleys the
+      relative-cost comparison reduces to the absolute cost
+      [hill - valley].
+
+    Liu's combination theorem: an optimal traversal of a node is obtained
+    by interleaving the canonical segments of its children's optimal
+    profiles in non-increasing cost order (a k-way merge, which preserves
+    each child's internal order because canonical costs decrease within a
+    child), then appending the node's own execution. The peak of the whole
+    tree is the maximum hill of the root's canonical profile. *)
+
+type node_seq
+(** Sequence of node indices with O(1) concatenation (a rope), so that
+    traversal reconstruction stays O(p) per tree level even on chains. *)
+
+val seq_empty : node_seq
+(** The empty sequence. *)
+
+val seq_single : int -> node_seq
+(** One-element sequence. *)
+
+val seq_cat : node_seq -> node_seq -> node_seq
+(** O(1) concatenation. *)
+
+val seq_to_list : node_seq -> int list
+(** Flatten, left to right, in O(length). *)
+
+type segment = {
+  hill : int;  (** Maximum memory reached within the segment. *)
+  valley : int;  (** Memory retained when the segment completes. *)
+  seq : node_seq;  (** Nodes executed by the segment, in order. *)
+}
+(** One hill–valley segment; memory values are absolute within the
+    subtree's own profile. Invariant: [hill >= valley]. *)
+
+type t = segment list
+(** A canonical profile: costs [hill - valley] strictly decreasing. *)
+
+val cost : segment -> int
+(** [hill - valley]. *)
+
+val canonicalize : segment list -> t
+(** Fuse adjacent segments until costs strictly decrease. The input must
+    be a profile read left to right (each segment starting where the
+    previous one ended). *)
+
+val singleton : hill:int -> valley:int -> node:int -> t
+(** Profile of a single execution. *)
+
+val merge : t list -> t
+(** Interleave sibling profiles by non-increasing segment cost. The
+    result is expressed absolutely w.r.t. the sum of the children's
+    contributions (each idle child contributes its current valley) and is
+    canonical. *)
+
+val append_parent : t -> hill:int -> valley:int -> node:int -> t
+(** [append_parent prof ~hill ~valley ~node] extends a merged children
+    profile with the parent's execution (absolute values) and
+    re-canonicalizes. *)
+
+val peak : t -> int
+(** Maximum hill: the minimum memory needed to run the profile; 0 for
+    the empty profile. (Canonical profiles have decreasing costs, not
+    necessarily decreasing hills.) *)
+
+val final_valley : t -> int
+(** Valley of the last segment; 0 for the empty profile. *)
+
+val nodes : t -> int list
+(** All nodes of the profile, in execution order. *)
+
+val check_canonical : t -> bool
+(** Whether costs strictly decrease and hills dominate valleys — the
+    representation invariant, exposed for property tests. *)
+
+val of_step_profile : usage:int array -> after:int array -> order:int array -> t
+(** Build the canonical profile of an arbitrary traversal from its
+    per-step usage ([usage.(k)] while executing [order.(k)]) and retained
+    memory after each step ([after.(k)]). Used by tests to compare
+    algorithmic profiles with simulated ones. *)

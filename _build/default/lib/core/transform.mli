@@ -1,0 +1,59 @@
+(** Model variants and reductions — §III-C of the paper.
+
+    Three constructions: the in-tree/out-tree duality (reversing a valid
+    bottom-up traversal yields a valid top-down traversal of the same tree
+    with the same peak, and conversely), the simulation of the pebble game
+    {e with replacement} (Figure 1), and the simulation of Liu's two-node
+    model of sparse LU factorization (Figure 2). Each reduction comes with
+    a direct simulator of the source model so that the equivalences are
+    machine-checked in the tests rather than taken on faith. *)
+
+val reverse_traversal : int array -> int array
+(** The paper's [σ~(i) = p - σ(i) + 1]: the order array reversed. An
+    involution mapping valid in-tree traversals to valid out-tree
+    traversals of the same tree and back. *)
+
+val is_valid_in_tree_order : Tree.t -> int array -> bool
+(** Whether the array is a permutation executing every node after all its
+    children (the bottom-up, multifrontal direction). *)
+
+val in_tree_peak : Tree.t -> int array -> int
+(** Peak memory of a valid bottom-up traversal under in-tree semantics:
+    executing [i] holds the output files of all completed-but-unconsumed
+    subtrees plus [n i] and the output [f i] being produced. Theorem
+    (§III-C): equals [Traversal.peak] of the reversed order.
+    @raise Invalid_argument if the order is not a valid in-tree
+    traversal. *)
+
+val min_memory_in_tree : Tree.t -> int * int array
+(** Optimal memory together with an optimal {e bottom-up} traversal
+    (the multifrontal direction) — {!Liu_exact.run} reversed. *)
+
+val of_replacement_model : parent:int array -> f:int array -> Tree.t
+(** Figure 1: embed a pebble-game-with-replacement instance (processing
+    node [i] needs [max (f i) (sum of children f)] in place) into the
+    current model by giving node [i] the execution file
+    [n i = - min (f i) (sum of children f)]. Peaks of every traversal are
+    preserved exactly (see {!replacement_peak}). *)
+
+val replacement_peak : parent:int array -> f:int array -> order:int array -> int
+(** Direct simulation of the replacement model: peak over steps of
+    [sum of ready files other than i + max (f i) (sum of children f)].
+    @raise Invalid_argument on an invalid order. *)
+
+val of_liu_model :
+  parent:int array -> n_plus:int array -> n_minus:int array -> Tree.t
+(** Figure 2: embed Liu's two-node-per-column model ([n x+] = memory peak
+    while processing column [x], [n x-] = storage of the subtree after)
+    into the current model by merging each pair back into one node with
+    [f x = n x-] and
+    [n x = n x+ - n x- - sum of n c- over children c].
+    @raise Invalid_argument if some [n_minus] is negative. *)
+
+val liu_model_peak :
+  parent:int array -> n_plus:int array -> n_minus:int array -> order:int array -> int
+(** Direct simulation of Liu's model on a bottom-up traversal: executing
+    [x] costs [n x+] on top of the [n j-] of the completed subtrees
+    hanging elsewhere. Equals {!in_tree_peak} of {!of_liu_model} on the
+    same order.
+    @raise Invalid_argument on an invalid bottom-up order. *)

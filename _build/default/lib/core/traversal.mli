@@ -1,0 +1,49 @@
+(** In-core traversals — Definitions 1 and 2 and Algorithm 1 of the paper.
+
+    A traversal is a permutation of the nodes, represented here as an
+    [int array] [order] with [order.(step) = node] (step 0 first). It is
+    {e valid} when every node appears exactly once and after its parent
+    (Equation (2)); it is {e feasible for memory M} when additionally the
+    memory constraint (Equation (3)) holds at every step.
+
+    The memory in use while step [k] executes node [i] is
+    [sum of f_j over ready nodes j + n_i + sum of f_c over children c of i]
+    where the {e ready} nodes are those produced but not yet executed
+    (including [i] itself). The {e peak} of a traversal is the maximum of
+    this quantity over all steps; a traversal is feasible for [M] iff its
+    peak is at most [M]. *)
+
+type check_result =
+  | Feasible of int  (** Valid and within memory; carries the peak. *)
+  | Infeasible_at of { step : int; needed : int; available : int }
+      (** Valid ordering, but the memory constraint breaks at [step]. *)
+  | Invalid_order of { step : int; node : int; reason : string }
+      (** Not a permutation respecting precedence. *)
+
+val check : Tree.t -> memory:int -> int array -> check_result
+(** Algorithm 1: simulate the traversal with [memory] words of main
+    memory. *)
+
+val is_valid_order : Tree.t -> int array -> bool
+(** Whether the array is a permutation of the nodes in which every node
+    follows its parent (no memory constraint). *)
+
+val peak : Tree.t -> int array -> int
+(** Peak memory of a valid traversal (the minimum [M] making it feasible).
+    @raise Invalid_argument if the order is not a valid traversal. *)
+
+val profile : Tree.t -> int array -> int array
+(** [profile t order] gives the memory in use at each step of a valid
+    traversal ([profile.(k)] corresponds to executing [order.(k)]).
+    @raise Invalid_argument if the order is invalid. *)
+
+val top_down_order : Tree.t -> int array
+(** A canonical valid traversal: breadth-first from the root. *)
+
+val all_orders : Tree.t -> int array list
+(** Every valid traversal — exponential, for oracle tests on tiny trees.
+    @raise Invalid_argument if the tree has more than 10 nodes. *)
+
+val random_order : rng:Tt_util.Rng.t -> Tree.t -> int array
+(** A valid traversal sampled by repeatedly executing a uniformly random
+    ready node. *)

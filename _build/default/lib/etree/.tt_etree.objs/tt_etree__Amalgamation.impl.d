@@ -1,0 +1,1 @@
+lib/etree/amalgamation.ml: Array List

@@ -1,0 +1,1 @@
+lib/etree/amalgamation.mli:

@@ -1,0 +1,1 @@
+lib/etree/assembly.ml: Amalgamation Array Tt_core

@@ -1,0 +1,1 @@
+lib/etree/assembly.mli: Amalgamation Tt_core

@@ -1,0 +1,1 @@
+lib/etree/col_counts.ml: Array Tt_sparse

@@ -1,0 +1,1 @@
+lib/etree/col_counts.mli: Tt_sparse

@@ -1,0 +1,1 @@
+lib/etree/elimination_tree.ml: Array List Tt_sparse

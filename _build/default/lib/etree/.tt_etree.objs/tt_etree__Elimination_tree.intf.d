@@ -1,0 +1,1 @@
+lib/etree/elimination_tree.mli: Tt_sparse

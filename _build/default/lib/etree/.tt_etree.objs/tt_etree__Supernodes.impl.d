@@ -1,0 +1,1 @@
+lib/etree/supernodes.ml: Array

@@ -1,0 +1,1 @@
+lib/etree/symbolic.ml: Array List Tt_sparse Tt_util

@@ -1,0 +1,1 @@
+lib/etree/symbolic.mli: Tt_sparse

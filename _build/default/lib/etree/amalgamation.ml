@@ -1,0 +1,97 @@
+type group = { members : int list; eta : int; mu : int; parent : int }
+type t = { groups : group array; group_of : int array }
+
+let run ~parent ~col_counts ~limit =
+  let n = Array.length parent in
+  if Array.length col_counts <> n then invalid_arg "Amalgamation.run: length mismatch";
+  if limit < 1 then invalid_arg "Amalgamation.run: limit < 1";
+  (* every vertex starts as the head of its own group; merging a child
+     group into its parent group records [merged.(child_head) = parent_head] *)
+  let merged = Array.make n (-1) in
+  let eta = Array.make n 1 in
+  let child_groups = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if parent.(v) >= 0 then child_groups.(parent.(v)) <- v :: child_groups.(parent.(v))
+  done;
+  (* etree parents have larger indices, so increasing order is bottom-up *)
+  for j = 0 to n - 1 do
+    let merge c =
+      merged.(c) <- j;
+      eta.(j) <- eta.(j) + eta.(c);
+      child_groups.(j) <-
+        List.filter (fun x -> x <> c) child_groups.(j) @ child_groups.(c);
+      child_groups.(c) <- []
+    in
+    (* perfect amalgamation: an only child whose column has exactly one
+       more entry than its original parent's column, i.e. the two columns
+       have the same structure below the parent's diagonal. The
+       comparison is against the child's etree parent (a vertex possibly
+       already inside the group), not the group head, so genuine
+       supernode chains merge and plain chains (where every column has
+       the same count) do not cascade. *)
+    let rec perfect () =
+      match child_groups.(j) with
+      | [ c ] when col_counts.(c) = col_counts.(parent.(c)) + 1 ->
+          merge c;
+          perfect ()
+      | _ -> ()
+    in
+    perfect ();
+    (* relaxed amalgamation with the densest child, as long as the merged
+       group would not exceed the allowed number of nodes *)
+    let rec relaxed () =
+      match child_groups.(j) with
+      | [] -> ()
+      | c0 :: rest ->
+          let densest =
+            List.fold_left
+              (fun best c -> if col_counts.(c) > col_counts.(best) then c else best)
+              c0 rest
+          in
+          if eta.(j) + eta.(densest) <= limit then begin
+            merge densest;
+            relaxed ()
+          end
+    in
+    relaxed ()
+  done;
+  (* resolve final heads with path compression *)
+  let rec head v =
+    if merged.(v) = -1 then v
+    else begin
+      let h = head merged.(v) in
+      merged.(v) <- h;
+      h
+    end
+  in
+  let group_index = Array.make n (-1) in
+  let heads = ref [] in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let h = head v in
+    if group_index.(h) = -1 then begin
+      group_index.(h) <- !count;
+      heads := h :: !heads;
+      incr count
+    end
+  done;
+  let heads = Array.of_list (List.rev !heads) in
+  let members = Array.make !count [] in
+  for v = n - 1 downto 0 do
+    let g = group_index.(head v) in
+    members.(g) <- v :: members.(g)
+  done;
+  let groups =
+    Array.mapi
+      (fun g h ->
+        let mems = List.rev members.(g) in
+        (* highest (head) first *)
+        let parent_group = if parent.(h) = -1 then -1 else group_index.(head parent.(h)) in
+        { members = mems; eta = eta.(h); mu = col_counts.(h); parent = parent_group })
+      heads
+  in
+  let group_of = Array.init n (fun v -> group_index.(head v)) in
+  { groups; group_of }
+
+let node_weight g = (g.eta * g.eta) + (2 * g.eta * (g.mu - 1))
+let edge_weight g = (g.mu - 1) * (g.mu - 1)

@@ -1,0 +1,42 @@
+(** Relaxed node amalgamation: elimination tree → assembly tree
+    (§VI-B of the paper; Duff–Reid perfect amalgamation, Ashcraft–Grimes
+    relaxation).
+
+    Two rules, applied bottom-up:
+
+    - {e perfect} amalgamation (always applied): a group's only remaining
+      child is merged when its column has exactly one entry more than its
+      original etree parent's column ([µ_child = µ_parent + 1]) — the two
+      columns then have the same structure below the parent's diagonal
+      (a genuine supernode);
+    - {e relaxed} amalgamation: the group absorbs its densest child (the
+      child of largest [µ]) as long as the merged group would not exceed
+      [limit] original nodes.
+
+    The paper instantiates [limit ∈ {1, 2, 4, 16}]. Each resulting group
+    (supernode) [g] carries [η g] — the number of amalgamated nodes — and
+    [µ g] — the column count of its {e highest} node (the one closest to
+    the root), from which the paper's weights are computed:
+    node weight [η² + 2η(µ-1)] and edge weight [(µ-1)²]. *)
+
+type group = {
+  members : int list;  (** Original vertices, highest first. *)
+  eta : int;  (** [η]: number of amalgamated nodes. *)
+  mu : int;  (** [µ]: column count of the highest node. *)
+  parent : int;  (** Parent group index, [-1] for a root. *)
+}
+
+type t = {
+  groups : group array;
+  group_of : int array;  (** Original vertex → group index. *)
+}
+
+val run : parent:int array -> col_counts:int array -> limit:int -> t
+(** Amalgamate an elimination tree (or forest).
+    @raise Invalid_argument if [limit < 1] or the arrays disagree. *)
+
+val node_weight : group -> int
+(** [η² + 2η(µ-1)] — the paper's [n_i]. *)
+
+val edge_weight : group -> int
+(** [(µ-1)²] — the paper's [f_i]. *)

@@ -1,0 +1,40 @@
+type t = {
+  tree : Tt_core.Tree.t;
+  supernode_of_node : int array;
+  virtual_root : bool;
+}
+
+(* Build a Tree.t from per-supernode (parent, f, n), adding a virtual root
+   when the input is a forest. *)
+let close_forest ~parents ~f ~n =
+  let g = Array.length parents in
+  let root_count = Array.fold_left (fun acc p -> if p = -1 then acc + 1 else acc) 0 parents in
+  if root_count = 1 then
+    ( Tt_core.Tree.make ~parent:parents ~f ~n,
+      Array.init g (fun i -> i),
+      false )
+  else begin
+    (* node g is the virtual root *)
+    let parent' = Array.init (g + 1) (fun i -> if i = g then -1 else if parents.(i) = -1 then g else parents.(i)) in
+    let f' = Array.init (g + 1) (fun i -> if i = g then 0 else f.(i)) in
+    let n' = Array.init (g + 1) (fun i -> if i = g then 0 else n.(i)) in
+    ( Tt_core.Tree.make ~parent:parent' ~f:f' ~n:n',
+      Array.init (g + 1) (fun i -> if i = g then -1 else i),
+      true )
+  end
+
+let of_amalgamation (a : Amalgamation.t) =
+  let parents = Array.map (fun grp -> grp.Amalgamation.parent) a.Amalgamation.groups in
+  let f = Array.map Amalgamation.edge_weight a.Amalgamation.groups in
+  let n = Array.map Amalgamation.node_weight a.Amalgamation.groups in
+  let tree, supernode_of_node, virtual_root = close_forest ~parents ~f ~n in
+  { tree; supernode_of_node; virtual_root }
+
+let of_etree_raw ~parent ~col_counts =
+  let n_cols = Array.length parent in
+  if Array.length col_counts <> n_cols then
+    invalid_arg "Assembly.of_etree_raw: length mismatch";
+  let f = Array.map (fun mu -> (mu - 1) * (mu - 1)) col_counts in
+  let n = Array.map (fun mu -> (2 * mu) - 1) col_counts in
+  let tree, supernode_of_node, virtual_root = close_forest ~parents:parent ~f ~n in
+  { tree; supernode_of_node; virtual_root }

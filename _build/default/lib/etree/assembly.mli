@@ -1,0 +1,28 @@
+(** Assembly trees as {!Tt_core.Tree.t} workflows.
+
+    The supernodes of an {!Amalgamation.t} become tree nodes with the
+    paper's weights: execution file [n = η² + 2η(µ-1)] and input file
+    [f = (µ-1)²] (the contribution block passed towards the root). A
+    forest — reducible matrices produce one — is closed with a zero-weight
+    virtual root. The resulting [Tree.t] is stored in the out-tree
+    orientation used by the MinMemory/MinIO algorithms; multifrontal
+    (bottom-up) schedules are its reversed traversals
+    ({!Tt_core.Transform.reverse_traversal}). *)
+
+type t = {
+  tree : Tt_core.Tree.t;  (** The weighted workflow. *)
+  supernode_of_node : int array;
+      (** Tree node → supernode index in the amalgamation ([-1] for the
+          virtual root, if any). *)
+  virtual_root : bool;  (** Whether a virtual root was added. *)
+}
+
+val of_amalgamation : Amalgamation.t -> t
+(** Assembly tree of an amalgamated elimination tree. *)
+
+val of_etree_raw : parent:int array -> col_counts:int array -> t
+(** One node per column ([η = 1] everywhere, no amalgamation): node [j]
+    gets [n = 2µ_j - 1] and [f = (µ_j - 1)²] — exactly the live size of a
+    frontal matrix ([µ²]) split into input file and execution file, so
+    the tree model reproduces the multifrontal memory accounting word for
+    word (asserted in the multifrontal tests). *)

@@ -1,0 +1,23 @@
+let counts (a : Tt_sparse.Csr.t) ~parent =
+  let n = a.Tt_sparse.Csr.nrows in
+  let cc = Array.make n 1 in
+  (* diagonal counted *)
+  let mark = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    mark.(i) <- i;
+    for e = a.Tt_sparse.Csr.row_ptr.(i) to a.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      let k = a.Tt_sparse.Csr.col_idx.(e) in
+      if k < i then begin
+        (* l_ij <> 0 exactly for the j on the path k -> ... -> i *)
+        let j = ref k in
+        while mark.(!j) <> i do
+          cc.(!j) <- cc.(!j) + 1;
+          mark.(!j) <- i;
+          j := parent.(!j)
+        done
+      end
+    done
+  done;
+  cc
+
+let nnz_l a ~parent = Array.fold_left ( + ) 0 (counts a ~parent)

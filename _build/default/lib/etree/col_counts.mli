@@ -1,0 +1,15 @@
+(** Column counts of the Cholesky factor L.
+
+    [counts.(j)] is the number of nonzeros of column [j] of L including
+    the diagonal — the [µ] of the paper's node and edge weights. Computed
+    by traversing, for every row [i], the row subtree: the paths from
+    every [k] with [a_ik <> 0], [k < i], towards [i] in the elimination
+    tree, stopping at vertices already marked for row [i] (Liu 1990,
+    §5.2). Complexity O(nnz(L)). *)
+
+val counts : Tt_sparse.Csr.t -> parent:int array -> int array
+(** Column counts of L for a structurally symmetric matrix and its
+    elimination tree. *)
+
+val nnz_l : Tt_sparse.Csr.t -> parent:int array -> int
+(** Total nonzeros of L, i.e. the sum of {!counts}. *)

@@ -1,0 +1,55 @@
+let parents (a : Tt_sparse.Csr.t) =
+  if a.Tt_sparse.Csr.nrows <> a.Tt_sparse.Csr.ncols then
+    invalid_arg "Elimination_tree.parents: not square";
+  let n = a.Tt_sparse.Csr.nrows in
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    (* for each entry a(i,k) with k < i, climb from k to the current root
+       and attach it to i, compressing ancestor links along the way *)
+    for e = a.Tt_sparse.Csr.row_ptr.(i) to a.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      let k = a.Tt_sparse.Csr.col_idx.(e) in
+      if k < i then begin
+        let r = ref k in
+        while ancestor.(!r) <> -1 && ancestor.(!r) <> i do
+          let next = ancestor.(!r) in
+          ancestor.(!r) <- i;
+          r := next
+        done;
+        if ancestor.(!r) = -1 then begin
+          ancestor.(!r) <- i;
+          parent.(!r) <- i
+        end
+      end
+    done
+  done;
+  parent
+
+let parents_dense_oracle (a : Tt_sparse.Csr.t) =
+  let n = a.Tt_sparse.Csr.nrows in
+  (* boolean dense symbolic Cholesky: pattern of L column by column *)
+  let pat = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for e = a.Tt_sparse.Csr.row_ptr.(i) to a.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      let j = a.Tt_sparse.Csr.col_idx.(e) in
+      if j <= i then pat.(i).(j) <- true
+    done;
+    pat.(i).(i) <- true
+  done;
+  (* fill: if l_ik and l_jk with k < j < i then l_ij becomes nonzero *)
+  for k = 0 to n - 1 do
+    for i = k + 1 to n - 1 do
+      if pat.(i).(k) then
+        for j = k + 1 to i - 1 do
+          if pat.(j).(k) then pat.(i).(j) <- true
+        done
+    done
+  done;
+  Array.init n (fun j ->
+      let rec first i = if i >= n then -1 else if pat.(i).(j) then i else first (i + 1) in
+      first (j + 1))
+
+let roots parent =
+  let acc = ref [] in
+  Array.iteri (fun i p -> if p = -1 then acc := i :: !acc) parent;
+  List.rev !acc

@@ -1,0 +1,22 @@
+(** Elimination trees (Schreiber 1982; Liu 1990).
+
+    For a symmetric matrix A with Cholesky factor L, the parent of vertex
+    [j] is the smallest row index [i > j] with [l_ij <> 0]. Computed
+    without forming L by Liu's almost-linear algorithm with path
+    compression. A reducible matrix yields a forest ([parent = -1] for
+    every tree root). *)
+
+val parents : Tt_sparse.Csr.t -> int array
+(** [parents a] is the elimination-tree parent array of the structurally
+    symmetric matrix [a] (as produced by
+    {!Tt_sparse.Csr.symmetrize_pattern}); only the lower triangle is
+    consulted.
+    @raise Invalid_argument if [a] is not square. *)
+
+val parents_dense_oracle : Tt_sparse.Csr.t -> int array
+(** Reference implementation for the tests: run the full symbolic
+    factorization on a dense copy and read the parents off the factor's
+    pattern. Quadratic; small matrices only. *)
+
+val roots : int array -> int list
+(** Indices with [parent = -1]. *)

@@ -1,0 +1,35 @@
+let partition ~parent ~col_counts =
+  let n = Array.length parent in
+  if Array.length col_counts <> n then invalid_arg "Supernodes.partition: length mismatch";
+  let child_count = Array.make n 0 in
+  Array.iter (fun p -> if p >= 0 then child_count.(p) <- child_count.(p) + 1) parent;
+  let rep = Array.make n 0 in
+  for j = 0 to n - 1 do
+    (* j continues the supernode of j-1 when j-1 is its only child and the
+       counts telescope *)
+    if
+      j > 0
+      && parent.(j - 1) = j
+      && child_count.(j) = 1
+      && col_counts.(j - 1) = col_counts.(j) + 1
+    then rep.(j) <- rep.(j - 1)
+    else rep.(j) <- j
+  done;
+  rep
+
+let count ~parent ~col_counts =
+  let rep = partition ~parent ~col_counts in
+  let c = ref 0 in
+  Array.iteri (fun j r -> if r = j then incr c) rep;
+  !c
+
+let sizes ~parent ~col_counts =
+  let rep = partition ~parent ~col_counts in
+  let n = Array.length rep in
+  let size = Array.make n 0 in
+  Array.iter (fun r -> size.(r) <- size.(r) + 1) rep;
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if rep.(j) = j then acc := size.(j) :: !acc
+  done;
+  !acc

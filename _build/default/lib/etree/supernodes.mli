@@ -1,0 +1,21 @@
+(** Fundamental supernodes.
+
+    A {e fundamental supernode} is a maximal chain of columns
+    [j, j+1, ..., j+k] where each column is the only etree child of the
+    next and the column counts decrease by exactly one
+    ([µ_i = µ_{i+1} + 1]) — the columns then share one dense trapezoidal
+    block of L. This is the canonical no-relaxation partition that
+    {!Amalgamation} generalizes; solvers use it as the starting point of
+    supernode detection, and the tests check that perfect amalgamation
+    and fundamental supernodes agree on consecutively-numbered chains. *)
+
+val partition : parent:int array -> col_counts:int array -> int array
+(** [partition ~parent ~col_counts] maps every column to its supernode
+    representative (the {e first} = lowest column of its chain).
+    @raise Invalid_argument if the arrays disagree in length. *)
+
+val count : parent:int array -> col_counts:int array -> int
+(** Number of fundamental supernodes. *)
+
+val sizes : parent:int array -> col_counts:int array -> int list
+(** Supernode sizes in column order (sums to the number of columns). *)

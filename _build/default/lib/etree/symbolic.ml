@@ -1,0 +1,44 @@
+module D = Tt_util.Dynarray_compat
+
+type t = { parent : int array; col_struct : int array array }
+
+let run (a : Tt_sparse.Csr.t) ~parent =
+  let n = a.Tt_sparse.Csr.nrows in
+  let children = Array.make n [] in
+  for j = n - 1 downto 0 do
+    if parent.(j) >= 0 then children.(parent.(j)) <- j :: children.(parent.(j))
+  done;
+  let col_struct = Array.make n [||] in
+  let mark = Array.make n (-1) in
+  (* columns in increasing order: children j' < j are done before j *)
+  for j = 0 to n - 1 do
+    let acc = D.create () in
+    let visit i =
+      if i >= j && mark.(i) <> j then begin
+        mark.(i) <- j;
+        D.add_last acc i
+      end
+    in
+    visit j;
+    (* entries of A's column j at or below the diagonal: A is symmetric,
+       so read row j and mirror *)
+    for e = a.Tt_sparse.Csr.row_ptr.(j) to a.Tt_sparse.Csr.row_ptr.(j + 1) - 1 do
+      visit a.Tt_sparse.Csr.col_idx.(e)
+    done;
+    List.iter (fun c -> Array.iter visit col_struct.(c)) children.(j);
+    let s = D.to_array acc in
+    Array.sort compare s;
+    col_struct.(j) <- s
+  done;
+  { parent; col_struct }
+
+let col_count t j = Array.length t.col_struct.(j)
+
+let nnz_l t = Array.fold_left (fun acc s -> acc + Array.length s) 0 t.col_struct
+
+let factorization_flops t =
+  Array.fold_left
+    (fun acc s ->
+      let mu = Array.length s in
+      acc + (mu * mu))
+    0 t.col_struct

@@ -1,0 +1,27 @@
+(** Full symbolic factorization: the row structure of every column of L.
+
+    [struct_of j] is the sorted array of row indices of column [j] of L,
+    diagonal included. Computed column by column as
+    [struct j = {j} ∪ (A's lower column j) ∪ (∪ over etree children c of
+    struct c minus {c})], with a marker making each column linear in its
+    output size. The result drives the multifrontal frontal sizes. *)
+
+type t = private {
+  parent : int array;  (** The elimination tree used. *)
+  col_struct : int array array;
+      (** [col_struct.(j)]: sorted row indices of L's column [j]. *)
+}
+
+val run : Tt_sparse.Csr.t -> parent:int array -> t
+(** Symbolic factorization of a structurally symmetric matrix. *)
+
+val col_count : t -> int -> int
+(** [µ j = |col_struct.(j)|], consistent with {!Col_counts.counts}. *)
+
+val nnz_l : t -> int
+(** Total nonzeros of L. *)
+
+val factorization_flops : t -> int
+(** Floating-point operations of the numeric Cholesky using these
+    structures: [Σ_j µ_j²] (the classic symbolic flop count, up to
+    constant factors). *)

@@ -1,0 +1,1 @@
+lib/multifrontal/factor.ml: Array Float Front Hashtbl List Seq Tt_etree Tt_sparse Tt_util

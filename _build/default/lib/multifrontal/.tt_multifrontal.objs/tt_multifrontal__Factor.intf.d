@@ -1,0 +1,1 @@
+lib/multifrontal/factor.mli: Tt_etree Tt_sparse

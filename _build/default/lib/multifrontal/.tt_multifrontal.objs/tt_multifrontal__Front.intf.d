@@ -1,0 +1,1 @@
+lib/multifrontal/front.mli:

@@ -1,0 +1,1 @@
+lib/multifrontal/ooc_sim.ml: Array Factor Front Hashtbl List Printf Seq Supernodal Tt_core Tt_etree Tt_sparse

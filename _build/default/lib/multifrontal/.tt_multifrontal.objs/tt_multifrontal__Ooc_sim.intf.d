@@ -1,0 +1,1 @@
+lib/multifrontal/ooc_sim.mli: Factor Stdlib Tt_core Tt_etree Tt_sparse

@@ -1,0 +1,1 @@
+lib/multifrontal/stack_sim.ml: Array Factor Front Hashtbl Printf Seq Tt_etree Tt_sparse

@@ -1,0 +1,1 @@
+lib/multifrontal/stack_sim.mli: Factor Stdlib Tt_etree Tt_sparse

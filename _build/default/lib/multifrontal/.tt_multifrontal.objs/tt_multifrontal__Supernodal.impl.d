@@ -1,0 +1,1 @@
+lib/multifrontal/supernodal.ml: Array Factor Front Hashtbl List Seq Tt_etree Tt_sparse Tt_util

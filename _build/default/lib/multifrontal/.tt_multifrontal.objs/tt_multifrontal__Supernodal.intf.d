@@ -1,0 +1,1 @@
+lib/multifrontal/supernodal.mli: Factor Tt_etree Tt_sparse

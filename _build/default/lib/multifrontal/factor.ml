@@ -1,0 +1,144 @@
+module D = Tt_util.Dynarray_compat
+
+type result = { l : Tt_sparse.Csr.t; peak_words : int; profile : int array }
+
+let default_schedule (sym : Tt_etree.Symbolic.t) =
+  let n = Array.length sym.Tt_etree.Symbolic.parent in
+  let children = Array.make n [] in
+  let roots = ref [] in
+  for j = n - 1 downto 0 do
+    match sym.Tt_etree.Symbolic.parent.(j) with
+    | -1 -> roots := j :: !roots
+    | p -> children.(p) <- j :: children.(p)
+  done;
+  let order = D.create () in
+  (* iterative postorder *)
+  let rec visit j =
+    List.iter visit children.(j);
+    D.add_last order j
+  in
+  List.iter visit !roots;
+  D.to_array order
+
+let run (a : Tt_sparse.Csr.t) (sym : Tt_etree.Symbolic.t) ~schedule =
+  let n = a.Tt_sparse.Csr.nrows in
+  if Array.length schedule <> n then invalid_arg "Factor.run: wrong schedule length";
+  let parent = sym.Tt_etree.Symbolic.parent in
+  let children = Array.make n [] in
+  for c = n - 1 downto 0 do
+    if parent.(c) >= 0 then children.(parent.(c)) <- c :: children.(parent.(c))
+  done;
+  let processed = Array.make n false in
+  (* pending contribution blocks, one slot per column *)
+  let pending : Front.t option array = Array.make n None in
+  let live = ref 0 in
+  let peak = ref 0 in
+  let profile = Array.make n 0 in
+  (* factor columns, collected as (col, rows, values) *)
+  let l_cols = Array.make n [||] in
+  Array.iteri
+    (fun step j ->
+      if j < 0 || j >= n || processed.(j) then invalid_arg "Factor.run: bad schedule";
+      let structure = sym.Tt_etree.Symbolic.col_struct.(j) in
+      (* children must be done and their blocks pending *)
+      let child_blocks = ref [] in
+      List.iter
+        (fun c ->
+          if not processed.(c) then invalid_arg "Factor.run: child after parent";
+          match pending.(c) with
+          | Some cb -> child_blocks := (c, cb) :: !child_blocks
+          | None -> ())
+        children.(j);
+      (* allocate the front while the children blocks are still live *)
+      let front = Front.create structure in
+      live := !live + Front.words front;
+      if !live > !peak then peak := !live;
+      profile.(step) <- !live;
+      (* assemble original entries of A (lower column j) *)
+      let m = Front.size front in
+      let local = Hashtbl.create (2 * m) in
+      Array.iteri (fun li g -> Hashtbl.replace local g li) structure;
+      Seq.iter
+        (fun (col, v) ->
+          (* row j of A gives column j entries by symmetry *)
+          if col >= j then begin
+            let li = Hashtbl.find local col in
+            Front.add front li 0 v;
+            if li <> 0 then Front.add front 0 li v
+          end)
+        (Tt_sparse.Csr.row a j);
+      (* extend-add the children contribution blocks, then free them *)
+      List.iter
+        (fun (c, cb) ->
+          Front.extend_add ~into:front cb;
+          live := !live - Front.words cb;
+          pending.(c) <- None)
+        !child_blocks;
+      (* eliminate the pivot *)
+      let l_col, cb = Front.eliminate_pivot front in
+      l_cols.(j) <- l_col;
+      live := !live - Front.words front;
+      if Front.size cb > 0 then begin
+        live := !live + Front.words cb;
+        if !live > !peak then peak := !live;
+        pending.(j) <- Some cb
+      end;
+      processed.(j) <- true)
+    schedule;
+  (* assemble L as CSR (row-major lower triangle) *)
+  let t = Tt_sparse.Triplet.create ~nrows:n ~ncols:n in
+  for j = 0 to n - 1 do
+    let structure = sym.Tt_etree.Symbolic.col_struct.(j) in
+    Array.iteri (fun li g -> Tt_sparse.Triplet.add t g j l_cols.(j).(li)) structure
+  done;
+  { l = Tt_sparse.Csr.of_triplet t; peak_words = !peak; profile }
+
+let solve (l : Tt_sparse.Csr.t) b =
+  let n = l.Tt_sparse.Csr.nrows in
+  if Array.length b <> n then invalid_arg "Factor.solve: dimension mismatch";
+  (* L is stored row-major lower-triangular: forward substitution row by
+     row; for the transpose solve, traverse rows in reverse using L's rows
+     as columns of Lᵀ *)
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let diag = ref 1. in
+    let acc = ref y.(i) in
+    for k = l.Tt_sparse.Csr.row_ptr.(i) to l.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      let j = l.Tt_sparse.Csr.col_idx.(k) in
+      if j < i then acc := !acc -. (l.Tt_sparse.Csr.values.(k) *. y.(j))
+      else if j = i then diag := l.Tt_sparse.Csr.values.(k)
+    done;
+    y.(i) <- !acc /. !diag
+  done;
+  let x = y in
+  for i = n - 1 downto 0 do
+    (* x.(i) currently holds y.(i) minus contributions subtracted by later
+       rows' updates (scatter form): divide then scatter to earlier rows *)
+    let diag = ref 1. in
+    for k = l.Tt_sparse.Csr.row_ptr.(i) to l.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      if l.Tt_sparse.Csr.col_idx.(k) = i then diag := l.Tt_sparse.Csr.values.(k)
+    done;
+    x.(i) <- x.(i) /. !diag;
+    for k = l.Tt_sparse.Csr.row_ptr.(i) to l.Tt_sparse.Csr.row_ptr.(i + 1) - 1 do
+      let j = l.Tt_sparse.Csr.col_idx.(k) in
+      if j < i then x.(j) <- x.(j) -. (l.Tt_sparse.Csr.values.(k) *. x.(i))
+    done
+  done;
+  x
+
+let residual_norm (a : Tt_sparse.Csr.t) (l : Tt_sparse.Csr.t) =
+  let n = a.Tt_sparse.Csr.nrows in
+  let da = Tt_sparse.Csr.to_dense a in
+  let dl = Tt_sparse.Csr.to_dense l in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (dl.(i).(k) *. dl.(j).(k))
+      done;
+      let d = Float.abs (da.(i).(j) -. !acc) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst

@@ -1,0 +1,1 @@
+lib/ordering/graph_adj.ml: Array List Queue Seq Tt_sparse

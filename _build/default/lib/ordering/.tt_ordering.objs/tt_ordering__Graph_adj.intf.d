@@ -1,0 +1,1 @@
+lib/ordering/graph_adj.mli: Tt_sparse

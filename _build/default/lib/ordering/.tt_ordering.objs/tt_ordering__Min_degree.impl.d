@@ -1,0 +1,1 @@
+lib/ordering/min_degree.ml: Array Graph_adj Tt_util

@@ -1,0 +1,1 @@
+lib/ordering/min_degree.mli: Graph_adj

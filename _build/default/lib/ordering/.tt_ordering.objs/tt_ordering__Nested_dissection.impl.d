@@ -1,0 +1,1 @@
+lib/ordering/nested_dissection.ml: Array Graph_adj Hashtbl List Min_degree Tt_util

@@ -1,0 +1,1 @@
+lib/ordering/nested_dissection.mli: Graph_adj

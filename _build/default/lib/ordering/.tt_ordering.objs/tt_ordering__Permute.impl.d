@@ -1,0 +1,1 @@
+lib/ordering/permute.ml: Array Tt_sparse Tt_util

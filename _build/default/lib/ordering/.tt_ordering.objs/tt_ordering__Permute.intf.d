@@ -1,0 +1,1 @@
+lib/ordering/permute.mli: Tt_sparse Tt_util

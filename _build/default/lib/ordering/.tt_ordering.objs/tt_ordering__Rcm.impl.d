@@ -1,0 +1,1 @@
+lib/ordering/rcm.ml: Array Graph_adj List

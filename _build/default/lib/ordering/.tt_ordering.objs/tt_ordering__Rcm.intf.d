@@ -1,0 +1,1 @@
+lib/ordering/rcm.mli: Graph_adj

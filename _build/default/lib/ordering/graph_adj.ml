@@ -1,0 +1,97 @@
+type t = { n : int; adj : int array array }
+
+let of_pattern (a : Tt_sparse.Csr.t) =
+  if a.Tt_sparse.Csr.nrows <> a.Tt_sparse.Csr.ncols then
+    invalid_arg "Graph_adj.of_pattern: not square";
+  let n = a.Tt_sparse.Csr.nrows in
+  let adj =
+    Array.init n (fun i ->
+        let neighbors =
+          Seq.filter_map
+            (fun (j, _) -> if j <> i then Some j else None)
+            (Tt_sparse.Csr.row a i)
+        in
+        Array.of_seq neighbors)
+  in
+  { n; adj }
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  let clean =
+    Array.mapi
+      (fun i neighbors ->
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= n then invalid_arg "Graph_adj.of_adjacency: out of range")
+          neighbors;
+        let l = List.filter (fun v -> v <> i) (Array.to_list neighbors) in
+        let l = List.sort_uniq compare l in
+        Array.of_list l)
+      adj
+  in
+  { n; adj = clean }
+
+let degree g i = Array.length g.adj.(i)
+
+let bfs_levels g s =
+  let level = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  level
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let count = ref 0 in
+  for s = 0 to g.n - 1 do
+    if comp.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      let queue = Queue.create () in
+      comp.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- c;
+              Queue.add v queue
+            end)
+          g.adj.(u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let pseudo_peripheral g seed =
+  let rec improve current ecc rounds =
+    if rounds = 0 then current
+    else begin
+      let level = bfs_levels g current in
+      (* farthest vertex of minimal degree in the last level *)
+      let far = ref current and far_l = ref (-1) in
+      Array.iteri
+        (fun v l ->
+          if
+            l > !far_l
+            || (l = !far_l && l >= 0 && degree g v < degree g !far)
+          then begin
+            far := v;
+            far_l := l
+          end)
+        level;
+      if !far_l > ecc then improve !far !far_l (rounds - 1) else current
+    end
+  in
+  improve seed (-1) 8

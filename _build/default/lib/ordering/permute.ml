@@ -1,0 +1,25 @@
+let identity n = Array.init n (fun i -> i)
+
+let inverse perm =
+  let n = Array.length perm in
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun newi oldi ->
+      if oldi < 0 || oldi >= n || inv.(oldi) <> -1 then
+        invalid_arg "Permute.inverse: not a permutation";
+      inv.(oldi) <- newi)
+    perm;
+  inv
+
+let is_permutation perm =
+  try
+    ignore (inverse perm);
+    true
+  with Invalid_argument _ -> false
+
+let random ~rng n =
+  let a = identity n in
+  Tt_util.Rng.shuffle rng a;
+  a
+
+let apply a perm = Tt_sparse.Csr.permute_sym a perm

@@ -1,0 +1,19 @@
+(** Permutation helpers shared by the ordering pipeline. *)
+
+val identity : int -> int array
+(** The identity permutation of the given size. *)
+
+val inverse : int array -> int array
+(** [inverse perm] with [perm.(new_index) = old_index] gives
+    [inv.(old_index) = new_index].
+    @raise Invalid_argument if the input is not a permutation. *)
+
+val is_permutation : int array -> bool
+(** Whether the array is a permutation of [0 .. length-1]. *)
+
+val random : rng:Tt_util.Rng.t -> int -> int array
+(** A uniformly random permutation. *)
+
+val apply : Tt_sparse.Csr.t -> int array -> Tt_sparse.Csr.t
+(** Alias for {!Tt_sparse.Csr.permute_sym}: the matrix reordered so that
+    new index [k] is old index [perm.(k)]. *)

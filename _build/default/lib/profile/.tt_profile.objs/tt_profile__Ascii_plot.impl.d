@@ -1,0 +1,1 @@
+lib/profile/ascii_plot.ml: Array Buffer Float List Perf_profile Printf String

@@ -1,0 +1,1 @@
+lib/profile/ascii_plot.mli: Perf_profile

@@ -1,0 +1,1 @@
+lib/profile/perf_profile.ml: Array Buffer Float List Printf Tt_util

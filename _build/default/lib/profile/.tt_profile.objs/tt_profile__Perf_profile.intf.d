@@ -1,0 +1,1 @@
+lib/profile/perf_profile.mli:

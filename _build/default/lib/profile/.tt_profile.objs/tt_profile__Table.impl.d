@@ -1,0 +1,1 @@
+lib/profile/table.ml: Array Buffer List String

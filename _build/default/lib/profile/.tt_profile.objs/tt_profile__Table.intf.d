@@ -1,0 +1,1 @@
+lib/profile/table.mli:

@@ -1,0 +1,70 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '~' |]
+
+let render ?(width = 72) ?(height = 18) ?title curves =
+  let buf = Buffer.create 4096 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if curves = [] then Buffer.add_string buf "(no curves)\n"
+  else begin
+    let tau_lo, tau_hi =
+      List.fold_left
+        (fun (lo, hi) (c : Perf_profile.curve) ->
+          Array.fold_left (fun (lo, hi) (t, _) -> (Float.min lo t, Float.max hi t)) (lo, hi)
+            c.Perf_profile.points)
+        (infinity, neg_infinity) curves
+    in
+    let tau_hi = if tau_hi <= tau_lo then tau_lo +. 1. else tau_hi in
+    let canvas = Array.make_matrix height width ' ' in
+    let xcol tau =
+      let t = (log tau -. log tau_lo) /. (log tau_hi -. log tau_lo) in
+      let c = int_of_float (t *. float_of_int (width - 1)) in
+      max 0 (min (width - 1) c)
+    in
+    let yrow frac =
+      let r = int_of_float ((1. -. frac) *. float_of_int (height - 1)) in
+      max 0 (min (height - 1) r)
+    in
+    List.iteri
+      (fun ci (c : Perf_profile.curve) ->
+        let g = glyphs.(ci mod Array.length glyphs) in
+        (* draw as a step function: fill horizontally between samples *)
+        let last = ref None in
+        Array.iter
+          (fun (tau, frac) ->
+            let x = xcol tau and y = yrow frac in
+            (match !last with
+            | Some (x0, y0) ->
+                for xx = x0 + 1 to x do
+                  canvas.(y0).(xx) <- g
+                done;
+                let lo = min y0 y and hi = max y0 y in
+                for yy = lo to hi do
+                  canvas.(yy).(x) <- g
+                done
+            | None -> canvas.(y).(x) <- g);
+            last := Some (x, y))
+          c.Perf_profile.points)
+      curves;
+    (* y axis labels on the left *)
+    for r = 0 to height - 1 do
+      let frac = 1. -. (float_of_int r /. float_of_int (height - 1)) in
+      Buffer.add_string buf (Printf.sprintf "%4.2f |" frac);
+      Buffer.add_string buf (String.init width (fun c -> canvas.(r).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf ("     +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "      tau: %.2f %s %.2f (log scale)\n" tau_lo
+         (String.make (max 1 (width - 24)) ' ')
+         tau_hi);
+    List.iteri
+      (fun ci (c : Perf_profile.curve) ->
+        Buffer.add_string buf
+          (Printf.sprintf "      %c %s\n" glyphs.(ci mod Array.length glyphs)
+             c.Perf_profile.name))
+      curves
+  end;
+  Buffer.contents buf

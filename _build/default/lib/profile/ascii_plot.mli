@@ -1,0 +1,10 @@
+(** Terminal rendering of performance-profile curves, so that every
+    figure of the paper can be "looked at" straight from
+    [dune exec bench/main.exe]. One distinct glyph per curve, a legend, a
+    y-axis in fractions and an x-axis in τ. *)
+
+val render :
+  ?width:int -> ?height:int -> ?title:string -> Perf_profile.curve list -> string
+(** Plot the curves on a [width × height] character canvas (defaults
+    72×18). Curves are drawn in legend order; later curves overwrite
+    earlier ones where they collide. *)

@@ -1,0 +1,107 @@
+type curve = { name : string; points : (float * float) array }
+
+let best_costs costs =
+  Array.map (fun row -> Array.fold_left min infinity row) costs
+
+let validate names costs =
+  let m = List.length names in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Perf_profile: ragged cost matrix";
+      Array.iter (fun c -> if c < 0. then invalid_arg "Perf_profile: negative cost") row)
+    costs
+
+let ratio cost best =
+  if cost = infinity then infinity
+  else if best = 0. then if cost = 0. then 1. else infinity
+  else cost /. best
+
+let ratios costs ~column =
+  let best = best_costs costs in
+  let acc = Tt_util.Dynarray_compat.create () in
+  Array.iteri
+    (fun i row ->
+      if best.(i) < infinity then
+        Tt_util.Dynarray_compat.add_last acc (ratio row.(column) best.(i)))
+    costs;
+  Tt_util.Dynarray_compat.to_array acc
+
+let fraction_within costs ~column ~tau =
+  let rs = ratios costs ~column in
+  if Array.length rs = 0 then 0.
+  else
+    Tt_util.Statistics.fraction (fun r -> r <= tau +. 1e-12) rs
+
+let compute ?tau_max ?(samples = 64) ~names costs =
+  validate names costs;
+  let m = List.length names in
+  let all_ratios = Array.init m (fun j -> ratios costs ~column:j) in
+  let tau_max =
+    match tau_max with
+    | Some t -> t
+    | None ->
+        let worst = ref 1. in
+        Array.iter
+          (Array.iter (fun r -> if r < infinity && r > !worst then worst := r))
+          all_ratios;
+        Float.min (Float.max (!worst *. 1.05) 1.2) 16.
+  in
+  let grid =
+    Array.init samples (fun k ->
+        (* geometric spacing from 1 to tau_max *)
+        exp (log tau_max *. float_of_int k /. float_of_int (samples - 1)))
+  in
+  List.mapi
+    (fun j name ->
+      let rs = all_ratios.(j) in
+      let n = Array.length rs in
+      let points =
+        Array.map
+          (fun tau ->
+            let c =
+              Array.fold_left (fun acc r -> if r <= tau +. 1e-12 then acc + 1 else acc) 0 rs
+            in
+            (tau, if n = 0 then 0. else float_of_int c /. float_of_int n))
+          grid
+      in
+      { name; points })
+    names
+
+let dominant curves =
+  let area c =
+    Array.fold_left (fun acc (_, frac) -> acc +. frac) 0. c.points
+  in
+  match curves with
+  | [] -> invalid_arg "Perf_profile.dominant: no curves"
+  | first :: rest ->
+      let best =
+        List.fold_left (fun b c -> if area c > area b then c else b) first rest
+      in
+      best.name
+
+let to_csv curves =
+  match curves with
+  | [] -> "tau\n"
+  | first :: rest ->
+      List.iter
+        (fun c ->
+          if Array.map fst c.points <> Array.map fst first.points then
+            invalid_arg "Perf_profile.to_csv: mismatched tau grids")
+        rest;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "tau";
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf c.name)
+        curves;
+      Buffer.add_char buf '\n';
+      Array.iteri
+        (fun k (tau, _) ->
+          Buffer.add_string buf (Printf.sprintf "%.6g" tau);
+          List.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf ",%.6g" (snd c.points.(k))))
+            curves;
+          Buffer.add_char buf '\n')
+        first.points;
+      Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Performance profiles (Dolan & Moré 2002) — the evaluation tool of the
+    paper's §VI.
+
+    Given a cost matrix (instances × methods; lower is better), each
+    instance is normalized by the best method on that instance, and the
+    profile of a method maps a tolerance [τ >= 1] to the fraction of
+    instances on which the method is within a factor [τ] of the best.
+    Failed runs are encoded as [infinity] and never counted. *)
+
+type curve = {
+  name : string;
+  points : (float * float) array;
+      (** [(τ, fraction)] samples, τ ascending, fraction non-decreasing. *)
+}
+
+val compute :
+  ?tau_max:float -> ?samples:int -> names:string list -> float array array -> curve list
+(** [compute ~names costs] with [costs.(instance).(method_index)].
+    Samples [τ] on a geometric grid over [1, tau_max] (default: the
+    largest finite ratio, capped at 16; [samples] defaults to 64).
+    @raise Invalid_argument if dimensions disagree or some cost is
+    negative. *)
+
+val fraction_within : float array array -> column:int -> tau:float -> float
+(** Fraction of instances on which [column] is within [tau] of the best
+    method. [fraction_within costs ~column ~tau:1.0] is the fraction of
+    instances where it {e is} the best. *)
+
+val ratios : float array array -> column:int -> float array
+(** Per-instance cost ratios of a method w.r.t. the best method
+    (excluding instances where every method failed). *)
+
+val dominant : curve list -> string
+(** Name of the curve with the largest area (the method that is "higher"
+    overall) — used by the benches to state who wins. *)
+
+val to_csv : curve list -> string
+(** Render the curves as CSV ([tau,name1,name2,...], one row per sample
+    point) for external plotting. Curves must share their τ grid (as the
+    ones built by {!compute} do).
+    @raise Invalid_argument if the grids differ. *)

@@ -1,0 +1,46 @@
+let render ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun r -> if List.length r <> arity then invalid_arg "Table.render: ragged row")
+    rows;
+  let all = header :: rows in
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun j cell -> widths.(j) <- max widths.(j) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun j cell ->
+        let pad = widths.(j) - String.length cell in
+        if j = 0 then begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end;
+        if j < arity - 1 then Buffer.add_string buf "  ")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf
+    (String.make (Array.fold_left ( + ) (2 * (arity - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let render_kv pairs =
+  let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf (String.make (w - String.length k) ' ');
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    pairs;
+  Buffer.contents buf

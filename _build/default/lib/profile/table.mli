@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the paper's Tables I and II and the
+    benchmark summaries. *)
+
+val render : header:string list -> string list list -> string
+(** Aligned table with a header rule. Columns are sized to the widest
+    cell; the first column is left-aligned, the rest right-aligned.
+    @raise Invalid_argument if a row has a different arity than the
+    header. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value block (used for stats tables). *)

@@ -1,0 +1,1 @@
+lib/sparse/iterative.mli: Csr

@@ -1,0 +1,1 @@
+lib/sparse/matrix_market.ml: Array Buffer Csr List Printf String Triplet Tt_util

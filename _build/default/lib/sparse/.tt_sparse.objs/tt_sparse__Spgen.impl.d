@@ -1,0 +1,1 @@
+lib/sparse/spgen.ml: Csr List Triplet Tt_util

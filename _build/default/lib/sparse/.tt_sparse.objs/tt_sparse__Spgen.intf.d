@@ -1,0 +1,1 @@
+lib/sparse/spgen.mli: Csr Tt_util

@@ -1,0 +1,228 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+(* Build from unsorted (row, col, value) arrays, summing duplicates. Two
+   counting-sort passes keep construction O(nnz + n). *)
+let compress ~nrows ~ncols rows cols vals =
+  let m = Array.length rows in
+  let counts = Array.make (nrows + 1) 0 in
+  Array.iter (fun i -> counts.(i + 1) <- counts.(i + 1) + 1) rows;
+  for i = 0 to nrows - 1 do
+    counts.(i + 1) <- counts.(i + 1) + counts.(i)
+  done;
+  let start = Array.copy counts in
+  let cj = Array.make m 0 and cv = Array.make m 0. in
+  let fill = Array.copy start in
+  for k = 0 to m - 1 do
+    let i = rows.(k) in
+    cj.(fill.(i)) <- cols.(k);
+    cv.(fill.(i)) <- vals.(k);
+    fill.(i) <- fill.(i) + 1
+  done;
+  (* sort each row by column and sum duplicates *)
+  let out_ptr = Array.make (nrows + 1) 0 in
+  let oj = Array.make m 0 and ov = Array.make m 0. in
+  let pos = ref 0 in
+  for i = 0 to nrows - 1 do
+    out_ptr.(i) <- !pos;
+    let lo = start.(i) and hi = start.(i + 1) in
+    let len = hi - lo in
+    if len > 0 then begin
+      let idx = Array.init len (fun k -> lo + k) in
+      Array.sort (fun a b -> compare cj.(a) cj.(b)) idx;
+      let prev = ref (-1) in
+      Array.iter
+        (fun k ->
+          if cj.(k) = !prev then ov.(!pos - 1) <- ov.(!pos - 1) +. cv.(k)
+          else begin
+            oj.(!pos) <- cj.(k);
+            ov.(!pos) <- cv.(k);
+            prev := cj.(k);
+            incr pos
+          end)
+        idx
+    end
+  done;
+  out_ptr.(nrows) <- !pos;
+  { nrows;
+    ncols;
+    row_ptr = out_ptr;
+    col_idx = Array.sub oj 0 !pos;
+    values = Array.sub ov 0 !pos }
+
+let of_triplet t =
+  let m = Triplet.nnz t in
+  let rows = Array.make m 0 and cols = Array.make m 0 and vals = Array.make m 0. in
+  let k = ref 0 in
+  Triplet.iter
+    (fun i j v ->
+      rows.(!k) <- i;
+      cols.(!k) <- j;
+      vals.(!k) <- v;
+      incr k)
+    t;
+  compress ~nrows:(Triplet.nrows t) ~ncols:(Triplet.ncols t) rows cols vals
+
+let of_dense d =
+  let nrows = Array.length d in
+  let ncols = if nrows = 0 then 0 else Array.length d.(0) in
+  let t = Triplet.create ~nrows ~ncols in
+  Array.iteri
+    (fun i r -> Array.iteri (fun j v -> if v <> 0. then Triplet.add t i j v) r)
+    d;
+  of_triplet t
+
+let to_dense a =
+  let d = Array.make_matrix a.nrows a.ncols 0. in
+  for i = 0 to a.nrows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      d.(i).(a.col_idx.(k)) <- a.values.(k)
+    done
+  done;
+  d
+
+let nnz a = a.row_ptr.(a.nrows)
+
+let get a i j =
+  let lo = ref a.row_ptr.(i) and hi = ref (a.row_ptr.(i + 1) - 1) in
+  let res = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = a.col_idx.(mid) in
+    if c = j then begin
+      res := a.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let row a i =
+  let lo = a.row_ptr.(i) and hi = a.row_ptr.(i + 1) in
+  let rec gen k () =
+    if k >= hi then Seq.Nil else Seq.Cons ((a.col_idx.(k), a.values.(k)), gen (k + 1))
+  in
+  gen lo
+
+let transpose a =
+  let m = nnz a in
+  let rows = Array.make m 0 and cols = Array.make m 0 and vals = Array.make m 0. in
+  let k = ref 0 in
+  for i = 0 to a.nrows - 1 do
+    for e = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      rows.(!k) <- a.col_idx.(e);
+      cols.(!k) <- i;
+      vals.(!k) <- a.values.(e);
+      incr k
+    done
+  done;
+  compress ~nrows:a.ncols ~ncols:a.nrows rows cols vals
+
+let is_symmetric ?(tol = 0.) a =
+  if a.nrows <> a.ncols then false
+  else begin
+    let at = transpose a in
+    if a.row_ptr <> at.row_ptr || a.col_idx <> at.col_idx then false
+    else begin
+      let ok = ref true in
+      Array.iteri
+        (fun k v -> if Float.abs (v -. at.values.(k)) > tol then ok := false)
+        a.values;
+      !ok
+    end
+  end
+
+let symmetrize_pattern a =
+  if a.nrows <> a.ncols then invalid_arg "Csr.symmetrize_pattern: not square";
+  let n = a.nrows in
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  for i = 0 to n - 1 do
+    Triplet.add t i i 1.;
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let j = a.col_idx.(k) in
+      Triplet.add t i j 1.;
+      Triplet.add t j i 1.
+    done
+  done;
+  let b = of_triplet t in
+  (* collapse summed duplicates back to pattern value 1 *)
+  { b with values = Array.map (fun _ -> 1.) b.values }
+
+let symmetrize_values a =
+  if a.nrows <> a.ncols then invalid_arg "Csr.symmetrize_values: not square";
+  let n = a.nrows in
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  for i = 0 to n - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let j = a.col_idx.(k) in
+      if i <> j then begin
+        Triplet.add t i j (0.5 *. a.values.(k));
+        Triplet.add t j i (0.5 *. a.values.(k))
+      end
+    done
+  done;
+  let sym = of_triplet t in
+  (* diagonal shift: 1 + sum of absolute off-diagonal values per row *)
+  let t2 = Triplet.create ~nrows:n ~ncols:n in
+  for i = 0 to n - 1 do
+    let s = ref 1. in
+    for k = sym.row_ptr.(i) to sym.row_ptr.(i + 1) - 1 do
+      if sym.col_idx.(k) <> i then begin
+        s := !s +. Float.abs sym.values.(k);
+        Triplet.add t2 i sym.col_idx.(k) sym.values.(k)
+      end
+    done;
+    Triplet.add t2 i i !s
+  done;
+  of_triplet t2
+
+let lower ?(strict = false) a =
+  let t = Triplet.create ~nrows:a.nrows ~ncols:a.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      let j = a.col_idx.(k) in
+      if j < i || ((not strict) && j = i) then Triplet.add t i j a.values.(k)
+    done
+  done;
+  of_triplet t
+
+let permute_sym a perm =
+  if a.nrows <> a.ncols then invalid_arg "Csr.permute_sym: not square";
+  let n = a.nrows in
+  if Array.length perm <> n then invalid_arg "Csr.permute_sym: wrong length";
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun newi oldi ->
+      if oldi < 0 || oldi >= n || inv.(oldi) <> -1 then
+        invalid_arg "Csr.permute_sym: not a permutation";
+      inv.(oldi) <- newi)
+    perm;
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  for i = 0 to n - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      Triplet.add t inv.(i) inv.(a.col_idx.(k)) a.values.(k)
+    done
+  done;
+  of_triplet t
+
+let mul_vec a x =
+  if Array.length x <> a.ncols then invalid_arg "Csr.mul_vec: dimension mismatch";
+  let y = Array.make a.nrows 0. in
+  for i = 0 to a.nrows - 1 do
+    let acc = ref 0. in
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (a.values.(k) *. x.(a.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let equal_pattern a b =
+  a.nrows = b.nrows && a.ncols = b.ncols && a.row_ptr = b.row_ptr
+  && a.col_idx = b.col_idx

@@ -1,0 +1,48 @@
+type result = {
+  x : float array;
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+let dot a b =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc
+
+let axpy alpha x y =
+  (* y <- y + alpha x *)
+  Array.iteri (fun i v -> y.(i) <- y.(i) +. (alpha *. v)) x
+
+let norm2 v = sqrt (dot v v)
+
+let cg ?(tol = 1e-10) ?max_iter (a : Csr.t) b =
+  let n = a.Csr.nrows in
+  if a.Csr.ncols <> n || Array.length b <> n then
+    invalid_arg "Iterative.cg: dimension mismatch";
+  let max_iter = match max_iter with Some m -> m | None -> 4 * n in
+  let x = Array.make n 0. in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let bnorm = norm2 b in
+  if bnorm = 0. then { x; iterations = 0; residual = 0.; converged = true }
+  else begin
+    let rr = ref (dot r r) in
+    let it = ref 0 in
+    let stop () = sqrt !rr <= tol *. bnorm in
+    while (not (stop ())) && !it < max_iter do
+      let ap = Csr.mul_vec a p in
+      let alpha = !rr /. dot p ap in
+      axpy alpha p x;
+      axpy (-.alpha) ap r;
+      let rr' = dot r r in
+      let beta = rr' /. !rr in
+      rr := rr';
+      Array.iteri (fun i v -> p.(i) <- r.(i) +. (beta *. v)) p;
+      incr it
+    done;
+    (* report the true residual, not the recurrence *)
+    let ax = Csr.mul_vec a x in
+    let res = norm2 (Array.mapi (fun i v -> b.(i) -. v) ax) in
+    { x; iterations = !it; residual = res; converged = stop () }
+  end

@@ -1,0 +1,19 @@
+(** Conjugate gradients — an {e independent} SPD solver used to
+    cross-validate the multifrontal factorization (two completely
+    different algorithms agreeing on the same system is a much stronger
+    check than a residual alone), and to solve when even out-of-core
+    factorization would not fit. *)
+
+type result = {
+  x : float array;  (** The computed solution. *)
+  iterations : int;  (** Iterations performed. *)
+  residual : float;  (** Final 2-norm of [b - A x]. *)
+  converged : bool;  (** Whether the tolerance was reached. *)
+}
+
+val cg :
+  ?tol:float -> ?max_iter:int -> Csr.t -> float array -> result
+(** [cg a b] solves [A x = b] for SPD [A] from the zero initial guess.
+    [tol] (default 1e-10) is relative to [‖b‖]; [max_iter] defaults to
+    [4 * n].
+    @raise Invalid_argument on dimension mismatch. *)

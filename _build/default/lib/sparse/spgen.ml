@@ -1,0 +1,142 @@
+(* All generators build a symmetric pattern with off-diagonal value -1
+   (or a random negative weight) and a diagonal making the matrix strictly
+   diagonally dominant, hence SPD. *)
+
+let finalize t =
+  let a = Csr.of_triplet t in
+  Csr.symmetrize_values a
+
+let grid_stencil ~k ~offsets =
+  let n = k * k in
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  let id x y = (x * k) + y in
+  for x = 0 to k - 1 do
+    for y = 0 to k - 1 do
+      List.iter
+        (fun (dx, dy) ->
+          let x' = x + dx and y' = y + dy in
+          if x' >= 0 && x' < k && y' >= 0 && y' < k then
+            Triplet.add t (id x y) (id x' y') (-1.))
+        offsets
+    done
+  done;
+  finalize t
+
+let grid2d k = grid_stencil ~k ~offsets:[ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+let grid2d_rect kx ky =
+  let n = kx * ky in
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  let id x y = (x * ky) + y in
+  for x = 0 to kx - 1 do
+    for y = 0 to ky - 1 do
+      List.iter
+        (fun (dx, dy) ->
+          let x' = x + dx and y' = y + dy in
+          if x' >= 0 && x' < kx && y' >= 0 && y' < ky then
+            Triplet.add t (id x y) (id x' y') (-1.))
+        [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+    done
+  done;
+  finalize t
+
+let grid2d_9pt k =
+  grid_stencil ~k
+    ~offsets:
+      [ (1, 0); (-1, 0); (0, 1); (0, -1); (1, 1); (1, -1); (-1, 1); (-1, -1) ]
+
+let grid3d k =
+  let n = k * k * k in
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  let id x y z = (((x * k) + y) * k) + z in
+  let offsets = [ (1, 0, 0); (-1, 0, 0); (0, 1, 0); (0, -1, 0); (0, 0, 1); (0, 0, -1) ] in
+  for x = 0 to k - 1 do
+    for y = 0 to k - 1 do
+      for z = 0 to k - 1 do
+        List.iter
+          (fun (dx, dy, dz) ->
+            let x' = x + dx and y' = y + dy and z' = z + dz in
+            if x' >= 0 && x' < k && y' >= 0 && y' < k && z' >= 0 && z' < k then
+              Triplet.add t (id x y z) (id x' y' z') (-1.))
+          offsets
+      done
+    done
+  done;
+  finalize t
+
+let banded ~rng ~n ~bandwidth ~fill =
+  if bandwidth < 1 then invalid_arg "Spgen.banded: bandwidth < 1";
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  for i = 0 to n - 1 do
+    (* keep the band connected so the etree is a single tree *)
+    if i > 0 then Triplet.add t i (i - 1) (-1.);
+    for j = max 0 (i - bandwidth) to i - 2 do
+      if Tt_util.Rng.float rng 1.0 < fill then Triplet.add t i j (-1.)
+    done
+  done;
+  finalize t
+
+let random_sym ~rng ~n ~nnz_per_row =
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  (* spanning path for connectivity *)
+  for i = 1 to n - 1 do
+    Triplet.add t i (i - 1) (-1.)
+  done;
+  let extra = int_of_float (nnz_per_row *. float_of_int n /. 2.) in
+  for _ = 1 to extra do
+    let i = Tt_util.Rng.int rng n and j = Tt_util.Rng.int rng n in
+    if i <> j then Triplet.add t (max i j) (min i j) (-1.)
+  done;
+  finalize t
+
+let block_arrow ~n ~blocks ~border =
+  if blocks < 1 || border < 0 || border >= n then
+    invalid_arg "Spgen.block_arrow: bad shape";
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  let body = n - border in
+  let block_size = max 1 (body / blocks) in
+  for i = 0 to body - 1 do
+    let b = min (i / block_size) (blocks - 1) in
+    let lo = b * block_size in
+    (* tridiagonal coupling inside each block *)
+    if i > lo then Triplet.add t i (i - 1) (-1.);
+    (* plus a link to the block head for a denser block pattern *)
+    if i > lo then Triplet.add t i lo (-1.)
+  done;
+  for i = body to n - 1 do
+    (* dense border rows *)
+    for j = 0 to i - 1 do
+      Triplet.add t i j (-1.)
+    done
+  done;
+  finalize t
+
+let power_law ~rng ~n ~edges_per_node =
+  if edges_per_node < 1 then invalid_arg "Spgen.power_law: edges_per_node < 1";
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  (* endpoints list for preferential attachment *)
+  let endpoints = Tt_util.Dynarray_compat.create () in
+  Tt_util.Dynarray_compat.add_last endpoints 0;
+  for i = 1 to n - 1 do
+    for _ = 1 to edges_per_node do
+      let j =
+        if Tt_util.Rng.float rng 1.0 < 0.2 then Tt_util.Rng.int rng i
+        else
+          Tt_util.Dynarray_compat.get endpoints
+            (Tt_util.Rng.int rng (Tt_util.Dynarray_compat.length endpoints))
+      in
+      if j <> i then begin
+        Triplet.add t (max i j) (min i j) (-1.);
+        Tt_util.Dynarray_compat.add_last endpoints j
+      end
+    done;
+    Tt_util.Dynarray_compat.add_last endpoints i
+  done;
+  finalize t
+
+let tridiagonal n =
+  let t = Triplet.create ~nrows:n ~ncols:n in
+  for i = 1 to n - 1 do
+    Triplet.add t i (i - 1) (-1.)
+  done;
+  finalize t

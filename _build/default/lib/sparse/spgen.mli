@@ -1,0 +1,43 @@
+(** Synthetic sparse matrix generators — the stand-in for the paper's
+    University of Florida collection (see DESIGN.md for the substitution
+    rationale). All matrices are square, structurally symmetric and SPD
+    (symmetric part plus a diagonal-dominance shift), so they can feed
+    both the symbolic pipeline and the numeric multifrontal solver.
+
+    Generators taking an {!Tt_util.Rng.t} are deterministic given the
+    generator state. *)
+
+val grid2d : int -> Csr.t
+(** [grid2d k]: the 5-point Laplacian on a k×k grid (n = k²) — the
+    classic PDE matrix; its nested-dissection trees are well balanced. *)
+
+val grid2d_rect : int -> int -> Csr.t
+(** [grid2d_rect kx ky]: 5-point Laplacian on a kx×ky grid — long thin
+    grids give deep, narrow assembly trees. *)
+
+val grid2d_9pt : int -> Csr.t
+(** 9-point stencil on a k×k grid (denser fronts than {!grid2d}). *)
+
+val grid3d : int -> Csr.t
+(** 7-point stencil on a k×k×k grid (n = k³) — wide, shallow assembly
+    trees with large fronts. *)
+
+val banded : rng:Tt_util.Rng.t -> n:int -> bandwidth:int -> fill:float -> Csr.t
+(** Random symmetric band matrix: each within-band off-diagonal is
+    present with probability [fill]. Chain-like elimination trees. *)
+
+val random_sym : rng:Tt_util.Rng.t -> n:int -> nnz_per_row:float -> Csr.t
+(** Erdős–Rényi-style symmetric pattern with expected [nnz_per_row]
+    off-diagonals per row — irregular trees. *)
+
+val block_arrow : n:int -> blocks:int -> border:int -> Csr.t
+(** Block-diagonal matrix with [blocks] dense-ish blocks plus a dense
+    border of width [border] — produces star-like assembly trees with a
+    heavy top. *)
+
+val power_law : rng:Tt_util.Rng.t -> n:int -> edges_per_node:int -> Csr.t
+(** Preferential-attachment (Barabási–Albert-like) symmetric pattern —
+    very unbalanced trees with high-degree nodes. *)
+
+val tridiagonal : int -> Csr.t
+(** The 1D Laplacian (pure chain elimination tree). *)

@@ -1,0 +1,41 @@
+module D = Tt_util.Dynarray_compat
+
+type t = {
+  nrows : int;
+  ncols : int;
+  rows : int D.t;
+  cols : int D.t;
+  values : float D.t;
+}
+
+let create ~nrows ~ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Triplet.create: negative dimension";
+  { nrows; ncols; rows = D.create (); cols = D.create (); values = D.create () }
+
+let nrows t = t.nrows
+let ncols t = t.ncols
+let nnz t = D.length t.rows
+
+let add t i j v =
+  if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
+    invalid_arg (Printf.sprintf "Triplet.add: entry (%d,%d) out of bounds" i j);
+  D.add_last t.rows i;
+  D.add_last t.cols j;
+  D.add_last t.values v
+
+let iter f t =
+  for k = 0 to nnz t - 1 do
+    f (D.get t.rows k) (D.get t.cols k) (D.get t.values k)
+  done
+
+let entries t = Array.init (nnz t) (fun k -> (D.get t.rows k, D.get t.cols k, D.get t.values k))
+
+let map_values f t =
+  let t' = create ~nrows:t.nrows ~ncols:t.ncols in
+  iter (fun i j v -> add t' i j (f v)) t;
+  t'
+
+let transpose t =
+  let t' = create ~nrows:t.ncols ~ncols:t.nrows in
+  iter (fun i j v -> add t' j i v) t;
+  t'

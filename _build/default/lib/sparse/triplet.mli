@@ -1,0 +1,37 @@
+(** Coordinate (COO) sparse matrices: an append-only list of
+    [(row, col, value)] entries with explicit dimensions. The exchange
+    format between the Matrix Market parser, the generators and the
+    compressed formats. Duplicate entries are allowed here and summed by
+    {!Csr.of_triplet}. *)
+
+type t
+(** A mutable coordinate-format matrix. *)
+
+val create : nrows:int -> ncols:int -> t
+(** Empty matrix of the given dimensions.
+    @raise Invalid_argument on negative dimensions. *)
+
+val nrows : t -> int
+(** Number of rows. *)
+
+val ncols : t -> int
+(** Number of columns. *)
+
+val nnz : t -> int
+(** Number of stored entries (duplicates counted). *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] appends entry [(i, j, v)] (0-based).
+    @raise Invalid_argument if the indices are out of bounds. *)
+
+val iter : (int -> int -> float -> unit) -> t -> unit
+(** Iterate over entries in insertion order. *)
+
+val entries : t -> (int * int * float) array
+(** Snapshot of all entries in insertion order. *)
+
+val map_values : (float -> float) -> t -> t
+(** Same pattern, values rewritten. *)
+
+val transpose : t -> t
+(** Entries with rows and columns swapped. *)

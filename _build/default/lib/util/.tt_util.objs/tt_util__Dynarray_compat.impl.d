@@ -1,0 +1,1 @@
+lib/util/dynarray_compat.ml: Array Printf

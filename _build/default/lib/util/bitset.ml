@@ -1,0 +1,53 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit systems *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (((n + bits_per_word) - 1) / bits_per_word + 1) 0; n }
+
+let capacity t = t.n
+
+let check t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ name ^ ": out of range")
+
+let mem t i =
+  i >= 0 && i < t.n
+  && t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  if i >= 0 && i < t.n then begin
+    let w = i / bits_per_word in
+    t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+  end
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let copy t = { words = Array.copy t.words; n = t.n }
+
+let equal a b = a.n = b.n && a.words = b.words

@@ -1,0 +1,41 @@
+(** Fixed-capacity bitsets over integers [0, n).
+
+    Compact membership structure used by symbolic factorization (row
+    marking) and by state-space searches. All single-element operations
+    are O(1); iteration and population count are O(n/63). *)
+
+type t
+(** A mutable set of integers in [0, capacity). *)
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. *)
+
+val capacity : t -> int
+(** Capacity the set was created with. *)
+
+val mem : t -> int -> bool
+(** Membership test. *)
+
+val add : t -> int -> unit
+(** Insert an element. @raise Invalid_argument if out of range. *)
+
+val remove : t -> int -> unit
+(** Delete an element (no-op if absent). *)
+
+val clear : t -> unit
+(** Empty the set. *)
+
+val cardinal : t -> int
+(** Number of elements. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over elements in increasing order. *)
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val copy : t -> t
+(** Independent copy. *)
+
+val equal : t -> t -> bool
+(** Extensional equality (capacities must match). *)

@@ -1,0 +1,36 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find s x =
+  let p = s.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find s p in
+    s.parent.(x) <- r;
+    r
+  end
+
+let union s x y =
+  let rx = find s x and ry = find s y in
+  if rx = ry then rx
+  else begin
+    s.count <- s.count - 1;
+    if s.rank.(rx) < s.rank.(ry) then begin
+      s.parent.(rx) <- ry;
+      ry
+    end
+    else if s.rank.(rx) > s.rank.(ry) then begin
+      s.parent.(ry) <- rx;
+      rx
+    end
+    else begin
+      s.parent.(ry) <- rx;
+      s.rank.(rx) <- s.rank.(rx) + 1;
+      rx
+    end
+  end
+
+let same s x y = find s x = find s y
+let count s = s.count

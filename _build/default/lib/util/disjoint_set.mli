@@ -1,0 +1,22 @@
+(** Union–find (disjoint sets) over integers [0, n) with union by rank and
+    path compression. Amortized near-constant time per operation. Used by
+    the elimination-tree algorithm and graph utilities. *)
+
+type t
+(** A mutable partition of [0, n) into disjoint sets. *)
+
+val create : int -> t
+(** [create n] is the partition of [0, n) into singletons. *)
+
+val find : t -> int -> int
+(** [find s x] is the canonical representative of [x]'s set. *)
+
+val union : t -> int -> int -> int
+(** [union s x y] merges the sets of [x] and [y] and returns the
+    representative of the merged set. *)
+
+val same : t -> int -> int -> bool
+(** [same s x y] holds iff [x] and [y] are in the same set. *)
+
+val count : t -> int
+(** Current number of disjoint sets. *)

@@ -1,0 +1,108 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  mutable dummy : 'a option;
+      (* element used to fill unused slots, captured from the first
+         insertion so that no [Obj.magic] is needed *)
+}
+
+let create () = { data = [||]; size = 0; dummy = None }
+
+let make n x =
+  if n < 0 then invalid_arg "Dynarray_compat.make";
+  { data = Array.make (max n 1) x; size = n; dummy = Some x }
+
+let length a = a.size
+let is_empty a = a.size = 0
+
+let check a i name =
+  if i < 0 || i >= a.size then
+    invalid_arg (Printf.sprintf "Dynarray_compat.%s: index %d out of [0,%d)" name i a.size)
+
+let get a i =
+  check a i "get";
+  a.data.(i)
+
+let set a i x =
+  check a i "set";
+  a.data.(i) <- x
+
+let ensure_capacity a extra x =
+  let needed = a.size + extra in
+  let cap = Array.length a.data in
+  if cap < needed then begin
+    let cap' = max needed (max 8 (2 * cap)) in
+    let data' = Array.make cap' x in
+    Array.blit a.data 0 data' 0 a.size;
+    a.data <- data'
+  end
+
+let add_last a x =
+  (match a.dummy with None -> a.dummy <- Some x | Some _ -> ());
+  ensure_capacity a 1 x;
+  a.data.(a.size) <- x;
+  a.size <- a.size + 1
+
+let append_array a arr =
+  Array.iter (add_last a) arr
+
+let append a b =
+  for i = 0 to b.size - 1 do
+    add_last a b.data.(i)
+  done
+
+let pop_last a =
+  if a.size = 0 then invalid_arg "Dynarray_compat.pop_last: empty";
+  a.size <- a.size - 1;
+  let x = a.data.(a.size) in
+  (* release the slot for the GC when possible *)
+  (match a.dummy with Some d -> a.data.(a.size) <- d | None -> ());
+  x
+
+let last a =
+  if a.size = 0 then invalid_arg "Dynarray_compat.last: empty";
+  a.data.(a.size - 1)
+
+let clear a =
+  (match a.dummy with
+  | Some d -> Array.fill a.data 0 a.size d
+  | None -> ());
+  a.size <- 0
+
+let to_array a = Array.sub a.data 0 a.size
+
+let to_list a =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (a.data.(i) :: acc) in
+  go (a.size - 1) []
+
+let of_array arr =
+  if Array.length arr = 0 then create ()
+  else { data = Array.copy arr; size = Array.length arr; dummy = Some arr.(0) }
+
+let of_list l = of_array (Array.of_list l)
+
+let iter f a =
+  for i = 0 to a.size - 1 do
+    f a.data.(i)
+  done
+
+let iteri f a =
+  for i = 0 to a.size - 1 do
+    f i a.data.(i)
+  done
+
+let fold_left f acc a =
+  let acc = ref acc in
+  for i = 0 to a.size - 1 do
+    acc := f !acc a.data.(i)
+  done;
+  !acc
+
+let exists p a =
+  let rec go i = i < a.size && (p a.data.(i) || go (i + 1)) in
+  go 0
+
+let map f a =
+  let b = create () in
+  iter (fun x -> add_last b (f x)) a;
+  b

@@ -1,0 +1,76 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Stdlib.Dynarray] (it appears in 5.2), so this
+    module provides the subset needed throughout the project: amortized
+    O(1) [add_last], random access, and conversion to plain arrays. *)
+
+type 'a t
+(** A resizable array of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty dynamic array. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a dynamic array holding [n] copies of [x].
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty a] is [length a = 0]. *)
+
+val get : 'a t -> int -> 'a
+(** [get a i] is the [i]-th element. @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set a i x] replaces the [i]-th element. @raise Invalid_argument if
+    out of bounds. *)
+
+val add_last : 'a t -> 'a -> unit
+(** Append one element at the end (amortized O(1)). *)
+
+val append_array : 'a t -> 'a array -> unit
+(** Append all elements of an array, in order. *)
+
+val append : 'a t -> 'a t -> unit
+(** [append a b] appends the contents of [b] at the end of [a]. *)
+
+val pop_last : 'a t -> 'a
+(** Remove and return the last element. @raise Invalid_argument if
+    empty. *)
+
+val last : 'a t -> 'a
+(** Return the last element without removing it. @raise Invalid_argument
+    if empty. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (keeps the backing storage). *)
+
+val to_array : 'a t -> 'a array
+(** Snapshot of the contents as a fresh array. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents as a list. *)
+
+val of_array : 'a array -> 'a t
+(** Dynamic array initialized with a copy of the given array. *)
+
+val of_list : 'a list -> 'a t
+(** Dynamic array initialized with the elements of the list. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate over elements, first to last. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate with indices. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Left fold over elements. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+(** [exists p a] holds iff some element satisfies [p]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** [map f a] is a fresh dynamic array of the images of [a]'s elements. *)

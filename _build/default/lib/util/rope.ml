@@ -1,0 +1,43 @@
+type t = Empty | Leaf of int | Chunk of int array | Cat of int * t * t
+(* Cat carries the total length of its subtree. *)
+
+let empty = Empty
+let singleton i = Leaf i
+
+let length = function
+  | Empty -> 0
+  | Leaf _ -> 1
+  | Chunk a -> Array.length a
+  | Cat (n, _, _) -> n
+
+let cat a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | _ -> Cat (length a + length b, a, b)
+
+let snoc t i = cat t (Leaf i)
+
+let of_array a = if Array.length a = 0 then Empty else Chunk (Array.copy a)
+
+let to_array t =
+  let out = Array.make (length t) 0 in
+  let pos = ref 0 in
+  (* explicit worklist for stack safety on chain-shaped ropes *)
+  let work = ref [ t ] in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | Empty :: rest -> work := rest
+    | Leaf i :: rest ->
+        out.(!pos) <- i;
+        incr pos;
+        work := rest
+    | Chunk a :: rest ->
+        Array.blit a 0 out !pos (Array.length a);
+        pos := !pos + Array.length a;
+        work := rest
+    | Cat (_, l, r) :: rest -> work := l :: r :: rest
+  done;
+  out
+
+let to_list t = Array.to_list (to_array t)

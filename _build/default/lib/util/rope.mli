@@ -1,0 +1,33 @@
+(** Persistent integer sequences with O(1) concatenation (ropes).
+
+    Used wherever traversals are assembled from subtree pieces
+    (Liu's segment combine, the Explore/MinMem cut substitutions): naive
+    buffer appends are quadratic on chain-shaped trees, a rope keeps the
+    whole assembly linear. *)
+
+type t
+(** An immutable sequence of integers. *)
+
+val empty : t
+(** The empty sequence. *)
+
+val singleton : int -> t
+(** One-element sequence. *)
+
+val cat : t -> t -> t
+(** O(1) concatenation. *)
+
+val snoc : t -> int -> t
+(** Append one element. *)
+
+val length : t -> int
+(** Number of elements (O(1): lengths are cached at the nodes). *)
+
+val to_array : t -> int array
+(** Flatten, left to right, in O(length); stack-safe on deep ropes. *)
+
+val to_list : t -> int list
+(** Flatten to a list. *)
+
+val of_array : int array -> t
+(** Sequence with the array's elements. *)

@@ -1,0 +1,48 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Statistics.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (xs.(0), xs.(0))
+    xs
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Statistics.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Statistics.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+let fraction p xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let c = Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int n
+  end
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let acc = Array.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (acc /. float_of_int n)
+  end

@@ -1,0 +1,28 @@
+(** Descriptive statistics over float samples.
+
+    Used to compute the summary rows of the paper's Tables I and II
+    (fraction of non-optimal cases, max / average / standard deviation of
+    cost ratios) and benchmark timing summaries. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty sample. *)
+
+val stddev : float array -> float
+(** Population standard deviation; [nan] on the empty sample. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. @raise Invalid_argument on empty input. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], linear interpolation between order
+    statistics. @raise Invalid_argument on empty input or [q] outside
+    [0,1]. *)
+
+val median : float array -> float
+(** [median xs = quantile xs 0.5]. *)
+
+val fraction : ('a -> bool) -> 'a array -> float
+(** Fraction of elements satisfying the predicate; [0.] on empty input. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive samples; [nan] on the empty sample. *)

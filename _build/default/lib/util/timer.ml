@@ -1,0 +1,16 @@
+let now () = Sys.time ()
+
+let time f =
+  let t0 = now () in
+  let r = Sys.opaque_identity (f ()) in
+  let t1 = now () in
+  (r, t1 -. t0)
+
+let time_repeat ?(min_time = 0.01) f =
+  let t0 = now () in
+  let rec loop runs =
+    let r = Sys.opaque_identity (f ()) in
+    let elapsed = now () -. t0 in
+    if elapsed >= min_time then (r, elapsed /. float_of_int runs) else loop (runs + 1)
+  in
+  loop 1

@@ -1,0 +1,14 @@
+(** Monotonic wall-clock timing for the runtime performance profiles
+    (paper Figure 6). Uses [Unix]-free [Sys.time]-independent counters:
+    the clock is [Stdlib.Sys.opaque_identity]-protected around the timed
+    thunk so the compiler cannot hoist the work. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in seconds. *)
+
+val time_repeat : ?min_time:float -> (unit -> 'a) -> 'a * float
+(** [time_repeat f] runs [f] repeatedly until at least [min_time] seconds
+    (default 0.01) have elapsed and returns the result of the last run and
+    the average seconds per run. Stabilizes measurements of sub-millisecond
+    algorithms on small trees. *)

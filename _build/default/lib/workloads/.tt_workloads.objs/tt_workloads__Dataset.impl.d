@@ -1,0 +1,1 @@
+lib/workloads/dataset.ml: List Pipeline Printf Tt_core Tt_etree Tt_ordering Tt_sparse Tt_util

@@ -1,0 +1,1 @@
+lib/workloads/dataset.mli: Tt_core Tt_sparse

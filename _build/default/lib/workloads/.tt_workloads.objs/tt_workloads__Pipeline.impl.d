@@ -1,0 +1,1 @@
+lib/workloads/pipeline.ml: Array Printf Tt_core Tt_etree Tt_ordering Tt_sparse

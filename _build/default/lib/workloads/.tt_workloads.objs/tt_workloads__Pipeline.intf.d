@@ -1,0 +1,1 @@
+lib/workloads/pipeline.mli: Tt_etree Tt_sparse

@@ -1,0 +1,1 @@
+lib/workloads/random_weights.ml: Dataset List Printf Tt_core Tt_util

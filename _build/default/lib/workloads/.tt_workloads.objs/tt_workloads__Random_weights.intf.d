@@ -1,0 +1,1 @@
+lib/workloads/random_weights.mli: Dataset Tt_core Tt_util

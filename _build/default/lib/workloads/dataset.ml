@@ -1,0 +1,84 @@
+type instance = { name : string; tree : Tt_core.Tree.t }
+
+let matrices ?(scale = 1) ~seed () =
+  if scale < 1 then invalid_arg "Dataset.matrices: scale < 1";
+  let rng = Tt_util.Rng.create seed in
+  (* sizes grow with [scale]; at scale 1 the corpus spans n ≈ 500..3500,
+     a laptop-friendly scaling-down of the paper's 2e4..2e5 (the
+     algorithms only see the assembly trees, whose shapes these matrices
+     already exhibit) *)
+  let sq k = k * scale in
+  let named = Tt_util.Dynarray_compat.create () in
+  let addm name m = Tt_util.Dynarray_compat.add_last named (name, m) in
+  List.iter
+    (fun k -> addm (Printf.sprintf "grid2d-%d" k) (Tt_sparse.Spgen.grid2d k))
+    [ sq 24; sq 34; sq 48 ];
+  List.iter
+    (fun k -> addm (Printf.sprintf "grid9-%d" k) (Tt_sparse.Spgen.grid2d_9pt k))
+    [ sq 20; sq 30 ];
+  List.iter
+    (fun (kx, ky) ->
+      addm (Printf.sprintf "rect-%dx%d" kx ky) (Tt_sparse.Spgen.grid2d_rect kx ky))
+    [ (sq 8, sq 120); (sq 12, sq 80) ];
+  List.iter
+    (fun k -> addm (Printf.sprintf "grid3d-%d" k) (Tt_sparse.Spgen.grid3d k))
+    [ 6 + scale; 9 + scale ];
+  List.iter
+    (fun (n, bw) ->
+      addm
+        (Printf.sprintf "band-%d-%d" n bw)
+        (Tt_sparse.Spgen.banded ~rng:(Tt_util.Rng.split rng) ~n ~bandwidth:bw ~fill:0.4))
+    [ (800 * scale, 8); (1600 * scale, 14) ];
+  List.iter
+    (fun (n, d) ->
+      addm
+        (Printf.sprintf "rand-%d-%.1f" n d)
+        (Tt_sparse.Spgen.random_sym ~rng:(Tt_util.Rng.split rng) ~n ~nnz_per_row:d))
+    [ (900 * scale, 2.5); (1500 * scale, 3.5) ];
+  addm
+    (Printf.sprintf "arrow-%d" (1200 * scale))
+    (Tt_sparse.Spgen.block_arrow ~n:(1200 * scale) ~blocks:10 ~border:(8 * scale));
+  addm
+    (Printf.sprintf "plaw-%d" (1100 * scale))
+    (Tt_sparse.Spgen.power_law ~rng:(Tt_util.Rng.split rng) ~n:(1100 * scale)
+       ~edges_per_node:2);
+  addm (Printf.sprintf "tri-%d" (1800 * scale))
+    (Tt_sparse.Spgen.tridiagonal (1800 * scale));
+  Tt_util.Dynarray_compat.to_list named
+
+(* Share the expensive part (ordering, etree, column counts) across the
+   amalgamation levels. *)
+let instances_of_matrix ~amalgamations (mname, m) =
+  let pattern = Tt_sparse.Csr.symmetrize_pattern m in
+  List.concat_map
+    (fun ordering ->
+      let perm = Pipeline.permutation_of ordering pattern in
+      let b = Tt_ordering.Permute.apply pattern perm in
+      let parent = Tt_etree.Elimination_tree.parents b in
+      let col_counts = Tt_etree.Col_counts.counts b ~parent in
+      List.map
+        (fun am ->
+          let amal = Tt_etree.Amalgamation.run ~parent ~col_counts ~limit:am in
+          let asm = Tt_etree.Assembly.of_amalgamation amal in
+          { name =
+              Printf.sprintf "%s/%s/a%d" mname (Pipeline.ordering_name ordering) am;
+            tree = asm.Tt_etree.Assembly.tree })
+        amalgamations)
+    Pipeline.all_orderings
+
+let corpus ?scale ?(amalgamations = [ 1; 2; 4; 16 ]) ~seed () =
+  List.concat_map (instances_of_matrix ~amalgamations) (matrices ?scale ~seed ())
+
+let small_corpus ~seed =
+  let ms =
+    [ ("grid2d-8", Tt_sparse.Spgen.grid2d 8);
+      ("grid3d-4", Tt_sparse.Spgen.grid3d 4);
+      ( "band-60",
+        Tt_sparse.Spgen.banded ~rng:(Tt_util.Rng.create seed) ~n:60 ~bandwidth:5
+          ~fill:0.5 );
+      ( "rand-50",
+        Tt_sparse.Spgen.random_sym ~rng:(Tt_util.Rng.create (seed + 1)) ~n:50
+          ~nnz_per_row:2.5 )
+    ]
+  in
+  List.concat_map (instances_of_matrix ~amalgamations:[ 1; 4 ]) ms

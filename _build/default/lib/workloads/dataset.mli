@@ -1,0 +1,24 @@
+(** The experiment corpus — the stand-in for the paper's 291 University
+    of Florida matrices (see DESIGN.md, "Substitutions").
+
+    A corpus is the cross product of a family of synthetic matrices
+    (grids, 3D grids, banded, random, block-arrow, power-law), the
+    fill-reducing orderings of {!Pipeline.all_orderings} and the paper's
+    amalgamation levels 1/2/4/16. [scale] controls the matrix sizes; the
+    default corpus at scale 1 has a few hundred assembly trees, built in
+    seconds. Everything is deterministic given the seed. *)
+
+type instance = {
+  name : string;  (** e.g. ["grid2d-20/mindeg/a4"]. *)
+  tree : Tt_core.Tree.t;  (** The weighted assembly tree. *)
+}
+
+val matrices : ?scale:int -> seed:int -> unit -> (string * Tt_sparse.Csr.t) list
+(** The matrix family, sized by [scale] (≥ 1). *)
+
+val corpus : ?scale:int -> ?amalgamations:int list -> seed:int -> unit -> instance list
+(** The full assembly-tree corpus ([amalgamations] defaults to the
+    paper's [1; 2; 4; 16]). *)
+
+val small_corpus : seed:int -> instance list
+(** A reduced corpus (a few dozen trees) for quick tests. *)

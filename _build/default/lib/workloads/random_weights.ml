@@ -1,0 +1,17 @@
+let reweight ~rng tree =
+  let p = Tt_core.Tree.size tree in
+  let max_node = max 1 (p / 500) in
+  let root = tree.Tt_core.Tree.root in
+  Tt_core.Tree.map_weights
+    ~f:(fun i -> if i = root then 0 else Tt_util.Rng.int_incl rng 1 p)
+    ~n:(fun _ -> Tt_util.Rng.int_incl rng 1 max_node)
+    tree
+
+let corpus ?(variants = 3) ~seed instances =
+  let rng = Tt_util.Rng.create seed in
+  List.concat_map
+    (fun (inst : Dataset.instance) ->
+      List.init variants (fun v ->
+          { Dataset.name = Printf.sprintf "%s/rw%d" inst.Dataset.name v;
+            tree = reweight ~rng inst.Dataset.tree }))
+    instances

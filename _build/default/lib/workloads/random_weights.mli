@@ -1,0 +1,15 @@
+(** The random re-weighting of §VI-E: keep every assembly-tree structure
+    of the corpus but replace the weights with node weights drawn
+    uniformly from [1, N/500] and edge weights from [1, N], where N is
+    the number of tree nodes. On such trees the best postorder is far
+    from optimal much more often (the paper's Figure 9 / Table II). *)
+
+val reweight : rng:Tt_util.Rng.t -> Tt_core.Tree.t -> Tt_core.Tree.t
+(** Fresh random weights on the same shape; the root keeps [f = 0]
+    (it has no incoming edge). *)
+
+val corpus :
+  ?variants:int -> seed:int -> Dataset.instance list -> Dataset.instance list
+(** [variants] (default 3) reweighted copies of every instance — the
+    paper derives "more than 3200 trees" from its 291-matrix corpus the
+    same way. *)

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Bytes Char Helpers Printf QCheck String Tt_core Tt_sparse Tt_util

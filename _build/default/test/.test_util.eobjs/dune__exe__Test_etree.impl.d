@@ -1,0 +1,1 @@
+test/test_etree.ml: Alcotest Array Helpers List Printf QCheck Tt_core Tt_etree Tt_sparse Tt_util

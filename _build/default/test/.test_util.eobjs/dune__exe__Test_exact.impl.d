@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Helpers List Printf Tt_core Tt_util

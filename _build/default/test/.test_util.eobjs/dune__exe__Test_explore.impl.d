@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Helpers List Tt_core Tt_util

@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Array Helpers Tt_core

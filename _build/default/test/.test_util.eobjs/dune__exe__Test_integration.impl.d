@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Helpers Lazy List Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse Tt_workloads

@@ -1,0 +1,1 @@
+test/test_matrix_market.ml: Alcotest Array Filename Float Helpers QCheck Sys Tt_sparse Tt_util

@@ -1,0 +1,1 @@
+test/test_minio.ml: Alcotest Array Helpers List Option Printf QCheck String Tt_core Tt_util

@@ -1,0 +1,1 @@
+test/test_multifrontal.ml: Alcotest Array Float Helpers List Printf QCheck Tt_core Tt_etree Tt_multifrontal Tt_ordering Tt_sparse Tt_util

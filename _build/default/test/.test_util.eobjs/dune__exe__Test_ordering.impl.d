@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array Helpers List Printf QCheck Seq Tt_etree Tt_ordering Tt_sparse Tt_util

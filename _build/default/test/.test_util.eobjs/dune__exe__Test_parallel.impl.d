@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Helpers Option QCheck Tt_core

@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Array Helpers List Printf QCheck Tt_core Tt_util

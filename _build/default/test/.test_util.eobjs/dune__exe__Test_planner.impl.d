@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Helpers QCheck String Tt_core Tt_util

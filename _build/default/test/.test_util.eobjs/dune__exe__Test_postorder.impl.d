@@ -1,0 +1,1 @@
+test/test_postorder.ml: Alcotest Array Helpers List Printf Tt_core

@@ -1,0 +1,1 @@
+test/test_segments.ml: Alcotest Helpers List Printf QCheck String Tt_core Tt_util

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Float Helpers Printf QCheck Seq Tt_sparse Tt_util

@@ -1,0 +1,1 @@
+test/test_spgen.ml: Alcotest Array Float Helpers Seq Tt_ordering Tt_sparse Tt_util

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Helpers QCheck Tt_core Tt_util

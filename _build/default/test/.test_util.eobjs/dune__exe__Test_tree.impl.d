@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Helpers List Tt_core Tt_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Hashtbl Helpers List QCheck Tt_util

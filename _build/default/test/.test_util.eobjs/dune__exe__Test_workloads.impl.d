@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Helpers List Printf String Tt_core Tt_etree Tt_sparse Tt_util Tt_workloads

@@ -1,0 +1,60 @@
+(* Shared test utilities: deterministic tree generators, QCheck
+   arbitraries and alcotest glue. *)
+
+module T = Tt_core.Tree
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* --- deterministic random trees ----------------------------------------- *)
+
+let random_tree ~rng ~size_max ~max_f ~max_n =
+  let size = Tt_util.Rng.int_incl rng 1 size_max in
+  T.random ~rng ~size ~max_f ~max_n
+
+let tree_list ~seed ~count ~size_max ~max_f ~max_n =
+  let rng = Tt_util.Rng.create seed in
+  List.init count (fun _ -> random_tree ~rng ~size_max ~max_f ~max_n)
+
+(* --- QCheck arbitraries -------------------------------------------------- *)
+
+(* A tree encoded by a seed + size bound, printable and shrink-free (the
+   seed form keeps counterexamples reproducible). *)
+let arb_tree ?(size_max = 12) ?(max_f = 12) ?(max_n = 6) () =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        random_tree ~rng ~size_max ~max_f ~max_n)
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  QCheck.make ~print:T.to_string gen
+
+(* A tree together with a valid traversal of it. *)
+let arb_tree_with_order ?(size_max = 12) ?(max_f = 12) ?(max_n = 6) () =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let tree = random_tree ~rng ~size_max ~max_f ~max_n in
+        let order = Tt_core.Traversal.random_order ~rng tree in
+        (tree, order))
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  let print (t, o) =
+    Printf.sprintf "%s | order %s" (T.to_string t)
+      (String.concat " " (Array.to_list (Array.map string_of_int o)))
+  in
+  QCheck.make ~print gen
+
+let arb_int_list ?(len = 30) ?(max_v = 100) () =
+  QCheck.(list_of_size (Gen.int_bound len) (int_bound max_v))
+
+(* --- common assertions --------------------------------------------------- *)
+
+let check_valid_traversal tree order =
+  Alcotest.(check bool) "valid traversal" true (Tt_core.Traversal.is_valid_order tree order)
+
+let run name suites = Alcotest.run name suites

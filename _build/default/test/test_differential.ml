@@ -1,0 +1,195 @@
+(* Differential tests: independently written models compared against the
+   production implementations on random (including invalid) inputs. *)
+
+module T = Tt_core.Tree
+module Io = Tt_core.Io_schedule
+module H = Helpers
+
+(* ------------------------------------------------------------------------
+   An independent Algorithm-2 model, written definitionally: at every step
+   recompute the whole memory state from sigma and tau instead of updating
+   it incrementally. Returns the I/O volume or None when the schedule is
+   invalid/infeasible (no distinction). *)
+
+let model_check tree ~memory (s : Io.t) =
+  let p = T.size tree in
+  if Array.length s.Io.order <> p || Array.length s.Io.tau <> p then None
+  else begin
+    let pos = Array.make p (-1) in
+    let valid = ref true in
+    Array.iteri
+      (fun step i ->
+        if i < 0 || i >= p || pos.(i) >= 0 then valid := false else pos.(i) <- step)
+      s.Io.order;
+    if not !valid then None
+    else begin
+      (* precedence: sigma(parent) < sigma(i) *)
+      for i = 0 to p - 1 do
+        let par = tree.T.parent.(i) in
+        if par >= 0 && pos.(par) >= pos.(i) then valid := false
+      done;
+      (* tau constraints (4)-(6): produced before written, written before
+         executed, root never written *)
+      Array.iteri
+        (fun i w ->
+          if w <> Io.never then begin
+            if i = tree.T.root then valid := false
+            else if w < 0 || w >= p then valid := false
+            else begin
+              let produced_at = pos.(tree.T.parent.(i)) in
+              (* a write at step w happens before the execution at step w *)
+              if not (produced_at < w && w <= pos.(i)) then valid := false;
+              if w = pos.(i) then
+                (* writing at one's own execution step is useless but the
+                   paper's constraint tau(i) < sigma(i) forbids it *)
+                valid := false
+            end
+          end)
+        s.Io.tau;
+      if not !valid then None
+      else begin
+        (* memory constraint (7), recomputed from scratch per step *)
+        let io = ref 0 in
+        Array.iteri (fun i w -> if w <> Io.never then io := !io + tree.T.f.(i)) s.Io.tau;
+        let feasible = ref true in
+        for step = 0 to p - 1 do
+          let j = s.Io.order.(step) in
+          (* resident files while j executes: produced, not consumed, and
+             not currently written out (out during [tau(i), sigma(i)));
+             j's own file counts because it is read back for execution *)
+          let resident = ref 0 in
+          for i = 0 to p - 1 do
+            let produced = if i = tree.T.root then true else pos.(tree.T.parent.(i)) < step in
+            let consumed = pos.(i) < step in
+            let out =
+              s.Io.tau.(i) <> Io.never && s.Io.tau.(i) <= step && pos.(i) > step
+            in
+            if produced && (not consumed) && ((not out) || i = j) then
+              resident := !resident + tree.T.f.(i)
+          done;
+          let usage = !resident + tree.T.n.(j) + T.sum_children_f tree j in
+          if usage > memory then feasible := false
+        done;
+        if !feasible then Some !io else None
+      end
+    end
+  end
+
+let arb_tree_with_random_schedule =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let t = H.random_tree ~rng ~size_max:9 ~max_f:7 ~max_n:3 in
+        let p = T.size t in
+        (* half the time a valid order, half a random permutation *)
+        let order =
+          if Tt_util.Rng.bool rng then Tt_core.Traversal.random_order ~rng t
+          else begin
+            let a = Array.init p (fun i -> i) in
+            Tt_util.Rng.shuffle rng a;
+            a
+          end
+        in
+        (* random tau: mostly never, sometimes a random step *)
+        let tau =
+          Array.init p (fun _ ->
+              if Tt_util.Rng.int rng 3 = 0 then Tt_util.Rng.int rng (p + 1) - 1
+              else Io.never)
+        in
+        let memory = Tt_util.Rng.int_incl rng 0 (2 * T.max_mem_req t) in
+        (t, memory, { Io.order; tau }))
+      (QCheck.Gen.int_bound 10_000_000)
+  in
+  QCheck.make
+    ~print:(fun (t, m, s) ->
+      Printf.sprintf "%s M=%d order=[%s] tau=[%s]" (T.to_string t) m
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.Io.order)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.Io.tau))))
+    gen
+
+let prop_algorithm2_differential =
+  H.qcheck ~count:800 "Io_schedule.check agrees with the definitional model"
+    arb_tree_with_random_schedule (fun (t, memory, s) ->
+      let model = model_check t ~memory s in
+      match Io.check t ~memory s with
+      | Io.Feasible { io; _ } -> model = Some io
+      | Io.Infeasible_at _ | Io.Invalid _ -> model = None)
+
+(* ------------------------------------------------------------------------
+   Matrix Market fuzzing: arbitrary garbage must raise Parse_error (or
+   parse), never crash otherwise. *)
+
+let arb_garbage =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let base =
+          match Tt_util.Rng.int rng 3 with
+          | 0 ->
+              (* pure noise *)
+              String.init (Tt_util.Rng.int rng 200) (fun _ ->
+                  Char.chr (Tt_util.Rng.int_incl rng 32 126))
+          | 1 ->
+              (* valid header, noisy body *)
+              "%%MatrixMarket matrix coordinate real general\n3 3 2\n"
+              ^ String.init (Tt_util.Rng.int rng 60) (fun _ ->
+                    Char.chr (Tt_util.Rng.int_incl rng 32 126))
+          | _ ->
+              (* a valid file with one mutated byte *)
+              let s =
+                Bytes.of_string
+                  (Tt_sparse.Matrix_market.to_string (Tt_sparse.Spgen.grid2d 3))
+              in
+              if Bytes.length s > 0 then
+                Bytes.set s
+                  (Tt_util.Rng.int rng (Bytes.length s))
+                  (Char.chr (Tt_util.Rng.int_incl rng 32 126));
+              Bytes.to_string s
+        in
+        base)
+      (QCheck.Gen.int_bound 10_000_000)
+  in
+  QCheck.make ~print:(fun s -> String.escaped s) gen
+
+let prop_parser_never_crashes =
+  H.qcheck ~count:500 "the MM parser only ever raises Parse_error" arb_garbage
+    (fun text ->
+      match Tt_sparse.Matrix_market.parse_string text with
+      | _ -> true
+      | exception Tt_sparse.Matrix_market.Parse_error _ -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------------
+   Traversal profiles vs the segment calculus. *)
+
+let prop_profile_to_segments =
+  H.qcheck ~count:300 "a traversal's step profile canonicalizes consistently"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let usage = Tt_core.Traversal.profile t order in
+      (* retained memory after step k: usage minus the executed node's
+         execution file and its consumed input *)
+      let after =
+        Array.mapi
+          (fun k u -> u - t.T.n.(order.(k)) - t.T.f.(order.(k)))
+          usage
+      in
+      let prof = Tt_core.Segments.of_step_profile ~usage ~after ~order in
+      Tt_core.Segments.check_canonical prof
+      && Tt_core.Segments.peak prof = Tt_core.Traversal.peak t order
+      && Tt_core.Segments.nodes prof = Array.to_list order
+      && Tt_core.Segments.final_valley prof = 0)
+
+let prop_liu_optimal_vs_any_traversal =
+  H.qcheck ~count:300 "no traversal beats Liu's optimum"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      Tt_core.Liu_exact.min_memory t <= Tt_core.Traversal.peak t order)
+
+let () =
+  H.run "differential"
+    [ ("algorithm 2", [ prop_algorithm2_differential ]);
+      ("matrix market fuzz", [ prop_parser_never_crashes ]);
+      ( "profiles",
+        [ prop_profile_to_segments; prop_liu_optimal_vs_any_traversal ] )
+    ]

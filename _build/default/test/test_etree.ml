@@ -1,0 +1,304 @@
+(* Tests for elimination trees, column counts, symbolic factorization,
+   amalgamation and assembly trees. *)
+
+module S = Tt_sparse
+module E = Tt_etree
+module H = Helpers
+
+let arb_pattern =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let n = Tt_util.Rng.int_incl rng 1 35 in
+        S.Csr.symmetrize_pattern (S.Spgen.random_sym ~rng ~n ~nnz_per_row:2.5))
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  QCheck.make ~print:(fun a -> Printf.sprintf "n=%d" a.S.Csr.nrows) gen
+
+(* -------------------------------------------------------- elimination tree *)
+
+let prop_etree_oracle =
+  H.qcheck ~count:150 "fast etree = dense-symbolic oracle" arb_pattern (fun a ->
+      E.Elimination_tree.parents a = E.Elimination_tree.parents_dense_oracle a)
+
+let test_etree_tridiagonal () =
+  let a = S.Csr.symmetrize_pattern (S.Spgen.tridiagonal 6) in
+  Alcotest.(check (array int)) "chain etree" [| 1; 2; 3; 4; 5; -1 |]
+    (E.Elimination_tree.parents a)
+
+let test_etree_forest () =
+  (* block diagonal: 2 + 2 decoupled vertices -> forest with two roots *)
+  let t = S.Triplet.create ~nrows:4 ~ncols:4 in
+  List.iter (fun i -> S.Triplet.add t i i 1.) [ 0; 1; 2; 3 ];
+  S.Triplet.add t 1 0 1.;
+  S.Triplet.add t 0 1 1.;
+  S.Triplet.add t 3 2 1.;
+  S.Triplet.add t 2 3 1.;
+  let parent = E.Elimination_tree.parents (S.Csr.of_triplet t) in
+  Alcotest.(check (array int)) "forest" [| 1; -1; 3; -1 |] parent;
+  Alcotest.(check (list int)) "roots" [ 1; 3 ] (E.Elimination_tree.roots parent)
+
+let prop_etree_parent_above =
+  H.qcheck "etree parents have larger indices" arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      Array.for_all2 (fun p j -> p = -1 || p > j) parent
+        (Array.init (Array.length parent) (fun i -> i)))
+
+(* ----------------------------------------------------------- column counts *)
+
+let prop_col_counts_match_symbolic =
+  H.qcheck ~count:150 "counts = |symbolic structures|" arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let cc = E.Col_counts.counts a ~parent in
+      let sym = E.Symbolic.run a ~parent in
+      cc = Array.init a.S.Csr.nrows (E.Symbolic.col_count sym)
+      && E.Col_counts.nnz_l a ~parent = E.Symbolic.nnz_l sym)
+
+let prop_symbolic_structure =
+  H.qcheck ~count:100 "symbolic columns contain the diagonal and nest into parents"
+    arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let sym = E.Symbolic.run a ~parent in
+      let ok = ref true in
+      Array.iteri
+        (fun j s ->
+          (* diagonal present and first (sorted) *)
+          if Array.length s = 0 || s.(0) <> j then ok := false;
+          (* struct j minus j is a subset of struct parent(j) *)
+          if parent.(j) >= 0 then begin
+            let p = sym.E.Symbolic.col_struct.(parent.(j)) in
+            let mem x = Array.exists (fun y -> y = x) p in
+            Array.iter (fun i -> if i <> j && not (mem i) then ok := false) s
+          end
+          else
+            (* a root column's structure is just {j}: anything below it
+               would force a parent *)
+            if Array.length s <> 1 then ok := false)
+        sym.E.Symbolic.col_struct;
+      !ok)
+
+let test_col_counts_dense () =
+  (* fully dense 4x4: column j of L has n - j entries *)
+  let a = S.Csr.of_dense (Array.make_matrix 4 4 1.) in
+  let parent = E.Elimination_tree.parents a in
+  Alcotest.(check (array int)) "dense counts" [| 4; 3; 2; 1 |]
+    (E.Col_counts.counts a ~parent)
+
+(* ------------------------------------------------------------ amalgamation *)
+
+let test_amalgamation_dense_chain () =
+  (* dense matrix: etree is a chain and every merge is perfect: one group *)
+  let a = S.Csr.of_dense (Array.make_matrix 5 5 1.) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit:1 in
+  Alcotest.(check int) "single supernode" 1 (Array.length am.E.Amalgamation.groups);
+  let g = am.E.Amalgamation.groups.(0) in
+  Alcotest.(check int) "eta" 5 g.E.Amalgamation.eta;
+  Alcotest.(check int) "mu of highest" 1 g.E.Amalgamation.mu;
+  Alcotest.(check (list int)) "members highest first" [ 4; 3; 2; 1; 0 ]
+    g.E.Amalgamation.members
+
+let test_amalgamation_chain_no_perfect () =
+  (* tridiagonal: only the top pair is a genuine supernode; with limit 1
+     nothing else merges *)
+  let a = S.Csr.symmetrize_pattern (S.Spgen.tridiagonal 8) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit:1 in
+  Alcotest.(check int) "n-1 groups" 7 (Array.length am.E.Amalgamation.groups)
+
+let test_amalgamation_limit_bounds_relaxed () =
+  let a = S.Csr.symmetrize_pattern (S.Spgen.tridiagonal 40) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  List.iter
+    (fun limit ->
+      let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit in
+      Array.iter
+        (fun g ->
+          (* relaxed merges never push a group beyond the limit except
+             through perfect chains; on a tridiagonal matrix only the top
+             pair is perfect, so groups are bounded by limit + 1 *)
+          if g.E.Amalgamation.eta > limit + 1 then
+            Alcotest.failf "limit %d: eta %d" limit g.E.Amalgamation.eta)
+        am.E.Amalgamation.groups)
+    [ 1; 2; 4; 16 ]
+
+let prop_amalgamation_partition =
+  H.qcheck ~count:100 "groups partition the vertices; parents are consistent"
+    arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let cc = E.Col_counts.counts a ~parent in
+      List.for_all
+        (fun limit ->
+          let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit in
+          let n = a.S.Csr.nrows in
+          let seen = Array.make n 0 in
+          Array.iter
+            (fun g ->
+              List.iter (fun v -> seen.(v) <- seen.(v) + 1) g.E.Amalgamation.members)
+            am.E.Amalgamation.groups;
+          Array.for_all (fun c -> c = 1) seen
+          && Array.for_all
+               (fun g ->
+                 g.E.Amalgamation.eta = List.length g.E.Amalgamation.members)
+               am.E.Amalgamation.groups
+          && Array.for_all2
+               (fun g gi ->
+                 (* group parent = group of the head's etree parent *)
+                 ignore gi;
+                 match g.E.Amalgamation.members with
+                 | [] -> false
+                 | head :: _ ->
+                     let p = parent.(head) in
+                     if p = -1 then g.E.Amalgamation.parent = -1
+                     else g.E.Amalgamation.parent = am.E.Amalgamation.group_of.(p))
+               am.E.Amalgamation.groups
+               (Array.init (Array.length am.E.Amalgamation.groups) (fun i -> i)))
+        [ 1; 4 ])
+
+let test_weights () =
+  let g = { E.Amalgamation.members = [ 3; 2 ]; eta = 2; mu = 4; parent = -1 } in
+  Alcotest.(check int) "node weight" (4 + (2 * 2 * 3)) (E.Amalgamation.node_weight g);
+  Alcotest.(check int) "edge weight" 9 (E.Amalgamation.edge_weight g)
+
+(* ---------------------------------------------------------------- assembly *)
+
+let prop_assembly_tree_valid =
+  H.qcheck ~count:80 "assembly trees are valid workflows solved by minmem"
+    arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let cc = E.Col_counts.counts a ~parent in
+      List.for_all
+        (fun limit ->
+          let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit in
+          let asm = E.Assembly.of_amalgamation am in
+          let tree = asm.E.Assembly.tree in
+          let mem, order = Tt_core.Minmem.run tree in
+          Tt_core.Traversal.peak tree order = mem)
+        [ 1; 16 ])
+
+let test_assembly_forest_virtual_root () =
+  let t = S.Triplet.create ~nrows:4 ~ncols:4 in
+  List.iter (fun i -> S.Triplet.add t i i 1.) [ 0; 1; 2; 3 ];
+  S.Triplet.add t 1 0 1.;
+  S.Triplet.add t 0 1 1.;
+  S.Triplet.add t 3 2 1.;
+  S.Triplet.add t 2 3 1.;
+  let a = S.Csr.of_triplet t in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  let asm = E.Assembly.of_etree_raw ~parent ~col_counts:cc in
+  Alcotest.(check bool) "virtual root added" true asm.E.Assembly.virtual_root;
+  let tree = asm.E.Assembly.tree in
+  Alcotest.(check int) "size" 5 (Tt_core.Tree.size tree);
+  Alcotest.(check int) "virtual root weightless" 0
+    (tree.Tt_core.Tree.f.(tree.Tt_core.Tree.root) + tree.Tt_core.Tree.n.(tree.Tt_core.Tree.root));
+  Alcotest.(check int) "virtual root marker" (-1)
+    asm.E.Assembly.supernode_of_node.(tree.Tt_core.Tree.root)
+
+let test_assembly_raw_weights () =
+  let a = S.Csr.symmetrize_pattern (S.Spgen.tridiagonal 4) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  let asm = E.Assembly.of_etree_raw ~parent ~col_counts:cc in
+  let tree = asm.E.Assembly.tree in
+  (* mu = 2 for all but the last column: f = 1, n = 3; last: f=0, n=1 *)
+  Alcotest.(check int) "f of column 0" 1 tree.Tt_core.Tree.f.(0);
+  Alcotest.(check int) "n of column 0" 3 tree.Tt_core.Tree.n.(0);
+  Alcotest.(check int) "f of root column" 0 tree.Tt_core.Tree.f.(3);
+  Alcotest.(check int) "n of root column" 1 tree.Tt_core.Tree.n.(3)
+
+
+(* -------------------------------------------------------------- supernodes *)
+
+let test_supernodes_dense () =
+  (* dense matrix: one fundamental supernode *)
+  let a = S.Csr.of_dense (Array.make_matrix 5 5 1.) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  Alcotest.(check int) "one supernode" 1 (E.Supernodes.count ~parent ~col_counts:cc);
+  Alcotest.(check (list int)) "size 5" [ 5 ] (E.Supernodes.sizes ~parent ~col_counts:cc)
+
+let test_supernodes_tridiagonal () =
+  (* tridiagonal: only the top pair merges *)
+  let a = S.Csr.symmetrize_pattern (S.Spgen.tridiagonal 6) in
+  let parent = E.Elimination_tree.parents a in
+  let cc = E.Col_counts.counts a ~parent in
+  Alcotest.(check int) "n-1 supernodes" 5 (E.Supernodes.count ~parent ~col_counts:cc)
+
+let prop_supernodes_partition =
+  H.qcheck ~count:100 "fundamental supernodes partition the columns" arb_pattern
+    (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let cc = E.Col_counts.counts a ~parent in
+      let rep = E.Supernodes.partition ~parent ~col_counts:cc in
+      let sizes = E.Supernodes.sizes ~parent ~col_counts:cc in
+      List.fold_left ( + ) 0 sizes = a.S.Csr.nrows
+      && Array.for_all (fun r -> rep.(r) = r) rep
+      (* representatives map to themselves; every member's rep is below *)
+      && Array.for_all2 (fun r j -> r <= j) rep
+           (Array.init (Array.length rep) (fun i -> i)))
+
+let prop_supernodes_refine_perfect_amalgamation =
+  H.qcheck ~count:80 "fundamental chains merge under perfect amalgamation"
+    arb_pattern (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let cc = E.Col_counts.counts a ~parent in
+      let rep = E.Supernodes.partition ~parent ~col_counts:cc in
+      let am = E.Amalgamation.run ~parent ~col_counts:cc ~limit:1 in
+      (* two columns in the same fundamental supernode always share the
+         same amalgamation group (limit 1 applies perfect merges and one
+         relaxed merge, so it can only merge more) *)
+      let ok = ref true in
+      Array.iteri
+        (fun j r ->
+          if am.E.Amalgamation.group_of.(j) <> am.E.Amalgamation.group_of.(r) then
+            ok := false)
+        rep;
+      !ok)
+
+let prop_flops_consistent =
+  H.qcheck ~count:80 "flop count = sum of squared column counts" arb_pattern
+    (fun a ->
+      let parent = E.Elimination_tree.parents a in
+      let sym = E.Symbolic.run a ~parent in
+      let cc = E.Col_counts.counts a ~parent in
+      E.Symbolic.factorization_flops sym
+      = Array.fold_left (fun acc mu -> acc + (mu * mu)) 0 cc)
+
+let () =
+  H.run "etree"
+    [ ( "elimination tree",
+        [ prop_etree_oracle;
+          H.case "tridiagonal" test_etree_tridiagonal;
+          H.case "forest" test_etree_forest;
+          prop_etree_parent_above
+        ] );
+      ( "column counts",
+        [ prop_col_counts_match_symbolic;
+          prop_symbolic_structure;
+          H.case "dense" test_col_counts_dense
+        ] );
+      ( "amalgamation",
+        [ H.case "dense chain" test_amalgamation_dense_chain;
+          H.case "tridiagonal chain" test_amalgamation_chain_no_perfect;
+          H.case "limit bounds" test_amalgamation_limit_bounds_relaxed;
+          prop_amalgamation_partition;
+          H.case "weights" test_weights
+        ] );
+      ( "supernodes",
+        [ H.case "dense" test_supernodes_dense;
+          H.case "tridiagonal" test_supernodes_tridiagonal;
+          prop_supernodes_partition;
+          prop_supernodes_refine_perfect_amalgamation;
+          prop_flops_consistent
+        ] );
+      ( "assembly",
+        [ prop_assembly_tree_valid;
+          H.case "forest virtual root" test_assembly_forest_virtual_root;
+          H.case "raw weights" test_assembly_raw_weights
+        ] )
+    ]

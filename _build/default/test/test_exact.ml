@@ -1,0 +1,159 @@
+(* The central correctness suite: Liu's exact algorithm and MinMem agree
+   with each other, with the exponential oracle, and their traversals
+   realize the claimed peaks. *)
+
+module T = Tt_core.Tree
+module Tr = Tt_core.Traversal
+module H = Helpers
+
+let check_one ?(oracle = true) t =
+  let liu_mem, liu_order = Tt_core.Liu_exact.run t in
+  let mm_mem, mm_order = Tt_core.Minmem.run t in
+  if not (Tr.is_valid_order t liu_order) then Alcotest.fail "liu order invalid";
+  if not (Tr.is_valid_order t mm_order) then Alcotest.fail "minmem order invalid";
+  Alcotest.(check int) "liu peak realized" liu_mem (Tr.peak t liu_order);
+  Alcotest.(check int) "minmem peak realized" mm_mem (Tr.peak t mm_order);
+  Alcotest.(check int) "liu = minmem" liu_mem mm_mem;
+  let po = Tt_core.Postorder_opt.best_memory t in
+  if po < liu_mem then Alcotest.failf "postorder %d beats optimum %d" po liu_mem;
+  if oracle && T.size t <= 16 then
+    Alcotest.(check int) "oracle agrees" (Tt_core.Brute_force.min_memory t) liu_mem
+
+let prop_agreement_small =
+  H.qcheck ~count:500 "liu = minmem = oracle on random trees (<= 10 nodes)"
+    (H.arb_tree ~size_max:10 ~max_f:12 ~max_n:6 ()) (fun t ->
+      check_one t;
+      true)
+
+let prop_agreement_medium =
+  H.qcheck ~count:150 "liu = minmem = oracle on random trees (<= 16 nodes)"
+    (H.arb_tree ~size_max:16 ~max_f:30 ~max_n:15 ()) (fun t ->
+      check_one t;
+      true)
+
+let prop_agreement_zero_weights =
+  H.qcheck ~count:200 "agreement with many zero files"
+    (H.arb_tree ~size_max:12 ~max_f:2 ~max_n:1 ()) (fun t ->
+      check_one t;
+      true)
+
+let prop_agreement_large_no_oracle =
+  H.qcheck ~count:30 "liu = minmem on larger random trees"
+    (H.arb_tree ~size_max:400 ~max_f:50 ~max_n:25 ()) (fun t ->
+      check_one ~oracle:false t;
+      true)
+
+let test_known_shapes () =
+  List.iter check_one
+    [ Tt_core.Instances.chain ~length:8 ~f:4 ~n:2;
+      Tt_core.Instances.star ~branches:6 ~f_root:3 ~f_leaf:2 ~n:1;
+      Tt_core.Instances.complete_binary ~levels:3 ~f:3 ~n:1;
+      Tt_core.Instances.caterpillar ~length:4 ~leaves_per_node:2 ~f:2 ~n:1;
+      Tt_core.Instances.harpoon ~branches:3 ~m:9 ~eps:1
+    ]
+
+let test_chain_closed_form () =
+  (* chain: only one traversal, peak = f + n + f (except at the leaf) *)
+  let t = Tt_core.Instances.chain ~length:10 ~f:7 ~n:3 in
+  Alcotest.(check int) "chain optimum" 17 (Tt_core.Liu_exact.min_memory t);
+  Alcotest.(check int) "chain minmem" 17 (Tt_core.Minmem.min_memory t)
+
+let test_star_closed_form () =
+  (* star: the root execution dominates: f_root + n + b * f_leaf *)
+  let t = Tt_core.Instances.star ~branches:5 ~f_root:4 ~f_leaf:3 ~n:2 in
+  Alcotest.(check int) "star optimum" (4 + 2 + 15) (Tt_core.Liu_exact.min_memory t)
+
+let test_harpoon_closed_forms () =
+  (* Theorem 1 formulas, exercised on several parameter sets *)
+  List.iter
+    (fun (b, levels, m, eps) ->
+      let t = Tt_core.Instances.harpoon_nested ~branches:b ~levels ~m ~eps in
+      let po = Tt_core.Postorder_opt.best_memory t in
+      let opt = Tt_core.Liu_exact.min_memory t in
+      Alcotest.(check int)
+        (Printf.sprintf "PO b=%d L=%d" b levels)
+        (m + eps + (levels * (b - 1) * (m / b)))
+        po;
+      (* the optimum only grows by small files per level *)
+      if opt > m + eps + (2 * levels * b * eps) then
+        Alcotest.failf "optimum too large: %d" opt;
+      Alcotest.(check int) "minmem agrees" opt (Tt_core.Minmem.min_memory t))
+    [ (2, 1, 100, 1); (3, 2, 300, 1); (3, 3, 300, 2); (4, 2, 400, 1) ]
+
+let test_theorem1_ratio_grows () =
+  let r l = Tt_core.Instances.theorem1_ratio ~branches:3 ~levels:l ~m:300 ~eps:1 in
+  let r1 = r 1 and r3 = r 3 and r5 = r 5 in
+  if not (r1 < r3 && r3 < r5) then
+    Alcotest.failf "ratio not increasing: %.3f %.3f %.3f" r1 r3 r5;
+  if r5 < 4.0 then Alcotest.failf "ratio too small at L=5: %.3f" r5
+
+let test_single_node () =
+  let t = T.make ~parent:[| -1 |] ~f:[| 5 |] ~n:[| 2 |] in
+  Alcotest.(check int) "liu" 7 (Tt_core.Liu_exact.min_memory t);
+  Alcotest.(check int) "minmem" 7 (Tt_core.Minmem.min_memory t);
+  Alcotest.(check int) "oracle" 7 (Tt_core.Brute_force.min_memory t)
+
+let test_deep_chain_fast () =
+  (* 100k-node chain: both algorithms must stay near-linear, and MinMem's
+     recursive Explore must survive the depth (OCaml 5 grows the stack) *)
+  let t = Tt_core.Instances.chain ~length:100_000 ~f:3 ~n:1 in
+  let (liu, _), dt_liu = Tt_util.Timer.time (fun () -> Tt_core.Liu_exact.run t) in
+  Alcotest.(check int) "deep chain optimum" 7 liu;
+  if dt_liu > 5. then Alcotest.failf "liu too slow on a chain: %.1fs" dt_liu;
+  let (mm, order), dt_mm = Tt_util.Timer.time (fun () -> Tt_core.Minmem.run t) in
+  Alcotest.(check int) "minmem deep chain" 7 mm;
+  Alcotest.(check int) "full traversal" 100_000 (Array.length order);
+  if dt_mm > 5. then Alcotest.failf "minmem too slow on a chain: %.1fs" dt_mm
+
+let test_wide_star_fast () =
+  let t = Tt_core.Instances.star ~branches:100_000 ~f_root:1 ~f_leaf:1 ~n:0 in
+  let (mm, order), dt = Tt_util.Timer.time (fun () -> Tt_core.Minmem.run t) in
+  Alcotest.(check int) "wide star optimum" 100_001 mm;
+  Alcotest.(check int) "order length" 100_001 (Array.length order);
+  if dt > 5. then Alcotest.failf "minmem too slow on a star: %.1fs" dt
+
+let prop_liu_profiles_canonical =
+  H.qcheck "liu keeps every subtree profile canonical" (H.arb_tree ~size_max:20 ())
+    (fun t ->
+      let profs = Tt_core.Liu_exact.profiles t in
+      Array.for_all Tt_core.Segments.check_canonical profs
+      && Array.for_all2
+           (fun prof fi -> Tt_core.Segments.final_valley prof = fi)
+           profs t.T.f)
+
+let prop_liu_profile_matches_simulation =
+  H.qcheck "root profile peak equals the traversal peak" (H.arb_tree ~size_max:20 ())
+    (fun t ->
+      let profs = Tt_core.Liu_exact.profiles t in
+      let mem, _ = Tt_core.Liu_exact.run t in
+      Tt_core.Segments.peak profs.(t.T.root) = mem)
+
+let test_minmem_iterations_positive () =
+  let t = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  let rounds = Tt_core.Minmem.iterations t in
+  if rounds < 1 then Alcotest.failf "rounds %d < 1" rounds
+
+let () =
+  H.run "exact"
+    [ ( "agreement",
+        [ prop_agreement_small;
+          prop_agreement_medium;
+          prop_agreement_zero_weights;
+          prop_agreement_large_no_oracle;
+          H.case "known shapes" test_known_shapes
+        ] );
+      ( "closed forms",
+        [ H.case "chain" test_chain_closed_form;
+          H.case "star" test_star_closed_form;
+          H.case "harpoons" test_harpoon_closed_forms;
+          H.case "theorem 1 ratio" test_theorem1_ratio_grows;
+          H.case "single node" test_single_node
+        ] );
+      ( "scalability",
+        [ H.case "deep chain" test_deep_chain_fast; H.case "wide star" test_wide_star_fast ] );
+      ( "profiles",
+        [ prop_liu_profiles_canonical;
+          prop_liu_profile_matches_simulation;
+          H.case "minmem iterations" test_minmem_iterations_positive
+        ] )
+    ]

@@ -1,0 +1,143 @@
+(* End-to-end integration tests: the full paper pipeline on real (small)
+   corpora, asserting the qualitative shapes the paper reports. *)
+
+module T = Tt_core.Tree
+module W = Tt_workloads
+module H = Helpers
+
+let corpus = lazy (W.Dataset.small_corpus ~seed:42)
+
+let test_postorder_near_optimal_on_assembly_trees () =
+  (* paper Table I: postorder optimal in ~96% of assembly trees; on the
+     small corpus demand at least 60% and mild worst-case excess *)
+  let insts = Lazy.force corpus in
+  let ratios =
+    List.map
+      (fun (i : W.Dataset.instance) ->
+        let po = Tt_core.Postorder_opt.best_memory i.W.Dataset.tree in
+        let opt = Tt_core.Liu_exact.min_memory i.W.Dataset.tree in
+        float_of_int po /. float_of_int opt)
+      insts
+  in
+  let optimal = List.filter (fun r -> r <= 1.0 +. 1e-12) ratios in
+  let frac = float_of_int (List.length optimal) /. float_of_int (List.length ratios) in
+  if frac < 0.6 then Alcotest.failf "postorder optimal on only %.0f%%" (100. *. frac);
+  List.iter (fun r -> if r > 2.0 then Alcotest.failf "excess ratio %.2f" r) ratios
+
+let test_exact_algorithms_agree_on_corpus () =
+  List.iter
+    (fun (i : W.Dataset.instance) ->
+      let liu = Tt_core.Liu_exact.min_memory i.W.Dataset.tree in
+      let mm = Tt_core.Minmem.min_memory i.W.Dataset.tree in
+      if liu <> mm then Alcotest.failf "%s: liu %d <> minmem %d" i.W.Dataset.name liu mm)
+    (Lazy.force corpus)
+
+let test_minio_pipeline_on_corpus () =
+  (* for every instance: plan with First Fit at a tight budget, check the
+     schedule with Algorithm 2, compare with the divisible bound *)
+  List.iter
+    (fun (i : W.Dataset.instance) ->
+      let tree = i.W.Dataset.tree in
+      let opt, order = Tt_core.Minmem.run tree in
+      let floor = T.max_mem_req tree in
+      if opt > floor then begin
+        let memory = floor + ((opt - floor) / 3) in
+        match Tt_core.Minio.run tree ~memory ~order Tt_core.Minio.First_fit with
+        | None -> Alcotest.failf "%s: infeasible at %d" i.W.Dataset.name memory
+        | Some sched -> (
+            match Tt_core.Io_schedule.check tree ~memory sched with
+            | Tt_core.Io_schedule.Feasible { io; _ } -> (
+                match Tt_core.Minio.divisible_lower_bound tree ~memory ~order with
+                | Some lb ->
+                    if float_of_int io +. 1e-6 < lb then
+                      Alcotest.failf "%s: io %d below bound %.1f" i.W.Dataset.name io lb
+                | None -> Alcotest.fail "bound infeasible")
+            | _ -> Alcotest.failf "%s: invalid schedule" i.W.Dataset.name)
+      end)
+    (Lazy.force corpus)
+
+let test_matrix_to_factorization_roundtrip () =
+  (* full numeric pipeline through Matrix Market serialization *)
+  let a0 = Tt_sparse.Spgen.grid2d 9 in
+  let text = Tt_sparse.Matrix_market.to_string ~symmetry:Tt_sparse.Matrix_market.Symmetric a0 in
+  let _, t = Tt_sparse.Matrix_market.parse_string text in
+  let a = Tt_sparse.Csr.of_triplet t in
+  let pattern = Tt_sparse.Csr.symmetrize_pattern a in
+  let perm = Tt_ordering.Min_degree.order (Tt_ordering.Graph_adj.of_pattern pattern) in
+  let a = Tt_sparse.Csr.permute_sym a perm in
+  let pattern = Tt_sparse.Csr.symmetrize_pattern a in
+  let parent = Tt_etree.Elimination_tree.parents pattern in
+  let sym = Tt_etree.Symbolic.run pattern ~parent in
+  let r =
+    Tt_multifrontal.Factor.run a sym
+      ~schedule:(Tt_multifrontal.Factor.default_schedule sym)
+  in
+  Alcotest.(check bool) "residual" true
+    (Tt_multifrontal.Factor.residual_norm a r.Tt_multifrontal.Factor.l < 1e-9)
+
+let test_minmem_schedule_helps_multifrontal () =
+  (* the optimal schedule's measured memory never exceeds the postorder
+     schedule's, and matches the model exactly for both *)
+  let a = Tt_sparse.Spgen.grid2d_9pt 8 in
+  let pattern = Tt_sparse.Csr.symmetrize_pattern a in
+  let parent = Tt_etree.Elimination_tree.parents pattern in
+  let sym = Tt_etree.Symbolic.run pattern ~parent in
+  let n = pattern.Tt_sparse.Csr.nrows in
+  let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+  let asm = Tt_etree.Assembly.of_etree_raw ~parent ~col_counts:cc in
+  let tree = asm.Tt_etree.Assembly.tree in
+  let to_schedule order =
+    let rev = Tt_core.Transform.reverse_traversal order in
+    if asm.Tt_etree.Assembly.virtual_root then
+      Array.of_list (List.filter (fun x -> x < n) (Array.to_list rev))
+    else rev
+  in
+  let spd = Tt_sparse.Csr.symmetrize_values a in
+  let measure order =
+    (Tt_multifrontal.Factor.run spd sym ~schedule:(to_schedule order))
+      .Tt_multifrontal.Factor.peak_words
+  in
+  let po_mem, po_order = Tt_core.Postorder_opt.run tree in
+  let mm_mem, mm_order = Tt_core.Minmem.run tree in
+  Alcotest.(check int) "postorder model = measured" po_mem (measure po_order);
+  Alcotest.(check int) "minmem model = measured" mm_mem (measure mm_order);
+  Alcotest.(check bool) "optimal <= postorder" true (mm_mem <= po_mem)
+
+let test_theorem1_and_2_coexist () =
+  (* the two headline results, in one run *)
+  let ratio = Tt_core.Instances.theorem1_ratio ~branches:3 ~levels:4 ~m:300 ~eps:1 in
+  Alcotest.(check bool) "theorem 1 ratio > 3" true (ratio > 3.0);
+  let tree, memory, bound = Tt_core.Instances.two_partition_gadget [| 2; 1; 1 |] in
+  Alcotest.(check (option int)) "theorem 2 bound met" (Some bound)
+    (Tt_core.Brute_force.min_io tree ~memory)
+
+let test_cross_model_consistency () =
+  (* a random corpus tree, its reversal, and the multifrontal direction
+     all agree on the optimum *)
+  List.iter
+    (fun (i : W.Dataset.instance) ->
+      let tree = i.W.Dataset.tree in
+      let mem, in_order = Tt_core.Transform.min_memory_in_tree tree in
+      Alcotest.(check int)
+        (i.W.Dataset.name ^ " duality")
+        mem
+        (Tt_core.Transform.in_tree_peak tree in_order))
+    (Lazy.force corpus)
+
+let () =
+  H.run "integration"
+    [ ( "paper shapes",
+        [ H.case "postorder near-optimal on assembly trees"
+            test_postorder_near_optimal_on_assembly_trees;
+          H.case "exact algorithms agree" test_exact_algorithms_agree_on_corpus;
+          H.case "random weights vs postorder (see workloads suite)" (fun () -> ());
+          H.case "theorems 1 and 2" test_theorem1_and_2_coexist
+        ] );
+      ( "pipelines",
+        [ H.case "minio end to end" test_minio_pipeline_on_corpus;
+          H.case "matrix market to factorization" test_matrix_to_factorization_roundtrip;
+          H.case "schedules drive the multifrontal solver"
+            test_minmem_schedule_helps_multifrontal;
+          H.case "in-tree duality on corpus" test_cross_model_consistency
+        ] )
+    ]

@@ -1,0 +1,146 @@
+(* Tests for Algorithm 2: the out-of-core schedule checker. *)
+
+module T = Tt_core.Tree
+module Io = Tt_core.Io_schedule
+module H = Helpers
+
+(* root 0 (f=2) -> 1 (f=5) -> 2 (f=3); all n = 0 *)
+let chain3 () = T.make ~parent:[| -1; 0; 1 |] ~f:[| 2; 5; 3 |] ~n:[| 0; 0; 0 |]
+
+let test_in_core_schedule () =
+  let t = chain3 () in
+  let s = Io.in_core [| 0; 1; 2 |] in
+  Alcotest.(check int) "io volume" 0 (Io.io_volume t s);
+  match Io.check t ~memory:8 s with
+  | Io.Feasible { io; peak } ->
+      Alcotest.(check int) "no io" 0 io;
+      Alcotest.(check int) "peak" 8 peak
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_write_and_read_back () =
+  (* root 0 (f=2) with children 1 (f=5) and 2 (f=3): f_2 is produced at
+     step 0 and consumed at step 2, so it can be written at step 1 *)
+  let t = T.make ~parent:[| -1; 0; 0 |] ~f:[| 2; 5; 3 |] ~n:[| 0; 0; 0 |] in
+  let s = { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; Io.never; 1 |] } in
+  Alcotest.(check int) "io volume" 3 (Io.io_volume t s);
+  (* in-core peak is 10 (exec 0 holds 2+5+3); with f_2 evicted, step 1
+     only needs 5, so 8 words suffice *)
+  (match Io.check t ~memory:10 s with
+  | Io.Feasible { io; _ } -> Alcotest.(check int) "io" 3 io
+  | _ -> Alcotest.fail "expected feasible");
+  (* constraint (6): a write at the owner's execution step is invalid *)
+  (match
+     Io.check t ~memory:10 { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; Io.never; 2 |] }
+   with
+  | Io.Invalid { reason; _ } ->
+      Alcotest.(check string) "tau = sigma rejected" "write at the execution step" reason
+  | _ -> Alcotest.fail "expected invalid");
+  (* without the eviction, one word below the peak fails *)
+  match Io.check t ~memory:9 (Io.in_core [| 0; 1; 2 |]) with
+  | Io.Infeasible_at _ -> ()
+  | _ -> Alcotest.fail "in-core at 9 should fail"
+
+let test_eviction_enables () =
+  (* root 0 (f=0) with children 1 (f=4 -> leaf 3 f=4) and 2 (f=4, leaf).
+     In-core peak: 0: 0+8=8 ... with memory 8 feasible in-core. With the
+     eviction of f_2 during subtree-1 processing, memory 8 still needed at
+     the root; this test exercises a genuinely useful eviction. *)
+  let t =
+    T.make ~parent:[| -1; 0; 0; 1 |] ~f:[| 0; 4; 4; 6 |] ~n:[| 0; 0; 0; 0 |]
+  in
+  (* in-core: peak = max(8, exec 1: 4+4+6 = 14) with order 0 1 3 2 *)
+  let order = [| 0; 1; 3; 2 |] in
+  Alcotest.(check int) "in-core peak" 14 (Tt_core.Traversal.peak t order);
+  (* evict f_2 at step 1, read back at step 3: exec 1 now needs 4+6+0=10 *)
+  let s = { Io.order; tau = [| Io.never; Io.never; 1; Io.never |] } in
+  match Io.check t ~memory:10 s with
+  | Io.Feasible { io; peak } ->
+      Alcotest.(check int) "io" 4 io;
+      Alcotest.(check bool) "peak within" true (peak <= 10)
+  | _ -> Alcotest.fail "eviction should make 10 feasible"
+
+let test_invalid_schedules () =
+  let t = chain3 () in
+  let expect reason s =
+    match Io.check t ~memory:100 s with
+    | Io.Invalid { reason = r; _ } -> Alcotest.(check string) "reason" reason r
+    | _ -> Alcotest.failf "expected invalid (%s)" reason
+  in
+  (* writing the root's file *)
+  expect "root file written" { Io.order = [| 0; 1; 2 |]; tau = [| 1; Io.never; Io.never |] };
+  (* writing before production: f_2 exists only after step 1 *)
+  expect "write of a non-resident file"
+    { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; Io.never; 1 |] };
+  (* writing a file after its owner executed: never resident again *)
+  expect "write of a non-resident file"
+    { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; 2; Io.never |] };
+  (* tau out of range *)
+  expect "tau out of range"
+    { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; 9; Io.never |] };
+  (* order problems are still caught *)
+  expect "parent not yet executed"
+    { Io.order = [| 0; 2; 1 |]; tau = [| Io.never; Io.never; Io.never |] }
+
+let test_double_write () =
+  (* two writes of the same file need two tau slots, which the array form
+     cannot even express: instead check duplicate via same-step writes *)
+  let t = T.make ~parent:[| -1; 0; 0 |] ~f:[| 0; 3; 4 |] ~n:[| 0; 0; 0 |] in
+  let s = { Io.order = [| 0; 1; 2 |]; tau = [| Io.never; Io.never; 1 |] } in
+  (* f_2 written at step 1, read back at step 2: fine *)
+  (match Io.check t ~memory:7 s with
+  | Io.Feasible { io; _ } -> Alcotest.(check int) "io" 4 io
+  | _ -> Alcotest.fail "expected feasible");
+  (* but wrong length arrays are rejected *)
+  match Io.check t ~memory:7 { Io.order = [| 0; 1; 2 |]; tau = [| Io.never |] } with
+  | Io.Invalid { reason; _ } -> Alcotest.(check string) "reason" "wrong length" reason
+  | _ -> Alcotest.fail "expected invalid"
+
+let prop_in_core_check_matches_traversal =
+  H.qcheck "Algorithm 2 with no writes = Algorithm 1"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let peak = Tt_core.Traversal.peak t order in
+      match Io.check t ~memory:peak (Io.in_core order) with
+      | Io.Feasible { io; peak = p } -> io = 0 && p = peak
+      | _ -> false)
+
+let prop_in_core_tight =
+  H.qcheck "one word below the peak fails without I/O"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let peak = Tt_core.Traversal.peak t order in
+      match Io.check t ~memory:(peak - 1) (Io.in_core order) with
+      | Io.Infeasible_at _ -> true
+      | Io.Feasible _ -> false
+      | Io.Invalid _ -> false)
+
+let prop_validate_io =
+  H.qcheck "validate_io returns the volume on feasible schedules"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let peak = Tt_core.Traversal.peak t order in
+      Io.validate_io t ~memory:peak (Io.in_core order) = 0)
+
+
+let prop_reported_peak_bounds =
+  H.qcheck "a feasible schedule's peak lies between the floor and the budget"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let memory = Tt_core.Traversal.peak t order in
+      match Io.check t ~memory (Io.in_core order) with
+      | Io.Feasible { peak; _ } ->
+          peak <= memory && peak >= Tt_core.Tree.max_mem_req t
+      | _ -> false)
+
+let () =
+  H.run "io_schedule"
+    [ ( "hand cases",
+        [ H.case "in-core" test_in_core_schedule;
+          H.case "write/read back" test_write_and_read_back;
+          H.case "useful eviction" test_eviction_enables;
+          H.case "invalid schedules" test_invalid_schedules;
+          H.case "lengths and double writes" test_double_write
+        ] );
+      ( "properties",
+        [ prop_in_core_check_matches_traversal;
+          prop_in_core_tight;
+          prop_validate_io;
+          prop_reported_peak_bounds
+        ] )
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the MinIO heuristics, the divisible lower bound and the
+   exact oracle, plus the Theorem 2 gadget. *)
+
+module T = Tt_core.Tree
+module Io = Tt_core.Io_schedule
+module M = Tt_core.Minio
+module H = Helpers
+
+(* instances where eviction is actually possible: memory between the
+   working-set floor and the traversal peak *)
+let arb_minio_case =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let t = H.random_tree ~rng ~size_max:10 ~max_f:9 ~max_n:4 in
+        let order =
+          if Tt_util.Rng.bool rng then snd (Tt_core.Minmem.run t)
+          else Tt_core.Traversal.random_order ~rng t
+        in
+        let floor = T.max_mem_req t in
+        let peak = Tt_core.Traversal.peak t order in
+        let memory = if peak <= floor then floor else Tt_util.Rng.int_incl rng floor peak in
+        (t, order, memory))
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  let print (t, o, m) =
+    Printf.sprintf "%s | order %s | M=%d" (T.to_string t)
+      (String.concat " " (Array.to_list (Array.map string_of_int o)))
+      m
+  in
+  QCheck.make ~print gen
+
+let prop_policies_feasible =
+  H.qcheck ~count:300 "every policy produces a feasible schedule" arb_minio_case
+    (fun (t, order, memory) ->
+      List.for_all
+        (fun (_, pol) ->
+          match M.run t ~memory ~order pol with
+          | None -> false
+          | Some s -> (
+              match Io.check t ~memory s with Io.Feasible _ -> true | _ -> false))
+        M.all_policies)
+
+let prop_policies_above_oracle =
+  H.qcheck ~count:200 "no policy beats the exact fixed-order oracle" arb_minio_case
+    (fun (t, order, memory) ->
+      match Tt_core.Brute_force.min_io_given_order t ~memory order with
+      | None -> false
+      | Some exact ->
+          List.for_all
+            (fun (_, pol) ->
+              match M.io_volume t ~memory ~order pol with
+              | Some io -> io >= exact
+              | None -> false)
+            M.all_policies)
+
+let prop_policies_above_divisible_bound =
+  H.qcheck ~count:300 "no policy beats the divisible lower bound" arb_minio_case
+    (fun (t, order, memory) ->
+      match M.divisible_lower_bound t ~memory ~order with
+      | None -> false
+      | Some lb ->
+          List.for_all
+            (fun (_, pol) ->
+              match M.io_volume t ~memory ~order pol with
+              | Some io -> float_of_int io +. 1e-6 >= lb
+              | None -> false)
+            M.all_policies)
+
+let prop_divisible_bound_below_oracle =
+  H.qcheck ~count:200 "divisible bound is below the integral optimum" arb_minio_case
+    (fun (t, order, memory) ->
+      match
+        ( M.divisible_lower_bound t ~memory ~order,
+          Tt_core.Brute_force.min_io_given_order t ~memory order )
+      with
+      | Some lb, Some exact -> lb <= float_of_int exact +. 1e-6
+      | _ -> false)
+
+let prop_no_io_at_peak =
+  H.qcheck "with the full peak of memory no policy performs I/O"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let peak = Tt_core.Traversal.peak t order in
+      List.for_all
+        (fun (_, pol) -> M.io_volume t ~memory:peak ~order pol = Some 0)
+        M.all_policies)
+
+let prop_infeasible_below_floor =
+  H.qcheck "below the working-set floor every policy reports infeasible"
+    (H.arb_tree_with_order ()) (fun (t, order) ->
+      let floor = T.max_mem_req t in
+      QCheck.assume (floor > 0);
+      List.for_all
+        (fun (_, pol) -> M.run t ~memory:(floor - 1) ~order pol = None)
+        M.all_policies)
+
+let test_policy_selection_behaviour () =
+  (* a crafted scenario: resident candidate files of sizes 6 and 3 (by
+     consumption, latest first: [6; 3]), deficit 3.
+     LSNF evicts 6; First Fit evicts 3 (first file >= 3 scanning 6? no:
+     6 >= 3, so First Fit evicts 6 as well); Best Fit evicts 3. *)
+  let t =
+    (* root 0 (f=0): children 1 (f=6), 2 (f=3), 3 (f=4 with a big child) *)
+    T.make
+      ~parent:[| -1; 0; 0; 0; 3 |]
+      ~f:[| 0; 6; 3; 4; 10 |]
+      ~n:[| 0; 0; 0; 0; 0 |]
+  in
+  (* order: 0, 3, 4, 2, 1: node 1 consumed last, then 2 *)
+  let order = [| 0; 3; 4; 2; 1 |] in
+  let peak = Tt_core.Traversal.peak t order in
+  (* exec 3 usage: (6+3+4) + 10 = 23; exec 4: (6+3+10) = 19; peak 23 *)
+  Alcotest.(check int) "peak" 23 (peak : int);
+  let memory = 20 in
+  (* at step 1 (exec 3): need n+out = 10 free; resident others 6+3 = 9,
+     f_3 = 4; mavail = 20 - 13 = 7 -> deficit 3; S = [f_1=6; f_2=3] *)
+  let io pol = Option.get (M.io_volume t ~memory ~order pol) in
+  Alcotest.(check int) "lsnf evicts 6" 6 (io M.Lsnf);
+  Alcotest.(check int) "first fit evicts 6 (first >= deficit)" 6 (io M.First_fit);
+  Alcotest.(check int) "best fit evicts 3" 3 (io M.Best_fit);
+  (* no file is strictly smaller than the deficit, so both fill policies
+     fall back to LSNF *)
+  Alcotest.(check int) "best fill falls back to lsnf" 6 (io M.Best_fill);
+  Alcotest.(check int) "first fill falls back to lsnf" 6 (io M.First_fill);
+  Alcotest.(check int) "best-k evicts 3" 3 (io (M.Best_k 5))
+
+let test_policy_names () =
+  Alcotest.(check string) "lsnf" "LSNF" (M.policy_name M.Lsnf);
+  Alcotest.(check string) "bk" "Best 5 Comb." (M.policy_name (M.Best_k 5));
+  Alcotest.(check int) "six policies" 6 (List.length M.all_policies)
+
+let test_two_partition_gadget_yes () =
+  let tree, memory, bound = Tt_core.Instances.two_partition_gadget [| 2; 1; 1 |] in
+  Alcotest.(check int) "memory is 2S" 8 memory;
+  Alcotest.(check int) "bound is S/2" 2 bound;
+  (match Tt_core.Brute_force.min_io tree ~memory with
+  | Some io -> Alcotest.(check int) "yes-instance meets the bound" bound io
+  | None -> Alcotest.fail "gadget infeasible");
+  (* below the bound the instance is not schedulable at this memory *)
+  Alcotest.(check bool) "cannot do better" true
+    (Option.get (Tt_core.Brute_force.min_io tree ~memory) >= bound)
+
+let test_two_partition_gadget_no () =
+  let tree, memory, bound = Tt_core.Instances.two_partition_gadget [| 10; 3; 3 |] in
+  match Tt_core.Brute_force.min_io tree ~memory with
+  | Some io ->
+      if io <= bound then
+        Alcotest.failf "no-instance met the bound: %d <= %d" io bound
+  | None -> Alcotest.fail "gadget infeasible"
+
+let test_gadget_structure () =
+  let a = [| 4; 1; 3 |] in
+  let tree, memory, bound = Tt_core.Instances.two_partition_gadget a in
+  Alcotest.(check int) "2n+3 nodes" 9 (T.size tree);
+  Alcotest.(check int) "memory = MemReq(root)" (T.max_mem_req tree) memory;
+  Alcotest.(check int) "bound" 4 bound;
+  Alcotest.check_raises "odd sum rejected"
+    (Invalid_argument "Instances.two_partition_gadget: odd sum") (fun () ->
+      ignore (Tt_core.Instances.two_partition_gadget [| 1; 2 |]));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Instances.two_partition_gadget: empty") (fun () ->
+      ignore (Tt_core.Instances.two_partition_gadget [||]))
+
+let test_invalid_order_rejected () =
+  let t = Tt_core.Instances.chain ~length:3 ~f:2 ~n:0 in
+  Alcotest.check_raises "invalid traversal"
+    (Invalid_argument "Minio.run: invalid traversal") (fun () ->
+      ignore (M.run t ~memory:100 ~order:[| 2; 1; 0 |] M.Lsnf))
+
+let prop_zero_size_files_handled =
+  H.qcheck ~count:150 "policies terminate with zero-size files around"
+    (QCheck.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         let t = H.random_tree ~rng ~size_max:10 ~max_f:4 ~max_n:3 in
+         (* zero out some files *)
+         let t =
+           T.map_weights
+             ~f:(fun i -> if i <> t.T.root && i mod 2 = 0 then 0 else t.T.f.(i))
+             ~n:(fun i -> t.T.n.(i))
+             t
+         in
+         let order = snd (Tt_core.Minmem.run t) in
+         (t, order))
+       QCheck.(int_bound 1_000_000))
+    (fun (t, order) ->
+      let floor = T.max_mem_req t in
+      List.for_all
+        (fun (_, pol) ->
+          match M.run t ~memory:floor ~order pol with
+          | None -> false
+          | Some s -> (
+              match Io.check t ~memory:floor s with
+              | Io.Feasible _ -> true
+              | _ -> false))
+        M.all_policies)
+
+
+(* ----------------------------------------------------- exact branch&bound *)
+
+let prop_bb_matches_brute_force =
+  H.qcheck ~count:250 "branch&bound = subset-enumeration oracle" arb_minio_case
+    (fun (t, order, memory) ->
+      Tt_core.Minio_exact.given_order t ~memory ~order
+      = Tt_core.Brute_force.min_io_given_order t ~memory order)
+
+let prop_bb_bounded_by_heuristics =
+  H.qcheck ~count:150 "exact <= every heuristic, >= divisible bound"
+    arb_minio_case (fun (t, order, memory) ->
+      match Tt_core.Minio_exact.given_order t ~memory ~order with
+      | None -> false
+      | Some exact ->
+          List.for_all
+            (fun (_, pol) ->
+              match M.io_volume t ~memory ~order pol with
+              | Some io -> exact <= io
+              | None -> false)
+            M.all_policies
+          && (match M.divisible_lower_bound t ~memory ~order with
+             | Some lb -> float_of_int exact +. 1e-6 >= lb
+             | None -> false))
+
+let test_bb_gadget () =
+  (* the branch&bound certifies the 2-partition reduction on instances
+     far beyond the subset-enumeration oracle *)
+  List.iter
+    (fun (a, expect_bound) ->
+      let tree, memory, bound = Tt_core.Instances.two_partition_gadget a in
+      let _, order = Tt_core.Minmem.run tree in
+      match Tt_core.Minio_exact.given_order tree ~memory ~order with
+      | Some io ->
+          if expect_bound then Alcotest.(check int) "meets S/2" bound io
+          else if io <= bound then Alcotest.failf "no-instance met the bound"
+      | None -> Alcotest.fail "gadget infeasible")
+    [ ([| 5; 4; 3; 2; 1; 1 |], true);
+      ([| 8; 7; 6; 5; 4; 3; 2; 1 |], true);
+      ([| 13; 11; 9; 7; 5; 3; 2; 6; 8; 12 |], true);
+      ([| 20; 3; 3; 2 |], false)
+    ]
+
+let test_bb_zero_when_memory_ample () =
+  let t = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  let mem, order = Tt_core.Minmem.run t in
+  Alcotest.(check (option int)) "no io at the peak" (Some 0)
+    (Tt_core.Minio_exact.given_order t ~memory:mem ~order)
+
+let test_optimality_gap_report () =
+  let t = Tt_core.Instances.two_partition_gadget [| 2; 1; 1 |] in
+  let tree, memory, _ = t in
+  let _, order = Tt_core.Minmem.run tree in
+  let gaps = Tt_core.Minio_exact.optimality_gap tree ~memory ~order in
+  Alcotest.(check int) "six rows" 6 (List.length gaps);
+  List.iter
+    (fun (_, io, exact) ->
+      if io < exact then Alcotest.fail "heuristic below exact")
+    gaps
+
+
+(* -------------------------------------------------------------- portfolio *)
+
+let prop_search_beats_fixed_sources =
+  H.qcheck ~count:100 "the portfolio never loses to its fixed members"
+    arb_minio_case (fun (t, _, memory) ->
+      let rng = Tt_util.Rng.create 99 in
+      match Tt_core.Minio_search.run ~rng t ~memory with
+      | None -> T.max_mem_req t > memory
+      | Some best ->
+          List.for_all
+            (fun order_of ->
+              match
+                M.io_volume t ~memory ~order:(order_of t) M.First_fit
+              with
+              | Some io -> best.Tt_core.Minio_search.io <= io
+              | None -> true)
+            [ (fun t -> snd (Tt_core.Postorder_opt.run t));
+              (fun t -> snd (Tt_core.Liu_exact.run t));
+              (fun t -> snd (Tt_core.Minmem.run t))
+            ])
+
+let prop_search_schedule_feasible =
+  H.qcheck ~count:100 "the portfolio's winning schedule verifies" arb_minio_case
+    (fun (t, _, memory) ->
+      let rng = Tt_util.Rng.create 7 in
+      match Tt_core.Minio_search.run ~rng t ~memory with
+      | None -> true
+      | Some best -> (
+          match Io.check t ~memory best.Tt_core.Minio_search.schedule with
+          | Io.Feasible { io; _ } -> io = best.Tt_core.Minio_search.io
+          | _ -> false))
+
+let test_search_candidates () =
+  let t = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  let rng = Tt_util.Rng.create 5 in
+  let cands = Tt_core.Minio_search.candidates ~rng ~attempts:4 t in
+  Alcotest.(check int) "3 fixed + 2x attempts" 11 (List.length cands);
+  List.iter
+    (fun (_, order) -> H.check_valid_traversal t order)
+    cands
+
+let () =
+  H.run "minio"
+    [ ( "feasibility",
+        [ prop_policies_feasible;
+          prop_no_io_at_peak;
+          prop_infeasible_below_floor;
+          prop_zero_size_files_handled;
+          H.case "invalid order" test_invalid_order_rejected
+        ] );
+      ( "quality",
+        [ prop_policies_above_oracle;
+          prop_policies_above_divisible_bound;
+          prop_divisible_bound_below_oracle;
+          H.case "policy selection" test_policy_selection_behaviour;
+          H.case "names" test_policy_names
+        ] );
+      ( "exact branch&bound",
+        [ prop_bb_matches_brute_force;
+          prop_bb_bounded_by_heuristics;
+          H.case "gadget certificates" test_bb_gadget;
+          H.case "zero at peak" test_bb_zero_when_memory_ample;
+          H.case "gap report" test_optimality_gap_report
+        ] );
+      ( "portfolio search",
+        [ prop_search_beats_fixed_sources;
+          prop_search_schedule_feasible;
+          H.case "candidates" test_search_candidates
+        ] );
+      ( "theorem 2 gadget",
+        [ H.case "yes instance" test_two_partition_gadget_yes;
+          H.case "no instance" test_two_partition_gadget_no;
+          H.case "structure" test_gadget_structure
+        ] )
+    ]

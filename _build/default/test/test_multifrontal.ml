@@ -1,0 +1,439 @@
+(* Tests for the numeric multifrontal factorization, its memory
+   accounting, and the out-of-core simulator. *)
+
+module S = Tt_sparse
+module MF = Tt_multifrontal
+module H = Helpers
+
+let arb_spd =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let n = Tt_util.Rng.int_incl rng 1 25 in
+        S.Csr.symmetrize_values (S.Spgen.random_sym ~rng ~n ~nnz_per_row:2.2))
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  QCheck.make ~print:(fun a -> Printf.sprintf "n=%d" a.S.Csr.nrows) gen
+
+let symbolic_of a =
+  let pattern = S.Csr.symmetrize_pattern a in
+  let parent = Tt_etree.Elimination_tree.parents pattern in
+  Tt_etree.Symbolic.run pattern ~parent
+
+(* ------------------------------------------------------------------ front *)
+
+let test_front_ops () =
+  let f = MF.Front.create [| 2; 5; 9 |] in
+  Alcotest.(check int) "size" 3 (MF.Front.size f);
+  Alcotest.(check int) "words" 9 (MF.Front.words f);
+  MF.Front.set f 0 0 4.;
+  MF.Front.add f 1 0 2.;
+  MF.Front.add f 0 1 2.;
+  MF.Front.set f 1 1 5.;
+  MF.Front.set f 2 2 1.;
+  Alcotest.(check (float 0.)) "get" 2. (MF.Front.get f 1 0)
+
+let test_eliminate_pivot () =
+  (* front [[4,2],[2,5]]: l = [2,1], schur = 5 - 1 = 4 *)
+  let f = MF.Front.create [| 0; 1 |] in
+  MF.Front.set f 0 0 4.;
+  MF.Front.set f 1 0 2.;
+  MF.Front.set f 0 1 2.;
+  MF.Front.set f 1 1 5.;
+  let l, cb = MF.Front.eliminate_pivot f in
+  Alcotest.(check (float 1e-12)) "pivot" 2. l.(0);
+  Alcotest.(check (float 1e-12)) "below" 1. l.(1);
+  Alcotest.(check int) "cb size" 1 (MF.Front.size cb);
+  Alcotest.(check (float 1e-12)) "schur" 4. (MF.Front.get cb 0 0)
+
+let test_eliminate_nonspd () =
+  let f = MF.Front.create [| 0 |] in
+  MF.Front.set f 0 0 (-1.);
+  Alcotest.check_raises "non-positive pivot"
+    (Failure "Front.eliminate_pivot: non-positive pivot") (fun () ->
+      ignore (MF.Front.eliminate_pivot f))
+
+let test_extend_add () =
+  let big = MF.Front.create [| 1; 3; 7 |] in
+  let cb = MF.Front.create [| 1; 7 |] in
+  MF.Front.set cb 0 0 2.;
+  MF.Front.set cb 1 0 3.;
+  MF.Front.set cb 0 1 3.;
+  MF.Front.set cb 1 1 4.;
+  MF.Front.extend_add ~into:big cb;
+  Alcotest.(check (float 0.)) "scattered (1,1)" 2. (MF.Front.get big 0 0);
+  Alcotest.(check (float 0.)) "scattered (7,1)" 3. (MF.Front.get big 2 0);
+  Alcotest.(check (float 0.)) "scattered (7,7)" 4. (MF.Front.get big 2 2);
+  Alcotest.(check (float 0.)) "untouched" 0. (MF.Front.get big 1 1);
+  let bad = MF.Front.create [| 2 |] in
+  Alcotest.check_raises "missing row"
+    (Invalid_argument "Front.extend_add: contribution row missing from front")
+    (fun () -> MF.Front.extend_add ~into:big bad)
+
+(* ----------------------------------------------------------------- factor *)
+
+let prop_factorization_correct =
+  H.qcheck ~count:100 "L L^T reproduces A (postorder schedule)" arb_spd (fun a ->
+      let sym = symbolic_of a in
+      let schedule = MF.Factor.default_schedule sym in
+      let r = MF.Factor.run a sym ~schedule in
+      MF.Factor.residual_norm a r.MF.Factor.l < 1e-8)
+
+let prop_factorization_any_schedule =
+  H.qcheck ~count:60 "factorization correct under any topological schedule"
+    (QCheck.pair arb_spd QCheck.(int_bound 1_000_000)) (fun (a, seed) ->
+      let sym = symbolic_of a in
+      (* random bottom-up schedule via the assembly tree *)
+      let n = a.S.Csr.nrows in
+      let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+      let asm = Tt_etree.Assembly.of_etree_raw ~parent:sym.Tt_etree.Symbolic.parent ~col_counts:cc in
+      let rng = Tt_util.Rng.create seed in
+      let out_order = Tt_core.Traversal.random_order ~rng asm.Tt_etree.Assembly.tree in
+      let rev = Tt_core.Transform.reverse_traversal out_order in
+      let schedule =
+        if asm.Tt_etree.Assembly.virtual_root then
+          Array.of_list (List.filter (fun x -> x < n) (Array.to_list rev))
+        else rev
+      in
+      let r = MF.Factor.run a sym ~schedule in
+      MF.Factor.residual_norm a r.MF.Factor.l < 1e-8)
+
+let prop_solve =
+  H.qcheck ~count:80 "solve recovers the solution" arb_spd (fun a ->
+      let sym = symbolic_of a in
+      let r = MF.Factor.run a sym ~schedule:(MF.Factor.default_schedule sym) in
+      let n = a.S.Csr.nrows in
+      let x0 = Array.init n (fun i -> float_of_int ((i mod 7) - 3)) in
+      let b = S.Csr.mul_vec a x0 in
+      let x = MF.Factor.solve r.MF.Factor.l b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x0)
+
+let prop_memory_matches_tree_model =
+  H.qcheck ~count:100 "measured peak = tree-model peak (word for word)" arb_spd
+    (fun a ->
+      let sym = symbolic_of a in
+      let n = a.S.Csr.nrows in
+      let schedule = MF.Factor.default_schedule sym in
+      let r = MF.Factor.run a sym ~schedule in
+      let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+      let asm = Tt_etree.Assembly.of_etree_raw ~parent:sym.Tt_etree.Symbolic.parent ~col_counts:cc in
+      let tree = asm.Tt_etree.Assembly.tree in
+      let p = Tt_core.Tree.size tree in
+      let order =
+        if asm.Tt_etree.Assembly.virtual_root then
+          Array.init p (fun k -> if k = 0 then p - 1 else schedule.(n - k))
+        else Tt_core.Transform.reverse_traversal schedule
+      in
+      Tt_core.Traversal.peak tree order = r.MF.Factor.peak_words)
+
+let test_schedule_validation () =
+  let a = S.Csr.symmetrize_values (S.Spgen.tridiagonal 4) in
+  let sym = symbolic_of a in
+  Alcotest.check_raises "child after parent"
+    (Invalid_argument "Factor.run: child after parent") (fun () ->
+      ignore (MF.Factor.run a sym ~schedule:[| 3; 2; 1; 0 |]));
+  Alcotest.check_raises "wrong length" (Invalid_argument "Factor.run: wrong schedule length")
+    (fun () -> ignore (MF.Factor.run a sym ~schedule:[| 0 |]))
+
+let test_default_schedule_is_postorder () =
+  let a = S.Csr.symmetrize_values (S.Spgen.grid2d 5) in
+  let sym = symbolic_of a in
+  let schedule = MF.Factor.default_schedule sym in
+  let seen = Array.make (Array.length schedule) false in
+  Array.iter
+    (fun j ->
+      Array.iteri
+        (fun c p -> if p = j && not seen.(c) then Alcotest.fail "child not yet done")
+        sym.Tt_etree.Symbolic.parent;
+      seen.(j) <- true)
+    schedule
+
+(* -------------------------------------------------------------------- ooc *)
+
+let prop_ooc_planned_equals_measured =
+  H.qcheck ~count:60 "planned I/O = measured I/O; factor stays correct" arb_spd
+    (fun a ->
+      let sym = symbolic_of a in
+      let schedule = MF.Factor.default_schedule sym in
+      let full = MF.Factor.run a sym ~schedule in
+      let floor = MF.Ooc_sim.min_in_core_words sym in
+      List.for_all
+        (fun memory_words ->
+          match
+            MF.Ooc_sim.run a sym ~memory_words ~policy:Tt_core.Minio.First_fit ~schedule
+          with
+          | Error _ -> false
+          | Ok r ->
+              r.MF.Ooc_sim.planned_io = r.MF.Ooc_sim.measured_io
+              && r.MF.Ooc_sim.peak_in_core <= memory_words
+                 (* the in-core peak accounting never exceeds the budget *)
+              && MF.Factor.residual_norm a r.MF.Ooc_sim.factor.MF.Factor.l < 1e-8)
+        [ floor; (floor + full.MF.Factor.peak_words) / 2; full.MF.Factor.peak_words ])
+
+let prop_ooc_no_io_at_full_memory =
+  H.qcheck ~count:60 "no I/O when the budget covers the in-core peak" arb_spd
+    (fun a ->
+      let sym = symbolic_of a in
+      let schedule = MF.Factor.default_schedule sym in
+      let full = MF.Factor.run a sym ~schedule in
+      match
+        MF.Ooc_sim.run a sym ~memory_words:full.MF.Factor.peak_words
+          ~policy:Tt_core.Minio.Lsnf ~schedule
+      with
+      | Ok r -> r.MF.Ooc_sim.measured_io = 0
+      | Error _ -> false)
+
+let test_ooc_below_floor_fails () =
+  let a = S.Csr.symmetrize_values (S.Spgen.grid2d 4) in
+  let sym = symbolic_of a in
+  let schedule = MF.Factor.default_schedule sym in
+  let floor = MF.Ooc_sim.min_in_core_words sym in
+  match
+    MF.Ooc_sim.run a sym ~memory_words:(floor - 1) ~policy:Tt_core.Minio.First_fit
+      ~schedule
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should be infeasible below the working-set floor"
+
+let test_grid_factorization () =
+  (* larger deterministic case with an ordering pipeline *)
+  let a = S.Spgen.grid2d 12 in
+  let pattern = S.Csr.symmetrize_pattern a in
+  let perm = Tt_ordering.Min_degree.order (Tt_ordering.Graph_adj.of_pattern pattern) in
+  let a = S.Csr.permute_sym a perm in
+  let sym = symbolic_of a in
+  let r = MF.Factor.run a sym ~schedule:(MF.Factor.default_schedule sym) in
+  Alcotest.(check bool) "residual small" true (MF.Factor.residual_norm a r.MF.Factor.l < 1e-9)
+
+
+(* ------------------------------------------------------------ supernodal *)
+
+let supernodal_setup a limit =
+  let sym = symbolic_of a in
+  let n = a.S.Csr.nrows in
+  let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+  let amal =
+    Tt_etree.Amalgamation.run ~parent:sym.Tt_etree.Symbolic.parent ~col_counts:cc
+      ~limit
+  in
+  (sym, amal, MF.Supernodal.plan sym amal)
+
+let prop_supernodal_front_sizes =
+  H.qcheck ~count:80 "front dimension is exactly eta + mu - 1 at every level"
+    arb_spd (fun a ->
+      List.for_all
+        (fun limit ->
+          let _, amal, plan = supernodal_setup a limit in
+          Array.for_all2
+            (fun (g : Tt_etree.Amalgamation.group) rows ->
+              Array.length rows = g.Tt_etree.Amalgamation.eta + g.Tt_etree.Amalgamation.mu - 1)
+            amal.Tt_etree.Amalgamation.groups plan.MF.Supernodal.rows)
+        [ 1; 4; 16 ])
+
+let prop_supernodal_correct =
+  H.qcheck ~count:60 "supernodal L L^T reproduces A at every amalgamation level"
+    arb_spd (fun a ->
+      List.for_all
+        (fun limit ->
+          let sym, _, plan = supernodal_setup a limit in
+          let schedule = MF.Supernodal.default_schedule plan in
+          let r = MF.Supernodal.run a sym plan ~schedule in
+          MF.Factor.residual_norm a r.MF.Factor.l < 1e-8)
+        [ 1; 2; 16 ])
+
+let prop_supernodal_memory_matches_amalgamated_tree =
+  H.qcheck ~count:60
+    "supernodal peak = amalgamated assembly-tree model (the paper's weights)"
+    arb_spd (fun a ->
+      List.for_all
+        (fun limit ->
+          let sym, amal, plan = supernodal_setup a limit in
+          let schedule = MF.Supernodal.default_schedule plan in
+          let r = MF.Supernodal.run a sym plan ~schedule in
+          let asm = Tt_etree.Assembly.of_amalgamation amal in
+          let tree = asm.Tt_etree.Assembly.tree in
+          let p = Tt_core.Tree.size tree in
+          let gcount = Array.length amal.Tt_etree.Amalgamation.groups in
+          let order =
+            if asm.Tt_etree.Assembly.virtual_root then
+              Array.init p (fun k -> if k = 0 then p - 1 else schedule.(gcount - k))
+            else Tt_core.Transform.reverse_traversal schedule
+          in
+          Tt_core.Traversal.peak tree order = r.MF.Factor.peak_words)
+        [ 1; 4; 16 ])
+
+let test_supernodal_front_words () =
+  let a = S.Csr.symmetrize_values (S.Spgen.grid2d 6) in
+  let _, amal, plan = supernodal_setup a 4 in
+  Array.iteri
+    (fun g (grp : Tt_etree.Amalgamation.group) ->
+      Alcotest.(check int) "front words = node + edge weight"
+        (Tt_etree.Amalgamation.node_weight grp + Tt_etree.Amalgamation.edge_weight grp)
+        (MF.Supernodal.front_words plan g))
+    amal.Tt_etree.Amalgamation.groups
+
+let test_supernodal_schedule_validation () =
+  let a = S.Csr.symmetrize_values (S.Spgen.tridiagonal 6) in
+  let sym, _, plan = supernodal_setup a 2 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Supernodal.run: wrong schedule length") (fun () ->
+      ignore (MF.Supernodal.run a sym plan ~schedule:[| 0 |]))
+
+
+(* ------------------------------------------------------------- stack sim *)
+
+let prop_stack_works_on_postorders =
+  H.qcheck ~count:60 "the CB stack suffices exactly for postorder schedules"
+    arb_spd (fun a ->
+      let sym = symbolic_of a in
+      let schedule = MF.Factor.default_schedule sym in
+      MF.Stack_sim.is_postorder_schedule sym schedule
+      &&
+      match MF.Stack_sim.run a sym ~schedule with
+      | Ok r ->
+          let plain = MF.Factor.run a sym ~schedule in
+          r.MF.Stack_sim.factor.MF.Factor.peak_words = plain.MF.Factor.peak_words
+          && MF.Factor.residual_norm a r.MF.Stack_sim.factor.MF.Factor.l < 1e-8
+      | Error _ -> false)
+
+let test_stack_fails_on_interleaved_schedule () =
+  (* two independent 2-column chains joined by a root; interleaving the
+     chains breaks the LIFO discipline *)
+  let t = S.Triplet.create ~nrows:5 ~ncols:5 in
+  List.iter (fun i -> S.Triplet.add t i i 1.) [ 0; 1; 2; 3; 4 ];
+  List.iter
+    (fun (i, j) ->
+      S.Triplet.add t i j (-0.25);
+      S.Triplet.add t j i (-0.25))
+    [ (0, 1); (2, 3); (1, 4); (3, 4) ];
+  let a = S.Csr.symmetrize_values (S.Csr.of_triplet t) in
+  let sym = symbolic_of a in
+  (* interleaved: 0 2 1 3 4 -- valid bottom-up, not a postorder *)
+  let schedule = [| 0; 2; 1; 3; 4 |] in
+  Alcotest.(check bool) "not a postorder" false
+    (MF.Stack_sim.is_postorder_schedule sym schedule);
+  (match MF.Stack_sim.run a sym ~schedule with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stack discipline should break");
+  (* but the plain factorization handles it fine *)
+  let r = MF.Factor.run a sym ~schedule in
+  Alcotest.(check bool) "plain solver fine" true
+    (MF.Factor.residual_norm a r.MF.Factor.l < 1e-10);
+  (* and the postorder version works on the stack *)
+  let po = MF.Factor.default_schedule sym in
+  Alcotest.(check bool) "postorder ok" true
+    (match MF.Stack_sim.run a sym ~schedule:po with Ok _ -> true | Error _ -> false)
+
+let prop_stack_detects_non_postorders =
+  H.qcheck ~count:60 "is_postorder agrees with the LIFO simulation" arb_spd
+    (fun a ->
+      let sym = symbolic_of a in
+      let n = a.S.Csr.nrows in
+      (* random bottom-up schedule *)
+      let cc = Array.init n (Tt_etree.Symbolic.col_count sym) in
+      let asm =
+        Tt_etree.Assembly.of_etree_raw ~parent:sym.Tt_etree.Symbolic.parent
+          ~col_counts:cc
+      in
+      let rng = Tt_util.Rng.create 123 in
+      let out_order = Tt_core.Traversal.random_order ~rng asm.Tt_etree.Assembly.tree in
+      let rev = Tt_core.Transform.reverse_traversal out_order in
+      let schedule =
+        if asm.Tt_etree.Assembly.virtual_root then
+          Array.of_list (List.filter (fun x -> x < n) (Array.to_list rev))
+        else rev
+      in
+      let lifo_ok =
+        match MF.Stack_sim.run a sym ~schedule with Ok _ -> true | Error _ -> false
+      in
+      lifo_ok = MF.Stack_sim.is_postorder_schedule sym schedule)
+
+
+let prop_ooc_supernodal =
+  H.qcheck ~count:40 "out-of-core supernodal: planned = measured, factor correct"
+    arb_spd (fun a ->
+      List.for_all
+        (fun limit ->
+          let sym, amal, plan = supernodal_setup a limit in
+          let schedule = MF.Supernodal.default_schedule plan in
+          let full = MF.Supernodal.run a sym plan ~schedule in
+          let asm = Tt_etree.Assembly.of_amalgamation amal in
+          let floor = Tt_core.Tree.max_mem_req asm.Tt_etree.Assembly.tree in
+          List.for_all
+            (fun memory_words ->
+              match
+                MF.Ooc_sim.run_supernodal a sym amal ~memory_words
+                  ~policy:Tt_core.Minio.First_fit ~schedule
+              with
+              | Error _ -> false
+              | Ok r ->
+                  r.MF.Ooc_sim.planned_io = r.MF.Ooc_sim.measured_io
+                  && MF.Factor.residual_norm a r.MF.Ooc_sim.factor.MF.Factor.l < 1e-8
+                  && (memory_words < full.MF.Factor.peak_words
+                     || r.MF.Ooc_sim.measured_io = 0))
+            [ floor; full.MF.Factor.peak_words ])
+        [ 1; 4 ])
+
+
+let prop_supernodal_factor_equals_columnwise =
+  H.qcheck ~count:40 "supernodal L = per-column L on the factor's pattern"
+    arb_spd (fun a ->
+      let sym, _, plan = supernodal_setup a 4 in
+      let super =
+        MF.Supernodal.run a sym plan
+          ~schedule:(MF.Supernodal.default_schedule plan)
+      in
+      let plain = MF.Factor.run a sym ~schedule:(MF.Factor.default_schedule sym) in
+      (* the Cholesky factor is unique: on every position of the exact
+         symbolic pattern the two solvers must agree; the supernodal
+         factor may additionally store explicit (near-)zeros *)
+      let ok = ref true in
+      Array.iteri
+        (fun j s ->
+          Array.iter
+            (fun i ->
+              let x = S.Csr.get super.MF.Factor.l i j in
+              let y = S.Csr.get plain.MF.Factor.l i j in
+              if Float.abs (x -. y) > 1e-8 then ok := false)
+            s)
+        sym.Tt_etree.Symbolic.col_struct;
+      !ok)
+
+let () =
+  H.run "multifrontal"
+    [ ( "front",
+        [ H.case "ops" test_front_ops;
+          H.case "eliminate pivot" test_eliminate_pivot;
+          H.case "non-SPD pivot" test_eliminate_nonspd;
+          H.case "extend-add" test_extend_add
+        ] );
+      ( "factorization",
+        [ prop_factorization_correct;
+          prop_factorization_any_schedule;
+          prop_solve;
+          H.case "grid with ordering" test_grid_factorization;
+          H.case "schedule validation" test_schedule_validation;
+          H.case "default schedule" test_default_schedule_is_postorder
+        ] );
+      ("memory model", [ prop_memory_matches_tree_model ]);
+      ( "supernodal",
+        [ prop_supernodal_front_sizes;
+          prop_supernodal_correct;
+          prop_supernodal_memory_matches_amalgamated_tree;
+          H.case "front words = paper weights" test_supernodal_front_words;
+          prop_ooc_supernodal;
+          prop_supernodal_factor_equals_columnwise;
+          H.case "schedule validation" test_supernodal_schedule_validation
+        ] );
+      ( "stack",
+        [ prop_stack_works_on_postorders;
+          H.case "interleaved schedule breaks LIFO" test_stack_fails_on_interleaved_schedule;
+          prop_stack_detects_non_postorders
+        ] );
+      ( "out of core",
+        [ prop_ooc_planned_equals_measured;
+          prop_ooc_no_io_at_full_memory;
+          H.case "below floor" test_ooc_below_floor_fails
+        ] )
+    ]

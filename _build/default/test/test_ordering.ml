@@ -1,0 +1,171 @@
+(* Tests for the fill-reducing orderings. *)
+
+module S = Tt_sparse
+module O = Tt_ordering
+module H = Helpers
+
+let graph_of a = O.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a)
+
+let fill_of a perm =
+  let b = O.Permute.apply (S.Csr.symmetrize_pattern a) perm in
+  let parent = Tt_etree.Elimination_tree.parents b in
+  Tt_etree.Col_counts.nnz_l b ~parent
+
+let arb_graph =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let n = Tt_util.Rng.int_incl rng 2 40 in
+        S.Spgen.random_sym ~rng ~n ~nnz_per_row:2.5)
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  QCheck.make ~print:(fun a -> Printf.sprintf "n=%d" a.S.Csr.nrows) gen
+
+(* ------------------------------------------------------------- graph_adj *)
+
+let test_graph_basics () =
+  let a = S.Spgen.tridiagonal 5 in
+  let g = graph_of a in
+  Alcotest.(check int) "n" 5 g.O.Graph_adj.n;
+  Alcotest.(check (array int)) "middle adjacency" [| 1; 3 |] g.O.Graph_adj.adj.(2);
+  Alcotest.(check int) "degree" 2 (O.Graph_adj.degree g 2);
+  Alcotest.(check (array int)) "bfs from 0" [| 0; 1; 2; 3; 4 |] (O.Graph_adj.bfs_levels g 0)
+
+let test_graph_of_adjacency () =
+  let g = O.Graph_adj.of_adjacency [| [| 1; 1; 0 |]; [| 0 |] |] in
+  (* self-loop dropped, duplicates removed, sorted *)
+  Alcotest.(check (array int)) "cleaned" [| 1 |] g.O.Graph_adj.adj.(0);
+  Alcotest.check_raises "oob" (Invalid_argument "Graph_adj.of_adjacency: out of range")
+    (fun () -> ignore (O.Graph_adj.of_adjacency [| [| 5 |] |]))
+
+let test_components () =
+  (* two disjoint paths *)
+  let t = S.Triplet.create ~nrows:6 ~ncols:6 in
+  S.Triplet.add t 1 0 1.;
+  S.Triplet.add t 0 1 1.;
+  S.Triplet.add t 4 3 1.;
+  S.Triplet.add t 3 4 1.;
+  S.Triplet.add t 5 4 1.;
+  S.Triplet.add t 4 5 1.;
+  List.iter (fun i -> S.Triplet.add t i i 1.) [ 0; 1; 2; 3; 4; 5 ];
+  let g = O.Graph_adj.of_pattern (S.Csr.of_triplet t) in
+  let comp, count = O.Graph_adj.components g in
+  Alcotest.(check int) "three components" 3 count;
+  Alcotest.(check bool) "0 and 1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "0 and 3 apart" true (comp.(0) <> comp.(3))
+
+let test_pseudo_peripheral () =
+  (* on a path, the pseudo-peripheral vertex from the middle is an end *)
+  let g = graph_of (S.Spgen.tridiagonal 9) in
+  let v = O.Graph_adj.pseudo_peripheral g 4 in
+  Alcotest.(check bool) "an endpoint" true (v = 0 || v = 8)
+
+(* ------------------------------------------------------------- orderings *)
+
+let prop_all_permutations =
+  H.qcheck ~count:60 "every ordering returns a permutation" arb_graph (fun a ->
+      let g = graph_of a in
+      List.for_all O.Permute.is_permutation
+        [ O.Rcm.order g; O.Min_degree.order g; O.Nested_dissection.order g ])
+
+let test_rcm_bandwidth () =
+  (* RCM must not increase the bandwidth of a shuffled band matrix *)
+  let rng = Tt_util.Rng.create 12 in
+  let a = S.Spgen.banded ~rng ~n:60 ~bandwidth:3 ~fill:0.8 in
+  let shuffle = O.Permute.random ~rng 60 in
+  let shuffled = O.Permute.apply (S.Csr.symmetrize_pattern a) shuffle in
+  let bandwidth m =
+    let b = ref 0 in
+    for i = 0 to m.S.Csr.nrows - 1 do
+      Seq.iter (fun (j, _) -> b := max !b (abs (i - j))) (S.Csr.row m i)
+    done;
+    !b
+  in
+  let perm = O.Rcm.order (O.Graph_adj.of_pattern shuffled) in
+  let reordered = O.Permute.apply shuffled perm in
+  if bandwidth reordered > bandwidth shuffled then
+    Alcotest.failf "rcm bandwidth %d > shuffled %d" (bandwidth reordered)
+      (bandwidth shuffled);
+  Alcotest.(check bool) "rcm close to original band" true (bandwidth reordered <= 8)
+
+let test_mindeg_reduces_fill () =
+  let a = S.Spgen.grid2d 12 in
+  let g = graph_of a in
+  let natural = fill_of a (O.Permute.identity 144) in
+  let md = fill_of a (O.Min_degree.order g) in
+  let nd = fill_of a (O.Nested_dissection.order g) in
+  if md >= natural then Alcotest.failf "mindeg fill %d >= natural %d" md natural;
+  if nd >= natural then Alcotest.failf "nd fill %d >= natural %d" nd natural
+
+let test_mindeg_tridiagonal_no_fill () =
+  (* a path graph has a perfect elimination ordering; min degree finds
+     a no-fill ordering *)
+  let a = S.Spgen.tridiagonal 30 in
+  let md = fill_of a (O.Min_degree.order (graph_of a)) in
+  Alcotest.(check int) "no fill" (30 + 29) md
+
+let prop_mindeg_never_worse_than_reverse =
+  H.qcheck ~count:40 "min degree beats a random shuffle on average-fill graphs"
+    arb_graph (fun a ->
+      let g = graph_of a in
+      let md = fill_of a (O.Min_degree.order g) in
+      let rng = Tt_util.Rng.create 77 in
+      let rand = fill_of a (O.Permute.random ~rng a.S.Csr.nrows) in
+      md <= rand + (a.S.Csr.nrows / 2))
+
+let test_nd_separator_last () =
+  (* on a path, nested dissection numbers a middle separator last *)
+  let a = S.Spgen.tridiagonal 31 in
+  let perm = O.Nested_dissection.order (graph_of a) in
+  let last = perm.(30) in
+  Alcotest.(check bool) "last vertex near the middle" true (last > 5 && last < 25)
+
+let test_deterministic () =
+  let a = S.Spgen.grid2d 8 in
+  let g = graph_of a in
+  Alcotest.(check (array int)) "mindeg deterministic" (O.Min_degree.order g)
+    (O.Min_degree.order g);
+  Alcotest.(check (array int)) "rcm deterministic" (O.Rcm.order g) (O.Rcm.order g);
+  Alcotest.(check (array int)) "nd deterministic" (O.Nested_dissection.order g)
+    (O.Nested_dissection.order g)
+
+(* -------------------------------------------------------------- permute *)
+
+let test_permute_helpers () =
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2 |] (O.Permute.identity 3);
+  Alcotest.(check (array int)) "inverse" [| 2; 0; 1 |] (O.Permute.inverse [| 1; 2; 0 |]);
+  Alcotest.(check bool) "valid" true (O.Permute.is_permutation [| 2; 0; 1 |]);
+  Alcotest.(check bool) "invalid" false (O.Permute.is_permutation [| 0; 0 |]);
+  let rng = Tt_util.Rng.create 4 in
+  Alcotest.(check bool) "random perm valid" true
+    (O.Permute.is_permutation (O.Permute.random ~rng 20))
+
+let prop_inverse_round_trip =
+  H.qcheck "inverse of inverse is identity"
+    (QCheck.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         O.Permute.random ~rng (1 + Tt_util.Rng.int rng 30))
+       QCheck.(int_bound 1_000_000))
+    (fun p -> O.Permute.inverse (O.Permute.inverse p) = p)
+
+let () =
+  H.run "ordering"
+    [ ( "graph",
+        [ H.case "basics" test_graph_basics;
+          H.case "of_adjacency" test_graph_of_adjacency;
+          H.case "components" test_components;
+          H.case "pseudo-peripheral" test_pseudo_peripheral
+        ] );
+      ( "orderings",
+        [ prop_all_permutations;
+          H.case "rcm bandwidth" test_rcm_bandwidth;
+          H.case "mindeg fill" test_mindeg_reduces_fill;
+          H.case "mindeg no-fill chain" test_mindeg_tridiagonal_no_fill;
+          prop_mindeg_never_worse_than_reverse;
+          H.case "nd separator" test_nd_separator_last;
+          H.case "deterministic" test_deterministic
+        ] );
+      ("permute", [ H.case "helpers" test_permute_helpers; prop_inverse_round_trip ])
+    ]

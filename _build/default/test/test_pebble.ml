@@ -1,0 +1,93 @@
+(* The classical pebble-game specializations: Sethi-Ullman labels equal
+   the exact pebble optimum computed by MinMem through the Figure 1
+   embedding, and Belady/LSNF is exact for unit-size MinIO instances. *)
+
+module T = Tt_core.Tree
+module H = Helpers
+
+let arb_shape ?(max_degree = 6) () =
+  QCheck.make
+    ~print:T.to_string
+    (QCheck.Gen.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         let size = Tt_util.Rng.int_incl rng 1 30 in
+         T.random_shape ~rng ~size ~max_degree)
+       (QCheck.Gen.int_bound 1_000_000))
+
+let prop_su_equals_pebble_optimum =
+  H.qcheck ~count:200 "Sethi-Ullman label = exact pebble optimum (any arity)"
+    (arb_shape ()) (fun t ->
+      Tt_core.Pebble.sethi_ullman t = Tt_core.Pebble.min_registers t)
+
+let prop_su_equals_strahler_on_binary =
+  H.qcheck ~count:200 "on binary trees the label is the Strahler number"
+    (arb_shape ~max_degree:2 ()) (fun t ->
+      Tt_core.Pebble.sethi_ullman t = Tt_core.Pebble.strahler t)
+
+let test_su_known_values () =
+  (* chain: 1 register; complete binary tree of depth d: d+1 *)
+  Alcotest.(check int) "chain" 1
+    (Tt_core.Pebble.sethi_ullman (Tt_core.Instances.chain ~length:20 ~f:0 ~n:0));
+  List.iter
+    (fun levels ->
+      Alcotest.(check int)
+        (Printf.sprintf "complete binary %d levels" levels)
+        levels
+        (Tt_core.Pebble.sethi_ullman
+           (Tt_core.Instances.complete_binary ~levels ~f:1 ~n:0)))
+    [ 1; 2; 3; 4; 5 ];
+  (* a ternary star: all three children alive at once *)
+  Alcotest.(check int) "ternary star" 3
+    (Tt_core.Pebble.sethi_ullman
+       (Tt_core.Instances.star ~branches:3 ~f_root:1 ~f_leaf:1 ~n:0))
+
+let test_strahler_vs_su_diverge () =
+  (* arity 3 with equal children: Strahler 2, Sethi-Ullman 3 *)
+  let t = Tt_core.Instances.star ~branches:3 ~f_root:1 ~f_leaf:1 ~n:0 in
+  Alcotest.(check int) "strahler" 2 (Tt_core.Pebble.strahler t);
+  Alcotest.(check int) "sethi-ullman" 3 (Tt_core.Pebble.sethi_ullman t)
+
+let test_unit_replacement_tree () =
+  let t = Tt_core.Instances.complete_binary ~levels:3 ~f:9 ~n:9 in
+  let u = Tt_core.Pebble.unit_replacement_tree t in
+  Alcotest.(check bool) "unit files" true (Array.for_all (fun f -> f = 1) u.T.f);
+  Alcotest.(check int) "leaf n" 0 u.T.n.(6);
+  Alcotest.(check int) "internal n" (-1) u.T.n.(0)
+
+(* --- unit-size MinIO: Belady (LSNF) is exact for a fixed traversal ----- *)
+
+let prop_lsnf_exact_on_unit_sizes =
+  H.qcheck ~count:200 "LSNF = exact MinIO when all files have size one"
+    (QCheck.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         let shape = T.random_shape ~rng ~size:(Tt_util.Rng.int_incl rng 2 14) ~max_degree:5 in
+         let t = T.map_weights ~f:(fun _ -> 1) ~n:(fun _ -> 0) shape in
+         let order = Tt_core.Traversal.random_order ~rng t in
+         let floor = T.max_mem_req t in
+         let peak = Tt_core.Traversal.peak t order in
+         let memory =
+           if peak <= floor then floor else Tt_util.Rng.int_incl rng floor peak
+         in
+         (t, order, memory))
+       QCheck.(int_bound 1_000_000))
+    (fun (t, order, memory) ->
+      match
+        ( Tt_core.Minio.io_volume t ~memory ~order Tt_core.Minio.Lsnf,
+          Tt_core.Minio_exact.given_order t ~memory ~order )
+      with
+      | Some lsnf, Some exact -> lsnf = exact
+      | _ -> false)
+
+let () =
+  H.run "pebble"
+    [ ( "sethi-ullman",
+        [ prop_su_equals_pebble_optimum;
+          prop_su_equals_strahler_on_binary;
+          H.case "known values" test_su_known_values;
+          H.case "strahler diverges at arity 3" test_strahler_vs_su_diverge;
+          H.case "unit embedding" test_unit_replacement_tree
+        ] );
+      ("unit-size minio", [ prop_lsnf_exact_on_unit_sizes ])
+    ]

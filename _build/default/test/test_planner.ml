@@ -1,0 +1,72 @@
+(* Tests for the one-call planning API. *)
+
+module T = Tt_core.Tree
+module H = Helpers
+
+let prop_plan_validates =
+  H.qcheck ~count:200 "plans are feasible and classified correctly"
+    (QCheck.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         let t = H.random_tree ~rng ~size_max:14 ~max_f:10 ~max_n:5 in
+         let floor = T.max_mem_req t in
+         let opt = Tt_core.Minmem.min_memory t in
+         let memory =
+           match Tt_util.Rng.int rng 3 with
+           | 0 -> max 0 (floor - 1 - Tt_util.Rng.int rng 3)
+           | 1 -> if opt > floor then Tt_util.Rng.int_incl rng floor (opt - 1) else floor
+           | _ -> opt + Tt_util.Rng.int rng 5
+         in
+         (t, memory))
+       QCheck.(int_bound 1_000_000))
+    (fun (t, memory) ->
+      let floor = T.max_mem_req t in
+      let opt = Tt_core.Minmem.min_memory t in
+      match Tt_core.Planner.plan t ~memory with
+      | Tt_core.Planner.Infeasible { floor = f } -> memory < floor && f = floor
+      | Tt_core.Planner.In_core { order; peak } ->
+          peak = opt && peak <= memory && Tt_core.Traversal.peak t order = peak
+      | Tt_core.Planner.Out_of_core { schedule; io; lower_bound; _ } -> (
+          memory >= floor && memory < opt
+          &&
+          match Tt_core.Io_schedule.check t ~memory schedule with
+          | Tt_core.Io_schedule.Feasible { io = io'; _ } ->
+              io = io' && float_of_int io +. 1e-6 >= lower_bound
+          | _ -> false))
+
+let test_plan_in_core () =
+  let t = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  match Tt_core.Planner.plan t ~memory:33 with
+  | Tt_core.Planner.In_core { peak; _ } -> Alcotest.(check int) "peak" 33 peak
+  | p -> Alcotest.failf "expected in-core, got: %s" (Tt_core.Planner.describe p)
+
+let test_plan_out_of_core () =
+  let t = Tt_core.Instances.harpoon ~branches:3 ~m:30 ~eps:1 in
+  match Tt_core.Planner.plan t ~memory:32 with
+  | Tt_core.Planner.Out_of_core { io; _ } ->
+      Alcotest.(check bool) "some io" true (io > 0)
+  | p -> Alcotest.failf "expected out-of-core, got: %s" (Tt_core.Planner.describe p)
+
+let test_plan_infeasible () =
+  let t = Tt_core.Instances.star ~branches:4 ~f_root:5 ~f_leaf:5 ~n:0 in
+  match Tt_core.Planner.plan t ~memory:3 with
+  | Tt_core.Planner.Infeasible { floor } ->
+      Alcotest.(check int) "floor" (T.max_mem_req t) floor
+  | p -> Alcotest.failf "expected infeasible, got: %s" (Tt_core.Planner.describe p)
+
+let test_describe () =
+  let t = Tt_core.Instances.chain ~length:3 ~f:2 ~n:0 in
+  let d = Tt_core.Planner.describe (Tt_core.Planner.plan t ~memory:100) in
+  Alcotest.(check bool) "mentions in-core" true
+    (String.length d >= 7 && String.sub d 0 7 = "in-core")
+
+let () =
+  H.run "planner"
+    [ ( "plan",
+        [ prop_plan_validates;
+          H.case "in-core" test_plan_in_core;
+          H.case "out-of-core" test_plan_out_of_core;
+          H.case "infeasible" test_plan_infeasible;
+          H.case "describe" test_describe
+        ] )
+    ]

@@ -1,0 +1,132 @@
+(* Tests for performance profiles, ASCII plots and tables. *)
+
+module P = Tt_profile.Perf_profile
+module H = Helpers
+
+(* three methods on three instances: A always best, B within 2x, C fails
+   on the last instance *)
+let costs =
+  [| [| 1.; 2.; 1. |]; [| 10.; 20.; 30. |]; [| 4.; 4.; infinity |] |]
+
+let names = [ "A"; "B"; "C" ]
+
+let test_fraction_within () =
+  Alcotest.(check (float 1e-9)) "A best everywhere" 1.
+    (P.fraction_within costs ~column:0 ~tau:1.0);
+  Alcotest.(check (float 1e-9)) "B best on one" (1. /. 3.)
+    (P.fraction_within costs ~column:1 ~tau:1.0);
+  Alcotest.(check (float 1e-9)) "B within 2x everywhere" 1.
+    (P.fraction_within costs ~column:1 ~tau:2.0);
+  Alcotest.(check (float 1e-9)) "C never catches up" (2. /. 3.)
+    (P.fraction_within costs ~column:2 ~tau:1000.)
+
+let test_ratios () =
+  Alcotest.(check (array (float 1e-9))) "ratios of B" [| 2.; 2.; 1. |]
+    (P.ratios costs ~column:1);
+  let rc = P.ratios costs ~column:2 in
+  Alcotest.(check (float 1e-9)) "C ratio 1" 1. rc.(0);
+  Alcotest.(check bool) "C fails" true (rc.(2) = infinity)
+
+let test_compute_curves () =
+  let curves = P.compute ~tau_max:4. ~samples:16 ~names costs in
+  Alcotest.(check int) "three curves" 3 (List.length curves);
+  List.iter
+    (fun (c : P.curve) ->
+      Alcotest.(check int) "sample count" 16 (Array.length c.P.points);
+      (* fractions are monotone and within [0,1] *)
+      let prev = ref (-1.) in
+      Array.iter
+        (fun (tau, frac) ->
+          if frac < !prev -. 1e-12 then Alcotest.fail "fraction not monotone";
+          prev := frac;
+          if tau < 1. -. 1e-9 || frac < 0. || frac > 1. then
+            Alcotest.fail "out of range")
+        c.P.points)
+    curves;
+  Alcotest.(check string) "dominant" "A" (P.dominant curves)
+
+let test_compute_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Perf_profile: ragged cost matrix")
+    (fun () -> ignore (P.compute ~names [| [| 1. |]; [| 1.; 2. |] |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Perf_profile: negative cost")
+    (fun () -> ignore (P.compute ~names:[ "x" ] [| [| -1. |] |]))
+
+let test_zero_costs () =
+  (* zero best cost: equal-zero methods count as ratio 1, others fail *)
+  let c = [| [| 0.; 0.; 5. |] |] in
+  let r0 = P.ratios c ~column:0 and r2 = P.ratios c ~column:2 in
+  Alcotest.(check (float 0.)) "zero vs zero" 1. r0.(0);
+  Alcotest.(check bool) "positive vs zero" true (r2.(0) = infinity)
+
+let test_all_failed_instance_skipped () =
+  let c = [| [| infinity; infinity |]; [| 1.; 2. |] |] in
+  Alcotest.(check int) "only one usable instance" 1
+    (Array.length (P.ratios c ~column:0))
+
+(* ------------------------------------------------------------- ascii plot *)
+
+(* substring search helper *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+
+let test_plot_renders () =
+  let curves = P.compute ~tau_max:4. ~samples:16 ~names costs in
+  let s = Tt_profile.Ascii_plot.render ~width:40 ~height:10 ~title:"demo" curves in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  Alcotest.(check bool) "has legend A" true (contains s "* A");
+  Alcotest.(check bool) "axis present" true (contains s "tau:")
+
+let test_plot_empty () =
+  let s = Tt_profile.Ascii_plot.render [] in
+  Alcotest.(check bool) "placeholder" true (contains s "no curves")
+
+(* ----------------------------------------------------------------- table *)
+
+let test_table_render () =
+  let s =
+    Tt_profile.Table.render ~header:[ "name"; "v" ] [ [ "a"; "10" ]; [ "bb"; "7" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "four lines + trailing" 5 (List.length lines);
+  Alcotest.(check bool) "aligned" true (contains s "bb");
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () -> ignore (Tt_profile.Table.render ~header:[ "a" ] [ [ "x"; "y" ] ]))
+
+let test_table_kv () =
+  let s = Tt_profile.Table.render_kv [ ("k", "v"); ("longer", "w") ] in
+  Alcotest.(check bool) "kv contains" true (contains s "longer  w")
+
+
+let test_to_csv () =
+  let curves = P.compute ~tau_max:4. ~samples:8 ~names costs in
+  let csv = P.to_csv curves in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 8 rows" 9 (List.length lines);
+  Alcotest.(check string) "header" "tau,A,B,C" (List.hd lines);
+  Alcotest.check_raises "mismatched grids"
+    (Invalid_argument "Perf_profile.to_csv: mismatched tau grids") (fun () ->
+      let shifted =
+        { P.name = "D";
+          points = Array.map (fun (t, f) -> (t +. 1., f)) (List.hd curves).P.points
+        }
+      in
+      ignore (P.to_csv (curves @ [ shifted ])))
+
+let () =
+  H.run "profile"
+    [ ( "perf profile",
+        [ H.case "fraction_within" test_fraction_within;
+          H.case "ratios" test_ratios;
+          H.case "curves" test_compute_curves;
+          H.case "validation" test_compute_validation;
+          H.case "zero costs" test_zero_costs;
+          H.case "failed instances" test_all_failed_instance_skipped;
+          H.case "csv" test_to_csv
+        ] );
+      ( "ascii plot",
+        [ H.case "renders" test_plot_renders; H.case "empty" test_plot_empty ] );
+      ("table", [ H.case "render" test_table_render; H.case "kv" test_table_kv ])
+    ]

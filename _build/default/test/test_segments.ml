@@ -1,0 +1,159 @@
+(* Tests for the hill-valley segment calculus behind Liu's exact
+   algorithm. *)
+
+module S = Tt_core.Segments
+module H = Helpers
+
+let seg h v nodes =
+  { S.hill = h;
+    valley = v;
+    seq = List.fold_left (fun acc x -> S.seq_cat acc (S.seq_single x)) S.seq_empty nodes
+  }
+
+(* random raw profiles: start at 0, each step climbs then descends *)
+let arb_raw_profile =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let len = Tt_util.Rng.int_incl rng 1 12 in
+        let v = ref 0 in
+        List.init len (fun i ->
+            let hill = !v + Tt_util.Rng.int_incl rng 0 10 in
+            let valley = Tt_util.Rng.int_incl rng 0 hill in
+            v := valley;
+            seg hill valley [ i ]))
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  let print p =
+    String.concat ";"
+      (List.map (fun s -> Printf.sprintf "(%d,%d)" s.S.hill s.S.valley) p)
+  in
+  QCheck.make ~print gen
+
+let prop_canonicalize_invariant =
+  H.qcheck "canonicalize establishes the invariant" arb_raw_profile (fun p ->
+      S.check_canonical (S.canonicalize p))
+
+let prop_canonicalize_preserves =
+  H.qcheck "canonicalize preserves peak, final valley and nodes" arb_raw_profile
+    (fun p ->
+      let c = S.canonicalize p in
+      S.peak c = S.peak p
+      && S.final_valley c = S.final_valley p
+      && S.nodes c = S.nodes p)
+
+let prop_canonicalize_idempotent =
+  H.qcheck "canonicalize is idempotent" arb_raw_profile (fun p ->
+      let c = S.canonicalize p in
+      S.canonicalize c = c)
+
+let test_canonicalize_cases () =
+  (* cost rule: (5,1) cost 4 then (9,2) cost 7 must fuse *)
+  let c = S.canonicalize [ seg 5 1 [ 0 ]; seg 9 2 [ 1 ] ] in
+  Alcotest.(check int) "fused length" 1 (List.length c);
+  Alcotest.(check int) "fused hill" 9 (S.peak c);
+  Alcotest.(check int) "fused valley" 2 (S.final_valley c);
+  Alcotest.(check (list int)) "fused nodes" [ 0; 1 ] (S.nodes c);
+  (* valley rule: (33,9) then (16,3): costs decrease but 9 >= 3 -> fuse *)
+  let c2 = S.canonicalize [ seg 33 9 [ 0 ]; seg 16 3 [ 1 ] ] in
+  Alcotest.(check int) "suffix-min fused" 1 (List.length c2);
+  Alcotest.(check int) "suffix-min hill" 33 (S.peak c2);
+  Alcotest.(check int) "suffix-min valley" 3 (S.final_valley c2);
+  (* both strictly improving: stays split *)
+  let c3 = S.canonicalize [ seg 10 1 [ 0 ]; seg 8 5 [ 1 ] ] in
+  Alcotest.(check int) "kept split" 2 (List.length c3)
+
+let test_merge_two_chains () =
+  (* the counterexample that motivated the suffix-minima rule: chain A =
+     [(33,3);(25,17)], chain B = [(27,4)]; optimal interleave peak 33 *)
+  let a = [ seg 33 3 [ 0 ]; seg 25 17 [ 1 ] ] in
+  let b = [ seg 27 4 [ 2 ] ] in
+  let m = S.merge [ a; b ] in
+  Alcotest.(check bool) "canonical" true (S.check_canonical m);
+  Alcotest.(check int) "peak 33" 33 (S.peak m);
+  Alcotest.(check int) "final valley" (17 + 4) (S.final_valley m);
+  (* order: A1 first (cost 30), then B (cost 23) on base 3 -> hill 30 *)
+  Alcotest.(check (list int)) "node order" [ 0; 2; 1 ] (S.nodes m)
+
+let test_merge_disjoint_costs () =
+  let a = [ seg 10 2 [ 0 ] ] and b = [ seg 6 1 [ 1 ] ] in
+  let m = S.merge [ a; b ] in
+  (* a first (cost 8), b at base 2: hill 8 < 10, so peak 10 *)
+  Alcotest.(check int) "peak" 10 (S.peak m);
+  Alcotest.(check (list int)) "order by cost" [ 0; 1 ] (S.nodes m)
+
+let test_merge_empty () =
+  Alcotest.(check int) "empty merge" 0 (S.peak (S.merge []));
+  let a = [ seg 5 1 [ 0 ] ] in
+  Alcotest.(check bool) "single merge unchanged" true (S.merge [ a ] = a)
+
+let prop_merge_canonical =
+  H.qcheck "merging canonical profiles is canonical"
+    (QCheck.pair arb_raw_profile arb_raw_profile) (fun (p, q) ->
+      S.check_canonical (S.merge [ S.canonicalize p; S.canonicalize q ]))
+
+let prop_merge_final_valley =
+  H.qcheck "merged final valley = sum of the chains' final valleys"
+    (QCheck.pair arb_raw_profile arb_raw_profile) (fun (p, q) ->
+      let a = S.canonicalize p and b = S.canonicalize q in
+      S.final_valley (S.merge [ a; b ]) = S.final_valley a + S.final_valley b)
+
+let prop_merge_peak_lower_bound =
+  H.qcheck "merged peak >= each chain's peak"
+    (QCheck.pair arb_raw_profile arb_raw_profile) (fun (p, q) ->
+      let a = S.canonicalize p and b = S.canonicalize q in
+      let m = S.merge [ a; b ] in
+      S.peak m >= S.peak a && S.peak m >= S.peak b)
+
+let test_append_parent () =
+  let prof = S.canonicalize [ seg 10 4 [ 0 ] ] in
+  let p = S.append_parent prof ~hill:12 ~valley:2 ~node:9 in
+  Alcotest.(check bool) "canonical" true (S.check_canonical p);
+  Alcotest.(check int) "peak" 12 (S.peak p);
+  Alcotest.(check int) "valley" 2 (S.final_valley p);
+  Alcotest.(check (list int)) "nodes" [ 0; 9 ] (S.nodes p);
+  Alcotest.check_raises "hill < valley"
+    (Invalid_argument "Segments.append_parent: hill < valley") (fun () ->
+      ignore (S.append_parent prof ~hill:1 ~valley:5 ~node:9))
+
+let test_of_step_profile () =
+  (* profile 10 -> 2, 8 -> 5: two genuine segments *)
+  let p = S.of_step_profile ~usage:[| 10; 8 |] ~after:[| 2; 5 |] ~order:[| 0; 1 |] in
+  Alcotest.(check int) "segments" 2 (List.length p);
+  Alcotest.(check int) "peak" 10 (S.peak p);
+  (* ascending profile 8 -> 5, 10 -> 2 fuses *)
+  let q = S.of_step_profile ~usage:[| 8; 10 |] ~after:[| 5; 2 |] ~order:[| 0; 1 |] in
+  Alcotest.(check int) "fused" 1 (List.length q)
+
+let prop_rope_cat_order =
+  H.qcheck "seq_cat concatenates in order"
+    (QCheck.pair (H.arb_int_list ~len:10 ()) (H.arb_int_list ~len:10 ()))
+    (fun (a, b) ->
+      let build l =
+        List.fold_left (fun acc x -> S.seq_cat acc (S.seq_single x)) S.seq_empty l
+      in
+      S.seq_to_list (S.seq_cat (build a) (build b)) = a @ b)
+
+let () =
+  H.run "segments"
+    [ ( "canonicalize",
+        [ H.case "cases" test_canonicalize_cases;
+          prop_canonicalize_invariant;
+          prop_canonicalize_preserves;
+          prop_canonicalize_idempotent
+        ] );
+      ( "merge",
+        [ H.case "two chains counterexample" test_merge_two_chains;
+          H.case "disjoint costs" test_merge_disjoint_costs;
+          H.case "empty" test_merge_empty;
+          prop_merge_canonical;
+          prop_merge_final_valley;
+          prop_merge_peak_lower_bound
+        ] );
+      ( "construction",
+        [ H.case "append_parent" test_append_parent;
+          H.case "of_step_profile" test_of_step_profile;
+          prop_rope_cat_order
+        ] )
+    ]

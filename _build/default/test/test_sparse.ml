@@ -1,0 +1,219 @@
+(* Tests for the sparse matrix formats. *)
+
+module S = Tt_sparse
+module H = Helpers
+
+let arb_matrix ?(n_max = 15) ?(sym = false) () =
+  let gen =
+    QCheck.Gen.map
+      (fun seed ->
+        let rng = Tt_util.Rng.create seed in
+        let n = Tt_util.Rng.int_incl rng 1 n_max in
+        let m = Tt_util.Rng.int_incl rng 1 n_max in
+        let m = if sym then n else m in
+        let t = S.Triplet.create ~nrows:n ~ncols:m in
+        let entries = Tt_util.Rng.int_incl rng 0 (3 * n) in
+        for _ = 1 to entries do
+          let i = Tt_util.Rng.int rng n and j = Tt_util.Rng.int rng m in
+          let v = float_of_int (Tt_util.Rng.int_incl rng 1 9) in
+          S.Triplet.add t i j v;
+          if sym && i <> j then S.Triplet.add t j i v
+        done;
+        S.Csr.of_triplet t)
+      (QCheck.Gen.int_bound 1_000_000)
+  in
+  QCheck.make
+    ~print:(fun a ->
+      Printf.sprintf "%dx%d nnz=%d" a.S.Csr.nrows a.S.Csr.ncols (S.Csr.nnz a))
+    gen
+
+(* ---------------------------------------------------------------- triplet *)
+
+let test_triplet_basics () =
+  let t = S.Triplet.create ~nrows:3 ~ncols:2 in
+  S.Triplet.add t 0 1 2.5;
+  S.Triplet.add t 2 0 1.0;
+  Alcotest.(check int) "nnz" 2 (S.Triplet.nnz t);
+  Alcotest.(check int) "nrows" 3 (S.Triplet.nrows t);
+  let entries = S.Triplet.entries t in
+  Alcotest.(check int) "entries kept in order" 2 (Array.length entries);
+  Alcotest.(check bool) "first" true (entries.(0) = (0, 1, 2.5));
+  let tt = S.Triplet.transpose t in
+  Alcotest.(check bool) "transposed entry" true ((S.Triplet.entries tt).(0) = (1, 0, 2.5));
+  Alcotest.check_raises "oob" (Invalid_argument "Triplet.add: entry (3,0) out of bounds")
+    (fun () -> S.Triplet.add t 3 0 1.)
+
+let test_csr_duplicates () =
+  let t = S.Triplet.create ~nrows:2 ~ncols:2 in
+  S.Triplet.add t 0 0 1.;
+  S.Triplet.add t 0 0 2.;
+  S.Triplet.add t 1 0 5.;
+  let a = S.Csr.of_triplet t in
+  Alcotest.(check int) "duplicates summed" 2 (S.Csr.nnz a);
+  Alcotest.(check (float 0.)) "sum" 3. (S.Csr.get a 0 0);
+  Alcotest.(check (float 0.)) "other" 5. (S.Csr.get a 1 0);
+  Alcotest.(check (float 0.)) "missing" 0. (S.Csr.get a 1 1)
+
+let prop_dense_round_trip =
+  H.qcheck "of_dense / to_dense round trip" (arb_matrix ()) (fun a ->
+      let d = S.Csr.to_dense a in
+      let b = S.Csr.of_dense d in
+      S.Csr.to_dense b = d)
+
+let prop_transpose_involution =
+  H.qcheck "transpose is an involution" (arb_matrix ()) (fun a ->
+      let att = S.Csr.transpose (S.Csr.transpose a) in
+      S.Csr.equal_pattern a att && att.S.Csr.values = a.S.Csr.values)
+
+let prop_transpose_dense =
+  H.qcheck "transpose matches the dense transpose" (arb_matrix ()) (fun a ->
+      let d = S.Csr.to_dense a in
+      let dt = S.Csr.to_dense (S.Csr.transpose a) in
+      let ok = ref true in
+      Array.iteri
+        (fun i row -> Array.iteri (fun j v -> if dt.(j).(i) <> v then ok := false) row)
+        d;
+      !ok)
+
+let prop_rows_sorted =
+  H.qcheck "column indices sorted within each row" (arb_matrix ()) (fun a ->
+      let ok = ref true in
+      for i = 0 to a.S.Csr.nrows - 1 do
+        for k = a.S.Csr.row_ptr.(i) + 1 to a.S.Csr.row_ptr.(i + 1) - 1 do
+          if a.S.Csr.col_idx.(k - 1) >= a.S.Csr.col_idx.(k) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_symmetrize_pattern =
+  H.qcheck "symmetrized pattern is symmetric with a full diagonal"
+    (arb_matrix ~sym:false ()) (fun a ->
+      QCheck.assume (a.S.Csr.nrows = a.S.Csr.ncols);
+      let p = S.Csr.symmetrize_pattern a in
+      S.Csr.is_symmetric p
+      && (let full_diag = ref true in
+          for i = 0 to p.S.Csr.nrows - 1 do
+            if S.Csr.get p i i = 0. then full_diag := false
+          done;
+          !full_diag)
+      && Array.for_all (fun v -> v = 1.) p.S.Csr.values)
+
+let prop_symmetrize_values_spd =
+  H.qcheck "symmetrize_values gives a strictly diagonally dominant matrix"
+    (arb_matrix ()) (fun a ->
+      QCheck.assume (a.S.Csr.nrows = a.S.Csr.ncols);
+      let m = S.Csr.symmetrize_values a in
+      S.Csr.is_symmetric ~tol:1e-12 m
+      &&
+      let ok = ref true in
+      for i = 0 to m.S.Csr.nrows - 1 do
+        let diag = ref 0. and off = ref 0. in
+        Seq.iter
+          (fun (j, v) -> if j = i then diag := v else off := !off +. Float.abs v)
+          (S.Csr.row m i);
+        if !diag <= !off then ok := false
+      done;
+      !ok)
+
+let test_lower () =
+  let d = [| [| 1.; 2.; 0. |]; [| 3.; 4.; 5. |]; [| 6.; 0.; 7. |] |] in
+  let a = S.Csr.of_dense d in
+  let l = S.Csr.lower a in
+  Alcotest.(check int) "lower nnz" 5 (S.Csr.nnz l);
+  let ls = S.Csr.lower ~strict:true a in
+  Alcotest.(check int) "strict lower nnz" 2 (S.Csr.nnz ls)
+
+let prop_permute_sym =
+  H.qcheck "permute_sym matches the dense permutation"
+    (QCheck.pair (arb_matrix ~sym:true ()) (QCheck.int_bound 1_000_000))
+    (fun (a, seed) ->
+      let n = a.S.Csr.nrows in
+      let rng = Tt_util.Rng.create seed in
+      let perm = Array.init n (fun i -> i) in
+      Tt_util.Rng.shuffle rng perm;
+      let b = S.Csr.permute_sym a perm in
+      let d = S.Csr.to_dense a and bd = S.Csr.to_dense b in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if bd.(i).(j) <> d.(perm.(i)).(perm.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+let test_permute_validation () =
+  let a = S.Csr.of_dense [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  Alcotest.check_raises "bad perm" (Invalid_argument "Csr.permute_sym: not a permutation")
+    (fun () -> ignore (S.Csr.permute_sym a [| 0; 0 |]))
+
+let prop_mul_vec =
+  H.qcheck "mul_vec matches the dense product" (arb_matrix ()) (fun a ->
+      let x = Array.init a.S.Csr.ncols (fun i -> float_of_int ((i mod 5) + 1)) in
+      let y = S.Csr.mul_vec a x in
+      let d = S.Csr.to_dense a in
+      let expect =
+        Array.map (fun row -> Array.fold_left ( +. ) 0. (Array.mapi (fun j v -> v *. x.(j)) row)) d
+      in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) y expect)
+
+
+(* -------------------------------------------------------------- iterative *)
+
+let prop_cg_solves_spd =
+  H.qcheck ~count:60 "cg solves SPD systems"
+    (QCheck.map
+       (fun seed ->
+         let rng = Tt_util.Rng.create seed in
+         S.Csr.symmetrize_values
+           (S.Spgen.random_sym ~rng ~n:(Tt_util.Rng.int_incl rng 1 40) ~nnz_per_row:2.5))
+       QCheck.(int_bound 1_000_000))
+    (fun a ->
+      let n = a.S.Csr.nrows in
+      let x0 = Array.init n (fun i -> float_of_int ((i mod 5) - 2)) in
+      let b = S.Csr.mul_vec a x0 in
+      let r = S.Iterative.cg ~tol:1e-12 a b in
+      r.S.Iterative.converged
+      && Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) r.S.Iterative.x x0)
+
+let test_cg_edge_cases () =
+  let a = S.Csr.of_dense [| [| 4. |] |] in
+  let r = S.Iterative.cg a [| 8. |] in
+  Alcotest.(check (float 1e-9)) "1x1" 2. r.S.Iterative.x.(0);
+  let rz = S.Iterative.cg a [| 0. |] in
+  Alcotest.(check bool) "zero rhs" true
+    (rz.S.Iterative.converged && rz.S.Iterative.x.(0) = 0. && rz.S.Iterative.iterations = 0);
+  Alcotest.check_raises "dimension" (Invalid_argument "Iterative.cg: dimension mismatch")
+    (fun () -> ignore (S.Iterative.cg a [| 1.; 2. |]))
+
+let test_cg_grid_iterations () =
+  (* CG on the grid Laplacian converges well before 4n iterations *)
+  let a = S.Spgen.grid2d 12 in
+  let b = Array.init a.S.Csr.nrows (fun i -> float_of_int (i mod 3)) in
+  let r = S.Iterative.cg a b in
+  Alcotest.(check bool) "converged" true r.S.Iterative.converged;
+  Alcotest.(check bool) "fast" true (r.S.Iterative.iterations < a.S.Csr.nrows)
+
+let () =
+  H.run "sparse"
+    [ ( "triplet",
+        [ H.case "basics" test_triplet_basics; H.case "duplicates" test_csr_duplicates ] );
+      ( "csr",
+        [ prop_dense_round_trip;
+          prop_transpose_involution;
+          prop_transpose_dense;
+          prop_rows_sorted;
+          H.case "lower" test_lower;
+          prop_mul_vec
+        ] );
+      ( "iterative",
+        [ prop_cg_solves_spd;
+          H.case "edge cases" test_cg_edge_cases;
+          H.case "grid convergence" test_cg_grid_iterations
+        ] );
+      ( "symmetry",
+        [ prop_symmetrize_pattern;
+          prop_symmetrize_values_spd;
+          prop_permute_sym;
+          H.case "permute validation" test_permute_validation
+        ] )
+    ]

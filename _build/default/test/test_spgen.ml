@@ -1,0 +1,118 @@
+(* Tests for the synthetic matrix generators. *)
+
+module S = Tt_sparse
+module H = Helpers
+
+let spd_check name a =
+  Alcotest.(check bool) (name ^ " symmetric") true (S.Csr.is_symmetric ~tol:1e-12 a);
+  for i = 0 to a.S.Csr.nrows - 1 do
+    let diag = ref 0. and off = ref 0. in
+    Seq.iter
+      (fun (j, v) -> if j = i then diag := v else off := !off +. Float.abs v)
+      (S.Csr.row a i);
+    if !diag <= !off then Alcotest.failf "%s: row %d not diagonally dominant" name i
+  done
+
+let connected a =
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  snd (Tt_ordering.Graph_adj.components g) = 1
+
+let test_grid2d () =
+  let a = S.Spgen.grid2d 5 in
+  Alcotest.(check int) "n" 25 a.S.Csr.nrows;
+  spd_check "grid2d" a;
+  Alcotest.(check bool) "connected" true (connected a);
+  (* interior vertex has 4 neighbors *)
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  Alcotest.(check int) "interior degree" 4 (Tt_ordering.Graph_adj.degree g 12);
+  Alcotest.(check int) "corner degree" 2 (Tt_ordering.Graph_adj.degree g 0)
+
+let test_grid2d_rect () =
+  let a = S.Spgen.grid2d_rect 3 7 in
+  Alcotest.(check int) "n" 21 a.S.Csr.nrows;
+  spd_check "rect" a;
+  Alcotest.(check bool) "connected" true (connected a);
+  (* a 1xk rectangle is the tridiagonal chain *)
+  let chain = S.Spgen.grid2d_rect 1 9 in
+  Alcotest.(check bool) "1xk = tridiagonal" true
+    (S.Csr.equal_pattern chain (S.Spgen.tridiagonal 9))
+
+let test_grid9 () =
+  let a = S.Spgen.grid2d_9pt 5 in
+  spd_check "grid9" a;
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  Alcotest.(check int) "interior degree" 8 (Tt_ordering.Graph_adj.degree g 12)
+
+let test_grid3d () =
+  let a = S.Spgen.grid3d 3 in
+  Alcotest.(check int) "n" 27 a.S.Csr.nrows;
+  spd_check "grid3d" a;
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  Alcotest.(check int) "center degree" 6 (Tt_ordering.Graph_adj.degree g 13)
+
+let test_tridiagonal () =
+  let a = S.Spgen.tridiagonal 8 in
+  spd_check "tridiagonal" a;
+  Alcotest.(check int) "nnz" (8 + (2 * 7)) (S.Csr.nnz a);
+  Alcotest.(check bool) "connected" true (connected a)
+
+let test_banded () =
+  let rng = Tt_util.Rng.create 5 in
+  let a = S.Spgen.banded ~rng ~n:50 ~bandwidth:4 ~fill:0.5 in
+  spd_check "banded" a;
+  Alcotest.(check bool) "connected" true (connected a);
+  (* entries stay within the band *)
+  for i = 0 to 49 do
+    Seq.iter
+      (fun (j, _) -> if abs (i - j) > 4 then Alcotest.failf "entry (%d,%d) outside band" i j)
+      (S.Csr.row a i)
+  done
+
+let test_random_sym () =
+  let rng = Tt_util.Rng.create 6 in
+  let a = S.Spgen.random_sym ~rng ~n:60 ~nnz_per_row:3.0 in
+  spd_check "random_sym" a;
+  Alcotest.(check bool) "connected" true (connected a)
+
+let test_block_arrow () =
+  let a = S.Spgen.block_arrow ~n:60 ~blocks:4 ~border:5 in
+  spd_check "block_arrow" a;
+  (* border rows are dense *)
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  Alcotest.(check int) "border degree" 59 (Tt_ordering.Graph_adj.degree g 59);
+  Alcotest.check_raises "bad shape" (Invalid_argument "Spgen.block_arrow: bad shape")
+    (fun () -> ignore (S.Spgen.block_arrow ~n:10 ~blocks:0 ~border:1))
+
+let test_power_law () =
+  let rng = Tt_util.Rng.create 7 in
+  let a = S.Spgen.power_law ~rng ~n:80 ~edges_per_node:2 in
+  spd_check "power_law" a;
+  let g = Tt_ordering.Graph_adj.of_pattern (S.Csr.symmetrize_pattern a) in
+  let degrees = Array.init 80 (Tt_ordering.Graph_adj.degree g) in
+  Array.sort compare degrees;
+  (* heavy tail: the max degree should clearly exceed the median *)
+  Alcotest.(check bool) "heavy tail" true (degrees.(79) >= 2 * degrees.(40))
+
+let test_determinism () =
+  let m1 = S.Spgen.banded ~rng:(Tt_util.Rng.create 3) ~n:30 ~bandwidth:3 ~fill:0.5 in
+  let m2 = S.Spgen.banded ~rng:(Tt_util.Rng.create 3) ~n:30 ~bandwidth:3 ~fill:0.5 in
+  Alcotest.(check bool) "same seed, same matrix" true
+    (S.Csr.equal_pattern m1 m2 && m1.S.Csr.values = m2.S.Csr.values)
+
+let () =
+  H.run "spgen"
+    [ ( "stencils",
+        [ H.case "grid2d" test_grid2d;
+          H.case "grid2d_rect" test_grid2d_rect;
+          H.case "grid9" test_grid9;
+          H.case "grid3d" test_grid3d;
+          H.case "tridiagonal" test_tridiagonal
+        ] );
+      ( "random families",
+        [ H.case "banded" test_banded;
+          H.case "random_sym" test_random_sym;
+          H.case "block_arrow" test_block_arrow;
+          H.case "power_law" test_power_law;
+          H.case "determinism" test_determinism
+        ] )
+    ]

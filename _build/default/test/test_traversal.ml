@@ -1,0 +1,116 @@
+(* Tests for Algorithm 1: the in-core traversal checker and traversal
+   utilities. *)
+
+module T = Tt_core.Tree
+module Tr = Tt_core.Traversal
+module H = Helpers
+
+let tiny () = T.make ~parent:[| -1; 0; 0; 2 |] ~f:[| 5; 2; 3; 4 |] ~n:[| 1; 0; 2; 0 |]
+
+(* Hand-checked memory usages for the tiny tree, order 0 1 2 3:
+   step 0 (exec 0): ready {0}=5, n=1, out 2+3=5           -> 11
+   step 1 (exec 1): ready {1,2}=5, n=0, out 0              -> 5
+   step 2 (exec 2): ready {2}=3, n=2, out 4                -> 9
+   step 3 (exec 3): ready {3}=4, n=0, out 0                -> 4 *)
+
+let test_profile_hand_checked () =
+  let t = tiny () in
+  Alcotest.(check (array int)) "profile" [| 11; 5; 9; 4 |]
+    (Tr.profile t [| 0; 1; 2; 3 |]);
+  Alcotest.(check int) "peak" 11 (Tr.peak t [| 0; 1; 2; 3 |]);
+  (* the other valid order: 0 2 1 3 and 0 2 3 1 etc. *)
+  Alcotest.(check int) "alt order peak" 11 (Tr.peak t [| 0; 2; 3; 1 |])
+
+let test_check_feasible () =
+  let t = tiny () in
+  (match Tr.check t ~memory:11 [| 0; 1; 2; 3 |] with
+  | Tr.Feasible peak -> Alcotest.(check int) "peak from check" 11 peak
+  | _ -> Alcotest.fail "expected feasible");
+  match Tr.check t ~memory:10 [| 0; 1; 2; 3 |] with
+  | Tr.Infeasible_at { step; needed; available } ->
+      Alcotest.(check int) "fails at step" 0 step;
+      Alcotest.(check int) "needed" 11 needed;
+      Alcotest.(check int) "available" 10 available
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_check_invalid () =
+  let t = tiny () in
+  let expect_invalid reason order =
+    match Tr.check t ~memory:1000 order with
+    | Tr.Invalid_order { reason = r; _ } -> Alcotest.(check string) "reason" reason r
+    | _ -> Alcotest.fail "expected invalid"
+  in
+  expect_invalid "wrong length" [| 0; 1 |];
+  expect_invalid "parent not yet executed" [| 1; 0; 2; 3 |];
+  expect_invalid "duplicate node" [| 0; 1; 1; 3 |];
+  expect_invalid "node out of range" [| 0; 9; 2; 3 |];
+  expect_invalid "parent not yet executed" [| 0; 3; 2; 1 |]
+
+let test_single_node () =
+  let t = T.make ~parent:[| -1 |] ~f:[| 7 |] ~n:[| 3 |] in
+  Alcotest.(check int) "singleton peak" 10 (Tr.peak t [| 0 |]);
+  match Tr.check t ~memory:9 [| 0 |] with
+  | Tr.Infeasible_at _ -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_top_down_order () =
+  let t = tiny () in
+  H.check_valid_traversal t (Tr.top_down_order t)
+
+let prop_random_orders_valid =
+  H.qcheck "random_order always yields a valid traversal"
+    (H.arb_tree_with_order ~size_max:20 ()) (fun (t, order) ->
+      Tr.is_valid_order t order)
+
+let prop_profile_peak_agree =
+  H.qcheck "peak = max of profile" (H.arb_tree_with_order ()) (fun (t, order) ->
+      let prof = Tr.profile t order in
+      Tr.peak t order = Array.fold_left max min_int prof)
+
+let prop_peak_lower_bound =
+  H.qcheck "peak >= max mem req along any traversal" (H.arb_tree_with_order ())
+    (fun (t, order) -> Tr.peak t order >= T.max_mem_req t)
+
+let test_all_orders_counts () =
+  (* chain: exactly one traversal *)
+  let chain = Tt_core.Instances.chain ~length:5 ~f:1 ~n:0 in
+  Alcotest.(check int) "chain has one order" 1 (List.length (Tr.all_orders chain));
+  (* star with b leaves: b! traversals *)
+  let star = Tt_core.Instances.star ~branches:4 ~f_root:1 ~f_leaf:1 ~n:0 in
+  Alcotest.(check int) "star 4 has 24 orders" 24 (List.length (Tr.all_orders star));
+  (* every enumerated order is valid and distinct *)
+  let t = T.make ~parent:[| -1; 0; 0; 1 |] ~f:[| 1; 1; 1; 1 |] ~n:[| 0; 0; 0; 0 |] in
+  let orders = Tr.all_orders t in
+  Alcotest.(check int) "binary shape count" 3 (List.length orders);
+  List.iter (fun o -> H.check_valid_traversal t o) orders;
+  Alcotest.(check int) "distinct" (List.length orders)
+    (List.length (List.sort_uniq compare orders))
+
+let test_all_orders_guard () =
+  let big = Tt_core.Instances.chain ~length:11 ~f:1 ~n:0 in
+  Alcotest.check_raises "guard" (Invalid_argument "Traversal.all_orders: tree too large")
+    (fun () -> ignore (Tr.all_orders big))
+
+let prop_zero_memory_trees =
+  H.qcheck "all-zero weights are feasible with zero memory"
+    (H.arb_tree ~max_f:0 ~max_n:0 ()) (fun t ->
+      let t0 = T.map_weights ~f:(fun _ -> 0) ~n:(fun _ -> 0) t in
+      Tr.peak t0 (Tr.top_down_order t0) = 0)
+
+let () =
+  H.run "traversal"
+    [ ( "checker",
+        [ H.case "hand-checked profile" test_profile_hand_checked;
+          H.case "feasible/infeasible" test_check_feasible;
+          H.case "invalid orders" test_check_invalid;
+          H.case "single node" test_single_node
+        ] );
+      ( "orders",
+        [ H.case "top-down valid" test_top_down_order;
+          H.case "all_orders counts" test_all_orders_counts;
+          H.case "all_orders guard" test_all_orders_guard;
+          prop_random_orders_valid
+        ] );
+      ( "properties",
+        [ prop_profile_peak_agree; prop_peak_lower_bound; prop_zero_memory_trees ] )
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the tree workflow model (Tt_core.Tree). *)
+
+module T = Tt_core.Tree
+module H = Helpers
+
+let tiny () =
+  (* 0 -> {1, 2}, 2 -> 3 *)
+  T.make ~parent:[| -1; 0; 0; 2 |] ~f:[| 5; 2; 3; 4 |] ~n:[| 1; 0; 2; 0 |]
+
+let test_make_valid () =
+  let t = tiny () in
+  Alcotest.(check int) "size" 4 (T.size t);
+  Alcotest.(check int) "root" 0 t.T.root;
+  Alcotest.(check (array int)) "children of 0" [| 1; 2 |] t.T.children.(0);
+  Alcotest.(check (array int)) "children of 2" [| 3 |] t.T.children.(2);
+  Alcotest.(check bool) "leaf 1" true (T.is_leaf t 1);
+  Alcotest.(check bool) "leaf 0" false (T.is_leaf t 0)
+
+let test_make_errors () =
+  let expect msg parent f n =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (T.make ~parent ~f ~n))
+  in
+  expect "Tree.make: empty tree" [||] [||] [||];
+  expect "Tree.make: several roots" [| -1; -1 |] [| 0; 0 |] [| 0; 0 |];
+  expect "Tree.make: no root" [| 1; 0 |] [| 0; 0 |] [| 0; 0 |];
+  expect "Tree.make: parent out of range" [| -1; 7 |] [| 0; 0 |] [| 0; 0 |];
+  expect "Tree.make: self-loop" [| -1; 1 |] [| 0; 0 |] [| 0; 0 |];
+  expect "Tree.make: array length mismatch" [| -1 |] [| 0; 1 |] [| 0 |];
+  expect "Tree.make: f.(1) < 0" [| -1; 0 |] [| 0; -2 |] [| 0; 0 |];
+  (* cycle among non-root nodes *)
+  Alcotest.check_raises "cycle" (Invalid_argument "Tree.make: cycle in parent pointers")
+    (fun () -> ignore (T.make ~parent:[| -1; 2; 1 |] ~f:[| 0; 0; 0 |] ~n:[| 0; 0; 0 |]))
+
+let test_mem_req () =
+  let t = tiny () in
+  Alcotest.(check int) "root req" (5 + 1 + 2 + 3) (T.mem_req t 0);
+  Alcotest.(check int) "leaf req" 2 (T.mem_req t 1);
+  Alcotest.(check int) "inner req" (3 + 2 + 4) (T.mem_req t 2);
+  Alcotest.(check int) "max req" 11 (T.max_mem_req t);
+  Alcotest.(check int) "total f" 14 (T.total_f t);
+  Alcotest.(check int) "sum children f" 5 (T.sum_children_f t 0)
+
+let test_depth_height () =
+  let t = tiny () in
+  Alcotest.(check (array int)) "depth" [| 0; 1; 1; 2 |] (T.depth t);
+  Alcotest.(check int) "height" 2 (T.height t);
+  Alcotest.(check (array int)) "subtree sizes" [| 4; 1; 2; 1 |] (T.subtree_sizes t);
+  let chain = Tt_core.Instances.chain ~length:5 ~f:1 ~n:0 in
+  Alcotest.(check int) "chain height" 4 (T.height chain)
+
+let test_negative_n_allowed () =
+  let t = T.make ~parent:[| -1; 0 |] ~f:[| 3; 2 |] ~n:[| -2; 0 |] in
+  Alcotest.(check int) "negative n in mem_req" 3 (T.mem_req t 0)
+
+let test_string_round_trip () =
+  let t = tiny () in
+  Alcotest.(check bool) "round trip" true (T.equal t (T.of_string (T.to_string t)))
+
+let prop_string_round_trip =
+  H.qcheck "to_string/of_string round trip" (H.arb_tree ()) (fun t ->
+      T.equal t (T.of_string (T.to_string t)))
+
+let test_of_string_errors () =
+  List.iter
+    (fun s ->
+      match T.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "x"; "2 -1:0:0"; "1 -1:a:0"; "1 -1:0"; "1 0:0:0" ]
+
+let prop_random_tree_valid =
+  H.qcheck "random trees validate and have consistent arrays"
+    (H.arb_tree ~size_max:40 ()) (fun t ->
+      let d = T.depth t in
+      Array.for_all (fun x -> x >= 0) d
+      && Array.for_all (fun f -> f >= 0) t.T.f
+      && T.size t = Array.length t.T.parent)
+
+let prop_subtree_sizes =
+  H.qcheck "subtree sizes sum over children + 1" (H.arb_tree ~size_max:30 ())
+    (fun t ->
+      let sz = T.subtree_sizes t in
+      let ok = ref (sz.(t.T.root) = T.size t) in
+      Array.iteri
+        (fun i cs ->
+          let s = Array.fold_left (fun acc c -> acc + sz.(c)) 1 cs in
+          if s <> sz.(i) then ok := false)
+        t.T.children;
+      !ok)
+
+let test_map_weights () =
+  let t = tiny () in
+  let t' = T.map_weights ~f:(fun i -> 10 + i) ~n:(fun i -> i) t in
+  Alcotest.(check (array int)) "f rewritten" [| 10; 11; 12; 13 |] t'.T.f;
+  Alcotest.(check (array int)) "n rewritten" [| 0; 1; 2; 3 |] t'.T.n;
+  Alcotest.(check (array int)) "shape preserved" t.T.parent t'.T.parent
+
+let test_random_shape_degree () =
+  let rng = Tt_util.Rng.create 3 in
+  for _ = 1 to 20 do
+    let t = T.random_shape ~rng ~size:40 ~max_degree:2 in
+    Array.iter
+      (fun cs ->
+        if Array.length cs > 2 then Alcotest.failf "degree %d > 2" (Array.length cs))
+      t.T.children
+  done
+
+let test_deep_tree_is_stack_safe () =
+  (* 200k-node chain: structural operations must not overflow the stack *)
+  let p = 200_000 in
+  let t = Tt_core.Instances.chain ~length:p ~f:1 ~n:0 in
+  Alcotest.(check int) "height" (p - 1) (T.height t);
+  Alcotest.(check int) "subtree size at root" p (T.subtree_sizes t).(t.T.root)
+
+let () =
+  H.run "tree"
+    [ ( "construction",
+        [ H.case "valid" test_make_valid;
+          H.case "errors" test_make_errors;
+          H.case "negative n" test_negative_n_allowed
+        ] );
+      ( "accessors",
+        [ H.case "mem_req" test_mem_req;
+          H.case "depth/height" test_depth_height;
+          H.case "map_weights" test_map_weights;
+          prop_subtree_sizes
+        ] );
+      ( "serialization",
+        [ H.case "round trip" test_string_round_trip;
+          H.case "parse errors" test_of_string_errors;
+          prop_string_round_trip
+        ] );
+      ( "random",
+        [ prop_random_tree_valid;
+          H.case "bounded degree" test_random_shape_degree;
+          H.case "deep chain" test_deep_tree_is_stack_safe
+        ] )
+    ]

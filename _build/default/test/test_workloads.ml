@@ -1,0 +1,145 @@
+(* Tests for the experiment corpus and the §VI-E random re-weighting. *)
+
+module W = Tt_workloads
+module T = Tt_core.Tree
+module H = Helpers
+
+let test_small_corpus () =
+  let insts = W.Dataset.small_corpus ~seed:42 in
+  Alcotest.(check bool) "non-empty" true (List.length insts >= 12);
+  (* names unique *)
+  let names = List.map (fun (i : W.Dataset.instance) -> i.W.Dataset.name) insts in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* trees are non-trivial and well-formed (construction validates) *)
+  List.iter
+    (fun (i : W.Dataset.instance) ->
+      if T.size i.W.Dataset.tree < 2 then
+        Alcotest.failf "%s degenerate (%d nodes)" i.W.Dataset.name
+          (T.size i.W.Dataset.tree))
+    insts
+
+let test_corpus_deterministic () =
+  let c1 = W.Dataset.small_corpus ~seed:42 in
+  let c2 = W.Dataset.small_corpus ~seed:42 in
+  List.iter2
+    (fun (a : W.Dataset.instance) (b : W.Dataset.instance) ->
+      Alcotest.(check string) "name" a.W.Dataset.name b.W.Dataset.name;
+      Alcotest.(check bool) "tree" true (T.equal a.W.Dataset.tree b.W.Dataset.tree))
+    c1 c2
+
+let test_matrices_scale () =
+  let ms1 = W.Dataset.matrices ~scale:1 ~seed:1 () in
+  Alcotest.(check bool) "enough families" true (List.length ms1 >= 10);
+  List.iter
+    (fun (name, m) ->
+      if m.Tt_sparse.Csr.nrows < 200 then
+        Alcotest.failf "%s too small (%d)" name m.Tt_sparse.Csr.nrows)
+    ms1
+
+let test_amalgamation_monotone () =
+  (* more amalgamation -> fewer tree nodes, on a grid instance *)
+  let m = Tt_sparse.Spgen.grid2d 15 in
+  let sizes =
+    List.map
+      (fun am ->
+        T.size
+          (W.Pipeline.assembly_tree ~ordering:W.Pipeline.Min_degree ~amalgamation:am m)
+            .Tt_etree.Assembly.tree)
+      [ 1; 2; 4; 16 ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (Printf.sprintf "sizes %s" (String.concat ">=" (List.map string_of_int sizes)))
+    true (non_increasing sizes)
+
+let test_pipeline_orderings () =
+  let m = Tt_sparse.Spgen.grid2d 8 in
+  List.iter
+    (fun o ->
+      let asm = W.Pipeline.assembly_tree ~ordering:o m in
+      let tree = asm.Tt_etree.Assembly.tree in
+      let mem, order = Tt_core.Minmem.run tree in
+      Alcotest.(check int)
+        (W.Pipeline.ordering_name o)
+        mem
+        (Tt_core.Traversal.peak tree order))
+    (W.Pipeline.Natural :: W.Pipeline.all_orderings)
+
+let test_pipeline_stats () =
+  let m = Tt_sparse.Spgen.grid2d 6 in
+  let asm = W.Pipeline.assembly_tree m in
+  let s = W.Pipeline.stats asm in
+  Alcotest.(check bool) "mentions node count" true
+    (String.length s > 0 && String.sub s 0 2 = "p=")
+
+(* ---------------------------------------------------------- reweighting *)
+
+let test_reweight_ranges () =
+  let rng = Tt_util.Rng.create 5 in
+  let base =
+    (W.Pipeline.assembly_tree (Tt_sparse.Spgen.grid2d 12)).Tt_etree.Assembly.tree
+  in
+  let t = W.Random_weights.reweight ~rng base in
+  let p = T.size t in
+  Alcotest.(check (array int)) "structure preserved" base.T.parent t.T.parent;
+  Alcotest.(check int) "root f zero" 0 t.T.f.(t.T.root);
+  Array.iteri
+    (fun i fi ->
+      if i <> t.T.root && (fi < 1 || fi > p) then
+        Alcotest.failf "edge weight %d out of [1,%d]" fi p)
+    t.T.f;
+  let max_node = max 1 (p / 500) in
+  Array.iter
+    (fun ni ->
+      if ni < 1 || ni > max_node then
+        Alcotest.failf "node weight %d out of [1,%d]" ni max_node)
+    t.T.n
+
+let test_reweight_corpus_variants () =
+  let insts = W.Dataset.small_corpus ~seed:42 in
+  let rw = W.Random_weights.corpus ~variants:2 ~seed:9 insts in
+  Alcotest.(check int) "2x instances" (2 * List.length insts) (List.length rw);
+  (* deterministic *)
+  let rw2 = W.Random_weights.corpus ~variants:2 ~seed:9 insts in
+  List.iter2
+    (fun (a : W.Dataset.instance) (b : W.Dataset.instance) ->
+      Alcotest.(check bool) "same trees" true (T.equal a.W.Dataset.tree b.W.Dataset.tree))
+    rw rw2
+
+let test_reweighting_hurts_postorder () =
+  (* the §VI-E observation: random weights make postorder non-optimal on
+     a decent fraction of structures *)
+  let insts = W.Dataset.small_corpus ~seed:42 in
+  let rw = W.Random_weights.corpus ~variants:2 ~seed:11 insts in
+  let non_opt =
+    List.filter
+      (fun (i : W.Dataset.instance) ->
+        Tt_core.Postorder_opt.best_memory i.W.Dataset.tree
+        > Tt_core.Liu_exact.min_memory i.W.Dataset.tree)
+      rw
+  in
+  let frac = float_of_int (List.length non_opt) /. float_of_int (List.length rw) in
+  if frac < 0.1 then
+    Alcotest.failf "only %.0f%% non-optimal on random weights" (100. *. frac)
+
+let () =
+  H.run "workloads"
+    [ ( "dataset",
+        [ H.case "small corpus" test_small_corpus;
+          H.case "deterministic" test_corpus_deterministic;
+          H.case "matrix families" test_matrices_scale
+        ] );
+      ( "pipeline",
+        [ H.case "amalgamation monotone" test_amalgamation_monotone;
+          H.case "orderings" test_pipeline_orderings;
+          H.case "stats" test_pipeline_stats
+        ] );
+      ( "random weights",
+        [ H.case "ranges" test_reweight_ranges;
+          H.case "variants" test_reweight_corpus_variants;
+          H.case "hurts postorder" test_reweighting_hurts_postorder
+        ] )
+    ]
