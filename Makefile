@@ -1,0 +1,24 @@
+# Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
+
+.PHONY: all build test check bench-smoke batch-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The tier-1 gate plus a smoke run of the engine-backed bench and the
+# batch subcommand. No ocamlformat config in this repo, so no fmt check.
+check: build test batch-smoke
+	dune exec bench/main.exe -- --section fig6 --jobs 2 --no-bechamel
+
+batch-smoke:
+	printf 'gen grid2d size=12 :: minmem; liu; minio policy=first-fit budget=50%%\n' > _batch_smoke.manifest
+	dune exec bin/treetrav.exe -- batch _batch_smoke.manifest --jobs 2
+	rm -f _batch_smoke.manifest
+
+clean:
+	dune clean

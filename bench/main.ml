@@ -3,21 +3,36 @@
    ablations, on the synthetic assembly-tree corpus. Run with
 
      dune exec bench/main.exe -- [--scale N] [--seed N] [--section NAME]*
+                                 [--jobs N] [--telemetry FILE] [--cache-dir DIR]
                                  [--bechamel] [--list]
 
    Sections: theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2
-             ablation-child-order ablation-bestk rounds all (default). *)
+             ablation-child-order ablation-bestk rounds all (default).
+   Sections run in the order given and may repeat: a repeated section
+   demonstrates the engine's result cache (the second run is all hits).
+
+   The corpus sweeps of fig6/fig7/fig9/parallel go through the
+   tt_engine batch executor: [--jobs N] runs them on N domains,
+   [--telemetry FILE] records per-job JSONL events, [--cache-dir DIR]
+   persists solver results across invocations. Solver results are
+   independent of --jobs; each engine section prints a results digest
+   to make that checkable. *)
 
 module T = Tt_core.Tree
 module P = Tt_profile.Perf_profile
 module Plot = Tt_profile.Ascii_plot
 module Table = Tt_profile.Table
+module Job = Tt_engine.Job
+module Executor = Tt_engine.Executor
 
 let scale = ref 1
 let seed = ref 42
 let sections : string list ref = ref []
 let run_bechamel = ref true
 let csv_dir : string option ref = ref None
+let jobs = ref 1
+let telemetry_path : string option ref = ref None
+let cache_dir : string option ref = ref None
 
 let usage = "dune exec bench/main.exe -- [options]"
 
@@ -26,7 +41,16 @@ let spec =
     ("--seed", Arg.Set_int seed, "N corpus seed (default 42)");
     ( "--section",
       Arg.String (fun s -> sections := s :: !sections),
-      "NAME run only this section (repeatable)" );
+      "NAME run only this section (repeatable, in order)" );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N engine domains for the corpus sweeps (default 1; 0 = auto)" );
+    ( "--telemetry",
+      Arg.String (fun f -> telemetry_path := Some f),
+      "FILE record engine JSONL telemetry to FILE" );
+    ( "--cache-dir",
+      Arg.String (fun d -> cache_dir := Some d),
+      "DIR persist engine results to DIR (shared across runs)" );
     ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-benchmarks (default)");
     ("--no-bechamel", Arg.Clear run_bechamel, " skip the Bechamel micro-benchmarks");
     ( "--csv",
@@ -42,6 +66,47 @@ let spec =
       " list sections" )
   ]
 
+(* ----------------------------------------------------------------- engine *)
+
+let telemetry_sink = lazy (Option.map Tt_engine.Telemetry.to_file !telemetry_path)
+
+let engine =
+  lazy
+    (let domains = if !jobs = 0 then Executor.default_domains () else !jobs in
+     Executor.create ~domains
+       ~cache:(Tt_engine.Cache.create ?persist:!cache_dir ())
+       ?telemetry:(Lazy.force telemetry_sink) ())
+
+(* Run a batch and print the one-line execution summary every engine
+   section shares. *)
+let run_engine_batch jobs =
+  let exec = Lazy.force engine in
+  let reports, summary = Executor.run_batch exec jobs in
+  Printf.printf
+    "[engine] %d jobs on %d domain(s) in %.2fs (utilization %.0f%%), cache: %d hits / %d misses%s\n"
+    summary.Executor.jobs (Executor.domains exec) summary.Executor.wall
+    (100. *. Executor.utilization summary)
+    summary.Executor.cache_hits summary.Executor.cache_misses
+    (if summary.Executor.errors > 0 then
+       Printf.sprintf ", %d ERRORS" summary.Executor.errors
+     else "");
+  (reports, summary)
+
+(* Digest of the solver results only (no timings), so `--jobs 1` and
+   `--jobs N` output can be checked for equality. *)
+let results_digest (reports : Executor.report array) =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (r : Executor.report) ->
+      Buffer.add_string buf (Job.result_to_string r.Executor.result);
+      Buffer.add_char buf '\n')
+    reports;
+  String.sub (Digest.to_hex (Digest.string (Buffer.contents buf))) 0 16
+
+let print_digest reports =
+  Printf.printf "results digest: %s (identical for any --jobs value)\n"
+    (results_digest reports)
+
 let maybe_csv name curves =
   match !csv_dir with
   | None -> ()
@@ -52,9 +117,6 @@ let maybe_csv name curves =
       output_string oc (P.to_csv curves);
       close_out oc;
       Printf.printf "[csv] wrote %s\n" path
-
-let wanted name =
-  match !sections with [] -> true | l -> List.mem name l || List.mem "all" l
 
 let header name descr =
   Printf.printf "\n==================================================================\n";
@@ -186,23 +248,27 @@ let fig5_table1 () =
 let fig6 () =
   header "Figure 6" "running times of PostOrder / Liu / MinMem";
   let insts = Lazy.force corpus in
-  let algos =
-    [ ("MinMem", fun t -> ignore (Tt_core.Minmem.run t));
-      ("PostOrder", fun t -> ignore (Tt_core.Postorder_opt.run t));
-      ("Liu", fun t -> ignore (Tt_core.Liu_exact.run t))
-    ]
-  in
-  let costs =
-    List.map
+  let algos = [ ("MinMem", Job.Minmem); ("PostOrder", Job.Postorder); ("Liu", Job.Liu) ] in
+  let batch =
+    List.concat_map
       (fun (i : Tt_workloads.Dataset.instance) ->
-        Array.of_list
-          (List.map
-             (fun (_, f) ->
-               let _, dt = Tt_util.Timer.time_repeat ~min_time:0.002 (fun () -> f i.tree) in
-               dt)
-             algos))
+        List.map
+          (fun (name, algo) ->
+            Job.make ~label:(i.name ^ " " ^ name) i.tree (Job.Min_memory algo))
+          algos)
       insts
-    |> Array.of_list
+  in
+  let reports, summary = run_engine_batch batch in
+  print_digest reports;
+  if summary.Executor.cache_hits > 0 then
+    Printf.printf
+      "note: %d jobs came from the result cache; their walls measure the lookup,\n\
+       not the solver, so the runtime profile below is only meaningful on a cold cache.\n"
+      summary.Executor.cache_hits;
+  let k = List.length algos in
+  let costs =
+    Array.init (List.length insts) (fun r ->
+        Array.init k (fun j -> Float.max 1e-9 reports.((r * k) + j).Executor.wall))
   in
   let names = List.map fst algos in
   let curves = P.compute ~tau_max:5.0 ~names costs in
@@ -238,24 +304,56 @@ let minio_instances order_of =
     (Lazy.force corpus)
   |> List.concat
 
+(* The paper's budget sweep: positions in the gap between the
+   working-set floor and the in-core optimum of the MinMem traversal.
+   Trees whose gap is empty contribute no cases, as in {!minio_instances}. *)
+let minio_fractions = [ 0.0; 0.25; 0.5; 0.75 ]
+
 let fig7 () =
   header "Figure 7" "I/O volume of the six eviction heuristics on MinMem traversals";
-  let cases = minio_instances (fun t -> snd (Tt_core.Minmem.run t)) in
-  Printf.printf "%d (tree, memory) cases\n" (List.length cases);
-  let names = List.map fst Tt_core.Minio.all_policies in
-  let costs =
-    List.map
-      (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
-        Array.of_list
-          (List.map
-             (fun (_, pol) ->
-               match Tt_core.Minio.io_volume i.tree ~memory ~order pol with
-               | Some io -> float_of_int io
-               | None -> infinity)
-             Tt_core.Minio.all_policies))
-      cases
-    |> Array.of_list
+  let insts = Array.of_list (Lazy.force corpus) in
+  let policies = Tt_core.Minio.all_policies in
+  let batch =
+    Array.to_list insts
+    |> List.concat_map (fun (i : Tt_workloads.Dataset.instance) ->
+           List.concat_map
+             (fun frac ->
+               List.map
+                 (fun (pname, policy) ->
+                   Job.make
+                     ~label:(Printf.sprintf "%s f=%g %s" i.name frac pname)
+                     i.tree
+                     (Job.Min_io { policy; budget = Job.Fraction frac }))
+                 policies)
+             minio_fractions)
   in
+  let reports, _ = run_engine_batch batch in
+  print_digest reports;
+  let np = List.length policies and nf = List.length minio_fractions in
+  (* regroup into (tree, budget) rows of one I/O volume per policy; drop
+     trees where the MinMem traversal already fits in the floor *)
+  let rows = ref [] in
+  Array.iteri
+    (fun r (i : Tt_workloads.Dataset.instance) ->
+      let floor = T.max_mem_req i.tree in
+      for fi = nf - 1 downto 0 do
+        let cell j =
+          match reports.((r * nf * np) + (fi * np) + j).Executor.result with
+          | Ok (Job.Io { io = Some io; _ }) -> float_of_int io
+          | Ok (Job.Io { io = None; _ }) -> infinity
+          | _ -> infinity
+        in
+        let in_core =
+          match reports.((r * nf * np) + (fi * np)).Executor.result with
+          | Ok (Job.Io { in_core; _ }) -> in_core
+          | _ -> floor
+        in
+        if in_core > floor then rows := Array.init np cell :: !rows
+      done)
+    insts;
+  let costs = Array.of_list !rows in
+  Printf.printf "%d (tree, memory) cases\n" (Array.length costs);
+  let names = List.map fst policies in
   let curves = P.compute ~tau_max:4.0 ~names costs in
   maybe_csv "fig7" curves;
   print_string (Plot.render ~title:"Figure 7: I/O perf profile (MinMem traversals)" curves);
@@ -267,25 +365,44 @@ let fig7 () =
     names;
   Printf.printf "paper shape: First Fit ~ Best K Comb. > fills > LSNF/Best Fit -> winner: %s\n"
     (P.dominant curves);
-  (* extension: gap to the divisible lower bound *)
-  let gaps =
-    List.filter_map
-      (fun ((i : Tt_workloads.Dataset.instance), order, memory) ->
-        match
-          ( Tt_core.Minio.io_volume i.tree ~memory ~order Tt_core.Minio.First_fit,
-            Tt_core.Minio.divisible_lower_bound i.tree ~memory ~order )
-        with
-        | Some io, Some lb when lb > 0. -> Some (float_of_int io /. lb)
-        | Some _, Some _ -> None
-        | _ -> None)
-      cases
-  in
-  if gaps <> [] then
+  (* extension: gap to the divisible lower bound. The MinMem traversals
+     are fetched from the engine cache — the sweep above already paid
+     for them once per tree. *)
+  let cache = Executor.cache (Lazy.force engine) in
+  let gaps = ref [] in
+  Array.iteri
+    (fun r (i : Tt_workloads.Dataset.instance) ->
+      let pre = Job.make i.tree (Job.Min_memory Job.Minmem) in
+      match Tt_engine.Cache.find cache (Job.id pre) with
+      | Some (Job.Memory { order; _ }) ->
+          let ff_col =
+            let rec find j = function
+              | [] -> 1
+              | (_, p) :: _ when p = Tt_core.Minio.First_fit -> j
+              | _ :: rest -> find (j + 1) rest
+            in
+            find 0 policies
+          in
+          for fi = 0 to nf - 1 do
+            let ff = (r * nf * np) + (fi * np) + ff_col in
+            match reports.(ff).Executor.result with
+            | Ok (Job.Io { io = Some io; memory; in_core })
+              when in_core > T.max_mem_req i.tree -> (
+                match
+                  Tt_core.Minio.divisible_lower_bound i.tree ~memory ~order
+                with
+                | Some lb when lb > 0. -> gaps := (float_of_int io /. lb) :: !gaps
+                | _ -> ())
+            | _ -> ()
+          done
+      | _ -> ())
+    insts;
+  if !gaps <> [] then
     Printf.printf
       "extension: First Fit vs divisible-LSNF lower bound: avg %.3fx, max %.3fx (%d cases)\n"
-      (Tt_util.Statistics.mean (Array.of_list gaps))
-      (snd (Tt_util.Statistics.min_max (Array.of_list gaps)))
-      (List.length gaps)
+      (Tt_util.Statistics.mean (Array.of_list !gaps))
+      (snd (Tt_util.Statistics.min_max (Array.of_list !gaps)))
+      (List.length !gaps)
 
 (* ------------------------------------------------------------------ Fig. 8 *)
 
@@ -346,13 +463,23 @@ let fig9_table2 () =
   in
   Printf.printf "%d random trees (structures from the corpus, weights ~ §VI-E)\n"
     (List.length random_insts);
-  let results =
-    List.map
+  let batch =
+    List.concat_map
       (fun (i : Tt_workloads.Dataset.instance) ->
-        let po = Tt_core.Postorder_opt.best_memory i.tree in
-        let opt = Tt_core.Liu_exact.min_memory i.tree in
-        (po, opt))
+        [ Job.make ~label:(i.name ^ " PostOrder") i.tree (Job.Min_memory Job.Postorder);
+          Job.make ~label:(i.name ^ " Liu") i.tree (Job.Min_memory Job.Liu)
+        ])
       random_insts
+  in
+  let reports, _ = run_engine_batch batch in
+  print_digest reports;
+  let peak r =
+    match reports.(r).Executor.result with
+    | Ok (Job.Memory { peak; _ }) -> peak
+    | _ -> invalid_arg "fig9: unexpected result"
+  in
+  let results =
+    List.mapi (fun r _ -> (peak (2 * r), peak ((2 * r) + 1))) random_insts
   in
   let ratios =
     Array.of_list (List.map (fun (po, opt) -> float_of_int po /. float_of_int opt) results)
@@ -490,25 +617,44 @@ let parallel_section () =
   let procs_list = [ 1; 2; 4; 8; 16 ] in
   let mem_factors = [ (1.0, "1.0x"); (1.5, "1.5x"); (3.0, "3.0x") ] in
   Printf.printf "%d trees; speedup vs 1 processor (geometric mean)\n" (List.length insts);
+  let batch =
+    List.concat_map
+      (fun (factor, _) ->
+        List.concat_map
+          (fun procs ->
+            List.map
+              (fun (i : Tt_workloads.Dataset.instance) ->
+                Job.make
+                  ~label:(Printf.sprintf "%s p=%d m=%gx" i.name procs factor)
+                  i.tree
+                  (Job.Schedule { procs; mem_factor = factor }))
+              insts)
+          procs_list)
+      mem_factors
+  in
+  let reports, _ = run_engine_batch batch in
+  print_digest reports;
+  let n = List.length insts and np = List.length procs_list in
   let rows =
-    List.map
-      (fun (factor, label) ->
+    List.mapi
+      (fun fi (_, label) ->
         let cells =
-          List.map
-            (fun procs ->
+          List.mapi
+            (fun pi _ ->
               let speedups =
-                List.filter_map
-                  (fun (i : Tt_workloads.Dataset.instance) ->
-                    let w = work i.tree in
-                    let seq = Tt_core.Parallel.sequential_makespan i.tree ~work:w in
-                    let memory =
-                      int_of_float
-                        (factor *. float_of_int (Tt_core.Minmem.min_memory i.tree))
+                List.mapi
+                  (fun ii (i : Tt_workloads.Dataset.instance) ->
+                    let seq =
+                      Tt_core.Parallel.sequential_makespan i.tree ~work:(work i.tree)
                     in
-                    match Tt_core.Parallel.list_schedule i.tree ~procs ~memory ~work:w with
-                    | Some s -> Some (float_of_int seq /. float_of_int s.Tt_core.Parallel.makespan)
-                    | None -> None)
+                    match
+                      reports.((((fi * np) + pi) * n) + ii).Executor.result
+                    with
+                    | Ok (Job.Sched { makespan = Some m; _ }) ->
+                        Some (float_of_int seq /. float_of_int m)
+                    | _ -> None)
                   insts
+                |> List.filter_map Fun.id
               in
               if speedups = [] then "-"
               else
@@ -668,22 +814,53 @@ let bechamel_suite () =
 
 (* ------------------------------------------------------------------ main *)
 
+let section_runners =
+  [ ("theorem1", theorem1);
+    ("theorem2", theorem2);
+    ("fig5", fig5_table1);
+    ("table1", fig5_table1);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9_table2);
+    ("table2", fig9_table2);
+    ("ablation-child-order", ablation_child_order);
+    ("ablation-bestk", ablation_bestk);
+    ("ablation-amalgamation", ablation_amalgamation);
+    ("parallel", parallel_section);
+    ("minio-gap", minio_gap);
+    ("rounds", rounds);
+    ("bechamel", bechamel_suite)
+  ]
+
+let default_order () =
+  [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+    "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
+    "parallel"; "minio-gap"; "rounds"
+  ]
+  @ (if !run_bechamel then [ "bechamel" ] else [])
+
 let () =
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
-  let t0 = Sys.time () in
-  if wanted "theorem1" then theorem1 ();
-  if wanted "theorem2" then theorem2 ();
-  if wanted "fig5" || wanted "table1" then fig5_table1 ();
-  if wanted "fig6" then fig6 ();
-  if wanted "fig7" then fig7 ();
-  if wanted "fig8" then fig8 ();
-  if wanted "fig9" || wanted "table2" then fig9_table2 ();
-  if wanted "ablation-child-order" then ablation_child_order ();
-  if wanted "ablation-bestk" then ablation_bestk ();
-  if wanted "ablation-amalgamation" then ablation_amalgamation ();
-  if wanted "parallel" then parallel_section ();
-  if wanted "minio-gap" then minio_gap ();
-  if wanted "rounds" then rounds ();
-  if !run_bechamel && (!sections = [] || List.mem "bechamel" !sections) then
-    bechamel_suite ();
-  Printf.printf "\n[bench] total time %.1fs\n" (Sys.time () -. t0)
+  let t0 = Unix.gettimeofday () in
+  (* sections run in the order requested and may repeat — a repeated
+     engine section is served from the result cache *)
+  let requested =
+    match List.rev !sections with
+    | [] -> default_order ()
+    | l -> List.concat_map (fun s -> if s = "all" then default_order () else [ s ]) l
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name section_runners with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (try --list)\n" name;
+          exit 2)
+    requested;
+  if Lazy.is_val telemetry_sink then
+    Option.iter Tt_engine.Telemetry.close (Lazy.force telemetry_sink);
+  (match !telemetry_path with
+  | Some f -> Printf.printf "[engine] telemetry written to %s\n" f
+  | None -> ());
+  Printf.printf "\n[bench] total time %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -3,7 +3,8 @@
      treetrav generate --kind grid2d --size 20 -o grid.mtx
      treetrav analyze grid.mtx --ordering mindeg --amalgamation 4
      treetrav schedule grid.mtx --memory 120%   (MinIO planning)
-     treetrav corpus --scale 1                  (describe the bench corpus)  *)
+     treetrav corpus --scale 1                  (describe the bench corpus)
+     treetrav batch jobs.manifest --jobs 4      (engine batch execution)  *)
 
 open Cmdliner
 
@@ -216,7 +217,77 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc:"List or export the benchmark corpus.")
     Term.(const corpus $ scale $ seed $ export)
 
+(* --------------------------------------------------------------- batch *)
+
+let batch manifest jobs timeout telemetry cache_dir =
+  let module E = Tt_engine.Executor in
+  let module J = Tt_engine.Job in
+  match Tt_engine.Manifest.load manifest with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" manifest e;
+      1
+  | Ok batch_jobs ->
+      let sink = Option.map Tt_engine.Telemetry.to_file telemetry in
+      let domains = if jobs = 0 then E.default_domains () else jobs in
+      let exec =
+        E.create ~domains ?timeout
+          ~cache:(Tt_engine.Cache.create ?persist:cache_dir ())
+          ?telemetry:sink ()
+      in
+      let reports, summary = E.run_batch exec batch_jobs in
+      Array.iteri
+        (fun i (r : E.report) ->
+          Printf.printf "%4d  %-44s %-10s %s%s\n" i r.E.job.J.label
+            (String.sub (J.id r.E.job) 0 10)
+            (J.result_to_string r.E.result)
+            (if r.E.cache_hit then "  [cached]"
+             else Printf.sprintf "  (%.3fs)" r.E.wall))
+        reports;
+      Printf.printf
+        "%d jobs on %d domain(s) in %.2fs (utilization %.0f%%), cache: %d hits / %d misses, %d errors\n"
+        summary.E.jobs domains summary.E.wall
+        (100. *. E.utilization summary)
+        summary.E.cache_hits summary.E.cache_misses summary.E.errors;
+      (match telemetry with
+      | Some f -> Printf.printf "telemetry written to %s\n" f
+      | None -> ());
+      Option.iter Tt_engine.Telemetry.close sink;
+      if summary.E.errors > 0 then 1 else 0
+
+let batch_cmd =
+  let manifest =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST"
+         ~doc:"Job manifest: one '<source> :: <job> [; <job>]*' entry per line \
+               (see the README's treetrav batch section for the grammar).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Engine domains (0 = one per core, capped at 8).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Degrade jobs exceeding this wall time to errors \
+                   (detected on completion; the batch continues).")
+  in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE" ~doc:"Write JSONL telemetry to FILE.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist solver results to DIR, shared across invocations.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a manifest of solver jobs on the multicore batch engine.")
+    Term.(const batch $ manifest $ jobs $ timeout $ telemetry $ cache_dir)
+
 let () =
   let doc = "memory-optimal tree traversals for sparse matrix factorization" in
   let info = Cmd.info "treetrav" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd ]))

@@ -1,0 +1,89 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  mu : Mutex.t;
+  persist : string option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?persist () =
+  (match persist with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  { table = Hashtbl.create 256; mu = Mutex.create (); persist; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Keys are hex digests, but never trust them as path components. *)
+let path_of dir key =
+  Filename.concat dir
+    (String.map (fun c -> if c = '/' || c = '.' || c = '\\' then '_' else c) key)
+
+let disk_read t key =
+  match t.persist with
+  | None -> None
+  | Some dir -> (
+      let path = path_of dir key in
+      match open_in_bin path with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> try Some (Marshal.from_channel ic) with _ -> None))
+
+let disk_write t key v =
+  match t.persist with
+  | None -> ()
+  | Some dir -> (
+      let path = path_of dir key in
+      let tmp = path ^ ".tmp." ^ string_of_int (Domain.self () :> int) in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Marshal.to_channel oc v []);
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+let find t key =
+  match locked t (fun () -> Hashtbl.find_opt t.table key) with
+  | Some v -> Some v
+  | None -> (
+      match disk_read t key with
+      | Some v ->
+          locked t (fun () ->
+              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          Some v
+      | None -> None)
+
+let find_or_compute t ~key f =
+  match locked t (fun () -> Hashtbl.find_opt t.table key) with
+  | Some v ->
+      locked t (fun () -> t.hits <- t.hits + 1);
+      (v, true)
+  | None -> (
+      match disk_read t key with
+      | Some v ->
+          locked t (fun () ->
+              t.hits <- t.hits + 1;
+              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          (v, true)
+      | None ->
+          locked t (fun () -> t.misses <- t.misses + 1);
+          let v = f () in
+          locked t (fun () ->
+              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          disk_write t key v;
+          (v, false))
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -1,0 +1,48 @@
+(** Content-addressed result memoization.
+
+    Keys are content addresses — typically {!Job.id} — so a hit is by
+    construction the same computation. The store is a mutex-protected
+    hash table shared by all executor domains, with an optional on-disk
+    second level: with [persist:dir], every computed value is also
+    written to [dir/<key>] (via [Marshal], atomically through a
+    temporary file), and a memory miss first consults the directory.
+    This is what lets repeated corpus sweeps across {e separate}
+    process invocations skip recomputation.
+
+    Concurrency contract: {!find_or_compute} looks the key up under the
+    lock but runs the computation {e outside} it, so unrelated keys
+    never serialize each other. Two domains racing on the same fresh
+    key may both compute it; both results are identical (computations
+    are pure functions of the key) and the second insert is a no-op.
+    Counters: every {!find_or_compute} call increments exactly one of
+    [hits]/[misses]; a disk-level hit counts as a hit.
+
+    Only load persisted caches you have written yourself: [Marshal] is
+    not safe against adversarial files. A corrupt or unreadable entry
+    is treated as a miss and overwritten. *)
+
+type 'a t
+
+val create : ?persist:string -> unit -> 'a t
+(** [persist] is a directory, created if missing. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [(value, hit)]. On a miss the computation runs outside the lock and
+    the value is inserted (and persisted, if configured). If the
+    computation raises, nothing is inserted and the exception
+    propagates (the miss is still counted). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup without computing; checks the disk level too. Does not touch
+    the counters. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val length : 'a t -> int
+(** Number of in-memory entries. *)
+
+val clear : 'a t -> unit
+(** Drop the in-memory table and reset the counters. Persisted files
+    are left alone. *)

@@ -1,0 +1,151 @@
+type t = {
+  domains : int;
+  timeout : float option;
+  cache : Job.outcome Cache.t;
+  telemetry : Telemetry.t option;
+}
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let create ?(domains = 1) ?timeout ?cache ?telemetry () =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  { domains = max 1 domains; timeout; cache; telemetry }
+
+let domains t = t.domains
+let cache t = t.cache
+
+type report = {
+  job : Job.t;
+  result : Job.result;
+  wall : float;
+  cache_hit : bool;
+  domain : int;
+}
+
+type summary = {
+  jobs : int;
+  errors : int;
+  wall : float;
+  cache_hits : int;
+  cache_misses : int;
+  busy : float array;
+}
+
+let utilization s =
+  let slots = Array.length s.busy in
+  if slots = 0 || s.wall <= 0. then 0.
+  else Array.fold_left ( +. ) 0. s.busy /. (float_of_int slots *. s.wall)
+
+(* One job, through the cache. [Min_io] and [Schedule] jobs route their
+   MinMem preprocessing through the cache under the id of the equivalent
+   [Min_memory Minmem] job, so it is shared across every job on the same
+   tree. Returns the outcome and whether the job's own result was a hit. *)
+let compute_cached t (job : Job.t) =
+  if Job.needs_minmem job then begin
+    let pre_job = Job.make job.Job.tree (Job.Min_memory Job.Minmem) in
+    let pre, _ =
+      Cache.find_or_compute t.cache ~key:(Job.id pre_job) (fun () ->
+          Job.compute pre_job)
+    in
+    let minmem =
+      match pre with
+      | Job.Memory { peak; order } -> (peak, order)
+      | _ -> assert false (* content-addressed: this key is always Memory *)
+    in
+    Cache.find_or_compute t.cache ~key:(Job.id job) (fun () ->
+        Job.compute ~minmem job)
+  end
+  else
+    Cache.find_or_compute t.cache ~key:(Job.id job) (fun () -> Job.compute job)
+
+let run_one t ~slot (job : Job.t) =
+  let t0 = Unix.gettimeofday () in
+  let result, cache_hit =
+    match compute_cached t job with
+    | outcome, hit -> (Ok outcome, hit)
+    | exception e -> (Error (Job.Crashed (Printexc.to_string e)), false)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let result =
+    match (t.timeout, result) with
+    | Some limit, Ok _ when (not cache_hit) && wall > limit ->
+        Error (Job.Timed_out wall)
+    | _ -> result
+  in
+  (match t.telemetry with
+  | None -> ()
+  | Some sink ->
+      let module J = Telemetry.Json in
+      Telemetry.emit sink ~event:"job"
+        ([ ("id", J.String (Job.id job));
+           ("label", J.String job.Job.label);
+           ("spec", J.String (Job.spec_to_string job.Job.spec));
+           ("wall_s", J.Float wall);
+           ("cache_hit", J.Bool cache_hit);
+           ("domain", J.Int slot)
+         ]
+        @ Job.result_fields result));
+  { job; result; wall; cache_hit; domain = slot }
+
+let run_batch t jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let reports = Array.make n None in
+  let busy = Array.make t.domains 0. in
+  let next = Atomic.make 0 in
+  let hits0 = Cache.hits t.cache and misses0 = Cache.misses t.cache in
+  let t0 = Unix.gettimeofday () in
+  let worker slot =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = run_one t ~slot jobs.(i) in
+        reports.(i) <- Some r;
+        busy.(slot) <- busy.(slot) +. r.wall;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if t.domains = 1 || n <= 1 then worker 0
+  else begin
+    let spawned = min (t.domains - 1) (n - 1) in
+    let others = Array.init spawned (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    worker 0;
+    Array.iter Domain.join others
+  end;
+  let wall = Unix.gettimeofday () -. t0 in
+  let reports = Array.map Option.get reports in
+  let errors =
+    Array.fold_left
+      (fun acc r -> match r.result with Error _ -> acc + 1 | Ok _ -> acc)
+      0 reports
+  in
+  let summary =
+    { jobs = n;
+      errors;
+      wall;
+      cache_hits = Cache.hits t.cache - hits0;
+      cache_misses = Cache.misses t.cache - misses0;
+      busy
+    }
+  in
+  (match t.telemetry with
+  | None -> ()
+  | Some sink ->
+      let module J = Telemetry.Json in
+      Telemetry.emit sink ~event:"batch"
+        [ ("jobs", J.Int summary.jobs);
+          ("errors", J.Int summary.errors);
+          ("wall_s", J.Float summary.wall);
+          ("domains", J.Int t.domains);
+          ("cache_hits", J.Int summary.cache_hits);
+          ("cache_misses", J.Int summary.cache_misses);
+          ("busy_s", J.List (Array.to_list (Array.map (fun b -> J.Float b) busy)));
+          ("utilization", J.Float (utilization summary))
+        ]);
+  (reports, summary)
+
+let run t jobs =
+  let reports, _ = run_batch t jobs in
+  Array.to_list (Array.map (fun r -> r.result) reports)

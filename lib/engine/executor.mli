@@ -1,0 +1,75 @@
+(** The domain pool: batch execution of {!Job.t}s with caching,
+    isolation and telemetry.
+
+    {!run_batch} distributes the jobs over a fixed pool of [domains]
+    OCaml 5 domains (the calling domain is one of them, so [domains = 1]
+    spawns nothing and degenerates to a plain sequential loop). Jobs are
+    claimed from an atomic counter; results land in a slot array indexed
+    by submission position, so the returned reports are {e always} in
+    submission order regardless of completion order, and the result
+    list is bit-for-bit independent of the domain count — solvers are
+    pure, so only scheduling, never values, varies with parallelism.
+
+    Isolation: an exception escaping a job is caught and recorded as
+    [Error (Crashed _)] for that job only; the batch continues. A
+    [timeout] is enforced {e cooperatively}: OCaml domains cannot be
+    preempted, so an overlong job is detected when it returns and its
+    result is degraded to [Error (Timed_out wall)] — the batch is never
+    killed, but a diverging job will still hold its domain. Cache hits
+    are never timed out.
+
+    Caching: results are memoized in a shared {!Cache} keyed by
+    {!Job.id}. Jobs that need the MinMem traversal as preprocessing
+    ([Min_io], [Schedule]) fetch it through the cache under the id of
+    the corresponding [Min_memory Minmem] job, so the six MinIO
+    policies on one tree share a single MinMem run — and a later
+    explicit MinMem job on that tree is a hit, too. *)
+
+type t
+
+val create :
+  ?domains:int ->
+  ?timeout:float ->
+  ?cache:Job.outcome Cache.t ->
+  ?telemetry:Telemetry.t ->
+  unit ->
+  t
+(** [domains] defaults to 1; it is clamped to at least 1. [cache]
+    defaults to a fresh in-memory cache; pass your own to share it
+    across batches or persist it. [telemetry], when given, receives a
+    ["job"] event per job and a ["batch"] event per {!run_batch}. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8 — the engine's
+    jobs are memory-bandwidth-hungry, and beyond that the pool mostly
+    adds contention. *)
+
+val domains : t -> int
+
+val cache : t -> Job.outcome Cache.t
+
+type report = {
+  job : Job.t;
+  result : Job.result;
+  wall : float;  (** Seconds spent computing (≈0 on a cache hit). *)
+  cache_hit : bool;  (** The job's own result came from the cache. *)
+  domain : int;  (** Worker slot in [0, domains). *)
+}
+
+type summary = {
+  jobs : int;
+  errors : int;
+  wall : float;  (** Whole-batch wall clock. *)
+  cache_hits : int;  (** Cache hits during this batch (incl. preprocessing). *)
+  cache_misses : int;
+  busy : float array;  (** Per-slot busy seconds, length [domains]. *)
+}
+
+val utilization : summary -> float
+(** Mean busy fraction over the slots, in [0, 1]. *)
+
+val run_batch : t -> Job.t list -> report array * summary
+(** Reports are in submission order. *)
+
+val run : t -> Job.t list -> Job.result list
+(** Just the results of {!run_batch}, in submission order. *)

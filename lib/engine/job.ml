@@ -1,0 +1,155 @@
+module T = Tt_core.Tree
+
+type algo = Minmem | Liu | Postorder
+type budget = Fraction of float | Words of int
+
+type spec =
+  | Min_memory of algo
+  | Min_io of { policy : Tt_core.Minio.policy; budget : budget }
+  | Schedule of { procs : int; mem_factor : float }
+
+type t = { label : string; tree : T.t; spec : spec }
+
+let algo_name = function
+  | Minmem -> "minmem"
+  | Liu -> "liu"
+  | Postorder -> "postorder"
+
+let budget_to_string = function
+  | Fraction x -> Printf.sprintf "frac=%g" x
+  | Words w -> Printf.sprintf "words=%d" w
+
+let spec_to_string = function
+  | Min_memory a -> "min-memory:" ^ algo_name a
+  | Min_io { policy; budget } ->
+      Printf.sprintf "min-io:%s:%s" (Tt_core.Minio.policy_name policy)
+        (budget_to_string budget)
+  | Schedule { procs; mem_factor } ->
+      Printf.sprintf "schedule:procs=%d:mem=%g" procs mem_factor
+
+let make ?label tree spec =
+  let label = match label with Some l -> l | None -> spec_to_string spec in
+  { label; tree; spec }
+
+let tree_digest tree = Digest.to_hex (Digest.string (T.to_string tree))
+
+let id job =
+  Digest.to_hex (Digest.string (T.to_string job.tree ^ "|" ^ spec_to_string job.spec))
+
+(* ------------------------------------------------------------ outcomes *)
+
+type outcome =
+  | Memory of { peak : int; order : int array }
+  | Io of { in_core : int; memory : int; io : int option }
+  | Sched of { memory : int; makespan : int option; peak : int option }
+
+type error = Timed_out of float | Crashed of string
+type result = (outcome, error) Stdlib.result
+
+let needs_minmem job =
+  match job.spec with Min_memory _ -> false | Min_io _ | Schedule _ -> true
+
+(* The bench's duration convention for the parallel extension: heavier
+   execution files mean longer factorization of the front. *)
+let work_of tree i = 1 + (tree.T.n.(i) / 8)
+
+let budget_words ~floor ~in_core = function
+  | Words w -> w
+  | Fraction x -> floor + int_of_float (x *. float_of_int (in_core - floor))
+
+let compute ?minmem job =
+  let minmem_run () =
+    match minmem with Some pre -> pre | None -> Tt_core.Minmem.run job.tree
+  in
+  match job.spec with
+  | Min_memory Minmem ->
+      let peak, order = minmem_run () in
+      Memory { peak; order }
+  | Min_memory Liu ->
+      let peak, order = Tt_core.Liu_exact.run job.tree in
+      Memory { peak; order }
+  | Min_memory Postorder ->
+      let peak, order = Tt_core.Postorder_opt.run job.tree in
+      Memory { peak; order }
+  | Min_io { policy; budget } ->
+      let in_core, order = minmem_run () in
+      let floor = T.max_mem_req job.tree in
+      let memory = budget_words ~floor ~in_core budget in
+      let io = Tt_core.Minio.io_volume job.tree ~memory ~order policy in
+      Io { in_core; memory; io }
+  | Schedule { procs; mem_factor } ->
+      let in_core, _ = minmem_run () in
+      let memory = int_of_float (mem_factor *. float_of_int in_core) in
+      let work = work_of job.tree in
+      (match Tt_core.Parallel.list_schedule job.tree ~procs ~memory ~work with
+      | Some s ->
+          Sched
+            { memory;
+              makespan = Some s.Tt_core.Parallel.makespan;
+              peak = Some s.Tt_core.Parallel.peak_memory
+            }
+      | None -> Sched { memory; makespan = None; peak = None })
+
+(* ------------------------------------------------------------ equality *)
+
+let equal_outcome a b =
+  match (a, b) with
+  | Memory x, Memory y -> x.peak = y.peak && x.order = y.order
+  | Io x, Io y -> x.in_core = y.in_core && x.memory = y.memory && x.io = y.io
+  | Sched x, Sched y ->
+      x.memory = y.memory && x.makespan = y.makespan && x.peak = y.peak
+  | _ -> false
+
+let equal_result a b =
+  match (a, b) with
+  | Ok x, Ok y -> equal_outcome x y
+  | Error (Timed_out _), Error (Timed_out _) -> true
+  | Error (Crashed x), Error (Crashed y) -> x = y
+  | _ -> false
+
+(* ----------------------------------------------------------- rendering *)
+
+let result_to_string = function
+  | Ok (Memory { peak; _ }) -> Printf.sprintf "peak=%d" peak
+  | Ok (Io { memory; io = Some io; _ }) -> Printf.sprintf "io=%d (budget %d)" io memory
+  | Ok (Io { memory; io = None; _ }) -> Printf.sprintf "infeasible (budget %d)" memory
+  | Ok (Sched { memory; makespan = Some m; _ }) ->
+      Printf.sprintf "makespan=%d (budget %d)" m memory
+  | Ok (Sched { memory; makespan = None; _ }) ->
+      Printf.sprintf "deadlock (budget %d)" memory
+  | Error (Timed_out s) -> Printf.sprintf "timed out after %.2fs" s
+  | Error (Crashed msg) -> "crashed: " ^ msg
+
+let order_digest order =
+  Digest.to_hex
+    (Digest.string (String.concat "," (List.map string_of_int (Array.to_list order))))
+
+let outcome_fields outcome =
+  let module J = Telemetry.Json in
+  match outcome with
+  | Memory { peak; order } ->
+      [ ("kind", J.String "memory");
+        ("peak", J.Int peak);
+        ("order_digest", J.String (order_digest order))
+      ]
+  | Io { in_core; memory; io } ->
+      [ ("kind", J.String "io");
+        ("in_core", J.Int in_core);
+        ("memory", J.Int memory);
+        ("io", match io with Some v -> J.Int v | None -> J.Null)
+      ]
+  | Sched { memory; makespan; peak } ->
+      [ ("kind", J.String "sched");
+        ("memory", J.Int memory);
+        ("makespan", match makespan with Some v -> J.Int v | None -> J.Null);
+        ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+      ]
+
+let result_fields result =
+  let module J = Telemetry.Json in
+  match result with
+  | Ok outcome -> ("ok", J.Bool true) :: outcome_fields outcome
+  | Error (Timed_out s) ->
+      [ ("ok", J.Bool false); ("error", J.String "timeout"); ("after_s", J.Float s) ]
+  | Error (Crashed msg) ->
+      [ ("ok", J.Bool false); ("error", J.String "crash"); ("message", J.String msg) ]

@@ -1,0 +1,102 @@
+(** Typed descriptions of one solver run over one tree.
+
+    A job pairs a {!Tt_core.Tree.t} with a {!spec} saying which solver to
+    run and with which parameters. Jobs are pure data — no closures — so
+    every job has a deterministic {!id}: the digest of the tree's
+    canonical serialization ({!Tt_core.Tree.to_string}) and the spec's
+    canonical rendering. Two jobs with the same id denote the same
+    computation, which is what makes the {!Cache} content-addressed and
+    lets results persist across processes.
+
+    The three spec families cover the repo's solver collection:
+
+    - {!spec.Min_memory} — one of the exact/heuristic MinMemory solvers
+      ([MinMem], Liu's algorithm, best postorder);
+    - {!spec.Min_io} — a MinIO eviction policy under a memory budget,
+      along the MinMem-optimal traversal (the traversal is the shared
+      preprocessing that the executor caches once per tree);
+    - {!spec.Schedule} — the memory-constrained parallel list scheduler
+      with [procs] workers and a budget relative to the sequential
+      optimum. Task durations are derived deterministically from the
+      tree weights ([work i = 1 + n_i / 8], the bench's convention). *)
+
+type algo = Minmem | Liu | Postorder
+
+type budget =
+  | Fraction of float
+      (** Position in the gap between the working-set floor
+          [Tree.max_mem_req] (0.0) and the MinMem in-core optimum
+          (1.0). *)
+  | Words of int  (** Absolute budget in words. *)
+
+type spec =
+  | Min_memory of algo
+  | Min_io of { policy : Tt_core.Minio.policy; budget : budget }
+  | Schedule of { procs : int; mem_factor : float }
+      (** Budget is [mem_factor ×] the MinMem in-core optimum. *)
+
+type t = {
+  label : string;  (** Display only — not part of the job identity. *)
+  tree : Tt_core.Tree.t;
+  spec : spec;
+}
+
+val make : ?label:string -> Tt_core.Tree.t -> spec -> t
+(** [label] defaults to {!spec_to_string}. *)
+
+val spec_to_string : spec -> string
+(** Canonical one-token rendering, e.g. ["min-memory:liu"],
+    ["min-io:First Fit:frac=0.5"], ["schedule:procs=4:mem=1.5"]. *)
+
+val algo_name : algo -> string
+
+val tree_digest : Tt_core.Tree.t -> string
+(** Hex digest of the tree's canonical serialization. *)
+
+val id : t -> string
+(** Content address: hex digest of tree + spec (label excluded). *)
+
+(* ----------------------------------------------------------- outcomes *)
+
+type outcome =
+  | Memory of { peak : int; order : int array }
+      (** MinMemory result: optimal/best peak and a traversal
+          achieving it. *)
+  | Io of { in_core : int; memory : int; io : int option }
+      (** MinIO result: the MinMem in-core optimum the budget was
+          derived from, the concrete budget in words, and the I/O
+          volume ([None] when the instance is infeasible, i.e.
+          [memory < max_mem_req]). *)
+  | Sched of { memory : int; makespan : int option; peak : int option }
+      (** Parallel schedule: budget in words, then makespan and peak
+          memory, [None] when the greedy scheduler deadlocks. *)
+
+type error =
+  | Timed_out of float  (** Wall seconds actually spent. *)
+  | Crashed of string  (** Exception rendered by [Printexc]. *)
+
+type result = (outcome, error) Stdlib.result
+
+val compute : ?minmem:int * int array -> t -> outcome
+(** Run the job directly (no cache, no isolation — the {!Executor} adds
+    both). [minmem], when given, is a previously computed
+    [(peak, order)] of {!Tt_core.Minmem.run} on the same tree; [Min_io]
+    and [Schedule] jobs use it instead of recomputing.
+    @raise whatever the underlying solver raises. *)
+
+val needs_minmem : t -> bool
+(** Whether {!compute} would run [Minmem.run] as preprocessing — true
+    for [Min_io] and [Schedule] jobs. *)
+
+val equal_outcome : outcome -> outcome -> bool
+val equal_result : result -> result -> bool
+
+val result_to_string : result -> string
+(** Compact human-readable summary, e.g. ["peak=120"] or
+    ["io=34 (budget 96)"]. *)
+
+val outcome_fields : outcome -> (string * Telemetry.Json.t) list
+(** Telemetry rendering of an outcome (traversal orders are digested,
+    not inlined). *)
+
+val result_fields : result -> (string * Telemetry.Json.t) list

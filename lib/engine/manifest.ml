@@ -1,0 +1,199 @@
+module S = Tt_sparse
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* --------------------------------------------------------- small lexing *)
+
+let tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+(* [key=value] pairs after the leading keyword(s). *)
+let kv_pairs toks =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> bad "expected key=value, got %S" tok)
+    toks
+
+let lookup ?default pairs key =
+  match List.assoc_opt key pairs with
+  | Some v -> v
+  | None -> (
+      match default with Some d -> d | None -> bad "missing %s=..." key)
+
+let check_keys pairs allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        bad "unknown key %S (expected one of: %s)" k (String.concat ", " allowed))
+    pairs
+
+let int_of ~what s =
+  match int_of_string_opt s with Some v -> v | None -> bad "bad %s: %S" what s
+
+let float_of ~what s =
+  match float_of_string_opt s with Some v -> v | None -> bad "bad %s: %S" what s
+
+(* ------------------------------------------------------------- sources *)
+
+let ordering_of = function
+  | "natural" -> Tt_workloads.Pipeline.Natural
+  | "rcm" -> Tt_workloads.Pipeline.Rcm
+  | "mindeg" -> Tt_workloads.Pipeline.Min_degree
+  | "nd" -> Tt_workloads.Pipeline.Nested_dissection
+  | s -> bad "unknown ordering %S" s
+
+let gen_matrix ~kind ~size ~seed =
+  let rng = Tt_util.Rng.create seed in
+  match kind with
+  | "grid2d" -> S.Spgen.grid2d size
+  | "grid9" -> S.Spgen.grid2d_9pt size
+  | "grid3d" -> S.Spgen.grid3d size
+  | "banded" -> S.Spgen.banded ~rng ~n:size ~bandwidth:(max 2 (size / 50)) ~fill:0.4
+  | "random" -> S.Spgen.random_sym ~rng ~n:size ~nnz_per_row:3.0
+  | "arrow" -> S.Spgen.block_arrow ~n:size ~blocks:8 ~border:(max 2 (size / 40))
+  | "powerlaw" -> S.Spgen.power_law ~rng ~n:size ~edges_per_node:2
+  | "tridiagonal" -> S.Spgen.tridiagonal size
+  | other -> bad "unknown matrix kind %S" other
+
+let tree_of_matrix pairs m =
+  let ordering = ordering_of (lookup ~default:"mindeg" pairs "ordering") in
+  let amalgamation = int_of ~what:"amalgamation" (lookup ~default:"4" pairs "amalgamation") in
+  (Tt_workloads.Pipeline.assembly_tree ~ordering ~amalgamation m).Tt_etree.Assembly.tree
+
+(* Returns [(short_label, tree)]. *)
+let parse_source text =
+  match tokens text with
+  | "file" :: path :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "ordering"; "amalgamation" ];
+      let m =
+        match S.Matrix_market.read_file path with
+        | exception Sys_error e -> bad "cannot read %s: %s" path e
+        | _header, t -> S.Csr.of_triplet t
+      in
+      (Filename.remove_extension (Filename.basename path), tree_of_matrix pairs m)
+  | "gen" :: kind :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "size"; "seed"; "ordering"; "amalgamation" ];
+      let size = int_of ~what:"size" (lookup ~default:"20" pairs "size") in
+      let seed = int_of ~what:"seed" (lookup ~default:"42" pairs "seed") in
+      ( Printf.sprintf "%s-%d" kind size,
+        tree_of_matrix pairs (gen_matrix ~kind ~size ~seed) )
+  | "tree" :: rest ->
+      let text = String.trim (String.concat " " rest) in
+      let text =
+        let n = String.length text in
+        if n >= 2 && text.[0] = '"' && text.[n - 1] = '"' then String.sub text 1 (n - 2)
+        else text
+      in
+      let tree =
+        try Tt_core.Tree.of_string text
+        with Invalid_argument e -> bad "bad tree literal: %s" e
+      in
+      ("tree-" ^ String.sub (Job.tree_digest tree) 0 8, tree)
+  | kw :: _ -> bad "unknown source %S (expected file, gen or tree)" kw
+  | [] -> bad "empty source"
+
+(* ---------------------------------------------------------------- jobs *)
+
+let policy_of = function
+  | "lsnf" -> Tt_core.Minio.Lsnf
+  | "first-fit" -> Tt_core.Minio.First_fit
+  | "best-fit" -> Tt_core.Minio.Best_fit
+  | "first-fill" -> Tt_core.Minio.First_fill
+  | "best-fill" -> Tt_core.Minio.Best_fill
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Tt_core.Minio.Best_k k
+      | _ -> bad "unknown policy %S" s)
+
+let budget_of s =
+  let n = String.length s in
+  if n > 1 && s.[n - 1] = '%' then
+    Job.Fraction (float_of ~what:"budget" (String.sub s 0 (n - 1)) /. 100.)
+  else Job.Words (int_of ~what:"budget" s)
+
+let parse_job_spec text =
+  match tokens text with
+  | [ "minmem" ] -> Job.Min_memory Job.Minmem
+  | [ "liu" ] -> Job.Min_memory Job.Liu
+  | [ "postorder" ] -> Job.Min_memory Job.Postorder
+  | "minio" :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "policy"; "budget" ];
+      Job.Min_io
+        { policy = policy_of (lookup ~default:"first-fit" pairs "policy");
+          budget = budget_of (lookup ~default:"50%" pairs "budget")
+        }
+  | "schedule" :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "procs"; "mem" ];
+      Job.Schedule
+        { procs = int_of ~what:"procs" (lookup pairs "procs");
+          mem_factor = float_of ~what:"mem" (lookup ~default:"1.5" pairs "mem")
+        }
+  | kw :: _ -> bad "unknown job %S (expected minmem, liu, postorder, minio or schedule)" kw
+  | [] -> bad "empty job spec"
+
+(* ---------------------------------------------------------------- lines *)
+
+let split_on_sep ~sep line =
+  (* split on the first occurrence of [sep] *)
+  let n = String.length line and m = String.length sep in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub line 0 i, String.sub line (i + m) (n - i - m))
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_line line =
+  match split_on_sep ~sep:"::" line with
+  | None -> bad "expected '<source> :: <job> [; <job>]*'"
+  | Some (source, jobs) ->
+      let name, tree = parse_source source in
+      let specs =
+        String.split_on_char ';' jobs
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map parse_job_spec
+      in
+      if specs = [] then bad "no jobs after '::'";
+      List.map
+        (fun spec ->
+          Job.make ~label:(name ^ " " ^ Job.spec_to_string spec) tree spec)
+        specs
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | line :: rest -> (
+        let line = String.trim (strip_comment line) in
+        if line = "" then go acc (lineno + 1) rest
+        else
+          match parse_line line with
+          | jobs -> go (jobs :: acc) (lineno + 1) rest
+          | exception Bad msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go [] 1 lines
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> parse (In_channel.input_all ic))

@@ -1,0 +1,45 @@
+(** The `treetrav batch` manifest: a line-based description of a job
+    batch, resolved to {!Job.t}s.
+
+    Grammar (one entry per line; [#] starts a comment, blank lines are
+    ignored):
+
+    {v
+    <source> :: <job> [; <job>]*
+
+    <source> ::= file PATH [ordering=ORD] [amalgamation=K]
+               | gen KIND [size=N] [seed=N] [ordering=ORD] [amalgamation=K]
+               | tree "<Tree.to_string form>"
+    <job>    ::= minmem | liu | postorder
+               | minio policy=POL budget=B
+               | schedule procs=N mem=F
+    v}
+
+    [ORD] is [natural], [rcm], [mindeg] or [nd] (default [mindeg]);
+    [amalgamation] defaults to 4. [KIND] is any of `treetrav generate`'s
+    families ([grid2d], [grid9], [grid3d], [banded], [random], [arrow],
+    [powerlaw], [tridiagonal]); [size] defaults to 20, [seed] to 42.
+    [POL] is [lsnf], [first-fit], [best-fit], [first-fill], [best-fill]
+    or an integer K for Best-K (default [first-fit]). [B] is either
+    [P%] — position P/100 in the gap between the working-set floor and
+    the in-core optimum — or an absolute word count (default [50%]).
+
+    Example:
+
+    {v
+    # sweep two sources through the whole solver collection
+    gen grid2d size=24 :: minmem; liu; postorder
+    gen grid2d size=24 :: minio policy=first-fit budget=50%; minio policy=lsnf budget=50%
+    file data/pores_1.mtx ordering=rcm :: minmem; schedule procs=4 mem=1.5
+    v}
+
+    Each matrix source is materialized once per line via the standard
+    pipeline; the engine's cache then deduplicates identical solver
+    work across lines (the two [grid2d] lines above share one tree
+    digest, so their MinMem runs coincide). *)
+
+val parse : string -> (Job.t list, string) Stdlib.result
+(** Parse manifest text. Errors carry the 1-based line number. *)
+
+val load : string -> (Job.t list, string) Stdlib.result
+(** {!parse} the contents of a file. *)

@@ -1,0 +1,108 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then
+          (* %.17g round-trips but is noisy; %g loses precision on
+             timings. 12 significant digits keeps microseconds exact. *)
+          Buffer.add_string buf (Printf.sprintf "%.12g" f)
+        else Buffer.add_string buf "null"
+    | String s -> escape buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 128 in
+    write buf v;
+    Buffer.contents buf
+end
+
+type t = {
+  oc : out_channel;
+  owned : bool;  (* whether [close] should close [oc] *)
+  mu : Mutex.t;
+  mutable closed : bool;
+}
+
+let of_channel ~owned oc = { oc; owned; mu = Mutex.create (); closed = false }
+let to_file path = of_channel ~owned:true (open_out path)
+
+let append_file path =
+  of_channel ~owned:true (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+
+let to_channel oc = of_channel ~owned:false oc
+
+let emit t ~event fields =
+  let line =
+    Json.to_string
+      (Json.Obj
+         (("event", Json.String event)
+         :: ("ts", Json.Float (Unix.gettimeofday ()))
+         :: fields))
+  in
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc
+      end)
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        if t.owned then close_out t.oc else flush t.oc
+      end)
+
+let with_file path f =
+  let t = to_file path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,53 @@
+(** JSON-lines event sink for the batch engine.
+
+    Every call to {!emit} appends exactly one line to the sink: a JSON
+    object with at least ["event"] (the event name) and ["ts"] (Unix
+    time, seconds, float). Writes are serialized by a mutex so domains
+    can emit concurrently; lines are flushed as they are written so a
+    crashed run still leaves a readable log.
+
+    The engine emits two event kinds (documented in DESIGN.md):
+
+    - ["job"] — one per finished job: ["id"], ["label"], ["spec"],
+      ["wall_s"], ["cache_hit"], ["domain"] (worker slot), ["ok"] and
+      either the outcome fields or ["error"];
+    - ["batch"] — one per {!Executor.run_batch}: ["jobs"], ["errors"],
+      ["wall_s"], ["domains"], ["cache_hits"], ["cache_misses"]
+      (deltas over the batch), ["busy_s"] (per-slot array) and
+      ["utilization"] (mean busy/wall). *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Single-line rendering. Non-finite floats become [null] (JSON has
+      no [inf]/[nan]); strings are escaped per RFC 8259. *)
+end
+
+type t
+
+val to_file : string -> t
+(** Open (truncating) [path] as a sink. *)
+
+val append_file : string -> t
+(** Like {!to_file} but appends, for accumulating across runs. *)
+
+val to_channel : out_channel -> t
+(** Sink on an existing channel; {!close} flushes but does not close
+    it. *)
+
+val emit : t -> event:string -> (string * Json.t) list -> unit
+(** Append one event line. Thread- and domain-safe. *)
+
+val close : t -> unit
+(** Flush, and close the channel if the sink owns it. Idempotent. *)
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] opens, runs [f], closes (also on exception). *)

@@ -52,6 +52,11 @@ let arb_tree_with_order ?(size_max = 12) ?(max_f = 12) ?(max_n = 6) () =
 let arb_int_list ?(len = 30) ?(max_v = 100) () =
   QCheck.(list_of_size (Gen.int_bound len) (int_bound max_v))
 
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
 (* --- common assertions --------------------------------------------------- *)
 
 let check_valid_traversal tree order =

@@ -1,0 +1,308 @@
+(* Tests for the batch engine: cache behaviour, executor determinism
+   across domain counts, crash isolation, telemetry JSONL and the batch
+   manifest parser. *)
+
+module T = Tt_core.Tree
+module E = Tt_engine.Executor
+module J = Tt_engine.Job
+module C = Tt_engine.Cache
+module H = Helpers
+
+let some_tree seed = List.hd (H.tree_list ~seed ~count:1 ~size_max:30 ~max_f:12 ~max_n:6)
+
+(* A small mixed-spec batch over a seeded corpus: every spec family,
+   with deliberate duplicates so the cache has something to do. *)
+let mixed_jobs ?(seed = 11) ?(trees = 8) () =
+  let ts = H.tree_list ~seed ~count:trees ~size_max:40 ~max_f:15 ~max_n:8 in
+  List.concat_map
+    (fun t ->
+      [ J.make t (J.Min_memory J.Minmem);
+        J.make t (J.Min_memory J.Liu);
+        J.make t (J.Min_memory J.Postorder);
+        J.make t (J.Min_io { policy = Tt_core.Minio.First_fit; budget = J.Fraction 0.5 });
+        J.make t (J.Min_io { policy = Tt_core.Minio.Lsnf; budget = J.Fraction 0.25 });
+        J.make t (J.Schedule { procs = 4; mem_factor = 1.5 });
+        J.make t (J.Min_memory J.Minmem) (* duplicate: must hit *)
+      ])
+    ts
+
+(* ------------------------------------------------------------ job ids *)
+
+let test_job_id_content_addressing () =
+  let t1 = some_tree 3 in
+  let t2 = T.map_weights ~f:(fun i -> t1.T.f.(i)) ~n:(fun i -> t1.T.n.(i)) t1 in
+  let j spec tree = J.id (J.make tree spec) in
+  Alcotest.(check string)
+    "same tree, same spec => same id"
+    (j (J.Min_memory J.Liu) t1)
+    (j (J.Min_memory J.Liu) t2);
+  Alcotest.(check bool)
+    "label does not change the id" true
+    (J.id (J.make ~label:"a" t1 (J.Min_memory J.Liu))
+    = J.id (J.make ~label:"b" t1 (J.Min_memory J.Liu)));
+  let bumped =
+    T.map_weights ~f:(fun i -> t1.T.f.(i) + if i = 0 then 1 else 0)
+      ~n:(fun i -> t1.T.n.(i))
+      t1
+  in
+  Alcotest.(check bool)
+    "one f_i changed => different id" false
+    (j (J.Min_memory J.Liu) t1 = j (J.Min_memory J.Liu) bumped);
+  Alcotest.(check bool)
+    "different spec => different id" false
+    (j (J.Min_memory J.Liu) t1 = j (J.Min_memory J.Minmem) t1)
+
+(* -------------------------------------------------------------- cache *)
+
+let test_cache_hit_miss_counters () =
+  let c : int C.t = C.create () in
+  let calls = ref 0 in
+  let v, hit = C.find_or_compute c ~key:"a" (fun () -> incr calls; 1) in
+  Alcotest.(check (pair int bool)) "first is a miss" (1, false) (v, hit);
+  let v, hit = C.find_or_compute c ~key:"a" (fun () -> incr calls; 2) in
+  Alcotest.(check (pair int bool)) "second is a hit with the old value" (1, true) (v, hit);
+  let _ = C.find_or_compute c ~key:"b" (fun () -> incr calls; 3) in
+  Alcotest.(check int) "computation ran once per distinct key" 2 !calls;
+  Alcotest.(check (pair int int)) "counters" (1, 2) (C.hits c, C.misses c);
+  Alcotest.(check int) "length" 2 (C.length c);
+  C.clear c;
+  Alcotest.(check (pair int int)) "cleared" (0, 0) (C.hits c, C.misses c)
+
+let test_cache_exception_not_inserted () =
+  let c : int C.t = C.create () in
+  (try ignore (C.find_or_compute c ~key:"k" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "nothing inserted" 0 (C.length c);
+  Alcotest.(check int) "the failed attempt was a miss" 1 (C.misses c);
+  let v, hit = C.find_or_compute c ~key:"k" (fun () -> 7) in
+  Alcotest.(check (pair int bool)) "recomputes after failure" (7, false) (v, hit)
+
+let test_cache_same_tree_twice () =
+  (* the ISSUE's contract: same tree submitted twice hits; a tree
+     differing in one f_i misses; counters match. *)
+  let exec = E.create ~domains:1 () in
+  let t1 = some_tree 5 in
+  let job = J.make t1 (J.Min_memory J.Minmem) in
+  let reports, _ = E.run_batch exec [ job; job ] in
+  Alcotest.(check bool) "first computes" false reports.(0).E.cache_hit;
+  Alcotest.(check bool) "second hits" true reports.(1).E.cache_hit;
+  let bumped =
+    T.map_weights ~f:(fun i -> t1.T.f.(i) + if i = 0 then 1 else 0)
+      ~n:(fun i -> t1.T.n.(i))
+      t1
+  in
+  let reports, _ = E.run_batch exec [ J.make bumped (J.Min_memory J.Minmem) ] in
+  Alcotest.(check bool) "perturbed tree misses" false reports.(0).E.cache_hit;
+  Alcotest.(check (pair int int)) "counters match" (1, 2)
+    (C.hits (E.cache exec), C.misses (E.cache exec))
+
+let test_cache_shares_minmem_preprocessing () =
+  let exec = E.create ~domains:1 () in
+  let t = some_tree 9 in
+  let io policy = J.make t (J.Min_io { policy; budget = J.Fraction 0.5 }) in
+  let reports, summary =
+    E.run_batch exec
+      [ io Tt_core.Minio.First_fit; io Tt_core.Minio.Lsnf; J.make t (J.Min_memory J.Minmem) ]
+  in
+  (* 3 distinct job keys (all misses), but the second and third jobs
+     reuse the first job's MinMem preprocessing from the cache. *)
+  Alcotest.(check int) "two preprocessing hits" 2 summary.E.cache_hits;
+  Alcotest.(check bool) "explicit MinMem job reuses preprocessing" true
+    reports.(2).E.cache_hit;
+  match (reports.(0).E.result, reports.(1).E.result) with
+  | Ok (J.Io { memory = m1; _ }), Ok (J.Io { memory = m2; _ }) ->
+      Alcotest.(check int) "same derived budget" m1 m2
+  | _ -> Alcotest.fail "expected Io outcomes"
+
+let test_cache_persistence () =
+  let dir = Filename.temp_file "tt_cache" "" in
+  Sys.remove dir;
+  let t = some_tree 13 in
+  let job = J.make t (J.Min_memory J.Liu) in
+  let exec1 = E.create ~cache:(C.create ~persist:dir ()) () in
+  let r1 = E.run exec1 [ job ] in
+  (* fresh in-memory cache, same directory: must hit the disk level *)
+  let exec2 = E.create ~cache:(C.create ~persist:dir ()) () in
+  let reports, _ = E.run_batch exec2 [ job ] in
+  Alcotest.(check bool) "disk hit across executors" true reports.(0).E.cache_hit;
+  Alcotest.(check bool) "same result" true
+    (J.equal_result (List.hd r1) reports.(0).E.result)
+
+(* ----------------------------------------------------------- executor *)
+
+let check_reports_match (a : E.report array) (b : E.report array) =
+  Alcotest.(check int) "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (ra : E.report) ->
+      let rb = b.(i) in
+      Alcotest.(check string) "same job at same slot" (J.id ra.E.job) (J.id rb.E.job);
+      if not (J.equal_result ra.E.result rb.E.result) then
+        Alcotest.failf "job %d (%s): %s <> %s" i ra.E.job.J.label
+          (J.result_to_string ra.E.result)
+          (J.result_to_string rb.E.result))
+    a
+
+let test_determinism_across_domains () =
+  let jobs = mixed_jobs () in
+  let run domains = fst (E.run_batch (E.create ~domains ()) jobs) in
+  let seq = run 1 in
+  check_reports_match seq (run 4);
+  check_reports_match seq (run (E.default_domains ()))
+
+let test_crash_isolated () =
+  (* Parallel.list_schedule raises Invalid_argument on procs = 0; the
+     executor must degrade that job alone to Error. *)
+  let t = some_tree 21 in
+  let good = J.make t (J.Min_memory J.Postorder) in
+  let crash = J.make t (J.Schedule { procs = 0; mem_factor = 1.5 }) in
+  List.iter
+    (fun domains ->
+      let exec = E.create ~domains () in
+      let reports, summary = E.run_batch exec [ good; crash; good ] in
+      (match reports.(1).E.result with
+      | Error (J.Crashed msg) ->
+          Alcotest.(check bool) "message mentions the exception" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected Crashed for the bad job");
+      (match (reports.(0).E.result, reports.(2).E.result) with
+      | Ok _, Ok _ -> ()
+      | _ -> Alcotest.fail "good jobs must survive a crashing neighbour");
+      Alcotest.(check int) "one error counted" 1 summary.E.errors)
+    [ 1; 4 ]
+
+let test_results_in_submission_order () =
+  let jobs = mixed_jobs ~seed:7 ~trees:5 () in
+  let exec = E.create ~domains:4 () in
+  let reports, _ = E.run_batch exec jobs in
+  List.iteri
+    (fun i job ->
+      Alcotest.(check string) "slot i holds job i" (J.id job) (J.id reports.(i).E.job))
+    jobs
+
+(* ---------------------------------------------------------- telemetry *)
+
+let test_telemetry_jsonl () =
+  let path = Filename.temp_file "tt_telemetry" ".jsonl" in
+  Tt_engine.Telemetry.with_file path (fun sink ->
+      let exec = E.create ~domains:2 ~telemetry:sink () in
+      ignore (E.run_batch exec (mixed_jobs ~seed:3 ~trees:3 ())));
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per job plus the batch summary" 22 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length line > 1 && line.[0] = '{' && line.[String.length line - 1] = '}');
+      Alcotest.(check bool) "line has an event field" true
+        (H.contains line "\"event\":"))
+    lines;
+  let batch = List.nth lines (List.length lines - 1) in
+  List.iter
+    (fun key -> Alcotest.(check bool) ("batch has " ^ key) true (H.contains batch key))
+    [ "\"event\":\"batch\""; "\"cache_hits\""; "\"utilization\""; "\"busy_s\"" ];
+  Sys.remove path
+
+let test_json_escaping () =
+  let module Json = Tt_engine.Telemetry.Json in
+  Alcotest.(check string) "escapes" "{\"a\\\"b\":\"x\\n\\u0001\"}"
+    (Json.to_string (Json.Obj [ ("a\"b", Json.String "x\n\001") ]));
+  Alcotest.(check string) "non-finite floats are null" "[null,null,1.5]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ]))
+
+(* ----------------------------------------------------------- manifest *)
+
+let test_manifest_parse () =
+  let t = some_tree 2 in
+  let text =
+    Printf.sprintf
+      "# a comment\n\n\
+       gen grid2d size=8 :: minmem; liu ; postorder\n\
+       gen grid2d size=8 seed=42 :: minio policy=lsnf budget=25%%; minio policy=3 budget=100\n\
+       tree \"%s\" :: schedule procs=2 mem=1.5  # trailing comment\n"
+      (T.to_string t)
+  in
+  match Tt_engine.Manifest.parse text with
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+  | Ok jobs ->
+      Alcotest.(check int) "six jobs" 6 (List.length jobs);
+      let specs = List.map (fun (j : J.t) -> J.spec_to_string j.J.spec) jobs in
+      Alcotest.(check (list string)) "specs"
+        [ "min-memory:minmem";
+          "min-memory:liu";
+          "min-memory:postorder";
+          "min-io:LSNF:frac=0.25";
+          "min-io:Best 3 Comb.:words=100";
+          "schedule:procs=2:mem=1.5"
+        ]
+        specs;
+      (* the two gen lines denote the same matrix: same tree digest *)
+      let d (j : J.t) = J.tree_digest j.J.tree in
+      Alcotest.(check string) "same source resolves to the same tree"
+        (d (List.nth jobs 0)) (d (List.nth jobs 3));
+      let last = List.nth jobs 5 in
+      Alcotest.(check string) "tree literal round-trips"
+        (T.to_string t) (T.to_string last.J.tree)
+
+let test_manifest_errors () =
+  let check_error text fragment =
+    match Tt_engine.Manifest.parse text with
+    | Ok _ -> Alcotest.failf "expected an error for %S" text
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" text fragment e)
+          true (H.contains e fragment)
+  in
+  check_error "gen grid2d size=8" "line 1";
+  check_error "\nfoo bar :: minmem" "line 2";
+  check_error "gen grid2d :: fly" "unknown job";
+  check_error "gen warp :: minmem" "unknown matrix kind";
+  check_error "gen grid2d bogus=1 :: minmem" "unknown key";
+  check_error "gen grid2d :: minio policy=nope" "unknown policy"
+
+let test_manifest_runs_through_engine () =
+  let text =
+    "gen grid2d size=6 :: minmem; minio policy=first-fit budget=0%\n\
+     gen tridiagonal size=12 :: postorder\n"
+  in
+  match Tt_engine.Manifest.parse text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok jobs -> (
+      let results = E.run (E.create ~domains:2 ()) jobs in
+      Alcotest.(check int) "three results" 3 (List.length results);
+      match results with
+      | [ Ok (J.Memory { peak; _ }); Ok (J.Io { in_core; memory; io }); Ok (J.Memory _) ]
+        ->
+          Alcotest.(check int) "budget 0% is the working-set floor"
+            (T.max_mem_req (List.nth jobs 1).J.tree)
+            memory;
+          Alcotest.(check bool) "floor budget is feasible" true (io <> None);
+          Alcotest.(check int) "io job derives from the minmem peak" peak in_core
+      | _ -> Alcotest.fail "unexpected result shapes")
+
+let () =
+  H.run "engine"
+    [ ( "job",
+        [ H.case "content addressing" test_job_id_content_addressing ] );
+      ( "cache",
+        [ H.case "hit/miss counters" test_cache_hit_miss_counters;
+          H.case "exception not inserted" test_cache_exception_not_inserted;
+          H.case "same tree twice" test_cache_same_tree_twice;
+          H.case "shared minmem preprocessing" test_cache_shares_minmem_preprocessing;
+          H.case "disk persistence" test_cache_persistence
+        ] );
+      ( "executor",
+        [ H.case "determinism 1 vs N domains" test_determinism_across_domains;
+          H.case "crash isolation" test_crash_isolated;
+          H.case "submission order" test_results_in_submission_order
+        ] );
+      ( "telemetry",
+        [ H.case "jsonl shape" test_telemetry_jsonl; H.case "json escaping" test_json_escaping ] );
+      ( "manifest",
+        [ H.case "parse" test_manifest_parse;
+          H.case "errors" test_manifest_errors;
+          H.case "end to end" test_manifest_runs_through_engine
+        ] )
+    ]
