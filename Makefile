@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke clean
+.PHONY: all build test check bench-smoke batch-smoke chaos clean
 
 all: build
 
@@ -19,6 +19,21 @@ batch-smoke:
 	printf 'gen grid2d size=12 :: minmem; liu; minio policy=first-fit budget=50%%\n' > _batch_smoke.manifest
 	dune exec bin/treetrav.exe -- batch _batch_smoke.manifest --jobs 2
 	rm -f _batch_smoke.manifest
+
+# Chaos determinism gate: a fault-injected run with retries, and a
+# journaled run resumed mid-way, must both reproduce the fault-free
+# results digest bit for bit.
+chaos: build
+	printf 'gen grid2d size=16 :: minmem; liu; postorder\ngen grid2d size=16 :: minio policy=first-fit budget=50%%; minio policy=lsnf budget=50%%\ngen random size=60 seed=3 :: minmem; schedule procs=4 mem=1.5\n' > _chaos.manifest
+	dune exec bin/treetrav.exe -- batch _chaos.manifest --jobs 2 | grep '^results digest' > _chaos_clean.digest
+	dune exec bin/treetrav.exe -- batch _chaos.manifest --jobs 2 --faults crash=0.3,seed=7 --retries 3 | grep '^results digest' > _chaos_faulty.digest
+	cmp _chaos_clean.digest _chaos_faulty.digest
+	dune exec bin/treetrav.exe -- batch _chaos.manifest --journal _chaos.jnl > /dev/null
+	head -4 _chaos.jnl > _chaos_torn.jnl && printf '{"id":"torn' >> _chaos_torn.jnl
+	dune exec bin/treetrav.exe -- batch _chaos.manifest --resume _chaos_torn.jnl | grep '^results digest' > _chaos_resumed.digest
+	cmp _chaos_clean.digest _chaos_resumed.digest
+	rm -f _chaos.manifest _chaos_clean.digest _chaos_faulty.digest _chaos_resumed.digest _chaos.jnl _chaos_torn.jnl
+	@echo "chaos: fault-injected and resumed digests match the fault-free run"
 
 clean:
 	dune clean

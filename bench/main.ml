@@ -33,6 +33,9 @@ let csv_dir : string option ref = ref None
 let jobs = ref 1
 let telemetry_path : string option ref = ref None
 let cache_dir : string option ref = ref None
+let faults_spec : string option ref = ref None
+let retries = ref 0
+let resume_path : string option ref = ref None
 
 let usage = "dune exec bench/main.exe -- [options]"
 
@@ -51,6 +54,17 @@ let spec =
     ( "--cache-dir",
       Arg.String (fun d -> cache_dir := Some d),
       "DIR persist engine results to DIR (shared across runs)" );
+    ( "--faults",
+      Arg.String (fun s -> faults_spec := Some s),
+      "SPEC inject deterministic faults into the engine sweeps, e.g. \
+       crash=0.3,seed=7 (digests must still match the fault-free run)" );
+    ( "--retries",
+      Arg.Set_int retries,
+      "N retry crashed/fault-injected jobs up to N times (default 0)" );
+    ( "--resume",
+      Arg.String (fun f -> resume_path := Some f),
+      "FILE journal engine results to FILE and skip jobs it already \
+       records (crash-resumable benches; keyed by --scale/--seed)" );
     ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-benchmarks (default)");
     ("--no-bechamel", Arg.Clear run_bechamel, " skip the Bechamel micro-benchmarks");
     ( "--csv",
@@ -70,12 +84,48 @@ let spec =
 
 let telemetry_sink = lazy (Option.map Tt_engine.Telemetry.to_file !telemetry_path)
 
+let faults =
+  lazy
+    (match !faults_spec with
+    | None -> None
+    | Some spec -> (
+        match Tt_engine.Fault.of_string spec with
+        | Ok f -> Some f
+        | Error e ->
+            Printf.eprintf "--faults %s: %s\n" spec e;
+            exit 2))
+
+(* The journal is keyed by the corpus parameters: a journal written at
+   one --scale/--seed must not satisfy jobs from another. *)
+let journal_state =
+  lazy
+    (match !resume_path with
+    | None -> None
+    | Some path -> (
+        let corpus =
+          Digest.to_hex
+            (Digest.string (Printf.sprintf "bench:scale=%d:seed=%d" !scale !seed))
+        in
+        match Tt_engine.Journal.load_or_create path ~corpus with
+        | Ok (j, completed) -> Some (j, completed)
+        | Error e ->
+            Printf.eprintf "--resume %s: %s\n" path e;
+            exit 2))
+
 let engine =
   lazy
     (let domains = if !jobs = 0 then Executor.default_domains () else !jobs in
+     let faults = Lazy.force faults in
+     let retry =
+       if !retries = 0 then Tt_engine.Retry.none
+       else Tt_engine.Retry.create ~retries:!retries ()
+     in
+     let journal = Option.map fst (Lazy.force journal_state) in
+     let completed = Option.map snd (Lazy.force journal_state) in
      Executor.create ~domains
-       ~cache:(Tt_engine.Cache.create ?persist:!cache_dir ())
-       ?telemetry:(Lazy.force telemetry_sink) ())
+       ~cache:(Tt_engine.Cache.create ?persist:!cache_dir ?faults ())
+       ?telemetry:(Lazy.force telemetry_sink) ?faults ~retry ?journal
+       ?completed ())
 
 (* Run a batch and print the one-line execution summary every engine
    section shares. *)
@@ -87,21 +137,23 @@ let run_engine_batch jobs =
     summary.Executor.jobs (Executor.domains exec) summary.Executor.wall
     (100. *. Executor.utilization summary)
     summary.Executor.cache_hits summary.Executor.cache_misses
-    (if summary.Executor.errors > 0 then
-       Printf.sprintf ", %d ERRORS" summary.Executor.errors
-     else "");
+    ((if summary.Executor.retries > 0 then
+        Printf.sprintf ", %d retries" summary.Executor.retries
+      else "")
+    ^ (if summary.Executor.resumed > 0 then
+         Printf.sprintf ", %d resumed" summary.Executor.resumed
+       else "")
+    ^
+    if summary.Executor.errors > 0 then
+      Printf.sprintf ", %d ERRORS" summary.Executor.errors
+    else "");
   (reports, summary)
 
 (* Digest of the solver results only (no timings), so `--jobs 1` and
-   `--jobs N` output can be checked for equality. *)
+   `--jobs N` output — and fault-free vs fault-injected-with-retries
+   runs — can be checked for equality. *)
 let results_digest (reports : Executor.report array) =
-  let buf = Buffer.create 1024 in
-  Array.iter
-    (fun (r : Executor.report) ->
-      Buffer.add_string buf (Job.result_to_string r.Executor.result);
-      Buffer.add_char buf '\n')
-    reports;
-  String.sub (Digest.to_hex (Digest.string (Buffer.contents buf))) 0 16
+  String.sub (Executor.results_digest reports) 0 16
 
 let print_digest reports =
   Printf.printf "results digest: %s (identical for any --jobs value)\n"
@@ -860,6 +912,10 @@ let () =
     requested;
   if Lazy.is_val telemetry_sink then
     Option.iter Tt_engine.Telemetry.close (Lazy.force telemetry_sink);
+  if Lazy.is_val journal_state then
+    Option.iter
+      (fun (j, _) -> Tt_engine.Journal.close j)
+      (Lazy.force journal_state);
   (match !telemetry_path with
   | Some f -> Printf.printf "[engine] telemetry written to %s\n" f
   | None -> ());

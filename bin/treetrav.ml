@@ -219,40 +219,86 @@ let corpus_cmd =
 
 (* --------------------------------------------------------------- batch *)
 
-let batch manifest jobs timeout telemetry cache_dir =
+let batch manifest jobs timeout telemetry cache_dir faults retries journal
+    resume =
   let module E = Tt_engine.Executor in
   let module J = Tt_engine.Job in
-  match Tt_engine.Manifest.load manifest with
-  | Error e ->
-      Printf.eprintf "%s: %s\n" manifest e;
-      1
-  | Ok batch_jobs ->
-      let sink = Option.map Tt_engine.Telemetry.to_file telemetry in
-      let domains = if jobs = 0 then E.default_domains () else jobs in
-      let exec =
-        E.create ~domains ?timeout
-          ~cache:(Tt_engine.Cache.create ?persist:cache_dir ())
-          ?telemetry:sink ()
-      in
-      let reports, summary = E.run_batch exec batch_jobs in
-      Array.iteri
-        (fun i (r : E.report) ->
-          Printf.printf "%4d  %-44s %-10s %s%s\n" i r.E.job.J.label
-            (String.sub (J.id r.E.job) 0 10)
-            (J.result_to_string r.E.result)
-            (if r.E.cache_hit then "  [cached]"
-             else Printf.sprintf "  (%.3fs)" r.E.wall))
-        reports;
-      Printf.printf
-        "%d jobs on %d domain(s) in %.2fs (utilization %.0f%%), cache: %d hits / %d misses, %d errors\n"
-        summary.E.jobs domains summary.E.wall
-        (100. *. E.utilization summary)
-        summary.E.cache_hits summary.E.cache_misses summary.E.errors;
-      (match telemetry with
-      | Some f -> Printf.printf "telemetry written to %s\n" f
-      | None -> ());
-      Option.iter Tt_engine.Telemetry.close sink;
-      if summary.E.errors > 0 then 1 else 0
+  let fail msg =
+    Printf.eprintf "%s\n" msg;
+    Error 1
+  in
+  let ( let* ) = Result.bind in
+  let run () =
+    let* text =
+      match In_channel.with_open_text manifest In_channel.input_all with
+      | text -> Ok text
+      | exception Sys_error e -> fail e
+    in
+    let* batch_jobs =
+      match Tt_engine.Manifest.parse text with
+      | Ok jobs -> Ok jobs
+      | Error e -> fail (Printf.sprintf "%s: %s" manifest e)
+    in
+    let* faults =
+      match faults with
+      | None -> Ok None
+      | Some spec -> (
+          match Tt_engine.Fault.of_string spec with
+          | Ok f -> Ok (Some f)
+          | Error e -> fail (Printf.sprintf "--faults %s: %s" spec e))
+    in
+    (* The journal is keyed by the manifest text: resuming against an
+       edited manifest would silently skip jobs whose meaning changed. *)
+    let corpus = Digest.to_hex (Digest.string text) in
+    let* jstate =
+      match (journal, resume) with
+      | Some _, Some _ -> fail "--journal and --resume are mutually exclusive"
+      | Some path, None -> Ok (Some (Tt_engine.Journal.create path ~corpus, None))
+      | None, Some path -> (
+          match Tt_engine.Journal.load_or_create path ~corpus with
+          | Ok (j, completed) -> Ok (Some (j, Some completed))
+          | Error e -> fail (Printf.sprintf "--resume %s: %s" path e))
+      | None, None -> Ok None
+    in
+    let jnl = Option.map fst jstate in
+    let completed = Option.bind jstate snd in
+    let retry =
+      if retries = 0 then Tt_engine.Retry.none
+      else Tt_engine.Retry.create ~retries ()
+    in
+    let sink = Option.map Tt_engine.Telemetry.to_file telemetry in
+    let domains = if jobs = 0 then E.default_domains () else jobs in
+    let exec =
+      E.create ~domains ?timeout
+        ~cache:(Tt_engine.Cache.create ?persist:cache_dir ?faults ())
+        ?telemetry:sink ?faults ~retry ?journal:jnl ?completed ()
+    in
+    let reports, summary = E.run_batch exec batch_jobs in
+    Array.iteri
+      (fun i (r : E.report) ->
+        Printf.printf "%4d  %-44s %-10s %s%s\n" i r.E.job.J.label
+          (String.sub (J.id r.E.job) 0 10)
+          (J.result_to_string r.E.result)
+          (if r.E.resumed then "  [resumed]"
+           else if r.E.cache_hit then "  [cached]"
+           else Printf.sprintf "  (%.3fs)" r.E.wall))
+      reports;
+    Printf.printf
+      "%d jobs on %d domain(s) in %.2fs (utilization %.0f%%), cache: %d hits \
+       / %d misses, %d retries, %d resumed, %d errors\n"
+      summary.E.jobs domains summary.E.wall
+      (100. *. E.utilization summary)
+      summary.E.cache_hits summary.E.cache_misses summary.E.retries
+      summary.E.resumed summary.E.errors;
+    Printf.printf "results digest: %s\n" (E.results_digest reports);
+    (match telemetry with
+    | Some f -> Printf.printf "telemetry written to %s\n" f
+    | None -> ());
+    Option.iter Tt_engine.Telemetry.close sink;
+    Option.iter Tt_engine.Journal.close jnl;
+    Ok (if summary.E.errors > 0 then 1 else 0)
+  in
+  match run () with Ok code | Error code -> code
 
 let batch_cmd =
   let manifest =
@@ -280,10 +326,38 @@ let batch_cmd =
          & info [ "cache-dir" ] ~docv:"DIR"
              ~doc:"Persist solver results to DIR, shared across invocations.")
   in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject deterministic faults, e.g. \
+                   'crash=0.3,io=0.1,delay=0.2,seed=7'. Decisions are a pure \
+                   function of (seed, job id, attempt), so chaos runs \
+                   reproduce exactly.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry crashed/fault-injected jobs up to N times with \
+                   deterministic capped exponential backoff.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Write a fresh write-ahead journal of completed results to \
+                   FILE (flushed per job, so a killed run can be resumed).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume from (and keep appending to) the journal at FILE: \
+                   jobs it records are not recomputed. Refused if the \
+                   manifest changed since the journal was written.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run a manifest of solver jobs on the multicore batch engine.")
-    Term.(const batch $ manifest $ jobs $ timeout $ telemetry $ cache_dir)
+    Term.(const batch $ manifest $ jobs $ timeout $ telemetry $ cache_dir
+          $ faults $ retries $ journal $ resume)
 
 let () =
   let doc = "memory-optimal tree traversals for sparse matrix factorization" in

@@ -17,7 +17,7 @@ let ready_info t mask =
   done;
   (!ready, !sum)
 
-let min_memory t =
+let min_memory ?(cancel = Tt_util.Cancel.never) t =
   let p = Tree.size t in
   if p > 22 then invalid_arg "Brute_force.min_memory: tree too large";
   let full = (1 lsl p) - 1 in
@@ -31,6 +31,7 @@ let min_memory t =
   Hashtbl.replace best 0 0;
   let answer = ref max_int in
   while !answer = max_int && not (Pq.is_empty !queue) do
+    Tt_util.Cancel.check cancel;
     let ((cost, mask) as elt) = Pq.min_elt !queue in
     queue := Pq.remove elt !queue;
     if cost <= Hashtbl.find best mask then
@@ -86,7 +87,7 @@ let feasible_with_evictions t ~memory order ~evicted =
       done);
   !ok
 
-let min_io_given_order t ~memory order =
+let min_io_given_order ?(cancel = Tt_util.Cancel.never) t ~memory order =
   let p = Tree.size t in
   if p > 20 then invalid_arg "Brute_force.min_io_given_order: tree too large";
   if not (Traversal.is_valid_order t order) then
@@ -98,6 +99,7 @@ let min_io_given_order t ~memory order =
   let best = ref None in
   let evicted = Array.make p false in
   for mask = 0 to (1 lsl m) - 1 do
+    Tt_util.Cancel.check cancel;
     let io = ref 0 in
     for b = 0 to m - 1 do
       let on = mask land (1 lsl b) <> 0 in
@@ -110,12 +112,12 @@ let min_io_given_order t ~memory order =
   done;
   !best
 
-let min_io t ~memory =
+let min_io ?cancel t ~memory =
   let p = Tree.size t in
   if p > 9 then invalid_arg "Brute_force.min_io: tree too large";
   List.fold_left
     (fun acc order ->
-      match (acc, min_io_given_order t ~memory order) with
+      match (acc, min_io_given_order ?cancel t ~memory order) with
       | None, r | r, None -> r
       | Some a, Some b -> Some (min a b))
     None (Traversal.all_orders t)

@@ -4,17 +4,19 @@
     serve as ground truth for {!Postorder_opt}, {!Liu_exact}, {!Minmem}
     and {!Minio}. *)
 
-val min_memory : Tree.t -> int
+val min_memory : ?cancel:Tt_util.Cancel.t -> Tree.t -> int
 (** Exact MinMemory by a shortest-bottleneck-path search over ready-set
     states (Dijkstra on the state graph with max-cost composition).
-    Exponential state space — intended for trees of ≲ 20 nodes.
+    Exponential state space — intended for trees of ≲ 20 nodes. The
+    [cancel] token is polled once per dequeued state; an expired token
+    raises {!Tt_util.Cancel.Cancelled}.
     @raise Invalid_argument if the tree has more than 22 nodes. *)
 
 val min_memory_postorder : Tree.t -> int
 (** Exact best-postorder memory by enumerating all child permutations.
     @raise Invalid_argument if the tree has more than 9 nodes. *)
 
-val min_io : Tree.t -> memory:int -> int option
+val min_io : ?cancel:Tt_util.Cancel.t -> Tree.t -> memory:int -> int option
 (** Exact MinIO: the least write volume over all traversals and all
     eviction sets, or [None] when even full eviction cannot make the tree
     feasible (i.e. [memory < max_mem_req]). Enumerates valid traversals ×
@@ -23,7 +25,8 @@ val min_io : Tree.t -> memory:int -> int option
     fixed evicted set.
     @raise Invalid_argument if the tree has more than 9 nodes. *)
 
-val min_io_given_order : Tree.t -> memory:int -> int array -> int option
+val min_io_given_order :
+  ?cancel:Tt_util.Cancel.t -> Tree.t -> memory:int -> int array -> int option
 (** Exact MinIO for a fixed traversal (problem (i) of Theorem 2), by
     enumeration over evicted sets.
     @raise Invalid_argument if the tree has more than 20 nodes. *)

@@ -30,7 +30,9 @@ let make_cache t =
      (cross-checked against the exponential oracle in the tests);
    - the cut is a growable array with tombstones and O(1) substitution,
      so wide nodes (stars) do not degenerate to quadratic time. *)
-let rec explore t ~mpeak_tbl ~cache i ~mavail ~linit ~trinit =
+let rec explore ?(cancel = Tt_util.Cancel.never) t ~mpeak_tbl ~cache i ~mavail
+    ~linit ~trinit =
+  Tt_util.Cancel.check cancel;
   let fi = t.Tree.f.(i) and ni = t.Tree.n.(i) in
   let resume = linit <> [] in
   if (not resume) && Tree.is_leaf t i && ni + fi <= mavail then
@@ -71,6 +73,7 @@ let rec explore t ~mpeak_tbl ~cache i ~mavail ~linit ~trinit =
       let first_pass = ref true in
       let continue_ = ref true in
       while !continue_ do
+        Tt_util.Cancel.check cancel;
         (* the first pass explores every initial member (the pseudocode's
            Candidates <- L_i), later passes only the promising ones *)
         candidates :=
@@ -86,7 +89,7 @@ let rec explore t ~mpeak_tbl ~cache i ~mavail ~linit ~trinit =
           List.iter
             (fun j ->
               let avail_j = mavail - (!sum_cut - t.Tree.f.(j)) in
-              let r = explore_cached t ~mpeak_tbl ~cache j ~mavail:avail_j in
+              let r = explore_cached ~cancel t ~mpeak_tbl ~cache j ~mavail:avail_j in
               mpeak_tbl.(j) <- r.mpeak;
               if r.m_cut <= t.Tree.f.(j) then begin
                 remove j;
@@ -117,13 +120,13 @@ let rec explore t ~mpeak_tbl ~cache i ~mavail ~linit ~trinit =
 (* Resume from the cached cut when the memory is at least what the cached
    state was reached with; refresh the cache with the new state when the
    subtree stays unfinished. *)
-and explore_cached t ~mpeak_tbl ~cache j ~mavail =
+and explore_cached ?cancel t ~mpeak_tbl ~cache j ~mavail =
   let resumed, linit, trinit =
     match cache.entries.(j) with
     | Some c when mavail >= c.avail -> (true, c.cut, c.trav)
     | _ -> (false, [], R.empty)
   in
-  let r = explore t ~mpeak_tbl ~cache j ~mavail ~linit ~trinit in
+  let r = explore ?cancel t ~mpeak_tbl ~cache j ~mavail ~linit ~trinit in
   if r.m_cut <> infinity_mem && r.cut <> [] then begin
     match cache.entries.(j) with
     | Some c ->

@@ -50,6 +50,7 @@ val infinity_mem : int
 (** [max_int], standing for the paper's ∞. *)
 
 val explore :
+  ?cancel:Tt_util.Cancel.t ->
   Tree.t ->
   mpeak_tbl:int array ->
   cache:cache ->
@@ -64,4 +65,7 @@ val explore :
     (size [Tree.size t], initialized to {!infinity_mem} by the caller). A
     non-empty [linit] resumes from a previously returned cut with its
     accumulated traversal [trinit] (which is then mutated and returned);
-    an empty [linit] starts fresh by executing [i]. *)
+    an empty [linit] starts fresh by executing [i]. The [cancel] token
+    (default {!Tt_util.Cancel.never}) is polled on entry and once per
+    improvement round; an expired token raises
+    {!Tt_util.Cancel.Cancelled}. *)

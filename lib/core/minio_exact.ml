@@ -2,7 +2,8 @@
    the interface for the search-space argument (deficit-step branching is
    complete) and the pruning scheme. *)
 
-let given_order ?(node_budget = 2_000_000) t ~memory ~order =
+let given_order ?(cancel = Tt_util.Cancel.never) ?(node_budget = 2_000_000) t
+    ~memory ~order =
   let p = Tree.size t in
   if not (Traversal.is_valid_order t order) then
     invalid_arg "Minio_exact.given_order: invalid order";
@@ -87,6 +88,7 @@ let given_order ?(node_budget = 2_000_000) t ~memory ~order =
       (* depth-first search; [solve] owns fresh copies of the state *)
       let rec solve step resident out mavail io =
         incr nodes;
+        Tt_util.Cancel.check cancel;
         if !nodes > node_budget then
           failwith "Minio_exact.given_order: node budget exhausted";
         if io < !best then begin

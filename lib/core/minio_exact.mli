@@ -21,10 +21,17 @@
     the bench's [minio-gap] section). *)
 
 val given_order :
-  ?node_budget:int -> Tree.t -> memory:int -> order:int array -> int option
+  ?cancel:Tt_util.Cancel.t ->
+  ?node_budget:int ->
+  Tree.t ->
+  memory:int ->
+  order:int array ->
+  int option
 (** Least I/O volume over all eviction schedules for this traversal;
     [None] if infeasible. [node_budget] (default [2_000_000]) caps the
-    number of explored search nodes.
+    number of explored search nodes. The [cancel] token is polled once
+    per search node; an expired token raises
+    {!Tt_util.Cancel.Cancelled}.
     @raise Invalid_argument if the order is invalid.
     @raise Failure if the budget is exhausted before the search
     completes (the instance is genuinely hard). *)

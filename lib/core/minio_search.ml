@@ -42,9 +42,11 @@ let candidates ~rng ~attempts t =
   in
   fixed @ perturbed @ random
 
-let run ?(policy = Minio.First_fit) ?(attempts = 8) ~rng t ~memory =
+let run ?(cancel = Tt_util.Cancel.never) ?(policy = Minio.First_fit)
+    ?(attempts = 8) ~rng t ~memory =
   List.fold_left
     (fun best (source, order) ->
+      Tt_util.Cancel.check cancel;
       match Minio.run t ~memory ~order policy with
       | None -> best
       | Some schedule -> (

@@ -28,6 +28,7 @@ val candidates :
     (["random~k"]). *)
 
 val run :
+  ?cancel:Tt_util.Cancel.t ->
   ?policy:Minio.policy ->
   ?attempts:int ->
   rng:Tt_util.Rng.t ->
@@ -37,4 +38,6 @@ val run :
 (** Best (traversal, schedule) over the portfolio under [policy] (default
     {!Minio.First_fit}; [attempts] defaults to 8). [None] when no
     candidate is feasible, i.e. [memory < max_mem_req]. Deterministic
-    given the generator state. *)
+    given the generator state. The [cancel] token is polled once per
+    candidate evaluation; an expired token raises
+    {!Tt_util.Cancel.Cancelled}. *)

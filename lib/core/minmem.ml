@@ -1,6 +1,6 @@
 module R = Tt_util.Rope
 
-let run_counting t =
+let run_counting ?cancel t =
   let p = Tree.size t in
   let mpeak_tbl = Array.make p Explore.infinity_mem in
   let cache = Explore.make_cache t in
@@ -13,8 +13,8 @@ let run_counting t =
     mavail := !mpeak;
     incr rounds;
     let r =
-      Explore.explore t ~mpeak_tbl ~cache t.Tree.root ~mavail:!mavail ~linit:!cut
-        ~trinit:!trav
+      Explore.explore ?cancel t ~mpeak_tbl ~cache t.Tree.root ~mavail:!mavail
+        ~linit:!cut ~trinit:!trav
     in
     if r.Explore.m_cut = Explore.infinity_mem then
       (* cannot happen: mavail >= MemReq(root) from the first round on *)
@@ -25,6 +25,6 @@ let run_counting t =
   done;
   ((!mavail, R.to_array !trav), !rounds)
 
-let run t = fst (run_counting t)
+let run ?cancel t = fst (run_counting ?cancel t)
 let min_memory t = fst (run t)
 let iterations t = snd (run_counting t)

@@ -13,9 +13,11 @@
     faster in practice on assembly trees (reproduced by the Figure 6
     bench). *)
 
-val run : Tree.t -> int * int array
+val run : ?cancel:Tt_util.Cancel.t -> Tree.t -> int * int array
 (** [run t] is [(memory, order)]: the optimal memory over all traversals
-    and a traversal achieving it. *)
+    and a traversal achieving it. The [cancel] token is polled by the
+    underlying {!Explore} rounds; an expired token raises
+    {!Tt_util.Cancel.Cancelled}. *)
 
 val min_memory : Tree.t -> int
 (** First component of {!run}. *)

@@ -2,15 +2,24 @@ type 'a t = {
   table : (string, 'a) Hashtbl.t;
   mu : Mutex.t;
   persist : string option;
+  faults : Fault.t option;
   mutable hits : int;
   mutable misses : int;
+  mutable corrupt : int;
 }
 
-let create ?persist () =
+let create ?persist ?faults () =
   (match persist with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
-  { table = Hashtbl.create 256; mu = Mutex.create (); persist; hits = 0; misses = 0 }
+  { table = Hashtbl.create 256;
+    mu = Mutex.create ();
+    persist;
+    faults;
+    hits = 0;
+    misses = 0;
+    corrupt = 0
+  }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -21,31 +30,69 @@ let path_of dir key =
   Filename.concat dir
     (String.map (fun c -> if c = '/' || c = '.' || c = '\\' then '_' else c) key)
 
+(* On-disk entry format: an 8-byte magic, the raw 16-byte MD5 digest of
+   the payload, then the Marshal payload. The digest makes bit flips,
+   truncation and foreign files all land in the same safe place — a
+   deterministic miss — instead of reaching [Marshal.from_string], which
+   is not robust against corrupt input. *)
+let disk_magic = "TTCACHE1"
+
+let injected t ~op ~key =
+  match t.faults with
+  | None -> false
+  | Some f -> Fault.disk_fails f ~op ~key
+
 let disk_read t key =
   match t.persist with
   | None -> None
   | Some dir -> (
-      let path = path_of dir key in
-      match open_in_bin path with
-      | exception Sys_error _ -> None
-      | ic ->
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> try Some (Marshal.from_channel ic) with _ -> None))
+      if injected t ~op:"read" ~key then None
+      else
+        let path = path_of dir key in
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let corrupt () =
+                  locked t (fun () -> t.corrupt <- t.corrupt + 1);
+                  None
+                in
+                try
+                  let len = in_channel_length ic in
+                  let header = 8 + 16 in
+                  if len < header then corrupt ()
+                  else begin
+                    let magic = really_input_string ic 8 in
+                    let digest = really_input_string ic 16 in
+                    let payload = really_input_string ic (len - header) in
+                    if magic <> disk_magic || Digest.string payload <> digest then
+                      corrupt ()
+                    else Some (Marshal.from_string payload 0)
+                  end
+                with _ -> corrupt ()))
 
 let disk_write t key v =
   match t.persist with
   | None -> ()
-  | Some dir -> (
-      let path = path_of dir key in
-      let tmp = path ^ ".tmp." ^ string_of_int (Domain.self () :> int) in
-      try
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> Marshal.to_channel oc v []);
-        Sys.rename tmp path
-      with Sys_error _ -> ())
+  | Some dir ->
+      if injected t ~op:"write" ~key then ()
+      else begin
+        let path = path_of dir key in
+        let tmp = path ^ ".tmp." ^ string_of_int (Domain.self () :> int) in
+        try
+          let payload = Marshal.to_string v [] in
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc disk_magic;
+              output_string oc (Digest.string payload);
+              output_string oc payload);
+          Sys.rename tmp path
+        with Sys_error _ -> ()
+      end
 
 let find t key =
   match locked t (fun () -> Hashtbl.find_opt t.table key) with
@@ -80,10 +127,12 @@ let find_or_compute t ~key f =
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
+let corrupt t = locked t (fun () -> t.corrupt)
 let length t = locked t (fun () -> Hashtbl.length t.table)
 
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;
       t.hits <- 0;
-      t.misses <- 0)
+      t.misses <- 0;
+      t.corrupt <- 0)

@@ -17,14 +17,25 @@
     Counters: every {!find_or_compute} call increments exactly one of
     [hits]/[misses]; a disk-level hit counts as a hit.
 
-    Only load persisted caches you have written yourself: [Marshal] is
-    not safe against adversarial files. A corrupt or unreadable entry
-    is treated as a miss and overwritten. *)
+    On-disk entries are framed as [magic ^ md5(payload) ^ payload]
+    (magic ["TTCACHE1"]) and the digest is verified before the payload
+    reaches [Marshal.from_string] — bit flips, truncation and foreign
+    files are all detected and treated as a {e deterministic miss}
+    (counted by {!corrupt}), then overwritten by the recomputed value.
+    Still, only point [persist] at directories you own: the digest is an
+    integrity check, not an authentication one, and [Marshal] is not
+    safe against adversarial files.
+
+    With [faults], {!Fault.disk_fails} is consulted before every disk
+    read and write: a failing read is a miss, a failing write is
+    skipped. Either way the cache stays semantically transparent — the
+    value is recomputed, never wrong. *)
 
 type 'a t
 
-val create : ?persist:string -> unit -> 'a t
-(** [persist] is a directory, created if missing. *)
+val create : ?persist:string -> ?faults:Fault.t -> unit -> 'a t
+(** [persist] is a directory, created if missing. [faults] injects
+    deterministic I/O failures at the disk level (chaos testing). *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
 (** [(value, hit)]. On a miss the computation runs outside the lock and
@@ -39,6 +50,10 @@ val find : 'a t -> string -> 'a option
 val hits : 'a t -> int
 
 val misses : 'a t -> int
+
+val corrupt : 'a t -> int
+(** Number of persisted entries rejected by the header/digest check
+    since creation (or {!clear}). *)
 
 val length : 'a t -> int
 (** Number of in-memory entries. *)

@@ -3,13 +3,26 @@ type t = {
   timeout : float option;
   cache : Job.outcome Cache.t;
   telemetry : Telemetry.t option;
+  faults : Fault.t option;
+  retry : Retry.policy;
+  journal : Journal.t option;
+  completed : (string, Job.result) Hashtbl.t option;
 }
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
-let create ?(domains = 1) ?timeout ?cache ?telemetry () =
+let create ?(domains = 1) ?timeout ?cache ?telemetry ?faults
+    ?(retry = Retry.none) ?journal ?completed () =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  { domains = max 1 domains; timeout; cache; telemetry }
+  { domains = max 1 domains;
+    timeout;
+    cache;
+    telemetry;
+    faults;
+    retry;
+    journal;
+    completed
+  }
 
 let domains t = t.domains
 let cache t = t.cache
@@ -20,6 +33,8 @@ type report = {
   wall : float;
   cache_hit : bool;
   domain : int;
+  attempts : int;
+  resumed : bool;
 }
 
 type summary = {
@@ -29,6 +44,8 @@ type summary = {
   cache_hits : int;
   cache_misses : int;
   busy : float array;
+  retries : int;
+  resumed : int;
 }
 
 let utilization s =
@@ -36,16 +53,35 @@ let utilization s =
   if slots = 0 || s.wall <= 0. then 0.
   else Array.fold_left ( +. ) 0. s.busy /. (float_of_int slots *. s.wall)
 
+(* The canonical fingerprint of a batch's results, shared by the bench,
+   the CLI and the chaos tests. It covers job identities and result
+   values but deliberately no timings (a timeout's measured wall varies
+   run to run), so a faulty-but-retried run hashes identically to a
+   fault-free one. *)
+let results_digest reports =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (Job.id r.job);
+      Buffer.add_char buf '=';
+      (match r.result with
+      | Ok _ as ok -> Buffer.add_string buf (Telemetry.Json.to_string (Job.result_to_json ok))
+      | Error (Job.Timed_out _) -> Buffer.add_string buf "timeout"
+      | Error (Job.Crashed msg) -> Buffer.add_string buf ("crash:" ^ msg));
+      Buffer.add_char buf '\n')
+    reports;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* One job, through the cache. [Min_io] and [Schedule] jobs route their
    MinMem preprocessing through the cache under the id of the equivalent
    [Min_memory Minmem] job, so it is shared across every job on the same
    tree. Returns the outcome and whether the job's own result was a hit. *)
-let compute_cached t (job : Job.t) =
+let compute_cached t ~cancel (job : Job.t) =
   if Job.needs_minmem job then begin
     let pre_job = Job.make job.Job.tree (Job.Min_memory Job.Minmem) in
     let pre, _ =
       Cache.find_or_compute t.cache ~key:(Job.id pre_job) (fun () ->
-          Job.compute pre_job)
+          Job.compute ~cancel pre_job)
     in
     let minmem =
       match pre with
@@ -53,39 +89,106 @@ let compute_cached t (job : Job.t) =
       | _ -> assert false (* content-addressed: this key is always Memory *)
     in
     Cache.find_or_compute t.cache ~key:(Job.id job) (fun () ->
-        Job.compute ~minmem job)
+        Job.compute ~cancel ~minmem job)
   end
   else
-    Cache.find_or_compute t.cache ~key:(Job.id job) (fun () -> Job.compute job)
+    Cache.find_or_compute t.cache ~key:(Job.id job) (fun () ->
+        Job.compute ~cancel job)
 
-let run_one t ~slot (job : Job.t) =
-  let t0 = Unix.gettimeofday () in
-  let result, cache_hit =
-    match compute_cached t job with
-    | outcome, hit -> (Ok outcome, hit)
-    | exception e -> (Error (Job.Crashed (Printexc.to_string e)), false)
-  in
-  let wall = Unix.gettimeofday () -. t0 in
-  let result =
-    match (t.timeout, result) with
-    | Some limit, Ok _ when (not cache_hit) && wall > limit ->
-        Error (Job.Timed_out wall)
-    | _ -> result
-  in
-  (match t.telemetry with
+let emit_job_event t (r : report) =
+  match t.telemetry with
   | None -> ()
   | Some sink ->
       let module J = Telemetry.Json in
       Telemetry.emit sink ~event:"job"
-        ([ ("id", J.String (Job.id job));
-           ("label", J.String job.Job.label);
-           ("spec", J.String (Job.spec_to_string job.Job.spec));
-           ("wall_s", J.Float wall);
-           ("cache_hit", J.Bool cache_hit);
-           ("domain", J.Int slot)
+        ([ ("id", J.String (Job.id r.job));
+           ("label", J.String r.job.Job.label);
+           ("spec", J.String (Job.spec_to_string r.job.Job.spec));
+           ("wall_s", J.Float r.wall);
+           ("cache_hit", J.Bool r.cache_hit);
+           ("domain", J.Int r.domain);
+           ("attempts", J.Int r.attempts);
+           ("resumed", J.Bool r.resumed)
          ]
-        @ Job.result_fields result));
-  { job; result; wall; cache_hit; domain = slot }
+        @ Job.result_fields r.result)
+
+(* The retry loop for one job. Each attempt: roll the (deterministic)
+   fault decision, then compute under a fresh deadline token. Timeouts —
+   whether the token fired mid-solve or the post-hoc wall check caught a
+   solver that never polls — are terminal: the job already consumed its
+   budget. Injected faults and genuine crashes consult [Retry.classify_exn]
+   and, while backoff delays remain, sleep and re-roll; the re-roll is
+   keyed by the attempt number, so an injected crash does not doom the
+   job forever. *)
+let run_one t ~slot (job : Job.t) =
+  let id = Job.id job in
+  let resumed_result =
+    match t.completed with
+    | Some tbl -> Hashtbl.find_opt tbl id
+    | None -> None
+  in
+  match resumed_result with
+  | Some result ->
+      let r =
+        { job; result; wall = 0.; cache_hit = false; domain = slot;
+          attempts = 0; resumed = true }
+      in
+      emit_job_event t r;
+      r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let delays =
+        if t.retry.Retry.retries = 0 then []
+        else Retry.delays t.retry ~key:id
+      in
+      let rec go attempt remaining =
+        let a0 = Unix.gettimeofday () in
+        let step =
+          try
+            (match t.faults with
+            | None -> ()
+            | Some f -> (
+                match Fault.roll f ~key:id ~attempt with
+                | None -> ()
+                | Some (Fault.Delay d) -> Unix.sleepf d
+                | Some a -> raise (Fault.Injected (Fault.describe a))));
+            let cancel =
+              match t.timeout with
+              | Some limit -> Tt_util.Cancel.create ~deadline_after:limit ()
+              | None -> Tt_util.Cancel.never
+            in
+            let v, hit = compute_cached t ~cancel job in
+            Ok (v, hit)
+          with e -> Error e
+        in
+        let awall = Unix.gettimeofday () -. a0 in
+        match step with
+        | Ok (v, hit) -> (
+            match t.timeout with
+            | Some limit when (not hit) && awall > limit ->
+                (Error (Job.Timed_out awall), hit, attempt)
+            | _ -> (Ok v, hit, attempt))
+        | Error Tt_util.Cancel.Cancelled ->
+            (Error (Job.Timed_out awall), false, attempt)
+        | Error e -> (
+            match (Retry.classify_exn e, remaining) with
+            | Retry.Retryable, d :: rest ->
+                if d > 0. then Unix.sleepf d;
+                go (attempt + 1) rest
+            | (Retry.Retryable | Retry.Terminal), _ ->
+                (Error (Job.Crashed (Printexc.to_string e)), false, attempt))
+      in
+      let result, cache_hit, attempts = go 1 delays in
+      let wall = Unix.gettimeofday () -. t0 in
+      (match t.journal with
+      | None -> ()
+      | Some j -> Journal.record j ~id ~label:job.Job.label result);
+      let r =
+        { job; result; wall; cache_hit; domain = slot; attempts;
+          resumed = false }
+      in
+      emit_job_event t r;
+      r
 
 let run_batch t jobs =
   let jobs = Array.of_list jobs in
@@ -121,13 +224,23 @@ let run_batch t jobs =
       (fun acc r -> match r.result with Error _ -> acc + 1 | Ok _ -> acc)
       0 reports
   in
+  let retries =
+    Array.fold_left (fun acc r -> acc + max 0 (r.attempts - 1)) 0 reports
+  in
+  let resumed =
+    Array.fold_left
+      (fun acc (r : report) -> if r.resumed then acc + 1 else acc)
+      0 reports
+  in
   let summary =
     { jobs = n;
       errors;
       wall;
       cache_hits = Cache.hits t.cache - hits0;
       cache_misses = Cache.misses t.cache - misses0;
-      busy
+      busy;
+      retries;
+      resumed
     }
   in
   (match t.telemetry with
@@ -142,7 +255,9 @@ let run_batch t jobs =
           ("cache_hits", J.Int summary.cache_hits);
           ("cache_misses", J.Int summary.cache_misses);
           ("busy_s", J.List (Array.to_list (Array.map (fun b -> J.Float b) busy)));
-          ("utilization", J.Float (utilization summary))
+          ("utilization", J.Float (utilization summary));
+          ("retries", J.Int summary.retries);
+          ("resumed", J.Int summary.resumed)
         ]);
   (reports, summary)
 

@@ -1,5 +1,5 @@
 (** The domain pool: batch execution of {!Job.t}s with caching,
-    isolation and telemetry.
+    isolation, retries, fault injection and telemetry.
 
     {!run_batch} distributes the jobs over a fixed pool of [domains]
     OCaml 5 domains (the calling domain is one of them, so [domains = 1]
@@ -12,11 +12,27 @@
 
     Isolation: an exception escaping a job is caught and recorded as
     [Error (Crashed _)] for that job only; the batch continues. A
-    [timeout] is enforced {e cooperatively}: OCaml domains cannot be
-    preempted, so an overlong job is detected when it returns and its
-    result is degraded to [Error (Timed_out wall)] — the batch is never
-    killed, but a diverging job will still hold its domain. Cache hits
-    are never timed out.
+    [timeout] is enforced {e cooperatively}: each attempt runs under a
+    {!Tt_util.Cancel} deadline token that the long-running solvers poll,
+    so an overlong job now aborts close to the limit instead of holding
+    its domain to completion; jobs that slip past the polls are still
+    caught by the post-hoc wall check. Either way the result degrades to
+    [Error (Timed_out wall)], which is {e terminal} — never retried.
+    Cache hits are never timed out.
+
+    Resilience: with [retry], a retryable failure (a crash, or an
+    injected fault from [faults]) is re-attempted up to
+    [retry.retries] times, sleeping the deterministic
+    {!Retry.delays} backoff between attempts. With [faults], each
+    attempt first consults {!Fault.roll} — a pure function of
+    (seed, job id, attempt), so chaos runs are reproducible and, because
+    solvers are pure and injected failures strike {e before} the
+    computation, a chaos run that retries to completion yields a
+    {!results_digest} bit-identical to the fault-free run. With
+    [journal], every finished job is appended (and flushed) to a
+    write-ahead {!Journal}; with [completed] (typically the table
+    returned by {!Journal.load_or_create}), jobs already present are
+    returned without recomputation and marked [resumed].
 
     Caching: results are memoized in a shared {!Cache} keyed by
     {!Job.id}. Jobs that need the MinMem traversal as preprocessing
@@ -32,12 +48,18 @@ val create :
   ?timeout:float ->
   ?cache:Job.outcome Cache.t ->
   ?telemetry:Telemetry.t ->
+  ?faults:Fault.t ->
+  ?retry:Retry.policy ->
+  ?journal:Journal.t ->
+  ?completed:(string, Job.result) Hashtbl.t ->
   unit ->
   t
 (** [domains] defaults to 1; it is clamped to at least 1. [cache]
     defaults to a fresh in-memory cache; pass your own to share it
-    across batches or persist it. [telemetry], when given, receives a
-    ["job"] event per job and a ["batch"] event per {!run_batch}. *)
+    across batches or persist it (pass [faults] to {!Cache.create} as
+    well to chaos-test the disk level). [telemetry], when given,
+    receives a ["job"] event per job and a ["batch"] event per
+    {!run_batch}. [retry] defaults to {!Retry.none}. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8 — the engine's
@@ -51,9 +73,12 @@ val cache : t -> Job.outcome Cache.t
 type report = {
   job : Job.t;
   result : Job.result;
-  wall : float;  (** Seconds spent computing (≈0 on a cache hit). *)
+  wall : float;  (** Seconds spent computing, incl. retries and backoff
+                     (≈0 on a cache hit or resumed job). *)
   cache_hit : bool;  (** The job's own result came from the cache. *)
   domain : int;  (** Worker slot in [0, domains). *)
+  attempts : int;  (** Attempts actually run (1 normally, 0 if resumed). *)
+  resumed : bool;  (** Result came from the [completed] table. *)
 }
 
 type summary = {
@@ -63,10 +88,18 @@ type summary = {
   cache_hits : int;  (** Cache hits during this batch (incl. preprocessing). *)
   cache_misses : int;
   busy : float array;  (** Per-slot busy seconds, length [domains]. *)
+  retries : int;  (** Total extra attempts across the batch. *)
+  resumed : int;  (** Jobs answered from the [completed] table. *)
 }
 
 val utilization : summary -> float
 (** Mean busy fraction over the slots, in [0, 1]. *)
+
+val results_digest : report array -> string
+(** Hex digest fingerprinting (job id, result value) pairs in report
+    order — no timings, so it is stable across runs, domain counts,
+    cache states, and injected-fault/retry histories. This is the value
+    the chaos target compares between faulty and fault-free runs. *)
 
 val run_batch : t -> Job.t list -> report array * summary
 (** Reports are in submission order. *)

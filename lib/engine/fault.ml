@@ -1,0 +1,94 @@
+type action = Crash | Io_error | Delay of float
+
+exception Injected of string
+
+type t = {
+  crash : float;
+  io_error : float;
+  delay : float;
+  max_delay_s : float;
+  seed : int;
+}
+
+let create ?(crash = 0.) ?(io_error = 0.) ?(delay = 0.) ?(max_delay_s = 0.01)
+    ~seed () =
+  let rate what x =
+    if x < 0. || x > 1. then
+      invalid_arg (Printf.sprintf "Fault.create: %s rate %g not in [0, 1]" what x)
+  in
+  rate "crash" crash;
+  rate "io_error" io_error;
+  rate "delay" delay;
+  if crash +. io_error +. delay > 1. then
+    invalid_arg "Fault.create: rates sum to more than 1";
+  { crash; io_error; delay; max_delay_s; seed }
+
+let to_string t =
+  Printf.sprintf "crash=%g,io=%g,delay=%g,max-delay=%g,seed=%d" t.crash
+    t.io_error t.delay t.max_delay_s t.seed
+
+let of_string s =
+  try
+    let crash = ref 0. and io = ref 0. and delay = ref 0. in
+    let max_delay = ref 0.01 and seed = ref 0 in
+    String.split_on_char ',' s
+    |> List.filter (fun tok -> String.trim tok <> "")
+    |> List.iter (fun tok ->
+           match String.index_opt tok '=' with
+           | None -> failwith ("expected key=value, got " ^ tok)
+           | Some i ->
+               let k = String.trim (String.sub tok 0 i) in
+               let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+               let f () =
+                 match float_of_string_opt v with
+                 | Some x -> x
+                 | None -> failwith ("bad number " ^ v ^ " for " ^ k)
+               in
+               (match k with
+               | "crash" -> crash := f ()
+               | "io" | "io-error" -> io := f ()
+               | "delay" -> delay := f ()
+               | "max-delay" -> max_delay := f ()
+               | "seed" -> (
+                   match int_of_string_opt v with
+                   | Some x -> seed := x
+                   | None -> failwith ("bad seed " ^ v))
+               | other -> failwith ("unknown fault key " ^ other)));
+    Ok
+      (create ~crash:!crash ~io_error:!io ~delay:!delay ~max_delay_s:!max_delay
+         ~seed:!seed ())
+  with Failure msg | Invalid_argument msg -> Error msg
+
+(* The decision for a (key, attempt) pair is a pure function of the spec:
+   it does not depend on which domain runs the job, on wall time, or on
+   the order jobs are claimed in — that is what makes a chaos run
+   reproducible and its retried results bit-identical to a fault-free
+   run. *)
+let rng_for t tag =
+  let h = Digest.string tag in
+  let v = ref 0 in
+  String.iter (fun c -> v := ((!v * 31) + Char.code c) land max_int) h;
+  Tt_util.Rng.create (t.seed lxor !v)
+
+let roll t ~key ~attempt =
+  if t.crash = 0. && t.io_error = 0. && t.delay = 0. then None
+  else begin
+    let rng = rng_for t (Printf.sprintf "job:%s#%d" key attempt) in
+    let u = Tt_util.Rng.float rng 1.0 in
+    if u < t.crash then Some Crash
+    else if u < t.crash +. t.io_error then Some Io_error
+    else if u < t.crash +. t.io_error +. t.delay then
+      Some (Delay (Tt_util.Rng.float rng t.max_delay_s))
+    else None
+  end
+
+let disk_fails t ~op ~key =
+  t.io_error > 0.
+  &&
+  let rng = rng_for t (Printf.sprintf "cache:%s:%s" op key) in
+  Tt_util.Rng.float rng 1.0 < t.io_error
+
+let describe = function
+  | Crash -> "injected crash"
+  | Io_error -> "injected I/O error"
+  | Delay d -> Printf.sprintf "injected delay of %gs" d

@@ -1,0 +1,59 @@
+(** Deterministic, seeded fault injection for chaos runs.
+
+    A fault spec gives independent probabilities for three failure
+    modes and a seed. The decision for a given (job id, attempt) pair —
+    or (operation, key) pair for the cache's disk level — is a {e pure
+    function} of the spec: it does not depend on the domain that runs
+    the job, on wall time, or on claim order. Chaos runs are therefore
+    reproducible, and because every injected failure is retryable, a
+    faulty run that retries to completion produces results bit-identical
+    to a fault-free run (the engine's key invariant, asserted by
+    [make chaos] and the resilience tests).
+
+    Injection points:
+    - the {!Executor} rolls {!roll} before each job attempt: [Crash]
+      and [Io_error] raise {!Injected} (classified retryable by
+      {!Retry.classify_exn}); [Delay] sleeps a seeded duration first;
+    - the {!Cache} consults {!disk_fails} before each persisted read or
+      write: a failing read is a deterministic miss, a failing write is
+      skipped (the entry is simply recomputed later). *)
+
+type action = Crash | Io_error | Delay of float
+
+exception Injected of string
+(** Raised by the executor when a [Crash] or [Io_error] fires; the
+    payload is {!describe} of the action. Always retryable. *)
+
+type t
+
+val create :
+  ?crash:float ->
+  ?io_error:float ->
+  ?delay:float ->
+  ?max_delay_s:float ->
+  seed:int ->
+  unit ->
+  t
+(** Rates default to [0.]; [max_delay_s] (default [0.01]) bounds an
+    injected delay.
+    @raise Invalid_argument if a rate is outside [0, 1] or the rates
+    sum to more than 1. *)
+
+val of_string : string -> (t, string) result
+(** Parse a CLI spec, e.g. ["crash=0.3,io=0.1,delay=0.2,seed=7"]. Keys:
+    [crash], [io] (alias [io-error]), [delay], [max-delay], [seed];
+    all optional (seed defaults to 0). *)
+
+val to_string : t -> string
+(** Canonical rendering, parseable by {!of_string}. *)
+
+val roll : t -> key:string -> attempt:int -> action option
+(** The executor-level decision for one attempt of one job. [attempt]
+    is 1-based, so retries re-roll — a job hit by an injected crash is
+    not doomed to crash forever. *)
+
+val disk_fails : t -> op:string -> key:string -> bool
+(** The cache-level decision for one disk operation ([op] is ["read"]
+    or ["write"]) on one key. *)
+
+val describe : action -> string

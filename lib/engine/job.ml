@@ -57,9 +57,12 @@ let budget_words ~floor ~in_core = function
   | Words w -> w
   | Fraction x -> floor + int_of_float (x *. float_of_int (in_core - floor))
 
-let compute ?minmem job =
+let compute ?(cancel = Tt_util.Cancel.never) ?minmem job =
+  Tt_util.Cancel.check cancel;
   let minmem_run () =
-    match minmem with Some pre -> pre | None -> Tt_core.Minmem.run job.tree
+    match minmem with
+    | Some pre -> pre
+    | None -> Tt_core.Minmem.run ~cancel job.tree
   in
   match job.spec with
   | Min_memory Minmem ->
@@ -153,3 +156,91 @@ let result_fields result =
       [ ("ok", J.Bool false); ("error", J.String "timeout"); ("after_s", J.Float s) ]
   | Error (Crashed msg) ->
       [ ("ok", J.Bool false); ("error", J.String "crash"); ("message", J.String msg) ]
+
+(* --------------------------------------------------- journal round trip *)
+
+(* Unlike [result_fields] (telemetry, order digested), the journal needs
+   the full traversal back, so [Memory] serializes its order inline. *)
+let result_to_json result =
+  let module J = Telemetry.Json in
+  match result with
+  | Ok (Memory { peak; order }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "memory");
+          ("peak", J.Int peak);
+          ("order", J.List (Array.to_list (Array.map (fun i -> J.Int i) order)))
+        ]
+  | Ok (Io { in_core; memory; io }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "io");
+          ("in_core", J.Int in_core);
+          ("memory", J.Int memory);
+          ("io", match io with Some v -> J.Int v | None -> J.Null)
+        ]
+  | Ok (Sched { memory; makespan; peak }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "sched");
+          ("memory", J.Int memory);
+          ("makespan", (match makespan with Some v -> J.Int v | None -> J.Null));
+          ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+        ]
+  | Error (Timed_out s) ->
+      J.Obj
+        [ ("ok", J.Bool false); ("error", J.String "timeout"); ("after_s", J.Float s) ]
+  | Error (Crashed msg) ->
+      J.Obj
+        [ ("ok", J.Bool false); ("error", J.String "crash"); ("message", J.String msg) ]
+
+let result_of_json json =
+  let module J = Telemetry.Json in
+  let int_field k =
+    match J.member k json with
+    | Some (J.Int v) -> Ok v
+    | _ -> Error (Printf.sprintf "missing int field %S" k)
+  in
+  let opt_int_field k =
+    match J.member k json with
+    | Some (J.Int v) -> Ok (Some v)
+    | Some J.Null -> Ok None
+    | _ -> Error (Printf.sprintf "missing nullable int field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  match J.member "ok" json with
+  | Some (J.Bool true) -> (
+      match J.member "kind" json with
+      | Some (J.String "memory") ->
+          let* peak = int_field "peak" in
+          let* order =
+            match J.member "order" json with
+            | Some (J.List items) ->
+                let rec ints acc = function
+                  | [] -> Ok (Array.of_list (List.rev acc))
+                  | J.Int i :: rest -> ints (i :: acc) rest
+                  | _ -> Error "non-integer in order array"
+                in
+                ints [] items
+            | _ -> Error "missing order array"
+          in
+          Ok (Ok (Memory { peak; order }))
+      | Some (J.String "io") ->
+          let* in_core = int_field "in_core" in
+          let* memory = int_field "memory" in
+          let* io = opt_int_field "io" in
+          Ok (Ok (Io { in_core; memory; io }))
+      | Some (J.String "sched") ->
+          let* memory = int_field "memory" in
+          let* makespan = opt_int_field "makespan" in
+          let* peak = opt_int_field "peak" in
+          Ok (Ok (Sched { memory; makespan; peak }))
+      | _ -> Error "missing outcome kind")
+  | Some (J.Bool false) -> (
+      match (J.member "error" json, J.member "after_s" json, J.member "message" json) with
+      | Some (J.String "timeout"), Some (J.Float s), _ -> Ok (Error (Timed_out s))
+      | Some (J.String "timeout"), Some (J.Int s), _ ->
+          Ok (Error (Timed_out (float_of_int s)))
+      | Some (J.String "crash"), _, Some (J.String msg) -> Ok (Error (Crashed msg))
+      | _ -> Error "malformed error result")
+  | _ -> Error "missing ok field"

@@ -77,11 +77,15 @@ type error =
 
 type result = (outcome, error) Stdlib.result
 
-val compute : ?minmem:int * int array -> t -> outcome
+val compute :
+  ?cancel:Tt_util.Cancel.t -> ?minmem:int * int array -> t -> outcome
 (** Run the job directly (no cache, no isolation — the {!Executor} adds
     both). [minmem], when given, is a previously computed
     [(peak, order)] of {!Tt_core.Minmem.run} on the same tree; [Min_io]
-    and [Schedule] jobs use it instead of recomputing.
+    and [Schedule] jobs use it instead of recomputing. [cancel] is
+    polled cooperatively inside the long-running solvers (the executor
+    passes a deadline token to enforce its per-job timeout).
+    @raise Tt_util.Cancel.Cancelled when [cancel] fires.
     @raise whatever the underlying solver raises. *)
 
 val needs_minmem : t -> bool
@@ -100,3 +104,11 @@ val outcome_fields : outcome -> (string * Telemetry.Json.t) list
     not inlined). *)
 
 val result_fields : result -> (string * Telemetry.Json.t) list
+
+val result_to_json : result -> Telemetry.Json.t
+(** Lossless rendering for the {!Journal} — unlike {!result_fields},
+    [Memory] orders are inlined in full so a resumed run reproduces the
+    exact result. *)
+
+val result_of_json : Telemetry.Json.t -> (result, string) Stdlib.result
+(** Inverse of {!result_to_json}. *)

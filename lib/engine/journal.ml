@@ -1,0 +1,135 @@
+module J = Telemetry.Json
+
+type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+let magic = "tt-engine"
+let version = 1
+
+let header_line ~corpus =
+  J.to_string
+    (J.Obj
+       [ ("journal", J.String magic);
+         ("version", J.Int version);
+         ("corpus", J.String corpus)
+       ])
+
+let entry_line ~id ~label result =
+  J.to_string
+    (J.Obj
+       [ ("id", J.String id);
+         ("label", J.String label);
+         ("result", Job.result_to_json result)
+       ])
+
+let parse_entry json =
+  match (J.member "id" json, J.member "label" json, J.member "result" json) with
+  | Some (J.String id), Some (J.String label), Some result_json -> (
+      match Job.result_of_json result_json with
+      | Ok result -> Some (id, label, result)
+      | Error _ -> None)
+  | _ -> None
+
+(* A crash can leave a torn final line (the writer flushes per entry but
+   the process may die mid-write). Recovery keeps every entry up to the
+   first line that fails to parse and ignores the rest — those jobs are
+   simply recomputed. Alongside the entries we return the byte offset of
+   the end of the last valid line, so the caller can truncate the torn
+   tail before appending (otherwise the first new record would be
+   written onto the torn line and lost with it). *)
+let read_entries path ~corpus =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match input_line ic with
+      | exception End_of_file -> Error "journal is empty"
+      | first -> (
+          match J.of_string first with
+          | Error e -> Error ("journal header unreadable: " ^ e)
+          | Ok hdr -> (
+              match
+                (J.member "journal" hdr, J.member "version" hdr, J.member "corpus" hdr)
+              with
+              | Some (J.String m), Some (J.Int v), Some (J.String c)
+                when m = magic && v = version ->
+                  if c <> corpus then
+                    Error
+                      (Printf.sprintf
+                         "journal was written for a different corpus (journal %s, \
+                          current %s) — the manifest or bench parameters changed"
+                         c corpus)
+                  else begin
+                    let completed = Hashtbl.create 64 in
+                    let valid = ref (pos_in ic) in
+                    let rec loop () =
+                      match input_line ic with
+                      | exception End_of_file -> ()
+                      | line -> (
+                          if String.trim line = "" then begin
+                            valid := pos_in ic;
+                            loop ()
+                          end
+                          else
+                            match J.of_string line with
+                            | Error _ -> () (* torn tail: stop here *)
+                            | Ok json -> (
+                                match parse_entry json with
+                                | None -> ()
+                                | Some (id, _label, result) ->
+                                    Hashtbl.replace completed id result;
+                                    valid := pos_in ic;
+                                    loop ()))
+                    in
+                    loop ();
+                    Ok (completed, !valid)
+                  end
+              | _ -> Error "not a tt-engine journal")))
+
+let open_writer path ~fresh ~corpus =
+  let flags =
+    if fresh then [ Open_wronly; Open_creat; Open_trunc ]
+    else [ Open_wronly; Open_creat; Open_append ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  if fresh then begin
+    output_string oc (header_line ~corpus);
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; mutex = Mutex.create (); closed = false }
+
+let create path ~corpus = open_writer path ~fresh:true ~corpus
+
+let load_or_create path ~corpus =
+  if not (Sys.file_exists path) then
+    Ok (open_writer path ~fresh:true ~corpus, Hashtbl.create 16)
+  else
+    match read_entries path ~corpus with
+    | Error e -> Error e
+    | Ok (completed, valid) ->
+        (* drop any torn tail so appended records start on a fresh line *)
+        (try
+           if (Unix.stat path).Unix.st_size > valid then Unix.truncate path valid
+         with Unix.Unix_error _ -> ());
+        Ok (open_writer path ~fresh:false ~corpus, completed)
+
+let record t ~id ~label result =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc (entry_line ~id ~label result);
+        output_char t.oc '\n';
+        flush t.oc
+      end)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out_noerr t.oc
+      end)

@@ -1,0 +1,48 @@
+(** Write-ahead journal of completed job results, for crash-resumable
+    batches.
+
+    The journal is a JSONL file: a header line
+
+    {v {"journal":"tt-engine","version":1,"corpus":"<digest>"} v}
+
+    followed by one line per finished job,
+
+    {v {"id":"<job id>","label":"...","result":{...}} v}
+
+    where [result] is {!Job.result_to_json} (lossless — [Memory] orders
+    are inlined in full). Each entry is flushed as the job finishes, so
+    a killed run leaves every completed result on disk; at worst the
+    final line is torn, and recovery simply stops at the first
+    unparseable line and recomputes the rest.
+
+    [corpus] is a digest of the job source (the manifest text for
+    [treetrav batch], the generation parameters for [bench]). Resuming
+    against a journal whose header digest differs is refused — the
+    recorded ids would silently miss, or worse, collide with different
+    semantics.
+
+    Jobs found in the journal are fed to the {!Executor} as its
+    [completed] table: they are returned without recomputation, marked
+    [resumed] in the report, and not re-recorded. *)
+
+type t
+(** An open journal writer. {!record} is domain-safe. *)
+
+val create : string -> corpus:string -> t
+(** Truncate/create [path] and write a fresh header. *)
+
+val load_or_create :
+  string ->
+  corpus:string ->
+  (t * (string, Job.result) Hashtbl.t, string) result
+(** Open [path] for resuming: if absent, behaves like {!create} with an
+    empty table; if present, validates the header (corpus digest must
+    match), reads completed entries up to any torn tail, truncates the
+    torn tail away (so appended records start on a fresh line), and
+    reopens the file in append mode. *)
+
+val record : t -> id:string -> label:string -> Job.result -> unit
+(** Append and flush one completed entry. *)
+
+val close : t -> unit
+(** Idempotent. *)

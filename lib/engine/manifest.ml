@@ -176,19 +176,25 @@ let parse_line line =
           Job.make ~label:(name ^ " " ^ Job.spec_to_string spec) tree spec)
         specs
 
+(* All malformed lines are reported at once — fixing a manifest should
+   take one round trip, not one per bad line. *)
 let parse text =
   let lines = String.split_on_char '\n' text in
-  let rec go acc lineno = function
-    | [] -> Ok (List.concat (List.rev acc))
+  let rec go acc errs lineno = function
+    | [] -> (
+        match List.rev errs with
+        | [] -> Ok (List.concat (List.rev acc))
+        | errs -> Error (String.concat "\n" errs))
     | line :: rest -> (
         let line = String.trim (strip_comment line) in
-        if line = "" then go acc (lineno + 1) rest
+        if line = "" then go acc errs (lineno + 1) rest
         else
           match parse_line line with
-          | jobs -> go (jobs :: acc) (lineno + 1) rest
-          | exception Bad msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+          | jobs -> go (jobs :: acc) errs (lineno + 1) rest
+          | exception Bad msg ->
+              go acc (Printf.sprintf "line %d: %s" lineno msg :: errs) (lineno + 1) rest)
   in
-  go [] 1 lines
+  go [] [] 1 lines
 
 let load path =
   match open_in path with

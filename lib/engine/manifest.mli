@@ -39,7 +39,9 @@
     digest, so their MinMem runs coincide). *)
 
 val parse : string -> (Job.t list, string) Stdlib.result
-(** Parse manifest text. Errors carry the 1-based line number. *)
+(** Parse manifest text. On failure the error reports {e every}
+    malformed line, one ["line N: message"] entry per line, joined by
+    newlines — one fix round trip, not one per bad line. *)
 
 val load : string -> (Job.t list, string) Stdlib.result
 (** {!parse} the contents of a file. *)

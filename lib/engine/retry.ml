@@ -1,0 +1,60 @@
+type policy = {
+  retries : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let none = { retries = 0; base_delay_s = 0.; max_delay_s = 0.; jitter = 0.; seed = 0 }
+
+let create ?(retries = 3) ?(base_delay_s = 0.05) ?(max_delay_s = 1.0)
+    ?(jitter = 0.5) ?(seed = 0) () =
+  if retries < 0 then invalid_arg "Retry.create: negative retries";
+  if base_delay_s < 0. || max_delay_s < 0. then
+    invalid_arg "Retry.create: negative delay";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Retry.create: jitter not in [0, 1]";
+  { retries; base_delay_s; max_delay_s; jitter; seed }
+
+type class_ = Retryable | Terminal
+
+(* Invalid input deterministically fails again, so retrying it only
+   burns the backoff budget; a cooperative timeout already consumed its
+   full deadline. Everything else — a genuine crash, an injected fault —
+   may be transient. *)
+let classify : Job.error -> class_ = function
+  | Job.Timed_out _ -> Terminal
+  | Job.Crashed msg ->
+      if
+        String.length msg >= 16
+        && String.sub msg 0 16 = "Invalid_argument"
+      then Terminal
+      else Retryable
+
+let classify_exn : exn -> class_ = function
+  | Fault.Injected _ -> Retryable
+  | Invalid_argument _ -> Terminal
+  | Tt_util.Cancel.Cancelled -> Terminal
+  | _ -> Retryable
+
+(* Capped exponential backoff with seeded jitter: delay k (0-based) is
+   min(base * 2^k, max) scaled by a factor uniform in [1-jitter,
+   1+jitter] drawn from an RNG keyed by (seed, key) — deterministic per
+   job, decorrelated across jobs. *)
+let delays policy ~key =
+  if policy.retries = 0 then []
+  else begin
+    let h = Digest.string key in
+    let v = ref 0 in
+    String.iter (fun c -> v := ((!v * 31) + Char.code c) land max_int) h;
+    let rng = Tt_util.Rng.create (policy.seed lxor !v) in
+    List.init policy.retries (fun k ->
+        let d =
+          Float.min policy.max_delay_s
+            (policy.base_delay_s *. Float.pow 2. (float_of_int k))
+        in
+        let u = Tt_util.Rng.float rng 1.0 in
+        Float.min policy.max_delay_s
+          (d *. (1. -. policy.jitter +. (2. *. policy.jitter *. u))))
+  end

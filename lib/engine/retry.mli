@@ -1,0 +1,53 @@
+(** Per-job retry policy: outcome classification and a deterministic
+    capped-exponential-backoff schedule.
+
+    The {!Executor} re-runs a job after a {e retryable} failure — a
+    genuine crash or an injected fault ({!Fault.Injected}) — sleeping
+    the next delay of {!delays} between attempts. {e Terminal} failures
+    (cooperative timeout, invalid input) are returned immediately:
+    retrying a deterministic [Invalid_argument] can only reproduce it,
+    and a timed-out job already consumed its full deadline.
+
+    The schedule is a pure function of (policy, job id): chaos runs
+    replay exactly, and two jobs with different ids decorrelate their
+    backoff (no thundering herd on a shared resource). *)
+
+type policy = {
+  retries : int;  (** Additional attempts after the first (0 = off). *)
+  base_delay_s : float;
+  max_delay_s : float;  (** Cap on every delay, pre- and post-jitter. *)
+  jitter : float;  (** Relative jitter amplitude in [0, 1]. *)
+  seed : int;
+}
+
+val none : policy
+(** No retries — the executor's default. *)
+
+val create :
+  ?retries:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  unit ->
+  policy
+(** Defaults: 3 retries, 50 ms base, 1 s cap, 0.5 jitter, seed 0.
+    @raise Invalid_argument on negative counts/delays or jitter outside
+    [0, 1]. *)
+
+type class_ = Retryable | Terminal
+
+val classify : Job.error -> class_
+(** [Timed_out] and [Crashed] with an [Invalid_argument] payload are
+    terminal; every other crash is retryable. *)
+
+val classify_exn : exn -> class_
+(** Exception-level classification, applied by the executor before the
+    exception is rendered into a {!Job.error}: {!Fault.Injected} is
+    retryable, [Invalid_argument] and {!Tt_util.Cancel.Cancelled} are
+    terminal, anything else retryable. *)
+
+val delays : policy -> key:string -> float list
+(** The full backoff schedule for a job (length [retries]): delay [k] is
+    [min (base * 2^k) max] jittered by a factor in [1-jitter, 1+jitter]
+    drawn from an RNG seeded by ([seed], [key]). Deterministic. *)

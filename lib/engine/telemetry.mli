@@ -29,6 +29,16 @@ module Json : sig
   val to_string : t -> string
   (** Single-line rendering. Non-finite floats become [null] (JSON has
       no [inf]/[nan]); strings are escaped per RFC 8259. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON document — the subset {!to_string} emits (which is
+      what the {!Journal} needs to read back). Numbers parse to [Int]
+      when integral, [Float] otherwise; [\u] escapes above [0xFF]
+      degrade to ['?']. The error carries the offset of the failure. *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj fields)] looks [key] up; [None] on other
+      constructors. *)
 end
 
 type t

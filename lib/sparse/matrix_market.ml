@@ -49,10 +49,28 @@ let parse_header lineno line =
   | _ -> fail lineno "malformed banner line"
 
 let int_of lineno s =
-  try int_of_string s with _ -> fail lineno ("not an integer: " ^ s)
+  match int_of_string_opt s with
+  | Some v -> v
+  | None ->
+      (* Distinguish overflow from garbage: "99999999999999999999" is
+         all digits yet unrepresentable, and deserves a precise message. *)
+      let digits =
+        let body =
+          if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
+            String.sub s 1 (String.length s - 1)
+          else s
+        in
+        body <> "" && String.for_all (fun c -> c >= '0' && c <= '9') body
+      in
+      if digits then fail lineno ("integer overflows: " ^ s)
+      else fail lineno ("not an integer: " ^ s)
 
 let float_of lineno s =
-  try float_of_string s with _ -> fail lineno ("not a number: " ^ s)
+  match float_of_string_opt s with
+  | None -> fail lineno ("not a number: " ^ s)
+  | Some v ->
+      if Float.is_finite v then v
+      else fail lineno ("non-finite value: " ^ s)
 
 (* Number of numeric tokens per data line after the indices. *)
 let value_arity = function Pattern -> 0 | Real | Integer -> 1 | Complex -> 2
@@ -84,6 +102,7 @@ let parse_string ?(expand_symmetry = true) text =
     | None -> fail n_lines "missing size line"
     | Some (ln, l) -> (ln, split_ws l)
   in
+  let size_ln = fst size in
   let nrows, ncols, stated_nnz =
     match (format, size) with
     | Coordinate, (ln, [ r; c; z ]) -> (int_of ln r, int_of ln c, int_of ln z)
@@ -92,7 +111,11 @@ let parse_string ?(expand_symmetry = true) text =
         (r, c, r * c)
     | _, (ln, _) -> fail ln "malformed size line"
   in
-  if nrows < 0 || ncols < 0 || stated_nnz < 0 then fail 1 "negative dimension";
+  if nrows <= 0 || ncols <= 0 then
+    fail size_ln
+      (Printf.sprintf "non-positive dimensions: %d x %d" nrows ncols);
+  if stated_nnz < 0 then
+    fail size_ln (Printf.sprintf "negative entry count: %d" stated_nnz);
   let header = { format; field; symmetry; nrows; ncols; nnz = stated_nnz } in
   let t = Triplet.create ~nrows ~ncols in
   let mirror i j v =
@@ -113,7 +136,11 @@ let parse_string ?(expand_symmetry = true) text =
             | i :: j :: rest when List.length rest = arity ->
                 let i = int_of ln i - 1 and j = int_of ln j - 1 in
                 if i < 0 || i >= nrows || j < 0 || j >= ncols then
-                  fail ln "entry indices out of bounds";
+                  fail ln
+                    (Printf.sprintf
+                       "entry (%d, %d) outside the declared %d x %d shape \
+                        (indices are 1-based)"
+                       (i + 1) (j + 1) nrows ncols);
                 let v =
                   match (field, rest) with
                   | Pattern, [] -> 1.

@@ -1,0 +1,43 @@
+type t = {
+  flag : bool Atomic.t;
+  deadline : float option;
+  mutable polls : int;
+}
+
+exception Cancelled
+
+let never = { flag = Atomic.make false; deadline = None; polls = 0 }
+
+let create ?deadline_after () =
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline_after
+  in
+  { flag = Atomic.make false; deadline; polls = 0 }
+
+let cancel t = Atomic.set t.flag true
+
+(* Clock reads are amortized: the first poll and then every 64th consult
+   [gettimeofday]; flag reads happen on every poll. The poll counter is
+   only touched by the polling domain, so a plain mutable field is safe. *)
+let poll_mask = 63
+
+let cancelled t =
+  Atomic.get t.flag
+  ||
+  match t.deadline with
+  | None -> false
+  | Some d ->
+      t.polls <- t.polls + 1;
+      (t.polls = 1 || t.polls land poll_mask = 0)
+      && Unix.gettimeofday () >= d
+      && begin
+           Atomic.set t.flag true;
+           true
+         end
+
+let check t = if cancelled t then raise Cancelled
+
+let with_deadline ?timeout f =
+  match timeout with
+  | None -> f never
+  | Some s -> f (create ~deadline_after:s ())

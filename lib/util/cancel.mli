@@ -1,0 +1,42 @@
+(** Cooperative cancellation/deadline tokens.
+
+    OCaml 5 domains cannot be preempted, so a runaway solver holds its
+    domain until it returns. A token makes interruption cooperative: the
+    long-running solvers ({!Tt_core.Explore}, [Minio_search],
+    [Brute_force], [Minio_exact]) poll the token inside their hot loops
+    and raise {!Cancelled} when it has expired, freeing the domain within
+    one poll interval instead of at completion.
+
+    A token expires when {!cancel} is called (from any domain — the flag
+    is atomic) or when its deadline passes. Deadline clock reads are
+    amortized (first poll, then every 64th), so polling in a tight loop
+    costs one atomic load. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check} on an expired token. The {!Tt_engine.Executor}
+    maps it to [Error (Timed_out _)] for the owning job. *)
+
+val never : t
+(** A token that never expires ([cancel] on it is possible but it is
+    shared — use {!create} for per-job tokens). Polling it is one atomic
+    load; use it as the default when no deadline applies. *)
+
+val create : ?deadline_after:float -> unit -> t
+(** A fresh token; with [deadline_after] (seconds from now) it expires on
+    its own once the wall clock passes the deadline. *)
+
+val cancel : t -> unit
+(** Expire the token now. Safe from any domain. *)
+
+val cancelled : t -> bool
+(** Poll: has the token expired? Counts towards the clock-read
+    amortization. *)
+
+val check : t -> unit
+(** @raise Cancelled if the token has expired. *)
+
+val with_deadline : ?timeout:float -> (t -> 'a) -> 'a
+(** [with_deadline ?timeout f] runs [f] with a fresh deadline token
+    ({!never} when [timeout] is [None]). *)

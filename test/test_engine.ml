@@ -260,7 +260,16 @@ let test_manifest_errors () =
   check_error "gen grid2d :: fly" "unknown job";
   check_error "gen warp :: minmem" "unknown matrix kind";
   check_error "gen grid2d bogus=1 :: minmem" "unknown key";
-  check_error "gen grid2d :: minio policy=nope" "unknown policy"
+  check_error "gen grid2d :: minio policy=nope" "unknown policy";
+  (* every malformed line is reported, not just the first *)
+  let text = "gen warp :: minmem\ngen grid2d size=6 :: minmem\ngen grid2d :: fly\n" in
+  check_error text "line 1";
+  check_error text "line 3";
+  match Tt_engine.Manifest.parse text with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error e ->
+      Alcotest.(check int) "one entry per bad line" 2
+        (List.length (String.split_on_char '\n' e))
 
 let test_manifest_runs_through_engine () =
   let text =

@@ -99,6 +99,36 @@ let test_errors () =
   (* truncated entry list: reported at the (empty) final line *)
   expect_error ~line:4 "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
 
+let expect_message ~line ~fragment text =
+  match parse text with
+  | exception MM.Parse_error { line = l; message } ->
+      Alcotest.(check int) "error line" line l;
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" message fragment)
+        true (H.contains message fragment)
+  | _ -> Alcotest.failf "accepted %S" text
+
+let test_hardened_rejections () =
+  let banner = "%%MatrixMarket matrix coordinate real general\n" in
+  (* non-finite values would silently poison every downstream weight *)
+  expect_message ~line:3 ~fragment:"non-finite" (banner ^ "1 1 1\n1 1 nan\n");
+  expect_message ~line:3 ~fragment:"non-finite" (banner ^ "1 1 1\n1 1 inf\n");
+  expect_message ~line:3 ~fragment:"non-finite" (banner ^ "1 1 1\n1 1 -infinity\n");
+  (* dimensions must be positive, the entry count non-negative *)
+  expect_message ~line:2 ~fragment:"non-positive" (banner ^ "0 3 0\n");
+  expect_message ~line:2 ~fragment:"non-positive" (banner ^ "3 0 0\n");
+  expect_message ~line:2 ~fragment:"non-positive" (banner ^ "-2 3 1\n1 1 1\n");
+  expect_message ~line:2 ~fragment:"negative entry count" (banner ^ "2 2 -1\n");
+  (* 1-based indices outside the declared shape, including zero *)
+  expect_message ~line:3 ~fragment:"outside" (banner ^ "2 2 1\n0 1 1.0\n");
+  expect_message ~line:3 ~fragment:"outside" (banner ^ "2 2 1\n1 3 1.0\n");
+  (* unrepresentable integers are overflow, not garbage *)
+  expect_message ~line:2 ~fragment:"overflows"
+    (banner ^ "99999999999999999999 1 1\n1 1 1\n");
+  expect_message ~line:3 ~fragment:"overflows"
+    (banner ^ "2 2 1\n1 99999999999999999999 1.0\n");
+  expect_message ~line:3 ~fragment:"not an integer" (banner ^ "2 2 1\nx 1 1.0\n")
+
 let test_write_read_round_trip () =
   let a = S.Spgen.grid2d 6 in
   let text = MM.to_string a in
@@ -150,7 +180,10 @@ let () =
           H.case "array" test_array_format;
           H.case "array symmetric" test_array_symmetric
         ] );
-      ("errors", [ H.case "malformed inputs" test_errors ]);
+      ( "errors",
+        [ H.case "malformed inputs" test_errors;
+          H.case "hardened rejections" test_hardened_rejections
+        ] );
       ( "round trips",
         [ H.case "general" test_write_read_round_trip;
           H.case "symmetric" test_write_symmetric_round_trip;

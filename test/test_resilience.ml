@@ -1,0 +1,386 @@
+(* Tests for the engine's resilience layer: deterministic fault
+   injection, retry/backoff, cooperative cancellation, the write-ahead
+   journal, and the hardened cache disk format. *)
+
+module H = Helpers
+module T = Tt_core.Tree
+module E = Tt_engine.Executor
+module J = Tt_engine.Job
+module Fault = Tt_engine.Fault
+module Retry = Tt_engine.Retry
+module Journal = Tt_engine.Journal
+module Cache = Tt_engine.Cache
+module Cancel = Tt_util.Cancel
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* A small but non-trivial job mix over deterministic random trees. *)
+let test_jobs () =
+  let trees = H.tree_list ~seed:5 ~count:6 ~size_max:25 ~max_f:20 ~max_n:8 in
+  List.concat_map
+    (fun tree ->
+      [ J.make tree (J.Min_memory J.Minmem);
+        J.make tree (J.Min_memory J.Postorder);
+        J.make tree (J.Min_io { policy = Tt_core.Minio.First_fit; budget = J.Fraction 0.5 })
+      ])
+    trees
+
+(* A retry policy whose backoff is fast enough for tests. *)
+let fast_retry ?(retries = 8) () =
+  Retry.create ~retries ~base_delay_s:0.0005 ~max_delay_s:0.002 ()
+
+(* ------------------------------------------------------------- retry *)
+
+let test_retry_schedule_deterministic () =
+  let p = Retry.create ~retries:5 ~seed:3 () in
+  let a = Retry.delays p ~key:"job-a" and b = Retry.delays p ~key:"job-a" in
+  Alcotest.(check (list (float 0.))) "same key, same schedule" a b;
+  Alcotest.(check int) "length = retries" 5 (List.length a);
+  let c = Retry.delays p ~key:"job-b" in
+  Alcotest.(check bool) "different key decorrelates" true (a <> c);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "within jitter bounds" true
+        (d >= 0. && d <= p.Retry.max_delay_s))
+    a;
+  (* the un-jittered ramp doubles until the cap; jitter is +/-50%, so
+     delay k+2 must exceed delay k's floor *)
+  Alcotest.(check (list (float 0.))) "no retries, no schedule" []
+    (Retry.delays Retry.none ~key:"job-a")
+
+let test_retry_classification () =
+  Alcotest.(check bool) "timeout is terminal" true
+    (Retry.classify (J.Timed_out 1.0) = Retry.Terminal);
+  Alcotest.(check bool) "invalid argument is terminal" true
+    (Retry.classify (J.Crashed "Invalid_argument(\"x\")") = Retry.Terminal);
+  Alcotest.(check bool) "other crashes retryable" true
+    (Retry.classify (J.Crashed "Stack overflow") = Retry.Retryable);
+  Alcotest.(check bool) "injected faults retryable" true
+    (Retry.classify_exn (Fault.Injected "x") = Retry.Retryable);
+  Alcotest.(check bool) "cancellation terminal" true
+    (Retry.classify_exn Cancel.Cancelled = Retry.Terminal);
+  Alcotest.(check bool) "Invalid_argument exn terminal" true
+    (Retry.classify_exn (Invalid_argument "x") = Retry.Terminal)
+
+(* ------------------------------------------------------------- fault *)
+
+let test_fault_roll_deterministic () =
+  let f =
+    match Fault.of_string "crash=0.3,io=0.2,delay=0.2,seed=7" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "of_string: %s" e
+  in
+  for attempt = 1 to 5 do
+    let a = Fault.roll f ~key:"some-job" ~attempt in
+    let b = Fault.roll f ~key:"some-job" ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d reproducible" attempt)
+      true (a = b)
+  done;
+  (* attempts re-roll: with these rates some attempt must differ from
+     attempt 1 across a spread of keys *)
+  let differs =
+    List.exists
+      (fun k ->
+        let key = "job-" ^ string_of_int k in
+        Fault.roll f ~key ~attempt:1 <> Fault.roll f ~key ~attempt:2)
+      (List.init 32 Fun.id)
+  in
+  Alcotest.(check bool) "retries re-roll the decision" true differs;
+  let quiet = Fault.create ~seed:7 () in
+  Alcotest.(check bool) "all-zero rates never fire" true
+    (List.for_all
+       (fun k -> Fault.roll quiet ~key:(string_of_int k) ~attempt:1 = None)
+       (List.init 50 Fun.id));
+  let certain = Fault.create ~crash:1.0 ~seed:7 () in
+  Alcotest.(check bool) "rate 1 always fires" true
+    (List.for_all
+       (fun k -> Fault.roll certain ~key:(string_of_int k) ~attempt:1 = Some Fault.Crash)
+       (List.init 50 Fun.id));
+  Alcotest.(check bool) "disk decision reproducible" true
+    (Fault.disk_fails f ~op:"read" ~key:"k" = Fault.disk_fails f ~op:"read" ~key:"k")
+
+let test_fault_spec_errors () =
+  let bad s =
+    match Fault.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "crash=2";
+  bad "crash=0.6,io=0.6";
+  bad "crash";
+  bad "warp=0.1";
+  bad "seed=x";
+  match Fault.of_string "crash=0.25,seed=9" with
+  | Error e -> Alcotest.failf "rejected valid spec: %s" e
+  | Ok f -> (
+      match Fault.of_string (Fault.to_string f) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "to_string not parseable: %s" e)
+
+(* ------------------------------------------------------- cancellation *)
+
+let test_cancellation_honored () =
+  let tree = List.hd (H.tree_list ~seed:11 ~count:1 ~size_max:40 ~max_f:25 ~max_n:9) in
+  let cancelled = Cancel.create () in
+  Cancel.cancel cancelled;
+  let raises name f =
+    match f () with
+    | _ -> Alcotest.failf "%s ignored a cancelled token" name
+    | exception Cancel.Cancelled -> ()
+  in
+  (* Minmem.run drives Explore.explore, so this covers both *)
+  raises "Minmem.run" (fun () -> Tt_core.Minmem.run ~cancel:cancelled tree);
+  raises "Minio_search.run" (fun () ->
+      let rng = Tt_util.Rng.create 1 in
+      Tt_core.Minio_search.run ~cancel:cancelled ~rng tree
+        ~memory:(T.max_mem_req tree));
+  raises "Brute_force.min_memory" (fun () ->
+      Tt_core.Brute_force.min_memory ~cancel:cancelled tree);
+  raises "Minio_exact.given_order" (fun () ->
+      let _, order = Tt_core.Minmem.run tree in
+      Tt_core.Minio_exact.given_order ~cancel:cancelled tree
+        ~memory:(T.max_mem_req tree) ~order);
+  (* an already-expired deadline cancels on the first poll *)
+  let expired = Cancel.create ~deadline_after:0. () in
+  raises "deadline token" (fun () -> Tt_core.Minmem.run ~cancel:expired tree)
+
+let test_executor_timeout_is_terminal () =
+  let jobs = [ List.hd (test_jobs ()) ] in
+  let exec = E.create ~timeout:0. ~retry:(fast_retry ()) () in
+  let reports, summary = E.run_batch exec jobs in
+  (match reports.(0).E.result with
+  | Error (J.Timed_out _) -> ()
+  | r -> Alcotest.failf "expected a timeout, got %s" (J.result_to_string r));
+  Alcotest.(check int) "timeouts are not retried" 1 reports.(0).E.attempts;
+  Alcotest.(check int) "no retries counted" 0 summary.E.retries
+
+(* ---------------------------------------------------- chaos invariant *)
+
+let digest_of ?faults ?(retry = Retry.none) ?journal ?completed ~domains jobs =
+  let exec = E.create ~domains ?faults ~retry ?journal ?completed () in
+  let reports, summary = E.run_batch exec jobs in
+  (E.results_digest reports, summary)
+
+let test_chaos_digest_equality () =
+  let jobs = test_jobs () in
+  let clean, s0 = digest_of ~domains:2 jobs in
+  Alcotest.(check int) "clean run has no errors" 0 s0.E.errors;
+  let faults = Fault.create ~crash:0.3 ~io_error:0.1 ~delay:0.1 ~seed:7 () in
+  let chaotic, s1 = digest_of ~faults ~retry:(fast_retry ()) ~domains:2 jobs in
+  Alcotest.(check int) "chaos run retries to zero errors" 0 s1.E.errors;
+  Alcotest.(check bool) "faults actually fired" true (s1.E.retries > 0);
+  Alcotest.(check string) "digest identical to fault-free run" clean chaotic;
+  (* and the chaos run itself replays bit-identically *)
+  let replay, s2 = digest_of ~faults ~retry:(fast_retry ()) ~domains:4 jobs in
+  Alcotest.(check string) "chaos replay digest" chaotic replay;
+  Alcotest.(check int) "chaos replay retry count" s1.E.retries s2.E.retries
+
+let test_retries_exhausted_deterministically () =
+  let jobs = [ List.hd (test_jobs ()) ] in
+  let faults = Fault.create ~crash:1.0 ~seed:1 () in
+  let run () =
+    let exec = E.create ~faults ~retry:(fast_retry ~retries:2 ()) () in
+    let reports, _ = E.run_batch exec jobs in
+    reports.(0)
+  in
+  let a = run () and b = run () in
+  (match a.E.result with
+  | Error (J.Crashed msg) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions the injection" msg)
+        true (H.contains msg "Injected")
+  | r -> Alcotest.failf "expected a crash, got %s" (J.result_to_string r));
+  Alcotest.(check int) "all attempts used" 3 a.E.attempts;
+  Alcotest.(check bool) "identical across runs" true
+    (J.equal_result a.E.result b.E.result)
+
+(* ----------------------------------------------------------- journal *)
+
+let test_result_json_round_trip () =
+  let results : J.result list =
+    [ Ok (J.Memory { peak = 42; order = [| 2; 0; 1 |] });
+      Ok (J.Io { in_core = 10; memory = 7; io = Some 3 });
+      Ok (J.Io { in_core = 10; memory = 2; io = None });
+      Ok (J.Sched { memory = 9; makespan = Some 5; peak = Some 8 });
+      Ok (J.Sched { memory = 9; makespan = None; peak = None });
+      Error (J.Timed_out 1.25);
+      Error (J.Crashed "Stack overflow")
+    ]
+  in
+  List.iter
+    (fun r ->
+      let json = J.result_to_json r in
+      let text = Tt_engine.Telemetry.Json.to_string json in
+      match Tt_engine.Telemetry.Json.of_string text with
+      | Error e -> Alcotest.failf "reparse %S: %s" text e
+      | Ok json' -> (
+          match J.result_of_json json' with
+          | Error e -> Alcotest.failf "decode %S: %s" text e
+          | Ok r' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "round trip %s" (J.result_to_string r))
+                true
+                (J.equal_result r r'
+                && (* equal_result ignores the timeout duration; check it *)
+                match (r, r') with
+                | Error (J.Timed_out a), Error (J.Timed_out b) -> a = b
+                | _ -> true)))
+    results
+
+let test_journal_crash_resume_round_trip () =
+  let jobs = test_jobs () in
+  let path = Filename.temp_file "tt_journal" ".jnl" in
+  let corpus = "corpus-digest-1" in
+  (* first run journals everything *)
+  let jnl = Journal.create path ~corpus in
+  let clean, _ = digest_of ~journal:jnl ~domains:2 jobs in
+  Journal.close jnl;
+  (* simulate a crash mid-write: keep the header and half the entries,
+     then a torn final line *)
+  let lines = String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all) in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let keep = 1 + ((List.length lines - 1) / 2) in
+  let kept = List.filteri (fun i _ -> i < keep) lines in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Printf.fprintf oc "%s\n" l) kept;
+      output_string oc "{\"id\":\"torn");
+  (* resume: recorded jobs are not recomputed, the rest are, and the
+     batch digest is unchanged *)
+  (match Journal.load_or_create path ~corpus with
+  | Error e -> Alcotest.failf "load_or_create: %s" e
+  | Ok (jnl, completed) ->
+      Alcotest.(check int) "recovered up to the torn line" (keep - 1)
+        (Hashtbl.length completed);
+      let resumed_digest, summary =
+        digest_of ~journal:jnl ~completed ~domains:2 jobs
+      in
+      Journal.close jnl;
+      Alcotest.(check int) "resumed jobs" (keep - 1) summary.E.resumed;
+      Alcotest.(check string) "resume preserves the digest" clean resumed_digest);
+  (* a second resume finds every job recorded *)
+  (match Journal.load_or_create path ~corpus with
+  | Error e -> Alcotest.failf "second load: %s" e
+  | Ok (jnl, completed) ->
+      Journal.close jnl;
+      Alcotest.(check int) "journal now complete" (List.length jobs)
+        (Hashtbl.length completed));
+  Sys.remove path
+
+let test_journal_rejects_wrong_corpus () =
+  let path = Filename.temp_file "tt_journal" ".jnl" in
+  let jnl = Journal.create path ~corpus:"digest-a" in
+  Journal.record jnl ~id:"x" ~label:"x" (Error (J.Crashed "boom"));
+  Journal.close jnl;
+  (match Journal.load_or_create path ~corpus:"digest-b" with
+  | Ok _ -> Alcotest.fail "accepted a journal for a different corpus"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S explains the mismatch" e)
+        true (H.contains e "corpus"));
+  (* not a journal at all *)
+  Out_channel.with_open_text path (fun oc -> output_string oc "junk\n");
+  (match Journal.load_or_create path ~corpus:"digest-a" with
+  | Ok _ -> Alcotest.fail "accepted junk"
+  | Error _ -> ());
+  Sys.remove path
+
+(* ------------------------------------------------------ cache hardening *)
+
+let cache_file dir key = Filename.concat dir key
+
+let test_cache_corruption_is_a_miss () =
+  let dir = temp_dir "tt_cache" in
+  let computes = ref 0 in
+  let value () = incr computes; "payload" in
+  let c1 : string Cache.t = Cache.create ~persist:dir () in
+  let v, hit = Cache.find_or_compute c1 ~key:"k1" value in
+  Alcotest.(check string) "computed" "payload" v;
+  Alcotest.(check bool) "first is a miss" false hit;
+  (* a fresh cache over the same directory hits from disk *)
+  let c2 : string Cache.t = Cache.create ~persist:dir () in
+  let v2, hit2 = Cache.find_or_compute c2 ~key:"k1" value in
+  Alcotest.(check bool) "disk hit" true (hit2 && v2 = "payload");
+  (* flip one payload byte: the digest check must reject the entry *)
+  let path = cache_file dir "k1" in
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string bytes in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  let c3 : string Cache.t = Cache.create ~persist:dir () in
+  Alcotest.(check (option string)) "bit flip is a miss" None (Cache.find c3 "k1");
+  Alcotest.(check int) "corruption counted" 1 (Cache.corrupt c3);
+  (* the recompute path overwrites the corrupt entry *)
+  let v3, hit3 = Cache.find_or_compute c3 ~key:"k1" value in
+  Alcotest.(check bool) "recomputed" true ((not hit3) && v3 = "payload");
+  let c4 : string Cache.t = Cache.create ~persist:dir () in
+  Alcotest.(check (option string)) "healed on disk" (Some "payload")
+    (Cache.find c4 "k1");
+  (* foreign and truncated files are rejected the same way *)
+  Out_channel.with_open_bin (cache_file dir "k2") (fun oc ->
+      output_string oc "not a cache entry");
+  Out_channel.with_open_bin (cache_file dir "k3") (fun oc ->
+      output_string oc "TTCACHE1");
+  Alcotest.(check (option string)) "foreign file" None (Cache.find c4 "k2");
+  Alcotest.(check (option string)) "truncated file" None (Cache.find c4 "k3");
+  Alcotest.(check int) "both counted" 2 (Cache.corrupt c4);
+  rm_rf dir
+
+let test_cache_disk_faults () =
+  let dir = temp_dir "tt_cache_faults" in
+  let faults = Fault.create ~io_error:1.0 ~seed:1 () in
+  let c : string Cache.t = Cache.create ~persist:dir ~faults () in
+  let _ = Cache.find_or_compute c ~key:"k1" (fun () -> "v") in
+  Alcotest.(check bool) "write suppressed" false
+    (Sys.file_exists (cache_file dir "k1"));
+  (* value still served from memory *)
+  let _, hit = Cache.find_or_compute c ~key:"k1" (fun () -> "v") in
+  Alcotest.(check bool) "memory level unaffected" true hit;
+  (* a healthy writer, then a reader whose reads always fail *)
+  let healthy : string Cache.t = Cache.create ~persist:dir () in
+  let _ = Cache.find_or_compute healthy ~key:"k2" (fun () -> "v2") in
+  let broken : string Cache.t = Cache.create ~persist:dir ~faults () in
+  Alcotest.(check (option string)) "read fault is a miss" None
+    (Cache.find broken "k2");
+  rm_rf dir
+
+let () =
+  H.run "resilience"
+    [ ( "retry",
+        [ H.case "deterministic backoff schedule" test_retry_schedule_deterministic;
+          H.case "classification" test_retry_classification
+        ] );
+      ( "faults",
+        [ H.case "deterministic rolls" test_fault_roll_deterministic;
+          H.case "spec parsing" test_fault_spec_errors
+        ] );
+      ( "cancellation",
+        [ H.case "honored by every long solver" test_cancellation_honored;
+          H.case "executor timeout is terminal" test_executor_timeout_is_terminal
+        ] );
+      ( "chaos",
+        [ H.case "digest equals fault-free run" test_chaos_digest_equality;
+          H.case "exhausted retries are deterministic"
+            test_retries_exhausted_deterministically
+        ] );
+      ( "journal",
+        [ H.case "result json round trip" test_result_json_round_trip;
+          H.case "write, crash, resume" test_journal_crash_resume_round_trip;
+          H.case "corpus mismatch refused" test_journal_rejects_wrong_corpus
+        ] );
+      ( "cache",
+        [ H.case "corruption is a deterministic miss" test_cache_corruption_is_a_miss;
+          H.case "injected disk faults" test_cache_disk_faults
+        ] )
+    ]
