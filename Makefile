@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke chaos clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke chaos clean
 
 all: build
 
@@ -12,13 +12,36 @@ test:
 
 # The tier-1 gate plus a smoke run of the engine-backed bench and the
 # batch subcommand. No ocamlformat config in this repo, so no fmt check.
-check: build test batch-smoke
+check: build test batch-smoke serve-smoke
 	dune exec bench/main.exe -- --section fig6 --jobs 2 --no-bechamel
 
 batch-smoke:
 	printf 'gen grid2d size=12 :: minmem; liu; minio policy=first-fit budget=50%%\n' > _batch_smoke.manifest
 	dune exec bin/treetrav.exe -- batch _batch_smoke.manifest --jobs 2
 	rm -f _batch_smoke.manifest
+
+# End-to-end smoke of the network service: start a server on an
+# ephemeral port, check that request/batch digests agree, drive it
+# with a concurrent loadgen burst, then drain it gracefully. The built
+# binary is run directly (not via `dune exec`) because the server must
+# stay up while other treetrav invocations run.
+serve-smoke: build
+	printf 'gen grid2d size=16 :: minmem; liu; postorder\ngen banded size=48 :: minio policy=first-fit budget=50%%\n' > _serve_smoke.manifest
+	_build/default/bin/treetrav.exe serve --port 0 --workers 2 > _serve_smoke.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q '^listening on' _serve_smoke.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _serve_smoke.log); \
+	  test -n "$$port" || { echo "serve-smoke: server did not start"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port _serve_smoke.manifest | grep '^results digest' > _serve_smoke_req.digest; \
+	  _build/default/bin/treetrav.exe batch _serve_smoke.manifest | grep '^results digest' > _serve_smoke_batch.digest; \
+	  cmp _serve_smoke_req.digest _serve_smoke_batch.digest || { echo "serve-smoke: server and batch digests differ"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 100 | tee _serve_smoke_load.out; \
+	  grep -q '^errors: none' _serve_smoke_load.out || { echo "serve-smoke: loadgen saw errors"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid; \
+	  grep -q 'drained cleanly' _serve_smoke.log || { echo "serve-smoke: server did not drain"; exit 1; }
+	rm -f _serve_smoke.manifest _serve_smoke.log _serve_smoke_req.digest _serve_smoke_batch.digest _serve_smoke_load.out
+	@echo "serve-smoke: digests match, loadgen clean, drained gracefully"
 
 # Chaos determinism gate: a fault-injected run with retries, and a
 # journaled run resumed mid-way, must both reproduce the fault-free

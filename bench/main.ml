@@ -75,7 +75,7 @@ let spec =
         (fun () ->
           print_endline
             "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
-             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds";
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve";
           exit 0),
       " list sections" )
   ]
@@ -811,6 +811,47 @@ let minio_gap () =
   in
   print_string (Table.render ~header:[ "policy"; "exactly optimal"; "worst ratio" ] rows)
 
+(* ------------------------------------------------------------- serving *)
+
+(* The network layer's overhead on top of the engine: an in-process
+   server on an ephemeral port, driven closed-loop by the seeded load
+   generator. The entries are the engine sections' kinds of work, sized
+   small so the section measures request turnaround, not solver time. *)
+let serve_section () =
+  header "Serve" "tt_server requests/sec and latency percentiles (loopback)";
+  let module Srv = Tt_server.Server in
+  let module L = Tt_server.Loadgen in
+  let config = { Srv.default_config with Srv.port = 0; workers = 2 } in
+  let server = Srv.create ~config () in
+  Srv.start server;
+  let run_profile ~connections ~requests =
+    let s =
+      L.run
+        { L.default_config with
+          L.port = Srv.port server;
+          connections;
+          requests;
+          seed = !seed
+        }
+    in
+    Printf.printf
+      "%d conns x %d reqs: %7.1f req/s  p50 %.4fs  p95 %.4fs  p99 %.4fs  \
+       (ok %d, errors %d)\n"
+      connections (s.L.requests / connections) s.L.throughput_rps s.L.p50_s
+      s.L.p95_s s.L.p99_s s.L.ok
+      (s.L.requests - s.L.ok)
+  in
+  run_profile ~connections:1 ~requests:(60 * !scale);
+  run_profile ~connections:2 ~requests:(120 * !scale);
+  run_profile ~connections:4 ~requests:(240 * !scale);
+  Srv.shutdown server;
+  let m = Tt_server.Metrics.snapshot (Srv.metrics server) in
+  Printf.printf
+    "server side: %d solves, %d jobs (%d cache hits), window p50 %.4fs p99 %.4fs\n"
+    m.Tt_server.Metrics.requests_solve m.Tt_server.Metrics.jobs
+    m.Tt_server.Metrics.job_cache_hits m.Tt_server.Metrics.latency.Tt_server.Metrics.p50_s
+    m.Tt_server.Metrics.latency.Tt_server.Metrics.p99_s
+
 (* ------------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -882,13 +923,14 @@ let section_runners =
     ("parallel", parallel_section);
     ("minio-gap", minio_gap);
     ("rounds", rounds);
+    ("serve", serve_section);
     ("bechamel", bechamel_suite)
   ]
 
 let default_order () =
   [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
     "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
-    "parallel"; "minio-gap"; "rounds"
+    "parallel"; "minio-gap"; "rounds"; "serve"
   ]
   @ (if !run_bechamel then [ "bechamel" ] else [])
 

@@ -359,9 +359,276 @@ let batch_cmd =
     Term.(const batch $ manifest $ jobs $ timeout $ telemetry $ cache_dir
           $ faults $ retries $ journal $ resume)
 
+(* --------------------------------------------------------------- serve *)
+
+let serve host port workers queue deadline timeout cache_dir max_entries
+    telemetry retries =
+  let module Srv = Tt_server.Server in
+  let config =
+    { Srv.host; port; workers; queue_capacity = queue; max_deadline_s = deadline }
+  in
+  let retry =
+    if retries = 0 then Tt_engine.Retry.none
+    else Tt_engine.Retry.create ~retries ()
+  in
+  let sink = Option.map Tt_engine.Telemetry.to_file telemetry in
+  let cache = Tt_engine.Cache.create ?persist:cache_dir ?max_entries () in
+  let t =
+    Srv.create ~config ~cache ~retry ?telemetry:sink ?job_timeout:timeout ()
+  in
+  Printf.printf "listening on %s:%d (%d workers, queue %d, deadline %.1fs)\n"
+    host (Srv.port t) (max 1 workers) queue deadline;
+  flush stdout;
+  let stop_signal _ = Srv.request_shutdown t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Srv.run t;
+  Option.iter Tt_engine.Telemetry.close sink;
+  print_string
+    (Tt_server.Metrics.to_prometheus (Tt_server.Metrics.snapshot (Srv.metrics t)));
+  Printf.printf "drained cleanly\n";
+  0
+
+let serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int 7411
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"TCP port (0 picks an ephemeral port, printed on startup).")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers"; "w" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity; further solve requests are \
+                   refused with the 'overloaded' error code.")
+  in
+  let deadline =
+    Arg.(value & opt float 30.
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-request deadline ceiling and default.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Engine per-job timeout (as in treetrav batch).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist solver results to DIR, shared across requests \
+                   and invocations.")
+  in
+  let max_entries =
+    Arg.(value & opt (some int) None
+         & info [ "max-entries" ] ~docv:"N"
+             ~doc:"Bound the in-memory result cache to N entries \
+                   (least-recently-used eviction). Default: unbounded.")
+  in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE" ~doc:"Write JSONL telemetry to FILE.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N" ~doc:"Engine retry budget per job.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the batch engine over TCP (newline-delimited JSON; \
+             SIGINT/SIGTERM drain gracefully).")
+    Term.(const serve $ host $ port $ workers $ queue $ deadline $ timeout
+          $ cache_dir $ max_entries $ telemetry $ retries)
+
+(* ------------------------------------------------------------- request *)
+
+let manifest_entries text =
+  (* One solve request per manifest entry line, comments and blanks
+     skipped exactly like [Manifest.parse] would. *)
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+let request host port op manifest timeout =
+  let module C = Tt_server.Client in
+  let module P = Tt_server.Protocol in
+  let module J = Tt_engine.Job in
+  try
+    C.with_connection ~host ~port (fun c ->
+        match op with
+        | "ping" -> (
+            match C.call c P.Ping with
+            | Ok P.Pong ->
+                print_endline "pong";
+                0
+            | Ok _ | Error _ ->
+                prerr_endline "unexpected reply to ping";
+                1)
+        | "stats" -> (
+            match C.call c P.Stats with
+            | Ok (P.Stats_reply j) ->
+                print_endline (Tt_engine.Telemetry.Json.to_string j);
+                0
+            | Ok _ | Error _ ->
+                prerr_endline "unexpected reply to stats";
+                1)
+        | "shutdown" -> (
+            match C.call c P.Shutdown with
+            | Ok P.Draining ->
+                print_endline "draining";
+                0
+            | Ok _ | Error _ ->
+                prerr_endline "unexpected reply to shutdown";
+                1)
+        | "solve" -> (
+            match manifest with
+            | None ->
+                prerr_endline "request: --op solve needs a MANIFEST argument";
+                1
+            | Some path ->
+                let text = In_channel.with_open_text path In_channel.input_all in
+                let entries = manifest_entries text in
+                let failures = ref 0 in
+                let all =
+                  List.concat_map
+                    (fun entry ->
+                      match C.solve c ?timeout_s:timeout entry with
+                      | Ok reports -> reports
+                      | Error e ->
+                          Printf.eprintf "entry %S refused: %s\n" entry e;
+                          incr failures;
+                          [])
+                    entries
+                in
+                List.iteri
+                  (fun i (r : P.job_report) ->
+                    Printf.printf "%4d  %-44s %-10s %s%s\n" i r.P.label
+                      (String.sub r.P.job_id 0 10)
+                      (J.result_to_string r.P.result)
+                      (if r.P.cache_hit then "  [cached]"
+                       else Printf.sprintf "  (%.3fs)" r.P.wall_s))
+                  all;
+                Printf.printf "results digest: %s\n" (P.sequence_digest all);
+                if !failures > 0 then 1 else 0)
+        | other ->
+            Printf.eprintf "request: unknown --op %s\n" other;
+            1)
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "request: cannot reach %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+  | Sys_error e ->
+      Printf.eprintf "request: %s\n" e;
+      1
+
+let request_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST")
+  in
+  let port =
+    Arg.(value & opt int 7411 & info [ "port"; "p" ] ~docv:"PORT")
+  in
+  let op =
+    Arg.(value & opt string "solve"
+         & info [ "op" ] ~docv:"OP" ~doc:"solve, ping, stats or shutdown.")
+  in
+  let manifest =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"MANIFEST"
+         ~doc:"Manifest whose entries are sent as solve requests, in \
+               order, over one connection — the printed results digest \
+               matches 'treetrav batch MANIFEST'.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request deadline.")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc:"Send one client request to a running server.")
+    Term.(const request $ host $ port $ op $ manifest $ timeout)
+
+(* ------------------------------------------------------------- loadgen *)
+
+let loadgen host port connections requests seed timeout rate entries_file =
+  let module L = Tt_server.Loadgen in
+  let entries =
+    match entries_file with
+    | None -> L.default_entries
+    | Some path ->
+        let text = In_channel.with_open_text path In_channel.input_all in
+        Array.of_list (manifest_entries text)
+  in
+  if Array.length entries = 0 then begin
+    prerr_endline "loadgen: entries file has no manifest entries";
+    1
+  end
+  else begin
+    let cfg =
+      { L.host;
+        port;
+        connections;
+        requests;
+        seed;
+        entries;
+        timeout_s = timeout;
+        mode = (match rate with None -> L.Closed | Some r -> L.Open r)
+      }
+    in
+    let s = L.run cfg in
+    print_string (L.summary_to_string s);
+    if s.L.transport_errors > 0 then 1 else 0
+  end
+
+let loadgen_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST")
+  in
+  let port =
+    Arg.(value & opt int 7411 & info [ "port"; "p" ] ~docv:"PORT")
+  in
+  let connections =
+    Arg.(value & opt int 2
+         & info [ "connections"; "c" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(value & opt int 100
+         & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total solve requests.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request deadline.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"RPS"
+             ~doc:"Open-loop target rate per connection (requests/second); \
+                   default is closed-loop.")
+  in
+  let entries_file =
+    Arg.(value & opt (some file) None
+         & info [ "entries" ] ~docv:"MANIFEST"
+             ~doc:"Draw solve entries from this manifest instead of the \
+                   built-in mixed workload.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running server with a deterministic seeded workload.")
+    Term.(const loadgen $ host $ port $ connections $ requests $ seed
+          $ timeout $ rate $ entries_file)
+
 let () =
   let doc = "memory-optimal tree traversals for sparse matrix factorization" in
   let info = Cmd.info "treetrav" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
+            serve_cmd; request_cmd; loadgen_cmd ]))

@@ -1,14 +1,22 @@
+type 'a entry = { v : 'a; mutable used : int }
+
 type 'a t = {
-  table : (string, 'a) Hashtbl.t;
+  table : (string, 'a entry) Hashtbl.t;
   mu : Mutex.t;
   persist : string option;
   faults : Fault.t option;
+  max_entries : int option;
+  mutable tick : int;  (* logical clock for LRU-ish eviction *)
   mutable hits : int;
   mutable misses : int;
   mutable corrupt : int;
+  mutable evictions : int;
 }
 
-let create ?persist ?faults () =
+let create ?persist ?faults ?max_entries () =
+  (match max_entries with
+  | Some m when m < 1 -> invalid_arg "Cache.create: max_entries < 1"
+  | _ -> ());
   (match persist with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
@@ -16,14 +24,60 @@ let create ?persist ?faults () =
     mu = Mutex.create ();
     persist;
     faults;
+    max_entries;
+    tick = 0;
     hits = 0;
     misses = 0;
-    corrupt = 0
+    corrupt = 0;
+    evictions = 0
   }
 
 let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Under the lock. The "LRU-ish" policy: every touch stamps the entry
+   with a logical tick; when the table is full, the entry with the
+   smallest stamp is dropped. Eviction is an O(n) scan, but n is
+   bounded by [max_entries] and inserts are already dominated by the
+   solver computation they memoize. Persisted copies are untouched —
+   an evicted entry that is still wanted comes back as a disk hit. *)
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.used <- t.tick
+
+let evict_if_full t =
+  match t.max_entries with
+  | Some m when Hashtbl.length t.table >= m ->
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, best) when best <= e.used -> acc
+            | _ -> Some (k, e.used))
+          t.table None
+      in
+      Option.iter
+        (fun (k, _) ->
+          Hashtbl.remove t.table k;
+          t.evictions <- t.evictions + 1)
+        victim
+  | _ -> ()
+
+let insert t key v =
+  if not (Hashtbl.mem t.table key) then begin
+    evict_if_full t;
+    let entry = { v; used = 0 } in
+    touch t entry;
+    Hashtbl.add t.table key entry
+  end
+
+let lookup t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+      touch t entry;
+      Some entry.v
 
 (* Keys are hex digests, but never trust them as path components. *)
 let path_of dir key =
@@ -95,18 +149,17 @@ let disk_write t key v =
       end
 
 let find t key =
-  match locked t (fun () -> Hashtbl.find_opt t.table key) with
+  match locked t (fun () -> lookup t key) with
   | Some v -> Some v
   | None -> (
       match disk_read t key with
       | Some v ->
-          locked t (fun () ->
-              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          locked t (fun () -> insert t key v);
           Some v
       | None -> None)
 
 let find_or_compute t ~key f =
-  match locked t (fun () -> Hashtbl.find_opt t.table key) with
+  match locked t (fun () -> lookup t key) with
   | Some v ->
       locked t (fun () -> t.hits <- t.hits + 1);
       (v, true)
@@ -115,19 +168,19 @@ let find_or_compute t ~key f =
       | Some v ->
           locked t (fun () ->
               t.hits <- t.hits + 1;
-              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+              insert t key v);
           (v, true)
       | None ->
           locked t (fun () -> t.misses <- t.misses + 1);
           let v = f () in
-          locked t (fun () ->
-              if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v);
+          locked t (fun () -> insert t key v);
           disk_write t key v;
           (v, false))
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let corrupt t = locked t (fun () -> t.corrupt)
+let evictions t = locked t (fun () -> t.evictions)
 let length t = locked t (fun () -> Hashtbl.length t.table)
 
 let clear t =
@@ -135,4 +188,5 @@ let clear t =
       Hashtbl.reset t.table;
       t.hits <- 0;
       t.misses <- 0;
-      t.corrupt <- 0)
+      t.corrupt <- 0;
+      t.evictions <- 0)

@@ -33,9 +33,20 @@
 
 type 'a t
 
-val create : ?persist:string -> ?faults:Fault.t -> unit -> 'a t
+val create :
+  ?persist:string -> ?faults:Fault.t -> ?max_entries:int -> unit -> 'a t
 (** [persist] is a directory, created if missing. [faults] injects
-    deterministic I/O failures at the disk level (chaos testing). *)
+    deterministic I/O failures at the disk level (chaos testing).
+
+    [max_entries] bounds the {e in-memory} level: when an insert would
+    exceed the bound, the least-recently-touched entry is dropped first
+    (LRU-ish — a logical-tick stamp per touch, O(max_entries) scan per
+    eviction) and {!evictions} is incremented. Persisted files are never
+    evicted, so under [persist] an evicted entry degrades to a disk hit,
+    not a recomputation. The default is unbounded, preserving batch
+    behavior; a long-lived server passes a bound so its resident set
+    cannot grow without limit.
+    @raise Invalid_argument when [max_entries < 1]. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
 (** [(value, hit)]. On a miss the computation runs outside the lock and
@@ -54,6 +65,10 @@ val misses : 'a t -> int
 val corrupt : 'a t -> int
 (** Number of persisted entries rejected by the header/digest check
     since creation (or {!clear}). *)
+
+val evictions : 'a t -> int
+(** Number of in-memory entries dropped by the [max_entries] bound
+    since creation (or {!clear}). Always 0 when unbounded. *)
 
 val length : 'a t -> int
 (** Number of in-memory entries. *)

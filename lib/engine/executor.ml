@@ -7,12 +7,16 @@ type t = {
   retry : Retry.policy;
   journal : Journal.t option;
   completed : (string, Job.result) Hashtbl.t option;
+  cancel : Tt_util.Cancel.t option;
+  on_job : on_job option;
 }
+
+and on_job = job:Job.t -> result:Job.result -> wall:float -> cache_hit:bool -> unit
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
 let create ?(domains = 1) ?timeout ?cache ?telemetry ?faults
-    ?(retry = Retry.none) ?journal ?completed () =
+    ?(retry = Retry.none) ?journal ?completed ?cancel ?on_job () =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   { domains = max 1 domains;
     timeout;
@@ -21,7 +25,9 @@ let create ?(domains = 1) ?timeout ?cache ?telemetry ?faults
     faults;
     retry;
     journal;
-    completed
+    completed;
+    cancel;
+    on_job
   }
 
 let domains t = t.domains
@@ -58,19 +64,11 @@ let utilization s =
    values but deliberately no timings (a timeout's measured wall varies
    run to run), so a faulty-but-retried run hashes identically to a
    fault-free one. *)
-let results_digest reports =
-  let buf = Buffer.create 1024 in
-  Array.iter
-    (fun r ->
-      Buffer.add_string buf (Job.id r.job);
-      Buffer.add_char buf '=';
-      (match r.result with
-      | Ok _ as ok -> Buffer.add_string buf (Telemetry.Json.to_string (Job.result_to_json ok))
-      | Error (Job.Timed_out _) -> Buffer.add_string buf "timeout"
-      | Error (Job.Crashed msg) -> Buffer.add_string buf ("crash:" ^ msg));
-      Buffer.add_char buf '\n')
-    reports;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+let result_pairs reports =
+  Array.to_list (Array.map (fun r -> (Job.id r.job, r.result)) reports)
+
+let results_digest reports = Job.digest_of_results (result_pairs reports)
+let value_digest reports = Job.value_digest_of_results (result_pairs reports)
 
 (* One job, through the cache. [Min_io] and [Schedule] jobs route their
    MinMem preprocessing through the cache under the id of the equivalent
@@ -112,6 +110,16 @@ let emit_job_event t (r : report) =
          ]
         @ Job.result_fields r.result)
 
+(* Telemetry event + observation hook, in that order, for every
+   finished job (computed, cached, or resumed alike). The hook runs on
+   the worker domain that finished the job — observers must be
+   domain-safe. *)
+let notify t (r : report) =
+  emit_job_event t r;
+  match t.on_job with
+  | None -> ()
+  | Some f -> f ~job:r.job ~result:r.result ~wall:r.wall ~cache_hit:r.cache_hit
+
 (* The retry loop for one job. Each attempt: roll the (deterministic)
    fault decision, then compute under a fresh deadline token. Timeouts —
    whether the token fired mid-solve or the post-hoc wall check caught a
@@ -133,7 +141,7 @@ let run_one t ~slot (job : Job.t) =
         { job; result; wall = 0.; cache_hit = false; domain = slot;
           attempts = 0; resumed = true }
       in
-      emit_job_event t r;
+      notify t r;
       r
   | None ->
       let t0 = Unix.gettimeofday () in
@@ -153,9 +161,13 @@ let run_one t ~slot (job : Job.t) =
                 | Some (Fault.Delay d) -> Unix.sleepf d
                 | Some a -> raise (Fault.Injected (Fault.describe a))));
             let cancel =
-              match t.timeout with
-              | Some limit -> Tt_util.Cancel.create ~deadline_after:limit ()
-              | None -> Tt_util.Cancel.never
+              (* Per-attempt token: the job timeout as its own deadline,
+                 linked under the executor's ambient token (a service
+                 request's deadline) when one is set. *)
+              match (t.timeout, t.cancel) with
+              | None, None -> Tt_util.Cancel.never
+              | timeout, parent ->
+                  Tt_util.Cancel.linked ?parent ?deadline_after:timeout ()
             in
             let v, hit = compute_cached t ~cancel job in
             Ok (v, hit)
@@ -187,7 +199,7 @@ let run_one t ~slot (job : Job.t) =
         { job; result; wall; cache_hit; domain = slot; attempts;
           resumed = false }
       in
-      emit_job_event t r;
+      notify t r;
       r
 
 let run_batch t jobs =

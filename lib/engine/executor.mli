@@ -43,6 +43,14 @@
 
 type t
 
+type on_job =
+  job:Job.t -> result:Job.result -> wall:float -> cache_hit:bool -> unit
+(** Observation hook, called once per finished job (computed, cached or
+    resumed alike) {e on the worker domain that finished it} — the
+    callback must be domain-safe and cheap (it sits on the job hot
+    path). This is how the service layer feeds its latency/queue-depth
+    metrics without the engine knowing about them. *)
+
 val create :
   ?domains:int ->
   ?timeout:float ->
@@ -52,6 +60,8 @@ val create :
   ?retry:Retry.policy ->
   ?journal:Journal.t ->
   ?completed:(string, Job.result) Hashtbl.t ->
+  ?cancel:Tt_util.Cancel.t ->
+  ?on_job:on_job ->
   unit ->
   t
 (** [domains] defaults to 1; it is clamped to at least 1. [cache]
@@ -59,7 +69,13 @@ val create :
     across batches or persist it (pass [faults] to {!Cache.create} as
     well to chaos-test the disk level). [telemetry], when given,
     receives a ["job"] event per job and a ["batch"] event per
-    {!run_batch}. [retry] defaults to {!Retry.none}. *)
+    {!run_batch}. [retry] defaults to {!Retry.none}.
+
+    [cancel] is an ambient {!Tt_util.Cancel} token: every job attempt
+    runs under a per-attempt token {e linked} to it, so expiring the
+    ambient token (e.g. a service request's deadline passing) degrades
+    the in-flight job to [Error (Timed_out _)] at its next poll and
+    skips the rest of the batch's computations the same way. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8 — the engine's
@@ -100,6 +116,12 @@ val results_digest : report array -> string
     order — no timings, so it is stable across runs, domain counts,
     cache states, and injected-fault/retry histories. This is the value
     the chaos target compares between faulty and fault-free runs. *)
+
+val value_digest : report array -> string
+(** Like {!results_digest} but order-insensitive and duplicate-free
+    ({!Job.value_digest_of_results}): the digest a concurrent service
+    run — where request interleaving scrambles completion order — is
+    compared against a sequential [treetrav batch] of the same jobs. *)
 
 val run_batch : t -> Job.t list -> report array * summary
 (** Reports are in submission order. *)

@@ -244,3 +244,35 @@ let result_of_json json =
       | Some (J.String "crash"), _, Some (J.String msg) -> Ok (Error (Crashed msg))
       | _ -> Error "malformed error result")
   | _ -> Error "missing ok field"
+
+(* ------------------------------------------------------ result digests *)
+
+(* The canonical per-result digest token. Shared by
+   [Executor.results_digest] (server side / batch CLI) and the wire
+   protocol's client-side digests, so a digest computed from decoded
+   responses is byte-identical to the one `treetrav batch` prints for
+   the same jobs. [Ok] renders through [result_to_json] — which
+   round-trips exactly through [Telemetry.Json.of_string] — while
+   errors drop their run-dependent payloads (measured wall time). *)
+let result_digest_token = function
+  | Ok _ as ok -> Telemetry.Json.to_string (result_to_json ok)
+  | Error (Timed_out _) -> "timeout"
+  | Error (Crashed msg) -> "crash:" ^ msg
+
+let digest_of_results pairs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (id, result) ->
+      Buffer.add_string buf id;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (result_digest_token result);
+      Buffer.add_char buf '\n')
+    pairs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let value_digest_of_results pairs =
+  let lines =
+    List.sort_uniq compare
+      (List.map (fun (id, r) -> id ^ "=" ^ result_digest_token r) pairs)
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" lines ^ "\n"))

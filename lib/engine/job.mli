@@ -112,3 +112,21 @@ val result_to_json : result -> Telemetry.Json.t
 
 val result_of_json : Telemetry.Json.t -> (result, string) Stdlib.result
 (** Inverse of {!result_to_json}. *)
+
+val result_digest_token : result -> string
+(** The canonical digest token for one result: [Ok] is the
+    {!result_to_json} line, errors are ["timeout"] / ["crash:<msg>"]
+    (run-dependent wall measurements dropped). Because
+    {!result_to_json} round-trips exactly through
+    [Telemetry.Json.of_string], a token recomputed from a decoded wire
+    response is byte-identical to the original. *)
+
+val digest_of_results : (string * result) list -> string
+(** Hex digest over [(job id, result)] pairs {e in order} — the format
+    behind {!Executor.results_digest}, reusable client-side. *)
+
+val value_digest_of_results : (string * result) list -> string
+(** Order-insensitive variant: lines are sorted and deduplicated before
+    digesting, so two runs that execute the same set of jobs in
+    different orders (or with duplicates) compare equal. This is the
+    digest the load generator checks against a [treetrav batch] run. *)

@@ -1,0 +1,55 @@
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;
+  mutable is_closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    is_closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create ()
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let capacity t = Array.length t.ring
+let length t = locked t (fun () -> t.len)
+let closed t = locked t (fun () -> t.is_closed)
+
+let try_push t v =
+  locked t (fun () ->
+      if t.is_closed || t.len = Array.length t.ring then false
+      else begin
+        t.ring.((t.head + t.len) mod Array.length t.ring) <- Some v;
+        t.len <- t.len + 1;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while t.len = 0 && not t.is_closed do
+        Condition.wait t.nonempty t.mu
+      done;
+      if t.len = 0 then None
+      else begin
+        let v = t.ring.(t.head) in
+        t.ring.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.ring;
+        t.len <- t.len - 1;
+        v
+      end)
+
+let close t =
+  locked t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)

@@ -1,0 +1,41 @@
+(** The bounded admission queue between the accept loop and the worker
+    domains.
+
+    Admission control is the server's memory-safety valve: every queued
+    request is a future traversal solve with a nontrivial working set,
+    so the queue {e rejects} instead of growing when full —
+    {!try_push} never blocks and never allocates beyond the fixed ring.
+    The caller turns a [false] into an [overloaded] protocol reply; the
+    client retries with backoff. This mirrors the fixed-memory
+    admission regime of the task-tree scheduling literature (Marchal et
+    al.): bounding concurrent admitted work is what keeps the peak
+    resident set proportional to [workers + capacity], not to offered
+    load.
+
+    Domain-safe: one mutex, one condition; producers never wait,
+    consumers block in {!pop} until an item or {!close} arrives. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Current depth (racy by nature; exact under the internal lock). *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed. Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    {e and} drained ([None] — the consumer should exit). Items come out
+    in push (FIFO) order. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer. Items already
+    queued are still delivered — close-then-drain is what graceful
+    shutdown relies on. Idempotent. *)
+
+val closed : 'a t -> bool

@@ -1,0 +1,84 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  mutable is_closed : bool;
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> failwith ("cannot resolve host " ^ host))
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (* A write to a connection the server already closed must surface as
+     an [Error], not kill the process. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 0;
+    is_closed = false
+  }
+
+let close t =
+  if not t.is_closed then begin
+    t.is_closed <- true;
+    (* Closing either channel closes the shared descriptor. *)
+    try close_out t.oc with Sys_error _ | Unix.Unix_error _ -> ()
+  end
+
+let with_connection ?host ~port f =
+  let t = connect ?host ~port () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let fresh_id t =
+  let id = Printf.sprintf "c%d" t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let send t req =
+  output_string t.oc (P.encode_request req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | line -> P.decode_response line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error e -> Error e
+
+let call t op =
+  let id = fresh_id t in
+  (match send t { P.id; op } with
+  | () -> ()
+  | exception Sys_error _ -> ());
+  match recv t with
+  | Error _ as e -> e
+  | Ok { P.req_id; body } ->
+      (* [req_id = None] happens only for unparseable frames — ours are
+         well-formed, so any reply on this single-outstanding-request
+         connection must echo our id. *)
+      if req_id <> None && req_id <> Some id then
+        Error
+          (Printf.sprintf "response id mismatch: sent %s, got %s" id
+             (Option.value ~default:"null" req_id))
+      else Ok body
+
+let solve t ?timeout_s entry =
+  match call t (P.Solve { entry; timeout_s }) with
+  | Error _ as e -> e
+  | Ok (P.Results reports) -> Ok reports
+  | Ok (P.Refused { code; msg }) ->
+      Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) msg)
+  | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
+      Error "unexpected response body for solve"

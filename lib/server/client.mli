@@ -1,0 +1,39 @@
+(** Minimal blocking client for the {!Protocol} wire format.
+
+    One connection, stdlib [Unix] sockets and buffered channels. The
+    simple path is {!call}: send one request, block for one reply —
+    correct because a single-outstanding-request connection cannot see
+    reordering. Pipelined clients (the load generator, the overload
+    tests) use {!send} / {!recv} directly and match replies by id. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"].
+    @raise Unix.Unix_error when the connection is refused. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exception). *)
+
+val fresh_id : t -> string
+(** Next request id in this connection's [c0], [c1], … sequence. *)
+
+val send : t -> Protocol.request -> unit
+(** Write one frame (flushes). *)
+
+val recv : t -> (Protocol.response, string) result
+(** Block for the next frame. [Error] on EOF or an undecodable frame. *)
+
+val call : t -> Protocol.op -> (Protocol.body, string) result
+(** [send] with a {!fresh_id}, then {!recv}; checks the echoed id. *)
+
+val solve :
+  t ->
+  ?timeout_s:float ->
+  string ->
+  (Protocol.job_report list, string) result
+(** [solve t entry] runs one manifest entry; flattens [Refused] replies
+    into [Error "code: msg"]. *)

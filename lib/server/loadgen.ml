@@ -1,0 +1,189 @@
+module P = Protocol
+
+type mode = Closed | Open of float
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  requests : int;
+  seed : int;
+  entries : string array;
+  timeout_s : float option;
+  mode : mode;
+}
+
+let default_entries =
+  [| "gen grid2d size=12 :: minmem; liu";
+     "gen grid2d size=16 :: minmem; postorder";
+     "gen banded size=48 :: liu; minmem";
+     "gen random size=40 seed=7 :: minmem";
+     "gen arrow size=32 :: postorder; liu";
+     "gen grid2d size=12 :: minio policy=first-fit budget=50%";
+     "gen tridiagonal size=64 :: minmem; schedule procs=4 mem=1.5"
+  |]
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    connections = 2;
+    requests = 100;
+    seed = 42;
+    entries = default_entries;
+    timeout_s = None;
+    mode = Closed
+  }
+
+(* What one client domain brings home. *)
+type tally = {
+  mutable issued : int;
+  mutable t_ok : int;
+  t_errors : (string, int) Hashtbl.t;
+  mutable t_transport : int;
+  mutable lats : float list;
+  mutable reports : P.job_report list;
+}
+
+let count_error tally code =
+  Hashtbl.replace tally.t_errors code
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tally.t_errors code))
+
+(* One connection's run: [n] requests, entries drawn from [rng]. *)
+let client cfg ~n ~rng =
+  let tally =
+    { issued = 0;
+      t_ok = 0;
+      t_errors = Hashtbl.create 8;
+      t_transport = 0;
+      lats = [];
+      reports = []
+    }
+  in
+  (try
+     Client.with_connection ~host:cfg.host ~port:cfg.port (fun c ->
+         let t0 = Unix.gettimeofday () in
+         let interval = match cfg.mode with Closed -> 0. | Open r -> 1. /. r in
+         let stop = ref false in
+         let i = ref 0 in
+         while (not !stop) && !i < n do
+           (match cfg.mode with
+           | Closed -> ()
+           | Open _ ->
+               let slot = t0 +. (float_of_int !i *. interval) in
+               let wait = slot -. Unix.gettimeofday () in
+               if wait > 0. then Unix.sleepf wait);
+           let entry = Tt_util.Rng.pick rng cfg.entries in
+           tally.issued <- tally.issued + 1;
+           let sent = Unix.gettimeofday () in
+           (match Client.call c (P.Solve { entry; timeout_s = cfg.timeout_s }) with
+           | Ok (P.Results reports) ->
+               tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
+               tally.t_ok <- tally.t_ok + 1;
+               tally.reports <- List.rev_append reports tally.reports
+           | Ok (P.Refused { code; _ }) ->
+               tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
+               count_error tally (P.error_code_to_string code)
+           | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
+               tally.t_transport <- tally.t_transport + 1
+           | Error _ ->
+               tally.t_transport <- tally.t_transport + 1;
+               stop := true);
+           incr i
+         done)
+   with Unix.Unix_error _ | Failure _ -> tally.t_transport <- tally.t_transport + 1);
+  tally
+
+type summary = {
+  requests : int;
+  ok : int;
+  errors : (string * int) list;
+  transport_errors : int;
+  jobs : int;
+  wall_s : float;
+  throughput_rps : float;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+  value_digest : string option;
+}
+
+let run cfg =
+  if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  if cfg.requests < 1 then invalid_arg "Loadgen.run: requests < 1";
+  if Array.length cfg.entries = 0 then invalid_arg "Loadgen.run: no entries";
+  let per_conn k =
+    (* First [requests mod connections] connections take one extra. *)
+    (cfg.requests / cfg.connections)
+    + (if k < cfg.requests mod cfg.connections then 1 else 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init cfg.connections (fun k ->
+        let n = per_conn k in
+        (* Distinct deterministic stream per connection. *)
+        let rng = Tt_util.Rng.create ((cfg.seed * 1000003) + k) in
+        Domain.spawn (fun () -> client cfg ~n ~rng))
+  in
+  let tallies = Array.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let issued = Array.fold_left (fun a t -> a + t.issued) 0 tallies in
+  let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+  let transport = Array.fold_left (fun a t -> a + t.t_transport) 0 tallies in
+  let errors =
+    let h = Hashtbl.create 8 in
+    Array.iter
+      (fun t ->
+        Hashtbl.iter
+          (fun k v ->
+            Hashtbl.replace h k (v + Option.value ~default:0 (Hashtbl.find_opt h k)))
+          t.t_errors)
+      tallies;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+  in
+  let reports =
+    Array.fold_left (fun a t -> List.rev_append t.reports a) [] tallies
+  in
+  let lats =
+    Array.of_list
+      (Array.fold_left (fun a t -> List.rev_append t.lats a) [] tallies)
+  in
+  let q p =
+    if Array.length lats = 0 then nan else Tt_util.Statistics.quantile lats p
+  in
+  { requests = issued;
+    ok;
+    errors;
+    transport_errors = transport;
+    jobs = List.length reports;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int issued /. wall_s else nan);
+    mean_s = Tt_util.Statistics.mean lats;
+    p50_s = q 0.5;
+    p95_s = q 0.95;
+    p99_s = q 0.99;
+    max_s = (if Array.length lats = 0 then 0. else snd (Tt_util.Statistics.min_max lats));
+    value_digest = (if reports = [] then None else Some (P.value_digest reports))
+  }
+
+let summary_to_string s =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "requests: %d (ok %d, errors %d, transport errors %d)\n" s.requests s.ok
+    (List.fold_left (fun a (_, v) -> a + v) 0 s.errors)
+    s.transport_errors;
+  (match s.errors with
+  | [] -> pf "errors: none\n"
+  | errs ->
+      pf "errors:";
+      List.iter (fun (code, n) -> pf " %s=%d" code n) errs;
+      pf "\n");
+  pf "jobs: %d\n" s.jobs;
+  pf "wall: %.3f s, throughput: %.1f req/s\n" s.wall_s s.throughput_rps;
+  pf "latency: mean %.4f s, p50 %.4f s, p95 %.4f s, p99 %.4f s, max %.4f s\n"
+    s.mean_s s.p50_s s.p95_s s.p99_s s.max_s;
+  (match s.value_digest with
+  | Some d -> pf "value digest: %s\n" d
+  | None -> pf "value digest: (no results)\n");
+  Buffer.contents b

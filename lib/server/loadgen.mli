@@ -1,0 +1,74 @@
+(** Deterministic load generator for [treetrav serve].
+
+    [connections] client domains each open one connection and issue
+    their share of [requests] solve frames, drawing manifest entries
+    from [entries] with a per-connection {!Tt_util.Rng} stream derived
+    from [seed] — so a run is reproducible given the same seed and
+    server state, and two connections never share an RNG.
+
+    Two pacing modes:
+    - {!Closed}: each connection keeps exactly one request outstanding
+      (fire the next as soon as the reply lands) — measures the
+      server's sustainable closed-loop throughput;
+    - {!Open}: each connection {e schedules} sends at a fixed rate
+      (requests/second, per connection) from its start time and sleeps
+      until each slot — approximates an open arrival process, so
+      latencies include any queueing the server builds up. (Sends
+      still wait for the previous reply; a saturated server degrades
+      toward closed-loop behaviour rather than unbounded pipelining.)
+
+    The summary aggregates client-side observations: outcome counts by
+    error code, end-to-end latency percentiles
+    ({!Tt_util.Statistics.quantile}), throughput over the wall of the
+    whole run, and the order-insensitive {!Protocol.value_digest} of
+    every job result received — comparable against a [treetrav batch]
+    run of the same entries. *)
+
+type mode =
+  | Closed
+  | Open of float  (** Target request rate per connection, requests/s. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;  (** Client domains (≥ 1). *)
+  requests : int;  (** Total solve requests across all connections. *)
+  seed : int;
+  entries : string array;  (** Manifest entries to draw from (≥ 1). *)
+  timeout_s : float option;  (** Per-request deadline sent to the server. *)
+  mode : mode;
+}
+
+val default_config : config
+(** 2 connections, 100 requests, seed 42, {!default_entries}, closed
+    loop, port 0 (caller must override the port). *)
+
+val default_entries : string array
+(** A small mixed workload: generated grids / banded / random sources
+    across the solver collection, sized to stay fast per request. *)
+
+type summary = {
+  requests : int;  (** Requests actually issued. *)
+  ok : int;
+  errors : (string * int) list;  (** Error-code → count, sorted. *)
+  transport_errors : int;  (** Connection-level failures (EOF, bad frame). *)
+  jobs : int;  (** Job reports received across all ok replies. *)
+  wall_s : float;
+  throughput_rps : float;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;  (** Client-side latency stats; [nan]/0 when no samples. *)
+  value_digest : string option;
+      (** {!Protocol.value_digest} over all received job results; [None]
+          when no solve succeeded. *)
+}
+
+val run : config -> summary
+(** @raise Invalid_argument on a non-positive [connections]/[requests]
+    or empty [entries]. *)
+
+val summary_to_string : summary -> string
+(** Multi-line human-readable rendering (the [treetrav loadgen]
+    output). *)

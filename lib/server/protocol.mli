@@ -1,0 +1,115 @@
+(** The `treetrav serve` wire protocol.
+
+    {b Framing.} One frame per line: a single-line JSON object (the
+    subset {!Tt_engine.Telemetry.Json} emits) terminated by ['\n'];
+    a trailing ['\r'] is tolerated. Frames longer than
+    {!max_frame_bytes} are rejected. Requests and responses both carry
+    the protocol version [v] (currently {!version}) and a client-chosen
+    request id echoed back verbatim, so clients may pipeline requests
+    over one connection and match replies by id. Responses to one
+    connection's requests come back on that connection, though —
+    because requests run concurrently on worker domains — not
+    necessarily in request order.
+
+    {b Requests.}
+    {v
+    {"v":1,"id":"r1","op":"solve","entry":"gen grid2d size=16 :: minmem; liu","timeout_s":5}
+    {"v":1,"id":"r2","op":"stats"}
+    {"v":1,"id":"r3","op":"ping"}
+    {"v":1,"id":"r4","op":"shutdown"}
+    v}
+    A [solve] entry is one line of the `treetrav batch` manifest
+    grammar (see {!Tt_engine.Manifest}); its jobs run in order on one
+    worker. [timeout_s] is the per-request deadline (seconds; 0 means
+    already expired), clamped below the server's configured maximum.
+
+    {b Responses.}
+    {v
+    {"v":1,"id":"r1","ok":true,"results":[{"job":"<hex id>","label":"…",
+      "spec":"min-memory:minmem","cache_hit":false,"wall_s":0.0012,
+      "result":{"ok":true,"kind":"memory","peak":42,"order":[…]}}]}
+    {"v":1,"id":"r2","ok":true,"stats":{…}}
+    {"v":1,"id":"r3","ok":true,"pong":true}
+    {"v":1,"id":"r4","ok":true,"draining":true}
+    {"v":1,"id":null,"ok":false,"error":{"code":"overloaded","msg":"…"}}
+    v}
+    A [result] field is the lossless {!Tt_engine.Job.result_to_json}
+    form, so clients can reproduce the engine's results digest
+    byte-for-byte ({!sequence_digest} / {!value_digest}). Error replies
+    echo the request id when it could be recovered and [null] when the
+    frame never parsed. *)
+
+val version : int
+(** Current protocol version (1). Frames carrying any other [v] are
+    refused with {!Unsupported_version}. *)
+
+val max_frame_bytes : int
+(** Upper bound on one frame's length, terminator excluded (1 MiB). *)
+
+(* ------------------------------------------------------------- errors *)
+
+type error_code =
+  | Bad_frame  (** Not a JSON object / oversized / malformed line. *)
+  | Bad_request  (** Well-formed JSON, invalid request (bad op, bad
+                     manifest entry, missing field). *)
+  | Unsupported_version  (** [v] missing or not {!version}. *)
+  | Overloaded  (** Admission queue full — retry later, with backoff. *)
+  | Deadline_exceeded  (** The request deadline passed while queued. *)
+  | Shutting_down  (** Server is draining; no new work admitted. *)
+  | Internal  (** Unexpected server-side failure. *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+(* ----------------------------------------------------------- requests *)
+
+type op =
+  | Solve of { entry : string; timeout_s : float option }
+  | Stats
+  | Ping
+  | Shutdown
+
+type request = { id : string; op : op }
+
+val encode_request : request -> string
+(** One line, no terminator. *)
+
+val decode_request :
+  string -> (request, string option * error_code * string) Stdlib.result
+(** The error triple is (request id when recoverable, code, message) —
+    enough to send a well-addressed error reply even for frames that
+    fail validation. *)
+
+(* ---------------------------------------------------------- responses *)
+
+type job_report = {
+  job_id : string;
+  label : string;
+  spec : string;
+  result : Tt_engine.Job.result;
+  cache_hit : bool;
+  wall_s : float;
+}
+
+type body =
+  | Results of job_report list
+  | Stats_reply of Tt_engine.Telemetry.Json.t
+  | Pong
+  | Draining  (** Acknowledges [shutdown]; the server then drains. *)
+  | Refused of { code : error_code; msg : string }
+
+type response = { req_id : string option; body : body }
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) Stdlib.result
+
+(* ------------------------------------------------------------ digests *)
+
+val sequence_digest : job_report list -> string
+(** {!Tt_engine.Job.digest_of_results} over the reports in order —
+    byte-identical to the ["results digest"] line `treetrav batch`
+    prints when the same jobs ran in the same order. *)
+
+val value_digest : job_report list -> string
+(** Order-insensitive, duplicate-free variant
+    ({!Tt_engine.Job.value_digest_of_results}) for concurrent clients. *)

@@ -1,0 +1,446 @@
+module P = Protocol
+module Json = Tt_engine.Telemetry.Json
+module Job = Tt_engine.Job
+module Executor = Tt_engine.Executor
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  max_deadline_s : float;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; workers = 2; queue_capacity = 64; max_deadline_s = 30. }
+
+(* One accepted connection. The I/O domain owns the read side ([pending]
+   is only touched there); replies may come from any domain and are
+   serialized by [wmu]. [inflight] counts admitted-but-unreplied solve
+   requests; the connection's fd is closed only by the I/O domain, and
+   only once [eof && inflight = 0] — so no domain ever writes to a
+   closed descriptor. [eof] only ever flips to [true] (a benign
+   monotonic race between reader and writers). *)
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;
+  mutable pending : string;
+  mutable inflight : int;
+  mutable eof : bool;
+}
+
+type work = {
+  wconn : conn;
+  req_id : string;
+  jobs : Job.t list;
+  deadline : float;  (* absolute, seconds *)
+  received : float;
+}
+
+type t = {
+  config : config;
+  cache : Job.outcome Tt_engine.Cache.t;
+  retry : Tt_engine.Retry.policy;
+  telemetry : Tt_engine.Telemetry.t option;
+  job_timeout : float option;
+  metrics : Metrics.t;
+  queue : work Admission.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  started : float;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable conns : conn list;
+  mutable running : bool;
+  mutable stopped : bool;
+  mutable runner : unit Domain.t option;  (* set by [start] *)
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> failwith ("cannot resolve host " ^ host))
+
+let create ?(config = default_config) ?cache ?(retry = Tt_engine.Retry.none)
+    ?telemetry ?job_timeout () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (resolve config.host, config.port) in
+  (try
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd 64
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  { config = { config with workers = max 1 config.workers };
+    cache = (match cache with Some c -> c | None -> Tt_engine.Cache.create ());
+    retry;
+    telemetry;
+    job_timeout;
+    metrics = Metrics.create ();
+    queue = Admission.create ~capacity:config.queue_capacity;
+    listen_fd;
+    bound_port;
+    wake_r;
+    wake_w;
+    stop = Atomic.make false;
+    started = Unix.gettimeofday ();
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    conns = [];
+    running = false;
+    stopped = false;
+    runner = None
+  }
+
+let port t = t.bound_port
+let metrics t = t.metrics
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EBADF), _, _) -> ()
+
+let request_shutdown t =
+  Atomic.set t.stop true;
+  wake t
+
+let stats_json t =
+  Json.Obj
+    [ ( "server",
+        Json.Obj
+          [ ("proto_version", Json.Int P.version);
+            ("workers", Json.Int t.config.workers);
+            ("queue_capacity", Json.Int (Admission.capacity t.queue));
+            ("queue_depth", Json.Int (Admission.length t.queue));
+            ("draining", Json.Bool (Atomic.get t.stop));
+            ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started))
+          ] );
+      ("metrics", Metrics.to_json (Metrics.snapshot t.metrics))
+    ]
+
+(* ----------------------------------------------------------- replies *)
+
+let write_all conn line =
+  let len = String.length line in
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      try
+        let off = ref 0 in
+        while !off < len do
+          off := !off + Unix.write_substring conn.fd line !off (len - !off)
+        done
+      with Unix.Unix_error _ ->
+        (* Peer went away mid-reply; the I/O domain reaps the
+           connection once its inflight count drains. *)
+        conn.eof <- true)
+
+let reply t conn req_id body =
+  (match body with
+  | P.Refused { code; _ } ->
+      Metrics.response_error t.metrics ~code:(P.error_code_to_string code)
+  | _ -> Metrics.response_ok t.metrics);
+  write_all conn (P.encode_response { P.req_id; body } ^ "\n")
+
+(* ------------------------------------------------------------ workers *)
+
+let job_reports reports =
+  Array.to_list
+    (Array.map
+       (fun (r : Executor.report) ->
+         { P.job_id = Job.id r.job;
+           label = r.job.Job.label;
+           spec = Job.spec_to_string r.job.Job.spec;
+           result = r.result;
+           cache_hit = r.cache_hit;
+           wall_s = r.wall
+         })
+       reports)
+
+let worker t =
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> ()
+    | Some w ->
+        let now = Unix.gettimeofday () in
+        let body =
+          if now >= w.deadline then
+            P.Refused
+              { code = P.Deadline_exceeded;
+                msg = "deadline passed while queued"
+              }
+          else
+            (* Per-request executor over the shared cache/retry stack:
+               one domain (this one), ambient cancel = the request
+               deadline. *)
+            let cancel =
+              Tt_util.Cancel.create ~deadline_after:(w.deadline -. now) ()
+            in
+            let exec =
+              Executor.create ~domains:1 ~cache:t.cache ~retry:t.retry
+                ?telemetry:t.telemetry ?timeout:t.job_timeout ~cancel
+                ~on_job:(fun ~job:_ ~result ~wall ~cache_hit ->
+                  Metrics.job t.metrics ~cache_hit
+                    ~error:(Result.is_error result) ~wall_s:wall)
+                ()
+            in
+            match Executor.run_batch exec w.jobs with
+            | reports, _ -> P.Results (job_reports reports)
+            | exception e ->
+                P.Refused { code = P.Internal; msg = Printexc.to_string e }
+        in
+        (* Record the latency before the reply hits the wire: a client may
+           issue STATS the instant it reads this response, and the snapshot
+           it gets back must already account for it. *)
+        Metrics.observe_solve t.metrics
+          ~latency_s:(Unix.gettimeofday () -. w.received);
+        reply t w.wconn (Some w.req_id) body;
+        locked t (fun () -> w.wconn.inflight <- w.wconn.inflight - 1);
+        wake t;
+        loop ()
+  in
+  loop ()
+
+(* ----------------------------------------------------------- frames *)
+
+let handle_solve t conn ~id ~entry ~timeout_s ~received =
+  if Atomic.get t.stop then begin
+    Metrics.observe_solve t.metrics
+      ~latency_s:(Unix.gettimeofday () -. received);
+    reply t conn (Some id)
+      (P.Refused { code = P.Shutting_down; msg = "server is draining" })
+  end
+  else
+    match Tt_engine.Manifest.parse entry with
+    | Error e ->
+        Metrics.observe_solve t.metrics
+          ~latency_s:(Unix.gettimeofday () -. received);
+        reply t conn (Some id) (P.Refused { code = P.Bad_request; msg = e })
+    | Ok [] ->
+        Metrics.observe_solve t.metrics
+          ~latency_s:(Unix.gettimeofday () -. received);
+        reply t conn (Some id)
+          (P.Refused { code = P.Bad_request; msg = "entry contains no jobs" })
+    | Ok jobs ->
+        let budget =
+          match timeout_s with
+          | Some s -> Float.max 0. (Float.min s t.config.max_deadline_s)
+          | None -> t.config.max_deadline_s
+        in
+        let w =
+          { wconn = conn;
+            req_id = id;
+            jobs;
+            deadline = received +. budget;
+            received
+          }
+        in
+        (* Count the request in-flight before exposing it to workers —
+           a worker may pop, reply and decrement before try_push even
+           returns. *)
+        locked t (fun () -> conn.inflight <- conn.inflight + 1);
+        if not (Admission.try_push t.queue w) then begin
+          locked t (fun () -> conn.inflight <- conn.inflight - 1);
+          Metrics.observe_solve t.metrics
+            ~latency_s:(Unix.gettimeofday () -. received);
+          reply t conn (Some id)
+            (P.Refused
+               { code = P.Overloaded;
+                 msg =
+                   Printf.sprintf "admission queue full (capacity %d)"
+                     (Admission.capacity t.queue)
+               })
+        end
+
+let handle_line t conn line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if line = "" then ()
+  else begin
+    let received = Unix.gettimeofday () in
+    match P.decode_request line with
+    | Error (id, code, msg) ->
+        reply t conn id (P.Refused { code; msg })
+    | Ok { P.id; op = P.Ping } ->
+        Metrics.request t.metrics `Ping;
+        reply t conn (Some id) P.Pong
+    | Ok { P.id; op = P.Stats } ->
+        Metrics.request t.metrics `Stats;
+        reply t conn (Some id) (P.Stats_reply (stats_json t))
+    | Ok { P.id; op = P.Shutdown } ->
+        Metrics.request t.metrics `Shutdown;
+        reply t conn (Some id) P.Draining;
+        request_shutdown t
+    | Ok { P.id; op = P.Solve { entry; timeout_s } } ->
+        Metrics.request t.metrics `Solve;
+        handle_solve t conn ~id ~entry ~timeout_s ~received
+  end
+
+let feed t conn chunk =
+  let data = if conn.pending = "" then chunk else conn.pending ^ chunk in
+  let len = String.length data in
+  let rec go start =
+    if start >= len then conn.pending <- ""
+    else
+      match String.index_from_opt data start '\n' with
+      | Some i ->
+          handle_line t conn (String.sub data start (i - start));
+          go (i + 1)
+      | None ->
+          conn.pending <- String.sub data start (len - start);
+          if String.length conn.pending > P.max_frame_bytes then begin
+            reply t conn None
+              (P.Refused { code = P.Bad_frame; msg = "frame exceeds 1 MiB" });
+            conn.eof <- true
+          end
+  in
+  go 0
+
+(* ---------------------------------------------------------- I/O loop *)
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let read_chunk fd =
+  let buf = Bytes.create 65536 in
+  match Unix.read fd buf 0 65536 with
+  | 0 -> None
+  | n -> Some (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error _ -> None
+
+let run t =
+  locked t (fun () ->
+      if t.running || t.stopped then invalid_arg "Server.run: already used";
+      t.running <- true);
+  let workers = Array.init t.config.workers (fun _ -> Domain.spawn (fun () -> worker t)) in
+  let listen_open = ref true in
+  let finished = ref false in
+  while not !finished do
+    let draining = Atomic.get t.stop in
+    if draining && !listen_open then begin
+      Unix.close t.listen_fd;
+      listen_open := false
+    end;
+    (* Reap connections that are done: read side closed and no admitted
+       request still owed a reply. While draining, idle connections are
+       done by definition. *)
+    let reapable, live =
+      locked t (fun () ->
+          let r, l =
+            List.partition
+              (fun c -> (c.eof || draining) && c.inflight = 0)
+              t.conns
+          in
+          t.conns <- l;
+          (r, l))
+    in
+    List.iter
+      (fun c ->
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        Metrics.connection_closed t.metrics)
+      reapable;
+    let inflight_total =
+      locked t (fun () -> List.fold_left (fun a c -> a + c.inflight) 0 t.conns)
+    in
+    if draining && live = [] && inflight_total = 0 && Admission.length t.queue = 0
+    then begin
+      (* Queue closed only now: everything admitted has been replied
+         to, so workers drain their Nones and exit. *)
+      Admission.close t.queue;
+      Array.iter Domain.join workers;
+      finished := true
+    end
+    else begin
+      let read_fds =
+        (t.wake_r :: (if !listen_open then [ t.listen_fd ] else []))
+        @ List.filter_map (fun c -> if c.eof then None else Some c.fd) live
+      in
+      match Unix.select read_fds [] [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = t.wake_r then drain_wake_pipe t
+              else if !listen_open && fd = t.listen_fd then begin
+                match Unix.accept t.listen_fd with
+                | exception Unix.Unix_error _ -> ()
+                | cfd, _ ->
+                    let c =
+                      { fd = cfd;
+                        wmu = Mutex.create ();
+                        pending = "";
+                        inflight = 0;
+                        eof = false
+                      }
+                    in
+                    locked t (fun () -> t.conns <- c :: t.conns);
+                    Metrics.connection_opened t.metrics
+              end
+              else
+                match List.find_opt (fun c -> c.fd = fd) live with
+                | None -> ()
+                | Some c when c.eof -> ()
+                | Some c -> (
+                    match read_chunk fd with
+                    | None -> c.eof <- true
+                    | Some chunk -> feed t c chunk))
+            ready
+    end
+  done;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.cond)
+
+let start t =
+  (* The listener is already bound and accepting (backlog) since
+     [create]; the background domain just runs the loop. *)
+  let d = Domain.spawn (fun () -> run t) in
+  locked t (fun () -> t.runner <- Some d)
+
+let shutdown t =
+  request_shutdown t;
+  let joinable =
+    locked t (fun () ->
+        if t.running || t.runner <> None then begin
+          while not t.stopped do
+            Condition.wait t.cond t.mu
+          done;
+          let d = t.runner in
+          t.runner <- None;
+          d
+        end
+        else begin
+          t.stopped <- true;
+          None
+        end)
+  in
+  Option.iter Domain.join joinable

@@ -1,0 +1,81 @@
+(** The TCP front end: accept loop + worker domains over the batch
+    engine.
+
+    Architecture (stdlib [Unix] only — no Lwt/Eio):
+
+    - one {e I/O domain} (the caller of {!run}) owns the listening
+      socket and every connection's read side, multiplexed with
+      [Unix.select]; it parses frames, answers [ping]/[stats]
+      instantly, and admits [solve] work into a bounded
+      {!Admission} queue — or rejects it with [overloaded] when the
+      queue is full, so offered load can never grow the resident set;
+    - [workers] {e worker domains} pop admitted requests and run their
+      jobs through a per-request {!Tt_engine.Executor} sharing one
+      {!Tt_engine.Cache} / {!Tt_engine.Retry} stack, under a
+      per-request {!Tt_util.Cancel} deadline token (a request whose
+      deadline passes while queued is refused with
+      [deadline_exceeded]; one that is already running degrades its
+      remaining jobs to [Timed_out]);
+    - responses are written by whichever domain produced them,
+      serialized per connection by a mutex, so slow solves never block
+      the I/O loop.
+
+    Graceful drain: {!request_shutdown} (or a [shutdown] frame, or the
+    CLI's SIGINT/SIGTERM handler) closes the listener, refuses new
+    [solve]s with [shutting_down], lets queued and in-flight requests
+    finish, joins the workers, then closes every connection — so every
+    admitted request gets exactly one reply and journals/telemetry
+    flush per job as usual. *)
+
+type config = {
+  host : string;  (** Bind address (default ["127.0.0.1"]). *)
+  port : int;  (** 0 picks an ephemeral port — read it back with {!port}. *)
+  workers : int;  (** Worker domains (default 2; clamped to ≥ 1). *)
+  queue_capacity : int;  (** Admission queue bound (default 64). *)
+  max_deadline_s : float;
+      (** Per-request deadline ceiling and default (seconds, default
+          30): a request's [timeout_s] is clamped below it. *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?cache:Tt_engine.Job.outcome Tt_engine.Cache.t ->
+  ?retry:Tt_engine.Retry.policy ->
+  ?telemetry:Tt_engine.Telemetry.t ->
+  ?job_timeout:float ->
+  unit ->
+  t
+(** Binds and listens immediately (so {!port} is valid before {!run}).
+    [cache] defaults to a fresh unbounded in-memory cache — a
+    long-lived server should pass [Cache.create ~max_entries ()].
+    [job_timeout] is the engine's per-job cooperative timeout,
+    independent of request deadlines.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (resolves [port = 0]). *)
+
+val metrics : t -> Metrics.t
+
+val stats_json : t -> Tt_engine.Telemetry.Json.t
+(** The [STATS] payload: a ["server"] section (workers, queue depth and
+    capacity, draining flag, uptime) plus {!Metrics.to_json}. *)
+
+val run : t -> unit
+(** Run accept loop and workers; blocks until drain completes. *)
+
+val start : t -> unit
+(** {!run} on a background domain; returns once the server accepts
+    connections. Use {!shutdown} to stop and join it. *)
+
+val request_shutdown : t -> unit
+(** Begin graceful drain; returns immediately. Safe from any domain and
+    from signal handlers. Idempotent. *)
+
+val shutdown : t -> unit
+(** {!request_shutdown}, then block until the server has fully stopped
+    (all replies written, workers joined, sockets closed). *)

@@ -2,27 +2,38 @@ type t = {
   flag : bool Atomic.t;
   deadline : float option;
   mutable polls : int;
+  parent : t option;
 }
 
 exception Cancelled
 
-let never = { flag = Atomic.make false; deadline = None; polls = 0 }
+let never = { flag = Atomic.make false; deadline = None; polls = 0; parent = None }
 
-let create ?deadline_after () =
+let make ?parent ?deadline_after () =
   let deadline =
     Option.map (fun d -> Unix.gettimeofday () +. d) deadline_after
   in
-  { flag = Atomic.make false; deadline; polls = 0 }
+  { flag = Atomic.make false; deadline; polls = 0; parent }
+
+let create ?deadline_after () = make ?deadline_after ()
+let linked ?parent ?deadline_after () = make ?parent ?deadline_after ()
 
 let cancel t = Atomic.set t.flag true
 
 (* Clock reads are amortized: the first poll and then every 64th consult
    [gettimeofday]; flag reads happen on every poll. The poll counter is
-   only touched by the polling domain, so a plain mutable field is safe. *)
+   only touched by the polling domain, so a plain mutable field is safe
+   (a racy increment merely perturbs the amortization, never
+   correctness). *)
 let poll_mask = 63
 
-let cancelled t =
+let rec cancelled t =
   Atomic.get t.flag
+  || (match t.parent with
+     | Some p when cancelled p ->
+         Atomic.set t.flag true;
+         true
+     | _ -> false)
   ||
   match t.deadline with
   | None -> false

@@ -27,6 +27,14 @@ val create : ?deadline_after:float -> unit -> t
 (** A fresh token; with [deadline_after] (seconds from now) it expires on
     its own once the wall clock passes the deadline. *)
 
+val linked : ?parent:t -> ?deadline_after:float -> unit -> t
+(** Like {!create}, but the token also expires as soon as [parent] has —
+    whichever of the parent, the own deadline, or an explicit {!cancel}
+    fires first. This is how a per-request deadline composes with the
+    executor's per-job timeout: the job token is linked to the request
+    token, so cancelling the request interrupts the running job at its
+    next poll. Without [parent] it is exactly {!create}. *)
+
 val cancel : t -> unit
 (** Expire the token now. Safe from any domain. *)
 

@@ -1,4 +1,10 @@
-let now () = Sys.time ()
+(* Wall clock, not [Sys.time]: [Sys.time] is *process CPU time*, which
+   (a) barely advances while a domain blocks (sleeps, socket reads) and
+   (b) under multicore runs accumulates the CPU of *all* domains, so a
+   2-domain run would report ~2x the elapsed time. Everything this
+   module times — bench sections, server latencies — means elapsed
+   wall-clock seconds. *)
+let now () = Unix.gettimeofday ()
 
 let time f =
   let t0 = now () in

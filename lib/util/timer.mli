@@ -1,7 +1,15 @@
-(** Monotonic wall-clock timing for the runtime performance profiles
-    (paper Figure 6). Uses [Unix]-free [Sys.time]-independent counters:
-    the clock is [Stdlib.Sys.opaque_identity]-protected around the timed
-    thunk so the compiler cannot hoist the work. *)
+(** Wall-clock timing for the runtime performance profiles (paper
+    Figure 6) and the service layer.
+
+    Clock choice: [Unix.gettimeofday] — {e wall} time, not [Sys.time].
+    [Sys.time] reports process CPU time, which stands still while a
+    domain blocks (sleeps, socket I/O) and, on OCaml 5 multicore runs,
+    sums the CPU of every domain — both wrong for "how long did this
+    take". The measured thunk is [Sys.opaque_identity]-protected so the
+    compiler cannot hoist the work out of the timed region. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds (Unix epoch). *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed

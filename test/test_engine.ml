@@ -212,6 +212,122 @@ let test_json_escaping () =
   Alcotest.(check string) "non-finite floats are null" "[null,null,1.5]"
     (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ]))
 
+(* ------------------------------------------------- Json round tripping *)
+
+module Json = Tt_engine.Telemetry.Json
+
+(* What to_string normalizes away: non-finite floats render as null
+   (JSON has no inf/nan) and integral floats print without a point, so
+   they parse back as Int. *)
+let rec json_normal = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.Float f when Float.is_integer f -> Json.Int (int_of_float f)
+  | Json.List l -> Json.List (List.map json_normal l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, json_normal v)) kvs)
+  | j -> j
+
+let gen_json =
+  let open QCheck.Gen in
+  (* arbitrary bytes: exercises the escaper on control characters,
+     quotes, backslashes and high (raw UTF-8) bytes alike *)
+  let str = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  let leaf =
+    frequency
+      [ (1, return Json.Null);
+        (2, map (fun b -> Json.Bool b) bool);
+        (4, map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000));
+        (* decimal-literal floats, at most 7 significant digits: the
+           %.12g rendering reproduces them exactly *)
+        ( 4,
+          map2
+            (fun m e -> Json.Float (float_of_int m /. (10. ** float_of_int e)))
+            (int_range (-999_999) 999_999) (int_bound 4) );
+        (1, oneofl [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity ]);
+        (4, map (fun s -> Json.String s) str)
+      ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      frequency
+        [ (3, leaf);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 4) (go (n / 2))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4) (pair str (go (n / 2)))) )
+        ]
+  in
+  sized (fun n -> go (min n 16))
+
+let prop_json_round_trip =
+  H.qcheck ~count:500 "of_string (to_string v) = Ok (normal v)"
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun v ->
+      let n = json_normal v in
+      Json.of_string (Json.to_string v) = Ok n
+      (* normalization is idempotent: re-encoding the parse is stable *)
+      && Json.of_string (Json.to_string n) = Ok n)
+
+let test_json_unicode_degradation () =
+  (* \u escapes above 0xFF degrade to '?'; at or below they are bytes *)
+  Alcotest.(check bool) "U+0100 degrades" true
+    (Json.of_string {|"\u0100"|} = Ok (Json.String "?"));
+  Alcotest.(check bool) "U+00E9 is a byte" true
+    (Json.of_string {|"\u00e9"|} = Ok (Json.String "\233"));
+  Alcotest.(check bool) "escaped controls round trip" true
+    (Json.of_string (Json.to_string (Json.String "\000\031\"\\")) =
+     Ok (Json.String "\000\031\"\\"))
+
+let test_json_malformed_offsets () =
+  let expect_err s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error for %S carries an offset (%s)" s e)
+          true (H.contains e "offset")
+  in
+  List.iter expect_err
+    [ ""; "{"; "["; {|{"a":1|}; "[1,]"; {|{"a" 1}|}; {|"unterminated|};
+      "truz"; "nul"; {|{"a":}|}; {|{:1}|}; "[1 2]"; {|"bad \escape"|} ]
+
+(* -------------------------------------------------------- cache bound *)
+
+let test_cache_eviction () =
+  let c : int C.t = C.create ~max_entries:2 () in
+  let get k = C.find_or_compute c ~key:k (fun () -> int_of_string k) in
+  ignore (get "1");
+  ignore (get "2");
+  Alcotest.(check int) "no eviction while under the bound" 0 (C.evictions c);
+  ignore (get "1");
+  (* "1" was just touched, so "2" is the least-recently-used victim *)
+  ignore (get "3");
+  Alcotest.(check int) "one eviction" 1 (C.evictions c);
+  Alcotest.(check int) "table stays bounded" 2 (C.length c);
+  Alcotest.(check bool) "LRU victim dropped" true (C.find c "2" = None);
+  Alcotest.(check bool) "recently touched entry kept" true (C.find c "1" = Some 1);
+  let _, hit = get "2" in
+  Alcotest.(check bool) "an evicted key recomputes" false hit;
+  Alcotest.check_raises "max_entries < 1"
+    (Invalid_argument "Cache.create: max_entries < 1") (fun () ->
+      ignore (C.create ~max_entries:0 () : int C.t))
+
+let test_cache_eviction_disk_backed () =
+  (* Persisted files are never evicted: an evicted entry degrades to a
+     disk hit, not a recomputation. *)
+  let dir = Filename.temp_file "tt_cache_evict" "" in
+  Sys.remove dir;
+  let c : int C.t = C.create ~persist:dir ~max_entries:1 () in
+  ignore (C.find_or_compute c ~key:"a" (fun () -> 1));
+  ignore (C.find_or_compute c ~key:"b" (fun () -> 2));
+  Alcotest.(check int) "insert over the bound evicts" 1 (C.evictions c);
+  let v, hit =
+    C.find_or_compute c ~key:"a" (fun () -> Alcotest.fail "recomputed")
+  in
+  Alcotest.(check bool) "evicted entry served from disk" true hit;
+  Alcotest.(check int) "disk value intact" 1 v
+
 (* ----------------------------------------------------------- manifest *)
 
 let test_manifest_parse () =
@@ -300,7 +416,9 @@ let () =
           H.case "exception not inserted" test_cache_exception_not_inserted;
           H.case "same tree twice" test_cache_same_tree_twice;
           H.case "shared minmem preprocessing" test_cache_shares_minmem_preprocessing;
-          H.case "disk persistence" test_cache_persistence
+          H.case "disk persistence" test_cache_persistence;
+          H.case "bounded eviction" test_cache_eviction;
+          H.case "eviction with a disk level" test_cache_eviction_disk_backed
         ] );
       ( "executor",
         [ H.case "determinism 1 vs N domains" test_determinism_across_domains;
@@ -308,7 +426,12 @@ let () =
           H.case "submission order" test_results_in_submission_order
         ] );
       ( "telemetry",
-        [ H.case "jsonl shape" test_telemetry_jsonl; H.case "json escaping" test_json_escaping ] );
+        [ H.case "jsonl shape" test_telemetry_jsonl;
+          H.case "json escaping" test_json_escaping;
+          prop_json_round_trip;
+          H.case "json unicode degradation" test_json_unicode_degradation;
+          H.case "json malformed offsets" test_json_malformed_offsets
+        ] );
       ( "manifest",
         [ H.case "parse" test_manifest_parse;
           H.case "errors" test_manifest_errors;

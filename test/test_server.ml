@@ -1,0 +1,465 @@
+(* Tests for the tt_server network layer: protocol codec round trips,
+   the bounded admission queue, metrics, and end-to-end behaviour of a
+   live server — digest parity with the batch engine, concurrent load,
+   overload rejection, deadlines and graceful drain. *)
+
+module P = Tt_server.Protocol
+module Adm = Tt_server.Admission
+module M = Tt_server.Metrics
+module Srv = Tt_server.Server
+module C = Tt_server.Client
+module L = Tt_server.Loadgen
+module E = Tt_engine.Executor
+module J = Tt_engine.Job
+module H = Helpers
+
+let all_error_codes =
+  [ P.Bad_frame; P.Bad_request; P.Unsupported_version; P.Overloaded;
+    P.Deadline_exceeded; P.Shutting_down; P.Internal ]
+
+(* ----------------------------------------------------------- protocol *)
+
+let test_error_code_strings () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        ("round trip " ^ P.error_code_to_string c)
+        true
+        (P.error_code_of_string (P.error_code_to_string c) = Some c))
+    all_error_codes;
+  Alcotest.(check bool) "unknown code" true (P.error_code_of_string "nope" = None)
+
+let test_request_round_trip () =
+  List.iter
+    (fun op ->
+      let req = { P.id = "r-1"; op } in
+      match P.decode_request (P.encode_request req) with
+      | Ok got -> Alcotest.(check bool) "request round trips" true (got = req)
+      | Error (_, _, msg) -> Alcotest.failf "decode failed: %s" msg)
+    [ P.Ping; P.Stats; P.Shutdown;
+      P.Solve { entry = "gen grid2d size=8 :: minmem"; timeout_s = None };
+      P.Solve { entry = "tree \"x :: y\""; timeout_s = Some 2.5 }
+    ]
+
+let test_request_decode_errors () =
+  let expect line id code =
+    match P.decode_request line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error (got_id, got_code, _) ->
+        Alcotest.(check bool) ("id of " ^ line) true (got_id = id);
+        Alcotest.(check string) ("code of " ^ line)
+          (P.error_code_to_string code)
+          (P.error_code_to_string got_code)
+  in
+  expect "not json" None P.Bad_frame;
+  expect "[1,2]" None P.Bad_frame;
+  expect {|{"id":"x","op":"ping"}|} (Some "x") P.Unsupported_version;
+  expect {|{"v":2,"id":"x","op":"ping"}|} (Some "x") P.Unsupported_version;
+  expect {|{"v":1,"id":"x","op":"warp"}|} (Some "x") P.Bad_request;
+  expect {|{"v":1,"op":"ping"}|} None P.Bad_request;
+  expect {|{"v":1,"id":"x","op":"solve"}|} (Some "x") P.Bad_request
+
+let sample_reports =
+  [ { P.job_id = "aaaa"; label = "m"; spec = "min-memory:minmem";
+      result = Ok (J.Memory { peak = 42; order = [| 2; 0; 1 |] });
+      cache_hit = false; wall_s = 0.25 };
+    { P.job_id = "bbbb"; label = "io"; spec = "min-io";
+      result = Ok (J.Io { in_core = 10; memory = 8; io = None });
+      cache_hit = true; wall_s = 0.5 };
+    { P.job_id = "cccc"; label = "s"; spec = "schedule";
+      result = Ok (J.Sched { memory = 9; makespan = Some 7; peak = Some 9 });
+      cache_hit = false; wall_s = 1.5 };
+    { P.job_id = "dddd"; label = "t"; spec = "min-memory:liu";
+      result = Error (J.Timed_out 0.125); cache_hit = false; wall_s = 0.125 };
+    { P.job_id = "eeee"; label = "c"; spec = "min-memory:liu";
+      result = Error (J.Crashed "Failure(\"boom\")"); cache_hit = false;
+      wall_s = 0.75 }
+  ]
+
+let check_response_round_trip resp =
+  match P.decode_response (P.encode_response resp) with
+  | Error e -> Alcotest.failf "decode_response: %s" e
+  | Ok got ->
+      Alcotest.(check bool) "req_id round trips" true (got.P.req_id = resp.P.req_id);
+      (match (got.P.body, resp.P.body) with
+      | P.Results a, P.Results b ->
+          Alcotest.(check int) "report count" (List.length b) (List.length a);
+          List.iter2
+            (fun (x : P.job_report) (y : P.job_report) ->
+              Alcotest.(check string) "job_id" y.P.job_id x.P.job_id;
+              Alcotest.(check bool) "result" true
+                (J.equal_result x.P.result y.P.result);
+              Alcotest.(check bool) "cache_hit" y.P.cache_hit x.P.cache_hit)
+            a b
+      | b1, b2 -> Alcotest.(check bool) "body round trips" true (b1 = b2))
+
+let test_response_round_trip () =
+  check_response_round_trip { P.req_id = Some "r9"; body = P.Results sample_reports };
+  check_response_round_trip { P.req_id = Some "r0"; body = P.Pong };
+  check_response_round_trip { P.req_id = Some "r1"; body = P.Draining };
+  check_response_round_trip
+    { P.req_id = Some "r2";
+      body =
+        P.Stats_reply
+          (Tt_engine.Telemetry.Json.Obj
+             [ ("server", Tt_engine.Telemetry.Json.Int 1) ])
+    };
+  List.iter
+    (fun code ->
+      check_response_round_trip
+        { P.req_id = None; body = P.Refused { code; msg = "why \"quoted\"" } };
+      check_response_round_trip
+        { P.req_id = Some "e"; body = P.Refused { code; msg = "" } })
+    all_error_codes
+
+let test_digests () =
+  (* The sequence digest is order-sensitive, the value digest is not and
+     ignores duplicates — the properties the load generator relies on. *)
+  let rev = List.rev sample_reports in
+  Alcotest.(check bool) "sequence digest is order-sensitive" false
+    (P.sequence_digest sample_reports = P.sequence_digest rev);
+  Alcotest.(check string) "value digest is order-insensitive"
+    (P.value_digest sample_reports) (P.value_digest rev);
+  Alcotest.(check string) "value digest ignores duplicates"
+    (P.value_digest sample_reports)
+    (P.value_digest (sample_reports @ sample_reports));
+  (* Wire round trip preserves both digests: the [result] field is the
+     lossless Job.result_to_json rendering. *)
+  let resp = { P.req_id = Some "d"; body = P.Results sample_reports } in
+  match P.decode_response (P.encode_response resp) with
+  | Ok { P.body = P.Results got; _ } ->
+      Alcotest.(check string) "digest survives the wire"
+        (P.sequence_digest sample_reports)
+        (P.sequence_digest got)
+  | _ -> Alcotest.fail "round trip failed"
+
+(* ---------------------------------------------------------- admission *)
+
+let test_admission_fifo () =
+  let q = Adm.create ~capacity:8 in
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Adm.try_push q i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Adm.length q);
+  Alcotest.(check bool) "fifo" true
+    (Adm.pop q = Some 1 && Adm.pop q = Some 2 && Adm.pop q = Some 3)
+
+let test_admission_bounds () =
+  let q = Adm.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Adm.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Adm.try_push q 2);
+  Alcotest.(check bool) "push 3 rejected" false (Adm.try_push q 3);
+  Alcotest.(check bool) "pop frees a slot" true (Adm.pop q = Some 1);
+  Alcotest.(check bool) "push 4" true (Adm.try_push q 4);
+  Alcotest.(check bool) "wraps around" true
+    (Adm.pop q = Some 2 && Adm.pop q = Some 4);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Admission.create: capacity < 1") (fun () ->
+      ignore (Adm.create ~capacity:0))
+
+let test_admission_close () =
+  let q = Adm.create ~capacity:4 in
+  ignore (Adm.try_push q 1);
+  ignore (Adm.try_push q 2);
+  Adm.close q;
+  Alcotest.(check bool) "closed refuses pushes" false (Adm.try_push q 3);
+  Alcotest.(check bool) "queued items still delivered" true
+    (Adm.pop q = Some 1 && Adm.pop q = Some 2);
+  Alcotest.(check bool) "then None" true (Adm.pop q = None);
+  (* A consumer blocked in pop is released by close. *)
+  let q2 : int Adm.t = Adm.create ~capacity:1 in
+  let d = Domain.spawn (fun () -> Adm.pop q2) in
+  Unix.sleepf 0.02;
+  Adm.close q2;
+  Alcotest.(check bool) "blocked pop released with None" true (Domain.join d = None)
+
+(* ------------------------------------------------------------ metrics *)
+
+let test_metrics_counters () =
+  let m = M.create () in
+  M.connection_opened m;
+  M.connection_opened m;
+  M.connection_closed m;
+  M.request m `Solve;
+  M.request m `Solve;
+  M.request m `Ping;
+  M.request m `Stats;
+  M.response_ok m;
+  M.response_error m ~code:"overloaded";
+  M.response_error m ~code:"overloaded";
+  M.job m ~cache_hit:true ~error:false ~wall_s:0.5;
+  M.job m ~cache_hit:false ~error:true ~wall_s:0.25;
+  let s = M.snapshot m in
+  Alcotest.(check int) "opened" 2 s.M.connections_opened;
+  Alcotest.(check int) "active" 1 s.M.connections_active;
+  Alcotest.(check int) "solve" 2 s.M.requests_solve;
+  Alcotest.(check int) "ping" 1 s.M.requests_ping;
+  Alcotest.(check int) "stats" 1 s.M.requests_stats;
+  Alcotest.(check int) "ok" 1 s.M.responses_ok;
+  Alcotest.(check bool) "errors by code" true
+    (s.M.errors = [ ("overloaded", 2) ]);
+  Alcotest.(check int) "jobs" 2 s.M.jobs;
+  Alcotest.(check int) "job errors" 1 s.M.job_errors;
+  Alcotest.(check int) "cache hits" 1 s.M.job_cache_hits;
+  Alcotest.(check (float 1e-9)) "job wall" 0.75 s.M.job_wall_s
+
+let test_metrics_latency () =
+  let m = M.create ~latency_window:64 () in
+  for i = 1 to 100 do
+    M.observe_solve m ~latency_s:(float_of_int i /. 100.)
+  done;
+  let s = M.snapshot m in
+  Alcotest.(check int) "lifetime count" 100 s.M.latency.M.count;
+  Alcotest.(check int) "window is the ring size" 64 s.M.latency.M.window;
+  Alcotest.(check (float 1e-9)) "lifetime max" 1.0 s.M.latency.M.max_s;
+  Alcotest.(check (float 1e-9)) "lifetime mean" 0.505 s.M.latency.M.mean_s;
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.M.latency.M.p50_s <= s.M.latency.M.p95_s
+    && s.M.latency.M.p95_s <= s.M.latency.M.p99_s
+    && s.M.latency.M.p99_s <= s.M.latency.M.max_s)
+
+let test_metrics_prometheus () =
+  let m = M.create () in
+  M.request m `Solve;
+  M.response_error m ~code:"overloaded";
+  M.observe_solve m ~latency_s:0.5;
+  let text = M.to_prometheus (M.snapshot m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (H.contains text needle))
+    [ {|tt_server_requests_total{op="solve"} 1|};
+      {|tt_server_responses_error_total{code="overloaded"} 1|};
+      {|tt_server_solve_latency_seconds{quantile="0.5"} 0.5|};
+      "tt_server_solve_latency_seconds_count 1";
+      "# TYPE tt_server_requests_total counter"
+    ]
+
+(* --------------------------------------------------------- end to end *)
+
+let with_server ?config f =
+  let t = Srv.create ?config () in
+  Srv.start t;
+  Fun.protect ~finally:(fun () -> Srv.shutdown t) (fun () -> f t)
+
+let entries =
+  [ "gen grid2d size=10 :: minmem; liu";
+    "gen banded size=40 :: liu; postorder";
+    "gen tridiagonal size=48 :: minmem; minio policy=first-fit budget=50%"
+  ]
+
+let local_jobs () =
+  match Tt_engine.Manifest.parse (String.concat "\n" entries) with
+  | Ok jobs -> jobs
+  | Error e -> Alcotest.failf "manifest: %s" e
+
+let test_ping_and_stats () =
+  with_server (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          Alcotest.(check bool) "pong" true (C.call c P.Ping = Ok P.Pong);
+          match C.call c P.Stats with
+          | Ok (P.Stats_reply j) ->
+              Alcotest.(check bool) "has server section" true
+                (Tt_engine.Telemetry.Json.member "server" j <> None)
+          | _ -> Alcotest.fail "expected a stats reply"))
+
+(* The acceptance criterion: results over the wire are byte-identical to
+   `treetrav batch` on the same jobs — same sequence digest. *)
+let test_digest_parity_with_batch () =
+  let jobs = local_jobs () in
+  let reports, _ = E.run_batch (E.create ~domains:1 ()) jobs in
+  let expected = E.results_digest reports in
+  with_server (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          let all =
+            List.concat_map
+              (fun entry ->
+                match C.solve c entry with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "solve %S: %s" entry e)
+              entries
+          in
+          Alcotest.(check int) "job count" (List.length jobs) (List.length all);
+          Alcotest.(check string) "sequence digest matches treetrav batch"
+            expected (P.sequence_digest all)))
+
+let test_concurrent_loadgen () =
+  let jobs = local_jobs () in
+  let reports, _ = E.run_batch (E.create ~domains:1 ()) jobs in
+  let expected_value = E.value_digest reports in
+  with_server (fun srv ->
+      let s =
+        L.run
+          { L.default_config with
+            L.port = Srv.port srv;
+            connections = 3;
+            requests = 120;
+            seed = 5;
+            entries = Array.of_list entries
+          }
+      in
+      Alcotest.(check int) "all requests issued" 120 s.L.requests;
+      Alcotest.(check int) "all ok" 120 s.L.ok;
+      Alcotest.(check bool) "no protocol errors" true (s.L.errors = []);
+      Alcotest.(check int) "no transport errors" 0 s.L.transport_errors;
+      Alcotest.(check bool) "value digest matches the batch engine" true
+        (s.L.value_digest = Some expected_value);
+      (* Server-side metrics agree with the client's observations:
+         same request count, and the server's request latency (receipt
+         to reply) cannot exceed what the client measured end-to-end. *)
+      let m = M.snapshot (Srv.metrics srv) in
+      Alcotest.(check int) "server counted every solve" 120 m.M.requests_solve;
+      Alcotest.(check int) "server replied ok to every solve" 120 m.M.responses_ok;
+      Alcotest.(check int) "server observed every latency" 120 m.M.latency.M.count;
+      Alcotest.(check bool) "server p50 <= client p50" true
+        (m.M.latency.M.p50_s <= s.L.p50_s +. 0.005))
+
+let test_overload () =
+  let config =
+    { Srv.default_config with Srv.workers = 1; queue_capacity = 1 }
+  in
+  (* The first request pins the single worker for ~100ms: an explicit tree
+     (cheap to parse on the I/O domain) with ten distinct jobs (expensive to
+     solve, and each spec distinct so the result cache cannot help).  The 29
+     follow-ups are tiny and admitted in a few milliseconds, so with
+     [queue_capacity = 1] all but one of them must bounce as [Overloaded]. *)
+  let slow_entry =
+    let rng = Tt_util.Rng.create 7 in
+    let tree = Tt_core.Tree.random ~rng ~size:20_000 ~max_f:40 ~max_n:20 in
+    Printf.sprintf
+      "tree \"%s\" :: minmem; liu; postorder; \
+       minio policy=first-fit budget=25%%; minio policy=first-fit budget=75%%; \
+       minio policy=best-fill budget=25%%; minio policy=best-fill budget=75%%; \
+       minio policy=lsnf budget=25%%; minio policy=lsnf budget=75%%; \
+       schedule procs=4 mem=1.5"
+      (Tt_core.Tree.to_string tree)
+  in
+  let tiny_entry k = Printf.sprintf "gen grid2d size=6 seed=%d :: minmem" k in
+  with_server ~config (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          let n = 30 in
+          let ids =
+            List.init n (fun k ->
+                let id = C.fresh_id c in
+                let entry = if k = 0 then slow_entry else tiny_entry k in
+                C.send c
+                  { P.id; op = P.Solve { entry; timeout_s = None } };
+                id)
+          in
+          let seen = Hashtbl.create 32 in
+          let ok = ref 0 and overloaded = ref 0 and other = ref 0 in
+          for _ = 1 to n do
+            match C.recv c with
+            | Error e -> Alcotest.failf "recv: %s" e
+            | Ok { P.req_id; body } ->
+                let id = Option.get req_id in
+                Alcotest.(check bool) ("id answered once: " ^ id) false
+                  (Hashtbl.mem seen id);
+                Hashtbl.add seen id ();
+                (match body with
+                | P.Results _ -> incr ok
+                | P.Refused { code = P.Overloaded; _ } -> incr overloaded
+                | _ -> incr other)
+          done;
+          List.iter
+            (fun id ->
+              Alcotest.(check bool) ("reply for " ^ id) true (Hashtbl.mem seen id))
+            ids;
+          Alcotest.(check int) "every reply is ok or overloaded" 0 !other;
+          Alcotest.(check bool) "some requests succeeded" true (!ok >= 1);
+          Alcotest.(check bool) "full queue rejected some" true (!overloaded >= 1);
+          Alcotest.(check int) "nothing lost, nothing duplicated" n (!ok + !overloaded)))
+
+let test_deadline_exceeded () =
+  with_server (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          match
+            C.call c
+              (P.Solve
+                 { entry = "gen grid2d size=10 :: minmem"; timeout_s = Some 0. })
+          with
+          | Ok (P.Refused { code = P.Deadline_exceeded; _ }) -> ()
+          | Ok _ -> Alcotest.fail "a zero deadline must be refused"
+          | Error e -> Alcotest.failf "call: %s" e))
+
+let test_graceful_drain () =
+  let config = { Srv.default_config with Srv.workers = 1 } in
+  let srv = Srv.create ~config () in
+  Srv.start srv;
+  let port = Srv.port srv in
+  C.with_connection ~port (fun c ->
+      (* Pipeline work, then a shutdown frame: every admitted request
+         must still be answered with real results. *)
+      let solve_ids =
+        List.init 3 (fun _ ->
+            let id = C.fresh_id c in
+            C.send c
+              { P.id;
+                op =
+                  P.Solve
+                    { entry = "gen grid2d size=12 :: minmem; liu";
+                      timeout_s = None
+                    }
+              };
+            id)
+      in
+      let shutdown_id = C.fresh_id c in
+      C.send c { P.id = shutdown_id; op = P.Shutdown };
+      let results = ref 0 and draining = ref 0 in
+      for _ = 1 to 4 do
+        match C.recv c with
+        | Error e -> Alcotest.failf "recv during drain: %s" e
+        | Ok { P.req_id; body } -> (
+            match body with
+            | P.Results _ ->
+                Alcotest.(check bool) "results id" true
+                  (List.mem (Option.get req_id) solve_ids);
+                incr results
+            | P.Draining ->
+                Alcotest.(check bool) "draining id" true
+                  (req_id = Some shutdown_id);
+                incr draining
+            | _ -> Alcotest.fail "unexpected body during drain")
+      done;
+      Alcotest.(check int) "all admitted solves completed" 3 !results;
+      Alcotest.(check int) "shutdown acknowledged" 1 !draining;
+      (* A solve sent after the drain began is refused, not dropped. *)
+      match C.call c (P.Solve { entry = "gen grid2d size=8 :: minmem"; timeout_s = None }) with
+      | Ok (P.Refused { code = P.Shutting_down; _ }) | Error _ ->
+          (* Error covers the race where the server already closed the
+             connection after draining it. *)
+          ()
+      | Ok _ -> Alcotest.fail "draining server accepted new work");
+  Srv.shutdown srv;
+  (* The listener is gone: new connections are refused. *)
+  match C.connect ~port () with
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+  | c ->
+      C.close c;
+      Alcotest.fail "listener still accepting after shutdown"
+
+let () =
+  H.run "server"
+    [ ( "protocol",
+        [ H.case "error codes" test_error_code_strings;
+          H.case "request round trip" test_request_round_trip;
+          H.case "request decode errors" test_request_decode_errors;
+          H.case "response round trip" test_response_round_trip;
+          H.case "digests" test_digests
+        ] );
+      ( "admission",
+        [ H.case "fifo" test_admission_fifo;
+          H.case "bounds" test_admission_bounds;
+          H.case "close" test_admission_close
+        ] );
+      ( "metrics",
+        [ H.case "counters" test_metrics_counters;
+          H.case "latency" test_metrics_latency;
+          H.case "prometheus" test_metrics_prometheus
+        ] );
+      ( "server",
+        [ H.case "ping and stats" test_ping_and_stats;
+          H.case "digest parity with batch" test_digest_parity_with_batch;
+          H.case "concurrent loadgen" test_concurrent_loadgen;
+          H.case "overload rejection" test_overload;
+          H.case "deadline exceeded" test_deadline_exceeded;
+          H.case "graceful drain" test_graceful_drain
+        ] )
+    ]

@@ -281,6 +281,32 @@ let test_timer () =
   Alcotest.(check int) "repeat result" 7 r2;
   Alcotest.(check bool) "per-run positive" true (per > 0.)
 
+let test_timer_wall_clock () =
+  (* Timer.now is wall-clock time: blocking (no CPU burned) must still
+     advance it. Sys.time, the old clock, would report ~0 here. *)
+  let t0 = Tt_util.Timer.now () in
+  let (), dt = Tt_util.Timer.time (fun () -> Unix.sleepf 0.02) in
+  let t1 = Tt_util.Timer.now () in
+  Alcotest.(check bool) "a sleep counts as elapsed time" true (dt >= 0.015);
+  Alcotest.(check bool) "now advances across the sleep" true (t1 -. t0 >= 0.015)
+
+(* ---------------------------------------------------------------- cancel *)
+
+let test_cancel_linked () =
+  let module Cancel = Tt_util.Cancel in
+  let parent = Cancel.create () in
+  let child = Cancel.linked ~parent () in
+  Alcotest.(check bool) "fresh child not cancelled" false (Cancel.cancelled child);
+  Cancel.cancel parent;
+  Alcotest.(check bool) "parent cancellation propagates" true (Cancel.cancelled child);
+  let expired = Cancel.linked ~deadline_after:(-1.) () in
+  Alcotest.(check bool) "own deadline still applies" true (Cancel.cancelled expired);
+  let p2 = Cancel.create () in
+  let c2 = Cancel.linked ~parent:p2 () in
+  Cancel.cancel c2;
+  Alcotest.(check bool) "child cancel does not propagate up" false
+    (Cancel.cancelled p2)
+
 let () =
   H.run "util"
     [ ( "dynarray",
@@ -301,5 +327,6 @@ let () =
       ("bitset", [ H.case "ops" test_bitset_ops; prop_bitset_model ]);
       ("rope", [ H.case "deep" test_rope_deep; prop_rope_model ]);
       ("statistics", [ H.case "basics" test_statistics; prop_quantile_monotone ]);
-      ("timer", [ H.case "time" test_timer ])
+      ("timer", [ H.case "time" test_timer; H.case "wall clock" test_timer_wall_clock ]);
+      ("cancel", [ H.case "linked tokens" test_cancel_linked ])
     ]
