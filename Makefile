@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke chaos clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke chaos chaos-net clean
 
 all: build
 
@@ -57,6 +57,51 @@ chaos: build
 	cmp _chaos_clean.digest _chaos_resumed.digest
 	rm -f _chaos.manifest _chaos_clean.digest _chaos_faulty.digest _chaos_resumed.digest _chaos.jnl _chaos_torn.jnl
 	@echo "chaos: fault-injected and resumed digests match the fault-free run"
+
+# Network chaos gate. Run 1: clean server, direct loadgen. Run 2: a
+# crash-injecting server behind the netfault proxy (drops, truncation,
+# stalls, tiny-write splits), same seed, retries + idempotency keys.
+# Both runs must converge to the same order-insensitive value digest,
+# run 2 must force at least one worker restart, and both servers must
+# drain with zero active connections. The load runs are wrapped in
+# `timeout` so a hung connection fails the gate instead of wedging CI.
+chaos-net: build
+	_build/default/bin/treetrav.exe serve --port 0 --workers 2 > _chaos_net_clean.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q '^listening on' _chaos_net_clean.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _chaos_net_clean.log); \
+	  test -n "$$port" || { echo "chaos-net: clean server did not start"; kill $$pid; exit 1; }; \
+	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag lgclean > _chaos_net_clean.out \
+	    || { echo "chaos-net: clean loadgen failed"; kill $$pid; exit 1; }; \
+	  grep -q '^errors: none' _chaos_net_clean.out || { echo "chaos-net: clean run saw errors"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid; \
+	  grep -q 'drained cleanly' _chaos_net_clean.log || { echo "chaos-net: clean server did not drain"; exit 1; }
+	grep '^value digest' _chaos_net_clean.out > _chaos_net_clean.digest
+	_build/default/bin/treetrav.exe serve --port 0 --workers 2 --worker-faults crash=0.15,seed=5 > _chaos_net_chaos.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q '^listening on' _chaos_net_chaos.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _chaos_net_chaos.log); \
+	  test -n "$$port" || { echo "chaos-net: chaos server did not start"; kill $$pid; exit 1; }; \
+	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag lgchaos \
+	    --retries 6 --read-timeout 5 --chaos 'drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,seed=9' \
+	    > _chaos_net_chaos.out \
+	    || { echo "chaos-net: chaos loadgen failed"; kill $$pid; exit 1; }; \
+	  grep -q '^errors: none' _chaos_net_chaos.out || { echo "chaos-net: chaos run lost requests"; kill $$pid; exit 1; }; \
+	  grep -q '^chaos proxy' _chaos_net_chaos.out || { echo "chaos-net: proxy stats missing"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid; \
+	  grep -q 'drained cleanly' _chaos_net_chaos.log || { echo "chaos-net: chaos server did not drain"; exit 1; }
+	grep '^value digest' _chaos_net_chaos.out > _chaos_net_chaos.digest
+	cmp _chaos_net_clean.digest _chaos_net_chaos.digest \
+	  || { echo "chaos-net: value digests diverged under network faults"; exit 1; }
+	grep -Eq '^tt_server_worker_restarts_total [1-9]' _chaos_net_chaos.log \
+	  || { echo "chaos-net: no worker restart was forced"; exit 1; }
+	grep -q '^tt_server_connections_active 0$$' _chaos_net_clean.log || { echo "chaos-net: clean server leaked connections"; exit 1; }
+	grep -q '^tt_server_connections_active 0$$' _chaos_net_chaos.log || { echo "chaos-net: chaos server leaked connections"; exit 1; }
+	rm -f _chaos_net_clean.log _chaos_net_clean.out _chaos_net_clean.digest \
+	  _chaos_net_chaos.log _chaos_net_chaos.out _chaos_net_chaos.digest
+	@echo "chaos-net: digest parity under faults, >=1 worker restart survived, no leaked connections"
 
 clean:
 	dune clean

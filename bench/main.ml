@@ -844,6 +844,45 @@ let serve_section () =
   run_profile ~connections:1 ~requests:(60 * !scale);
   run_profile ~connections:2 ~requests:(120 * !scale);
   run_profile ~connections:4 ~requests:(240 * !scale);
+  (* Chaos profile: the same seeded workload, but routed through the
+     in-process fault proxy with client retries. Measures the resilience
+     tax — and checks the layer's headline invariant: the chaos run's
+     value digest equals a clean run's (faults cost latency, never
+     results). *)
+  let profile ?chaos ?(retry = Tt_engine.Retry.none) ~tag () =
+    L.run
+      { L.default_config with
+        L.port = Srv.port server;
+        connections = 2;
+        requests = 60 * !scale;
+        seed = !seed;
+        retry;
+        chaos;
+        tag
+      }
+  in
+  let clean = profile ~tag:"bclean" () in
+  let faults =
+    Tt_server.Netfault.create_faults ~drop:0.03 ~truncate:0.02 ~stall:0.05
+      ~split:0.2 ~seed:!seed ()
+  in
+  let chaos =
+    profile ~chaos:faults
+      ~retry:(Tt_engine.Retry.create ~retries:6 ~seed:!seed ())
+      ~tag:"bchaos" ()
+  in
+  Printf.printf
+    "chaos (retries on): %7.1f req/s vs %7.1f clean  (ok %d, transport %d, \
+     injected %d)  digest %s\n"
+    chaos.L.throughput_rps clean.L.throughput_rps chaos.L.ok
+    chaos.L.transport_errors
+    (match chaos.L.proxy with
+    | Some p -> Tt_server.Netfault.injected p
+    | None -> 0)
+    (match (clean.L.value_digest, chaos.L.value_digest) with
+    | Some a, Some b when a = b -> "matches clean run"
+    | Some _, Some _ -> "MISMATCH vs clean run"
+    | _ -> "(missing)");
   Srv.shutdown server;
   let m = Tt_server.Metrics.snapshot (Srv.metrics server) in
   Printf.printf

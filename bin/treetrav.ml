@@ -362,10 +362,32 @@ let batch_cmd =
 (* --------------------------------------------------------------- serve *)
 
 let serve host port workers queue deadline timeout cache_dir max_entries
-    telemetry retries =
+    telemetry retries idle_timeout max_inflight replay_capacity wedge_grace
+    worker_faults =
   let module Srv = Tt_server.Server in
+  let worker_faults =
+    match worker_faults with
+    | None -> None
+    | Some spec -> (
+        match Tt_engine.Fault.of_string spec with
+        | Ok f -> Some f
+        | Error e ->
+            Printf.eprintf "serve: bad --worker-faults spec: %s\n" e;
+            exit 2)
+  in
   let config =
-    { Srv.host; port; workers; queue_capacity = queue; max_deadline_s = deadline }
+    { Srv.default_config with
+      Srv.host;
+      port;
+      workers;
+      queue_capacity = queue;
+      max_deadline_s = deadline;
+      idle_timeout_s = idle_timeout;
+      max_inflight;
+      replay_capacity;
+      wedge_grace_s = wedge_grace;
+      worker_faults
+    }
   in
   let retry =
     if retries = 0 then Tt_engine.Retry.none
@@ -439,12 +461,44 @@ let serve_cmd =
     Arg.(value & opt int 0
          & info [ "retries" ] ~docv:"N" ~doc:"Engine retry budget per job.")
   in
+  let idle_timeout =
+    Arg.(value & opt float 300.
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Evict connections idle this long with nothing in flight \
+                   (0 disables).")
+  in
+  let max_inflight =
+    Arg.(value & opt int 32
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Per-connection cap on unreplied solve requests; past it \
+                   solves are refused with 'overloaded'.")
+  in
+  let replay_capacity =
+    Arg.(value & opt int 1024
+         & info [ "replay-capacity" ] ~docv:"N"
+             ~doc:"Bound on the idempotency replay cache (FIFO eviction).")
+  in
+  let wedge_grace =
+    Arg.(value & opt float 5.
+         & info [ "wedge-grace" ] ~docv:"SECONDS"
+             ~doc:"Grace beyond a request's deadline before its worker is \
+                   declared wedged and replaced.")
+  in
+  let worker_faults =
+    Arg.(value & opt (some string) None
+         & info [ "worker-faults" ] ~docv:"SPEC"
+             ~doc:"Chaos hook: roll this fault spec (as in treetrav batch \
+                   --faults, e.g. 'crash=0.15,seed=5') once per admitted \
+                   request — crash/io kill the worker domain (exercising \
+                   supervision), delay wedges it.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the batch engine over TCP (newline-delimited JSON; \
              SIGINT/SIGTERM drain gracefully).")
     Term.(const serve $ host $ port $ workers $ queue $ deadline $ timeout
-          $ cache_dir $ max_entries $ telemetry $ retries)
+          $ cache_dir $ max_entries $ telemetry $ retries $ idle_timeout
+          $ max_inflight $ replay_capacity $ wedge_grace $ worker_faults)
 
 (* ------------------------------------------------------------- request *)
 
@@ -556,7 +610,8 @@ let request_cmd =
 
 (* ------------------------------------------------------------- loadgen *)
 
-let loadgen host port connections requests seed timeout rate entries_file =
+let loadgen host port connections requests seed timeout rate entries_file
+    chaos retries read_timeout tag =
   let module L = Tt_server.Loadgen in
   let entries =
     match entries_file with
@@ -564,6 +619,16 @@ let loadgen host port connections requests seed timeout rate entries_file =
     | Some path ->
         let text = In_channel.with_open_text path In_channel.input_all in
         Array.of_list (manifest_entries text)
+  in
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some spec -> (
+        match Tt_server.Netfault.faults_of_string spec with
+        | Ok f -> Some f
+        | Error e ->
+            Printf.eprintf "loadgen: bad --chaos spec: %s\n" e;
+            exit 2)
   in
   if Array.length entries = 0 then begin
     prerr_endline "loadgen: entries file has no manifest entries";
@@ -578,7 +643,13 @@ let loadgen host port connections requests seed timeout rate entries_file =
         seed;
         entries;
         timeout_s = timeout;
-        mode = (match rate with None -> L.Closed | Some r -> L.Open r)
+        mode = (match rate with None -> L.Closed | Some r -> L.Open r);
+        retry =
+          (if retries = 0 then Tt_engine.Retry.none
+           else Tt_engine.Retry.create ~retries ~seed ());
+        read_timeout_s = read_timeout;
+        chaos;
+        tag
       }
     in
     let s = L.run cfg in
@@ -618,11 +689,98 @@ let loadgen_cmd =
              ~doc:"Draw solve entries from this manifest instead of the \
                    built-in mixed workload.")
   in
+  let chaos =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Route traffic through an in-process seeded fault proxy, \
+                   e.g. 'drop=0.05,trunc=0.03,stall=0.1,split=0.3,seed=9'. \
+                   Pair with --retries so requests survive the faults.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Client-side retry budget per request (capped exponential \
+                   backoff; retried solves are deduplicated server-side via \
+                   idempotency keys).")
+  in
+  let read_timeout =
+    Arg.(value & opt float 30.
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-reply read deadline; a timed-out read counts as a \
+                   transport error and triggers a retry.")
+  in
+  let tag =
+    Arg.(value & opt string "lg"
+         & info [ "tag" ] ~docv:"TAG"
+             ~doc:"Idempotency-key namespace. Two runs against one server \
+                   must use distinct tags (or the second run is answered \
+                   from the first's replay cache).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a running server with a deterministic seeded workload.")
     Term.(const loadgen $ host $ port $ connections $ requests $ seed
-          $ timeout $ rate $ entries_file)
+          $ timeout $ rate $ entries_file $ chaos $ retries $ read_timeout
+          $ tag)
+
+(* --------------------------------------------------------- chaos-proxy *)
+
+let chaos_proxy port upstream_host upstream_port faults =
+  let module N = Tt_server.Netfault in
+  let faults =
+    match faults with
+    | None -> N.none
+    | Some spec -> (
+        match N.faults_of_string spec with
+        | Ok f -> f
+        | Error e ->
+            Printf.eprintf "chaos-proxy: bad --faults spec: %s\n" e;
+            exit 2)
+  in
+  let p = N.create ~faults ~port ~upstream_host ~upstream_port () in
+  Printf.printf "proxying 127.0.0.1:%d -> %s:%d (%s)\n" (N.port p)
+    upstream_host upstream_port (N.faults_to_string faults);
+  flush stdout;
+  let stop_signal _ = N.request_stop p in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  N.run p;
+  let s = N.stats p in
+  Printf.printf
+    "proxy stats: %d conns, %d drops, %d truncations, %d stalls, %d splits, \
+     %d bytes\n"
+    s.N.connections s.N.drops s.N.truncations s.N.stalls s.N.splits
+    s.N.forwarded_bytes;
+  0
+
+let chaos_proxy_cmd =
+  let port =
+    Arg.(value & opt int 0
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"Listening port (0 picks an ephemeral port, printed on \
+                   startup).")
+  in
+  let upstream_host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "upstream-host" ] ~docv:"HOST")
+  in
+  let upstream_port =
+    Arg.(required & opt (some int) None
+         & info [ "upstream-port" ] ~docv:"PORT"
+             ~doc:"The real server to forward to.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Seeded fault spec, e.g. \
+                   'drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,\
+                   window=256,seed=9'. Defaults to a transparent proxy.")
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:"Run a deterministic TCP fault-injection proxy in front of a \
+             server (SIGINT/SIGTERM stop it and print stats).")
+    Term.(const chaos_proxy $ port $ upstream_host $ upstream_port $ faults)
 
 let () =
   let doc = "memory-optimal tree traversals for sparse matrix factorization" in
@@ -631,4 +789,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
-            serve_cmd; request_cmd; loadgen_cmd ]))
+            serve_cmd; request_cmd; loadgen_cmd; chaos_proxy_cmd ]))

@@ -3,9 +3,14 @@ type 'a t = {
   mutable head : int;  (* next pop position *)
   mutable len : int;
   mutable is_closed : bool;
+  mutable pushed : int;
+  mutable rejected : int;
+  mutable high_watermark : int;
   mu : Mutex.t;
   nonempty : Condition.t;
 }
+
+type stats = { pushed : int; rejected : int; high_watermark : int }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
@@ -13,6 +18,9 @@ let create ~capacity =
     head = 0;
     len = 0;
     is_closed = false;
+    pushed = 0;
+    rejected = 0;
+    high_watermark = 0;
     mu = Mutex.create ();
     nonempty = Condition.create ()
   }
@@ -27,13 +35,22 @@ let closed t = locked t (fun () -> t.is_closed)
 
 let try_push t v =
   locked t (fun () ->
-      if t.is_closed || t.len = Array.length t.ring then false
+      if t.is_closed || t.len = Array.length t.ring then begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
       else begin
         t.ring.((t.head + t.len) mod Array.length t.ring) <- Some v;
         t.len <- t.len + 1;
+        t.pushed <- t.pushed + 1;
+        if t.len > t.high_watermark then t.high_watermark <- t.len;
         Condition.signal t.nonempty;
         true
       end)
+
+let stats t =
+  locked t (fun () ->
+      { pushed = t.pushed; rejected = t.rejected; high_watermark = t.high_watermark })
 
 let pop t =
   locked t (fun () ->

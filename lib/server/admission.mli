@@ -39,3 +39,12 @@ val close : 'a t -> unit
     shutdown relies on. Idempotent. *)
 
 val closed : 'a t -> bool
+
+type stats = {
+  pushed : int;  (** Lifetime successful {!try_push}es. *)
+  rejected : int;  (** Lifetime refused pushes (full or closed). *)
+  high_watermark : int;  (** Deepest the queue has ever been. *)
+}
+
+val stats : 'a t -> stats
+(** Lifetime admission counters — the [stats] op's queue observability. *)

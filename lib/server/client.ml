@@ -1,10 +1,15 @@
 module P = Protocol
+module Retry = Tt_engine.Retry
+
+let default_read_timeout_s = 30.
+
+(* ------------------------------------------------------ one connection *)
 
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
+  mutable rbuf : string;  (* bytes read but not yet consumed as lines *)
   mutable next_id : int;
+  read_timeout_s : float;
   mutable is_closed : bool;
 }
 
@@ -14,7 +19,8 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> failwith ("cannot resolve host " ^ host))
 
-let connect ?(host = "127.0.0.1") ~port () =
+let connect ?(host = "127.0.0.1") ?(read_timeout_s = default_read_timeout_s)
+    ~port () =
   (* A write to a connection the server already closed must surface as
      an [Error], not kill the process. *)
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -23,22 +29,16 @@ let connect ?(host = "127.0.0.1") ~port () =
    with e ->
      Unix.close fd;
      raise e);
-  { fd;
-    ic = Unix.in_channel_of_descr fd;
-    oc = Unix.out_channel_of_descr fd;
-    next_id = 0;
-    is_closed = false
-  }
+  { fd; rbuf = ""; next_id = 0; read_timeout_s; is_closed = false }
 
 let close t =
   if not t.is_closed then begin
     t.is_closed <- true;
-    (* Closing either channel closes the shared descriptor. *)
-    try close_out t.oc with Sys_error _ | Unix.Unix_error _ -> ()
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let with_connection ?host ~port f =
-  let t = connect ?host ~port () in
+let with_connection ?host ?read_timeout_s ~port f =
+  let t = connect ?host ?read_timeout_s ~port () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let fresh_id t =
@@ -47,21 +47,61 @@ let fresh_id t =
   id
 
 let send t req =
-  output_string t.oc (P.encode_request req);
-  output_char t.oc '\n';
-  flush t.oc
+  let line = P.encode_request req ^ "\n" in
+  let len = String.length line in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring t.fd line !off (len - !off)
+  done
 
+(* Pull the first '\n'-terminated line out of [rbuf], reading more from
+   the socket (bounded by the read deadline) as needed. Every failure
+   mode — EOF, timeout, ECONNRESET and friends — comes back as [Error],
+   never as an exception. *)
 let recv t =
-  match input_line t.ic with
-  | line -> P.decode_response line
-  | exception End_of_file -> Error "connection closed by server"
-  | exception Sys_error e -> Error e
+  let deadline = Unix.gettimeofday () +. t.read_timeout_s in
+  let buf = Bytes.create 65536 in
+  let rec line () =
+    match String.index_opt t.rbuf '\n' with
+    | Some i ->
+        let raw = String.sub t.rbuf 0 i in
+        t.rbuf <- String.sub t.rbuf (i + 1) (String.length t.rbuf - i - 1);
+        P.decode_response raw
+    | None -> fill ()
+  and fill () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then
+      Error
+        (Printf.sprintf "read timed out after %gs waiting for a reply"
+           t.read_timeout_s)
+    else
+      match Unix.select [ t.fd ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | [], _, _ ->
+          Error
+            (Printf.sprintf "read timed out after %gs waiting for a reply"
+               t.read_timeout_s)
+      | _ -> (
+          match Unix.read t.fd buf 0 (Bytes.length buf) with
+          | 0 -> Error "connection closed by server"
+          | n ->
+              t.rbuf <- t.rbuf ^ Bytes.sub_string buf 0 n;
+              line ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+          | exception Sys_error e -> Error e)
+  in
+  line ()
 
 let call t op =
   let id = fresh_id t in
+  (* A send failure may still leave a reply (or an error frame) already
+     buffered on the wire, so always attempt the read. *)
   (match send t { P.id; op } with
   | () -> ()
-  | exception Sys_error _ -> ());
+  | exception Sys_error _ -> ()
+  | exception Unix.Unix_error _ -> ());
   match recv t with
   | Error _ as e -> e
   | Ok { P.req_id; body } ->
@@ -74,11 +114,116 @@ let call t op =
              (Option.value ~default:"null" req_id))
       else Ok body
 
-let solve t ?timeout_s entry =
-  match call t (P.Solve { entry; timeout_s }) with
+let solve t ?timeout_s ?idem entry =
+  match call t (P.Solve { entry; timeout_s; idem }) with
   | Error _ as e -> e
   | Ok (P.Results reports) -> Ok reports
   | Ok (P.Refused { code; msg }) ->
       Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) msg)
   | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
       Error "unexpected response body for solve"
+
+(* --------------------------------------------------- resilient session *)
+
+type failure =
+  | Refused of P.error_code * string
+  | Transport of string
+
+let failure_to_string = function
+  | Refused (code, msg) ->
+      Printf.sprintf "%s: %s" (P.error_code_to_string code) msg
+  | Transport msg -> "transport: " ^ msg
+
+type session = {
+  s_host : string;
+  s_port : int;
+  s_read_timeout_s : float;
+  s_retry : Retry.policy;
+  s_tag : string;
+  mutable s_conn : t option;
+  mutable s_seq : int;
+}
+
+let open_session ?(host = "127.0.0.1") ?(read_timeout_s = default_read_timeout_s)
+    ?(retry = Retry.none) ?(tag = "s") ~port () =
+  { s_host = host;
+    s_port = port;
+    s_read_timeout_s = read_timeout_s;
+    s_retry = retry;
+    s_tag = tag;
+    s_conn = None;
+    s_seq = 0
+  }
+
+let close_session s =
+  Option.iter close s.s_conn;
+  s.s_conn <- None
+
+let session_drop s =
+  close_session s
+
+let session_conn s =
+  match s.s_conn with
+  | Some c -> Ok c
+  | None -> (
+      match
+        connect ~host:s.s_host ~read_timeout_s:s.s_read_timeout_s
+          ~port:s.s_port ()
+      with
+      | c ->
+          s.s_conn <- Some c;
+          Ok c
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception Failure msg -> Error msg)
+
+(* Transient refusals: the server is alive and answered, but retrying
+   later can succeed. Everything else ([Bad_request] & co.) is
+   deterministic — retrying would just repeat it. *)
+let retryable = function
+  | P.Overloaded | P.Deadline_exceeded | P.Internal -> true
+  | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Shutting_down ->
+      false
+
+let session_solve s ?timeout_s ?idem entry =
+  let key =
+    match idem with
+    | Some k -> k
+    | None ->
+        let k = Printf.sprintf "%s-%d" s.s_tag s.s_seq in
+        s.s_seq <- s.s_seq + 1;
+        k
+  in
+  let op = P.Solve { entry; timeout_s; idem = Some key } in
+  let attempt () =
+    match session_conn s with
+    | Error msg -> Error (Transport msg)
+    | Ok c -> (
+        match call c op with
+        | Error msg ->
+            (* The connection is in an unknown state (half-written
+               frame, stale buffered bytes): drop it so the next
+               attempt reconnects. The idempotency key makes the
+               retry safe even if the solve actually ran. *)
+            session_drop s;
+            Error (Transport msg)
+        | Ok (P.Results reports) -> Ok reports
+        | Ok (P.Refused { code; msg }) -> Error (Refused (code, msg))
+        | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
+            session_drop s;
+            Error (Transport "unexpected response body for solve"))
+  in
+  (* [Retry.delays] yields the gaps between attempts (one per retry);
+     seeding by key keeps each request's backoff schedule deterministic
+     and decorrelated from its neighbours'. *)
+  let rec go delays =
+    match attempt () with
+    | Ok _ as ok -> ok
+    | Error (Refused (code, _)) as e when not (retryable code) -> e
+    | Error _ as e -> (
+        match delays with
+        | [] -> e
+        | d :: rest ->
+            if d > 0. then Unix.sleepf d;
+            go rest)
+  in
+  go (Retry.delays s.s_retry ~key)

@@ -1,39 +1,103 @@
-(** Minimal blocking client for the {!Protocol} wire format.
+(** Blocking client for the {!Protocol} wire format, in two layers.
 
-    One connection, stdlib [Unix] sockets and buffered channels. The
-    simple path is {!call}: send one request, block for one reply —
-    correct because a single-outstanding-request connection cannot see
+    {b Connection} ({!t}): one socket, stdlib [Unix] only. The simple
+    path is {!call}: send one request, block for one reply — correct
+    because a single-outstanding-request connection cannot see
     reordering. Pipelined clients (the load generator, the overload
-    tests) use {!send} / {!recv} directly and match replies by id. *)
+    tests) use {!send} / {!recv} directly and match replies by id.
+    Every {!recv} is bounded by a read deadline, and every transport
+    failure — EOF, timeout, [ECONNRESET] — surfaces as [Error], never
+    as an exception.
+
+    {b Session} ({!session}): a resilient wrapper that owns (and
+    replaces) connections. {!session_solve} retries transport failures
+    and transient refusals on a {!Tt_engine.Retry} backoff schedule,
+    reconnecting as needed, and attaches an idempotency key to every
+    solve so a retry after a lost reply is answered from the server's
+    replay cache instead of executing twice. *)
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> t
-(** [host] defaults to ["127.0.0.1"].
+val default_read_timeout_s : float
+(** 30 s. *)
+
+val connect : ?host:string -> ?read_timeout_s:float -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"], [read_timeout_s] to
+    {!default_read_timeout_s}.
     @raise Unix.Unix_error when the connection is refused. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
-val with_connection : ?host:string -> port:int -> (t -> 'a) -> 'a
+val with_connection :
+  ?host:string -> ?read_timeout_s:float -> port:int -> (t -> 'a) -> 'a
 (** [connect], run, [close] (also on exception). *)
 
 val fresh_id : t -> string
 (** Next request id in this connection's [c0], [c1], … sequence. *)
 
 val send : t -> Protocol.request -> unit
-(** Write one frame (flushes). *)
+(** Write one frame.
+    @raise Unix.Unix_error when the connection is gone. *)
 
 val recv : t -> (Protocol.response, string) result
-(** Block for the next frame. [Error] on EOF or an undecodable frame. *)
+(** Block for the next frame, up to the connection's read timeout.
+    [Error] on EOF, timeout, an undecodable frame, or a socket error. *)
 
 val call : t -> Protocol.op -> (Protocol.body, string) result
-(** [send] with a {!fresh_id}, then {!recv}; checks the echoed id. *)
+(** [send] with a {!fresh_id}, then {!recv}; checks the echoed id. A
+    send failure still attempts the read (an error reply may already be
+    buffered). *)
 
 val solve :
   t ->
   ?timeout_s:float ->
+  ?idem:string ->
   string ->
   (Protocol.job_report list, string) result
 (** [solve t entry] runs one manifest entry; flattens [Refused] replies
-    into [Error "code: msg"]. *)
+    into [Error "code: msg"]. No retries — see {!session_solve}. *)
+
+(* ----------------------------------------------------------- sessions *)
+
+type failure =
+  | Refused of Protocol.error_code * string
+      (** The server answered with an error frame. *)
+  | Transport of string
+      (** The connection failed (refused, reset, EOF, read timeout) —
+          whether the solve ran is unknown. *)
+
+val failure_to_string : failure -> string
+
+type session
+
+val open_session :
+  ?host:string ->
+  ?read_timeout_s:float ->
+  ?retry:Tt_engine.Retry.policy ->
+  ?tag:string ->
+  port:int ->
+  unit ->
+  session
+(** Never connects eagerly — the first {!session_solve} does. [retry]
+    defaults to {!Tt_engine.Retry.none} (single attempt); [tag]
+    (default ["s"]) namespaces generated idempotency keys, so two
+    sessions hitting the same server must use distinct tags. *)
+
+val close_session : session -> unit
+(** Close the current connection, if any. The session remains usable —
+    the next solve reconnects. *)
+
+val session_solve :
+  session ->
+  ?timeout_s:float ->
+  ?idem:string ->
+  string ->
+  (Protocol.job_report list, failure) result
+(** Solve with retries. Each solve carries an idempotency key ([idem]
+    if given, else ["<tag>-<seq>"]), so retries after a lost reply
+    cannot double-execute. Transport failures drop the connection and
+    reconnect on the next attempt; [Overloaded], [Deadline_exceeded]
+    and [Internal] refusals are retried on the backoff schedule;
+    deterministic refusals ([Bad_request], [Shutting_down], …) return
+    immediately. *)

@@ -11,6 +11,10 @@ type config = {
   entries : string array;
   timeout_s : float option;
   mode : mode;
+  retry : Tt_engine.Retry.policy;
+  read_timeout_s : float;
+  chaos : Netfault.faults option;
+  tag : string;
 }
 
 let default_entries =
@@ -31,7 +35,11 @@ let default_config =
     seed = 42;
     entries = default_entries;
     timeout_s = None;
-    mode = Closed
+    mode = Closed;
+    retry = Tt_engine.Retry.none;
+    read_timeout_s = Client.default_read_timeout_s;
+    chaos = None;
+    tag = "lg"
   }
 
 (* What one client domain brings home. *)
@@ -48,8 +56,14 @@ let count_error tally code =
   Hashtbl.replace tally.t_errors code
     (1 + Option.value ~default:0 (Hashtbl.find_opt tally.t_errors code))
 
-(* One connection's run: [n] requests, entries drawn from [rng]. *)
-let client cfg ~n ~rng =
+(* One connection's run: [n] requests through a resilient session,
+   entries drawn from [rng]. Idempotency keys are deterministic
+   ("<tag><seed>-c<conn>-r<i>"), so a chaos run and a clean run of the
+   same config deduplicate independently (distinct tags keep them from
+   colliding in the server's replay cache). Transport failures that
+   survive the whole retry schedule are counted and the run moves on —
+   the session reconnects on the next request. *)
+let client cfg ~host ~port ~k ~n ~rng =
   let tally =
     { issued = 0;
       t_ok = 0;
@@ -59,38 +73,37 @@ let client cfg ~n ~rng =
       reports = []
     }
   in
-  (try
-     Client.with_connection ~host:cfg.host ~port:cfg.port (fun c ->
-         let t0 = Unix.gettimeofday () in
-         let interval = match cfg.mode with Closed -> 0. | Open r -> 1. /. r in
-         let stop = ref false in
-         let i = ref 0 in
-         while (not !stop) && !i < n do
-           (match cfg.mode with
-           | Closed -> ()
-           | Open _ ->
-               let slot = t0 +. (float_of_int !i *. interval) in
-               let wait = slot -. Unix.gettimeofday () in
-               if wait > 0. then Unix.sleepf wait);
-           let entry = Tt_util.Rng.pick rng cfg.entries in
-           tally.issued <- tally.issued + 1;
-           let sent = Unix.gettimeofday () in
-           (match Client.call c (P.Solve { entry; timeout_s = cfg.timeout_s }) with
-           | Ok (P.Results reports) ->
-               tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
-               tally.t_ok <- tally.t_ok + 1;
-               tally.reports <- List.rev_append reports tally.reports
-           | Ok (P.Refused { code; _ }) ->
-               tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
-               count_error tally (P.error_code_to_string code)
-           | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
-               tally.t_transport <- tally.t_transport + 1
-           | Error _ ->
-               tally.t_transport <- tally.t_transport + 1;
-               stop := true);
-           incr i
-         done)
-   with Unix.Unix_error _ | Failure _ -> tally.t_transport <- tally.t_transport + 1);
+  let session =
+    Client.open_session ~host ~read_timeout_s:cfg.read_timeout_s
+      ~retry:cfg.retry ~port ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close_session session)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let interval = match cfg.mode with Closed -> 0. | Open r -> 1. /. r in
+      for i = 0 to n - 1 do
+        (match cfg.mode with
+        | Closed -> ()
+        | Open _ ->
+            let slot = t0 +. (float_of_int i *. interval) in
+            let wait = slot -. Unix.gettimeofday () in
+            if wait > 0. then Unix.sleepf wait);
+        let entry = Tt_util.Rng.pick rng cfg.entries in
+        let idem = Printf.sprintf "%s%d-c%d-r%d" cfg.tag cfg.seed k i in
+        tally.issued <- tally.issued + 1;
+        let sent = Unix.gettimeofday () in
+        match Client.session_solve session ?timeout_s:cfg.timeout_s ~idem entry with
+        | Ok reports ->
+            tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
+            tally.t_ok <- tally.t_ok + 1;
+            tally.reports <- List.rev_append reports tally.reports
+        | Error (Client.Refused (code, _)) ->
+            tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
+            count_error tally (P.error_code_to_string code)
+        | Error (Client.Transport _) ->
+            tally.t_transport <- tally.t_transport + 1
+      done);
   tally
 
 type summary = {
@@ -107,27 +120,65 @@ type summary = {
   p99_s : float;
   max_s : float;
   value_digest : string option;
+  proxy : Netfault.stats option;
 }
 
 let run cfg =
   if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if cfg.requests < 1 then invalid_arg "Loadgen.run: requests < 1";
   if Array.length cfg.entries = 0 then invalid_arg "Loadgen.run: no entries";
-  let per_conn k =
-    (* First [requests mod connections] connections take one extra. *)
-    (cfg.requests / cfg.connections)
-    + (if k < cfg.requests mod cfg.connections then 1 else 0)
+  (* Under --chaos, interpose the seeded fault proxy and aim every
+     client at it; the summary then also carries the proxy's injection
+     counters, so a run can assert that faults actually fired. *)
+  let proxy =
+    Option.map
+      (fun faults ->
+        let p =
+          Netfault.create ~faults ~upstream_host:cfg.host
+            ~upstream_port:cfg.port ()
+        in
+        Netfault.start p;
+        p)
+      cfg.chaos
   in
-  let t0 = Unix.gettimeofday () in
-  let domains =
-    Array.init cfg.connections (fun k ->
-        let n = per_conn k in
-        (* Distinct deterministic stream per connection. *)
-        let rng = Tt_util.Rng.create ((cfg.seed * 1000003) + k) in
-        Domain.spawn (fun () -> client cfg ~n ~rng))
+  let host, port =
+    match proxy with
+    | Some p -> ("127.0.0.1", Netfault.port p)
+    | None -> (cfg.host, cfg.port)
   in
-  let tallies = Array.map Domain.join domains in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let finish () =
+    Option.map
+      (fun p ->
+        let s = Netfault.stats p in
+        Netfault.shutdown p;
+        s)
+      proxy
+  in
+  let run_clients () =
+    let per_conn k =
+      (* First [requests mod connections] connections take one extra. *)
+      (cfg.requests / cfg.connections)
+      + (if k < cfg.requests mod cfg.connections then 1 else 0)
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      Array.init cfg.connections (fun k ->
+          let n = per_conn k in
+          (* Distinct deterministic stream per connection. *)
+          let rng = Tt_util.Rng.create ((cfg.seed * 1000003) + k) in
+          Domain.spawn (fun () -> client cfg ~host ~port ~k ~n ~rng))
+    in
+    let tallies = Array.map Domain.join domains in
+    (tallies, Unix.gettimeofday () -. t0)
+  in
+  let tallies, wall_s =
+    match run_clients () with
+    | r -> r
+    | exception e ->
+        ignore (finish ());
+        raise e
+  in
+  let proxy_stats = finish () in
   let issued = Array.fold_left (fun a t -> a + t.issued) 0 tallies in
   let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
   let transport = Array.fold_left (fun a t -> a + t.t_transport) 0 tallies in
@@ -164,7 +215,8 @@ let run cfg =
     p95_s = q 0.95;
     p99_s = q 0.99;
     max_s = (if Array.length lats = 0 then 0. else snd (Tt_util.Statistics.min_max lats));
-    value_digest = (if reports = [] then None else Some (P.value_digest reports))
+    value_digest = (if reports = [] then None else Some (P.value_digest reports));
+    proxy = proxy_stats
   }
 
 let summary_to_string s =
@@ -183,6 +235,14 @@ let summary_to_string s =
   pf "wall: %.3f s, throughput: %.1f req/s\n" s.wall_s s.throughput_rps;
   pf "latency: mean %.4f s, p50 %.4f s, p95 %.4f s, p99 %.4f s, max %.4f s\n"
     s.mean_s s.p50_s s.p95_s s.p99_s s.max_s;
+  (match s.proxy with
+  | None -> ()
+  | Some p ->
+      pf
+        "chaos proxy: %d conns, %d drops, %d truncations, %d stalls, %d \
+         splits, %d bytes\n"
+        p.Netfault.connections p.Netfault.drops p.Netfault.truncations
+        p.Netfault.stalls p.Netfault.splits p.Netfault.forwarded_bytes);
   (match s.value_digest with
   | Some d -> pf "value digest: %s\n" d
   | None -> pf "value digest: (no results)\n");

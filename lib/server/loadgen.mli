@@ -1,10 +1,13 @@
 (** Deterministic load generator for [treetrav serve].
 
-    [connections] client domains each open one connection and issue
-    their share of [requests] solve frames, drawing manifest entries
-    from [entries] with a per-connection {!Tt_util.Rng} stream derived
-    from [seed] — so a run is reproducible given the same seed and
-    server state, and two connections never share an RNG.
+    [connections] client domains each run one resilient
+    {!Client.session} and issue their share of [requests] solve
+    frames, drawing manifest entries from [entries] with a
+    per-connection {!Tt_util.Rng} stream derived from [seed] — so a
+    run is reproducible given the same seed and server state, and two
+    connections never share an RNG. Every request carries a
+    deterministic idempotency key (["<tag><seed>-c<conn>-r<i>"]), so
+    retries after lost replies are deduplicated server-side.
 
     Two pacing modes:
     - {!Closed}: each connection keeps exactly one request outstanding
@@ -16,6 +19,14 @@
       latencies include any queueing the server builds up. (Sends
       still wait for the previous reply; a saturated server degrades
       toward closed-loop behaviour rather than unbounded pipelining.)
+
+    {b Chaos mode.} With [chaos = Some faults], the run interposes a
+    {!Netfault} proxy between the clients and the server: connections
+    get dropped, stalled, truncated and split per the seeded spec, the
+    sessions retry through it on [retry], and the summary carries the
+    proxy's injection counters. The headline invariant — asserted by
+    [make chaos-net] — is that a chaos run's {!summary.value_digest}
+    equals the clean run's: faults change latency, never results.
 
     The summary aggregates client-side observations: outcome counts by
     error code, end-to-end latency percentiles
@@ -37,11 +48,21 @@ type config = {
   entries : string array;  (** Manifest entries to draw from (≥ 1). *)
   timeout_s : float option;  (** Per-request deadline sent to the server. *)
   mode : mode;
+  retry : Tt_engine.Retry.policy;
+      (** Session retry policy (default {!Tt_engine.Retry.none}). *)
+  read_timeout_s : float;  (** Per-reply read deadline (default 30 s). *)
+  chaos : Netfault.faults option;
+      (** Interpose a fault proxy with this spec (default [None]). *)
+  tag : string;
+      (** Idempotency-key namespace (default ["lg"]). Two runs against
+          the same server must use distinct tags, or the second is
+          answered from the first's replay cache. *)
 }
 
 val default_config : config
 (** 2 connections, 100 requests, seed 42, {!default_entries}, closed
-    loop, port 0 (caller must override the port). *)
+    loop, no retries, no chaos, port 0 (caller must override the
+    port). *)
 
 val default_entries : string array
 (** A small mixed workload: generated grids / banded / random sources
@@ -51,7 +72,9 @@ type summary = {
   requests : int;  (** Requests actually issued. *)
   ok : int;
   errors : (string * int) list;  (** Error-code → count, sorted. *)
-  transport_errors : int;  (** Connection-level failures (EOF, bad frame). *)
+  transport_errors : int;
+      (** Requests whose whole retry schedule was eaten by
+          connection-level failures (EOF, reset, read timeout). *)
   jobs : int;  (** Job reports received across all ok replies. *)
   wall_s : float;
   throughput_rps : float;
@@ -63,6 +86,8 @@ type summary = {
   value_digest : string option;
       (** {!Protocol.value_digest} over all received job results; [None]
           when no solve succeeded. *)
+  proxy : Netfault.stats option;
+      (** The fault proxy's counters ([None] unless [chaos] was set). *)
 }
 
 val run : config -> summary

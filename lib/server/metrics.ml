@@ -18,6 +18,10 @@ type t = {
   mutable lat_count : int;
   mutable lat_sum : float;
   mutable lat_max : float;
+  mutable worker_restarts : int;
+  mutable idle_evictions : int;
+  mutable replay_hits : int;
+  mutable write_overflows : int;
 }
 
 let create ?(latency_window = 4096) () =
@@ -38,7 +42,11 @@ let create ?(latency_window = 4096) () =
     job_wall_s = 0.;
     lat_count = 0;
     lat_sum = 0.;
-    lat_max = 0.
+    lat_max = 0.;
+    worker_restarts = 0;
+    idle_evictions = 0;
+    replay_hits = 0;
+    write_overflows = 0
   }
 
 let locked t f =
@@ -69,6 +77,11 @@ let observe_solve t ~latency_s =
       t.lat_count <- t.lat_count + 1;
       t.lat_sum <- t.lat_sum +. latency_s;
       if latency_s > t.lat_max then t.lat_max <- latency_s)
+
+let worker_restart t = locked t (fun () -> t.worker_restarts <- t.worker_restarts + 1)
+let idle_eviction t = locked t (fun () -> t.idle_evictions <- t.idle_evictions + 1)
+let replay_hit t = locked t (fun () -> t.replay_hits <- t.replay_hits + 1)
+let write_overflow t = locked t (fun () -> t.write_overflows <- t.write_overflows + 1)
 
 let job t ~cache_hit ~error ~wall_s =
   locked t (fun () ->
@@ -103,6 +116,10 @@ type snapshot = {
   job_errors : int;
   job_cache_hits : int;
   job_wall_s : float;
+  worker_restarts : int;
+  idle_evictions : int;
+  replay_hits : int;
+  write_overflows : int;
   latency : latency_summary;
 }
 
@@ -126,6 +143,10 @@ let snapshot t =
         job_errors = t.job_errors;
         job_cache_hits = t.job_cache_hits;
         job_wall_s = t.job_wall_s;
+        worker_restarts = t.worker_restarts;
+        idle_evictions = t.idle_evictions;
+        replay_hits = t.replay_hits;
+        write_overflows = t.write_overflows;
         latency =
           { count = t.lat_count;
             window;
@@ -163,6 +184,13 @@ let to_json s =
             ("errors", Json.Int s.job_errors);
             ("cache_hits", Json.Int s.job_cache_hits);
             ("wall_s", Json.Float s.job_wall_s)
+          ] );
+      ( "resilience",
+        Json.Obj
+          [ ("worker_restarts", Json.Int s.worker_restarts);
+            ("idle_evictions", Json.Int s.idle_evictions);
+            ("replay_hits", Json.Int s.replay_hits);
+            ("write_overflows", Json.Int s.write_overflows)
           ] );
       ( "latency",
         Json.Obj
@@ -215,6 +243,14 @@ let to_prometheus s =
   counter "job_cache_hits_total" s.job_cache_hits;
   typ "job_wall_seconds_total" "counter";
   gauge "job_wall_seconds_total" s.job_wall_s;
+  typ "worker_restarts_total" "counter";
+  counter "worker_restarts_total" s.worker_restarts;
+  typ "idle_evictions_total" "counter";
+  counter "idle_evictions_total" s.idle_evictions;
+  typ "replay_hits_total" "counter";
+  counter "replay_hits_total" s.replay_hits;
+  typ "write_overflows_total" "counter";
+  counter "write_overflows_total" s.write_overflows;
   typ "solve_latency_seconds" "summary";
   List.iter
     (fun (q, v) ->

@@ -40,6 +40,20 @@ val job : t -> cache_hit:bool -> error:bool -> wall_s:float -> unit
 (** One engine job finished on behalf of a request (the
     {!Tt_engine.Executor} [on_job] hook). *)
 
+val worker_restart : t -> unit
+(** One crashed or wedged worker domain detected and replaced. *)
+
+val idle_eviction : t -> unit
+(** One connection evicted for exceeding the idle timeout. *)
+
+val replay_hit : t -> unit
+(** One solve answered from the idempotency replay cache without
+    re-execution. *)
+
+val write_overflow : t -> unit
+(** One connection dropped because its reply backlog exceeded the
+    write-buffer cap (a reader too slow to keep up). *)
+
 (* ----------------------------------------------------------- snapshot *)
 
 type latency_summary = {
@@ -66,6 +80,10 @@ type snapshot = {
   job_errors : int;
   job_cache_hits : int;
   job_wall_s : float;
+  worker_restarts : int;
+  idle_evictions : int;
+  replay_hits : int;
+  write_overflows : int;
   latency : latency_summary;
 }
 

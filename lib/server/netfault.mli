@@ -1,0 +1,131 @@
+(** Seeded, deterministic in-process TCP fault proxy.
+
+    The proxy listens on a local port, forwards every accepted
+    connection to an upstream [host:port], and injects network faults
+    on the way: connection drops, truncated writes, stalls, and
+    single-byte-dribble splits that exercise frame reassembly.
+
+    {b Determinism.} Mirroring {!Tt_engine.Fault}, every injection
+    decision is a pure function of the fault spec — concretely of
+    [(seed, connection id, direction, window index)], where connection
+    ids are assigned in accept order and a {e window} is a fixed-size
+    span of the forwarded byte stream ({!faults.window} bytes).
+    Decisions are made once per window as the stream first reaches it,
+    so the fault pattern a connection experiences is independent of
+    TCP chunking, read sizes, and scheduling; only {e how far} each
+    stream gets (and hence which windows are exercised) depends on the
+    traffic. Two runs that send the same bytes over the same
+    connection order suffer the same faults.
+
+    The proxy runs in one background domain and serializes all
+    forwarding — an injected stall blocks every connection for its
+    duration, which is deliberate (stalls should be felt) and bounded
+    by {!faults.max_stall_s}.
+
+    Used by the chaos tests, [loadgen --chaos], and the
+    [treetrav chaos-proxy] subcommand. *)
+
+(* -------------------------------------------------------------- spec *)
+
+type faults = {
+  drop : float;  (** P(drop the connection) per window. *)
+  truncate : float;  (** P(forward a prefix of the window, then drop). *)
+  stall : float;  (** P(pause forwarding) per window. *)
+  split : float;  (** P(dribble the window out in 1–8 byte writes). *)
+  max_stall_s : float;  (** Stall duration is uniform in [0, max_stall_s]. *)
+  window : int;  (** Window size in bytes (decision granularity). *)
+  seed : int;
+}
+
+val none : faults
+(** All rates zero: a transparent proxy. *)
+
+val create_faults :
+  ?drop:float ->
+  ?truncate:float ->
+  ?stall:float ->
+  ?split:float ->
+  ?max_stall_s:float ->
+  ?window:int ->
+  seed:int ->
+  unit ->
+  faults
+(** @raise Invalid_argument when a rate is outside [0, 1], the rates
+    sum past 1, [max_stall_s < 0], or [window < 1]. *)
+
+val faults_of_string : string -> (faults, string) result
+(** Parse a spec like
+    ["drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,window=256,seed=9"].
+    Every key is optional; unknown keys are errors. [truncate] is
+    accepted as a synonym for [trunc]. *)
+
+val faults_to_string : faults -> string
+(** Canonical spec string; round-trips through {!faults_of_string}. *)
+
+(* --------------------------------------------------------- decisions *)
+
+type action =
+  | Forward
+  | Drop  (** Close both sides of the connection. *)
+  | Truncate of int
+      (** Forward at most this many bytes of the window, then drop. *)
+  | Stall of float  (** Sleep this long, then forward normally. *)
+  | Split  (** Forward the window in 1–8 byte writes with 1 ms gaps. *)
+
+type dir = [ `Up | `Down ]
+(** [`Up] is client→upstream, [`Down] is upstream→client. *)
+
+val decision : faults -> conn:int -> dir:dir -> window:int -> action
+(** The pure decision function the proxy applies — exposed so tests
+    can assert determinism directly. All-zero rates always yield
+    {!Forward}. *)
+
+val describe : action -> string
+
+(* ------------------------------------------------------------- proxy *)
+
+type t
+
+type stats = {
+  connections : int;  (** Accepted client connections. *)
+  drops : int;
+  truncations : int;
+  stalls : int;
+  splits : int;
+  forwarded_bytes : int;  (** Bytes relayed, both directions. *)
+}
+
+val injected : stats -> int
+(** Total injected faults: drops + truncations + stalls + splits. *)
+
+val create :
+  ?faults:faults ->
+  ?host:string ->
+  ?port:int ->
+  ?upstream_host:string ->
+  upstream_port:int ->
+  unit ->
+  t
+(** Bind the listening socket immediately (so {!port} is valid before
+    {!start}) but do not accept yet. [port] defaults to 0 = ephemeral;
+    [host] and [upstream_host] default to ["127.0.0.1"]. *)
+
+val port : t -> int
+(** The actually bound listening port. *)
+
+val start : t -> unit
+(** Run the proxy loop in a background domain. *)
+
+val run : t -> unit
+(** Run the proxy loop on the calling domain until {!shutdown} or
+    {!request_stop} stops it. *)
+
+val request_stop : t -> unit
+(** Ask the loop to stop; returns immediately. Safe from any domain
+    and from signal handlers. Idempotent. *)
+
+val shutdown : t -> unit
+(** Stop the loop, close the listener and every open connection, and
+    join the {!start} domain. Idempotent. *)
+
+val stats : t -> stats

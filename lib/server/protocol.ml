@@ -37,7 +37,7 @@ let error_code_of_string = function
 (* ----------------------------------------------------------- requests *)
 
 type op =
-  | Solve of { entry : string; timeout_s : float option }
+  | Solve of { entry : string; timeout_s : float option; idem : string option }
   | Stats
   | Ping
   | Shutdown
@@ -48,11 +48,14 @@ let encode_request { id; op } =
   let base = [ ("v", Json.Int version); ("id", Json.String id) ] in
   let fields =
     match op with
-    | Solve { entry; timeout_s } ->
+    | Solve { entry; timeout_s; idem } ->
         base
         @ [ ("op", Json.String "solve"); ("entry", Json.String entry) ]
         @ (match timeout_s with
           | Some s -> [ ("timeout_s", Json.Float s) ]
+          | None -> [])
+        @ (match idem with
+          | Some k -> [ ("idem", Json.String k) ]
           | None -> [])
     | Stats -> base @ [ ("op", Json.String "stats") ]
     | Ping -> base @ [ ("op", Json.String "ping") ]
@@ -87,13 +90,25 @@ let decode_request line =
                 match Json.member "op" json with
                 | Some (Json.String "solve") -> (
                     match Json.member "entry" json with
-                    | Some (Json.String entry) ->
-                        Ok
-                          { id;
-                            op =
-                              Solve
-                                { entry; timeout_s = float_member "timeout_s" json }
-                          }
+                    | Some (Json.String entry) -> (
+                        match Json.member "idem" json with
+                        | Some (Json.String _ ) | None ->
+                            let idem =
+                              match Json.member "idem" json with
+                              | Some (Json.String k) -> Some k
+                              | _ -> None
+                            in
+                            Ok
+                              { id;
+                                op =
+                                  Solve
+                                    { entry;
+                                      timeout_s = float_member "timeout_s" json;
+                                      idem
+                                    }
+                              }
+                        | Some _ ->
+                            fail Bad_request "idem must be a string when present")
                     | _ -> fail Bad_request "solve needs a string entry")
                 | Some (Json.String "stats") -> Ok { id; op = Stats }
                 | Some (Json.String "ping") -> Ok { id; op = Ping }

@@ -64,7 +64,12 @@ val error_code_of_string : string -> error_code option
 (* ----------------------------------------------------------- requests *)
 
 type op =
-  | Solve of { entry : string; timeout_s : float option }
+  | Solve of { entry : string; timeout_s : float option; idem : string option }
+      (** [idem] is a client-chosen idempotency key: the server caches
+          the successful reply body under it (bounded {!Replay} cache),
+          so a retry of the same solve after a lost reply is answered
+          from the cache instead of re-admitted — the client may retry
+          freely without double execution. *)
   | Stats
   | Ping
   | Shutdown

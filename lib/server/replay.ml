@@ -1,0 +1,51 @@
+(* Bounded idempotency replay cache: key -> completed reply body.
+
+   Keys are client-chosen and inserted exactly once (on first
+   completion), so plain FIFO eviction is as good as LRU here and
+   needs no recency bookkeeping: the ring holds the insertion order,
+   the table holds the bodies. Domain-safe under one mutex — lookups
+   happen on the I/O domain, insertions on whichever worker completed
+   the solve. *)
+
+type t = {
+  mu : Mutex.t;
+  capacity : int;
+  tbl : (string, Protocol.body) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest first *)
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Replay.create: capacity < 1";
+  { mu = Mutex.create ();
+    capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    order = Queue.create ();
+    evictions = 0
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let capacity t = t.capacity
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let evictions t = locked t (fun () -> t.evictions)
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.tbl key)
+
+let put t key body =
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl key then
+        (* Concurrent duplicate completion (both attempts were in
+           flight); the bodies are value-equal, keep the first. *)
+        ()
+      else begin
+        if Hashtbl.length t.tbl >= t.capacity then begin
+          let oldest = Queue.pop t.order in
+          Hashtbl.remove t.tbl oldest;
+          t.evictions <- t.evictions + 1
+        end;
+        Hashtbl.replace t.tbl key body;
+        Queue.push key t.order
+      end)

@@ -1,0 +1,36 @@
+(** Bounded server-side replay cache for idempotent solves.
+
+    A client that loses a reply (dropped connection, read timeout)
+    cannot tell whether its solve ran; retrying blindly would execute
+    it twice. The protocol's [idem] key closes the gap: when a solve
+    carrying a key completes successfully, the server stores the reply
+    body here, and a later solve with the same key is answered from
+    the cache without touching the admission queue or the engine —
+    counted as a [replay_hits] metric.
+
+    The cache is bounded (FIFO eviction — keys are written once, so
+    insertion order {e is} recency order) and holds only successful
+    [Results] bodies: refusals are either transient (retrying should
+    re-attempt) or deterministic (re-refusing is cheap and correct).
+
+    Domain-safe: one mutex. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently cached. *)
+
+val evictions : t -> int
+(** Lifetime FIFO evictions. *)
+
+val find : t -> string -> Protocol.body option
+
+val put : t -> string -> Protocol.body -> unit
+(** Insert under [key], evicting the oldest entry when full. A key
+    already present keeps its first body (concurrent duplicate
+    completions are value-equal). *)

@@ -2,6 +2,7 @@ module P = Protocol
 module Json = Tt_engine.Telemetry.Json
 module Job = Tt_engine.Job
 module Executor = Tt_engine.Executor
+module Fault = Tt_engine.Fault
 
 type config = {
   host : string;
@@ -9,24 +10,53 @@ type config = {
   workers : int;
   queue_capacity : int;
   max_deadline_s : float;
+  idle_timeout_s : float;
+  max_inflight : int;
+  max_write_buf : int;
+  replay_capacity : int;
+  wedge_grace_s : float;
+  worker_faults : Fault.t option;
 }
 
 let default_config =
-  { host = "127.0.0.1"; port = 0; workers = 2; queue_capacity = 64; max_deadline_s = 30. }
+  { host = "127.0.0.1";
+    port = 0;
+    workers = 2;
+    queue_capacity = 64;
+    max_deadline_s = 30.;
+    idle_timeout_s = 300.;
+    max_inflight = 32;
+    max_write_buf = 8 * 1024 * 1024;
+    replay_capacity = 1024;
+    wedge_grace_s = 5.;
+    worker_faults = None
+  }
 
 (* One accepted connection. The I/O domain owns the read side ([pending]
    is only touched there); replies may come from any domain and are
-   serialized by [wmu]. [inflight] counts admitted-but-unreplied solve
-   requests; the connection's fd is closed only by the I/O domain, and
-   only once [eof && inflight = 0] — so no domain ever writes to a
-   closed descriptor. [eof] only ever flips to [true] (a benign
-   monotonic race between reader and writers). *)
+   serialized by [wmu], which also guards the write buffer
+   ([outq]/[out_off]/[out_len]). The socket is non-blocking: writers
+   append to [outq] and flush opportunistically, the I/O domain flushes
+   the rest when [select] reports writability — so a slow or stalled
+   reader can never block a worker domain, only grow its own buffer up
+   to [max_write_buf] (past which the connection is declared [dead]).
+
+   [inflight] counts admitted-but-unreplied solve requests; the fd is
+   closed only by the I/O domain, and only once [inflight = 0] — so no
+   domain ever writes to a closed (and possibly reused) descriptor.
+   [eof] and [dead] only ever flip to [true] (benign monotonic races
+   between reader and writers). *)
 type conn = {
   fd : Unix.file_descr;
   wmu : Mutex.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of [Queue.peek outq] already written *)
+  mutable out_len : int;  (* total unwritten bytes across [outq] *)
   mutable pending : string;
   mutable inflight : int;
   mutable eof : bool;
+  mutable dead : bool;
+  mutable last_active : float;
 }
 
 type work = {
@@ -35,7 +65,32 @@ type work = {
   jobs : Job.t list;
   deadline : float;  (* absolute, seconds *)
   received : float;
+  idem : string option;
+  seq : int;  (* admission sequence number; the worker-fault roll key *)
+  replied : bool Atomic.t;
+      (* The exactly-one-reply guard: the worker, the wedge supervisor
+         and the crash handler all funnel through a CAS on this flag,
+         so whoever wins writes the one reply and decrements
+         [inflight]; everyone else no-ops. *)
 }
+
+(* One worker domain's supervision cell. The I/O domain replaces the
+   whole slot when it retires a wedged worker, so [abandon] tells the
+   old domain (which still holds the old slot) to exit, while the
+   replacement starts from a fresh slot. *)
+type slot = {
+  current : work option Atomic.t;
+  crashed : bool Atomic.t;
+  abandon : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let fresh_slot () =
+  { current = Atomic.make None;
+    crashed = Atomic.make false;
+    abandon = Atomic.make false;
+    dom = None
+  }
 
 type t = {
   config : config;
@@ -45,6 +100,8 @@ type t = {
   job_timeout : float option;
   metrics : Metrics.t;
   queue : work Admission.t;
+  replay : Replay.t;
+  admit_seq : int Atomic.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   wake_r : Unix.file_descr;
@@ -53,6 +110,8 @@ type t = {
   started : float;
   mu : Mutex.t;
   cond : Condition.t;
+  slots : slot array;
+  mutable zombies : unit Domain.t list;  (* retired wedged workers *)
   mutable conns : conn list;
   mutable running : bool;
   mutable stopped : bool;
@@ -85,13 +144,16 @@ let create ?(config = default_config) ?cache ?(retry = Tt_engine.Retry.none)
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
-  { config = { config with workers = max 1 config.workers };
+  let config = { config with workers = max 1 config.workers } in
+  { config;
     cache = (match cache with Some c -> c | None -> Tt_engine.Cache.create ());
     retry;
     telemetry;
     job_timeout;
     metrics = Metrics.create ();
     queue = Admission.create ~capacity:config.queue_capacity;
+    replay = Replay.create ~capacity:(max 1 config.replay_capacity);
+    admit_seq = Atomic.make 0;
     listen_fd;
     bound_port;
     wake_r;
@@ -100,6 +162,8 @@ let create ?(config = default_config) ?cache ?(retry = Tt_engine.Retry.none)
     started = Unix.gettimeofday ();
     mu = Mutex.create ();
     cond = Condition.create ();
+    slots = Array.init config.workers (fun _ -> fresh_slot ());
+    zombies = [];
     conns = [];
     running = false;
     stopped = false;
@@ -122,6 +186,7 @@ let request_shutdown t =
   wake t
 
 let stats_json t =
+  let astats = Admission.stats t.queue in
   Json.Obj
     [ ( "server",
         Json.Obj
@@ -132,33 +197,100 @@ let stats_json t =
             ("draining", Json.Bool (Atomic.get t.stop));
             ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started))
           ] );
+      ( "admission",
+        Json.Obj
+          [ ("pushed", Json.Int astats.Admission.pushed);
+            ("rejected", Json.Int astats.Admission.rejected);
+            ("high_watermark", Json.Int astats.Admission.high_watermark)
+          ] );
+      ( "replay",
+        Json.Obj
+          [ ("capacity", Json.Int (Replay.capacity t.replay));
+            ("entries", Json.Int (Replay.length t.replay));
+            ("evictions", Json.Int (Replay.evictions t.replay))
+          ] );
       ("metrics", Metrics.to_json (Metrics.snapshot t.metrics))
     ]
 
 (* ----------------------------------------------------------- replies *)
 
-let write_all conn line =
-  let len = String.length line in
+let conn_kill_locked conn =
+  conn.dead <- true;
+  Queue.clear conn.outq;
+  conn.out_off <- 0;
+  conn.out_len <- 0
+
+(* Flush as much buffered output as the socket will take without
+   blocking. Call with [wmu] held. *)
+let try_flush_locked conn =
+  let progress = ref true in
+  while (not conn.dead) && !progress && not (Queue.is_empty conn.outq) do
+    let head = Queue.peek conn.outq in
+    let len = String.length head in
+    match Unix.write_substring conn.fd head conn.out_off (len - conn.out_off) with
+    | n ->
+        conn.out_off <- conn.out_off + n;
+        conn.out_len <- conn.out_len - n;
+        if conn.out_off >= len then begin
+          ignore (Queue.pop conn.outq);
+          conn.out_off <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        progress := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* Peer went away mid-reply; the I/O domain reaps the
+           connection once its inflight count drains. *)
+        conn_kill_locked conn
+  done
+
+let conn_send t conn line =
   Mutex.lock conn.wmu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wmu)
     (fun () ->
-      try
-        let off = ref 0 in
-        while !off < len do
-          off := !off + Unix.write_substring conn.fd line !off (len - !off)
-        done
-      with Unix.Unix_error _ ->
-        (* Peer went away mid-reply; the I/O domain reaps the
-           connection once its inflight count drains. *)
-        conn.eof <- true)
+      if not conn.dead then begin
+        Queue.push line conn.outq;
+        conn.out_len <- conn.out_len + String.length line;
+        try_flush_locked conn;
+        if conn.out_len > t.config.max_write_buf then begin
+          (* The reader stopped reading and let [max_write_buf] pile
+             up: cut it loose rather than hold the memory. *)
+          conn_kill_locked conn;
+          Metrics.write_overflow t.metrics
+        end
+      end);
+  (* Leftover bytes (or a fresh corpse) need the I/O domain's
+     attention — cheap enough to ping unconditionally. *)
+  wake t
 
 let reply t conn req_id body =
   (match body with
   | P.Refused { code; _ } ->
       Metrics.response_error t.metrics ~code:(P.error_code_to_string code)
   | _ -> Metrics.response_ok t.metrics);
-  write_all conn (P.encode_response { P.req_id; body } ^ "\n")
+  conn_send t conn (P.encode_response { P.req_id; body } ^ "\n")
+
+(* The single exit for admitted work: whoever wins the [replied] CAS
+   writes the one reply, feeds the replay cache, and releases the
+   inflight slot. Losers (a wedged worker finishing after the
+   supervisor already answered, a crash handler racing a wedge
+   detector) no-op, so an admitted request gets exactly one reply and
+   exactly one decrement. *)
+let reply_work t w body =
+  if Atomic.compare_and_set w.replied false true then begin
+    (* Record the latency before the reply hits the wire: a client may
+       issue STATS the instant it reads this response, and the snapshot
+       it gets back must already account for it. *)
+    Metrics.observe_solve t.metrics
+      ~latency_s:(Unix.gettimeofday () -. w.received);
+    (match (body, w.idem) with
+    | P.Results _, Some key -> Replay.put t.replay key body
+    | _ -> ());
+    reply t w.wconn (Some w.req_id) body;
+    locked t (fun () -> w.wconn.inflight <- w.wconn.inflight - 1);
+    wake t
+  end
 
 (* ------------------------------------------------------------ workers *)
 
@@ -175,100 +307,180 @@ let job_reports reports =
          })
        reports)
 
-let worker t =
-  let rec loop () =
+let process t w =
+  (* Chaos hook: a seeded roll per admitted request, keyed by the
+     admission sequence number so a client retry (new admission) rolls
+     fresh. [Crash]/[Io_error] escape the worker loop — a simulated
+     domain death the supervisor must handle; [Delay] simulates a
+     wedge. *)
+  (match t.config.worker_faults with
+  | None -> ()
+  | Some f -> (
+      match Fault.roll f ~key:(Printf.sprintf "srv:%d" w.seq) ~attempt:1 with
+      | Some ((Fault.Crash | Fault.Io_error) as a) ->
+          raise (Fault.Injected (Fault.describe a))
+      | Some (Fault.Delay d) -> Unix.sleepf d
+      | None -> ()));
+  let now = Unix.gettimeofday () in
+  let body =
+    if now >= w.deadline then
+      P.Refused
+        { code = P.Deadline_exceeded; msg = "deadline passed while queued" }
+    else
+      (* Per-request executor over the shared cache/retry stack: one
+         domain (this one), ambient cancel = the request deadline. *)
+      let cancel =
+        Tt_util.Cancel.create ~deadline_after:(w.deadline -. now) ()
+      in
+      let exec =
+        Executor.create ~domains:1 ~cache:t.cache ~retry:t.retry
+          ?telemetry:t.telemetry ?timeout:t.job_timeout ~cancel
+          ~on_job:(fun ~job:_ ~result ~wall ~cache_hit ->
+            Metrics.job t.metrics ~cache_hit
+              ~error:(Result.is_error result) ~wall_s:wall)
+          ()
+      in
+      match Executor.run_batch exec w.jobs with
+      | reports, _ -> P.Results (job_reports reports)
+      | exception e ->
+          P.Refused { code = P.Internal; msg = Printexc.to_string e }
+  in
+  reply_work t w body
+
+let rec worker_loop t slot =
+  if Atomic.get slot.abandon then ()
+  else
     match Admission.pop t.queue with
     | None -> ()
     | Some w ->
-        let now = Unix.gettimeofday () in
-        let body =
-          if now >= w.deadline then
-            P.Refused
-              { code = P.Deadline_exceeded;
-                msg = "deadline passed while queued"
-              }
-          else
-            (* Per-request executor over the shared cache/retry stack:
-               one domain (this one), ambient cancel = the request
-               deadline. *)
-            let cancel =
-              Tt_util.Cancel.create ~deadline_after:(w.deadline -. now) ()
-            in
-            let exec =
-              Executor.create ~domains:1 ~cache:t.cache ~retry:t.retry
-                ?telemetry:t.telemetry ?timeout:t.job_timeout ~cancel
-                ~on_job:(fun ~job:_ ~result ~wall ~cache_hit ->
-                  Metrics.job t.metrics ~cache_hit
-                    ~error:(Result.is_error result) ~wall_s:wall)
-                ()
-            in
-            match Executor.run_batch exec w.jobs with
-            | reports, _ -> P.Results (job_reports reports)
-            | exception e ->
-                P.Refused { code = P.Internal; msg = Printexc.to_string e }
-        in
-        (* Record the latency before the reply hits the wire: a client may
-           issue STATS the instant it reads this response, and the snapshot
-           it gets back must already account for it. *)
-        Metrics.observe_solve t.metrics
-          ~latency_s:(Unix.gettimeofday () -. w.received);
-        reply t w.wconn (Some w.req_id) body;
-        locked t (fun () -> w.wconn.inflight <- w.wconn.inflight - 1);
-        wake t;
-        loop ()
-  in
-  loop ()
+        Atomic.set slot.current (Some w);
+        process t w;
+        Atomic.set slot.current None;
+        worker_loop t slot
+
+let worker_body t slot =
+  match worker_loop t slot with
+  | () -> ()  (* queue closed, or this slot was abandoned *)
+  | exception e ->
+      (* The domain is dying (injected crash, or a genuine bug escaping
+         [process]); answer its request so the invariant holds, flag
+         the slot, and let the I/O domain respawn it. *)
+      (match Atomic.get slot.current with
+      | Some w ->
+          reply_work t w
+            (P.Refused
+               { code = P.Internal;
+                 msg = "worker crashed (" ^ Printexc.to_string e ^ "); restarted"
+               });
+          Atomic.set slot.current None
+      | None -> ());
+      Atomic.set slot.crashed true;
+      wake t
+
+(* Called from the I/O loop each tick: respawn crashed workers, retire
+   wedged ones. A {e wedged} worker is one whose current request blew
+   through its deadline plus [wedge_grace_s] without replying — the
+   supervisor answers [Internal] on its behalf (the CAS suppresses the
+   worker's own reply if it ever finishes), abandons the old domain to
+   the zombie list, and staffs a fresh slot so capacity is restored.
+   Respawning keeps running during drain: queued work still needs
+   workers to drain it. *)
+let supervise t =
+  let now = Unix.gettimeofday () in
+  Array.iteri
+    (fun i slot ->
+      if Atomic.get slot.crashed then begin
+        Option.iter Domain.join slot.dom;
+        let fresh = fresh_slot () in
+        t.slots.(i) <- fresh;
+        fresh.dom <- Some (Domain.spawn (fun () -> worker_body t fresh));
+        Metrics.worker_restart t.metrics
+      end
+      else
+        match Atomic.get slot.current with
+        | Some w
+          when (not (Atomic.get w.replied))
+               && now > w.deadline +. t.config.wedge_grace_s ->
+            reply_work t w
+              (P.Refused
+                 { code = P.Internal; msg = "worker wedged; replaced" });
+            Atomic.set slot.abandon true;
+            (match slot.dom with
+            | Some d -> t.zombies <- d :: t.zombies
+            | None -> ());
+            let fresh = fresh_slot () in
+            t.slots.(i) <- fresh;
+            fresh.dom <- Some (Domain.spawn (fun () -> worker_body t fresh));
+            Metrics.worker_restart t.metrics
+        | _ -> ())
+    t.slots
 
 (* ----------------------------------------------------------- frames *)
 
-let handle_solve t conn ~id ~entry ~timeout_s ~received =
-  if Atomic.get t.stop then begin
+let handle_solve t conn ~id ~entry ~timeout_s ~idem ~received =
+  let refuse code msg =
     Metrics.observe_solve t.metrics
       ~latency_s:(Unix.gettimeofday () -. received);
-    reply t conn (Some id)
-      (P.Refused { code = P.Shutting_down; msg = "server is draining" })
-  end
+    reply t conn (Some id) (P.Refused { code; msg })
+  in
+  if Atomic.get t.stop then refuse P.Shutting_down "server is draining"
   else
-    match Tt_engine.Manifest.parse entry with
-    | Error e ->
+    (* Idempotent replay: a retry of an already-completed solve is
+       answered from the cache — no admission, no execution. *)
+    match Option.bind idem (Replay.find t.replay) with
+    | Some body ->
+        Metrics.replay_hit t.metrics;
         Metrics.observe_solve t.metrics
           ~latency_s:(Unix.gettimeofday () -. received);
-        reply t conn (Some id) (P.Refused { code = P.Bad_request; msg = e })
-    | Ok [] ->
-        Metrics.observe_solve t.metrics
-          ~latency_s:(Unix.gettimeofday () -. received);
-        reply t conn (Some id)
-          (P.Refused { code = P.Bad_request; msg = "entry contains no jobs" })
-    | Ok jobs ->
-        let budget =
-          match timeout_s with
-          | Some s -> Float.max 0. (Float.min s t.config.max_deadline_s)
-          | None -> t.config.max_deadline_s
-        in
-        let w =
-          { wconn = conn;
-            req_id = id;
-            jobs;
-            deadline = received +. budget;
-            received
-          }
-        in
-        (* Count the request in-flight before exposing it to workers —
-           a worker may pop, reply and decrement before try_push even
-           returns. *)
-        locked t (fun () -> conn.inflight <- conn.inflight + 1);
-        if not (Admission.try_push t.queue w) then begin
-          locked t (fun () -> conn.inflight <- conn.inflight - 1);
-          Metrics.observe_solve t.metrics
-            ~latency_s:(Unix.gettimeofday () -. received);
-          reply t conn (Some id)
-            (P.Refused
-               { code = P.Overloaded;
-                 msg =
-                   Printf.sprintf "admission queue full (capacity %d)"
-                     (Admission.capacity t.queue)
-               })
-        end
+        reply t conn (Some id) body
+    | None -> (
+        match Tt_engine.Manifest.parse entry with
+        | Error e -> refuse P.Bad_request e
+        | Ok [] -> refuse P.Bad_request "entry contains no jobs"
+        | Ok jobs ->
+            let budget =
+              match timeout_s with
+              | Some s -> Float.max 0. (Float.min s t.config.max_deadline_s)
+              | None -> t.config.max_deadline_s
+            in
+            let w =
+              { wconn = conn;
+                req_id = id;
+                jobs;
+                deadline = received +. budget;
+                received;
+                idem;
+                seq = Atomic.fetch_and_add t.admit_seq 1;
+                replied = Atomic.make false
+              }
+            in
+            (* Count the request in-flight before exposing it to
+               workers — a worker may pop, reply and decrement before
+               try_push even returns. The same locked section enforces
+               the per-connection cap, so one pipelining client cannot
+               monopolize the queue. *)
+            let admitted =
+              locked t (fun () ->
+                  if conn.inflight >= t.config.max_inflight then false
+                  else begin
+                    conn.inflight <- conn.inflight + 1;
+                    true
+                  end)
+            in
+            if not admitted then
+              refuse P.Overloaded
+                (Printf.sprintf "per-connection in-flight limit (%d) reached"
+                   t.config.max_inflight)
+            else if not (Admission.try_push t.queue w) then
+              (* Roll back through the normal exit so the reply and the
+                 decrement stay paired. *)
+              reply_work t w
+                (P.Refused
+                   { code = P.Overloaded;
+                     msg =
+                       Printf.sprintf "admission queue full (capacity %d)"
+                         (Admission.capacity t.queue)
+                   }))
 
 let handle_line t conn line =
   let line =
@@ -279,8 +491,7 @@ let handle_line t conn line =
   else begin
     let received = Unix.gettimeofday () in
     match P.decode_request line with
-    | Error (id, code, msg) ->
-        reply t conn id (P.Refused { code; msg })
+    | Error (id, code, msg) -> reply t conn id (P.Refused { code; msg })
     | Ok { P.id; op = P.Ping } ->
         Metrics.request t.metrics `Ping;
         reply t conn (Some id) P.Pong
@@ -291,9 +502,9 @@ let handle_line t conn line =
         Metrics.request t.metrics `Shutdown;
         reply t conn (Some id) P.Draining;
         request_shutdown t
-    | Ok { P.id; op = P.Solve { entry; timeout_s } } ->
+    | Ok { P.id; op = P.Solve { entry; timeout_s; idem } } ->
         Metrics.request t.metrics `Solve;
-        handle_solve t conn ~id ~entry ~timeout_s ~received
+        handle_solve t conn ~id ~entry ~timeout_s ~idem ~received
   end
 
 let feed t conn chunk =
@@ -328,18 +539,31 @@ let drain_wake_pipe t =
   in
   go ()
 
+(* [None] = EOF or a dead socket; [Some ""] = spurious wakeup on a
+   non-blocking fd (not EOF!). *)
 let read_chunk fd =
   let buf = Bytes.create 65536 in
   match Unix.read fd buf 0 65536 with
   | 0 -> None
   | n -> Some (Bytes.sub_string buf 0 n)
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      Some ""
   | exception Unix.Unix_error _ -> None
+
+let conn_out_pending c =
+  Mutex.lock c.wmu;
+  let n = if c.dead then 0 else c.out_len in
+  Mutex.unlock c.wmu;
+  n
 
 let run t =
   locked t (fun () ->
       if t.running || t.stopped then invalid_arg "Server.run: already used";
       t.running <- true);
-  let workers = Array.init t.config.workers (fun _ -> Domain.spawn (fun () -> worker t)) in
+  Array.iter
+    (fun slot -> slot.dom <- Some (Domain.spawn (fun () -> worker_body t slot)))
+    t.slots;
   let listen_open = ref true in
   let finished = ref false in
   while not !finished do
@@ -348,14 +572,32 @@ let run t =
       Unix.close t.listen_fd;
       listen_open := false
     end;
-    (* Reap connections that are done: read side closed and no admitted
-       request still owed a reply. While draining, idle connections are
-       done by definition. *)
+    supervise t;
+    (* Evict connections idle past the timeout (nothing in flight,
+       nothing buffered, no bytes either way for idle_timeout_s), then
+       reap connections that are done: dead, or read side closed with
+       no admitted request still owed a reply and no unflushed output.
+       While draining, idle connections are done by definition. *)
+    let now = Unix.gettimeofday () in
     let reapable, live =
       locked t (fun () ->
+          if t.config.idle_timeout_s > 0. then
+            List.iter
+              (fun c ->
+                if
+                  (not c.dead) && (not c.eof) && c.inflight = 0
+                  && conn_out_pending c = 0
+                  && now -. c.last_active > t.config.idle_timeout_s
+                then begin
+                  c.dead <- true;
+                  Metrics.idle_eviction t.metrics
+                end)
+              t.conns;
           let r, l =
             List.partition
-              (fun c -> (c.eof || draining) && c.inflight = 0)
+              (fun c ->
+                c.inflight = 0
+                && (c.dead || ((c.eof || draining) && conn_out_pending c = 0)))
               t.conns
           in
           t.conns <- l;
@@ -372,19 +614,38 @@ let run t =
     if draining && live = [] && inflight_total = 0 && Admission.length t.queue = 0
     then begin
       (* Queue closed only now: everything admitted has been replied
-         to, so workers drain their Nones and exit. *)
+         to, so workers drain their Nones and exit. Zombies (retired
+         wedged workers) already had their requests answered; joining
+         them just waits out their bounded sleeps. *)
       Admission.close t.queue;
-      Array.iter Domain.join workers;
+      Array.iter (fun slot -> Option.iter Domain.join slot.dom) t.slots;
+      List.iter Domain.join (locked t (fun () -> t.zombies));
       finished := true
     end
     else begin
       let read_fds =
         (t.wake_r :: (if !listen_open then [ t.listen_fd ] else []))
-        @ List.filter_map (fun c -> if c.eof then None else Some c.fd) live
+        @ List.filter_map
+            (fun c -> if c.eof || c.dead then None else Some c.fd)
+            live
       in
-      match Unix.select read_fds [] [] 0.5 with
+      let write_fds =
+        List.filter_map
+          (fun c -> if conn_out_pending c > 0 then Some c.fd else None)
+          live
+      in
+      match Unix.select read_fds write_fds [] 0.5 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
+      | ready_r, ready_w, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun c -> c.fd = fd) live with
+              | None -> ()
+              | Some c ->
+                  Mutex.lock c.wmu;
+                  try_flush_locked c;
+                  Mutex.unlock c.wmu)
+            ready_w;
           List.iter
             (fun fd ->
               if fd = t.wake_r then drain_wake_pipe t
@@ -392,12 +653,18 @@ let run t =
                 match Unix.accept t.listen_fd with
                 | exception Unix.Unix_error _ -> ()
                 | cfd, _ ->
+                    Unix.set_nonblock cfd;
                     let c =
                       { fd = cfd;
                         wmu = Mutex.create ();
+                        outq = Queue.create ();
+                        out_off = 0;
+                        out_len = 0;
                         pending = "";
                         inflight = 0;
-                        eof = false
+                        eof = false;
+                        dead = false;
+                        last_active = Unix.gettimeofday ()
                       }
                     in
                     locked t (fun () -> t.conns <- c :: t.conns);
@@ -406,12 +673,15 @@ let run t =
               else
                 match List.find_opt (fun c -> c.fd = fd) live with
                 | None -> ()
-                | Some c when c.eof -> ()
+                | Some c when c.eof || c.dead -> ()
                 | Some c -> (
                     match read_chunk fd with
                     | None -> c.eof <- true
-                    | Some chunk -> feed t c chunk))
-            ready
+                    | Some "" -> ()
+                    | Some chunk ->
+                        c.last_active <- Unix.gettimeofday ();
+                        feed t c chunk))
+            ready_r
     end
   done;
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());

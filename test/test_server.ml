@@ -37,8 +37,14 @@ let test_request_round_trip () =
       | Ok got -> Alcotest.(check bool) "request round trips" true (got = req)
       | Error (_, _, msg) -> Alcotest.failf "decode failed: %s" msg)
     [ P.Ping; P.Stats; P.Shutdown;
-      P.Solve { entry = "gen grid2d size=8 :: minmem"; timeout_s = None };
-      P.Solve { entry = "tree \"x :: y\""; timeout_s = Some 2.5 }
+      P.Solve
+        { entry = "gen grid2d size=8 :: minmem"; timeout_s = None; idem = None };
+      P.Solve { entry = "tree \"x :: y\""; timeout_s = Some 2.5; idem = None };
+      P.Solve
+        { entry = "gen grid2d size=8 :: minmem";
+          timeout_s = Some 1.;
+          idem = Some "key-42"
+        }
     ]
 
 let test_request_decode_errors () =
@@ -57,7 +63,13 @@ let test_request_decode_errors () =
   expect {|{"v":2,"id":"x","op":"ping"}|} (Some "x") P.Unsupported_version;
   expect {|{"v":1,"id":"x","op":"warp"}|} (Some "x") P.Bad_request;
   expect {|{"v":1,"op":"ping"}|} None P.Bad_request;
-  expect {|{"v":1,"id":"x","op":"solve"}|} (Some "x") P.Bad_request
+  expect {|{"v":1,"id":"x","op":"solve"}|} (Some "x") P.Bad_request;
+  (* [idem] is optional but must be a string when present. *)
+  expect {|{"v":1,"id":"x","op":"solve","entry":"e","idem":7}|} (Some "x")
+    P.Bad_request;
+  match P.decode_request {|{"v":1,"id":"x","op":"solve","entry":"e"}|} with
+  | Ok { P.op = P.Solve { idem = None; _ }; _ } -> ()
+  | _ -> Alcotest.fail "absent idem must decode as None"
 
 let sample_reports =
   [ { P.job_id = "aaaa"; label = "m"; spec = "min-memory:minmem";
@@ -221,6 +233,10 @@ let test_metrics_prometheus () =
   M.request m `Solve;
   M.response_error m ~code:"overloaded";
   M.observe_solve m ~latency_s:0.5;
+  M.worker_restart m;
+  M.idle_eviction m;
+  M.replay_hit m;
+  M.write_overflow m;
   let text = M.to_prometheus (M.snapshot m) in
   List.iter
     (fun needle ->
@@ -229,8 +245,130 @@ let test_metrics_prometheus () =
       {|tt_server_responses_error_total{code="overloaded"} 1|};
       {|tt_server_solve_latency_seconds{quantile="0.5"} 0.5|};
       "tt_server_solve_latency_seconds_count 1";
-      "# TYPE tt_server_requests_total counter"
+      "# TYPE tt_server_requests_total counter";
+      "tt_server_worker_restarts_total 1";
+      "tt_server_idle_evictions_total 1";
+      "tt_server_replay_hits_total 1";
+      "tt_server_write_overflows_total 1"
     ]
+
+(* Exposition-format conformance: every sample belongs to a declared
+   metric family, exactly one TYPE line per family, no duplicate
+   series, every value a number. Guards against the classic scrape
+   breakers (duplicate names, samples without TYPE) as counters get
+   added over time. *)
+let test_prometheus_conformance () =
+  let m = M.create () in
+  M.connection_opened m;
+  M.connection_closed m;
+  M.request m `Solve;
+  M.request m `Ping;
+  M.request m `Stats;
+  M.request m `Shutdown;
+  M.response_ok m;
+  M.response_error m ~code:"overloaded";
+  M.response_error m ~code:"bad_request";
+  M.job m ~cache_hit:true ~error:false ~wall_s:0.25;
+  M.job m ~cache_hit:false ~error:true ~wall_s:0.5;
+  M.observe_solve m ~latency_s:0.125;
+  M.worker_restart m;
+  M.idle_eviction m;
+  M.replay_hit m;
+  M.write_overflow m;
+  let text = M.to_prometheus (M.snapshot m) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let types = Hashtbl.create 16 in
+  let series_seen = Hashtbl.create 64 in
+  let sample_count = ref 0 in
+  List.iter
+    (fun line ->
+      if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "#"; "TYPE"; name; kind ] ->
+            Alcotest.(check bool)
+              ("exactly one TYPE for " ^ name)
+              false (Hashtbl.mem types name);
+            Alcotest.(check bool)
+              ("known kind for " ^ name)
+              true
+              (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]);
+            Hashtbl.add types name kind
+        | _ -> Alcotest.failf "malformed TYPE line: %s" line
+      end
+      else if line.[0] = '#' then ()  (* HELP / comments: free-form *)
+      else begin
+        incr sample_count;
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> Alcotest.failf "malformed sample line: %s" line
+        in
+        let series = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        Alcotest.(check bool)
+          ("numeric value in " ^ line)
+          true
+          (match float_of_string_opt value with Some _ -> true | None -> false);
+        Alcotest.(check bool)
+          ("no duplicate series " ^ series)
+          false (Hashtbl.mem series_seen series);
+        Hashtbl.add series_seen series ();
+        let name =
+          match String.index_opt series '{' with
+          | Some i -> String.sub series 0 i
+          | None -> series
+        in
+        (* A summary's _sum/_count samples belong to the base family. *)
+        let base =
+          if Hashtbl.mem types name then name
+          else
+            let strip suffix =
+              if String.ends_with ~suffix name then
+                Some
+                  (String.sub name 0 (String.length name - String.length suffix))
+              else None
+            in
+            match (strip "_sum", strip "_count") with
+            | Some b, _ when Hashtbl.mem types b -> b
+            | _, Some b when Hashtbl.mem types b -> b
+            | _ -> name
+        in
+        Alcotest.(check bool) ("sample " ^ name ^ " has a TYPE") true
+          (Hashtbl.mem types base)
+      end)
+    lines;
+  Alcotest.(check bool) "exposes a useful number of samples" true
+    (!sample_count > 10)
+
+(* ------------------------------------------------------------- replay *)
+
+module R = Tt_server.Replay
+
+let test_replay_cache () =
+  let r = R.create ~capacity:2 in
+  Alcotest.(check bool) "miss on empty" true (R.find r "a" = None);
+  R.put r "a" P.Pong;
+  R.put r "b" P.Draining;
+  Alcotest.(check bool) "hit a" true (R.find r "a" = Some P.Pong);
+  Alcotest.(check bool) "hit b" true (R.find r "b" = Some P.Draining);
+  (* A key is written once: the first body wins. *)
+  R.put r "a" P.Draining;
+  Alcotest.(check bool) "first body kept" true (R.find r "a" = Some P.Pong);
+  (* Capacity 2: inserting c evicts the oldest key (a). *)
+  R.put r "c" P.Pong;
+  Alcotest.(check bool) "oldest evicted" true (R.find r "a" = None);
+  Alcotest.(check bool) "b survives" true (R.find r "b" <> None);
+  Alcotest.(check bool) "c cached" true (R.find r "c" <> None);
+  Alcotest.(check int) "length bounded" 2 (R.length r);
+  Alcotest.(check int) "evictions counted" 1 (R.evictions r);
+  Alcotest.(check int) "capacity" 2 (R.capacity r);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Replay.create: capacity < 1") (fun () ->
+      ignore (R.create ~capacity:0))
 
 (* --------------------------------------------------------- end to end *)
 
@@ -340,7 +478,9 @@ let test_overload () =
                 let id = C.fresh_id c in
                 let entry = if k = 0 then slow_entry else tiny_entry k in
                 C.send c
-                  { P.id; op = P.Solve { entry; timeout_s = None } };
+                  { P.id;
+                    op = P.Solve { entry; timeout_s = None; idem = None }
+                  };
                 id)
           in
           let seen = Hashtbl.create 32 in
@@ -373,7 +513,10 @@ let test_deadline_exceeded () =
           match
             C.call c
               (P.Solve
-                 { entry = "gen grid2d size=10 :: minmem"; timeout_s = Some 0. })
+                 { entry = "gen grid2d size=10 :: minmem";
+                   timeout_s = Some 0.;
+                   idem = None
+                 })
           with
           | Ok (P.Refused { code = P.Deadline_exceeded; _ }) -> ()
           | Ok _ -> Alcotest.fail "a zero deadline must be refused"
@@ -395,7 +538,8 @@ let test_graceful_drain () =
                 op =
                   P.Solve
                     { entry = "gen grid2d size=12 :: minmem; liu";
-                      timeout_s = None
+                      timeout_s = None;
+                      idem = None
                     }
               };
             id)
@@ -421,7 +565,14 @@ let test_graceful_drain () =
       Alcotest.(check int) "all admitted solves completed" 3 !results;
       Alcotest.(check int) "shutdown acknowledged" 1 !draining;
       (* A solve sent after the drain began is refused, not dropped. *)
-      match C.call c (P.Solve { entry = "gen grid2d size=8 :: minmem"; timeout_s = None }) with
+      match
+        C.call c
+          (P.Solve
+             { entry = "gen grid2d size=8 :: minmem";
+               timeout_s = None;
+               idem = None
+             })
+      with
       | Ok (P.Refused { code = P.Shutting_down; _ }) | Error _ ->
           (* Error covers the race where the server already closed the
              connection after draining it. *)
@@ -434,6 +585,333 @@ let test_graceful_drain () =
   | c ->
       C.close c;
       Alcotest.fail "listener still accepting after shutdown"
+
+(* A request smeared across many tiny TCP writes (with flushes and
+   delays between them) is reassembled into one frame, decoded once,
+   and replied to exactly once. *)
+let test_partial_frame_reassembly () =
+  with_server (fun srv ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Srv.port srv));
+          let line =
+            P.encode_request
+              { P.id = "frag";
+                op =
+                  P.Solve
+                    { entry = "gen grid2d size=8 :: minmem";
+                      timeout_s = None;
+                      idem = None
+                    }
+              }
+            ^ "\n"
+          in
+          let len = String.length line in
+          let i = ref 0 in
+          while !i < len do
+            let n = min 5 (len - !i) in
+            assert (Unix.write_substring fd line !i n = n);
+            i := !i + n;
+            Unix.sleepf 0.002
+          done;
+          (* Exactly one reply line comes back... *)
+          let buf = Bytes.create 65536 in
+          let acc = Buffer.create 256 in
+          let deadline = Unix.gettimeofday () +. 5. in
+          while
+            (not (String.contains (Buffer.contents acc) '\n'))
+            && Unix.gettimeofday () < deadline
+          do
+            match Unix.select [ fd ] [] [] 0.5 with
+            | [], _, _ -> ()
+            | _ ->
+                let n = Unix.read fd buf 0 (Bytes.length buf) in
+                if n = 0 then Alcotest.fail "server closed before replying";
+                Buffer.add_subbytes acc buf 0 n
+          done;
+          let text = Buffer.contents acc in
+          (match String.index_opt text '\n' with
+          | None -> Alcotest.fail "no reply within 5s"
+          | Some nl -> (
+              Alcotest.(check int) "single reply line" nl
+                (String.length text - 1);
+              match P.decode_response (String.sub text 0 nl) with
+              | Ok { P.req_id = Some "frag"; body = P.Results _ } -> ()
+              | Ok _ -> Alcotest.fail "unexpected reply to fragmented solve"
+              | Error e -> Alcotest.failf "undecodable reply: %s" e));
+          (* ... and no second one follows. *)
+          (match Unix.select [ fd ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ ->
+              Alcotest.(check int) "no extra bytes" 0
+                (Unix.read fd buf 0 (Bytes.length buf)));
+          let m = M.snapshot (Srv.metrics srv) in
+          Alcotest.(check int) "decoded exactly one solve" 1 m.M.requests_solve;
+          Alcotest.(check int) "replied exactly once" 1 m.M.responses_ok))
+
+let test_idle_eviction () =
+  let config = { Srv.default_config with Srv.idle_timeout_s = 0.2 } in
+  with_server ~config (fun srv ->
+      let c = C.connect ~read_timeout_s:5. ~port:(Srv.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> C.close c)
+        (fun () ->
+          Alcotest.(check bool) "alive" true (C.call c P.Ping = Ok P.Pong);
+          (* Go quiet past the timeout: the server must cut us loose. *)
+          (match C.recv c with
+          | Error _ -> ()  (* EOF once evicted *)
+          | Ok _ -> Alcotest.fail "unsolicited reply from idle server");
+          let m = M.snapshot (Srv.metrics srv) in
+          Alcotest.(check bool) "eviction counted" true
+            (m.M.idle_evictions >= 1);
+          (* The EOF the client just saw races the server's gauge
+             decrement by a few microseconds — poll briefly. *)
+          let deadline = Unix.gettimeofday () +. 2. in
+          let rec active () =
+            let n = (M.snapshot (Srv.metrics srv)).M.connections_active in
+            if n > 0 && Unix.gettimeofday () < deadline then begin
+              Unix.sleepf 0.01;
+              active ()
+            end
+            else n
+          in
+          Alcotest.(check int) "connection reaped" 0 (active ())))
+
+let test_max_inflight () =
+  (* One worker pinned by a slow request, [max_inflight = 1]: further
+     pipelined solves on the same connection bounce as overloaded even
+     though the admission queue has room. *)
+  let config =
+    { Srv.default_config with
+      Srv.workers = 1;
+      queue_capacity = 64;
+      max_inflight = 1
+    }
+  in
+  let slow_entry =
+    let rng = Tt_util.Rng.create 21 in
+    let tree = Tt_core.Tree.random ~rng ~size:20_000 ~max_f:40 ~max_n:20 in
+    Printf.sprintf
+      "tree \"%s\" :: minmem; liu; postorder; \
+       minio policy=first-fit budget=25%%; minio policy=best-fill budget=75%%; \
+       schedule procs=4 mem=1.5"
+      (Tt_core.Tree.to_string tree)
+  in
+  with_server ~config (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          let n = 6 in
+          let ids =
+            List.init n (fun k ->
+                let id = C.fresh_id c in
+                let entry =
+                  if k = 0 then slow_entry
+                  else Printf.sprintf "gen grid2d size=6 seed=%d :: minmem" k
+                in
+                C.send c
+                  { P.id;
+                    op = P.Solve { entry; timeout_s = None; idem = None }
+                  };
+                id)
+          in
+          let seen = Hashtbl.create 16 in
+          let ok = ref 0 and overloaded = ref 0 in
+          for _ = 1 to n do
+            match C.recv c with
+            | Error e -> Alcotest.failf "recv: %s" e
+            | Ok { P.req_id; body } -> (
+                let id = Option.get req_id in
+                Alcotest.(check bool) ("one reply for " ^ id) false
+                  (Hashtbl.mem seen id);
+                Hashtbl.add seen id ();
+                match body with
+                | P.Results _ -> incr ok
+                | P.Refused { code = P.Overloaded; msg } ->
+                    Alcotest.(check bool) "refusal names the in-flight limit"
+                      true (H.contains msg "in-flight");
+                    incr overloaded
+                | _ -> Alcotest.fail "unexpected reply body")
+          done;
+          List.iter
+            (fun id ->
+              Alcotest.(check bool) ("reply for " ^ id) true
+                (Hashtbl.mem seen id))
+            ids;
+          Alcotest.(check bool) "cap rejected some" true (!overloaded >= 1);
+          Alcotest.(check int) "nothing lost" n (!ok + !overloaded)))
+
+let test_replay_dedup () =
+  with_server (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          let entry = "gen grid2d size=10 :: minmem; liu" in
+          let first =
+            match C.solve c ~idem:"dup-1" entry with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "first solve: %s" e
+          in
+          let second =
+            match C.solve c ~idem:"dup-1" entry with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "replayed solve: %s" e
+          in
+          Alcotest.(check string) "replay returns the identical body"
+            (P.sequence_digest first) (P.sequence_digest second);
+          Alcotest.(check bool) "wall times replayed verbatim" true
+            (List.map (fun r -> r.P.wall_s) first
+            = List.map (fun r -> r.P.wall_s) second);
+          (* A different key executes afresh. *)
+          (match C.solve c ~idem:"dup-2" entry with
+          | Ok r ->
+              Alcotest.(check string) "same results under a new key"
+                (P.sequence_digest first) (P.sequence_digest r)
+          | Error e -> Alcotest.failf "fresh-key solve: %s" e);
+          let m = M.snapshot (Srv.metrics srv) in
+          Alcotest.(check int) "one replay hit" 1 m.M.replay_hits;
+          (* The replayed request never reached the engine: only two
+             executions' worth of jobs ran. *)
+          Alcotest.(check int) "replay skipped the engine" 4 m.M.jobs))
+
+let test_worker_crash_supervision () =
+  (* Every admitted request rolls a 30% chance of killing its worker
+     domain; the supervisor answers [internal] for the in-flight
+     request and respawns. Client-side retries (fresh admission, fresh
+     roll) must then land every request, with at least one restart
+     observed and exactly one reply per request id. *)
+  let faults =
+    match Tt_engine.Fault.of_string "crash=0.3,seed=11" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "fault spec: %s" e
+  in
+  let config =
+    { Srv.default_config with Srv.workers = 2; worker_faults = Some faults }
+  in
+  with_server ~config (fun srv ->
+      let session =
+        C.open_session ~port:(Srv.port srv)
+          ~retry:
+            (Tt_engine.Retry.create ~retries:10 ~base_delay_s:0.005
+               ~max_delay_s:0.05 ~seed:3 ())
+          ~tag:"crash" ()
+      in
+      Fun.protect
+        ~finally:(fun () -> C.close_session session)
+        (fun () ->
+          for i = 1 to 20 do
+            let entry =
+              Printf.sprintf "gen grid2d size=8 seed=%d :: minmem" i
+            in
+            match C.session_solve session entry with
+            | Ok _ -> ()
+            | Error f ->
+                Alcotest.failf "request %d lost to faults: %s" i
+                  (C.failure_to_string f)
+          done);
+      let m = M.snapshot (Srv.metrics srv) in
+      Alcotest.(check bool) "at least one worker restart" true
+        (m.M.worker_restarts >= 1);
+      Alcotest.(check bool) "crashes were answered with internal" true
+        (List.mem_assoc "internal" m.M.errors))
+
+let test_worker_wedge_supervision () =
+  (* Injected delays up to 1.5s against a 0.2s deadline and 0.15s
+     wedge grace: wedged workers are detected, their requests answered
+     [internal], and replacements staffed. Every request gets exactly
+     one reply (results, deadline_exceeded, or internal). *)
+  let faults =
+    match Tt_engine.Fault.of_string "delay=1.0,max-delay=1.5,seed=4" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "fault spec: %s" e
+  in
+  let config =
+    { Srv.default_config with
+      Srv.workers = 1;
+      wedge_grace_s = 0.15;
+      worker_faults = Some faults
+    }
+  in
+  with_server ~config (fun srv ->
+      C.with_connection ~read_timeout_s:10. ~port:(Srv.port srv) (fun c ->
+          let outcomes = Hashtbl.create 8 in
+          let bump k =
+            Hashtbl.replace outcomes k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
+          in
+          for i = 1 to 6 do
+            let entry =
+              Printf.sprintf "gen grid2d size=8 seed=%d :: minmem" i
+            in
+            match C.call c (P.Solve { entry; timeout_s = Some 0.2; idem = None }) with
+            | Ok (P.Results _) -> bump "ok"
+            | Ok (P.Refused { code; _ }) -> bump (P.error_code_to_string code)
+            | Ok _ -> Alcotest.fail "unexpected reply body"
+            | Error e -> Alcotest.failf "request %d: %s" i e
+          done;
+          let total = Hashtbl.fold (fun _ v a -> a + v) outcomes 0 in
+          Alcotest.(check int) "exactly one reply per request" 6 total;
+          Hashtbl.iter
+            (fun k _ ->
+              Alcotest.(check bool) ("outcome " ^ k) true
+                (List.mem k [ "ok"; "deadline_exceeded"; "internal" ]))
+            outcomes);
+      let m = M.snapshot (Srv.metrics srv) in
+      Alcotest.(check bool) "wedged worker replaced" true
+        (m.M.worker_restarts >= 1))
+
+let test_client_read_timeout () =
+  (* A listener that accepts (via backlog) but never replies: the
+     client's read deadline must fire instead of hanging forever. *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen lfd 4;
+      let port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      let c = C.connect ~read_timeout_s:0.2 ~port () in
+      Fun.protect
+        ~finally:(fun () -> C.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          match C.call c P.Ping with
+          | Ok _ -> Alcotest.fail "a silent server cannot produce a reply"
+          | Error msg ->
+              Alcotest.(check bool) "timeout is reported as such" true
+                (H.contains msg "timed out");
+              Alcotest.(check bool) "returned promptly" true
+                (Unix.gettimeofday () -. t0 < 5.)))
+
+let test_stats_sections () =
+  with_server (fun srv ->
+      C.with_connection ~port:(Srv.port srv) (fun c ->
+          (match C.solve c "gen grid2d size=8 :: minmem" with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "solve: %s" e);
+          match C.call c P.Stats with
+          | Ok (P.Stats_reply j) ->
+              let module Json = Tt_engine.Telemetry.Json in
+              let int_at section field =
+                match
+                  Option.bind (Json.member section j) (Json.member field)
+                with
+                | Some (Json.Int n) -> n
+                | _ -> Alcotest.failf "missing %s.%s" section field
+              in
+              Alcotest.(check bool) "admission.pushed counted" true
+                (int_at "admission" "pushed" >= 1);
+              Alcotest.(check int) "admission.rejected" 0
+                (int_at "admission" "rejected");
+              Alcotest.(check bool) "admission.high_watermark" true
+                (int_at "admission" "high_watermark" >= 1);
+              Alcotest.(check bool) "replay.capacity present" true
+                (int_at "replay" "capacity" >= 1)
+          | _ -> Alcotest.fail "expected a stats reply"))
 
 let () =
   H.run "server"
@@ -452,14 +930,26 @@ let () =
       ( "metrics",
         [ H.case "counters" test_metrics_counters;
           H.case "latency" test_metrics_latency;
-          H.case "prometheus" test_metrics_prometheus
+          H.case "prometheus" test_metrics_prometheus;
+          H.case "prometheus conformance" test_prometheus_conformance
         ] );
+      ("replay", [ H.case "bounded cache" test_replay_cache ]);
       ( "server",
         [ H.case "ping and stats" test_ping_and_stats;
           H.case "digest parity with batch" test_digest_parity_with_batch;
           H.case "concurrent loadgen" test_concurrent_loadgen;
           H.case "overload rejection" test_overload;
           H.case "deadline exceeded" test_deadline_exceeded;
-          H.case "graceful drain" test_graceful_drain
-        ] )
+          H.case "graceful drain" test_graceful_drain;
+          H.case "partial frame reassembly" test_partial_frame_reassembly;
+          H.case "idle eviction" test_idle_eviction;
+          H.case "max inflight per connection" test_max_inflight;
+          H.case "replay dedup" test_replay_dedup;
+          H.case "stats sections" test_stats_sections
+        ] );
+      ( "supervision",
+        [ H.case "worker crash" test_worker_crash_supervision;
+          H.case "worker wedge" test_worker_wedge_supervision
+        ] );
+      ("client", [ H.case "read timeout" test_client_read_timeout ])
     ]
