@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke chaos chaos-net clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net clean
 
 all: build
 
@@ -19,6 +19,13 @@ batch-smoke:
 	printf 'gen grid2d size=12 :: minmem; liu; minio policy=first-fit budget=50%%\n' > _batch_smoke.manifest
 	dune exec bin/treetrav.exe -- batch _batch_smoke.manifest --jobs 2
 	rm -f _batch_smoke.manifest
+
+# Quick seeded pass of the core-solver benchmark harness. Besides the
+# timings, every row of BENCH_CORE.json carries a result digest, so two
+# runs of this target on different revisions double as a behavioural
+# regression check (compare the result_digest fields, not the times).
+perf-smoke: build
+	dune exec bin/treetrav.exe -- perf --quick --out BENCH_CORE.json
 
 # End-to-end smoke of the network service: start a server on an
 # ephemeral port, check that request/batch digests agree, drive it

@@ -36,6 +36,9 @@ let cache_dir : string option ref = ref None
 let faults_spec : string option ref = ref None
 let retries = ref 0
 let resume_path : string option ref = ref None
+let perf_out = ref "BENCH_CORE.json"
+let perf_quick = ref false
+let perf_reps = ref 0
 
 let usage = "dune exec bench/main.exe -- [options]"
 
@@ -65,6 +68,16 @@ let spec =
       Arg.String (fun f -> resume_path := Some f),
       "FILE journal engine results to FILE and skip jobs it already \
        records (crash-resumable benches; keyed by --scale/--seed)" );
+    ( "--perf",
+      Arg.Unit (fun () -> sections := "perf" :: !sections),
+      " run the core-kernel perf section (writes BENCH_CORE.json)" );
+    ( "--perf-out",
+      Arg.Set_string perf_out,
+      "FILE output path of the perf section (default BENCH_CORE.json)" );
+    ("--perf-quick", Arg.Set perf_quick, " perf section: CI-smoke sizes instead of paper-scale");
+    ( "--perf-reps",
+      Arg.Set_int perf_reps,
+      "N perf section: timed repetitions per kernel (default 5 full / 3 quick)" );
     ("--bechamel", Arg.Set run_bechamel, " run the Bechamel micro-benchmarks (default)");
     ("--no-bechamel", Arg.Clear run_bechamel, " skip the Bechamel micro-benchmarks");
     ( "--csv",
@@ -75,7 +88,7 @@ let spec =
         (fun () ->
           print_endline
             "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
-             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve";
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve perf";
           exit 0),
       " list sections" )
   ]
@@ -891,6 +904,31 @@ let serve_section () =
     m.Tt_server.Metrics.job_cache_hits m.Tt_server.Metrics.latency.Tt_server.Metrics.p50_s
     m.Tt_server.Metrics.latency.Tt_server.Metrics.p99_s
 
+(* ----------------------------------------------------------------- perf *)
+
+(* Wall times of the core solvers on the seeded Perf_suite instances,
+   written out as BENCH_CORE.json. Unlike the Bechamel section, the
+   output is machine-readable and digest-carrying, so successive PRs can
+   both diff the timings and prove the kernels still compute the same
+   results. *)
+let perf_section () =
+  header "Perf" "core-kernel wall times -> BENCH_CORE.json";
+  let module MB = Tt_profile.Microbench in
+  let mode =
+    if !perf_quick then Tt_workloads.Perf_suite.Quick else Tt_workloads.Perf_suite.Full
+  in
+  let reps =
+    if !perf_reps > 0 then !perf_reps else Tt_workloads.Perf_suite.default_reps mode
+  in
+  let specs = Tt_workloads.Perf_suite.specs mode in
+  let results =
+    MB.measure ~reps ~progress:(fun l -> Printf.printf "[perf] %s\n%!" l) specs
+  in
+  print_string (MB.render results);
+  MB.write_json !perf_out results;
+  Printf.printf "[perf] wrote %s (%d kernels, %d timed reps each)\n" !perf_out
+    (List.length results) reps
+
 (* ------------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -963,6 +1001,7 @@ let section_runners =
     ("minio-gap", minio_gap);
     ("rounds", rounds);
     ("serve", serve_section);
+    ("perf", perf_section);
     ("bechamel", bechamel_suite)
   ]
 

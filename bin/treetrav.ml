@@ -723,6 +723,79 @@ let loadgen_cmd =
           $ timeout $ rate $ entries_file $ chaos $ retries $ read_timeout
           $ tag)
 
+(* ---------------------------------------------------------------- perf *)
+
+let perf quick reps out kernels =
+  let module MB = Tt_profile.Microbench in
+  let mode = if quick then Tt_workloads.Perf_suite.Quick else Tt_workloads.Perf_suite.Full in
+  let reps =
+    match reps with Some r -> r | None -> Tt_workloads.Perf_suite.default_reps mode
+  in
+  let specs = Tt_workloads.Perf_suite.specs mode in
+  let specs =
+    match kernels with
+    | [] -> specs
+    | prefixes ->
+        List.filter
+          (fun (s : MB.spec) ->
+            List.exists
+              (fun p ->
+                String.length s.MB.kernel >= String.length p
+                && String.sub s.MB.kernel 0 (String.length p) = p)
+              prefixes)
+          specs
+  in
+  if specs = [] then begin
+    prerr_endline "perf: no kernels match the given --kernel filters";
+    1
+  end
+  else begin
+    let results =
+      MB.measure ~reps
+        ~progress:(fun l -> Printf.printf "[perf] %s\n%!" l)
+        specs
+    in
+    print_string (MB.render results);
+    (match out with
+    | Some path ->
+        MB.write_json path results;
+        Printf.printf "wrote %s (%d kernels, %d timed reps each)\n" path
+          (List.length results) reps
+    | None -> ());
+    0
+  end
+
+let perf_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI-smoke instance sizes (seconds) instead of the \
+                   paper-scale suite.")
+  in
+  let reps =
+    Arg.(value & opt (some int) None
+         & info [ "reps" ] ~docv:"N"
+             ~doc:"Timed repetitions per kernel (default 5, or 3 with \
+                   $(b,--quick)).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Also write the machine-readable BENCH_CORE.json to FILE.")
+  in
+  let kernels =
+    Arg.(value & opt_all string []
+         & info [ "kernel" ] ~docv:"PREFIX"
+             ~doc:"Only run kernels whose name starts with PREFIX \
+                   (repeatable), e.g. 'minio/' or 'liu'.")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Benchmark the core solvers on seeded instances; every timing \
+             row carries a result digest, so runs double as regression \
+             witnesses.")
+    Term.(const perf $ quick $ reps $ out $ kernels)
+
 (* --------------------------------------------------------- chaos-proxy *)
 
 let chaos_proxy port upstream_host upstream_port faults =
@@ -789,4 +862,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
-            serve_cmd; request_cmd; loadgen_cmd; chaos_proxy_cmd ]))
+            serve_cmd; request_cmd; loadgen_cmd; perf_cmd; chaos_proxy_cmd ]))

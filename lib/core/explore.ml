@@ -47,14 +47,19 @@ let rec explore ?(cancel = Tt_util.Cancel.never) t ~mpeak_tbl ~cache i ~mavail
       (* the cut: live members carry [token] in [cache.tokens] *)
       let members = D.create () in
       let sum_cut = ref 0 in
+      (* count of live entries: a node is added at most once per call, so
+         adds and removes track the tombstone density exactly *)
+      let live = ref 0 in
       let add v =
         D.add_last members v;
         cache.tokens.(v) <- token;
+        incr live;
         sum_cut := !sum_cut + t.Tree.f.(v)
       in
       let alive v = cache.tokens.(v) = token in
       let remove v =
         cache.tokens.(v) <- 0;
+        decr live;
         sum_cut := !sum_cut - t.Tree.f.(v)
       in
       if resume then List.iter add linit else Array.iter add t.Tree.children.(i);
@@ -74,6 +79,12 @@ let rec explore ?(cancel = Tt_util.Cancel.never) t ~mpeak_tbl ~cache i ~mavail
       let continue_ = ref true in
       while !continue_ do
         Tt_util.Cancel.check cancel;
+        (* compact once tombstones dominate, so candidate collection on
+           wide nodes scans the live cut rather than its whole history;
+           the filter is stable, so iteration order — and therefore every
+           result — is unchanged *)
+        if D.length members > 16 && D.length members > 2 * !live then
+          D.filter_in_place alive members;
         (* the first pass explores every initial member (the pseudocode's
            Candidates <- L_i), later passes only the promising ones *)
         candidates :=

@@ -1,38 +1,38 @@
-let bottom_up_order t =
-  let d = Tree.depth t in
-  let order = Array.init (Tree.size t) (fun i -> i) in
-  Array.sort (fun a b -> compare d.(b) d.(a)) order;
-  order
-
 (* Compute the canonical profile of every subtree, bottom-up. When
    [release] is set, children profiles are dropped as soon as their parent
    is combined, keeping live memory proportional to the tree's width. *)
 let compute ~release t =
   let p = Tree.size t in
-  let prof : Segments.t array = Array.make p [] in
+  let prof : Segments.t array = Array.make p Segments.empty in
   Array.iter
     (fun i ->
-      let children_profiles =
-        Array.to_list (Array.map (fun c -> prof.(c)) t.Tree.children.(i))
+      let merged =
+        Segments.merge_array (Array.map (fun c -> prof.(c)) t.Tree.children.(i))
       in
-      let merged = Segments.merge children_profiles in
       (* executing i (in-tree direction): all children files are live, the
          execution and output files are allocated, then the children files
          are freed, leaving f i *)
       prof.(i) <-
         Segments.append_parent merged ~hill:(Tree.mem_req t i) ~valley:t.Tree.f.(i)
           ~node:i;
-      if release then Array.iter (fun c -> prof.(c) <- []) t.Tree.children.(i))
-    (bottom_up_order t);
+      if release then
+        Array.iter (fun c -> prof.(c) <- Segments.empty) t.Tree.children.(i))
+    (Tree.bottom_up_order t);
   prof
 
 let profiles t = compute ~release:false t
 
 let run t =
+  let p = Tree.size t in
   let prof = compute ~release:true t in
   let root_profile = prof.(t.Tree.root) in
-  let in_tree_order = Segments.nodes root_profile in
-  let order = Array.of_list (List.rev in_tree_order) in
+  (* the profile lists nodes in the in-tree direction; the traversal
+     wants root-first — fill the array backwards during the walk *)
+  let order = Array.make p 0 in
+  let k = ref p in
+  Segments.iter_nodes root_profile (fun i ->
+      decr k;
+      order.(!k) <- i);
   (Segments.peak root_profile, order)
 
 let min_memory t = fst (run t)

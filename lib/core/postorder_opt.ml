@@ -1,13 +1,3 @@
-(* Nodes sorted by decreasing depth so that children are always processed
-   before their parent without recursion (trees can be deep chains, so
-   plain recursion over OCaml's stack is avoided throughout). *)
-let bottom_up_order t =
-  let p = Tree.size t in
-  let d = Tree.depth t in
-  let order = Array.init p (fun i -> i) in
-  Array.sort (fun a b -> compare d.(b) d.(a)) order;
-  order
-
 (* Children of [i] sorted by increasing P(c) - f(c): the child processed
    first suffers the largest pending-sibling sum, so it must be the one
    whose peak exceeds its own file the least. (This is the reversal of
@@ -15,7 +5,7 @@ let bottom_up_order t =
 let sorted_children t peaks i =
   let cs = Array.copy t.Tree.children.(i) in
   Array.sort
-    (fun a b -> compare (peaks.(a) - t.Tree.f.(a)) (peaks.(b) - t.Tree.f.(b)))
+    (fun a b -> Int.compare (peaks.(a) - t.Tree.f.(a)) (peaks.(b) - t.Tree.f.(b)))
     cs;
   cs
 
@@ -35,18 +25,22 @@ let peaks_with t order_of =
           if v > !best then best := v)
         cs;
       peaks.(i) <- !best)
-    (bottom_up_order t);
+    (Tree.bottom_up_order t);
   peaks
 
 (* Bottom-up computation of the optimal subtree peaks: the children must
    be sorted with the peaks computed so far, so the array is filled in
-   place (children strictly before parents). *)
-let subtree_peaks t =
+   place (children strictly before parents). The sorted children arrays
+   are kept so that traversal emission reuses them instead of sorting
+   every child list a second time. *)
+let subtree_peaks_sorted t =
   let p = Tree.size t in
   let peaks = Array.make p 0 in
+  let sorted = Array.make p [||] in
   Array.iter
     (fun i ->
       let cs = sorted_children t peaks i in
+      sorted.(i) <- cs;
       let best = ref (Tree.mem_req t i) in
       let pending = ref (Array.fold_left (fun acc c -> acc + t.Tree.f.(c)) 0 cs) in
       Array.iter
@@ -56,12 +50,14 @@ let subtree_peaks t =
           if v > !best then best := v)
         cs;
       peaks.(i) <- !best)
-    (bottom_up_order t);
-  peaks
+    (Tree.bottom_up_order t);
+  (peaks, sorted)
+
+let subtree_peaks t = fst (subtree_peaks_sorted t)
 
 let run t =
   let p = Tree.size t in
-  let peaks = subtree_peaks t in
+  let peaks, sorted = subtree_peaks_sorted t in
   (* emit the traversal: explicit stack to survive deep chains *)
   let order = Array.make p (-1) in
   let k = ref 0 in
@@ -73,7 +69,7 @@ let run t =
         stack := rest;
         order.(!k) <- i;
         incr k;
-        let cs = sorted_children t peaks i in
+        let cs = sorted.(i) in
         (* children must be popped in sorted order: push in reverse *)
         for j = Array.length cs - 1 downto 0 do
           stack := cs.(j) :: !stack

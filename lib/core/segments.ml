@@ -25,92 +25,236 @@ let seq_to_list s =
   !acc
 
 type segment = { hill : int; valley : int; seq : node_seq }
-type t = segment list
+
+(* A canonical profile, stored flat. The array is exact-length and never
+   mutated after construction, so profiles can be shared freely (merge
+   returns a single input unchanged, Liu's release path just drops
+   references). *)
+type t = segment array
 
 let cost s = s.hill - s.valley
 
 let fuse a b =
   { hill = max a.hill b.hill; valley = b.valley; seq = seq_cat a.seq b.seq }
 
+let empty = [||]
+let length = Array.length
+let to_list = Array.to_list
+
+let equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i s ->
+           let u = b.(i) in
+           if
+             not
+               (s.hill = u.hill && s.valley = u.valley
+               && seq_to_list s.seq = seq_to_list u.seq)
+           then ok := false)
+         a;
+       !ok
+     end
+
+(* Push [s] onto the canonical stack [buf.(0 .. n-1)] and return the new
+   length. Two fusion rules: (1) costs must strictly decrease — one never
+   pauses before a segment at least as expensive as its predecessor;
+   (2) valleys must strictly increase (suffix-minima decomposition) —
+   pausing at a valley that a later segment descends below is never
+   useful, and increasing valleys are exactly the property that makes the
+   decreasing-cost merge rule of {!merge} optimal (see the exchange
+   argument in the tests). *)
+let push_canonical buf n s =
+  let n = ref n and s = ref s in
+  while
+    !n > 0
+    &&
+    let top = buf.(!n - 1) in
+    cost !s >= cost top || top.valley >= !s.valley
+  do
+    decr n;
+    s := fuse buf.(!n) !s
+  done;
+  buf.(!n) <- !s;
+  !n + 1
+
+let dummy = { hill = 0; valley = 0; seq = Empty }
+
 let canonicalize segments =
-  (* Stack holds the canonical prefix in reverse order. Two fusion rules:
-     (1) costs must strictly decrease — one never pauses before a segment
-     at least as expensive as its predecessor; (2) valleys must strictly
-     increase (suffix-minima decomposition) — pausing at a valley that a
-     later segment descends below is never useful, and increasing valleys
-     are exactly the property that makes the decreasing-cost merge rule
-     of {!merge} optimal (see the exchange argument in the tests). *)
-  let push stack s =
-    let rec go stack s =
-      match stack with
-      | top :: rest when cost s >= cost top || top.valley >= s.valley ->
-          go rest (fuse top s)
-      | _ -> s :: stack
-    in
-    go stack s
-  in
-  List.rev (List.fold_left push [] segments)
+  match segments with
+  | [] -> [||]
+  | _ ->
+      let buf = Array.make (List.length segments) dummy in
+      let n = List.fold_left (fun n s -> push_canonical buf n s) 0 segments in
+      Array.sub buf 0 n
 
 let singleton ~hill ~valley ~node =
   if hill < valley then invalid_arg "Segments.singleton: hill < valley";
-  [ { hill; valley; seq = seq_single node } ]
+  [| { hill; valley; seq = seq_single node } |]
+
+(* Two-way interleave, the overwhelmingly common case (binary nodes).
+   Emission order replicates the heap of the general case exactly: the
+   heap keys on negated cost and breaks ties on the smaller child index,
+   so child [a] goes first whenever [cost a >= cost b]. *)
+let merge2 a b =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (la + lb) dummy in
+  let n = ref 0 in
+  let ia = ref 0 and ib = ref 0 in
+  let contrib_a = ref 0 and contrib_b = ref 0 in
+  let total = ref 0 in
+  while !ia < la || !ib < lb do
+    let from_a =
+      !ia < la && (!ib >= lb || cost a.(!ia) >= cost b.(!ib))
+    in
+    let s, contrib = if from_a then (a.(!ia), contrib_a) else (b.(!ib), contrib_b) in
+    let base = !total - !contrib in
+    n :=
+      push_canonical buf !n
+        { hill = s.hill + base; valley = s.valley + base; seq = s.seq };
+    total := base + s.valley;
+    contrib := s.valley;
+    if from_a then incr ia else incr ib
+  done;
+  Array.sub buf 0 !n
+
+let merge_array arr =
+  match Array.length arr with
+  | 0 -> [||]
+  | 1 -> arr.(0)
+  | 2 -> merge2 arr.(0) arr.(1)
+  | k ->
+      let total_len = Array.fold_left (fun acc p -> acc + Array.length p) 0 arr in
+      if total_len = 0 then [||]
+      else begin
+        let idx = Array.make k 0 in
+        (* current retained contribution of each child (0 before its first
+           segment completes) *)
+        let contrib = Array.make k 0 in
+        let total = ref 0 in
+        (* max-heap on segment cost: Int_heap is a min-heap, so negate *)
+        let heap = Tt_util.Int_heap.create k in
+        for c = 0 to k - 1 do
+          if Array.length arr.(c) > 0 then
+            Tt_util.Int_heap.insert heap c (-cost arr.(c).(0))
+        done;
+        (* emit straight through the canonical stack: child profiles are
+           consumed in place and no intermediate list is built *)
+        let buf = Array.make total_len dummy in
+        let n = ref 0 in
+        while not (Tt_util.Int_heap.is_empty heap) do
+          let c, _ = Tt_util.Int_heap.pop_min heap in
+          let s = arr.(c).(idx.(c)) in
+          let base = !total - contrib.(c) in
+          n :=
+            push_canonical buf !n
+              { hill = s.hill + base; valley = s.valley + base; seq = s.seq };
+          total := base + s.valley;
+          contrib.(c) <- s.valley;
+          idx.(c) <- idx.(c) + 1;
+          if idx.(c) < Array.length arr.(c) then
+            Tt_util.Int_heap.insert heap c (-cost arr.(c).(idx.(c)))
+        done;
+        Array.sub buf 0 !n
+      end
 
 let merge profiles =
   match profiles with
-  | [] -> []
+  | [] -> [||]
   | [ p ] -> p
-  | _ ->
-      let arr = Array.of_list (List.map Array.of_list profiles) in
-      let k = Array.length arr in
-      let idx = Array.make k 0 in
-      (* current retained contribution of each child (0 before its first
-         segment completes) *)
-      let contrib = Array.make k 0 in
-      let total = ref 0 in
-      (* max-heap on segment cost: Int_heap is a min-heap, so negate *)
-      let heap = Tt_util.Int_heap.create k in
-      for c = 0 to k - 1 do
-        if Array.length arr.(c) > 0 then
-          Tt_util.Int_heap.insert heap c (-cost arr.(c).(0))
-      done;
-      let out = ref [] in
-      while not (Tt_util.Int_heap.is_empty heap) do
-        let c, _ = Tt_util.Int_heap.pop_min heap in
-        let s = arr.(c).(idx.(c)) in
-        let base = !total - contrib.(c) in
-        out := { hill = s.hill + base; valley = s.valley + base; seq = s.seq } :: !out;
-        total := base + s.valley;
-        contrib.(c) <- s.valley;
-        idx.(c) <- idx.(c) + 1;
-        if idx.(c) < Array.length arr.(c) then
-          Tt_util.Int_heap.insert heap c (-cost arr.(c).(idx.(c)))
-      done;
-      canonicalize (List.rev !out)
+  | _ -> merge_array (Array.of_list profiles)
 
 let append_parent prof ~hill ~valley ~node =
   if hill < valley then invalid_arg "Segments.append_parent: hill < valley";
-  canonicalize (prof @ [ { hill; valley; seq = seq_single node } ])
+  (* [prof] is canonical, so the fuse cascade only reaches a suffix: keep
+     the untouched prefix with one blit instead of re-canonicalizing *)
+  let n = ref (Array.length prof) in
+  let s = ref { hill; valley; seq = seq_single node } in
+  while
+    !n > 0
+    &&
+    let top = prof.(!n - 1) in
+    cost !s >= cost top || top.valley >= !s.valley
+  do
+    decr n;
+    s := fuse prof.(!n) !s
+  done;
+  let out = Array.make (!n + 1) !s in
+  Array.blit prof 0 out 0 !n;
+  out
 
-let peak prof = List.fold_left (fun acc s -> max acc s.hill) 0 prof
+let peak prof = Array.fold_left (fun acc s -> max acc s.hill) 0 prof
 
 let final_valley prof =
-  match List.rev prof with [] -> 0 | s :: _ -> s.valley
+  let n = Array.length prof in
+  if n = 0 then 0 else prof.(n - 1).valley
 
 let nodes prof =
-  List.concat_map (fun s -> seq_to_list s.seq) prof
+  (* single accumulator over all ropes: segments last-to-first, each rope
+     right-to-left, so prepending yields execution order directly *)
+  let acc = ref [] in
+  for i = Array.length prof - 1 downto 0 do
+    let work = ref [ prof.(i).seq ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | Empty :: rest -> work := rest
+      | Single x :: rest ->
+          acc := x :: !acc;
+          work := rest
+      | Cat (a, b) :: rest -> work := b :: a :: rest
+    done
+  done;
+  !acc
+
+let iter_nodes prof f =
+  (* forward walk over all ropes in execution order, no intermediate
+     lists — callers that know the node count fill arrays directly *)
+  Array.iter
+    (fun seg ->
+      let work = ref [ seg.seq ] in
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | Empty :: rest -> work := rest
+        | Single x :: rest ->
+            f x;
+            work := rest
+        | Cat (a, b) :: rest -> work := a :: b :: rest
+      done)
+    prof
+
+let rev_nodes prof =
+  (* forward walk, prepending, gives reversed order *)
+  let acc = ref [] in
+  iter_nodes prof (fun x -> acc := x :: !acc);
+  !acc
 
 let check_canonical prof =
-  let rec go = function
-    | [] | [ _ ] -> true
-    | a :: (b :: _ as rest) -> cost a > cost b && a.valley < b.valley && go rest
-  in
-  List.for_all (fun s -> s.hill >= s.valley) prof && go prof
+  let n = Array.length prof in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let s = prof.(i) in
+    if s.hill < s.valley then ok := false;
+    if i + 1 < n then begin
+      let b = prof.(i + 1) in
+      if not (cost s > cost b && s.valley < b.valley) then ok := false
+    end
+  done;
+  !ok
 
 let of_step_profile ~usage ~after ~order =
-  let segs =
-    Array.to_list
-      (Array.mapi
-         (fun k u -> { hill = u; valley = after.(k); seq = seq_single order.(k) })
-         usage)
-  in
-  canonicalize segs
+  let len = Array.length usage in
+  if len = 0 then [||]
+  else begin
+    let buf = Array.make len dummy in
+    let n = ref 0 in
+    Array.iteri
+      (fun k u ->
+        n :=
+          push_canonical buf !n
+            { hill = u; valley = after.(k); seq = seq_single order.(k) })
+      usage;
+    Array.sub buf 0 !n
+  end

@@ -51,11 +51,28 @@ type segment = {
 (** One hill–valley segment; memory values are absolute within the
     subtree's own profile. Invariant: [hill >= valley]. *)
 
-type t = segment list
-(** A canonical profile: costs [hill - valley] strictly decreasing. *)
+type t
+(** A canonical profile: costs [hill - valley] strictly decreasing,
+    valleys strictly increasing. Backed by an exact-length flat array
+    that is never mutated after construction, so profiles are shared
+    freely (in particular {!merge} on a single profile returns it
+    unchanged). Compare with {!equal}, not [(=)]. *)
 
 val cost : segment -> int
 (** [hill - valley]. *)
+
+val empty : t
+(** The empty profile. *)
+
+val length : t -> int
+(** Number of segments. *)
+
+val to_list : t -> segment list
+(** The segments, first to last — for tests and debugging. *)
+
+val equal : t -> t -> bool
+(** Segment-wise equality (hills, valleys and flattened node
+    sequences). *)
 
 val canonicalize : segment list -> t
 (** Fuse adjacent segments until costs strictly decrease. The input must
@@ -70,6 +87,12 @@ val merge : t list -> t
     result is expressed absolutely w.r.t. the sum of the children's
     contributions (each idle child contributes its current valley) and is
     canonical. *)
+
+val merge_array : t array -> t
+(** {!merge} on an array of profiles — the natural call from a tree's
+    children array, avoiding the intermediate list. A single profile is
+    returned unchanged; two children take a specialized heap-free
+    interleave. *)
 
 val append_parent : t -> hill:int -> valley:int -> node:int -> t
 (** [append_parent prof ~hill ~valley ~node] extends a merged children
@@ -86,6 +109,14 @@ val final_valley : t -> int
 
 val nodes : t -> int list
 (** All nodes of the profile, in execution order. *)
+
+val rev_nodes : t -> int list
+(** [nodes] in reverse, without the extra [List.rev] — callers that want
+    the out-tree (root-first) direction use this directly. *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+(** Apply a function to every node in execution order, without building
+    any list. *)
 
 val check_canonical : t -> bool
 (** Whether costs strictly decrease and hills dominate valleys — the

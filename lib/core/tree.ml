@@ -104,6 +104,29 @@ let depth t =
 
 let height t = Array.fold_left max 0 (depth t)
 
+let bottom_up_order t =
+  let p = size t in
+  let d = depth t in
+  (* counting sort on depth, deepest bucket first: children always come
+     before their parent, ascending node index within a depth level.
+     A comparison sort here is a measurable share of Liu's runtime. *)
+  let maxd = Array.fold_left max 0 d in
+  let start = Array.make (maxd + 1) 0 in
+  Array.iter (fun dv -> start.(dv) <- start.(dv) + 1) d;
+  let acc = ref 0 in
+  for dv = maxd downto 0 do
+    let c = start.(dv) in
+    start.(dv) <- !acc;
+    acc := !acc + c
+  done;
+  let order = Array.make p 0 in
+  for i = 0 to p - 1 do
+    let dv = d.(i) in
+    order.(start.(dv)) <- i;
+    start.(dv) <- start.(dv) + 1
+  done;
+  order
+
 let subtree_sizes t =
   let p = size t in
   let sz = Array.make p 1 in

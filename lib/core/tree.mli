@@ -65,6 +65,11 @@ val is_leaf : t -> int -> bool
 val depth : t -> int array
 (** [depth t] gives each node's distance from the root (root = 0). *)
 
+val bottom_up_order : t -> int array
+(** All nodes ordered by decreasing depth (ascending index within one
+    level), so children are always processed before their parent without
+    recursion. Counting sort, O(p). *)
+
 val height : t -> int
 (** Longest root-to-leaf path length (in edges); 0 for a single node. *)
 

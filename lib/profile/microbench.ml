@@ -1,0 +1,116 @@
+type spec = {
+  kernel : string;
+  instance : string;
+  p : int;
+  run : unit -> string;
+}
+
+type result = {
+  kernel : string;
+  instance : string;
+  p : int;
+  reps : int;
+  median_ms : float;
+  p90_ms : float;
+  min_ms : float;
+  mean_ms : float;
+  digest : string;
+}
+
+exception Digest_mismatch of { kernel : string; instance : string }
+
+let measure_spec ?(reps = 5) ?(warmup = 1) (spec : spec) =
+  if reps < 1 then invalid_arg "Microbench.measure: reps < 1";
+  (* warmup runs establish the digest and touch the allocator/caches;
+     every later run must reproduce it bit for bit *)
+  let digest = ref "" in
+  let observe payload =
+    let d = Digest.to_hex (Digest.string payload) in
+    if !digest = "" then digest := d
+    else if d <> !digest then
+      raise (Digest_mismatch { kernel = spec.kernel; instance = spec.instance })
+  in
+  for _ = 1 to warmup do
+    observe (Sys.opaque_identity (spec.run ()))
+  done;
+  let samples = Array.make reps 0.0 in
+  for r = 0 to reps - 1 do
+    let payload, dt = Tt_util.Timer.time spec.run in
+    observe payload;
+    samples.(r) <- dt *. 1000.0
+  done;
+  { kernel = spec.kernel;
+    instance = spec.instance;
+    p = spec.p;
+    reps;
+    median_ms = Tt_util.Statistics.median samples;
+    p90_ms = Tt_util.Statistics.quantile samples 0.90;
+    min_ms = fst (Tt_util.Statistics.min_max samples);
+    mean_ms = Tt_util.Statistics.mean samples;
+    digest = !digest }
+
+let measure ?reps ?warmup ?(progress = fun _ -> ()) specs =
+  List.map
+    (fun (spec : spec) ->
+      progress (Printf.sprintf "%s / %s (p=%d)" spec.kernel spec.instance spec.p);
+      measure_spec ?reps ?warmup spec)
+    specs
+
+(* --- JSON ---------------------------------------------------------------
+   Hand-rolled: every field is a known-safe string (kernel/instance names
+   contain no characters needing escapes beyond the conservative pass
+   below) or a number. The output is stable across runs of the same
+   binary so that BENCH_CORE.json files diff cleanly between PRs — no
+   timestamps, no host data. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let schema = "tt-bench-core/1"
+
+let to_json results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "{\"schema\": \"%s\",\n \"results\": [\n" schema);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"kernel\": \"%s\", \"instance\": \"%s\", \"p\": %d, \"reps\": %d, \
+            \"median_ms\": %.6f, \"p90_ms\": %.6f, \"min_ms\": %.6f, \
+            \"mean_ms\": %.6f, \"result_digest\": \"%s\"}"
+           (json_escape r.kernel) (json_escape r.instance) r.p r.reps r.median_ms
+           r.p90_ms r.min_ms r.mean_ms (json_escape r.digest)))
+    results;
+  Buffer.add_string buf "\n ]}\n";
+  Buffer.contents buf
+
+let write_json path results =
+  let oc = open_out path in
+  output_string oc (to_json results);
+  close_out oc
+
+let render results =
+  Table.render
+    ~header:[ "kernel"; "instance"; "p"; "median ms"; "p90 ms"; "digest" ]
+    (List.map
+       (fun r ->
+         [ r.kernel;
+           r.instance;
+           string_of_int r.p;
+           Printf.sprintf "%.3f" r.median_ms;
+           Printf.sprintf "%.3f" r.p90_ms;
+           String.sub r.digest 0 12
+         ])
+       results)

@@ -1,0 +1,55 @@
+(** Reproducible per-kernel micro-benchmarks.
+
+    A {!spec} names one (kernel, instance) pair and provides a thunk
+    whose return value is a canonical string describing the kernel's
+    {e result} (traversal digest, peak, I/O volume, …). {!measure} times
+    the thunk over several repetitions, checks that every repetition
+    reproduces the same result digest, and reduces the wall-clock
+    samples with {!Tt_util.Statistics}. {!to_json} renders the
+    machine-readable [BENCH_CORE.json] trajectory consumed by later PRs
+    to diff performance: deliberately free of timestamps and host data
+    so files diff cleanly. *)
+
+type spec = {
+  kernel : string;  (** e.g. ["minio/first-fit"]. *)
+  instance : string;  (** e.g. ["chain-50000"]. *)
+  p : int;  (** Instance size (tree nodes). *)
+  run : unit -> string;  (** One full kernel run; returns the result payload. *)
+}
+
+type result = {
+  kernel : string;
+  instance : string;
+  p : int;
+  reps : int;
+  median_ms : float;
+  p90_ms : float;
+  min_ms : float;
+  mean_ms : float;
+  digest : string;  (** MD5 hex of the (identical) per-rep payloads. *)
+}
+
+exception Digest_mismatch of { kernel : string; instance : string }
+(** Raised when two repetitions of one spec disagree — a kernel whose
+    result is not a pure function of its input is not benchmarkable. *)
+
+val measure_spec : ?reps:int -> ?warmup:int -> spec -> result
+(** Time one spec: [warmup] untimed runs (default 1), then [reps] timed
+    runs (default 5). @raise Digest_mismatch on nondeterminism. *)
+
+val measure :
+  ?reps:int -> ?warmup:int -> ?progress:(string -> unit) -> spec list -> result list
+(** [measure specs] runs every spec in order; [progress] is called with
+    a human-readable label before each one. *)
+
+val schema : string
+(** The JSON schema tag, ["tt-bench-core/1"]. *)
+
+val to_json : result list -> string
+(** Render results as the [BENCH_CORE.json] document. *)
+
+val write_json : string -> result list -> unit
+(** [write_json path results] writes {!to_json} to [path]. *)
+
+val render : result list -> string
+(** Human-readable table of the same data. *)

@@ -106,3 +106,19 @@ let map f a =
   let b = create () in
   iter (fun x -> add_last b (f x)) a;
   b
+
+let filter_in_place p a =
+  (* stable compaction: keep-order write pointer, then release the tail
+     slots for the GC *)
+  let w = ref 0 in
+  for r = 0 to a.size - 1 do
+    let x = a.data.(r) in
+    if p x then begin
+      if !w <> r then a.data.(!w) <- x;
+      incr w
+    end
+  done;
+  (match a.dummy with
+  | Some d -> Array.fill a.data !w (a.size - !w) d
+  | None -> ());
+  a.size <- !w

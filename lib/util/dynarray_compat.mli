@@ -74,3 +74,8 @@ val exists : ('a -> bool) -> 'a t -> bool
 
 val map : ('a -> 'b) -> 'a t -> 'b t
 (** [map f a] is a fresh dynamic array of the images of [a]'s elements. *)
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only the elements satisfying the predicate, preserving their
+    relative order, without allocating. Used to compact tombstoned
+    worklists (see {!Tt_core.Explore}). *)

@@ -1,0 +1,52 @@
+(** Ordered set of integers over a fixed universe [0, n), backed by a
+    tower of summary bitsets. [add], [remove], [mem], [max_elt] and
+    [pred] all cost one word operation per level — O(log n) with base
+    [Sys.int_size], i.e. at most three levels for any tree in this
+    repository. Used by {!Tt_core.Minio} to keep the eviction-candidate
+    set (keyed by latest-use position) incrementally maintained instead
+    of rebuilt and re-sorted at every deficit event. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0, n).
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+(** The universe bound [n]. *)
+
+val cardinal : t -> int
+(** Number of members, O(1). *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Membership; out-of-range values are simply absent. *)
+
+val add : t -> int -> unit
+(** Insert (idempotent).
+    @raise Invalid_argument if the value is outside [0, n). *)
+
+val remove : t -> int -> unit
+(** Delete (idempotent, out-of-range values ignored). *)
+
+val max_elt : t -> int option
+(** Largest member, or [None] when empty. *)
+
+val min_elt : t -> int option
+(** Smallest member, or [None] when empty. *)
+
+val pred : t -> int -> int option
+(** [pred t i] is the largest member strictly smaller than [i] (which
+    need not be a member; values above the universe are clamped). *)
+
+val succ : t -> int -> int option
+(** [succ t i] is the smallest member strictly greater than [i] (which
+    need not be a member; negative values are clamped, so [succ t (-1)]
+    is {!min_elt}). *)
+
+val to_desc_list : t -> int list
+(** All members, largest first — O(card · log n), for tests and debug. *)
+
+val clear : t -> unit
+(** Remove every member. *)

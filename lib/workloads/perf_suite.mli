@@ -1,0 +1,31 @@
+(** The core-solver benchmark suite behind [bench --perf] and
+    [treetrav perf].
+
+    Seeded, fully deterministic instance families (stair-weighted chains,
+    re-weighted complete binary trees, flat stars, nested harpoons,
+    caterpillars, random trees, and the largest assembly trees of
+    {!Dataset.small_corpus}) crossed with the kernels they stress:
+
+    - [postorder] — {!Tt_core.Postorder_opt.run};
+    - [liu] — {!Tt_core.Liu_exact.run} on deep / star / corpus shapes;
+    - [minmem] — {!Tt_core.Minmem.run} (Explore rounds);
+    - [minio/<policy>] — {!Tt_core.Minio.run} for each of the paper's six
+      eviction heuristics, on a seeded-random traversal with memory a
+      quarter of the way between the feasibility floor and the traversal
+      peak, so deficit events fire throughout;
+    - [divisible-lb] — {!Tt_core.Minio.divisible_lower_bound}.
+
+    Every spec's payload encodes the kernel's {e full} result (traversal,
+    tau vector, I/O volume…), so the digests in [BENCH_CORE.json] are
+    parity witnesses across optimization PRs, not just timings. *)
+
+type mode =
+  | Quick  (** Small sizes — CI smoke (seconds). *)
+  | Full  (** Paper-scale sizes, p up to 2·10⁵. *)
+
+val default_reps : mode -> int
+(** Suggested repetition count (3 quick, 5 full). *)
+
+val specs : mode -> Tt_profile.Microbench.spec list
+(** The full benchmark matrix for the mode. Trees are built lazily and
+    shared between the kernels that run on the same instance. *)

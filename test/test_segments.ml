@@ -10,6 +10,15 @@ let seg h v nodes =
     seq = List.fold_left (fun acc x -> S.seq_cat acc (S.seq_single x)) S.seq_empty nodes
   }
 
+(* raw-list observations, for comparing a canonicalized profile against
+   the segment list it was built from *)
+let raw_peak p = List.fold_left (fun acc s -> max acc s.S.hill) 0 p
+
+let raw_final_valley p =
+  match List.rev p with [] -> 0 | s :: _ -> s.S.valley
+
+let raw_nodes p = List.concat_map (fun s -> S.seq_to_list s.S.seq) p
+
 (* random raw profiles: start at 0, each step climbs then descends *)
 let arb_raw_profile =
   let gen =
@@ -39,36 +48,41 @@ let prop_canonicalize_preserves =
   H.qcheck "canonicalize preserves peak, final valley and nodes" arb_raw_profile
     (fun p ->
       let c = S.canonicalize p in
-      S.peak c = S.peak p
-      && S.final_valley c = S.final_valley p
-      && S.nodes c = S.nodes p)
+      S.peak c = raw_peak p
+      && S.final_valley c = raw_final_valley p
+      && S.nodes c = raw_nodes p)
 
 let prop_canonicalize_idempotent =
   H.qcheck "canonicalize is idempotent" arb_raw_profile (fun p ->
       let c = S.canonicalize p in
-      S.canonicalize c = c)
+      S.equal (S.canonicalize (S.to_list c)) c)
+
+let prop_rev_nodes =
+  H.qcheck "rev_nodes is nodes reversed" arb_raw_profile (fun p ->
+      let c = S.canonicalize p in
+      S.rev_nodes c = List.rev (S.nodes c))
 
 let test_canonicalize_cases () =
   (* cost rule: (5,1) cost 4 then (9,2) cost 7 must fuse *)
   let c = S.canonicalize [ seg 5 1 [ 0 ]; seg 9 2 [ 1 ] ] in
-  Alcotest.(check int) "fused length" 1 (List.length c);
+  Alcotest.(check int) "fused length" 1 (S.length c);
   Alcotest.(check int) "fused hill" 9 (S.peak c);
   Alcotest.(check int) "fused valley" 2 (S.final_valley c);
   Alcotest.(check (list int)) "fused nodes" [ 0; 1 ] (S.nodes c);
   (* valley rule: (33,9) then (16,3): costs decrease but 9 >= 3 -> fuse *)
   let c2 = S.canonicalize [ seg 33 9 [ 0 ]; seg 16 3 [ 1 ] ] in
-  Alcotest.(check int) "suffix-min fused" 1 (List.length c2);
+  Alcotest.(check int) "suffix-min fused" 1 (S.length c2);
   Alcotest.(check int) "suffix-min hill" 33 (S.peak c2);
   Alcotest.(check int) "suffix-min valley" 3 (S.final_valley c2);
   (* both strictly improving: stays split *)
   let c3 = S.canonicalize [ seg 10 1 [ 0 ]; seg 8 5 [ 1 ] ] in
-  Alcotest.(check int) "kept split" 2 (List.length c3)
+  Alcotest.(check int) "kept split" 2 (S.length c3)
 
 let test_merge_two_chains () =
   (* the counterexample that motivated the suffix-minima rule: chain A =
      [(33,3);(25,17)], chain B = [(27,4)]; optimal interleave peak 33 *)
-  let a = [ seg 33 3 [ 0 ]; seg 25 17 [ 1 ] ] in
-  let b = [ seg 27 4 [ 2 ] ] in
+  let a = S.canonicalize [ seg 33 3 [ 0 ]; seg 25 17 [ 1 ] ] in
+  let b = S.canonicalize [ seg 27 4 [ 2 ] ] in
   let m = S.merge [ a; b ] in
   Alcotest.(check bool) "canonical" true (S.check_canonical m);
   Alcotest.(check int) "peak 33" 33 (S.peak m);
@@ -77,7 +91,8 @@ let test_merge_two_chains () =
   Alcotest.(check (list int)) "node order" [ 0; 2; 1 ] (S.nodes m)
 
 let test_merge_disjoint_costs () =
-  let a = [ seg 10 2 [ 0 ] ] and b = [ seg 6 1 [ 1 ] ] in
+  let a = S.canonicalize [ seg 10 2 [ 0 ] ]
+  and b = S.canonicalize [ seg 6 1 [ 1 ] ] in
   let m = S.merge [ a; b ] in
   (* a first (cost 8), b at base 2: hill 8 < 10, so peak 10 *)
   Alcotest.(check int) "peak" 10 (S.peak m);
@@ -85,8 +100,8 @@ let test_merge_disjoint_costs () =
 
 let test_merge_empty () =
   Alcotest.(check int) "empty merge" 0 (S.peak (S.merge []));
-  let a = [ seg 5 1 [ 0 ] ] in
-  Alcotest.(check bool) "single merge unchanged" true (S.merge [ a ] = a)
+  let a = S.canonicalize [ seg 5 1 [ 0 ] ] in
+  Alcotest.(check bool) "single merge unchanged" true (S.equal (S.merge [ a ]) a)
 
 let prop_merge_canonical =
   H.qcheck "merging canonical profiles is canonical"
@@ -117,14 +132,25 @@ let test_append_parent () =
     (Invalid_argument "Segments.append_parent: hill < valley") (fun () ->
       ignore (S.append_parent prof ~hill:1 ~valley:5 ~node:9))
 
+let prop_append_parent_matches_canonicalize =
+  (* the suffix cascade must agree with re-canonicalizing from scratch *)
+  H.qcheck "append_parent = canonicalize of the extended list"
+    (QCheck.pair arb_raw_profile (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (p, (a, b)) ->
+      let prof = S.canonicalize p in
+      let hill = max a b and valley = min a b in
+      S.equal
+        (S.append_parent prof ~hill ~valley ~node:99)
+        (S.canonicalize (S.to_list prof @ [ seg hill valley [ 99 ] ])))
+
 let test_of_step_profile () =
   (* profile 10 -> 2, 8 -> 5: two genuine segments *)
   let p = S.of_step_profile ~usage:[| 10; 8 |] ~after:[| 2; 5 |] ~order:[| 0; 1 |] in
-  Alcotest.(check int) "segments" 2 (List.length p);
+  Alcotest.(check int) "segments" 2 (S.length p);
   Alcotest.(check int) "peak" 10 (S.peak p);
   (* ascending profile 8 -> 5, 10 -> 2 fuses *)
   let q = S.of_step_profile ~usage:[| 8; 10 |] ~after:[| 5; 2 |] ~order:[| 0; 1 |] in
-  Alcotest.(check int) "fused" 1 (List.length q)
+  Alcotest.(check int) "fused" 1 (S.length q)
 
 let prop_rope_cat_order =
   H.qcheck "seq_cat concatenates in order"
@@ -141,7 +167,8 @@ let () =
         [ H.case "cases" test_canonicalize_cases;
           prop_canonicalize_invariant;
           prop_canonicalize_preserves;
-          prop_canonicalize_idempotent
+          prop_canonicalize_idempotent;
+          prop_rev_nodes
         ] );
       ( "merge",
         [ H.case "two chains counterexample" test_merge_two_chains;
@@ -153,6 +180,7 @@ let () =
         ] );
       ( "construction",
         [ H.case "append_parent" test_append_parent;
+          prop_append_parent_matches_canonicalize;
           H.case "of_step_profile" test_of_step_profile;
           prop_rope_cat_order
         ] )
