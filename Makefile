@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net chaos-cluster clean
 
 all: build
 
@@ -109,6 +109,51 @@ chaos-net: build
 	rm -f _chaos_net_clean.log _chaos_net_clean.out _chaos_net_clean.digest \
 	  _chaos_net_chaos.log _chaos_net_chaos.out _chaos_net_chaos.digest
 	@echo "chaos-net: digest parity under faults, >=1 worker restart survived, no leaked connections"
+
+# Shard-tier chaos gate. Run 1: one plain server, direct loadgen —
+# the reference value digest. Run 2: a 3-shard cluster whose watchdog
+# gracefully kills shard 1 after 20 routed ops, driven through the
+# netfault proxy with the same seed. Routing is content-addressed and
+# jobs are deterministic, so the cluster must converge to the exact
+# single-node digest with zero lost admitted requests, and the kill
+# must force at least one failover. `timeout` keeps a wedged run from
+# hanging CI.
+chaos-cluster: build
+	_build/default/bin/treetrav.exe serve --port 0 --workers 2 > _cc_single.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q '^listening on' _cc_single.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _cc_single.log); \
+	  test -n "$$port" || { echo "chaos-cluster: single server did not start"; kill $$pid; exit 1; }; \
+	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag ccsingle > _cc_single.out \
+	    || { echo "chaos-cluster: single-node loadgen failed"; kill $$pid; exit 1; }; \
+	  grep -q '^errors: none' _cc_single.out || { echo "chaos-cluster: single-node run saw errors"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid
+	grep '^value digest' _cc_single.out > _cc_single.digest
+	_build/default/bin/treetrav.exe cluster --shards 3 --workers 2 --kill-shard 1 --kill-after-requests 20 > _cc_cluster.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q 'behind router' _cc_cluster.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/.*behind router 127.0.0.1:\([0-9]*\).*/\1/p' _cc_cluster.log); \
+	  test -n "$$port" || { echo "chaos-cluster: cluster did not start"; kill $$pid; exit 1; }; \
+	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag cccluster \
+	    --retries 6 --read-timeout 5 --connect-timeout 2 \
+	    --chaos 'drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,seed=9' \
+	    > _cc_cluster.out \
+	    || { echo "chaos-cluster: cluster loadgen failed"; kill $$pid; exit 1; }; \
+	  grep -q '^errors: none' _cc_cluster.out || { echo "chaos-cluster: cluster run lost admitted requests"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid; \
+	  grep -q 'cluster drained cleanly' _cc_cluster.log || { echo "chaos-cluster: cluster did not drain"; exit 1; }
+	grep '^value digest' _cc_cluster.out > _cc_cluster.digest
+	cmp _cc_single.digest _cc_cluster.digest \
+	  || { echo "chaos-cluster: cluster digest diverged from the single-node run"; exit 1; }
+	grep -Eq '^tt_shard_failovers_total [1-9]' _cc_cluster.log \
+	  || { echo "chaos-cluster: shard kill forced no failover"; exit 1; }
+	grep -q '^tt_shard_unrouted_total 0$$' _cc_cluster.log \
+	  || { echo "chaos-cluster: some requests exhausted the ring"; exit 1; }
+	rm -f _cc_single.log _cc_single.out _cc_single.digest \
+	  _cc_cluster.log _cc_cluster.out _cc_cluster.digest
+	@echo "chaos-cluster: digest parity across 1 node vs 3 shards with a mid-run kill, >=1 failover, zero lost requests"
 
 clean:
 	dune clean

@@ -88,7 +88,7 @@ let spec =
         (fun () ->
           print_endline
             "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
-             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve perf";
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve cluster perf";
           exit 0),
       " list sections" )
   ]
@@ -904,6 +904,50 @@ let serve_section () =
     m.Tt_server.Metrics.job_cache_hits m.Tt_server.Metrics.latency.Tt_server.Metrics.p50_s
     m.Tt_server.Metrics.latency.Tt_server.Metrics.p99_s
 
+(* -------------------------------------------------------------- cluster *)
+
+(* The shard tier's two headline numbers: how throughput and tail
+   latency move from 1 to 2 to 4 shards behind the router, and whether
+   placement stays invisible in results — every shard count must land
+   the same value digest (jobs are content-addressed; the ring only
+   decides where they compute). *)
+let cluster_section () =
+  header "Cluster" "tt_shard req/s and latency through the router (loopback)";
+  let module Cl = Tt_shard.Cluster in
+  let module L = Tt_server.Loadgen in
+  let requests = 60 * !scale in
+  let digests =
+    List.map
+      (fun shards ->
+        let c = Cl.start ~shards ~workers:2 () in
+        let s =
+          L.run
+            { L.default_config with
+              L.port = Cl.router_port c;
+              connections = 2;
+              requests;
+              seed = !seed;
+              tag = Printf.sprintf "bcl%d" shards
+            }
+        in
+        Cl.stop c;
+        let snap = Cl.snapshot c in
+        Printf.printf
+          "%d shard%s: %7.1f req/s  p50 %.4fs  p95 %.4fs  p99 %.4fs  (ok %d, \
+           forwards %d, failovers %d, peer hits %d)\n"
+          shards
+          (if shards = 1 then " " else "s")
+          s.L.throughput_rps s.L.p50_s s.L.p95_s s.L.p99_s s.L.ok
+          snap.Tt_shard.Metrics.forwards_total snap.Tt_shard.Metrics.failovers
+          snap.Tt_shard.Metrics.peer_hits;
+        s.L.value_digest)
+      [ 1; 2; 4 ]
+  in
+  match digests with
+  | Some a :: rest when List.for_all (( = ) (Some a)) rest ->
+      Printf.printf "placement-invariant: value digest %s at every shard count\n" a
+  | _ -> Printf.printf "placement-invariant: DIGEST MISMATCH across shard counts\n"
+
 (* ----------------------------------------------------------------- perf *)
 
 (* Wall times of the core solvers on the seeded Perf_suite instances,
@@ -1001,6 +1045,7 @@ let section_runners =
     ("minio-gap", minio_gap);
     ("rounds", rounds);
     ("serve", serve_section);
+    ("cluster", cluster_section);
     ("perf", perf_section);
     ("bechamel", bechamel_suite)
   ]
@@ -1008,7 +1053,7 @@ let section_runners =
 let default_order () =
   [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
     "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
-    "parallel"; "minio-gap"; "rounds"; "serve"
+    "parallel"; "minio-gap"; "rounds"; "serve"; "cluster"
   ]
   @ (if !run_bechamel then [ "bechamel" ] else [])
 

@@ -611,7 +611,7 @@ let request_cmd =
 (* ------------------------------------------------------------- loadgen *)
 
 let loadgen host port connections requests seed timeout rate entries_file
-    chaos retries read_timeout tag =
+    chaos retries read_timeout connect_timeout tag cluster =
   let module L = Tt_server.Loadgen in
   let entries =
     match entries_file with
@@ -635,6 +635,33 @@ let loadgen host port connections requests seed timeout rate entries_file
     1
   end
   else begin
+    if chaos <> None && cluster <> None then begin
+      prerr_endline "loadgen: --chaos and --cluster are incompatible";
+      exit 2
+    end;
+    let retry =
+      if retries = 0 then Tt_engine.Retry.none
+      else Tt_engine.Retry.create ~retries ~seed ()
+    in
+    (* --cluster MAP swaps the per-connection client for a shard-aware
+       one routing directly on the ring — no router hop. Shared shard
+       metrics let the run report observed forwards/failovers. *)
+    let shard_metrics, solver =
+      match cluster with
+      | None -> (None, None)
+      | Some map -> (
+          match Tt_shard.Ring.of_string map with
+          | Error e ->
+              Printf.eprintf "loadgen: bad --cluster map: %s\n" e;
+              exit 2
+          | Ok ring ->
+              let m = Tt_shard.Metrics.create () in
+              ( Some m,
+                Some
+                  (Tt_shard.Shard_client.loadgen_solver
+                     ?connect_timeout_s:connect_timeout
+                     ~read_timeout_s:read_timeout ~retry ~metrics:m ring) ))
+    in
     let cfg =
       { L.host;
         port;
@@ -644,16 +671,23 @@ let loadgen host port connections requests seed timeout rate entries_file
         entries;
         timeout_s = timeout;
         mode = (match rate with None -> L.Closed | Some r -> L.Open r);
-        retry =
-          (if retries = 0 then Tt_engine.Retry.none
-           else Tt_engine.Retry.create ~retries ~seed ());
+        retry;
         read_timeout_s = read_timeout;
+        connect_timeout_s = connect_timeout;
         chaos;
-        tag
+        tag;
+        solver
       }
     in
     let s = L.run cfg in
     print_string (L.summary_to_string s);
+    Option.iter
+      (fun m ->
+        let snap = Tt_shard.Metrics.snapshot m in
+        Printf.printf "cluster: %d forwards, %d failovers, %d unrouted\n"
+          snap.Tt_shard.Metrics.forwards_total snap.Tt_shard.Metrics.failovers
+          snap.Tt_shard.Metrics.unrouted)
+      shard_metrics;
     if s.L.transport_errors > 0 then 1 else 0
   end
 
@@ -709,6 +743,13 @@ let loadgen_cmd =
              ~doc:"Per-reply read deadline; a timed-out read counts as a \
                    transport error and triggers a retry.")
   in
+  let connect_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "connect-timeout" ] ~docv:"SECONDS"
+             ~doc:"Bound on establishing each connection; a dead-but-routable \
+                   endpoint otherwise blocks for the kernel's SYN-retry \
+                   budget.")
+  in
   let tag =
     Arg.(value & opt string "lg"
          & info [ "tag" ] ~docv:"TAG"
@@ -716,12 +757,114 @@ let loadgen_cmd =
                    must use distinct tags (or the second run is answered \
                    from the first's replay cache).")
   in
+  let cluster =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"MAP"
+             ~doc:"Route directly on a shard ring instead of one endpoint: \
+                   MAP is 'name=host:port,...' (names optional). Each \
+                   connection runs a shard-aware client with failover; \
+                   --host/--port are ignored. Incompatible with --chaos.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a running server with a deterministic seeded workload.")
     Term.(const loadgen $ host $ port $ connections $ requests $ seed
           $ timeout $ rate $ entries_file $ chaos $ retries $ read_timeout
-          $ tag)
+          $ connect_timeout $ tag $ cluster)
+
+
+(* ------------------------------------------------------------- cluster *)
+
+let cluster shards workers vnodes port queue no_peering kill_shard
+    kill_after =
+  let module Cl = Tt_shard.Cluster in
+  if shards < 1 then begin
+    prerr_endline "cluster: --shards must be at least 1";
+    exit 2
+  end;
+  let kill_after =
+    match kill_after with
+    | None -> None
+    | Some n ->
+        if kill_shard < 0 || kill_shard >= shards then begin
+          prerr_endline "cluster: --kill-shard out of range";
+          exit 2
+        end;
+        Some (kill_shard, n)
+  in
+  let router_config = { Tt_shard.Router.default_config with port } in
+  let server_config =
+    { Tt_server.Server.default_config with queue_capacity = queue }
+  in
+  let t =
+    Cl.start ~shards ~workers ?vnodes ~peering:(not no_peering)
+      ~router_config ~server_config ?kill_after ()
+  in
+  Printf.printf "cluster: %d shards behind router 127.0.0.1:%d\n" shards
+    (Cl.router_port t);
+  Printf.printf "map: %s\n" (Tt_shard.Ring.to_string (Cl.ring t));
+  flush stdout;
+  let stop_signal _ = Cl.request_stop t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  (* Park until a signal lands or a client shutdown frame stops the
+     router; teardown is graceful either way. *)
+  while not (Cl.stopped t) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Cl.stop t;
+  print_string (Cl.prometheus t);
+  Printf.printf "cluster drained cleanly\n";
+  0
+
+let cluster_cmd =
+  let shards =
+    Arg.(value & opt int 3
+         & info [ "shards" ] ~docv:"N" ~doc:"Shard servers to run.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers"; "w" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let vnodes =
+    Arg.(value & opt (some int) None
+         & info [ "vnodes" ] ~docv:"N"
+             ~doc:"Virtual nodes per shard on the hash ring (default 64).")
+  in
+  let port =
+    Arg.(value & opt int 0
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"Router port (0 picks an ephemeral port, printed on \
+                   startup; shards always bind ephemeral ports).")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N" ~doc:"Admission queue per shard.")
+  in
+  let no_peering =
+    Arg.(value & flag
+         & info [ "no-peering" ]
+             ~doc:"Disable cross-shard cache peeking (each shard computes \
+                   every miss locally).")
+  in
+  let kill_shard =
+    Arg.(value & opt int 0
+         & info [ "kill-shard" ] ~docv:"I"
+             ~doc:"Which shard --kill-after-requests takes down.")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-after-requests" ] ~docv:"N"
+             ~doc:"Chaos hook: gracefully kill --kill-shard once the router \
+                   has forwarded N ops — a deterministic mid-run shard \
+                   failure for failover drills.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run N local shards behind a consistent-hash router \
+             (SIGINT/SIGTERM drain gracefully).")
+    Term.(const cluster $ shards $ workers $ vnodes $ port $ queue
+          $ no_peering $ kill_shard $ kill_after)
 
 (* ---------------------------------------------------------------- perf *)
 
@@ -862,4 +1005,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
-            serve_cmd; request_cmd; loadgen_cmd; perf_cmd; chaos_proxy_cmd ]))
+            serve_cmd; request_cmd; loadgen_cmd; cluster_cmd; perf_cmd;
+            chaos_proxy_cmd ]))

@@ -6,6 +6,7 @@ type 'a t = {
   persist : string option;
   faults : Fault.t option;
   max_entries : int option;
+  fetch : (string -> 'a option) option;
   mutable tick : int;  (* logical clock for LRU-ish eviction *)
   mutable hits : int;
   mutable misses : int;
@@ -13,7 +14,7 @@ type 'a t = {
   mutable evictions : int;
 }
 
-let create ?persist ?faults ?max_entries () =
+let create ?persist ?faults ?max_entries ?fetch () =
   (match max_entries with
   | Some m when m < 1 -> invalid_arg "Cache.create: max_entries < 1"
   | _ -> ());
@@ -25,6 +26,7 @@ let create ?persist ?faults ?max_entries () =
     persist;
     faults;
     max_entries;
+    fetch;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -158,6 +160,14 @@ let find t key =
           Some v
       | None -> None)
 
+(* The third cache level: ask [fetch] (a peer, in the shard tier) for
+   the value. Runs outside the lock — it is typically a network call —
+   and never raises: a failing hook degrades to a local recompute. *)
+let fetch_read t key =
+  match t.fetch with
+  | None -> None
+  | Some f -> ( try f key with _ -> None)
+
 let find_or_compute t ~key f =
   match locked t (fun () -> lookup t key) with
   | Some v ->
@@ -170,12 +180,20 @@ let find_or_compute t ~key f =
               t.hits <- t.hits + 1;
               insert t key v);
           (v, true)
-      | None ->
-          locked t (fun () -> t.misses <- t.misses + 1);
-          let v = f () in
-          locked t (fun () -> insert t key v);
-          disk_write t key v;
-          (v, false))
+      | None -> (
+          match fetch_read t key with
+          | Some v ->
+              locked t (fun () ->
+                  t.hits <- t.hits + 1;
+                  insert t key v);
+              disk_write t key v;
+              (v, true)
+          | None ->
+              locked t (fun () -> t.misses <- t.misses + 1);
+              let v = f () in
+              locked t (fun () -> insert t key v);
+              disk_write t key v;
+              (v, false)))
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)

@@ -34,9 +34,23 @@
 type 'a t
 
 val create :
-  ?persist:string -> ?faults:Fault.t -> ?max_entries:int -> unit -> 'a t
+  ?persist:string ->
+  ?faults:Fault.t ->
+  ?max_entries:int ->
+  ?fetch:(string -> 'a option) ->
+  unit ->
+  'a t
 (** [persist] is a directory, created if missing. [faults] injects
     deterministic I/O failures at the disk level (chaos testing).
+
+    [fetch] is a third lookup level behind memory and disk: on a miss at
+    both, {!find_or_compute} asks [fetch key] before computing. The
+    shard tier uses it for cache peering — asking the ring owner of
+    [key] over the wire — so warm results migrate instead of being
+    recomputed. A [Some] result counts as a hit and is inserted in
+    memory (and persisted, if configured); [None] or an exception
+    degrades to a local compute. {!find} never consults [fetch] — that
+    is what keeps a peer's [peek] from cascading across the ring.
 
     [max_entries] bounds the {e in-memory} level: when an insert would
     exceed the bound, the least-recently-touched entry is dropped first
@@ -55,8 +69,8 @@ val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
     propagates (the miss is still counted). *)
 
 val find : 'a t -> string -> 'a option
-(** Lookup without computing; checks the disk level too. Does not touch
-    the counters. *)
+(** Lookup without computing; checks the disk level too, but never the
+    [fetch] hook. Does not touch the counters. *)
 
 val hits : 'a t -> int
 

@@ -19,13 +19,46 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> failwith ("cannot resolve host " ^ host))
 
+(* Bounded connect: non-blocking [connect], wait for writability, then
+   read the socket error back. A dead-but-routable endpoint otherwise
+   blocks for the kernel's SYN-retry budget (minutes) — too slow for
+   failover, which needs to move to the ring successor quickly. *)
+let connect_bounded fd addr timeout_s =
+  Unix.set_nonblock fd;
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        else
+          match Unix.select [] [ fd ] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | _, [ _ ], _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+          | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+      in
+      wait ());
+  Unix.clear_nonblock fd
+
 let connect ?(host = "127.0.0.1") ?(read_timeout_s = default_read_timeout_s)
-    ~port () =
+    ?connect_timeout_s ~port () =
   (* A write to a connection the server already closed must surface as
      an [Error], not kill the process. *)
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match connect_timeout_s with
+  | Some s when s <= 0. -> invalid_arg "Client.connect: connect_timeout_s <= 0"
+  | _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+  (try
+     let addr = Unix.ADDR_INET (resolve host, port) in
+     match connect_timeout_s with
+     | None -> Unix.connect fd addr
+     | Some s -> connect_bounded fd addr s
    with e ->
      Unix.close fd;
      raise e);
@@ -37,8 +70,8 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let with_connection ?host ?read_timeout_s ~port f =
-  let t = connect ?host ?read_timeout_s ~port () in
+let with_connection ?host ?read_timeout_s ?connect_timeout_s ~port f =
+  let t = connect ?host ?read_timeout_s ?connect_timeout_s ~port () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let fresh_id t =
@@ -120,7 +153,7 @@ let solve t ?timeout_s ?idem entry =
   | Ok (P.Results reports) -> Ok reports
   | Ok (P.Refused { code; msg }) ->
       Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) msg)
-  | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
+  | Ok (P.Stats_reply _ | P.Pong | P.Draining | P.Peeked _) ->
       Error "unexpected response body for solve"
 
 (* --------------------------------------------------- resilient session *)
@@ -138,6 +171,7 @@ type session = {
   s_host : string;
   s_port : int;
   s_read_timeout_s : float;
+  s_connect_timeout_s : float option;
   s_retry : Retry.policy;
   s_tag : string;
   mutable s_conn : t option;
@@ -145,10 +179,11 @@ type session = {
 }
 
 let open_session ?(host = "127.0.0.1") ?(read_timeout_s = default_read_timeout_s)
-    ?(retry = Retry.none) ?(tag = "s") ~port () =
+    ?connect_timeout_s ?(retry = Retry.none) ?(tag = "s") ~port () =
   { s_host = host;
     s_port = port;
     s_read_timeout_s = read_timeout_s;
+    s_connect_timeout_s = connect_timeout_s;
     s_retry = retry;
     s_tag = tag;
     s_conn = None;
@@ -168,7 +203,7 @@ let session_conn s =
   | None -> (
       match
         connect ~host:s.s_host ~read_timeout_s:s.s_read_timeout_s
-          ~port:s.s_port ()
+          ?connect_timeout_s:s.s_connect_timeout_s ~port:s.s_port ()
       with
       | c ->
           s.s_conn <- Some c;
@@ -208,7 +243,7 @@ let session_solve s ?timeout_s ?idem entry =
             Error (Transport msg)
         | Ok (P.Results reports) -> Ok reports
         | Ok (P.Refused { code; msg }) -> Error (Refused (code, msg))
-        | Ok (P.Stats_reply _ | P.Pong | P.Draining) ->
+        | Ok (P.Stats_reply _ | P.Pong | P.Draining | P.Peeked _) ->
             session_drop s;
             Error (Transport "unexpected response body for solve"))
   in

@@ -21,16 +21,32 @@ type t
 val default_read_timeout_s : float
 (** 30 s. *)
 
-val connect : ?host:string -> ?read_timeout_s:float -> port:int -> unit -> t
+val connect :
+  ?host:string ->
+  ?read_timeout_s:float ->
+  ?connect_timeout_s:float ->
+  port:int ->
+  unit ->
+  t
 (** [host] defaults to ["127.0.0.1"], [read_timeout_s] to
-    {!default_read_timeout_s}.
-    @raise Unix.Unix_error when the connection is refused. *)
+    {!default_read_timeout_s}. [connect_timeout_s] bounds connection
+    establishment (non-blocking connect + select): without it, a dead
+    but routable endpoint blocks for the kernel's SYN-retry budget —
+    minutes — where failover needs to move on in well under a second.
+    @raise Unix.Unix_error when the connection is refused, or with
+    [ETIMEDOUT] when [connect_timeout_s] expires.
+    @raise Invalid_argument when [connect_timeout_s <= 0]. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
 val with_connection :
-  ?host:string -> ?read_timeout_s:float -> port:int -> (t -> 'a) -> 'a
+  ?host:string ->
+  ?read_timeout_s:float ->
+  ?connect_timeout_s:float ->
+  port:int ->
+  (t -> 'a) ->
+  'a
 (** [connect], run, [close] (also on exception). *)
 
 val fresh_id : t -> string
@@ -74,6 +90,7 @@ type session
 val open_session :
   ?host:string ->
   ?read_timeout_s:float ->
+  ?connect_timeout_s:float ->
   ?retry:Tt_engine.Retry.policy ->
   ?tag:string ->
   port:int ->

@@ -2,6 +2,18 @@ module P = Protocol
 
 type mode = Closed | Open of float
 
+(* A pluggable per-connection solve path: the default wraps a resilient
+   {!Client.session} aimed at (host, port); the shard tier substitutes
+   a ring-routing client without Loadgen knowing about rings. *)
+type solver = {
+  sv_solve :
+    ?timeout_s:float ->
+    idem:string ->
+    string ->
+    (P.job_report list, Client.failure) result;
+  sv_close : unit -> unit;
+}
+
 type config = {
   host : string;
   port : int;
@@ -13,8 +25,10 @@ type config = {
   mode : mode;
   retry : Tt_engine.Retry.policy;
   read_timeout_s : float;
+  connect_timeout_s : float option;
   chaos : Netfault.faults option;
   tag : string;
+  solver : (tag:string -> conn:int -> solver) option;
 }
 
 let default_entries =
@@ -38,8 +52,10 @@ let default_config =
     mode = Closed;
     retry = Tt_engine.Retry.none;
     read_timeout_s = Client.default_read_timeout_s;
+    connect_timeout_s = None;
     chaos = None;
-    tag = "lg"
+    tag = "lg";
+    solver = None
   }
 
 (* What one client domain brings home. *)
@@ -48,13 +64,30 @@ type tally = {
   mutable t_ok : int;
   t_errors : (string, int) Hashtbl.t;
   mutable t_transport : int;
+  t_transport_kinds : (string, int) Hashtbl.t;
   mutable lats : float list;
   mutable reports : P.job_report list;
 }
 
-let count_error tally code =
-  Hashtbl.replace tally.t_errors code
-    (1 + Option.value ~default:0 (Hashtbl.find_opt tally.t_errors code))
+let bump h key = Hashtbl.replace h key (1 + Option.value ~default:0 (Hashtbl.find_opt h key))
+let count_error tally code = bump tally.t_errors code
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Coarse classification of a transport failure's message, so a summary
+   can say {e which} failures ate a request's retry budget — a cluster
+   failover run looks very different when they are all connect_refused
+   (dead shard) versus read_timeout (wedged one). *)
+let transport_kind msg =
+  let m = String.lowercase_ascii msg in
+  if contains m "refused" then "connect_refused"
+  else if contains m "timed out" then "timeout"
+  else if contains m "reset" then "conn_reset"
+  else if contains m "closed by server" then "eof"
+  else "other"
 
 (* One connection's run: [n] requests through a resilient session,
    entries drawn from [rng]. Idempotency keys are deterministic
@@ -69,16 +102,27 @@ let client cfg ~host ~port ~k ~n ~rng =
       t_ok = 0;
       t_errors = Hashtbl.create 8;
       t_transport = 0;
+      t_transport_kinds = Hashtbl.create 8;
       lats = [];
       reports = []
     }
   in
-  let session =
-    Client.open_session ~host ~read_timeout_s:cfg.read_timeout_s
-      ~retry:cfg.retry ~port ()
+  let solver =
+    match cfg.solver with
+    | Some make -> make ~tag:cfg.tag ~conn:k
+    | None ->
+        let session =
+          Client.open_session ~host ~read_timeout_s:cfg.read_timeout_s
+            ?connect_timeout_s:cfg.connect_timeout_s ~retry:cfg.retry ~port ()
+        in
+        { sv_solve =
+            (fun ?timeout_s ~idem entry ->
+              Client.session_solve session ?timeout_s ~idem entry);
+          sv_close = (fun () -> Client.close_session session)
+        }
   in
   Fun.protect
-    ~finally:(fun () -> Client.close_session session)
+    ~finally:(fun () -> solver.sv_close ())
     (fun () ->
       let t0 = Unix.gettimeofday () in
       let interval = match cfg.mode with Closed -> 0. | Open r -> 1. /. r in
@@ -93,7 +137,7 @@ let client cfg ~host ~port ~k ~n ~rng =
         let idem = Printf.sprintf "%s%d-c%d-r%d" cfg.tag cfg.seed k i in
         tally.issued <- tally.issued + 1;
         let sent = Unix.gettimeofday () in
-        match Client.session_solve session ?timeout_s:cfg.timeout_s ~idem entry with
+        match solver.sv_solve ?timeout_s:cfg.timeout_s ~idem entry with
         | Ok reports ->
             tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
             tally.t_ok <- tally.t_ok + 1;
@@ -101,8 +145,9 @@ let client cfg ~host ~port ~k ~n ~rng =
         | Error (Client.Refused (code, _)) ->
             tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
             count_error tally (P.error_code_to_string code)
-        | Error (Client.Transport _) ->
-            tally.t_transport <- tally.t_transport + 1
+        | Error (Client.Transport msg) ->
+            tally.t_transport <- tally.t_transport + 1;
+            bump tally.t_transport_kinds (transport_kind msg)
       done);
   tally
 
@@ -111,6 +156,7 @@ type summary = {
   ok : int;
   errors : (string * int) list;
   transport_errors : int;
+  transport_breakdown : (string * int) list;
   jobs : int;
   wall_s : float;
   throughput_rps : float;
@@ -127,6 +173,10 @@ let run cfg =
   if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if cfg.requests < 1 then invalid_arg "Loadgen.run: requests < 1";
   if Array.length cfg.entries = 0 then invalid_arg "Loadgen.run: no entries";
+  if cfg.chaos <> None && cfg.solver <> None then
+    invalid_arg
+      "Loadgen.run: chaos proxies one (host, port) endpoint; a custom solver \
+       routes elsewhere — front the custom endpoints with Netfault directly";
   (* Under --chaos, interpose the seeded fault proxy and aim every
      client at it; the summary then also carries the proxy's injection
      counters, so a run can assert that faults actually fired. *)
@@ -182,17 +232,19 @@ let run cfg =
   let issued = Array.fold_left (fun a t -> a + t.issued) 0 tallies in
   let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
   let transport = Array.fold_left (fun a t -> a + t.t_transport) 0 tallies in
-  let errors =
+  let merge_tables field =
     let h = Hashtbl.create 8 in
     Array.iter
       (fun t ->
         Hashtbl.iter
           (fun k v ->
             Hashtbl.replace h k (v + Option.value ~default:0 (Hashtbl.find_opt h k)))
-          t.t_errors)
+          (field t))
       tallies;
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
   in
+  let errors = merge_tables (fun t -> t.t_errors) in
+  let transport_breakdown = merge_tables (fun t -> t.t_transport_kinds) in
   let reports =
     Array.fold_left (fun a t -> List.rev_append t.reports a) [] tallies
   in
@@ -207,6 +259,7 @@ let run cfg =
     ok;
     errors;
     transport_errors = transport;
+    transport_breakdown;
     jobs = List.length reports;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int issued /. wall_s else nan);
@@ -230,6 +283,12 @@ let summary_to_string s =
   | errs ->
       pf "errors:";
       List.iter (fun (code, n) -> pf " %s=%d" code n) errs;
+      pf "\n");
+  (match s.transport_breakdown with
+  | [] -> ()
+  | kinds ->
+      pf "transport:";
+      List.iter (fun (kind, n) -> pf " %s=%d" kind n) kinds;
       pf "\n");
   pf "jobs: %d\n" s.jobs;
   pf "wall: %.3f s, throughput: %.1f req/s\n" s.wall_s s.throughput_rps;

@@ -39,6 +39,16 @@ type mode =
   | Closed
   | Open of float  (** Target request rate per connection, requests/s. *)
 
+(* A pluggable per-connection solve path; see {!config.solver}. *)
+type solver = {
+  sv_solve :
+    ?timeout_s:float ->
+    idem:string ->
+    string ->
+    (Protocol.job_report list, Client.failure) result;
+  sv_close : unit -> unit;
+}
+
 type config = {
   host : string;
   port : int;
@@ -51,12 +61,20 @@ type config = {
   retry : Tt_engine.Retry.policy;
       (** Session retry policy (default {!Tt_engine.Retry.none}). *)
   read_timeout_s : float;  (** Per-reply read deadline (default 30 s). *)
+  connect_timeout_s : float option;
+      (** Bound on connection establishment (default [None] =
+          blocking); see {!Client.connect}. *)
   chaos : Netfault.faults option;
       (** Interpose a fault proxy with this spec (default [None]). *)
   tag : string;
       (** Idempotency-key namespace (default ["lg"]). Two runs against
           the same server must use distinct tags, or the second is
           answered from the first's replay cache. *)
+  solver : (tag:string -> conn:int -> solver) option;
+      (** Replace the default {!Client.session} path with a custom one
+          per connection — the shard tier passes a ring-routing client
+          here ([loadgen --cluster]). Incompatible with [chaos] (the
+          proxy fronts one endpoint; custom solvers route elsewhere). *)
 }
 
 val default_config : config
@@ -75,6 +93,10 @@ type summary = {
   transport_errors : int;
       (** Requests whose whole retry schedule was eaten by
           connection-level failures (EOF, reset, read timeout). *)
+  transport_breakdown : (string * int) list;
+      (** The same failures bucketed by kind ([connect_refused],
+          [timeout], [conn_reset], [eof], [other]) — a failover run
+          shows {e which} failures occurred, not just how many. *)
   jobs : int;  (** Job reports received across all ok replies. *)
   wall_s : float;
   throughput_rps : float;
@@ -91,8 +113,8 @@ type summary = {
 }
 
 val run : config -> summary
-(** @raise Invalid_argument on a non-positive [connections]/[requests]
-    or empty [entries]. *)
+(** @raise Invalid_argument on a non-positive [connections]/[requests],
+    empty [entries], or [chaos] combined with [solver]. *)
 
 val summary_to_string : summary -> string
 (** Multi-line human-readable rendering (the [treetrav loadgen]

@@ -9,6 +9,7 @@ type t = {
   mutable req_stats : int;
   mutable req_ping : int;
   mutable req_shutdown : int;
+  mutable req_peek : int;
   mutable ok : int;
   errors : (string, int) Hashtbl.t;
   mutable jobs : int;
@@ -34,6 +35,7 @@ let create ?(latency_window = 4096) () =
     req_stats = 0;
     req_ping = 0;
     req_shutdown = 0;
+    req_peek = 0;
     ok = 0;
     errors = Hashtbl.create 8;
     jobs = 0;
@@ -62,7 +64,8 @@ let request t op =
       | `Solve -> t.req_solve <- t.req_solve + 1
       | `Stats -> t.req_stats <- t.req_stats + 1
       | `Ping -> t.req_ping <- t.req_ping + 1
-      | `Shutdown -> t.req_shutdown <- t.req_shutdown + 1)
+      | `Shutdown -> t.req_shutdown <- t.req_shutdown + 1
+      | `Peek -> t.req_peek <- t.req_peek + 1)
 
 let response_ok t = locked t (fun () -> t.ok <- t.ok + 1)
 
@@ -110,6 +113,7 @@ type snapshot = {
   requests_stats : int;
   requests_ping : int;
   requests_shutdown : int;
+  requests_peek : int;
   responses_ok : int;
   errors : (string * int) list;
   jobs : int;
@@ -136,6 +140,7 @@ let snapshot t =
         requests_stats = t.req_stats;
         requests_ping = t.req_ping;
         requests_shutdown = t.req_shutdown;
+        requests_peek = t.req_peek;
         responses_ok = t.ok;
         errors =
           List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.errors []);
@@ -171,7 +176,8 @@ let to_json s =
           [ ("solve", Json.Int s.requests_solve);
             ("stats", Json.Int s.requests_stats);
             ("ping", Json.Int s.requests_ping);
-            ("shutdown", Json.Int s.requests_shutdown)
+            ("shutdown", Json.Int s.requests_shutdown);
+            ("peek", Json.Int s.requests_peek)
           ] );
       ( "responses",
         Json.Obj
@@ -226,6 +232,7 @@ let to_prometheus s =
   counter "requests_total" ~labels:{|{op="stats"}|} s.requests_stats;
   counter "requests_total" ~labels:{|{op="ping"}|} s.requests_ping;
   counter "requests_total" ~labels:{|{op="shutdown"}|} s.requests_shutdown;
+  counter "requests_total" ~labels:{|{op="peek"}|} s.requests_peek;
   typ "responses_ok_total" "counter";
   counter "responses_ok_total" s.responses_ok;
   typ "responses_error_total" "counter";

@@ -24,7 +24,7 @@ val create : ?latency_window:int -> unit -> t
 val connection_opened : t -> unit
 val connection_closed : t -> unit
 
-val request : t -> [ `Solve | `Stats | `Ping | `Shutdown ] -> unit
+val request : t -> [ `Solve | `Stats | `Ping | `Shutdown | `Peek ] -> unit
 (** One received, well-formed request frame. *)
 
 val response_ok : t -> unit
@@ -74,6 +74,7 @@ type snapshot = {
   requests_stats : int;
   requests_ping : int;
   requests_shutdown : int;
+  requests_peek : int;
   responses_ok : int;
   errors : (string * int) list;  (** By code, sorted by code. *)
   jobs : int;

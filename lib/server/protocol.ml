@@ -38,6 +38,7 @@ let error_code_of_string = function
 
 type op =
   | Solve of { entry : string; timeout_s : float option; idem : string option }
+  | Peek of { key : string }
   | Stats
   | Ping
   | Shutdown
@@ -57,6 +58,8 @@ let encode_request { id; op } =
         @ (match idem with
           | Some k -> [ ("idem", Json.String k) ]
           | None -> [])
+    | Peek { key } ->
+        base @ [ ("op", Json.String "peek"); ("key", Json.String key) ]
     | Stats -> base @ [ ("op", Json.String "stats") ]
     | Ping -> base @ [ ("op", Json.String "ping") ]
     | Shutdown -> base @ [ ("op", Json.String "shutdown") ]
@@ -110,6 +113,10 @@ let decode_request line =
                         | Some _ ->
                             fail Bad_request "idem must be a string when present")
                     | _ -> fail Bad_request "solve needs a string entry")
+                | Some (Json.String "peek") -> (
+                    match Json.member "key" json with
+                    | Some (Json.String key) -> Ok { id; op = Peek { key } }
+                    | _ -> fail Bad_request "peek needs a string key")
                 | Some (Json.String "stats") -> Ok { id; op = Stats }
                 | Some (Json.String "ping") -> Ok { id; op = Ping }
                 | Some (Json.String "shutdown") -> Ok { id; op = Shutdown }
@@ -134,6 +141,7 @@ type job_report = {
 
 type body =
   | Results of job_report list
+  | Peeked of Job.outcome option
   | Stats_reply of Json.t
   | Pong
   | Draining
@@ -185,6 +193,17 @@ let encode_response { req_id; body } =
     match body with
     | Results reports ->
         base true @ [ ("results", Json.List (List.map report_to_json reports)) ]
+    | Peeked outcome ->
+        base true
+        @ [ ( "peeked",
+              Json.Obj
+                (( "found",
+                   Json.Bool (Option.is_some outcome) )
+                 ::
+                 (match outcome with
+                 | Some o -> [ ("result", Job.result_to_json (Ok o)) ]
+                 | None -> [])) )
+          ]
     | Stats_reply stats -> base true @ [ ("stats", stats) ]
     | Pong -> base true @ [ ("pong", Json.Bool true) ]
     | Draining -> base true @ [ ("draining", Json.Bool true) ]
@@ -219,6 +238,21 @@ let decode_response line =
   in
   let* body =
     match Json.member "ok" json with
+    | Some (Json.Bool true) when Json.member "peeked" json <> None -> (
+        match Json.member "peeked" json with
+        | Some (Json.Obj _ as p) -> (
+            match Json.member "found" p with
+            | Some (Json.Bool false) -> Ok (Peeked None)
+            | Some (Json.Bool true) -> (
+                match Json.member "result" p with
+                | Some j -> (
+                    match Job.result_of_json j with
+                    | Ok (Ok o) -> Ok (Peeked (Some o))
+                    | Ok (Error _) -> Error "peeked result is an error value"
+                    | Error e -> Error e)
+                | None -> Error "peeked found without a result")
+            | _ -> Error "peeked without a boolean found")
+        | _ -> Error "peeked is not an object")
     | Some (Json.Bool true) -> (
         match
           ( Json.member "results" json,

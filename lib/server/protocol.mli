@@ -70,6 +70,13 @@ type op =
           so a retry of the same solve after a lost reply is answered
           from the cache instead of re-admitted — the client may retry
           freely without double execution. *)
+  | Peek of { key : string }
+      (** Cache peering (shard tier): does this server's result cache
+          hold [key] (a content address, typically a {!Tt_engine.Job}
+          id)? Answered inline from the cache — never admitted, never
+          computed — so a peer's miss costs one round trip, not a
+          solve. Wire form:
+          [{"v":1,"id":"r5","op":"peek","key":"<hex id>"}]. *)
   | Stats
   | Ping
   | Shutdown
@@ -98,6 +105,10 @@ type job_report = {
 
 type body =
   | Results of job_report list
+  | Peeked of Tt_engine.Job.outcome option
+      (** Reply to [peek]: the cached outcome, or [None] on a miss.
+          Wire form: [{"v":1,"id":"r5","ok":true,"peeked":{"found":
+          true,"result":{…}}}] (the [result] field only when found). *)
   | Stats_reply of Tt_engine.Telemetry.Json.t
   | Pong
   | Draining  (** Acknowledges [shutdown]; the server then drains. *)

@@ -495,6 +495,12 @@ let handle_line t conn line =
     | Ok { P.id; op = P.Ping } ->
         Metrics.request t.metrics `Ping;
         reply t conn (Some id) P.Pong
+    | Ok { P.id; op = P.Peek { key } } ->
+        (* Cache peering: answered inline from the local cache levels
+           (memory + disk) — [Cache.find] never consults the cache's
+           own peer hook, so a peek cannot cascade across the ring. *)
+        Metrics.request t.metrics `Peek;
+        reply t conn (Some id) (P.Peeked (Tt_engine.Cache.find t.cache key))
     | Ok { P.id; op = P.Stats } ->
         Metrics.request t.metrics `Stats;
         reply t conn (Some id) (P.Stats_reply (stats_json t))

@@ -1,0 +1,191 @@
+module Server = Tt_server.Server
+module Cache = Tt_engine.Cache
+module Job = Tt_engine.Job
+
+type shard = {
+  name : string;
+  host : string;
+  mutable port : int;  (* fixed after the first bind *)
+  cache : Job.outcome Cache.t;  (* owned here: survives restarts *)
+  peer_metrics : Metrics.t;
+  mutable server : Server.t option;
+}
+
+type t = {
+  shards : shard array;
+  ring : Ring.t;
+  router : Router.t;
+  server_config : Server.config;
+  stop : bool Atomic.t;
+  mutable watchdog : unit Domain.t option;
+}
+
+let shard_name i = Printf.sprintf "s%d" i
+
+let start ?(shards = 3) ?(workers = 2) ?vnodes ?(peering = true)
+    ?router_config ?(server_config = Server.default_config) ?kill_after () =
+  if shards < 1 then invalid_arg "Cluster.start: shards < 1";
+  (* The peer hook closes over the ring, but the ring needs every
+     shard's bound port — which an ephemeral bind only yields after
+     the server exists. The ref breaks the cycle: caches are built
+     against it first, the ring is filled in once all ports are
+     known. Until then the hook degrades to local compute. *)
+  let ring_ref = ref None in
+  let mk_shard i =
+    let name = shard_name i in
+    let peer_metrics = Metrics.create () in
+    let fetch key =
+      if not peering then None
+      else
+        match !ring_ref with
+        | None -> None
+        | Some ring -> Peer.fetch ~self:name ~ring ~metrics:peer_metrics () key
+    in
+    { name;
+      host = "127.0.0.1";
+      port = 0;
+      cache = Cache.create ~fetch ();
+      peer_metrics;
+      server = None
+    }
+  in
+  let cluster_shards = Array.init shards mk_shard in
+  let boot (s : shard) =
+    let config =
+      { server_config with Server.host = s.host; port = s.port; workers }
+    in
+    let server = Server.create ~config ~cache:s.cache () in
+    s.port <- Server.port server;
+    Server.start server;
+    s.server <- Some server
+  in
+  (match Array.iter boot cluster_shards with
+  | () -> ()
+  | exception e ->
+      Array.iter
+        (fun s -> Option.iter Server.shutdown s.server)
+        cluster_shards;
+      raise e);
+  let ring =
+    Ring.create ?vnodes
+      (Array.to_list
+         (Array.map
+            (fun s -> { Ring.name = s.name; host = s.host; port = s.port })
+            cluster_shards))
+  in
+  ring_ref := Some ring;
+  let router =
+    match Router.create ?config:router_config ~ring () with
+    | r -> r
+    | exception e ->
+        Array.iter
+          (fun s -> Option.iter Server.shutdown s.server)
+          cluster_shards;
+        raise e
+  in
+  Router.start router;
+  let t =
+    { shards = cluster_shards;
+      ring;
+      router;
+      server_config;
+      stop = Atomic.make false;
+      watchdog = None
+    }
+  in
+  (match kill_after with
+  | None -> ()
+  | Some (idx, threshold) ->
+      if idx < 0 || idx >= shards then
+        invalid_arg "Cluster.start: kill_after shard out of range";
+      (* Deterministic mid-run kill: trip on the router's forward
+         count, not on wall time, so "killed after ~N requests" holds
+         at any load rate. *)
+      let d =
+        Domain.spawn (fun () ->
+            let rec watch () =
+              if not (Atomic.get t.stop) then
+                if
+                  (Metrics.snapshot (Router.metrics router)).Metrics
+                    .forwards_total >= threshold
+                then
+                  Option.iter
+                    (fun server ->
+                      t.shards.(idx).server <- None;
+                      Server.shutdown server)
+                    t.shards.(idx).server
+                else begin
+                  Unix.sleepf 0.02;
+                  watch ()
+                end
+            in
+            watch ())
+      in
+      t.watchdog <- Some d);
+  t
+
+let router_port t = Router.port t.router
+let stopped t = Router.stopped t.router
+let request_stop t = Router.request_shutdown t.router
+let ring t = t.ring
+let router_metrics t = Router.metrics t.router
+let size t = Array.length t.shards
+
+let shard_port t i = t.shards.(i).port
+let shard_alive t i = t.shards.(i).server <> None
+let peer_metrics t i = t.shards.(i).peer_metrics
+
+let shard_server_metrics t i =
+  Option.map (fun s -> Tt_server.Server.metrics s) t.shards.(i).server
+
+let kill_shard t i =
+  match t.shards.(i).server with
+  | None -> ()
+  | Some server ->
+      t.shards.(i).server <- None;
+      Server.shutdown server
+
+let restart_shard t i =
+  let s = t.shards.(i) in
+  match s.server with
+  | Some _ -> ()
+  | None ->
+      let config =
+        { t.server_config with
+          Server.host = s.host;
+          port = s.port;
+          workers = t.server_config.Server.workers
+        }
+      in
+      let server = Server.create ~config ~cache:s.cache () in
+      Server.start server;
+      s.server <- Some server
+
+(* Router counters plus every shard's peer counters in one snapshot —
+   the cluster-wide [tt_shard_*] exposition. *)
+let snapshot t =
+  let r = Metrics.snapshot (Router.metrics t.router) in
+  let hits, misses =
+    Array.fold_left
+      (fun (h, m) s ->
+        let p = Metrics.snapshot s.peer_metrics in
+        (h + p.Metrics.peer_hits, m + p.Metrics.peer_misses))
+      (0, 0) t.shards
+  in
+  { r with Metrics.peer_hits = hits; peer_misses = misses }
+
+let prometheus t = Metrics.to_prometheus (snapshot t)
+
+let stop t =
+  Atomic.set t.stop true;
+  Option.iter Domain.join t.watchdog;
+  t.watchdog <- None;
+  Router.shutdown t.router;
+  Array.iter
+    (fun s ->
+      match s.server with
+      | None -> ()
+      | Some server ->
+          s.server <- None;
+          Server.shutdown server)
+    t.shards

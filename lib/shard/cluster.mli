@@ -1,0 +1,77 @@
+(** An in-process cluster: N shard servers, peered caches, one router.
+
+    This is the shard tier's harness — the `treetrav cluster`
+    subcommand, the chaos-cluster gate and the benchmarks all drive
+    it. Each shard is a full {!Tt_server.Server} on an ephemeral port
+    whose engine cache carries a {!Peer} fetch hook; the {!Router}
+    fronts them with one v1-protocol endpoint.
+
+    Shard caches are owned by the cluster, not the server, so
+    {!kill_shard} + {!restart_shard} brings a shard back on the same
+    port {e with its cache intact} — like a process restart over a
+    persisted cache. *)
+
+type t
+
+val start :
+  ?shards:int ->
+  ?workers:int ->
+  ?vnodes:int ->
+  ?peering:bool ->
+  ?router_config:Router.config ->
+  ?server_config:Tt_server.Server.config ->
+  ?kill_after:int * int ->
+  unit ->
+  t
+(** Boot [shards] (default 3) servers with [workers] (default 2)
+    domains each, build the ring (names [s0]…, [?vnodes]) over their
+    bound ports, start the router. [peering] (default [true]) installs
+    the cross-shard cache hook. [server_config] seeds every shard's
+    config (host/port/workers overridden). [kill_after:(i, n)] spawns
+    a watchdog that gracefully shuts shard [i] down once the router
+    has forwarded [n] ops — a deterministic mid-run kill for failover
+    tests, counted in forwards rather than wall time.
+    @raise Invalid_argument on [shards < 1] or an out-of-range
+    [kill_after] index. *)
+
+val router_port : t -> int
+(** Point any v1-protocol client here. *)
+
+val stopped : t -> bool
+(** Whether the router has been asked to stop (e.g. by a client
+    [shutdown] frame) — the CLI's cue to tear the cluster down. *)
+
+val request_stop : t -> unit
+(** Flag the router to stop; returns immediately. Safe from signal
+    handlers and any domain (it only flips an atomic) — follow with
+    {!stop} for the actual teardown. *)
+
+val ring : t -> Ring.t
+(** For shard-aware clients ({!Shard_client}) and peer lookups. *)
+
+val size : t -> int
+val shard_port : t -> int -> int
+val shard_alive : t -> int -> bool
+
+val kill_shard : t -> int -> unit
+(** Graceful drain (queued work finishes; new solves there are refused
+    [shutting_down], which the router fails over). Idempotent. *)
+
+val restart_shard : t -> int -> unit
+(** Re-bind the same port with the shard's original cache. No-op when
+    alive. *)
+
+val router_metrics : t -> Metrics.t
+val peer_metrics : t -> int -> Metrics.t
+val shard_server_metrics : t -> int -> Tt_server.Metrics.t option
+
+val snapshot : t -> Metrics.snapshot
+(** Router counters, with [peer_hits]/[peer_misses] summed across
+    shards. *)
+
+val prometheus : t -> string
+(** {!Metrics.to_prometheus} of {!snapshot} — the cluster-wide
+    [tt_shard_*] exposition. *)
+
+val stop : t -> unit
+(** Watchdog, router, then every live shard — graceful throughout. *)

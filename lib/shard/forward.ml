@@ -1,0 +1,118 @@
+module P = Tt_server.Protocol
+module Client = Tt_server.Client
+module Retry = Tt_engine.Retry
+
+let default_connect_timeout_s = 1.
+
+type t = {
+  ring : Ring.t;
+  conns : (string, Client.t) Hashtbl.t;  (* node name -> live conn *)
+  connect_timeout_s : float;
+  read_timeout_s : float;
+  retry : Retry.policy;
+  metrics : Metrics.t;
+}
+
+let create ?(connect_timeout_s = default_connect_timeout_s)
+    ?(read_timeout_s = Client.default_read_timeout_s) ?(retry = Retry.none)
+    ~metrics ring =
+  { ring;
+    conns = Hashtbl.create 8;
+    connect_timeout_s;
+    read_timeout_s;
+    retry;
+    metrics
+  }
+
+let ring t = t.ring
+
+let close t =
+  Hashtbl.iter (fun _ c -> Client.close c) t.conns;
+  Hashtbl.reset t.conns
+
+let drop t name =
+  match Hashtbl.find_opt t.conns name with
+  | None -> ()
+  | Some c ->
+      Client.close c;
+      Hashtbl.remove t.conns name
+
+let conn t (node : Ring.node) =
+  match Hashtbl.find_opt t.conns node.Ring.name with
+  | Some c -> Some c
+  | None -> (
+      match
+        Client.connect ~host:node.Ring.host
+          ~read_timeout_s:t.read_timeout_s
+          ~connect_timeout_s:t.connect_timeout_s ~port:node.Ring.port ()
+      with
+      | c ->
+          Hashtbl.replace t.conns node.Ring.name c;
+          Some c
+      | exception Unix.Unix_error _ | exception Failure _ -> None)
+
+(* A shard that answered [Shutting_down] (draining), [Overloaded] or
+   [Internal] is useless for this request {e right now}, but a
+   successor — which can compute any key, ownership only steers the
+   cache — can serve it. Anything else is a property of the request
+   (or of its deadline) and is relayed as-is. *)
+let routable_refusal = function
+  | P.Shutting_down | P.Overloaded | P.Internal -> true
+  | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Deadline_exceeded
+    ->
+      false
+
+(* One node's verdict inside a sweep. *)
+type attempt =
+  | Answered of P.body  (* success or a refusal to relay verbatim *)
+  | Move_on of string  (* transport failure / routable refusal: next *)
+
+let attempt t node op =
+  Metrics.forward t.metrics ~shard:node.Ring.name;
+  match conn t node with
+  | None -> Move_on (node.Ring.name ^ " unreachable")
+  | Some c -> (
+      match Client.call c op with
+      | Error msg ->
+          (* Unknown connection state: reconnect on next use. *)
+          drop t node.Ring.name;
+          Move_on (Printf.sprintf "%s: %s" node.Ring.name msg)
+      | Ok (P.Refused { code; _ } as body) ->
+          if routable_refusal code then begin
+            drop t node.Ring.name;
+            Move_on
+              (Printf.sprintf "%s refused: %s" node.Ring.name
+                 (P.error_code_to_string code))
+          end
+          else Answered body
+      | Ok body -> Answered body)
+
+let call t ~key op =
+  let order = Ring.successors t.ring key in
+  let sweep () =
+    let rec go first = function
+      | [] -> None
+      | node :: rest -> (
+          if not first then Metrics.failover t.metrics;
+          match attempt t node op with
+          | Answered body -> Some body
+          | Move_on _ -> go false rest)
+    in
+    go true order
+  in
+  let rec rounds delays =
+    match sweep () with
+    | Some body -> Ok body
+    | None -> (
+        match delays with
+        | [] ->
+            Metrics.unrouted t.metrics;
+            Error
+              ( P.Internal,
+                Printf.sprintf "no shard reachable (tried %d)"
+                  (List.length order) )
+        | d :: rest ->
+            if d > 0. then Unix.sleepf d;
+            rounds rest)
+  in
+  rounds (Retry.delays t.retry ~key)

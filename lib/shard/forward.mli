@@ -1,0 +1,48 @@
+(** Failover forwarding: one pooled connection per shard, swept in
+    ring order.
+
+    Not thread-safe — the router gives each client connection its own
+    pool (connections are cheap; contention on a shared pool is not).
+
+    {b Safety of failover.} A transport failure leaves it unknown
+    whether the op executed. Re-sending is safe because the router
+    guarantees every forwarded solve carries an idempotency key: a
+    retry that lands on the {e same} shard is answered from its replay
+    cache, and one that lands on a successor recomputes a
+    content-addressed job whose result is deterministic — the value
+    digest cannot diverge, the cost is at most one redundant compute. *)
+
+type t
+
+val default_connect_timeout_s : float
+(** 1 s — failover must move to a successor in about a second, not sit
+    out the kernel's SYN-retry budget. *)
+
+val create :
+  ?connect_timeout_s:float ->
+  ?read_timeout_s:float ->
+  ?retry:Tt_engine.Retry.policy ->
+  metrics:Metrics.t ->
+  Ring.t ->
+  t
+(** [retry] (default {!Tt_engine.Retry.none}) schedules {e whole-ring}
+    sweeps: one sweep per remaining delay after the first, sleeping
+    the delay between sweeps, keyed by the routed key. *)
+
+val ring : t -> Ring.t
+val close : t -> unit
+
+val call :
+  t ->
+  key:string ->
+  Tt_server.Protocol.op ->
+  (Tt_server.Protocol.body, Tt_server.Protocol.error_code * string) result
+(** Sweep [Ring.successors ring key] owner-first. Per node: connect
+    (bounded) if not pooled, send [op], read the reply. Transport
+    failures and routable refusals ([shutting_down], [overloaded],
+    [internal] — the shard is useless right now but a successor can
+    compute any key) drop that node's pooled connection and move on,
+    counting a failover; any other reply — success {e or} a
+    deterministic refusal like [bad_request] — is returned verbatim.
+    When every sweep of every backoff round fails, returns a retryable
+    [Error (Internal, _)] and counts it as unrouted. *)

@@ -1,0 +1,100 @@
+module Json = Tt_engine.Telemetry.Json
+
+type t = {
+  mu : Mutex.t;
+  forwards : (string, int) Hashtbl.t;  (* shard name -> forwarded ops *)
+  mutable failovers : int;
+  mutable rejects : int;
+  mutable unrouted : int;
+  mutable peer_hits : int;
+  mutable peer_misses : int;
+}
+
+let create () =
+  { mu = Mutex.create ();
+    forwards = Hashtbl.create 8;
+    failovers = 0;
+    rejects = 0;
+    unrouted = 0;
+    peer_hits = 0;
+    peer_misses = 0
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let forward t ~shard =
+  locked t (fun () ->
+      Hashtbl.replace t.forwards shard
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.forwards shard)))
+
+let failover t = locked t (fun () -> t.failovers <- t.failovers + 1)
+let reject t = locked t (fun () -> t.rejects <- t.rejects + 1)
+let unrouted t = locked t (fun () -> t.unrouted <- t.unrouted + 1)
+let peer_hit t = locked t (fun () -> t.peer_hits <- t.peer_hits + 1)
+let peer_miss t = locked t (fun () -> t.peer_misses <- t.peer_misses + 1)
+
+type snapshot = {
+  forwards : (string * int) list;
+  forwards_total : int;
+  failovers : int;
+  rejects : int;
+  unrouted : int;
+  peer_hits : int;
+  peer_misses : int;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let forwards =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.forwards [])
+      in
+      { forwards;
+        forwards_total = List.fold_left (fun a (_, v) -> a + v) 0 forwards;
+        failovers = t.failovers;
+        rejects = t.rejects;
+        unrouted = t.unrouted;
+        peer_hits = t.peer_hits;
+        peer_misses = t.peer_misses
+      })
+
+let to_json s =
+  Json.Obj
+    [ ( "forwards",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.forwards) );
+      ("forwards_total", Json.Int s.forwards_total);
+      ("failovers", Json.Int s.failovers);
+      ("rejects", Json.Int s.rejects);
+      ("unrouted", Json.Int s.unrouted);
+      ("peer_hits", Json.Int s.peer_hits);
+      ("peer_misses", Json.Int s.peer_misses)
+    ]
+
+(* Same exposition conventions as {!Tt_server.Metrics.to_prometheus}:
+   one [# TYPE] line per family, [%d] counters, quoted label values. *)
+let to_prometheus s =
+  let b = Buffer.create 512 in
+  let counter name ?(labels = "") v =
+    Buffer.add_string b (Printf.sprintf "tt_shard_%s%s %d\n" name labels v)
+  in
+  let typ name kind =
+    Buffer.add_string b (Printf.sprintf "# TYPE tt_shard_%s %s\n" name kind)
+  in
+  typ "forwards_total" "counter";
+  List.iter
+    (fun (shard, v) ->
+      counter "forwards_total" ~labels:(Printf.sprintf {|{shard=%S}|} shard) v)
+    s.forwards;
+  typ "failovers_total" "counter";
+  counter "failovers_total" s.failovers;
+  typ "rejects_total" "counter";
+  counter "rejects_total" s.rejects;
+  typ "unrouted_total" "counter";
+  counter "unrouted_total" s.unrouted;
+  typ "peer_hits_total" "counter";
+  counter "peer_hits_total" s.peer_hits;
+  typ "peer_misses_total" "counter";
+  counter "peer_misses_total" s.peer_misses;
+  Buffer.contents b

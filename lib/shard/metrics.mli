@@ -1,0 +1,49 @@
+(** Shard-tier counters — one instance per router (forward/failover
+    side) or per shard (peer side); a {!Cluster} holds both kinds.
+
+    All operations are thread-safe; {!snapshot} is consistent (taken
+    under the same lock the counters use). *)
+
+type t
+
+val create : unit -> t
+
+val forward : t -> shard:string -> unit
+(** An op was handed to [shard] (counted per attempt: a solve that
+    fails over counts once per shard tried). *)
+
+val failover : t -> unit
+(** The preferred shard failed and the sweep moved to a successor. *)
+
+val reject : t -> unit
+(** The router refused a request itself (bad frame, unparseable
+    entry) without contacting any shard. *)
+
+val unrouted : t -> unit
+(** A full failover sweep (all shards, all backoff rounds) failed;
+    the client got a retryable [internal] refusal. *)
+
+val peer_hit : t -> unit
+val peer_miss : t -> unit
+(** Outcome of one cross-shard cache peek made by this shard's
+    {!Peer} fetch hook ({e outgoing} peeks; the receiving side counts
+    the same event under its server metrics' [op="peek"]). *)
+
+type snapshot = {
+  forwards : (string * int) list;  (** per shard name, sorted *)
+  forwards_total : int;
+  failovers : int;
+  rejects : int;
+  unrouted : int;
+  peer_hits : int;
+  peer_misses : int;
+}
+
+val snapshot : t -> snapshot
+val to_json : snapshot -> Tt_engine.Telemetry.Json.t
+
+val to_prometheus : snapshot -> string
+(** Text exposition, families prefixed [tt_shard_]:
+    [tt_shard_forwards_total{shard="…"}], [tt_shard_failovers_total],
+    [tt_shard_rejects_total], [tt_shard_unrouted_total],
+    [tt_shard_peer_hits_total], [tt_shard_peer_misses_total]. *)

@@ -1,0 +1,30 @@
+module P = Tt_server.Protocol
+module Client = Tt_server.Client
+
+let default_read_timeout_s = 5.
+
+(* The hook runs inside [Cache.find_or_compute] on a worker domain, so
+   every failure mode must degrade to [None] (= compute locally) and
+   every wait must be short: a wedged peer that stalled peeks for the
+   full solve time would be slower than just computing. *)
+let fetch ~self ~ring ?(connect_timeout_s = Forward.default_connect_timeout_s)
+    ?(read_timeout_s = default_read_timeout_s) ~metrics () key =
+  let owner = Ring.owner ring key in
+  if owner.Ring.name = self then
+    (* We are the placement target: nobody else is expected to hold
+       this key, and peeking would be a self-connection. *)
+    None
+  else
+    let result =
+      try
+        Client.with_connection ~host:owner.Ring.host ~read_timeout_s
+          ~connect_timeout_s ~port:owner.Ring.port (fun c ->
+            match Client.call c (P.Peek { key }) with
+            | Ok (P.Peeked r) -> r
+            | Ok _ | Error _ -> None)
+      with Unix.Unix_error _ | Failure _ -> None
+    in
+    (match result with
+    | Some _ -> Metrics.peer_hit metrics
+    | None -> Metrics.peer_miss metrics);
+    result

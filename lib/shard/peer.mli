@@ -1,0 +1,32 @@
+(** Cross-shard cache peering: the engine cache's [?fetch] hook.
+
+    A shard that misses locally on a job id asks the id's ring owner
+    — the shard the router would have sent it to — whether its cache
+    holds the result, via the protocol's [peek] op. Peeks are answered
+    inline from the owner's cache ({!Tt_engine.Cache.find}, which
+    never consults {e its} fetch hook — no peek cascades) so a miss
+    costs one round trip, never a recursive solve.
+
+    This is what makes failover cheap: when a successor inherits a
+    dead shard's keys it warms up from its own computes, and when the
+    shard comes back it can re-fill from the successor the same way. *)
+
+val default_read_timeout_s : float
+(** 5 s. *)
+
+val fetch :
+  self:string ->
+  ring:Ring.t ->
+  ?connect_timeout_s:float ->
+  ?read_timeout_s:float ->
+  metrics:Metrics.t ->
+  unit ->
+  string ->
+  Tt_engine.Job.outcome option
+(** [fetch ~self ~ring ~metrics () key] peeks [key] at its ring owner
+    over a short-lived bounded connection. Returns [None] — degrading
+    to a local compute — when this shard ([self], a ring node name) is
+    itself the owner, on a peer miss, and on {e any} error (connect
+    refused/timeout, read timeout, refusal); hits and misses are
+    counted in [metrics]. Thread-safe; called concurrently from worker
+    domains. *)

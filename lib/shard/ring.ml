@@ -1,0 +1,129 @@
+(* Consistent-hash ring with virtual nodes.
+
+   Placement must be a pure function of (ring configuration, key): the
+   router, the shard-aware client and the peer-fetch hook each rebuild
+   the ring independently from the same cluster map and must agree on
+   every key, or peering asks the wrong shard and failover double-
+   routes. So positions are derived only from node names — never from
+   insertion order, host addresses or process state.
+
+   Each node contributes [vnodes] points at [Digest.string "name#i"];
+   a key lives at [Digest.string key] and is owned by the first point
+   clockwise (the 16-byte digests are compared as strings, which is a
+   uniform total order — no integer truncation step to get wrong). *)
+
+type node = { name : string; host : string; port : int }
+
+type t = {
+  ring_nodes : node array;  (* sorted by name: canonical config order *)
+  vnodes : int;
+  points : (string * int) array;  (* (position, index into ring_nodes) *)
+}
+
+let default_vnodes = 64
+
+let position name i = Digest.string (Printf.sprintf "%s#%d" name i)
+
+let create ?(vnodes = default_vnodes) nodes =
+  if nodes = [] then invalid_arg "Ring.create: no nodes";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let ring_nodes =
+    Array.of_list (List.sort (fun a b -> compare a.name b.name) nodes)
+  in
+  Array.iteri
+    (fun i n ->
+      if i > 0 && ring_nodes.(i - 1).name = n.name then
+        invalid_arg ("Ring.create: duplicate node name " ^ n.name))
+    ring_nodes;
+  let points =
+    Array.init
+      (Array.length ring_nodes * vnodes)
+      (fun k ->
+        let node = k / vnodes and i = k mod vnodes in
+        (position ring_nodes.(node).name i, node))
+  in
+  Array.sort compare points;
+  { ring_nodes; vnodes; points }
+
+let nodes t = Array.to_list t.ring_nodes
+let vnodes t = t.vnodes
+
+(* First point with position >= h, wrapping to points.(0). *)
+let point_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = t.ring_nodes.(snd t.points.(point_index t (Digest.string key)))
+
+let successors t key =
+  let total = Array.length t.ring_nodes in
+  let seen = Array.make total false in
+  let start = point_index t (Digest.string key) in
+  let acc = ref [] and found = ref 0 and k = ref 0 in
+  let npoints = Array.length t.points in
+  while !found < total && !k < npoints do
+    let idx = snd t.points.((start + !k) mod npoints) in
+    if not seen.(idx) then begin
+      seen.(idx) <- true;
+      acc := t.ring_nodes.(idx) :: !acc;
+      incr found
+    end;
+    incr k
+  done;
+  List.rev !acc
+
+let remove t name =
+  match List.filter (fun n -> n.name <> name) (nodes t) with
+  | [] -> invalid_arg "Ring.remove: removing the last node"
+  | rest when List.length rest = Array.length t.ring_nodes ->
+      invalid_arg ("Ring.remove: no node named " ^ name)
+  | rest -> create ~vnodes:t.vnodes rest
+
+(* ------------------------------------------------------- cluster maps *)
+
+let node_to_string n = Printf.sprintf "%s=%s:%d" n.name n.host n.port
+
+let to_string t = String.concat "," (List.map node_to_string (nodes t))
+
+let split_on c s =
+  String.split_on_char c s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let node_of_string ~index s =
+  let name, addr =
+    match String.index_opt s '=' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> (Printf.sprintf "s%d" index, s)
+  in
+  match String.rindex_opt addr ':' with
+  | None -> Error (Printf.sprintf "node %S: want [name=]host:port" s)
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | Some port when host <> "" && port > 0 && port < 65536 ->
+          Ok { name; host; port }
+      | _ -> Error (Printf.sprintf "node %S: bad host or port" s))
+
+let of_string ?vnodes s =
+  let rec go index acc = function
+    | [] -> (
+        match acc with
+        | [] -> Error "empty cluster map"
+        | acc -> (
+            match create ?vnodes (List.rev acc) with
+            | t -> Ok t
+            | exception Invalid_argument m -> Error m))
+    | part :: rest -> (
+        match node_of_string ~index part with
+        | Ok n -> go (index + 1) (n :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 0 [] (split_on ',' s)

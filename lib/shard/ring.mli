@@ -1,0 +1,56 @@
+(** Consistent-hash ring over content-addressed keys.
+
+    Placement is a pure function of (ring configuration, key): every
+    component that rebuilds the ring from the same cluster map — the
+    router, a shard-aware {!Shard_client}, the {!Peer} fetch hook —
+    agrees on the owner of every key. Node order in the input list is
+    irrelevant; only names, which position the virtual nodes, matter.
+
+    Keys are arbitrary strings, in practice {!Tt_engine.Job} ids
+    (hex digests of tree + spec), so equal jobs land on the same shard
+    no matter which client or router forwards them. *)
+
+type node = { name : string; host : string; port : int }
+
+type t
+
+val default_vnodes : int
+(** 64 — enough that 2–8 shards balance within a few tens of percent. *)
+
+val create : ?vnodes:int -> node list -> t
+(** @raise Invalid_argument on an empty list, duplicate names, or
+    [vnodes < 1]. *)
+
+val nodes : t -> node list
+(** Canonical (name-sorted) node list. *)
+
+val vnodes : t -> int
+
+val owner : t -> string -> node
+(** The node owning [key]: first virtual node clockwise of the key's
+    digest. *)
+
+val successors : t -> string -> node list
+(** Every node, deduplicated, in ring order starting at the owner —
+    the failover sweep order for [key]. [List.hd (successors t key)]
+    is [owner t key]. *)
+
+val remove : t -> string -> t
+(** Ring with the named node removed, same [vnodes]. Only keys the
+    removed node owned change owners (minimal disruption — the other
+    nodes' virtual-node positions are untouched).
+    @raise Invalid_argument on an unknown name or a one-node ring. *)
+
+(* ------------------------------------------------------- cluster maps *)
+
+val node_to_string : node -> string
+(** ["name=host:port"]. *)
+
+val to_string : t -> string
+(** Comma-joined {!node_to_string} in canonical order; a valid
+    {!of_string} input. *)
+
+val of_string : ?vnodes:int -> string -> (t, string) Stdlib.result
+(** Parse ["name=host:port,name=host:port,…"]; the [name=] prefix may
+    be omitted, in which case nodes are named [s0], [s1], … by input
+    position. *)

@@ -1,0 +1,251 @@
+module P = Tt_server.Protocol
+module Retry = Tt_engine.Retry
+module Json = Tt_engine.Telemetry.Json
+
+type config = {
+  host : string;
+  port : int;
+  connect_timeout_s : float;
+  read_timeout_s : float;
+  retry : Retry.policy;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    connect_timeout_s = Forward.default_connect_timeout_s;
+    read_timeout_s = Tt_server.Client.default_read_timeout_s;
+    retry = Retry.create ~retries:3 ~seed:11 ()
+  }
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  metrics : Metrics.t;
+  stop : bool Atomic.t;
+  idem_seq : int Atomic.t;
+  (* entry -> routing key. Routing parses the manifest entry (to get
+     the first job's content address), which materializes the matrix
+     source — too slow to redo for every request of a repetitive
+     workload. Bounded: on overflow new entries are routed unmemoized
+     rather than evicting (workloads here have few distinct entries). *)
+  route_mu : Mutex.t;
+  route_memo : (string, (string, string) result) Hashtbl.t;
+  mutable accept_domain : unit Domain.t option;
+  conns_mu : Mutex.t;
+  mutable conns : unit Domain.t list;
+}
+
+let max_route_memo = 4096
+
+let create ?(config = default_config) ~ring () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen lfd 64
+   with e ->
+     Unix.close lfd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  { cfg = config;
+    ring;
+    lfd;
+    bound_port;
+    metrics = Metrics.create ();
+    stop = Atomic.make false;
+    idem_seq = Atomic.make 0;
+    route_mu = Mutex.create ();
+    route_memo = Hashtbl.create 64;
+    accept_domain = None;
+    conns_mu = Mutex.create ();
+    conns = []
+  }
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let ring t = t.ring
+
+(* ------------------------------------------------------------- routing *)
+
+let compute_route_key entry =
+  match Tt_engine.Manifest.parse entry with
+  | Error e -> Error e
+  | Ok [] -> Error "entry resolves to no jobs"
+  | Ok (job :: _) -> Ok (Tt_engine.Job.id job)
+
+let route_key t entry =
+  let memoized =
+    Mutex.lock t.route_mu;
+    let r = Hashtbl.find_opt t.route_memo entry in
+    Mutex.unlock t.route_mu;
+    r
+  in
+  match memoized with
+  | Some r -> r
+  | None ->
+      let r = compute_route_key entry in
+      Mutex.lock t.route_mu;
+      if Hashtbl.length t.route_memo < max_route_memo then
+        Hashtbl.replace t.route_memo entry r;
+      Mutex.unlock t.route_mu;
+      r
+
+let fresh_idem t =
+  Printf.sprintf "rt%d-%d-%d" (Unix.getpid ()) t.bound_port
+    (Atomic.fetch_and_add t.idem_seq 1)
+
+let stats_json t =
+  Json.Obj
+    [ ( "router",
+        Json.Obj
+          [ ("shards", Json.Int (List.length (Ring.nodes t.ring)));
+            ("vnodes", Json.Int (Ring.vnodes t.ring));
+            ("map", Json.String (Ring.to_string t.ring))
+          ] );
+      ("shard", Metrics.to_json (Metrics.snapshot t.metrics))
+    ]
+
+(* ---------------------------------------------------------- connection *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let reply fd req_id body =
+  match write_all fd (P.encode_response { P.req_id; body } ^ "\n") with
+  | () -> true
+  | exception (Unix.Unix_error _ | Sys_error _) -> false
+
+let handle_line t fwd fd line =
+  match P.decode_request line with
+  | Error (req_id, code, msg) ->
+      Metrics.reject t.metrics;
+      reply fd req_id (P.Refused { code; msg })
+  | Ok { P.id; op } -> (
+      let req_id = Some id in
+      match op with
+      | P.Ping -> reply fd req_id P.Pong
+      | P.Stats -> reply fd req_id (P.Stats_reply (stats_json t))
+      | P.Shutdown ->
+          let ok = reply fd req_id P.Draining in
+          Atomic.set t.stop true;
+          ok
+      | P.Peek { key } -> (
+          match Forward.call fwd ~key op with
+          | Ok body -> reply fd req_id body
+          | Error (code, msg) -> reply fd req_id (P.Refused { code; msg }))
+      | P.Solve { entry; timeout_s; idem } -> (
+          match route_key t entry with
+          | Error msg ->
+              Metrics.reject t.metrics;
+              reply fd req_id (P.Refused { code = P.Bad_request; msg })
+          | Ok key -> (
+              (* Guarantee an idempotency key before forwarding: it is
+                 what makes the failover sweep safe to re-send. Chosen
+                 once per logical request, so every attempt of the
+                 sweep carries the same key. *)
+              let idem =
+                Some (match idem with Some k -> k | None -> fresh_idem t)
+              in
+              let op = P.Solve { entry; timeout_s; idem } in
+              match Forward.call fwd ~key op with
+              | Ok body -> reply fd req_id body
+              | Error (code, msg) ->
+                  reply fd req_id (P.Refused { code; msg }))))
+
+let serve_conn t fd =
+  let fwd =
+    Forward.create ~connect_timeout_s:t.cfg.connect_timeout_s
+      ~read_timeout_s:t.cfg.read_timeout_s ~retry:t.cfg.retry
+      ~metrics:t.metrics t.ring
+  in
+  let rbuf = ref "" in
+  let buf = Bytes.create 65536 in
+  let alive = ref true in
+  let rec drain_lines () =
+    if !alive then
+      match String.index_opt !rbuf '\n' with
+      | None -> ()
+      | Some i ->
+          let line = String.sub !rbuf 0 i in
+          rbuf := String.sub !rbuf (i + 1) (String.length !rbuf - i - 1);
+          let line =
+            (* tolerate CRLF like the server does *)
+            if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if line <> "" then alive := handle_line t fwd fd line;
+          drain_lines ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Forward.close fwd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      while !alive && not (Atomic.get t.stop) do
+        match Unix.select [ fd ] [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> alive := false
+            | n ->
+                rbuf := !rbuf ^ Bytes.sub_string buf 0 n;
+                drain_lines ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception (Unix.Unix_error _ | Sys_error _) -> alive := false)
+      done)
+
+let accept_loop t =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.lfd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop true
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.lfd with
+        | fd, _ ->
+            let d = Domain.spawn (fun () -> serve_conn t fd) in
+            Mutex.lock t.conns_mu;
+            t.conns <- d :: t.conns;
+            Mutex.unlock t.conns_mu
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stop true)
+  done
+
+let start t =
+  match t.accept_domain with
+  | Some _ -> invalid_arg "Router.start: already started"
+  | None -> t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t))
+
+let request_shutdown t = Atomic.set t.stop true
+let stopped t = Atomic.get t.stop
+
+let shutdown t =
+  request_shutdown t;
+  Option.iter Domain.join t.accept_domain;
+  t.accept_domain <- None;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  let conns =
+    Mutex.lock t.conns_mu;
+    let c = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.conns_mu;
+    c
+  in
+  List.iter Domain.join conns

@@ -1,0 +1,78 @@
+(** The shard router: one v1-protocol endpoint in front of N shards.
+
+    Speaks {!Tt_server.Protocol} on both sides, so every existing
+    client — `treetrav request`, {!Tt_server.Client} sessions, the
+    load generator — points at a cluster by changing only the port.
+
+    Per request:
+    - [solve]: the entry's {e first job id} (from
+      {!Tt_engine.Manifest.parse}, memoized per entry) is the routing
+      key; the request is forwarded along the key's failover sweep
+      ({!Forward.call}), carrying the client's idempotency key or a
+      router-generated one — chosen once per logical request, so every
+      re-send of the sweep deduplicates. Entries that fail to parse
+      are refused [bad_request] at the router without contacting a
+      shard. Multi-job entries run whole on the routed shard; their
+      non-first jobs still benefit from peering ({!Peer}), which pulls
+      cached results from the shards owning {e their} ids.
+    - [peek]: forwarded along the key's sweep.
+    - [ping] / [stats]: answered locally ([stats] returns the router's
+      view — ring map plus {!Metrics} counters — not a shard's).
+    - [shutdown]: acknowledged with [draining], then the router stops
+      (shards are not told; stop them via {!Cluster} or directly).
+
+    Concurrency: one accept domain, one domain per client connection,
+    each with a private {!Forward} pool. Requests on one connection
+    are handled in order (no pipelining across a failover sweep);
+    concurrency comes from multiple connections, matching how the
+    load generator drives it. *)
+
+type config = {
+  host : string;  (** Bind address (default ["127.0.0.1"]). *)
+  port : int;  (** 0 picks an ephemeral port — read it with {!port}. *)
+  connect_timeout_s : float;
+      (** Per-shard connect bound (default
+          {!Forward.default_connect_timeout_s}). *)
+  read_timeout_s : float;
+      (** Per-shard reply deadline (default
+          {!Tt_server.Client.default_read_timeout_s}). *)
+  retry : Tt_engine.Retry.policy;
+      (** Failover sweep schedule (default 3 retries, capped
+          exponential backoff): how many times the whole ring is
+          re-swept, and the sleeps between sweeps, before a solve is
+          refused [internal]. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ring:Ring.t -> unit -> t
+(** Binds and listens immediately (so {!port} is valid before
+    {!start}).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+val ring : t -> Ring.t
+val metrics : t -> Metrics.t
+
+val stats_json : t -> Tt_engine.Telemetry.Json.t
+(** The [stats] reply payload: a ["router"] section (shard count,
+    vnodes, cluster map) plus ["shard"] ({!Metrics.to_json}). *)
+
+val start : t -> unit
+(** Run the accept loop on a background domain; returns immediately.
+    @raise Invalid_argument when already started. *)
+
+val request_shutdown : t -> unit
+(** Ask the router to stop; returns immediately. Idempotent, safe
+    from any domain. *)
+
+val stopped : t -> bool
+(** Whether a stop was requested (by {!request_shutdown} or a client
+    [shutdown] frame). *)
+
+val shutdown : t -> unit
+(** {!request_shutdown}, then join the accept and connection domains
+    and close every socket. Connection domains notice the stop flag
+    within their 0.25 s poll tick. *)

@@ -57,6 +57,83 @@ let contains haystack needle =
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
   m = 0 || go 0
 
+
+(* --- Prometheus exposition conformance ----------------------------------- *)
+
+(* Shared format checker for every [to_prometheus] in the tree: every
+   sample belongs to a declared metric family, exactly one TYPE line
+   per family, no duplicate series, every value a number. Guards
+   against the classic scrape breakers (duplicate names, samples
+   without TYPE) as counters get added over time. *)
+let check_prometheus_conformance ?(min_samples = 10) text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let types = Hashtbl.create 16 in
+  let series_seen = Hashtbl.create 64 in
+  let sample_count = ref 0 in
+  List.iter
+    (fun line ->
+      if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "#"; "TYPE"; name; kind ] ->
+            Alcotest.(check bool)
+              ("exactly one TYPE for " ^ name)
+              false (Hashtbl.mem types name);
+            Alcotest.(check bool)
+              ("known kind for " ^ name)
+              true
+              (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]);
+            Hashtbl.add types name kind
+        | _ -> Alcotest.failf "malformed TYPE line: %s" line
+      end
+      else if line.[0] = '#' then ()  (* HELP / comments: free-form *)
+      else begin
+        incr sample_count;
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> Alcotest.failf "malformed sample line: %s" line
+        in
+        let series = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        Alcotest.(check bool)
+          ("numeric value in " ^ line)
+          true
+          (match float_of_string_opt value with Some _ -> true | None -> false);
+        Alcotest.(check bool)
+          ("no duplicate series " ^ series)
+          false (Hashtbl.mem series_seen series);
+        Hashtbl.add series_seen series ();
+        let name =
+          match String.index_opt series '{' with
+          | Some i -> String.sub series 0 i
+          | None -> series
+        in
+        (* A summary's _sum/_count samples belong to the base family. *)
+        let base =
+          if Hashtbl.mem types name then name
+          else
+            let strip suffix =
+              if String.ends_with ~suffix name then
+                Some
+                  (String.sub name 0 (String.length name - String.length suffix))
+              else None
+            in
+            match (strip "_sum", strip "_count") with
+            | Some b, _ when Hashtbl.mem types b -> b
+            | _, Some b when Hashtbl.mem types b -> b
+            | _ -> name
+        in
+        Alcotest.(check bool) ("sample " ^ name ^ " has a TYPE") true
+          (Hashtbl.mem types base)
+      end)
+    lines;
+  Alcotest.(check bool) "exposes a useful number of samples" true
+    (!sample_count >= min_samples)
+
 (* --- common assertions --------------------------------------------------- *)
 
 let check_valid_traversal tree order =

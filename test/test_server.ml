@@ -37,6 +37,7 @@ let test_request_round_trip () =
       | Ok got -> Alcotest.(check bool) "request round trips" true (got = req)
       | Error (_, _, msg) -> Alcotest.failf "decode failed: %s" msg)
     [ P.Ping; P.Stats; P.Shutdown;
+      P.Peek { key = "deadbeef00112233" };
       P.Solve
         { entry = "gen grid2d size=8 :: minmem"; timeout_s = None; idem = None };
       P.Solve { entry = "tree \"x :: y\""; timeout_s = Some 2.5; idem = None };
@@ -64,6 +65,8 @@ let test_request_decode_errors () =
   expect {|{"v":1,"id":"x","op":"warp"}|} (Some "x") P.Bad_request;
   expect {|{"v":1,"op":"ping"}|} None P.Bad_request;
   expect {|{"v":1,"id":"x","op":"solve"}|} (Some "x") P.Bad_request;
+  expect {|{"v":1,"id":"x","op":"peek"}|} (Some "x") P.Bad_request;
+  expect {|{"v":1,"id":"x","op":"peek","key":7}|} (Some "x") P.Bad_request;
   (* [idem] is optional but must be a string when present. *)
   expect {|{"v":1,"id":"x","op":"solve","entry":"e","idem":7}|} (Some "x")
     P.Bad_request;
@@ -108,6 +111,11 @@ let check_response_round_trip resp =
 let test_response_round_trip () =
   check_response_round_trip { P.req_id = Some "r9"; body = P.Results sample_reports };
   check_response_round_trip { P.req_id = Some "r0"; body = P.Pong };
+  check_response_round_trip { P.req_id = Some "p0"; body = P.Peeked None };
+  check_response_round_trip
+    { P.req_id = Some "p1";
+      body = P.Peeked (Some (J.Memory { peak = 42; order = [| 2; 0; 1 |] }))
+    };
   check_response_round_trip { P.req_id = Some "r1"; body = P.Draining };
   check_response_round_trip
     { P.req_id = Some "r2";
@@ -252,11 +260,8 @@ let test_metrics_prometheus () =
       "tt_server_write_overflows_total 1"
     ]
 
-(* Exposition-format conformance: every sample belongs to a declared
-   metric family, exactly one TYPE line per family, no duplicate
-   series, every value a number. Guards against the classic scrape
-   breakers (duplicate names, samples without TYPE) as counters get
-   added over time. *)
+(* Exposition-format conformance, via the shared checker in
+   {!Helpers} (the shard tier's metrics run the same one). *)
 let test_prometheus_conformance () =
   let m = M.create () in
   M.connection_opened m;
@@ -265,6 +270,7 @@ let test_prometheus_conformance () =
   M.request m `Ping;
   M.request m `Stats;
   M.request m `Shutdown;
+  M.request m `Peek;
   M.response_ok m;
   M.response_error m ~code:"overloaded";
   M.response_error m ~code:"bad_request";
@@ -275,74 +281,7 @@ let test_prometheus_conformance () =
   M.idle_eviction m;
   M.replay_hit m;
   M.write_overflow m;
-  let text = M.to_prometheus (M.snapshot m) in
-  let lines =
-    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
-  in
-  let types = Hashtbl.create 16 in
-  let series_seen = Hashtbl.create 64 in
-  let sample_count = ref 0 in
-  List.iter
-    (fun line ->
-      if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
-        match
-          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-        with
-        | [ "#"; "TYPE"; name; kind ] ->
-            Alcotest.(check bool)
-              ("exactly one TYPE for " ^ name)
-              false (Hashtbl.mem types name);
-            Alcotest.(check bool)
-              ("known kind for " ^ name)
-              true
-              (List.mem kind [ "counter"; "gauge"; "summary"; "histogram" ]);
-            Hashtbl.add types name kind
-        | _ -> Alcotest.failf "malformed TYPE line: %s" line
-      end
-      else if line.[0] = '#' then ()  (* HELP / comments: free-form *)
-      else begin
-        incr sample_count;
-        let sp =
-          match String.rindex_opt line ' ' with
-          | Some i -> i
-          | None -> Alcotest.failf "malformed sample line: %s" line
-        in
-        let series = String.sub line 0 sp in
-        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
-        Alcotest.(check bool)
-          ("numeric value in " ^ line)
-          true
-          (match float_of_string_opt value with Some _ -> true | None -> false);
-        Alcotest.(check bool)
-          ("no duplicate series " ^ series)
-          false (Hashtbl.mem series_seen series);
-        Hashtbl.add series_seen series ();
-        let name =
-          match String.index_opt series '{' with
-          | Some i -> String.sub series 0 i
-          | None -> series
-        in
-        (* A summary's _sum/_count samples belong to the base family. *)
-        let base =
-          if Hashtbl.mem types name then name
-          else
-            let strip suffix =
-              if String.ends_with ~suffix name then
-                Some
-                  (String.sub name 0 (String.length name - String.length suffix))
-              else None
-            in
-            match (strip "_sum", strip "_count") with
-            | Some b, _ when Hashtbl.mem types b -> b
-            | _, Some b when Hashtbl.mem types b -> b
-            | _ -> name
-        in
-        Alcotest.(check bool) ("sample " ^ name ^ " has a TYPE") true
-          (Hashtbl.mem types base)
-      end)
-    lines;
-  Alcotest.(check bool) "exposes a useful number of samples" true
-    (!sample_count > 10)
+  H.check_prometheus_conformance ~min_samples:11 (M.to_prometheus (M.snapshot m))
 
 (* ------------------------------------------------------------- replay *)
 
@@ -448,6 +387,38 @@ let test_concurrent_loadgen () =
       Alcotest.(check int) "server observed every latency" 120 m.M.latency.M.count;
       Alcotest.(check bool) "server p50 <= client p50" true
         (m.M.latency.M.p50_s <= s.L.p50_s +. 0.005))
+
+let test_loadgen_transport_breakdown () =
+  (* A vacated port: every request dies at connect, and the summary
+     buckets the failures by kind instead of only counting them. *)
+  let dead_port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let s =
+    L.run
+      { L.default_config with
+        L.port = dead_port;
+        connections = 1;
+        requests = 3;
+        read_timeout_s = 1.;
+        connect_timeout_s = Some 1.
+      }
+  in
+  Alcotest.(check int) "all transport errors" 3 s.L.transport_errors;
+  Alcotest.(check int) "breakdown sums to the total" 3
+    (List.fold_left (fun a (_, n) -> a + n) 0 s.L.transport_breakdown);
+  Alcotest.(check bool) "refused connections classified" true
+    (List.mem_assoc "connect_refused" s.L.transport_breakdown);
+  Alcotest.(check bool) "summary prints the breakdown" true
+    (H.contains (L.summary_to_string s) "transport: connect_refused=3")
 
 let test_overload () =
   let config =
@@ -938,6 +909,7 @@ let () =
         [ H.case "ping and stats" test_ping_and_stats;
           H.case "digest parity with batch" test_digest_parity_with_batch;
           H.case "concurrent loadgen" test_concurrent_loadgen;
+          H.case "loadgen transport breakdown" test_loadgen_transport_breakdown;
           H.case "overload rejection" test_overload;
           H.case "deadline exceeded" test_deadline_exceeded;
           H.case "graceful drain" test_graceful_drain;
