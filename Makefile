@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net chaos-cluster clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net chaos-cluster chaos-nemesis clean
 
 all: build
 
@@ -154,6 +154,28 @@ chaos-cluster: build
 	rm -f _cc_single.log _cc_single.out _cc_single.digest \
 	  _cc_cluster.log _cc_cluster.out _cc_cluster.digest
 	@echo "chaos-cluster: digest parity across 1 node vs 3 shards with a mid-run kill, >=1 failover, zero lost requests"
+
+# Self-healing gate. First the determinism contract: the nemesis
+# schedule is a pure function of the seed, so two --plan-only runs
+# must be byte-identical. Then the full run: a seeded
+# kill/stall/partition/join/leave schedule against a supervised
+# 3-shard cluster under retrying load must converge to the clean
+# single-node value digest with >=1 supervised restart, >=1 breaker
+# open->close cycle, >=1 ring membership change, zero admitted
+# requests lost or contradicted, and full recovery within the
+# quiescence bound — all asserted by the subcommand's own exit code.
+chaos-nemesis: build
+	_build/default/bin/treetrav.exe nemesis --plan-only --seed 11 --steps 8 > _nx_plan_a.txt
+	_build/default/bin/treetrav.exe nemesis --plan-only --seed 11 --steps 8 > _nx_plan_b.txt
+	cmp _nx_plan_a.txt _nx_plan_b.txt \
+	  || { echo "chaos-nemesis: same seed produced different schedules"; exit 1; }
+	timeout 300 _build/default/bin/treetrav.exe nemesis --seed 11 > _nx_run.out 2>&1 \
+	  || { cat _nx_run.out; echo "chaos-nemesis: nemesis run failed"; exit 1; }
+	cat _nx_run.out
+	grep -q '^nemesis invariants hold' _nx_run.out \
+	  || { echo "chaos-nemesis: invariants line missing"; exit 1; }
+	rm -f _nx_plan_a.txt _nx_plan_b.txt _nx_run.out
+	@echo "chaos-nemesis: deterministic schedule; digest parity, supervised restart, breaker cycle, ring change, zero lost admitted requests"
 
 clean:
 	dune clean

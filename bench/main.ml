@@ -88,7 +88,7 @@ let spec =
         (fun () ->
           print_endline
             "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
-             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve cluster perf";
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve cluster nemesis perf";
           exit 0),
       " list sections" )
   ]
@@ -948,6 +948,52 @@ let cluster_section () =
       Printf.printf "placement-invariant: value digest %s at every shard count\n" a
   | _ -> Printf.printf "placement-invariant: DIGEST MISMATCH across shard counts\n"
 
+(* -------------------------------------------------------------- nemesis *)
+
+(* Availability under faults, by shard count: the same seeded nemesis
+   schedule (kills, stalls, partitions, membership changes where the
+   ring allows them) runs against 1, 2 and 4 shards while a retrying
+   load generator measures what clients actually experience — req/s,
+   error rate, and a per-second ok/error timeline. The 1-shard row is
+   the honest baseline: with nowhere to fail over, availability rides
+   entirely on supervised restart and breaker recovery. *)
+let nemesis_section () =
+  header "Nemesis"
+    "availability under a seeded fault schedule, by shard count";
+  let module N = Tt_shard.Nemesis in
+  let module L = Tt_server.Loadgen in
+  List.iter
+    (fun shards ->
+      let cfg =
+        { N.default_config with
+          N.seed = !seed;
+          shards;
+          max_shards = max shards 2;
+          steps = 6;
+          requests = 60 * !scale;
+          connections = 2
+        }
+      in
+      let r = N.run cfg in
+      let errors =
+        r.N.load.L.requests - r.N.load.L.ok
+      in
+      Printf.printf
+        "%d shard%s: %7.1f req/s  ok %d/%d (%.1f%% errors)  restarts %d  \
+         breaker %d/%d  ring epoch %d  digest %s\n"
+        shards
+        (if shards = 1 then " " else "s")
+        r.N.load.L.throughput_rps r.N.load.L.ok r.N.load.L.requests
+        (100. *. float_of_int errors /. float_of_int r.N.load.L.requests)
+        r.N.restarts r.N.breaker_opens r.N.breaker_closes r.N.ring_epoch
+        (if r.N.digest_match then "match" else "MISMATCH");
+      Printf.printf "  timeline (ok/err per s):";
+      List.iter
+        (fun (s, o, e) -> Printf.printf " t+%ds %d/%d" s o e)
+        r.N.timeline;
+      Printf.printf "\n%!")
+    [ 1; 2; 4 ]
+
 (* ----------------------------------------------------------------- perf *)
 
 (* Wall times of the core solvers on the seeded Perf_suite instances,
@@ -1046,6 +1092,7 @@ let section_runners =
     ("rounds", rounds);
     ("serve", serve_section);
     ("cluster", cluster_section);
+    ("nemesis", nemesis_section);
     ("perf", perf_section);
     ("bechamel", bechamel_suite)
   ]
@@ -1053,7 +1100,7 @@ let section_runners =
 let default_order () =
   [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
     "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
-    "parallel"; "minio-gap"; "rounds"; "serve"; "cluster"
+    "parallel"; "minio-gap"; "rounds"; "serve"; "cluster"; "nemesis"
   ]
   @ (if !run_bechamel then [ "bechamel" ] else [])
 

@@ -776,7 +776,7 @@ let loadgen_cmd =
 (* ------------------------------------------------------------- cluster *)
 
 let cluster shards workers vnodes port queue no_peering kill_shard
-    kill_after =
+    kill_after supervise restart_delay join_after leave_shard leave_after =
   let module Cl = Tt_shard.Cluster in
   if shards < 1 then begin
     prerr_endline "cluster: --shards must be at least 1";
@@ -792,18 +792,64 @@ let cluster shards workers vnodes port queue no_peering kill_shard
         end;
         Some (kill_shard, n)
   in
+  (match leave_after with
+  | Some _ when leave_shard < 0 || leave_shard >= shards ->
+      prerr_endline "cluster: --leave-shard out of range";
+      exit 2
+  | _ -> ());
   let router_config = { Tt_shard.Router.default_config with port } in
   let server_config =
     { Tt_server.Server.default_config with queue_capacity = queue }
   in
-  let t =
-    Cl.start ~shards ~workers ?vnodes ~peering:(not no_peering)
-      ~router_config ~server_config ?kill_after ()
+  let on_event e =
+    Printf.printf "event: %s\n" (Cl.event_to_string e);
+    flush stdout
   in
-  Printf.printf "cluster: %d shards behind router 127.0.0.1:%d\n" shards
-    (Cl.router_port t);
+  let t =
+    Cl.start ~shards ~workers ?vnodes ~peering:(not no_peering) ~supervise
+      ~restart_delay_s:restart_delay ~on_event ~router_config ~server_config
+      ?kill_after ()
+  in
+  Printf.printf "cluster: %d shards behind router 127.0.0.1:%d%s\n" shards
+    (Cl.router_port t)
+    (if supervise then " (supervised)" else "");
   Printf.printf "map: %s\n" (Tt_shard.Ring.to_string (Cl.ring t));
   flush stdout;
+  (* --join/--leave-after-requests: live membership drills triggered
+     by the router's forward count — deterministic under load, like
+     --kill-after-requests. *)
+  let membership_watch =
+    match (join_after, leave_after) with
+    | None, None -> None
+    | _ ->
+        Some
+          (Domain.spawn (fun () ->
+               let forwards () =
+                 (Cl.snapshot t).Tt_shard.Metrics.forwards_total
+               in
+               let join_pending = ref join_after in
+               let leave_pending = ref leave_after in
+               while
+                 (not (Cl.stopped t))
+                 && (!join_pending <> None || !leave_pending <> None)
+               do
+                 let n = forwards () in
+                 (match !join_pending with
+                 | Some k when n >= k ->
+                     join_pending := None;
+                     ignore (Cl.join t)
+                 | _ -> ());
+                 (match !leave_pending with
+                 | Some k when n >= k ->
+                     leave_pending := None;
+                     (try Cl.leave t leave_shard
+                      with Invalid_argument e ->
+                        Printf.printf "leave refused: %s\n" e;
+                        flush stdout)
+                 | _ -> ());
+                 Unix.sleepf 0.02
+               done))
+  in
   let stop_signal _ = Cl.request_stop t in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
@@ -812,6 +858,7 @@ let cluster shards workers vnodes port queue no_peering kill_shard
   while not (Cl.stopped t) do
     try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
+  Option.iter Domain.join membership_watch;
   Cl.stop t;
   print_string (Cl.prometheus t);
   Printf.printf "cluster drained cleanly\n";
@@ -859,12 +906,141 @@ let cluster_cmd =
                    has forwarded N ops — a deterministic mid-run shard \
                    failure for failover drills.")
   in
+  let supervise =
+    Arg.(value & flag
+         & info [ "supervise" ]
+             ~doc:"Self-heal: a supervisor domain restarts dead shards on \
+                   their original port with their cache after \
+                   --restart-delay seconds.")
+  in
+  let restart_delay =
+    Arg.(value & opt float 0.3
+         & info [ "restart-delay" ] ~docv:"S"
+             ~doc:"How long a shard stays down before the supervisor \
+                   restarts it.")
+  in
+  let join_after =
+    Arg.(value & opt (some int) None
+         & info [ "join-after-requests" ] ~docv:"N"
+             ~doc:"Membership drill: boot and ring-add one new shard once \
+                   the router has forwarded N ops.")
+  in
+  let leave_shard =
+    Arg.(value & opt int 0
+         & info [ "leave-shard" ] ~docv:"I"
+             ~doc:"Which shard --leave-after-requests removes.")
+  in
+  let leave_after =
+    Arg.(value & opt (some int) None
+         & info [ "leave-after-requests" ] ~docv:"N"
+             ~doc:"Membership drill: gracefully remove --leave-shard from \
+                   the ring once the router has forwarded N ops.")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Run N local shards behind a consistent-hash router \
              (SIGINT/SIGTERM drain gracefully).")
     Term.(const cluster $ shards $ workers $ vnodes $ port $ queue
-          $ no_peering $ kill_shard $ kill_after)
+          $ no_peering $ kill_shard $ kill_after $ supervise $ restart_delay
+          $ join_after $ leave_shard $ leave_after)
+
+(* ------------------------------------------------------------- nemesis *)
+
+let nemesis seed steps shards max_shards requests connections step_gap
+    restart_delay plan_only =
+  let module N = Tt_shard.Nemesis in
+  let cfg =
+    { N.default_config with
+      seed;
+      steps;
+      shards;
+      max_shards;
+      requests;
+      connections;
+      step_gap_s = step_gap;
+      restart_delay_s = restart_delay
+    }
+  in
+  match N.plan cfg with
+  | exception Invalid_argument e ->
+      Printf.eprintf "nemesis: %s\n" e;
+      2
+  | faults ->
+      if plan_only then begin
+        (* Schedule only, no cluster: printed twice and diffed by
+           `make chaos-nemesis` to assert seed determinism. *)
+        print_string (N.plan_to_string faults);
+        0
+      end
+      else begin
+        Printf.printf "nemesis: seed %d, %d steps against %d shards\n" seed
+          steps shards;
+        flush stdout;
+        let r = N.run cfg in
+        print_string (N.report_to_string r);
+        match N.check r with
+        | Ok () ->
+            Printf.printf "nemesis invariants hold\n";
+            0
+        | Error e ->
+            Printf.printf "nemesis FAILED: %s\n" e;
+            1
+      end
+
+let nemesis_cmd =
+  let seed =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Schedule seed — the whole fault sequence is a pure \
+                   function of it.")
+  in
+  let steps =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.steps
+         & info [ "steps" ] ~docv:"N" ~doc:"Schedule length.")
+  in
+  let shards =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.shards
+         & info [ "shards" ] ~docv:"N" ~doc:"Initial ring size (at least 2).")
+  in
+  let max_shards =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.max_shards
+         & info [ "max-shards" ] ~docv:"N"
+             ~doc:"Joins are only scheduled below this.")
+  in
+  let requests =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.requests
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Load issued while the schedule runs.")
+  in
+  let connections =
+    Arg.(value & opt int Tt_shard.Nemesis.default_config.connections
+         & info [ "connections" ] ~docv:"N" ~doc:"Load-generator domains.")
+  in
+  let step_gap =
+    Arg.(value & opt float Tt_shard.Nemesis.default_config.step_gap_s
+         & info [ "step-gap" ] ~docv:"S"
+             ~doc:"Wall-clock gap between schedule steps.")
+  in
+  let restart_delay =
+    Arg.(value & opt float Tt_shard.Nemesis.default_config.restart_delay_s
+         & info [ "restart-delay" ] ~docv:"S"
+             ~doc:"Supervisor restart delay — long enough for breakers to \
+                   open while a shard is down.")
+  in
+  let plan_only =
+    Arg.(value & flag
+         & info [ "plan-only" ]
+             ~doc:"Print the seeded fault schedule and exit without \
+                   running a cluster.")
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:"Drive a seeded deterministic fault schedule (kill / stall / \
+             partition / join / leave) against a supervised local cluster \
+             under load, then check digest parity, zero lost admitted \
+             requests and bounded recovery.")
+    Term.(const nemesis $ seed $ steps $ shards $ max_shards $ requests
+          $ connections $ step_gap $ restart_delay $ plan_only)
 
 (* ---------------------------------------------------------------- perf *)
 
@@ -1005,5 +1181,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
-            serve_cmd; request_cmd; loadgen_cmd; cluster_cmd; perf_cmd;
-            chaos_proxy_cmd ]))
+            serve_cmd; request_cmd; loadgen_cmd; cluster_cmd; nemesis_cmd;
+            perf_cmd; chaos_proxy_cmd ]))

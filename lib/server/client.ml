@@ -153,7 +153,8 @@ let solve t ?timeout_s ?idem entry =
   | Ok (P.Results reports) -> Ok reports
   | Ok (P.Refused { code; msg }) ->
       Error (Printf.sprintf "%s: %s" (P.error_code_to_string code) msg)
-  | Ok (P.Stats_reply _ | P.Pong | P.Draining | P.Peeked _) ->
+  | Ok (P.Stats_reply _ | P.Health_reply _ | P.Pong | P.Draining | P.Peeked _)
+    ->
       Error "unexpected response body for solve"
 
 (* --------------------------------------------------- resilient session *)
@@ -215,7 +216,7 @@ let session_conn s =
    later can succeed. Everything else ([Bad_request] & co.) is
    deterministic — retrying would just repeat it. *)
 let retryable = function
-  | P.Overloaded | P.Deadline_exceeded | P.Internal -> true
+  | P.Overloaded | P.Deadline_exceeded | P.Internal | P.Unavailable -> true
   | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Shutting_down ->
       false
 
@@ -243,7 +244,9 @@ let session_solve s ?timeout_s ?idem entry =
             Error (Transport msg)
         | Ok (P.Results reports) -> Ok reports
         | Ok (P.Refused { code; msg }) -> Error (Refused (code, msg))
-        | Ok (P.Stats_reply _ | P.Pong | P.Draining | P.Peeked _) ->
+        | Ok
+            (P.Stats_reply _ | P.Health_reply _ | P.Pong | P.Draining
+            | P.Peeked _) ->
             session_drop s;
             Error (Transport "unexpected response body for solve"))
   in

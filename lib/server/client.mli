@@ -114,7 +114,9 @@ val session_solve :
 (** Solve with retries. Each solve carries an idempotency key ([idem]
     if given, else ["<tag>-<seq>"]), so retries after a lost reply
     cannot double-execute. Transport failures drop the connection and
-    reconnect on the next attempt; [Overloaded], [Deadline_exceeded]
-    and [Internal] refusals are retried on the backoff schedule;
+    reconnect on the next attempt; [Overloaded], [Deadline_exceeded],
+    [Internal] and [Unavailable] refusals are retried on the backoff
+    schedule (an [Unavailable] shard tier is expected to recover
+    within a breaker half-open interval);
     deterministic refusals ([Bad_request], [Shutting_down], …) return
     immediately. *)

@@ -10,6 +10,7 @@ type t = {
   mutable req_ping : int;
   mutable req_shutdown : int;
   mutable req_peek : int;
+  mutable req_health : int;
   mutable ok : int;
   errors : (string, int) Hashtbl.t;
   mutable jobs : int;
@@ -36,6 +37,7 @@ let create ?(latency_window = 4096) () =
     req_ping = 0;
     req_shutdown = 0;
     req_peek = 0;
+    req_health = 0;
     ok = 0;
     errors = Hashtbl.create 8;
     jobs = 0;
@@ -65,7 +67,8 @@ let request t op =
       | `Stats -> t.req_stats <- t.req_stats + 1
       | `Ping -> t.req_ping <- t.req_ping + 1
       | `Shutdown -> t.req_shutdown <- t.req_shutdown + 1
-      | `Peek -> t.req_peek <- t.req_peek + 1)
+      | `Peek -> t.req_peek <- t.req_peek + 1
+      | `Health -> t.req_health <- t.req_health + 1)
 
 let response_ok t = locked t (fun () -> t.ok <- t.ok + 1)
 
@@ -114,6 +117,7 @@ type snapshot = {
   requests_ping : int;
   requests_shutdown : int;
   requests_peek : int;
+  requests_health : int;
   responses_ok : int;
   errors : (string * int) list;
   jobs : int;
@@ -141,6 +145,7 @@ let snapshot t =
         requests_ping = t.req_ping;
         requests_shutdown = t.req_shutdown;
         requests_peek = t.req_peek;
+        requests_health = t.req_health;
         responses_ok = t.ok;
         errors =
           List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.errors []);
@@ -177,7 +182,8 @@ let to_json s =
             ("stats", Json.Int s.requests_stats);
             ("ping", Json.Int s.requests_ping);
             ("shutdown", Json.Int s.requests_shutdown);
-            ("peek", Json.Int s.requests_peek)
+            ("peek", Json.Int s.requests_peek);
+            ("health", Json.Int s.requests_health)
           ] );
       ( "responses",
         Json.Obj
@@ -233,6 +239,7 @@ let to_prometheus s =
   counter "requests_total" ~labels:{|{op="ping"}|} s.requests_ping;
   counter "requests_total" ~labels:{|{op="shutdown"}|} s.requests_shutdown;
   counter "requests_total" ~labels:{|{op="peek"}|} s.requests_peek;
+  counter "requests_total" ~labels:{|{op="health"}|} s.requests_health;
   typ "responses_ok_total" "counter";
   counter "responses_ok_total" s.responses_ok;
   typ "responses_error_total" "counter";

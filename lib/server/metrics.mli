@@ -24,7 +24,7 @@ val create : ?latency_window:int -> unit -> t
 val connection_opened : t -> unit
 val connection_closed : t -> unit
 
-val request : t -> [ `Solve | `Stats | `Ping | `Shutdown | `Peek ] -> unit
+val request : t -> [ `Solve | `Stats | `Ping | `Shutdown | `Peek | `Health ] -> unit
 (** One received, well-formed request frame. *)
 
 val response_ok : t -> unit
@@ -75,6 +75,7 @@ type snapshot = {
   requests_ping : int;
   requests_shutdown : int;
   requests_peek : int;
+  requests_health : int;
   responses_ok : int;
   errors : (string * int) list;  (** By code, sorted by code. *)
   jobs : int;

@@ -130,9 +130,16 @@ type stats = {
   stalls : int;
   splits : int;
   forwarded_bytes : int;
+  severed : int;
 }
 
 let injected s = s.drops + s.truncations + s.stalls + s.splits
+
+(* The partition primitive the nemesis builds on: a dynamic valve in
+   front of the per-window fault machinery. Severing or stalling the
+   proxy cuts {e both} directions at once, so a partition built from
+   one gate per shard ingress is symmetric by construction. *)
+type gate = Gate_open | Gate_stalled | Gate_severed
 
 type dir_state = {
   mutable off : int;  (* bytes forwarded in this direction *)
@@ -158,6 +165,7 @@ type t = {
   stop : bool Atomic.t;
   mu : Mutex.t;
   cond : Condition.t;
+  mutable gate_state : gate;
   mutable pairs : pair list;
   mutable next_cid : int;
   mutable s_connections : int;
@@ -166,6 +174,7 @@ type t = {
   mutable s_stalls : int;
   mutable s_splits : int;
   mutable s_bytes : int;
+  mutable s_severed : int;
   mutable running : bool;
   mutable stopped : bool;
   mutable runner : unit Domain.t option;
@@ -210,6 +219,7 @@ let create ?(faults = none) ?(host = "127.0.0.1") ?(port = 0)
     stop = Atomic.make false;
     mu = Mutex.create ();
     cond = Condition.create ();
+    gate_state = Gate_open;
     pairs = [];
     next_cid = 0;
     s_connections = 0;
@@ -218,6 +228,7 @@ let create ?(faults = none) ?(host = "127.0.0.1") ?(port = 0)
     s_stalls = 0;
     s_splits = 0;
     s_bytes = 0;
+    s_severed = 0;
     running = false;
     stopped = false;
     runner = None
@@ -232,12 +243,22 @@ let stats t =
         truncations = t.s_truncations;
         stalls = t.s_stalls;
         splits = t.s_splits;
-        forwarded_bytes = t.s_bytes
+        forwarded_bytes = t.s_bytes;
+        severed = t.s_severed
       })
 
 let wake t =
   try ignore (Unix.write_substring t.wake_w "x" 0 1)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EBADF), _, _) -> ()
+
+let gate t = locked t (fun () -> t.gate_state)
+
+(* Takes effect at the proxy loop's next tick ({!wake} makes that
+   immediate): fd lifecycle stays on the proxy domain, so a concurrent
+   [set_gate] can never close an fd the loop is selecting on. *)
+let set_gate t g =
+  locked t (fun () -> t.gate_state <- g);
+  wake t
 
 (* Blocking write of a slice; Unix_error means the peer is gone. *)
 let write_all fd s pos len =
@@ -334,6 +355,13 @@ let close_pair t pair =
 let accept_one t =
   match Unix.accept t.listen_fd with
   | exception Unix.Unix_error _ -> ()
+  | cfd, _ when gate t = Gate_severed ->
+      (* Partitioned: the client's connect completes (the listener's
+         backlog accepted it) but the conversation dies instantly —
+         its first read sees EOF, which is what a transport-level
+         partition looks like to the breaker. *)
+      (try Unix.close cfd with Unix.Unix_error _ -> ());
+      locked t (fun () -> t.s_severed <- t.s_severed + 1)
   | cfd, _ -> (
       let ufd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       match
@@ -380,10 +408,27 @@ let run t =
       if t.running || t.stopped then invalid_arg "Netfault.run: already used";
       t.running <- true);
   while not (Atomic.get t.stop) do
+    (* Apply the gate on the proxy domain, before building the select
+       set. Severed: cut every live pair now (both directions at once —
+       a symmetric partition) and stop servicing data. Stalled: keep
+       pairs alive but stop selecting on them, so in-flight bytes park
+       in kernel buffers and flow again the moment the gate reopens. *)
+    let g = gate t in
+    if g = Gate_severed then begin
+      let doomed = locked t (fun () -> t.pairs) in
+      List.iter
+        (fun p ->
+          close_pair t p;
+          locked t (fun () -> t.s_severed <- t.s_severed + 1))
+        doomed
+    end;
     let pairs = locked t (fun () -> t.pairs) in
     let read_fds =
-      t.wake_r :: t.listen_fd
-      :: List.concat_map (fun p -> [ p.cfd; p.ufd ]) pairs
+      match g with
+      | Gate_open ->
+          t.wake_r :: t.listen_fd
+          :: List.concat_map (fun p -> [ p.cfd; p.ufd ]) pairs
+      | Gate_stalled | Gate_severed -> [ t.wake_r; t.listen_fd ]
     in
     match Unix.select read_fds [] [] 0.5 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

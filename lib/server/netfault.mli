@@ -93,10 +93,38 @@ type stats = {
   stalls : int;
   splits : int;
   forwarded_bytes : int;  (** Bytes relayed, both directions. *)
+  severed : int;
+      (** Pairs cut (plus connects refused) by a {!Gate_severed}
+          gate. *)
 }
 
 val injected : stats -> int
-(** Total injected faults: drops + truncations + stalls + splits. *)
+(** Total injected faults: drops + truncations + stalls + splits
+    ([severed] is a gate effect, not a per-window injection). *)
+
+(* ---------------------------------------------------------------- gate *)
+
+type gate =
+  | Gate_open  (** Normal forwarding (with the per-window faults). *)
+  | Gate_stalled
+      (** Stop servicing data: pairs stay open but nothing flows —
+          in-flight bytes park in kernel buffers and resume the moment
+          the gate reopens. New connections are accepted but equally
+          frozen. Clients see read timeouts. *)
+  | Gate_severed
+      (** Cut the link: every live pair is closed (both directions at
+          once — severing is symmetric by construction) and every new
+          connection is accepted then immediately closed. Clients see
+          EOF/reset. *)
+
+val gate : t -> gate
+
+val set_gate : t -> gate -> unit
+(** Thread-safe; applied by the proxy domain at its next tick (woken
+    immediately). This is the partition primitive the nemesis builds
+    on: one gated proxy per shard ingress makes "partition shard i
+    from everyone" [set_gate proxy_i Gate_severed] and "heal"
+    [set_gate proxy_i Gate_open]. *)
 
 val create :
   ?faults:faults ->

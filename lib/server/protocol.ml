@@ -14,6 +14,7 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down
   | Internal
+  | Unavailable
 
 let error_code_to_string = function
   | Bad_frame -> "bad_frame"
@@ -23,6 +24,7 @@ let error_code_to_string = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Unavailable -> "unavailable"
 
 let error_code_of_string = function
   | "bad_frame" -> Some Bad_frame
@@ -32,6 +34,7 @@ let error_code_of_string = function
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
+  | "unavailable" -> Some Unavailable
   | _ -> None
 
 (* ----------------------------------------------------------- requests *)
@@ -41,6 +44,7 @@ type op =
   | Peek of { key : string }
   | Stats
   | Ping
+  | Health
   | Shutdown
 
 type request = { id : string; op : op }
@@ -62,6 +66,7 @@ let encode_request { id; op } =
         base @ [ ("op", Json.String "peek"); ("key", Json.String key) ]
     | Stats -> base @ [ ("op", Json.String "stats") ]
     | Ping -> base @ [ ("op", Json.String "ping") ]
+    | Health -> base @ [ ("op", Json.String "health") ]
     | Shutdown -> base @ [ ("op", Json.String "shutdown") ]
   in
   Json.to_string (Json.Obj fields)
@@ -119,6 +124,7 @@ let decode_request line =
                     | _ -> fail Bad_request "peek needs a string key")
                 | Some (Json.String "stats") -> Ok { id; op = Stats }
                 | Some (Json.String "ping") -> Ok { id; op = Ping }
+                | Some (Json.String "health") -> Ok { id; op = Health }
                 | Some (Json.String "shutdown") -> Ok { id; op = Shutdown }
                 | Some (Json.String other) ->
                     fail Bad_request ("unknown op: " ^ other)
@@ -143,6 +149,7 @@ type body =
   | Results of job_report list
   | Peeked of Job.outcome option
   | Stats_reply of Json.t
+  | Health_reply of Json.t
   | Pong
   | Draining
   | Refused of { code : error_code; msg : string }
@@ -205,6 +212,7 @@ let encode_response { req_id; body } =
                  | None -> [])) )
           ]
     | Stats_reply stats -> base true @ [ ("stats", stats) ]
+    | Health_reply health -> base true @ [ ("health", health) ]
     | Pong -> base true @ [ ("pong", Json.Bool true) ]
     | Draining -> base true @ [ ("draining", Json.Bool true) ]
     | Refused { code; msg } ->
@@ -257,10 +265,11 @@ let decode_response line =
         match
           ( Json.member "results" json,
             Json.member "stats" json,
+            Json.member "health" json,
             Json.member "pong" json,
             Json.member "draining" json )
         with
-        | Some (Json.List items), _, _, _ ->
+        | Some (Json.List items), _, _, _, _ ->
             let rec go acc = function
               | [] -> Ok (Results (List.rev acc))
               | item :: rest -> (
@@ -269,9 +278,10 @@ let decode_response line =
                   | Error e -> Error e)
             in
             go [] items
-        | None, Some stats, _, _ -> Ok (Stats_reply stats)
-        | None, None, Some (Json.Bool true), _ -> Ok Pong
-        | None, None, None, Some (Json.Bool true) -> Ok Draining
+        | None, Some stats, _, _, _ -> Ok (Stats_reply stats)
+        | None, None, Some health, _, _ -> Ok (Health_reply health)
+        | None, None, None, Some (Json.Bool true), _ -> Ok Pong
+        | None, None, None, None, Some (Json.Bool true) -> Ok Draining
         | _ -> Error "ok response without a recognized payload")
     | Some (Json.Bool false) -> (
         match Json.member "error" json with

@@ -57,6 +57,12 @@ type error_code =
   | Deadline_exceeded  (** The request deadline passed while queued. *)
   | Shutting_down  (** Server is draining; no new work admitted. *)
   | Internal  (** Unexpected server-side failure. *)
+  | Unavailable
+      (** No backend can take the request {e right now} — every shard
+          is unreachable or breaker-open (shard tier). Distinct from
+          {!Internal}: nothing went wrong with the request itself, and
+          retrying after a backoff is expected to succeed once a
+          breaker half-opens. *)
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option
@@ -79,6 +85,12 @@ type op =
           [{"v":1,"id":"r5","op":"peek","key":"<hex id>"}]. *)
   | Stats
   | Ping
+  | Health
+      (** Cheap liveness/health check, answered inline by the I/O
+          domain (never queued): the health monitor's probe op. Wire
+          form: [{"v":1,"id":"r6","op":"health"}]. A server replies
+          with its drain state; a router replies with ring epoch and
+          per-shard breaker states. *)
   | Shutdown
 
 type request = { id : string; op : op }
@@ -110,6 +122,11 @@ type body =
           Wire form: [{"v":1,"id":"r5","ok":true,"peeked":{"found":
           true,"result":{…}}}] (the [result] field only when found). *)
   | Stats_reply of Tt_engine.Telemetry.Json.t
+  | Health_reply of Tt_engine.Telemetry.Json.t
+      (** Reply to [health]: a small role-specific JSON object (a
+          server reports its drain flag and queue depth; a router
+          reports ring epoch and breaker states). Wire form:
+          [{"v":1,"id":"r6","ok":true,"health":{…}}]. *)
   | Pong
   | Draining  (** Acknowledges [shutdown]; the server then drains. *)
   | Refused of { code : error_code; msg : string }

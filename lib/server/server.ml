@@ -177,6 +177,8 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
+let stopped t = locked t (fun () -> t.stopped)
+
 let wake t =
   try ignore (Unix.write_substring t.wake_w "x" 0 1)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EBADF), _, _) -> ()
@@ -210,6 +212,17 @@ let stats_json t =
             ("evictions", Json.Int (Replay.evictions t.replay))
           ] );
       ("metrics", Metrics.to_json (Metrics.snapshot t.metrics))
+    ]
+
+(* A health reply must stay cheap — it is the probe op the shard tier's
+   breaker sends on every tick, so it reads two flags and the queue
+   depth, never the full metrics snapshot. *)
+let health_json t =
+  Json.Obj
+    [ ("role", Json.String "server");
+      ("draining", Json.Bool (Atomic.get t.stop));
+      ("queue_depth", Json.Int (Admission.length t.queue));
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started))
     ]
 
 (* ----------------------------------------------------------- replies *)
@@ -504,6 +517,9 @@ let handle_line t conn line =
     | Ok { P.id; op = P.Stats } ->
         Metrics.request t.metrics `Stats;
         reply t conn (Some id) (P.Stats_reply (stats_json t))
+    | Ok { P.id; op = P.Health } ->
+        Metrics.request t.metrics `Health;
+        reply t conn (Some id) (P.Health_reply (health_json t))
     | Ok { P.id; op = P.Shutdown } ->
         Metrics.request t.metrics `Shutdown;
         reply t conn (Some id) P.Draining;

@@ -127,3 +127,8 @@ val request_shutdown : t -> unit
 val shutdown : t -> unit
 (** {!request_shutdown}, then block until the server has fully stopped
     (all replies written, workers joined, sockets closed). *)
+
+val stopped : t -> bool
+(** Has this server's {!run} loop fully exited (after drain or crash)?
+    Safe from any domain — the shard tier's supervisor polls it to
+    tell a dead backend from a merely slow one. *)

@@ -5,7 +5,9 @@ module Retry = Tt_engine.Retry
 let default_connect_timeout_s = 1.
 
 type t = {
-  ring : Ring.t;
+  route : string -> Ring.node list;
+  static_ring : Ring.t;
+  health : Health.t option;
   conns : (string, Client.t) Hashtbl.t;  (* node name -> live conn *)
   connect_timeout_s : float;
   read_timeout_s : float;
@@ -15,8 +17,13 @@ type t = {
 
 let create ?(connect_timeout_s = default_connect_timeout_s)
     ?(read_timeout_s = Client.default_read_timeout_s) ?(retry = Retry.none)
-    ~metrics ring =
-  { ring;
+    ?health ?route ~metrics ring =
+  { route =
+      (match route with
+      | Some f -> f
+      | None -> fun key -> Ring.successors ring key);
+    static_ring = ring;
+    health;
     conns = Hashtbl.create 8;
     connect_timeout_s;
     read_timeout_s;
@@ -24,7 +31,7 @@ let create ?(connect_timeout_s = default_connect_timeout_s)
     metrics
   }
 
-let ring t = t.ring
+let ring t = t.static_ring
 
 let close t =
   Hashtbl.iter (fun _ c -> Client.close c) t.conns;
@@ -51,16 +58,22 @@ let conn t (node : Ring.node) =
           Some c
       | exception Unix.Unix_error _ | exception Failure _ -> None)
 
-(* A shard that answered [Shutting_down] (draining), [Overloaded] or
-   [Internal] is useless for this request {e right now}, but a
-   successor — which can compute any key, ownership only steers the
-   cache — can serve it. Anything else is a property of the request
-   (or of its deadline) and is relayed as-is. *)
+(* A shard that answered [Shutting_down] (draining), [Overloaded],
+   [Internal] or [Unavailable] is useless for this request {e right
+   now}, but a successor — which can compute any key, ownership only
+   steers the cache — can serve it. Anything else is a property of the
+   request (or of its deadline) and is relayed as-is. *)
 let routable_refusal = function
-  | P.Shutting_down | P.Overloaded | P.Internal -> true
+  | P.Shutting_down | P.Overloaded | P.Internal | P.Unavailable -> true
   | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Deadline_exceeded
     ->
       false
+
+let note_success t name =
+  match t.health with None -> () | Some h -> Health.success h name
+
+let note_failure t name =
+  match t.health with None -> () | Some h -> Health.failure h name
 
 (* One node's verdict inside a sweep. *)
 type attempt =
@@ -70,14 +83,21 @@ type attempt =
 let attempt t node op =
   Metrics.forward t.metrics ~shard:node.Ring.name;
   match conn t node with
-  | None -> Move_on (node.Ring.name ^ " unreachable")
+  | None ->
+      note_failure t node.Ring.name;
+      Move_on (node.Ring.name ^ " unreachable")
   | Some c -> (
       match Client.call c op with
       | Error msg ->
           (* Unknown connection state: reconnect on next use. *)
+          note_failure t node.Ring.name;
           drop t node.Ring.name;
           Move_on (Printf.sprintf "%s: %s" node.Ring.name msg)
       | Ok (P.Refused { code; _ } as body) ->
+          (* Any parsed reply — refusals included — proves the shard's
+             transport is alive: the breaker only tracks reachability,
+             admission pressure is failover's business. *)
+          note_success t node.Ring.name;
           if routable_refusal code then begin
             drop t node.Ring.name;
             Move_on
@@ -85,32 +105,57 @@ let attempt t node op =
                  (P.error_code_to_string code))
           end
           else Answered body
-      | Ok body -> Answered body)
+      | Ok body ->
+          note_success t node.Ring.name;
+          Answered body)
+
+let skippable t name =
+  match t.health with None -> false | Some h -> not (Health.allow h name)
 
 let call t ~key op =
-  let order = Ring.successors t.ring key in
   let sweep () =
+    (* Re-plan every sweep: between backoff rounds the ring may have
+       been reconfigured (join/leave) or a breaker may have
+       half-opened. *)
+    let order = t.route key in
+    let skips = ref 0 in
     let rec go first = function
       | [] -> None
-      | node :: rest -> (
-          if not first then Metrics.failover t.metrics;
-          match attempt t node op with
-          | Answered body -> Some body
-          | Move_on _ -> go false rest)
+      | (node : Ring.node) :: rest ->
+          if skippable t node.Ring.name then begin
+            incr skips;
+            go first rest
+          end
+          else begin
+            if not first then Metrics.failover t.metrics;
+            match attempt t node op with
+            | Answered body -> Some body
+            | Move_on _ -> go false rest
+          end
     in
-    go true order
+    (go true order, !skips, List.length order)
   in
   let rec rounds delays =
     match sweep () with
-    | Some body -> Ok body
-    | None -> (
+    | Some body, _, _ -> Ok body
+    | None, skips, tried -> (
         match delays with
         | [] ->
             Metrics.unrouted t.metrics;
-            Error
-              ( P.Internal,
-                Printf.sprintf "no shard reachable (tried %d)"
-                  (List.length order) )
+            (* [Unavailable] when a breaker spared us any attempt this
+               sweep: the backends are known-dead, nothing about the
+               request is wrong, and retrying after a backoff is the
+               expected recovery. [Internal] when every shard was
+               genuinely tried and its transport failed. *)
+            if skips > 0 then
+              Error
+                ( P.Unavailable,
+                  Printf.sprintf
+                    "no shard available (%d of %d skipped breaker-open)" skips
+                    tried )
+            else
+              Error
+                (P.Internal, Printf.sprintf "no shard reachable (tried %d)" tried)
         | d :: rest ->
             if d > 0. then Unix.sleepf d;
             rounds rest)

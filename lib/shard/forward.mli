@@ -1,8 +1,11 @@
 (** Failover forwarding: one pooled connection per shard, swept in
-    ring order.
+    ring order, consulting the shared circuit breakers.
 
     Not thread-safe — the router gives each client connection its own
     pool (connections are cheap; contention on a shared pool is not).
+    The optional {!Health} breaker set and the routing planner {e are}
+    shared across pools, so one connection discovering a dead shard
+    spares every other connection the timeout.
 
     {b Safety of failover.} A transport failure leaves it unknown
     whether the op executed. Re-sending is safe because the router
@@ -22,14 +25,30 @@ val create :
   ?connect_timeout_s:float ->
   ?read_timeout_s:float ->
   ?retry:Tt_engine.Retry.policy ->
+  ?health:Health.t ->
+  ?route:(string -> Ring.node list) ->
   metrics:Metrics.t ->
   Ring.t ->
   t
 (** [retry] (default {!Tt_engine.Retry.none}) schedules {e whole-ring}
     sweeps: one sweep per remaining delay after the first, sleeping
-    the delay between sweeps, keyed by the routed key. *)
+    the delay between sweeps, keyed by the routed key.
+
+    [health] (default none): per-shard breakers consulted before every
+    attempt — a breaker-open shard is skipped without touching the
+    network, and every attempt's outcome is reported back
+    ({!Health.success} on {e any} parsed reply, refusals included;
+    {!Health.failure} on transport failure).
+
+    [route] (default [Ring.successors ring]) supplies the sweep order
+    per key. The router passes its live epoch-memoized planner here,
+    so a pool created before a [join]/[leave] still routes against the
+    {e current} ring; [route] is re-consulted on every sweep. *)
 
 val ring : t -> Ring.t
+(** The ring passed at creation. Static — a router's live ring is
+    behind [route], not this accessor. *)
+
 val close : t -> unit
 
 val call :
@@ -37,12 +56,15 @@ val call :
   key:string ->
   Tt_server.Protocol.op ->
   (Tt_server.Protocol.body, Tt_server.Protocol.error_code * string) result
-(** Sweep [Ring.successors ring key] owner-first. Per node: connect
-    (bounded) if not pooled, send [op], read the reply. Transport
-    failures and routable refusals ([shutting_down], [overloaded],
-    [internal] — the shard is useless right now but a successor can
-    compute any key) drop that node's pooled connection and move on,
-    counting a failover; any other reply — success {e or} a
-    deterministic refusal like [bad_request] — is returned verbatim.
-    When every sweep of every backoff round fails, returns a retryable
-    [Error (Internal, _)] and counts it as unrouted. *)
+(** Sweep [route key] owner-first. Per node: skip breaker-open shards;
+    otherwise connect (bounded) if not pooled, send [op], read the
+    reply. Transport failures and routable refusals ([shutting_down],
+    [overloaded], [internal], [unavailable] — the shard is useless
+    right now but a successor can compute any key) drop that node's
+    pooled connection and move on, counting a failover; any other
+    reply — success {e or} a deterministic refusal like [bad_request]
+    — is returned verbatim. When every sweep of every backoff round
+    fails, returns — counting it as unrouted — a retryable
+    [Error (Unavailable, _)] if the final sweep skipped any
+    breaker-open shard, and [Error (Internal, _)] when every shard was
+    genuinely tried. *)

@@ -1,5 +1,12 @@
 module Json = Tt_engine.Telemetry.Json
 
+type breaker_state = Breaker_closed | Breaker_open | Breaker_half_open
+
+let breaker_state_to_int = function
+  | Breaker_closed -> 0
+  | Breaker_open -> 1
+  | Breaker_half_open -> 2
+
 type t = {
   mu : Mutex.t;
   forwards : (string, int) Hashtbl.t;  (* shard name -> forwarded ops *)
@@ -8,6 +15,12 @@ type t = {
   mutable unrouted : int;
   mutable peer_hits : int;
   mutable peer_misses : int;
+  mutable breaker_opens : int;
+  mutable breaker_closes : int;
+  breaker_states : (string, breaker_state) Hashtbl.t;
+  restarts : (string, int) Hashtbl.t;  (* shard name -> supervised restarts *)
+  mutable downtime_s : float;
+  mutable ring_epoch : int;
 }
 
 let create () =
@@ -17,7 +30,13 @@ let create () =
     rejects = 0;
     unrouted = 0;
     peer_hits = 0;
-    peer_misses = 0
+    peer_misses = 0;
+    breaker_opens = 0;
+    breaker_closes = 0;
+    breaker_states = Hashtbl.create 8;
+    restarts = Hashtbl.create 8;
+    downtime_s = 0.;
+    ring_epoch = 0
   }
 
 let locked t f =
@@ -35,6 +54,27 @@ let unrouted t = locked t (fun () -> t.unrouted <- t.unrouted + 1)
 let peer_hit t = locked t (fun () -> t.peer_hits <- t.peer_hits + 1)
 let peer_miss t = locked t (fun () -> t.peer_misses <- t.peer_misses + 1)
 
+let breaker_transition t ~shard state =
+  locked t (fun () ->
+      (match (Hashtbl.find_opt t.breaker_states shard, state) with
+      | (Some Breaker_closed | Some Breaker_half_open | None), Breaker_open ->
+          t.breaker_opens <- t.breaker_opens + 1
+      | (Some Breaker_open | Some Breaker_half_open), Breaker_closed ->
+          t.breaker_closes <- t.breaker_closes + 1
+      | _ -> ());
+      Hashtbl.replace t.breaker_states shard state)
+
+let breaker_forget t ~shard =
+  locked t (fun () -> Hashtbl.remove t.breaker_states shard)
+
+let restart t ~shard ~downtime_s =
+  locked t (fun () ->
+      Hashtbl.replace t.restarts shard
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.restarts shard));
+      t.downtime_s <- t.downtime_s +. Float.max 0. downtime_s)
+
+let set_ring_epoch t epoch = locked t (fun () -> t.ring_epoch <- epoch)
+
 type snapshot = {
   forwards : (string * int) list;
   forwards_total : int;
@@ -43,21 +83,36 @@ type snapshot = {
   unrouted : int;
   peer_hits : int;
   peer_misses : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  breaker_states : (string * breaker_state) list;
+  restarts : (string * int) list;
+  restarts_total : int;
+  downtime_s : float;
+  ring_epoch : int;
 }
 
 let snapshot t =
   locked t (fun () ->
-      let forwards =
-        List.sort compare
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.forwards [])
+      let sorted tbl =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
       in
+      let forwards = sorted t.forwards in
+      let restarts = sorted t.restarts in
       { forwards;
         forwards_total = List.fold_left (fun a (_, v) -> a + v) 0 forwards;
         failovers = t.failovers;
         rejects = t.rejects;
         unrouted = t.unrouted;
         peer_hits = t.peer_hits;
-        peer_misses = t.peer_misses
+        peer_misses = t.peer_misses;
+        breaker_opens = t.breaker_opens;
+        breaker_closes = t.breaker_closes;
+        breaker_states = sorted t.breaker_states;
+        restarts;
+        restarts_total = List.fold_left (fun a (_, v) -> a + v) 0 restarts;
+        downtime_s = t.downtime_s;
+        ring_epoch = t.ring_epoch
       })
 
 let to_json s =
@@ -69,7 +124,19 @@ let to_json s =
       ("rejects", Json.Int s.rejects);
       ("unrouted", Json.Int s.unrouted);
       ("peer_hits", Json.Int s.peer_hits);
-      ("peer_misses", Json.Int s.peer_misses)
+      ("peer_misses", Json.Int s.peer_misses);
+      ("breaker_opens", Json.Int s.breaker_opens);
+      ("breaker_closes", Json.Int s.breaker_closes);
+      ( "breaker_states",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int (breaker_state_to_int v)))
+             s.breaker_states) );
+      ( "restarts",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.restarts) );
+      ("restarts_total", Json.Int s.restarts_total);
+      ("downtime_s", Json.Float s.downtime_s);
+      ("ring_epoch", Json.Int s.ring_epoch)
     ]
 
 (* Same exposition conventions as {!Tt_server.Metrics.to_prometheus}:
@@ -97,4 +164,28 @@ let to_prometheus s =
   counter "peer_hits_total" s.peer_hits;
   typ "peer_misses_total" "counter";
   counter "peer_misses_total" s.peer_misses;
+  typ "breaker_opens_total" "counter";
+  counter "breaker_opens_total" s.breaker_opens;
+  typ "breaker_closes_total" "counter";
+  counter "breaker_closes_total" s.breaker_closes;
+  if s.breaker_states <> [] then begin
+    typ "breaker_state" "gauge";
+    List.iter
+      (fun (shard, st) ->
+        counter "breaker_state"
+          ~labels:(Printf.sprintf {|{shard=%S}|} shard)
+          (breaker_state_to_int st))
+      s.breaker_states
+  end;
+  typ "restarts_total" "counter";
+  List.iter
+    (fun (shard, v) ->
+      counter "restarts_total" ~labels:(Printf.sprintf {|{shard=%S}|} shard) v)
+    s.restarts;
+  typ "downtime_seconds_total" "counter";
+  Buffer.add_string b
+    (Printf.sprintf "tt_shard_downtime_seconds_total %.9g\n"
+       (if Float.is_finite s.downtime_s then s.downtime_s else 0.));
+  typ "ring_epoch" "gauge";
+  counter "ring_epoch" s.ring_epoch;
   Buffer.contents b

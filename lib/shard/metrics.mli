@@ -6,6 +6,12 @@
 
 type t
 
+type breaker_state = Breaker_closed | Breaker_open | Breaker_half_open
+(** Exposition values 0 / 1 / 2 of the [tt_shard_breaker_state]
+    gauge. *)
+
+val breaker_state_to_int : breaker_state -> int
+
 val create : unit -> t
 
 val forward : t -> shard:string -> unit
@@ -29,6 +35,22 @@ val peer_miss : t -> unit
     {!Peer} fetch hook ({e outgoing} peeks; the receiving side counts
     the same event under its server metrics' [op="peek"]). *)
 
+val breaker_transition : t -> shard:string -> breaker_state -> unit
+(** Record [shard]'s breaker entering a state: updates the per-shard
+    state gauge and counts any non-open→open transition (including a
+    failed half-open trial re-opening) as an open, any non-closed→
+    closed as a close. Idempotent for repeated same-state calls. *)
+
+val breaker_forget : t -> shard:string -> unit
+(** Drop [shard]'s breaker-state gauge (the shard left the ring). *)
+
+val restart : t -> shard:string -> downtime_s:float -> unit
+(** One supervised restart of [shard], down for [downtime_s] (clamped
+    to ≥ 0) between death detection and the restart. *)
+
+val set_ring_epoch : t -> int -> unit
+(** Current ring epoch (bumped by every join/leave reconfiguration). *)
+
 type snapshot = {
   forwards : (string * int) list;  (** per shard name, sorted *)
   forwards_total : int;
@@ -37,6 +59,13 @@ type snapshot = {
   unrouted : int;
   peer_hits : int;
   peer_misses : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  breaker_states : (string * breaker_state) list;  (** sorted by shard *)
+  restarts : (string * int) list;  (** per shard name, sorted *)
+  restarts_total : int;
+  downtime_s : float;
+  ring_epoch : int;
 }
 
 val snapshot : t -> snapshot
@@ -46,4 +75,8 @@ val to_prometheus : snapshot -> string
 (** Text exposition, families prefixed [tt_shard_]:
     [tt_shard_forwards_total{shard="…"}], [tt_shard_failovers_total],
     [tt_shard_rejects_total], [tt_shard_unrouted_total],
-    [tt_shard_peer_hits_total], [tt_shard_peer_misses_total]. *)
+    [tt_shard_peer_hits_total], [tt_shard_peer_misses_total],
+    [tt_shard_breaker_opens_total], [tt_shard_breaker_closes_total],
+    [tt_shard_breaker_state{shard="…"}] (gauge 0/1/2),
+    [tt_shard_restarts_total{shard="…"}],
+    [tt_shard_downtime_seconds_total], [tt_shard_ring_epoch]. *)

@@ -7,24 +7,39 @@ let default_read_timeout_s = 5.
    every failure mode must degrade to [None] (= compute locally) and
    every wait must be short: a wedged peer that stalled peeks for the
    full solve time would be slower than just computing. *)
-let fetch ~self ~ring ?(connect_timeout_s = Forward.default_connect_timeout_s)
+let peek_node (node : Ring.node) ~connect_timeout_s ~read_timeout_s key =
+  try
+    Client.with_connection ~host:node.Ring.host ~read_timeout_s
+      ~connect_timeout_s ~port:node.Ring.port (fun c ->
+        match Client.call c (P.Peek { key }) with
+        | Ok (P.Peeked r) -> r
+        | Ok _ | Error _ -> None)
+  with Unix.Unix_error _ | Failure _ -> None
+
+let fetch ~self ~ring ?(warm_from_successor = false)
+    ?(connect_timeout_s = Forward.default_connect_timeout_s)
     ?(read_timeout_s = default_read_timeout_s) ~metrics () key =
   let owner = Ring.owner ring key in
-  if owner.Ring.name = self then
-    (* We are the placement target: nobody else is expected to hold
-       this key, and peeking would be a self-connection. *)
-    None
-  else
-    let result =
-      try
-        Client.with_connection ~host:owner.Ring.host ~read_timeout_s
-          ~connect_timeout_s ~port:owner.Ring.port (fun c ->
-            match Client.call c (P.Peek { key }) with
-            | Ok (P.Peeked r) -> r
-            | Ok _ | Error _ -> None)
-      with Unix.Unix_error _ | Failure _ -> None
-    in
-    (match result with
-    | Some _ -> Metrics.peer_hit metrics
-    | None -> Metrics.peer_miss metrics);
-    result
+  let target =
+    if owner.Ring.name <> self then Some owner
+    else if not warm_from_successor then
+      (* We are the placement target: nobody else is expected to hold
+         this key, and peeking would be a self-connection. *)
+      None
+    else
+      (* Late-joined shard warming up: under pure-name placement, a
+         key this shard now owns was owned {e before the join} by the
+         next distinct node in sweep order — ask it, and the answer
+         lands in our cache for every later request of this key. *)
+      match Ring.successors ring key with
+      | _ :: prev_owner :: _ -> Some prev_owner
+      | _ -> None
+  in
+  match target with
+  | None -> None
+  | Some node ->
+      let result = peek_node node ~connect_timeout_s ~read_timeout_s key in
+      (match result with
+      | Some _ -> Metrics.peer_hit metrics
+      | None -> Metrics.peer_miss metrics);
+      result

@@ -17,6 +17,7 @@ val default_read_timeout_s : float
 val fetch :
   self:string ->
   ring:Ring.t ->
+  ?warm_from_successor:bool ->
   ?connect_timeout_s:float ->
   ?read_timeout_s:float ->
   metrics:Metrics.t ->
@@ -29,4 +30,12 @@ val fetch :
     itself the owner, on a peer miss, and on {e any} error (connect
     refused/timeout, read timeout, refusal); hits and misses are
     counted in [metrics]. Thread-safe; called concurrently from worker
-    domains. *)
+    domains.
+
+    [warm_from_successor] (default [false]) is cache warming for a
+    shard that {e joined} an existing ring: when [self] is the owner,
+    instead of giving up it peeks the key's second node in sweep order
+    — which, because placement is pure in node names, is exactly the
+    key's owner before the join. Each warm peek fills this shard's
+    cache through the normal [find_or_compute] path, migrating owned
+    keys lazily as traffic touches them. *)

@@ -77,6 +77,11 @@ let successors t key =
   done;
   List.rev !acc
 
+let add t node =
+  if List.exists (fun n -> n.name = node.name) (nodes t) then
+    invalid_arg ("Ring.add: duplicate node name " ^ node.name);
+  create ~vnodes:t.vnodes (node :: nodes t)
+
 let remove t name =
   match List.filter (fun n -> n.name <> name) (nodes t) with
   | [] -> invalid_arg "Ring.remove: removing the last node"

@@ -35,6 +35,14 @@ val successors : t -> string -> node list
     the failover sweep order for [key]. [List.hd (successors t key)]
     is [owner t key]. *)
 
+val add : t -> node -> t
+(** Ring with one more node, same [vnodes]. Only keys the new node now
+    owns change owners (minimal disruption — existing virtual-node
+    positions are untouched); under pure-name placement, each such
+    key's {e previous} owner is its second node in the new ring's
+    {!successors} order, which is what cache warming on join exploits.
+    @raise Invalid_argument on a duplicate name. *)
+
 val remove : t -> string -> t
 (** Ring with the named node removed, same [vnodes]. Only keys the
     removed node owned change owners (minimal disruption — the other

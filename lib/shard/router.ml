@@ -8,6 +8,10 @@ type config = {
   connect_timeout_s : float;
   read_timeout_s : float;
   retry : Retry.policy;
+  probe_interval_s : float;
+  probe_seed : int;
+  breaker_threshold : int;
+  breaker_retry : Retry.policy;
 }
 
 let default_config =
@@ -16,29 +20,45 @@ let default_config =
     connect_timeout_s = Forward.default_connect_timeout_s;
     read_timeout_s = Tt_server.Client.default_read_timeout_s;
     retry = Retry.create ~retries:3 ~seed:11 ()
+  ; probe_interval_s = 0.25;
+    probe_seed = 43;
+    breaker_threshold = Health.default_threshold;
+    breaker_retry = Health.default_retry
   }
 
 type t = {
   cfg : config;
-  ring : Ring.t;
+  mutable ring : Ring.t;
+  mutable epoch : int;
+  ring_mu : Mutex.t;
   lfd : Unix.file_descr;
   bound_port : int;
   metrics : Metrics.t;
+  health : Health.t;
   stop : bool Atomic.t;
   idem_seq : int Atomic.t;
   (* entry -> routing key. Routing parses the manifest entry (to get
      the first job's content address), which materializes the matrix
      source — too slow to redo for every request of a repetitive
-     workload. Bounded: on overflow new entries are routed unmemoized
-     rather than evicting (workloads here have few distinct entries). *)
+     workload. Ring-independent (a content address), so it survives
+     reconfiguration. Bounded: on overflow new entries are routed
+     unmemoized rather than evicting (workloads here have few distinct
+     entries). *)
   route_mu : Mutex.t;
   route_memo : (string, (string, string) result) Hashtbl.t;
+  (* key -> (epoch, failover sweep order). This one {e does} depend on
+     the ring: every entry is stamped with the epoch that computed it
+     and ignored — lazily replaced — after any reconfiguration. *)
+  sweep_mu : Mutex.t;
+  sweep_memo : (string, int * Ring.node list) Hashtbl.t;
   mutable accept_domain : unit Domain.t option;
+  mutable probe_domain : unit Domain.t option;
   conns_mu : Mutex.t;
   mutable conns : unit Domain.t list;
 }
 
 let max_route_memo = 4096
+let max_sweep_memo = 4096
 
 let create ?(config = default_config) ~ring () =
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -55,23 +75,55 @@ let create ?(config = default_config) ~ring () =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  let metrics = Metrics.create () in
   { cfg = config;
     ring;
+    epoch = 0;
+    ring_mu = Mutex.create ();
     lfd;
     bound_port;
-    metrics = Metrics.create ();
+    metrics;
+    health =
+      Health.create ~threshold:config.breaker_threshold
+        ~retry:config.breaker_retry ~metrics ();
     stop = Atomic.make false;
     idem_seq = Atomic.make 0;
     route_mu = Mutex.create ();
     route_memo = Hashtbl.create 64;
+    sweep_mu = Mutex.create ();
+    sweep_memo = Hashtbl.create 64;
     accept_domain = None;
+    probe_domain = None;
     conns_mu = Mutex.create ();
     conns = []
   }
 
 let port t = t.bound_port
 let metrics t = t.metrics
-let ring t = t.ring
+let health t = t.health
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let ring t = locked t.ring_mu (fun () -> t.ring)
+let epoch t = locked t.ring_mu (fun () -> t.epoch)
+
+let ring_with_epoch t = locked t.ring_mu (fun () -> (t.ring, t.epoch))
+
+let reconfigure t ring' =
+  let removed =
+    locked t.ring_mu (fun () ->
+        let before = List.map (fun n -> n.Ring.name) (Ring.nodes t.ring) in
+        let after = List.map (fun n -> n.Ring.name) (Ring.nodes ring') in
+        t.ring <- ring';
+        t.epoch <- t.epoch + 1;
+        Metrics.set_ring_epoch t.metrics t.epoch;
+        List.filter (fun n -> not (List.mem n after)) before)
+  in
+  (* A departed shard must not keep a breaker-state gauge (or worse, a
+     half-open trial slot) alive forever. *)
+  List.iter (fun name -> Health.forget t.health name) removed
 
 (* ------------------------------------------------------------- routing *)
 
@@ -83,35 +135,114 @@ let compute_route_key entry =
 
 let route_key t entry =
   let memoized =
-    Mutex.lock t.route_mu;
-    let r = Hashtbl.find_opt t.route_memo entry in
-    Mutex.unlock t.route_mu;
-    r
+    locked t.route_mu (fun () -> Hashtbl.find_opt t.route_memo entry)
   in
   match memoized with
   | Some r -> r
   | None ->
       let r = compute_route_key entry in
-      Mutex.lock t.route_mu;
-      if Hashtbl.length t.route_memo < max_route_memo then
-        Hashtbl.replace t.route_memo entry r;
-      Mutex.unlock t.route_mu;
+      locked t.route_mu (fun () ->
+          if Hashtbl.length t.route_memo < max_route_memo then
+            Hashtbl.replace t.route_memo entry r);
       r
+
+(* The failover sweep order for [key] against the {e current} ring —
+   the [route] planner every per-connection {!Forward} pool shares.
+   Epoch-checked: an entry memoized before a reconfiguration is stale
+   and recomputed, so no request routes on a ring that no longer
+   exists. *)
+let plan t key =
+  let current_ring, current_epoch = ring_with_epoch t in
+  let memoized =
+    locked t.sweep_mu (fun () ->
+        match Hashtbl.find_opt t.sweep_memo key with
+        | Some (e, order) when e = current_epoch -> Some order
+        | Some _ | None -> None)
+  in
+  match memoized with
+  | Some order -> order
+  | None ->
+      let order = Ring.successors current_ring key in
+      locked t.sweep_mu (fun () ->
+          if Hashtbl.mem t.sweep_memo key then
+            (* Stale-epoch entry: replace in place (no growth). *)
+            Hashtbl.replace t.sweep_memo key (current_epoch, order)
+          else if Hashtbl.length t.sweep_memo < max_sweep_memo then
+            Hashtbl.replace t.sweep_memo key (current_epoch, order));
+      order
 
 let fresh_idem t =
   Printf.sprintf "rt%d-%d-%d" (Unix.getpid ()) t.bound_port
     (Atomic.fetch_and_add t.idem_seq 1)
 
+let health_json t =
+  let r, e = ring_with_epoch t in
+  Json.Obj
+    [ ("role", Json.String "router");
+      ("ring_epoch", Json.Int e);
+      ("shards", Json.Int (List.length (Ring.nodes r)));
+      ("breakers", Health.to_json t.health)
+    ]
+
 let stats_json t =
+  let r, e = ring_with_epoch t in
   Json.Obj
     [ ( "router",
         Json.Obj
-          [ ("shards", Json.Int (List.length (Ring.nodes t.ring)));
-            ("vnodes", Json.Int (Ring.vnodes t.ring));
-            ("map", Json.String (Ring.to_string t.ring))
+          [ ("shards", Json.Int (List.length (Ring.nodes r)));
+            ("vnodes", Json.Int (Ring.vnodes r));
+            ("map", Json.String (Ring.to_string r));
+            ("ring_epoch", Json.Int e);
+            ("breakers", Health.to_json t.health)
           ] );
       ("shard", Metrics.to_json (Metrics.snapshot t.metrics))
     ]
+
+(* ------------------------------------------------------------- probing *)
+
+(* One probe pass: every shard the breaker lets us touch gets a cheap
+   [peek] op (answered inline from the shard's cache — never queued,
+   never computed) on a fresh bounded-timeout connection. This is what
+   detects death on an idle cluster and — because {!Health.allow}
+   hands the prober the half-open trial — what closes a breaker again
+   after the shard comes back, within a bounded number of intervals.
+   The probe key is a pure function of (seed, tick): deterministic,
+   and recognizable as a probe in shard-side peek counters. *)
+let probe_once t ~tick =
+  let nodes = Ring.nodes (ring t) in
+  List.iter
+    (fun (node : Ring.node) ->
+      if (not (Atomic.get t.stop)) && Health.allow t.health node.Ring.name
+      then begin
+        let key = Printf.sprintf "probe-%d-%d" t.cfg.probe_seed tick in
+        let timeout = t.cfg.connect_timeout_s in
+        match
+          Tt_server.Client.with_connection ~host:node.Ring.host
+            ~connect_timeout_s:timeout ~read_timeout_s:timeout
+            ~port:node.Ring.port (fun c ->
+              Tt_server.Client.call c (P.Peek { key }))
+        with
+        | Ok _ -> Health.success t.health node.Ring.name
+        | Error _ -> Health.failure t.health node.Ring.name
+        | exception (Unix.Unix_error _ | Failure _ | Sys_error _) ->
+            Health.failure t.health node.Ring.name
+      end)
+    nodes
+
+let probe_loop t =
+  let tick = ref 0 in
+  while not (Atomic.get t.stop) do
+    probe_once t ~tick:!tick;
+    incr tick;
+    (* Sleep in small slices so shutdown is never held up by a long
+       probe interval. *)
+    let remaining = ref t.cfg.probe_interval_s in
+    while !remaining > 0. && not (Atomic.get t.stop) do
+      let slice = Float.min 0.05 !remaining in
+      Unix.sleepf slice;
+      remaining := !remaining -. slice
+    done
+  done
 
 (* ---------------------------------------------------------- connection *)
 
@@ -137,6 +268,7 @@ let handle_line t fwd fd line =
       match op with
       | P.Ping -> reply fd req_id P.Pong
       | P.Stats -> reply fd req_id (P.Stats_reply (stats_json t))
+      | P.Health -> reply fd req_id (P.Health_reply (health_json t))
       | P.Shutdown ->
           let ok = reply fd req_id P.Draining in
           Atomic.set t.stop true;
@@ -168,7 +300,7 @@ let serve_conn t fd =
   let fwd =
     Forward.create ~connect_timeout_s:t.cfg.connect_timeout_s
       ~read_timeout_s:t.cfg.read_timeout_s ~retry:t.cfg.retry
-      ~metrics:t.metrics t.ring
+      ~health:t.health ~route:(plan t) ~metrics:t.metrics (ring t)
   in
   let rbuf = ref "" in
   let buf = Bytes.create 65536 in
@@ -231,7 +363,10 @@ let accept_loop t =
 let start t =
   match t.accept_domain with
   | Some _ -> invalid_arg "Router.start: already started"
-  | None -> t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t))
+  | None ->
+      t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+      if t.cfg.probe_interval_s > 0. then
+        t.probe_domain <- Some (Domain.spawn (fun () -> probe_loop t))
 
 let request_shutdown t = Atomic.set t.stop true
 let stopped t = Atomic.get t.stop
@@ -240,6 +375,8 @@ let shutdown t =
   request_shutdown t;
   Option.iter Domain.join t.accept_domain;
   t.accept_domain <- None;
+  Option.iter Domain.join t.probe_domain;
+  t.probe_domain <- None;
   (try Unix.close t.lfd with Unix.Unix_error _ -> ());
   let conns =
     Mutex.lock t.conns_mu;

@@ -57,7 +57,9 @@ let solve t ?timeout_s ?idem entry =
       match Forward.call t.fwd ~key op with
       | Ok (P.Results reports) -> Ok reports
       | Ok (P.Refused { code; msg }) -> Error (Client.Refused (code, msg))
-      | Ok (P.Stats_reply _ | P.Pong | P.Draining | P.Peeked _) ->
+      | Ok
+          (P.Stats_reply _ | P.Health_reply _ | P.Pong | P.Draining
+          | P.Peeked _) ->
           Error (Client.Transport "unexpected response body for solve")
       | Error (P.Internal, msg) -> Error (Client.Transport msg)
       | Error (code, msg) -> Error (Client.Refused (code, msg)))

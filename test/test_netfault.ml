@@ -187,6 +187,113 @@ let test_chaos_digest_parity () =
       let m = Tt_server.Metrics.snapshot (Srv.metrics srv) in
       Alcotest.(check int) "no connections leaked" 0 m.connections_active)
 
+(* ------------------------------------------------------------- gates *)
+
+let wait_until ?(timeout_s = 5.) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let no_leaked_connections srv =
+  wait_until (fun () ->
+      (Tt_server.Metrics.snapshot (Srv.metrics srv)).Tt_server.Metrics
+        .connections_active = 0)
+
+(* Severing is symmetric by construction — one gate cuts both
+   directions at once. While severed every request dies as a transport
+   failure; after healing, the same workload through the same proxy
+   converges to the clean digest and nothing is left half-open. *)
+let test_gate_sever_heal () =
+  let expected = expected_value_digest () in
+  with_server (fun srv ->
+      let p = N.create ~upstream_port:(Srv.port srv) () in
+      N.start p;
+      Fun.protect
+        ~finally:(fun () -> N.shutdown p)
+        (fun () ->
+          Alcotest.(check bool) "starts open" true (N.gate p = N.Gate_open);
+          N.set_gate p N.Gate_severed;
+          let failed =
+            try
+              Tt_server.Client.with_connection ~port:(N.port p)
+                ~read_timeout_s:1.0 (fun c ->
+                  match Tt_server.Client.solve c entries.(0) with
+                  | Ok _ -> false
+                  | Error _ -> true)
+            with Unix.Unix_error _ | Failure _ -> true
+          in
+          Alcotest.(check bool) "request during partition fails" true failed;
+          N.set_gate p N.Gate_open;
+          let s =
+            L.run
+              { L.default_config with
+                L.port = N.port p;
+                connections = 2;
+                requests = 40;
+                seed = 3;
+                entries;
+                tag = "nfheal";
+                retry =
+                  Tt_engine.Retry.create ~retries:6 ~base_delay_s:0.01
+                    ~max_delay_s:0.05 ~seed:4 ()
+              }
+          in
+          Alcotest.(check int) "all ok after heal" 40 s.L.ok;
+          Alcotest.(check bool) "digest parity restored" true
+            (s.L.value_digest = Some expected);
+          let st = N.stats p in
+          Alcotest.(check bool) "severed connections counted" true
+            (st.N.severed >= 1);
+          Alcotest.(check bool) "no leaked connections" true
+            (no_leaked_connections srv)))
+
+(* A stalled gate parks bytes instead of cutting: the client's read
+   times out while the gate is closed, and traffic flows again the
+   moment it reopens. *)
+let test_gate_stall_resume () =
+  let expected = expected_value_digest () in
+  with_server (fun srv ->
+      let p = N.create ~upstream_port:(Srv.port srv) () in
+      N.start p;
+      Fun.protect
+        ~finally:(fun () -> N.shutdown p)
+        (fun () ->
+          N.set_gate p N.Gate_stalled;
+          let timed_out =
+            try
+              Tt_server.Client.with_connection ~port:(N.port p)
+                ~read_timeout_s:0.3 (fun c ->
+                  match Tt_server.Client.solve c entries.(0) with
+                  | Ok _ -> false
+                  | Error _ -> true)
+            with Unix.Unix_error _ | Failure _ -> true
+          in
+          Alcotest.(check bool) "read times out while stalled" true timed_out;
+          N.set_gate p N.Gate_open;
+          let s =
+            L.run
+              { L.default_config with
+                L.port = N.port p;
+                connections = 1;
+                requests = 10;
+                seed = 5;
+                entries;
+                tag = "nfstall"
+              }
+          in
+          Alcotest.(check int) "all ok after reopen" 10 s.L.ok;
+          Alcotest.(check bool) "digest parity after reopen" true
+            (s.L.value_digest = Some expected);
+          Alcotest.(check bool) "no leaked connections" true
+            (no_leaked_connections srv)))
+
 let () =
   H.run "netfault"
     [ ( "spec",
@@ -197,5 +304,9 @@ let () =
       ( "proxy",
         [ H.case "transparent passthrough" test_transparent_passthrough;
           H.case "chaos digest parity" test_chaos_digest_parity
+        ] );
+      ( "gate",
+        [ H.case "sever and heal" test_gate_sever_heal;
+          H.case "stall and resume" test_gate_stall_resume
         ] )
     ]
