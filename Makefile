@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke chaos chaos-net chaos-cluster chaos-nemesis clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke sched-smoke chaos chaos-net chaos-cluster chaos-nemesis clean
 
 all: build
 
@@ -26,6 +26,42 @@ batch-smoke:
 # regression check (compare the result_digest fields, not the times).
 perf-smoke: build
 	dune exec bin/treetrav.exe -- perf --quick --out BENCH_CORE.json
+
+# Scheduling-tier smoke gate. The same par-schedule/pareto manifest
+# must produce bit-identical results digests via direct batch (at two
+# --jobs levels), the network server, and a 3-shard cluster — the jobs
+# are pure functions of their content-addressed ids, so every serving
+# path must agree. A seeded Pareto sweep must also reproduce its
+# digest run to run.
+sched-smoke: build
+	printf 'gen grid2d size=16 :: par-schedule algo=booking procs=4 mem=1.0; par-schedule algo=greedy procs=4 mem=1.5; par-schedule algo=split procs=4 mem=2.0; pareto procs=4 steps=5\ngen banded size=48 :: pareto procs=2 steps=4; par-schedule procs=2\n' > _sched_smoke.manifest
+	dune exec bin/treetrav.exe -- batch _sched_smoke.manifest --jobs 2 | grep '^results digest' > _ss_batch.digest
+	dune exec bin/treetrav.exe -- batch _sched_smoke.manifest --jobs 1 | grep '^results digest' > _ss_batch2.digest
+	cmp _ss_batch.digest _ss_batch2.digest || { echo "sched-smoke: batch digests differ across --jobs"; exit 1; }
+	_build/default/bin/treetrav.exe serve --port 0 --workers 2 > _ss_serve.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q '^listening on' _ss_serve.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _ss_serve.log); \
+	  test -n "$$port" || { echo "sched-smoke: server did not start"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port _sched_smoke.manifest | grep '^results digest' > _ss_serve.digest; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid
+	cmp _ss_batch.digest _ss_serve.digest || { echo "sched-smoke: serve digest diverged from batch"; exit 1; }
+	_build/default/bin/treetrav.exe cluster --shards 3 --workers 2 > _ss_cluster.log 2>&1 & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do grep -q 'behind router' _ss_cluster.log && break; sleep 0.1; done; \
+	  port=$$(sed -n 's/.*behind router 127.0.0.1:\([0-9]*\).*/\1/p' _ss_cluster.log); \
+	  test -n "$$port" || { echo "sched-smoke: cluster did not start"; kill $$pid; exit 1; }; \
+	  _build/default/bin/treetrav.exe request --port $$port _sched_smoke.manifest | grep '^results digest' > _ss_cluster.digest; \
+	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
+	  wait $$pid
+	cmp _ss_batch.digest _ss_cluster.digest || { echo "sched-smoke: cluster digest diverged from batch"; exit 1; }
+	dune exec bin/treetrav.exe -- sched --kind grid2d --size 16 --procs 4 --steps 5 | grep '^pareto digest' > _ss_pareto_a.digest
+	dune exec bin/treetrav.exe -- sched --kind grid2d --size 16 --procs 4 --steps 5 | grep '^pareto digest' > _ss_pareto_b.digest
+	cmp _ss_pareto_a.digest _ss_pareto_b.digest || { echo "sched-smoke: pareto sweep is not deterministic"; exit 1; }
+	rm -f _sched_smoke.manifest _ss_batch.digest _ss_batch2.digest _ss_serve.log _ss_serve.digest \
+	  _ss_cluster.log _ss_cluster.digest _ss_pareto_a.digest _ss_pareto_b.digest
+	@echo "sched-smoke: batch/serve/cluster digest parity and a reproducible pareto sweep"
 
 # End-to-end smoke of the network service: start a server on an
 # ephemeral port, check that request/batch digests agree, drive it
@@ -78,7 +114,7 @@ chaos-net: build
 	  for i in $$(seq 1 100); do grep -q '^listening on' _chaos_net_clean.log && break; sleep 0.1; done; \
 	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _chaos_net_clean.log); \
 	  test -n "$$port" || { echo "chaos-net: clean server did not start"; kill $$pid; exit 1; }; \
-	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag lgclean > _chaos_net_clean.out \
+	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --mix all --tag lgclean > _chaos_net_clean.out \
 	    || { echo "chaos-net: clean loadgen failed"; kill $$pid; exit 1; }; \
 	  grep -q '^errors: none' _chaos_net_clean.out || { echo "chaos-net: clean run saw errors"; kill $$pid; exit 1; }; \
 	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
@@ -90,7 +126,7 @@ chaos-net: build
 	  for i in $$(seq 1 100); do grep -q '^listening on' _chaos_net_chaos.log && break; sleep 0.1; done; \
 	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _chaos_net_chaos.log); \
 	  test -n "$$port" || { echo "chaos-net: chaos server did not start"; kill $$pid; exit 1; }; \
-	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag lgchaos \
+	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --mix all --tag lgchaos \
 	    --retries 6 --read-timeout 5 --chaos 'drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,seed=9' \
 	    > _chaos_net_chaos.out \
 	    || { echo "chaos-net: chaos loadgen failed"; kill $$pid; exit 1; }; \
@@ -124,7 +160,7 @@ chaos-cluster: build
 	  for i in $$(seq 1 100); do grep -q '^listening on' _cc_single.log && break; sleep 0.1; done; \
 	  port=$$(sed -n 's/^listening on [0-9.]*:\([0-9]*\).*/\1/p' _cc_single.log); \
 	  test -n "$$port" || { echo "chaos-cluster: single server did not start"; kill $$pid; exit 1; }; \
-	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag ccsingle > _cc_single.out \
+	  timeout 120 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --mix all --tag ccsingle > _cc_single.out \
 	    || { echo "chaos-cluster: single-node loadgen failed"; kill $$pid; exit 1; }; \
 	  grep -q '^errors: none' _cc_single.out || { echo "chaos-cluster: single-node run saw errors"; kill $$pid; exit 1; }; \
 	  _build/default/bin/treetrav.exe request --port $$port --op shutdown; \
@@ -135,7 +171,7 @@ chaos-cluster: build
 	  for i in $$(seq 1 100); do grep -q 'behind router' _cc_cluster.log && break; sleep 0.1; done; \
 	  port=$$(sed -n 's/.*behind router 127.0.0.1:\([0-9]*\).*/\1/p' _cc_cluster.log); \
 	  test -n "$$port" || { echo "chaos-cluster: cluster did not start"; kill $$pid; exit 1; }; \
-	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --tag cccluster \
+	  timeout 180 _build/default/bin/treetrav.exe loadgen --port $$port -c 2 -n 80 --seed 11 --mix all --tag cccluster \
 	    --retries 6 --read-timeout 5 --connect-timeout 2 \
 	    --chaos 'drop=0.05,trunc=0.03,stall=0.1,split=0.3,max-stall=0.02,seed=9' \
 	    > _cc_cluster.out \

@@ -88,7 +88,7 @@ let spec =
         (fun () ->
           print_endline
             "theorem1 theorem2 fig5 table1 fig6 fig7 fig8 fig9 table2 \
-             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel rounds serve cluster nemesis perf";
+             ablation-child-order ablation-bestk ablation-amalgamation minio-gap parallel sched rounds serve cluster nemesis perf";
           exit 0),
       " list sections" )
   ]
@@ -740,6 +740,129 @@ let parallel_section () =
      memory, not processors, is the binding resource, which is the paper's\n\
      closing point."
 
+(* ------------------------------------------------------- scheduling tier *)
+
+let sched_section () =
+  header "Scheduling tier"
+    "memory/makespan Pareto frontier of the tt_sched schedulers";
+  let insts =
+    List.filter
+      (fun (i : Tt_workloads.Dataset.instance) ->
+        let p = T.size i.tree in
+        p >= 50 && p <= 600)
+      (Lazy.force corpus)
+  in
+  let procs_list = [ 1; 2; 4; 8 ] in
+  let steps = 5 in
+  Printf.printf "%d trees; sweep of %d budget steps from minmem to total_f\n"
+    (List.length insts) steps;
+  let batch =
+    List.concat_map
+      (fun procs ->
+        List.map
+          (fun (i : Tt_workloads.Dataset.instance) ->
+            Job.make
+              ~label:(Printf.sprintf "%s p=%d" i.name procs)
+              i.tree
+              (Job.Pareto_sweep { procs; steps }))
+          insts)
+      procs_list
+  in
+  let reports, _ = run_engine_batch batch in
+  print_digest reports;
+  let n = List.length insts in
+  let points_of pi ii =
+    match reports.((pi * n) + ii).Executor.result with
+    | Ok (Job.Pareto { points; _ }) -> points
+    | _ -> []
+  in
+  let algo_points algo points =
+    List.filter
+      (fun (p : Tt_sched.Pareto.point) -> p.Tt_sched.Pareto.algo = algo)
+      points
+  in
+  (* per-algo points come out of the sweep in budget-ascending order *)
+  let makespan_at pick algo points =
+    match algo_points algo points with
+    | [] -> None
+    | ps -> (
+        match pick with
+        | `Min_budget -> Some (List.hd ps).Tt_sched.Pareto.makespan
+        | `Max_budget ->
+            Some (List.hd (List.rev ps)).Tt_sched.Pareto.makespan)
+  in
+  let geo = function
+    | [] -> "-"
+    | l ->
+        Printf.sprintf "%.2f"
+          (Tt_util.Statistics.geometric_mean (Array.of_list l))
+  in
+  let rows =
+    List.mapi
+      (fun pi procs ->
+        let speedups sel =
+          List.filter_map Fun.id
+            (List.mapi
+               (fun ii (i : Tt_workloads.Dataset.instance) ->
+                 let work = Tt_sched.Work.default i.tree in
+                 let seq = Tt_core.Parallel.sequential_makespan i.tree ~work in
+                 Option.map
+                   (fun m -> float_of_int seq /. float_of_int m)
+                   (sel (points_of pi ii)))
+               insts)
+        in
+        let frontier_avg =
+          let sizes =
+            List.mapi
+              (fun ii _ ->
+                float_of_int
+                  (List.length (Tt_sched.Pareto.frontier (points_of pi ii))))
+              insts
+          in
+          Tt_util.Statistics.mean (Array.of_list sizes)
+        in
+        [ string_of_int procs;
+          geo (speedups (makespan_at `Min_budget "greedy"));
+          geo (speedups (makespan_at `Max_budget "greedy"));
+          geo (speedups (makespan_at `Min_budget "booking"));
+          geo (speedups (makespan_at `Max_budget "split"));
+          Printf.sprintf "%.1f" frontier_avg
+        ])
+      procs_list
+  in
+  print_string
+    (Table.render
+       ~header:
+         [ "procs"; "greedy@min"; "greedy@max"; "booking@min"; "split";
+           "frontier" ]
+       rows);
+  (* one representative frontier in full, largest tree at 4 processors *)
+  (match
+     List.mapi (fun ii i -> (ii, i)) insts
+     |> List.fold_left
+          (fun acc (ii, (i : Tt_workloads.Dataset.instance)) ->
+            match acc with
+            | Some (_, best) when T.size best.Tt_workloads.Dataset.tree >= T.size i.tree ->
+                acc
+            | _ -> Some (ii, i))
+          None
+   with
+  | Some (ii, i) when List.mem 4 procs_list ->
+      let pi = ref 0 in
+      List.iteri (fun k p -> if p = 4 then pi := k) procs_list;
+      let front = Tt_sched.Pareto.frontier (points_of !pi ii) in
+      Printf.printf "frontier of %s (p=%d) at 4 processors:\n" i.name
+        (T.size i.tree);
+      List.iter
+        (fun p -> Printf.printf "  %s\n" (Tt_sched.Pareto.point_to_string p))
+        front
+  | _ -> ());
+  print_endline
+    "Greedy converts memory into speedup; booking holds the guaranteed\n\
+     minimum-memory point (never deadlocks at the sequential optimum);\n\
+     splitting buys makespan with up to procs sequential peaks -- together\n\
+     they trace the memory/makespan trade-off of the successor papers."
+
 (* ------------------------------------------------- amalgamation ablation *)
 
 let ablation_amalgamation () =
@@ -1088,6 +1211,7 @@ let section_runners =
     ("ablation-bestk", ablation_bestk);
     ("ablation-amalgamation", ablation_amalgamation);
     ("parallel", parallel_section);
+    ("sched", sched_section);
     ("minio-gap", minio_gap);
     ("rounds", rounds);
     ("serve", serve_section);
@@ -1100,7 +1224,7 @@ let section_runners =
 let default_order () =
   [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
     "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
-    "parallel"; "minio-gap"; "rounds"; "serve"; "cluster"; "nemesis"
+    "parallel"; "sched"; "minio-gap"; "rounds"; "serve"; "cluster"; "nemesis"
   ]
   @ (if !run_bechamel then [ "bechamel" ] else [])
 

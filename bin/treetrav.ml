@@ -184,6 +184,151 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Plan an out-of-core traversal under a memory budget.")
     Term.(const schedule $ path $ ordering $ amalgamation $ memory $ policy)
 
+(* ---------------------------------------------------------------- sched *)
+
+let sched path kind size seed ordering amalgamation procs steps algo mem =
+  let m =
+    match path with
+    | Some p -> load_matrix p
+    | None -> (
+        let rng = Tt_util.Rng.create seed in
+        match kind with
+        | "grid2d" -> S.Spgen.grid2d size
+        | "grid9" -> S.Spgen.grid2d_9pt size
+        | "grid3d" -> S.Spgen.grid3d size
+        | "banded" ->
+            S.Spgen.banded ~rng ~n:size ~bandwidth:(max 2 (size / 50)) ~fill:0.4
+        | "random" -> S.Spgen.random_sym ~rng ~n:size ~nnz_per_row:3.0
+        | "arrow" ->
+            S.Spgen.block_arrow ~n:size ~blocks:8 ~border:(max 2 (size / 40))
+        | "powerlaw" -> S.Spgen.power_law ~rng ~n:size ~edges_per_node:2
+        | "tridiagonal" -> S.Spgen.tridiagonal size
+        | other -> failwith ("unknown kind: " ^ other))
+  in
+  let asm = Tt_workloads.Pipeline.assembly_tree ~ordering ~amalgamation m in
+  let tree = asm.Tt_etree.Assembly.tree in
+  let work = Tt_sched.Work.default tree in
+  let seq = Tt_core.Parallel.sequential_makespan tree ~work in
+  let cp = Tt_core.Parallel.critical_path tree ~work in
+  let minmem = Tt_core.Minmem.min_memory tree in
+  Printf.printf "tree: %s\n" (Tt_workloads.Pipeline.stats asm);
+  Printf.printf
+    "procs %d; sequential makespan %d, critical path %d; minmem %d, total_f \
+     %d\n"
+    procs seq cp minmem
+    (Tt_core.Tree.total_f tree);
+  let speedup makespan = float_of_int seq /. float_of_int makespan in
+  match algo with
+  | None ->
+      (* full memory/makespan sweep; '*' marks the Pareto frontier *)
+      let points = Tt_sched.Pareto.sweep ~steps tree ~procs ~work in
+      let frontier = Tt_sched.Pareto.frontier points in
+      Printf.printf "%-9s %10s %10s %10s %8s\n" "algo" "budget" "makespan"
+        "peak" "speedup";
+      List.iter
+        (fun (p : Tt_sched.Pareto.point) ->
+          Printf.printf "%-9s %10d %10d %10d %7.2fx%s\n" p.algo p.budget
+            p.makespan p.peak (speedup p.makespan)
+            (if List.mem p frontier then " *" else ""))
+        points;
+      Printf.printf "frontier: %d of %d points\n" (List.length frontier)
+        (List.length points);
+      Printf.printf "pareto digest: %s\n" (Tt_sched.Pareto.digest points);
+      0
+  | Some name -> (
+      match Tt_engine.Job.par_algo_of_string name with
+      | None ->
+          Printf.eprintf
+            "sched: unknown --algo %S (expected greedy, booking or split)\n"
+            name;
+          2
+      | Some algo -> (
+          let memory = int_of_float (mem *. float_of_int minmem) in
+          Printf.printf "budget: %d words (%.2f x minmem)\n" memory mem;
+          let described =
+            match algo with
+            | Tt_engine.Job.Greedy ->
+                Option.map
+                  (fun s -> (s, Tt_sched.Validate.check tree ~memory ~work s))
+                  (Tt_core.Parallel.list_schedule tree ~procs ~memory ~work)
+            | Tt_engine.Job.Booking ->
+                Option.map (fun (order, s) ->
+                    (s, Tt_sched.Validate.check ~activation:order tree ~memory ~work s))
+                  (Tt_sched.Booking.run tree ~procs ~memory ~work)
+            | Tt_engine.Job.Split ->
+                let s = Tt_sched.Split.run tree ~procs ~work in
+                Some
+                  ( s,
+                    Tt_sched.Validate.check tree
+                      ~memory:(max memory s.Tt_core.Parallel.peak_memory)
+                      ~work s )
+          in
+          match described with
+          | None ->
+              Printf.printf "no schedule at this budget (minmem %d)\n" minmem;
+              1
+          | Some (s, verdict) -> (
+              Printf.printf "makespan %d (%.2fx speedup), peak %d%s\n"
+                s.Tt_core.Parallel.makespan
+                (speedup s.Tt_core.Parallel.makespan)
+                s.Tt_core.Parallel.peak_memory
+                (if s.Tt_core.Parallel.peak_memory > memory then
+                   " (over budget: split trades memory for makespan)"
+                 else "");
+              match verdict with
+              | Ok () ->
+                  print_endline "validator: ok";
+                  0
+              | Error v ->
+                  Printf.printf "validator: FAILED (%s)\n"
+                    (Tt_sched.Validate.violation_to_string v);
+                  1)))
+
+let sched_cmd =
+  let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.mtx") in
+  let kind =
+    Arg.(value & opt string "grid2d"
+         & info [ "kind"; "k" ] ~docv:"KIND"
+             ~doc:"Generated matrix family when no FILE.mtx is given.")
+  in
+  let size = Arg.(value & opt int 20 & info [ "size" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let ordering =
+    Arg.(
+      value
+      & opt ordering_conv Tt_workloads.Pipeline.Min_degree
+      & info [ "ordering" ] ~docv:"ORD")
+  in
+  let amalgamation =
+    Arg.(value & opt int 4 & info [ "amalgamation"; "a" ] ~docv:"K")
+  in
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Processors.")
+  in
+  let steps =
+    Arg.(value & opt int 8
+         & info [ "steps" ] ~docv:"K"
+             ~doc:"Budget points in the Pareto sweep (minmem to total_f).")
+  in
+  let algo =
+    Arg.(value & opt (some string) None
+         & info [ "algo" ] ~docv:"ALGO"
+             ~doc:"Run one scheduler (greedy, booking or split) at --mem \
+                   instead of the full Pareto sweep.")
+  in
+  let mem =
+    Arg.(value & opt float 1.5
+         & info [ "mem" ] ~docv:"F"
+             ~doc:"Budget as a multiple of the MinMem optimum (with --algo).")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Memory-bounded parallel scheduling: per-instance memory/makespan \
+          Pareto sweep, or one scheduler at one budget.")
+    Term.(const sched $ path $ kind $ size $ seed $ ordering $ amalgamation
+          $ procs $ steps $ algo $ mem)
+
 (* -------------------------------------------------------------- corpus *)
 
 let corpus scale seed export =
@@ -611,14 +756,20 @@ let request_cmd =
 (* ------------------------------------------------------------- loadgen *)
 
 let loadgen host port connections requests seed timeout rate entries_file
-    chaos retries read_timeout connect_timeout tag cluster =
+    mix chaos retries read_timeout connect_timeout tag cluster =
   let module L = Tt_server.Loadgen in
   let entries =
     match entries_file with
-    | None -> L.default_entries
     | Some path ->
         let text = In_channel.with_open_text path In_channel.input_all in
         Array.of_list (manifest_entries text)
+    | None -> (
+        match L.entries_of_mix mix with
+        | Some entries -> entries
+        | None ->
+            Printf.eprintf "loadgen: unknown --mix %S (expected %s)\n" mix
+              (String.concat ", " (List.map fst L.mixes));
+            exit 2)
   in
   let chaos =
     match chaos with
@@ -721,7 +872,14 @@ let loadgen_cmd =
     Arg.(value & opt (some file) None
          & info [ "entries" ] ~docv:"MANIFEST"
              ~doc:"Draw solve entries from this manifest instead of the \
-                   built-in mixed workload.")
+                   built-in mixed workload (overrides --mix).")
+  in
+  let mix =
+    Arg.(value & opt string "core"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Built-in entry mix: 'core' (the classic solver jobs), \
+                   'sched' (par-schedule and pareto jobs), or 'all'. The \
+                   summary's jobs line breaks results down per kind.")
   in
   let chaos =
     Arg.(value & opt (some string) None
@@ -769,8 +927,8 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Drive a running server with a deterministic seeded workload.")
     Term.(const loadgen $ host $ port $ connections $ requests $ seed
-          $ timeout $ rate $ entries_file $ chaos $ retries $ read_timeout
-          $ connect_timeout $ tag $ cluster)
+          $ timeout $ rate $ entries_file $ mix $ chaos $ retries
+          $ read_timeout $ connect_timeout $ tag $ cluster)
 
 
 (* ------------------------------------------------------------- cluster *)
@@ -1180,6 +1338,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; analyze_cmd; schedule_cmd; corpus_cmd; batch_cmd;
-            serve_cmd; request_cmd; loadgen_cmd; cluster_cmd; nemesis_cmd;
-            perf_cmd; chaos_proxy_cmd ]))
+          [ generate_cmd; analyze_cmd; schedule_cmd; sched_cmd; corpus_cmd;
+            batch_cmd; serve_cmd; request_cmd; loadgen_cmd; cluster_cmd;
+            nemesis_cmd; perf_cmd; chaos_proxy_cmd ]))

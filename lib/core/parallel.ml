@@ -24,6 +24,91 @@ let sequential_makespan t ~work =
   done;
   !acc
 
+let booking_schedule ?order t ~procs ~memory ~work =
+  if procs < 1 then invalid_arg "Parallel.booking_schedule: procs < 1";
+  let p = Tree.size t in
+  for i = 0 to p - 1 do
+    if work i < 1 then invalid_arg "Parallel.booking_schedule: work < 1"
+  done;
+  let order =
+    match order with
+    | None -> snd (Minmem.run t)
+    | Some o ->
+        if not (Traversal.is_valid_order t o) then
+          invalid_arg "Parallel.booking_schedule: order is not a traversal";
+        o
+  in
+  let extra i = t.Tree.n.(i) + Tree.sum_children_f t i in
+  (* state: tasks start strictly in [order]; [next] is the first unstarted
+     position. Booking = the whole working set [extra i] is charged at
+     start, so a started task can always finish. *)
+  let next = ref 0 in
+  let finished = Array.make p false in
+  let usage = ref t.Tree.f.(t.Tree.root) in
+  let peak = ref !usage in
+  let free_procs = ref (List.init procs (fun k -> k)) in
+  let heap = Tt_util.Int_heap.create p in
+  let proc_of = Array.make p (-1) in
+  let start_of = Array.make p 0 in
+  let events = Tt_util.Dynarray_compat.create () in
+  let time = ref 0 in
+  let done_count = ref 0 in
+  let deadlock = ref false in
+  let try_start () =
+    let blocked = ref false in
+    while (not !blocked) && !next < p do
+      let i = order.(!next) in
+      let par = t.Tree.parent.(i) in
+      match !free_procs with
+      | pr :: rest
+        when (par < 0 || finished.(par)) && !usage + extra i <= memory ->
+          free_procs := rest;
+          usage := !usage + extra i;
+          if !usage > !peak then peak := !usage;
+          proc_of.(i) <- pr;
+          start_of.(i) <- !time;
+          Tt_util.Int_heap.insert heap i (!time + work i);
+          incr next
+      | _ -> blocked := true
+    done
+  in
+  try_start ();
+  while (not !deadlock) && !done_count < p do
+    if Tt_util.Int_heap.is_empty heap then deadlock := true
+    else begin
+      let i, finish = Tt_util.Int_heap.pop_min heap in
+      time := finish;
+      (* complete every task finishing at this instant *)
+      let completed = ref [ i ] in
+      let continue_ = ref true in
+      while !continue_ do
+        match Tt_util.Int_heap.min_elt heap with
+        | j, fj when fj = finish ->
+            ignore (Tt_util.Int_heap.pop_min heap);
+            completed := j :: !completed
+        | _ -> continue_ := false
+        | exception Not_found -> continue_ := false
+      done;
+      List.iter
+        (fun j ->
+          incr done_count;
+          finished.(j) <- true;
+          Tt_util.Dynarray_compat.add_last events
+            { node = j; proc = proc_of.(j); start = start_of.(j); finish };
+          free_procs := proc_of.(j) :: !free_procs;
+          usage := !usage - extra j - t.Tree.f.(j) + Tree.sum_children_f t j)
+        !completed;
+      try_start ()
+    end
+  done;
+  if !deadlock then None
+  else begin
+    let evs = Tt_util.Dynarray_compat.to_array events in
+    Array.sort (fun a b -> compare (a.start, a.node) (b.start, b.node)) evs;
+    let makespan = Array.fold_left (fun acc e -> max acc e.finish) 0 evs in
+    Some { events = evs; makespan; peak_memory = !peak }
+  end
+
 let list_schedule ?priority t ~procs ~memory ~work =
   if procs < 1 then invalid_arg "Parallel.list_schedule: procs < 1";
   let p = Tree.size t in
@@ -96,7 +181,12 @@ let list_schedule ?priority t ~procs ~memory ~work =
       try_start ()
     end
   done;
-  if !deadlock then None
+  if !deadlock then
+    (* A greedy prefix stranded too many open files — the parallel
+       MinMemory phenomenon. Replay with the booking discipline along a
+       memory-optimal activation order: succeeds for every budget at
+       least the sequential optimum. *)
+    booking_schedule t ~procs ~memory ~work
   else begin
     let evs = Tt_util.Dynarray_compat.to_array events in
     Array.sort (fun a b -> compare (a.start, a.node) (b.start, b.node)) evs;

@@ -2,11 +2,14 @@ module T = Tt_core.Tree
 
 type algo = Minmem | Liu | Postorder
 type budget = Fraction of float | Words of int
+type par_algo = Greedy | Booking | Split
 
 type spec =
   | Min_memory of algo
   | Min_io of { policy : Tt_core.Minio.policy; budget : budget }
   | Schedule of { procs : int; mem_factor : float }
+  | Par_schedule of { algo : par_algo; procs : int; mem_factor : float }
+  | Pareto_sweep of { procs : int; steps : int }
 
 type t = { label : string; tree : T.t; spec : spec }
 
@@ -19,6 +22,17 @@ let budget_to_string = function
   | Fraction x -> Printf.sprintf "frac=%g" x
   | Words w -> Printf.sprintf "words=%d" w
 
+let par_algo_name = function
+  | Greedy -> "greedy"
+  | Booking -> "booking"
+  | Split -> "split"
+
+let par_algo_of_string = function
+  | "greedy" -> Some Greedy
+  | "booking" -> Some Booking
+  | "split" -> Some Split
+  | _ -> None
+
 let spec_to_string = function
   | Min_memory a -> "min-memory:" ^ algo_name a
   | Min_io { policy; budget } ->
@@ -26,6 +40,11 @@ let spec_to_string = function
         (budget_to_string budget)
   | Schedule { procs; mem_factor } ->
       Printf.sprintf "schedule:procs=%d:mem=%g" procs mem_factor
+  | Par_schedule { algo; procs; mem_factor } ->
+      Printf.sprintf "par-schedule:%s:procs=%d:mem=%g" (par_algo_name algo)
+        procs mem_factor
+  | Pareto_sweep { procs; steps } ->
+      Printf.sprintf "pareto:procs=%d:steps=%d" procs steps
 
 let make ?label tree spec =
   let label = match label with Some l -> l | None -> spec_to_string spec in
@@ -42,16 +61,28 @@ type outcome =
   | Memory of { peak : int; order : int array }
   | Io of { in_core : int; memory : int; io : int option }
   | Sched of { memory : int; makespan : int option; peak : int option }
+  | Par_sched of {
+      algo : string;
+      memory : int;
+      makespan : int option;
+      peak : int option;
+    }
+  | Pareto of { procs : int; steps : int; points : Tt_sched.Pareto.point list }
 
 type error = Timed_out of float | Crashed of string
 type result = (outcome, error) Stdlib.result
 
 let needs_minmem job =
-  match job.spec with Min_memory _ -> false | Min_io _ | Schedule _ -> true
+  match job.spec with
+  | Min_memory _ -> false
+  | Min_io _ | Schedule _ | Par_schedule _ -> true
+  (* the sweep derives its own budget ladder from scratch *)
+  | Pareto_sweep _ -> false
 
 (* The bench's duration convention for the parallel extension: heavier
-   execution files mean longer factorization of the front. *)
-let work_of tree i = 1 + (tree.T.n.(i) / 8)
+   execution files mean longer factorization of the front. The formula
+   lives in [Tt_sched.Work] so every consumer shares it. *)
+let work_of = Tt_sched.Work.default
 
 let budget_words ~floor ~in_core = function
   | Words w -> w
@@ -92,6 +123,47 @@ let compute ?(cancel = Tt_util.Cancel.never) ?minmem job =
               peak = Some s.Tt_core.Parallel.peak_memory
             }
       | None -> Sched { memory; makespan = None; peak = None })
+  | Par_schedule { algo; procs; mem_factor } -> (
+      let in_core, order = minmem_run () in
+      let memory = int_of_float (mem_factor *. float_of_int in_core) in
+      let work = work_of job.tree in
+      let name = par_algo_name algo in
+      let module P = Tt_core.Parallel in
+      (* every served schedule passes the independent validator; a
+         scheduler bug surfaces as a crashed job, never a wrong digest *)
+      match algo with
+      | Greedy -> (
+          match P.list_schedule job.tree ~procs ~memory ~work with
+          | Some s ->
+              Tt_sched.Validate.check_exn job.tree ~memory ~work s;
+              Par_sched
+                { algo = name; memory; makespan = Some s.P.makespan;
+                  peak = Some s.P.peak_memory }
+          | None -> Par_sched { algo = name; memory; makespan = None; peak = None })
+      | Booking -> (
+          match P.booking_schedule ~order job.tree ~procs ~memory ~work with
+          | Some s ->
+              Tt_sched.Validate.check_exn ~activation:order job.tree ~memory
+                ~work s;
+              Par_sched
+                { algo = name; memory; makespan = Some s.P.makespan;
+                  peak = Some s.P.peak_memory }
+          | None -> Par_sched { algo = name; memory; makespan = None; peak = None })
+      | Split ->
+          let s = Tt_sched.Split.run job.tree ~procs ~work in
+          Tt_sched.Validate.check_exn job.tree
+            ~memory:(max memory s.P.peak_memory) ~work s;
+          (* splitting ignores the budget; it is infeasible when its
+             peak overshoots, but the peak is still reported *)
+          let makespan =
+            if s.P.peak_memory <= memory then Some s.P.makespan else None
+          in
+          Par_sched
+            { algo = name; memory; makespan; peak = Some s.P.peak_memory })
+  | Pareto_sweep { procs; steps } ->
+      let work = work_of job.tree in
+      let points = Tt_sched.Pareto.sweep ~steps job.tree ~procs ~work in
+      Pareto { procs; steps; points }
 
 (* ------------------------------------------------------------ equality *)
 
@@ -101,6 +173,11 @@ let equal_outcome a b =
   | Io x, Io y -> x.in_core = y.in_core && x.memory = y.memory && x.io = y.io
   | Sched x, Sched y ->
       x.memory = y.memory && x.makespan = y.makespan && x.peak = y.peak
+  | Par_sched x, Par_sched y ->
+      x.algo = y.algo && x.memory = y.memory && x.makespan = y.makespan
+      && x.peak = y.peak
+  | Pareto x, Pareto y ->
+      x.procs = y.procs && x.steps = y.steps && x.points = y.points
   | _ -> false
 
 let equal_result a b =
@@ -120,6 +197,16 @@ let result_to_string = function
       Printf.sprintf "makespan=%d (budget %d)" m memory
   | Ok (Sched { memory; makespan = None; _ }) ->
       Printf.sprintf "deadlock (budget %d)" memory
+  | Ok (Par_sched { algo; memory; makespan = Some m; peak }) ->
+      Printf.sprintf "%s makespan=%d peak=%d (budget %d)" algo m
+        (Option.value peak ~default:0) memory
+  | Ok (Par_sched { algo; memory; makespan = None; _ }) ->
+      Printf.sprintf "%s infeasible (budget %d)" algo memory
+  | Ok (Pareto { points; _ }) ->
+      Printf.sprintf "pareto %d points, %d on frontier, digest %s"
+        (List.length points)
+        (List.length (Tt_sched.Pareto.frontier points))
+        (String.sub (Tt_sched.Pareto.digest points) 0 8)
   | Error (Timed_out s) -> Printf.sprintf "timed out after %.2fs" s
   | Error (Crashed msg) -> "crashed: " ^ msg
 
@@ -146,6 +233,20 @@ let outcome_fields outcome =
         ("memory", J.Int memory);
         ("makespan", match makespan with Some v -> J.Int v | None -> J.Null);
         ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+      ]
+  | Par_sched { algo; memory; makespan; peak } ->
+      [ ("kind", J.String "par-sched");
+        ("algo", J.String algo);
+        ("memory", J.Int memory);
+        ("makespan", match makespan with Some v -> J.Int v | None -> J.Null);
+        ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+      ]
+  | Pareto { procs; steps; points } ->
+      [ ("kind", J.String "pareto");
+        ("procs", J.Int procs);
+        ("steps", J.Int steps);
+        ("points", J.Int (List.length points));
+        ("digest", J.String (Tt_sched.Pareto.digest points))
       ]
 
 let result_fields result =
@@ -186,6 +287,30 @@ let result_to_json result =
           ("memory", J.Int memory);
           ("makespan", (match makespan with Some v -> J.Int v | None -> J.Null));
           ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+        ]
+  | Ok (Par_sched { algo; memory; makespan; peak }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "par-sched");
+          ("algo", J.String algo);
+          ("memory", J.Int memory);
+          ("makespan", (match makespan with Some v -> J.Int v | None -> J.Null));
+          ("peak", match peak with Some v -> J.Int v | None -> J.Null)
+        ]
+  | Ok (Pareto { procs; steps; points }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "pareto");
+          ("procs", J.Int procs);
+          ("steps", J.Int steps);
+          ("points",
+           J.List
+             (List.map
+                (fun (p : Tt_sched.Pareto.point) ->
+                  J.List
+                    [ J.String p.algo; J.Int p.budget; J.Int p.makespan;
+                      J.Int p.peak ])
+                points))
         ]
   | Error (Timed_out s) ->
       J.Obj
@@ -235,6 +360,37 @@ let result_of_json json =
           let* makespan = opt_int_field "makespan" in
           let* peak = opt_int_field "peak" in
           Ok (Ok (Sched { memory; makespan; peak }))
+      | Some (J.String "par-sched") ->
+          let* algo =
+            match J.member "algo" json with
+            | Some (J.String a) -> Ok a
+            | _ -> Error "missing algo field"
+          in
+          let* memory = int_field "memory" in
+          let* makespan = opt_int_field "makespan" in
+          let* peak = opt_int_field "peak" in
+          Ok (Ok (Par_sched { algo; memory; makespan; peak }))
+      | Some (J.String "pareto") ->
+          let* procs = int_field "procs" in
+          let* steps = int_field "steps" in
+          let* points =
+            match J.member "points" json with
+            | Some (J.List items) ->
+                let rec parse acc = function
+                  | [] -> Ok (List.rev acc)
+                  | J.List [ J.String algo; J.Int budget; J.Int makespan;
+                             J.Int peak ]
+                    :: rest ->
+                      parse
+                        ({ Tt_sched.Pareto.algo; budget; makespan; peak }
+                        :: acc)
+                        rest
+                  | _ -> Error "malformed pareto point"
+                in
+                parse [] items
+            | _ -> Error "missing points array"
+          in
+          Ok (Ok (Pareto { procs; steps; points }))
       | _ -> Error "missing outcome kind")
   | Some (J.Bool false) -> (
       match (J.member "error" json, J.member "after_s" json, J.member "message" json) with

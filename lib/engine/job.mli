@@ -8,7 +8,7 @@
     computation, which is what makes the {!Cache} content-addressed and
     lets results persist across processes.
 
-    The three spec families cover the repo's solver collection:
+    The spec families cover the repo's solver collection:
 
     - {!spec.Min_memory} — one of the exact/heuristic MinMemory solvers
       ([MinMem], Liu's algorithm, best postorder);
@@ -18,9 +18,21 @@
     - {!spec.Schedule} — the memory-constrained parallel list scheduler
       with [procs] workers and a budget relative to the sequential
       optimum. Task durations are derived deterministically from the
-      tree weights ([work i = 1 + n_i / 8], the bench's convention). *)
+      tree weights ([work i = 1 + n_i / 8] = {!Tt_sched.Work.default});
+    - {!spec.Par_schedule} — one scheduler of the [tt_sched] tier
+      (greedy, memory-booking, or tree splitting), its schedule checked
+      by the independent {!Tt_sched.Validate} before the outcome is
+      reported;
+    - {!spec.Pareto_sweep} — the full memory/makespan sweep of
+      {!Tt_sched.Pareto} over all three schedulers. *)
 
 type algo = Minmem | Liu | Postorder
+
+type par_algo = Greedy | Booking | Split
+(** The [tt_sched] scheduler families: greedy list scheduling
+    ({!Tt_core.Parallel.list_schedule}), memory-booking activation-order
+    scheduling ({!Tt_sched.Booking}), postorder-based tree splitting
+    ({!Tt_sched.Split}). *)
 
 type budget =
   | Fraction of float
@@ -34,6 +46,13 @@ type spec =
   | Min_io of { policy : Tt_core.Minio.policy; budget : budget }
   | Schedule of { procs : int; mem_factor : float }
       (** Budget is [mem_factor ×] the MinMem in-core optimum. *)
+  | Par_schedule of { algo : par_algo; procs : int; mem_factor : float }
+      (** One [tt_sched] scheduler under the same budget convention as
+          [Schedule]. [Booking] never deadlocks for
+          [mem_factor >= 1.0]; [Split] ignores the budget and is
+          reported infeasible when its peak overshoots it. *)
+  | Pareto_sweep of { procs : int; steps : int }
+      (** {!Tt_sched.Pareto.sweep} with [steps] budget points. *)
 
 type t = {
   label : string;  (** Display only — not part of the job identity. *)
@@ -46,9 +65,17 @@ val make : ?label:string -> Tt_core.Tree.t -> spec -> t
 
 val spec_to_string : spec -> string
 (** Canonical one-token rendering, e.g. ["min-memory:liu"],
-    ["min-io:First Fit:frac=0.5"], ["schedule:procs=4:mem=1.5"]. *)
+    ["min-io:First Fit:frac=0.5"], ["schedule:procs=4:mem=1.5"],
+    ["par-schedule:booking:procs=4:mem=1.5"],
+    ["pareto:procs=4:steps=8"]. *)
 
 val algo_name : algo -> string
+
+val par_algo_name : par_algo -> string
+(** ["greedy"], ["booking"], ["split"]. *)
+
+val par_algo_of_string : string -> par_algo option
+(** Inverse of {!par_algo_name}. *)
 
 val tree_digest : Tt_core.Tree.t -> string
 (** Hex digest of the tree's canonical serialization. *)
@@ -70,6 +97,16 @@ type outcome =
   | Sched of { memory : int; makespan : int option; peak : int option }
       (** Parallel schedule: budget in words, then makespan and peak
           memory, [None] when the greedy scheduler deadlocks. *)
+  | Par_sched of {
+      algo : string;  (** {!par_algo_name} of the scheduler that ran. *)
+      memory : int;  (** Budget in words. *)
+      makespan : int option;  (** [None] when infeasible at the budget. *)
+      peak : int option;
+          (** Measured peak; for [split] reported even when the
+              schedule overshoots the budget. *)
+    }
+  | Pareto of { procs : int; steps : int; points : Tt_sched.Pareto.point list }
+      (** The validated points of a {!Tt_sched.Pareto.sweep}. *)
 
 type error =
   | Timed_out of float  (** Wall seconds actually spent. *)
@@ -90,7 +127,8 @@ val compute :
 
 val needs_minmem : t -> bool
 (** Whether {!compute} would run [Minmem.run] as preprocessing — true
-    for [Min_io] and [Schedule] jobs. *)
+    for [Min_io], [Schedule] and [Par_schedule] jobs ([Par_schedule]
+    reuses the order as the booking activation order). *)
 
 val equal_outcome : outcome -> outcome -> bool
 val equal_result : result -> result -> bool

@@ -137,7 +137,32 @@ let parse_job_spec text =
         { procs = int_of ~what:"procs" (lookup pairs "procs");
           mem_factor = float_of ~what:"mem" (lookup ~default:"1.5" pairs "mem")
         }
-  | kw :: _ -> bad "unknown job %S (expected minmem, liu, postorder, minio or schedule)" kw
+  | "par-schedule" :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "algo"; "procs"; "mem" ];
+      let algo =
+        let name = lookup ~default:"booking" pairs "algo" in
+        match Job.par_algo_of_string name with
+        | Some a -> a
+        | None -> bad "unknown algo %S (expected greedy, booking or split)" name
+      in
+      Job.Par_schedule
+        { algo;
+          procs = int_of ~what:"procs" (lookup pairs "procs");
+          mem_factor = float_of ~what:"mem" (lookup ~default:"1.5" pairs "mem")
+        }
+  | "pareto" :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "procs"; "steps" ];
+      Job.Pareto_sweep
+        { procs = int_of ~what:"procs" (lookup pairs "procs");
+          steps = int_of ~what:"steps" (lookup ~default:"8" pairs "steps")
+        }
+  | kw :: _ ->
+      bad
+        "unknown job %S (expected minmem, liu, postorder, minio, schedule, \
+         par-schedule or pareto)"
+        kw
   | [] -> bad "empty job spec"
 
 (* ---------------------------------------------------------------- lines *)

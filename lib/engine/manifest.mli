@@ -13,6 +13,8 @@
     <job>    ::= minmem | liu | postorder
                | minio policy=POL budget=B
                | schedule procs=N mem=F
+               | par-schedule [algo=A] procs=N [mem=F]
+               | pareto procs=N [steps=K]
     v}
 
     [ORD] is [natural], [rcm], [mindeg] or [nd] (default [mindeg]);
@@ -23,6 +25,10 @@
     or an integer K for Best-K (default [first-fit]). [B] is either
     [P%] — position P/100 in the gap between the working-set floor and
     the in-core optimum — or an absolute word count (default [50%]).
+    [A] is a [tt_sched] scheduler: [greedy], [booking] (default) or
+    [split]; [mem] is the budget as a multiple of the MinMem in-core
+    optimum (default 1.5). [pareto] runs the full memory/makespan sweep
+    with [steps] budget points (default 8).
 
     Example:
 

@@ -1,0 +1,18 @@
+module T = Tt_core.Tree
+
+type activation = Minmem | Top_down | Given of int array
+
+let order_of t = function
+  | Minmem -> snd (Tt_core.Minmem.run t)
+  | Top_down -> Tt_core.Traversal.top_down_order t
+  | Given o -> Array.copy o
+
+let run ?(activation = Minmem) t ~procs ~memory ~work =
+  let order = order_of t activation in
+  match Tt_core.Parallel.booking_schedule ~order t ~procs ~memory ~work with
+  | None -> None
+  | Some s -> Some (order, s)
+
+let min_guaranteed t = function
+  | Minmem -> Tt_core.Minmem.min_memory t
+  | (Top_down | Given _) as a -> Tt_core.Traversal.peak t (order_of t a)

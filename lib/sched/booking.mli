@@ -1,0 +1,32 @@
+(** Memory-booking list scheduling (Marchal–Sinnen–Vivien 2012) as a
+    subsystem entry point.
+
+    The event loop lives in {!Tt_core.Parallel.booking_schedule} (the
+    core needs it for the [list_schedule] fallback); this module picks
+    the activation order, runs it, and hands back the order so callers
+    can feed it to {!Validate.check}'s booking-discipline check. *)
+
+type activation =
+  | Minmem  (** MinMem-optimal traversal — the strongest guarantee. *)
+  | Top_down  (** Node order 0,1,…  (a valid top-down order). *)
+  | Given of int array  (** Caller-supplied traversal. *)
+
+val order_of : Tt_core.Tree.t -> activation -> int array
+(** The concrete activation order ([Given] is copied). *)
+
+val run :
+  ?activation:activation ->
+  Tt_core.Tree.t ->
+  procs:int ->
+  memory:int ->
+  work:(int -> int) ->
+  (int array * Tt_core.Parallel.schedule) option
+(** Book-and-start along the activation order (default {!Minmem}).
+    Returns the order used together with the schedule; [None] only when
+    [memory < min_guaranteed t activation].
+    @raise Invalid_argument as {!Tt_core.Parallel.booking_schedule}. *)
+
+val min_guaranteed : Tt_core.Tree.t -> activation -> int
+(** The smallest budget for which {!run} is guaranteed to succeed: the
+    sequential peak of the activation order
+    ({!Tt_core.Minmem.min_memory} for {!Minmem}). *)

@@ -1,0 +1,89 @@
+module T = Tt_core.Tree
+module P = Tt_core.Parallel
+
+type point = { algo : string; budget : int; makespan : int; peak : int }
+
+let budgets t ~steps =
+  if steps < 1 then invalid_arg "Pareto.budgets: steps < 1";
+  let lo = Tt_core.Minmem.min_memory t in
+  let hi = max lo (T.total_f t) in
+  if steps = 1 || hi = lo then [| lo |]
+  else begin
+    let out = Array.make steps lo in
+    for k = 0 to steps - 1 do
+      out.(k) <- lo + ((hi - lo) * k / (steps - 1))
+    done;
+    (* the integer grid can repeat budgets on tiny ranges; keep firsts *)
+    let seen = Hashtbl.create steps in
+    Array.to_list out
+    |> List.filter (fun b ->
+           if Hashtbl.mem seen b then false
+           else begin
+             Hashtbl.add seen b ();
+             true
+           end)
+    |> Array.of_list
+  end
+
+let fail_invalid algo v =
+  invalid_arg
+    (Printf.sprintf "Pareto.sweep: %s produced an invalid schedule: %s" algo
+       (Validate.violation_to_string v))
+
+let sweep ?(steps = 8) t ~procs ~work =
+  let _, order = Tt_core.Minmem.run t in
+  let points = ref [] in
+  let push p = points := p :: !points in
+  Array.iter
+    (fun budget ->
+      (match P.list_schedule t ~procs ~memory:budget ~work with
+      | None -> ()
+      | Some s -> (
+          match Validate.check t ~memory:budget ~work s with
+          | Ok () ->
+              push
+                { algo = "greedy"; budget; makespan = s.P.makespan;
+                  peak = s.P.peak_memory }
+          | Error v -> fail_invalid "greedy" v));
+      match P.booking_schedule ~order t ~procs ~memory:budget ~work with
+      | None -> ()
+      | Some s -> (
+          match Validate.check ~activation:order t ~memory:budget ~work s with
+          | Ok () ->
+              push
+                { algo = "booking"; budget; makespan = s.P.makespan;
+                  peak = s.P.peak_memory }
+          | Error v -> fail_invalid "booking" v))
+    (budgets t ~steps);
+  (* splitting is budget-free: one point at its own peak *)
+  let s = Split.run t ~procs ~work in
+  (match Validate.check t ~memory:s.P.peak_memory ~work s with
+  | Ok () ->
+      push
+        { algo = "split"; budget = s.P.peak_memory; makespan = s.P.makespan;
+          peak = s.P.peak_memory }
+  | Error v -> fail_invalid "split" v);
+  List.rev !points
+
+let frontier points =
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (a.peak, a.makespan, a.algo, a.budget)
+          (b.peak, b.makespan, b.algo, b.budget))
+      points
+  in
+  let rec keep best acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if p.makespan < best then keep p.makespan (p :: acc) rest
+        else keep best acc rest
+  in
+  keep max_int [] sorted
+
+let point_to_string p =
+  Printf.sprintf "%s budget=%d makespan=%d peak=%d" p.algo p.budget p.makespan
+    p.peak
+
+let render points = String.concat "\n" (List.map point_to_string points)
+let digest points = Digest.to_hex (Digest.string (render points))

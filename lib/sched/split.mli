@@ -1,0 +1,42 @@
+(** Postorder-based tree splitting (the SplitSubtrees scheduler of
+    Eyraud-Dubois–Marchal–Sinnen–Vivien 2014, read on the out-tree).
+
+    The tree is cut into a sequential {e tail} — the top part containing
+    the root — and at most a few × [procs] frontier subtrees. Out-tree
+    semantics run the tail first (top-down, one processor), then every
+    subtree independently in parallel, each in its own MinMem-optimal
+    sequential order, packed onto processors longest-processing-time
+    first. The split point is chosen by iterating "move the heaviest
+    frontier subtree's root into the tail" and keeping the iteration
+    with the best makespan estimate
+    [tail_work + max(heaviest subtree, average load)].
+
+    Splitting ignores any memory budget: it trades memory for makespan
+    (up to [procs] sequential peaks coexist). The schedule reports its
+    honest peak ({!Validate.peak_usage}); callers compare that against
+    their budget — the Pareto sweep plots exactly this trade-off. *)
+
+type plan = {
+  tail : int array;
+      (** Sequential prefix in execution order (a valid top-down order
+          of the split-off top part; empty when no split helps). *)
+  subtrees : int array;  (** Frontier subtree roots, heaviest first. *)
+  assignment : int array;
+      (** [assignment.(k)] is the processor of [subtrees.(k)] (LPT). *)
+  tail_work : int;  (** Total duration of the tail. *)
+}
+
+val plan : Tt_core.Tree.t -> procs:int -> work:(int -> int) -> plan
+(** Deterministic split of the tree for [procs] processors.
+    @raise Invalid_argument if [procs < 1] or some [work i < 1]. *)
+
+val run :
+  ?plan:plan ->
+  Tt_core.Tree.t ->
+  procs:int ->
+  work:(int -> int) ->
+  Tt_core.Parallel.schedule
+(** Materialize the split as a schedule (computing {!plan} if not
+    given). Always succeeds — with one processor it degenerates to a
+    sequential traversal. [peak_memory] is the measured
+    {!Validate.peak_usage} of the events. *)

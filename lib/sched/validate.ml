@@ -1,0 +1,160 @@
+module T = Tt_core.Tree
+module P = Tt_core.Parallel
+
+type violation =
+  | Malformed of string
+  | Precedence of { node : int; parent : int }
+  | Overlap of { proc : int; first : int; second : int }
+  | Booking of { position : int; node : int }
+  | Memory of { time : int; usage : int; budget : int }
+  | Accounting of string
+
+let violation_to_string = function
+  | Malformed msg -> Printf.sprintf "malformed schedule: %s" msg
+  | Precedence { node; parent } ->
+      Printf.sprintf "precedence: node %d starts before parent %d finishes" node
+        parent
+  | Overlap { proc; first; second } ->
+      Printf.sprintf "overlap: nodes %d and %d overlap on processor %d" first
+        second proc
+  | Booking { position; node } ->
+      Printf.sprintf
+        "booking: node %d (activation position %d) starts before its \
+         predecessor"
+        node position
+  | Memory { time; usage; budget } ->
+      Printf.sprintf "memory: %d words in use at time %d, budget %d" usage time
+        budget
+  | Accounting msg -> Printf.sprintf "accounting: %s" msg
+
+exception Bad of violation
+
+(* Replay the schedule as a sequence of usage deltas grouped by instant:
+   the root's input file is alive from time 0, a start books the whole
+   extra working set [n i + sum_children_f i], a finish releases the
+   extras and the consumed input and leaves the children files alive (net
+   delta [-n i - f i]). Returns [(makespan, peak)] where [peak] is the
+   maximum usage over every instant at which at least one task runs —
+   the honest "memory bound at every instant" measure, independent of
+   any scheduler's own accounting. *)
+let replay t (s : P.schedule) =
+  let q = Array.length s.events in
+  let deltas = Array.make (2 * q) (0, 0, 0) in
+  Array.iteri
+    (fun k (e : P.event) ->
+      let extra = t.T.n.(e.node) + T.sum_children_f t e.node in
+      deltas.(2 * k) <- (e.start, 1, extra);
+      deltas.(2 * k + 1) <- (e.finish, -1, -t.T.n.(e.node) - t.T.f.(e.node)))
+    s.events;
+  Array.sort compare deltas;
+  let usage = ref t.T.f.(t.T.root) in
+  let running = ref 0 in
+  let peak = ref 0 in
+  let peak_time = ref 0 in
+  let makespan = ref 0 in
+  let k = ref 0 in
+  while !k < 2 * q do
+    let time, _, _ = deltas.(!k) in
+    (* apply every delta at this instant, then observe *)
+    while
+      !k < 2 * q
+      && (let ti, _, _ = deltas.(!k) in ti = time)
+    do
+      let _, dr, du = deltas.(!k) in
+      running := !running + dr;
+      usage := !usage + du;
+      incr k
+    done;
+    if !running > 0 && !usage > !peak then begin
+      peak := !usage;
+      peak_time := time
+    end;
+    if time > !makespan then makespan := time
+  done;
+  (!makespan, !peak, !peak_time)
+
+let peak_usage t s =
+  let _, peak, _ = replay t s in
+  peak
+
+let makespan t s =
+  let m, _, _ = replay t s in
+  m
+
+let check ?activation t ~memory ~work (s : P.schedule) =
+  let p = T.size t in
+  try
+    if Array.length s.events <> p then
+      raise (Bad (Malformed "event count differs from tree size"));
+    let start_of = Array.make p (-1) in
+    let finish_of = Array.make p (-1) in
+    Array.iter
+      (fun (e : P.event) ->
+        if e.node < 0 || e.node >= p then
+          raise (Bad (Malformed "node out of range"));
+        if start_of.(e.node) >= 0 then raise (Bad (Malformed "duplicate node"));
+        if e.start < 0 then raise (Bad (Malformed "negative start time"));
+        if e.proc < 0 then raise (Bad (Malformed "negative processor"));
+        if e.finish - e.start <> work e.node then
+          raise (Bad (Malformed "duration differs from work"));
+        start_of.(e.node) <- e.start;
+        finish_of.(e.node) <- e.finish)
+      s.events;
+    (* precedence: out-tree, so a node may start only after its parent *)
+    for i = 0 to p - 1 do
+      let par = t.T.parent.(i) in
+      if par >= 0 && start_of.(i) < finish_of.(par) then
+        raise (Bad (Precedence { node = i; parent = par }))
+    done;
+    (* processor exclusivity: per processor, sorted runs must not overlap *)
+    let by_proc = Hashtbl.create 16 in
+    Array.iter
+      (fun (e : P.event) ->
+        let prev = try Hashtbl.find by_proc e.proc with Not_found -> [] in
+        Hashtbl.replace by_proc e.proc (e :: prev))
+      s.events;
+    Hashtbl.iter
+      (fun proc evs ->
+        let evs =
+          List.sort
+            (fun (a : P.event) b -> compare (a.start, a.node) (b.start, b.node))
+            evs
+        in
+        let rec disjoint = function
+          | (a : P.event) :: (b :: _ as rest) ->
+              if b.start < a.finish then
+                raise (Bad (Overlap { proc; first = a.node; second = b.node }));
+              disjoint rest
+          | _ -> ()
+        in
+        disjoint evs)
+      by_proc;
+    (* booking discipline: starts are monotone along the activation order *)
+    (match activation with
+    | None -> ()
+    | Some order ->
+        if not (Tt_core.Traversal.is_valid_order t order) then
+          raise (Bad (Malformed "activation order is not a traversal"));
+        for k = 1 to p - 1 do
+          if start_of.(order.(k)) < start_of.(order.(k - 1)) then
+            raise (Bad (Booking { position = k; node = order.(k) }))
+        done);
+    (* memory bound at every instant while at least one task runs *)
+    let observed_makespan, observed_peak, peak_time = replay t s in
+    if observed_peak > memory then
+      raise
+        (Bad (Memory { time = peak_time; usage = observed_peak; budget = memory }));
+    (* accounting: the carried fields must be consistent with the events *)
+    if s.makespan <> observed_makespan then
+      raise (Bad (Accounting "makespan differs from last finish time"));
+    if s.peak_memory > memory then
+      raise (Bad (Accounting "reported peak exceeds the budget"));
+    if s.peak_memory < observed_peak then
+      raise (Bad (Accounting "reported peak understates observed usage"));
+    Ok ()
+  with Bad v -> Error v
+
+let check_exn ?activation t ~memory ~work s =
+  match check ?activation t ~memory ~work s with
+  | Ok () -> ()
+  | Error v -> invalid_arg ("Tt_sched.Validate: " ^ violation_to_string v)

@@ -1,0 +1,5 @@
+let default t =
+  let n = t.Tt_core.Tree.n in
+  fun i -> 1 + (n.(i) / 8)
+
+let uniform _t _i = 1

@@ -1,0 +1,15 @@
+(** The scheduling tier's task-duration model.
+
+    Durations are synthetic — the model trees carry file sizes, not
+    flop counts — so every consumer (jobs, bench, perf, loadgen) must
+    agree on one convention or their result digests diverge. This
+    module is that single source of truth. *)
+
+val default : Tt_core.Tree.t -> int -> int
+(** [default t i = 1 + n_i / 8]: every task costs at least one unit,
+    large frontal matrices cost proportionally more. This is the
+    convention the engine's [schedule] jobs have used since they were
+    introduced; changing it changes every schedule digest. *)
+
+val uniform : Tt_core.Tree.t -> int -> int
+(** Unit durations — makespan counts tasks on the critical resource. *)

@@ -41,6 +41,23 @@ let default_entries =
      "gen tridiagonal size=64 :: minmem; schedule procs=4 mem=1.5"
   |]
 
+let sched_entries =
+  [| "gen grid2d size=12 :: par-schedule algo=booking procs=4 mem=1.0";
+     "gen grid2d size=16 :: par-schedule algo=greedy procs=2 mem=1.5";
+     "gen banded size=48 :: par-schedule algo=split procs=4 mem=2.0";
+     "gen tridiagonal size=64 :: par-schedule algo=booking procs=8 mem=1.2";
+     "gen arrow size=32 :: pareto procs=4 steps=5";
+     "gen random size=40 seed=7 :: pareto procs=2 steps=4"
+  |]
+
+let mixes =
+  [ ("core", default_entries);
+    ("sched", sched_entries);
+    ("all", Array.append default_entries sched_entries)
+  ]
+
+let entries_of_mix name = List.assoc_opt name mixes
+
 let default_config =
   { host = "127.0.0.1";
     port = 0;
@@ -158,6 +175,7 @@ type summary = {
   transport_errors : int;
   transport_breakdown : (string * int) list;
   jobs : int;
+  job_kinds : (string * int) list;
   wall_s : float;
   throughput_rps : float;
   mean_s : float;
@@ -248,6 +266,20 @@ let run cfg =
   let reports =
     Array.fold_left (fun a t -> List.rev_append t.reports a) [] tallies
   in
+  let job_kinds =
+    let kind_of (r : P.job_report) =
+      match r.P.result with
+      | Ok (Tt_engine.Job.Memory _) -> "memory"
+      | Ok (Tt_engine.Job.Io _) -> "io"
+      | Ok (Tt_engine.Job.Sched _) -> "sched"
+      | Ok (Tt_engine.Job.Par_sched _) -> "par-sched"
+      | Ok (Tt_engine.Job.Pareto _) -> "pareto"
+      | Error _ -> "error"
+    in
+    let h = Hashtbl.create 8 in
+    List.iter (fun r -> bump h (kind_of r)) reports;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+  in
   let lats =
     Array.of_list
       (Array.fold_left (fun a t -> List.rev_append t.lats a) [] tallies)
@@ -261,6 +293,7 @@ let run cfg =
     transport_errors = transport;
     transport_breakdown;
     jobs = List.length reports;
+    job_kinds;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int issued /. wall_s else nan);
     mean_s = Tt_util.Statistics.mean lats;
@@ -290,7 +323,9 @@ let summary_to_string s =
       pf "transport:";
       List.iter (fun (kind, n) -> pf " %s=%d" kind n) kinds;
       pf "\n");
-  pf "jobs: %d\n" s.jobs;
+  pf "jobs: %d" s.jobs;
+  List.iter (fun (kind, n) -> pf " %s=%d" kind n) s.job_kinds;
+  pf "\n";
   pf "wall: %.3f s, throughput: %.1f req/s\n" s.wall_s s.throughput_rps;
   pf "latency: mean %.4f s, p50 %.4f s, p95 %.4f s, p99 %.4f s, max %.4f s\n"
     s.mean_s s.p50_s s.p95_s s.p99_s s.max_s;

@@ -86,6 +86,19 @@ val default_entries : string array
 (** A small mixed workload: generated grids / banded / random sources
     across the solver collection, sized to stay fast per request. *)
 
+val sched_entries : string array
+(** Scheduling-tier traffic: [par-schedule] jobs across all three
+    algorithms plus [pareto] sweeps, on the same small sources. *)
+
+val mixes : (string * string array) list
+(** The named entry mixes [loadgen --mix] offers: ["core"]
+    ({!default_entries}), ["sched"] ({!sched_entries}) and ["all"]
+    (their concatenation) — the latter is what the cluster/chaos gates
+    run so scheduling traffic crosses the wire paths too. *)
+
+val entries_of_mix : string -> string array option
+(** Look a mix up by name. *)
+
 type summary = {
   requests : int;  (** Requests actually issued. *)
   ok : int;
@@ -98,6 +111,10 @@ type summary = {
           [timeout], [conn_reset], [eof], [other]) — a failover run
           shows {e which} failures occurred, not just how many. *)
   jobs : int;  (** Job reports received across all ok replies. *)
+  job_kinds : (string * int) list;
+      (** Per-kind job counts ([memory], [io], [sched], [par-sched],
+          [pareto], [error]), sorted — the summary's evidence that a
+          mix actually exercised every family. *)
   wall_s : float;
   throughput_rps : float;
   mean_s : float;

@@ -32,6 +32,21 @@ let payload_lb = function
   | None -> "infeasible"
   | Some v -> Printf.sprintf "lb=%.9f" v
 
+let payload_parallel = function
+  | None -> "infeasible"
+  | Some (s : Parallel.schedule) ->
+      let buf = Buffer.create (16 * Array.length s.Parallel.events) in
+      Buffer.add_string buf
+        (Printf.sprintf "makespan=%d\npeak=%d\nevents=" s.Parallel.makespan
+           s.Parallel.peak_memory);
+      Array.iter
+        (fun (e : Parallel.event) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d@%d:%d-%d;" e.Parallel.node e.Parallel.proc
+               e.Parallel.start e.Parallel.finish))
+        s.Parallel.events;
+      Buffer.contents buf
+
 (* --- instances ----------------------------------------------------------
    All deterministic: fixed seeds, weights derived from node indices.
    Uniform weights collapse Liu profiles to a couple of segments, which
@@ -116,6 +131,17 @@ let specs mode =
   let rand =
     sized "random" (fun () -> random_tree ~seed:7 ~size:(if quick then 3_000 else 60_000))
   in
+  (* the schedulers re-run MinMem per call, so the sched family gets its
+     own (smaller) instances rather than the 60k-node ones above *)
+  let sched_rand =
+    sized "sched-random" (fun () ->
+        random_tree ~seed:19 ~size:(if quick then 1_500 else 15_000))
+  in
+  let sched_cat =
+    sized "sched-caterpillar" (fun () ->
+        if quick then caterpillar ~length:200 ~leaves:3
+        else caterpillar ~length:2_000 ~leaves:3)
+  in
   let corpus = corpus_instances mode in
   let spec kernel inst run : Tt_profile.Microbench.spec =
     {
@@ -152,6 +178,31 @@ let specs mode =
             payload_lb (Minio.divisible_lower_bound tree ~memory ~order));
       ]
   in
+  let sched_family inst =
+    (* one MinMem run shared by the kernels that schedule along it, so
+       the timings isolate the schedulers from the order computation *)
+    let procs = 4 in
+    let setup =
+      Lazy.from_fun (fun () ->
+          let t = Lazy.force inst.tree in
+          let mem, order = Minmem.run t in
+          (t, Tt_sched.Work.default t, mem, order))
+    in
+    [
+      spec "sched/greedy" inst (fun () ->
+          let t, work, mem, _ = Lazy.force setup in
+          payload_parallel (Parallel.list_schedule t ~procs ~memory:(mem * 3 / 2) ~work));
+      spec "sched/booking" inst (fun () ->
+          let t, work, mem, order = Lazy.force setup in
+          payload_parallel (Parallel.booking_schedule ~order t ~procs ~memory:mem ~work));
+      spec "sched/split" inst (fun () ->
+          let t, work, _, _ = Lazy.force setup in
+          payload_parallel (Some (Tt_sched.Split.run t ~procs ~work)));
+      spec "sched/pareto" inst (fun () ->
+          let t, work, _, _ = Lazy.force setup in
+          Tt_sched.Pareto.(render (sweep ~steps:4 t ~procs ~work)));
+    ]
+  in
   List.concat
     [
       List.map postorder [ chain; binary; star; harpoon; cat; rand ];
@@ -159,4 +210,6 @@ let specs mode =
       List.map minmem ([ star_mm; harpoon ] @ corpus);
       minio_family ~order_seed:13 cat;
       minio_family ~order_seed:11 rand;
+      sched_family sched_cat;
+      sched_family sched_rand;
     ]

@@ -13,7 +13,14 @@
       eviction heuristics, on a seeded-random traversal with memory a
       quarter of the way between the feasibility floor and the traversal
       peak, so deficit events fire throughout;
-    - [divisible-lb] — {!Tt_core.Minio.divisible_lower_bound}.
+    - [divisible-lb] — {!Tt_core.Minio.divisible_lower_bound};
+    - [sched/<algo>] — the parallel scheduling tier on dedicated
+      caterpillar/random instances at 4 processors: [greedy]
+      ({!Tt_core.Parallel.list_schedule} at 1.5× the sequential
+      optimum), [booking] ({!Tt_core.Parallel.booking_schedule} at
+      exactly the optimum, MinMem activation), [split]
+      ({!Tt_sched.Split.run}, budget-free) and [pareto]
+      ({!Tt_sched.Pareto.sweep}, 4 budget steps).
 
     Every spec's payload encodes the kernel's {e full} result (traversal,
     tau vector, I/O volume…), so the digests in [BENCH_CORE.json] are

@@ -407,6 +407,48 @@ let test_manifest_runs_through_engine () =
           Alcotest.(check int) "io job derives from the minmem peak" peak in_core
       | _ -> Alcotest.fail "unexpected result shapes")
 
+let test_manifest_sched_jobs () =
+  let text =
+    "gen grid2d size=8 :: par-schedule algo=booking procs=4 mem=1.0; \
+     par-schedule procs=2; par-schedule algo=split procs=4 mem=2.0\n\
+     gen tridiagonal size=16 :: pareto procs=4 steps=5; pareto procs=2\n"
+  in
+  match Tt_engine.Manifest.parse text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok jobs ->
+      let specs = List.map (fun (j : J.t) -> J.spec_to_string j.J.spec) jobs in
+      Alcotest.(check (list string)) "specs"
+        [ "par-schedule:booking:procs=4:mem=1";
+          "par-schedule:booking:procs=2:mem=1.5";
+          "par-schedule:split:procs=4:mem=2";
+          "pareto:procs=4:steps=5";
+          "pareto:procs=2:steps=8"
+        ]
+        specs;
+      (* run them and round-trip every result through the telemetry JSON *)
+      let results = E.run (E.create ~domains:2 ()) jobs in
+      Alcotest.(check int) "five results" 5 (List.length results);
+      List.iter
+        (fun r ->
+          (match r with
+          | Ok (J.Par_sched { makespan; _ }) ->
+              Alcotest.(check bool) "feasible at >= the optimum" true
+                (makespan <> None)
+          | Ok (J.Pareto { points; _ }) ->
+              Alcotest.(check bool) "sweep produced points" true (points <> [])
+          | Ok _ -> Alcotest.fail "unexpected outcome kind"
+          | Error (J.Timed_out s) -> Alcotest.failf "job timed out after %.1fs" s
+          | Error (J.Crashed msg) -> Alcotest.failf "job crashed: %s" msg);
+          match J.result_of_json (J.result_to_json r) with
+          | Ok r' ->
+              Alcotest.(check bool) "json round trip" true
+                (match (r, r') with
+                | Ok a, Ok b -> J.equal_outcome a b
+                | Error a, Error b -> a = b
+                | _ -> false)
+          | Error e -> Alcotest.failf "round trip: %s" e)
+        results
+
 let () =
   H.run "engine"
     [ ( "job",
@@ -435,6 +477,7 @@ let () =
       ( "manifest",
         [ H.case "parse" test_manifest_parse;
           H.case "errors" test_manifest_errors;
-          H.case "end to end" test_manifest_runs_through_engine
+          H.case "end to end" test_manifest_runs_through_engine;
+          H.case "sched jobs" test_manifest_sched_jobs
         ] )
     ]

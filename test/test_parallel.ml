@@ -48,7 +48,7 @@ let prop_many_procs_hit_critical_path =
       | Some s -> s.P.makespan = P.critical_path t ~work)
 
 let prop_memory_throttles_parallelism =
-  H.qcheck ~count:100 "peak memory respects the budget and shrinking it never helps"
+  H.qcheck ~count:100 "peak memory respects the budget even at the sequential optimum"
     (H.arb_tree ~size_max:12 ()) (fun t ->
       let work = unit_work in
       let m_small = Tt_core.Minmem.min_memory t in
@@ -58,10 +58,14 @@ let prop_memory_throttles_parallelism =
           P.list_schedule t ~procs:4 ~memory:m_big ~work )
       with
       | Some small, Some big ->
+          (* the booking fallback makes the optimum always feasible; with
+             unit work and ample memory the greedy critical-path rule is
+             Hu's algorithm, so [big] is optimal and bounds [small] *)
           small.P.peak_memory <= m_small
           && big.P.makespan <= small.P.makespan
-      | None, Some _ -> true (* greedy may deadlock at the sequential optimum *)
-      | _, None -> false)
+          && P.critical_path t ~work <= small.P.makespan
+          && small.P.makespan <= P.sequential_makespan t ~work
+      | _ -> false (* None is impossible at memory >= the optimum *))
 
 let test_chain_no_parallelism () =
   (* a chain has no parallelism at all *)
