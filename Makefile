@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke sched-smoke chaos chaos-net chaos-cluster chaos-nemesis clean
+.PHONY: all build test check bench-smoke batch-smoke serve-smoke perf-smoke sched-smoke chaos chaos-net chaos-cluster chaos-nemesis chaos-overload clean
 
 all: build
 
@@ -200,6 +200,27 @@ chaos-cluster: build
 # open->close cycle, >=1 ring membership change, zero admitted
 # requests lost or contradicted, and full recovery within the
 # quiescence bound — all asserted by the subcommand's own exit code.
+# Overload chaos gate. The seeded overload nemesis drives a 3-shard
+# proxied cluster at 4x its measured capacity with one shard stalled
+# mid-connection, then checks its own invariants: zero untyped losses,
+# every ok within deadline, typed sheds only, batch browns out first,
+# interactive goodput holds the floor, >= 1 hedge won, and the
+# completed subset matches a pristine re-solve. Run twice: the
+# `overload-summary` lines (config, invariant verdicts, full-set
+# oracle digest) must match byte-for-byte.
+chaos-overload: build
+	timeout 300 _build/default/bin/treetrav.exe overload --seed 17 > _ov_run_a.out 2>&1 \
+	  || { cat _ov_run_a.out; echo "chaos-overload: run A failed"; exit 1; }
+	cat _ov_run_a.out
+	timeout 300 _build/default/bin/treetrav.exe overload --seed 17 > _ov_run_b.out 2>&1 \
+	  || { cat _ov_run_b.out; echo "chaos-overload: run B failed"; exit 1; }
+	grep '^overload-summary' _ov_run_a.out > _ov_sum_a.txt
+	grep '^overload-summary' _ov_run_b.out > _ov_sum_b.txt
+	cmp _ov_sum_a.txt _ov_sum_b.txt \
+	  || { echo "chaos-overload: summaries differ between identical seeded runs"; exit 1; }
+	rm -f _ov_run_a.out _ov_run_b.out _ov_sum_a.txt _ov_sum_b.txt
+	@echo "chaos-overload: deterministic verdicts; typed sheds, deadline-clean oks, brownout ordering, hedge win, oracle digest parity"
+
 chaos-nemesis: build
 	_build/default/bin/treetrav.exe nemesis --plan-only --seed 11 --steps 8 > _nx_plan_a.txt
 	_build/default/bin/treetrav.exe nemesis --plan-only --seed 11 --steps 8 > _nx_plan_b.txt

@@ -1117,6 +1117,35 @@ let nemesis_section () =
       Printf.printf "\n%!")
     [ 1; 2; 4 ]
 
+(* ------------------------------------------------------------- overload *)
+
+(* Brownout behaviour by pressure: the seeded overload nemesis (one
+   shard stalled, open-loop load) at 1x, 2x and 4x the measured clean
+   capacity. What should move with overdrive is the shed column and the
+   batch/interactive split — batch browns out first while interactive
+   goodput degrades last — and what should never move is the untyped
+   column (always 0: every refusal typed, every ok within deadline). *)
+let overload_section () =
+  header "Overload"
+    "goodput and typed shedding by overdrive, one shard stalled";
+  let module ON = Tt_shard.Overload_nemesis in
+  List.iter
+    (fun overdrive ->
+      let cfg =
+        { ON.default_config with
+          ON.seed = !seed;
+          overdrive;
+          requests = 100 * !scale
+        }
+      in
+      let r = ON.run cfg in
+      Printf.printf
+        "%.0fx: offered %6.0f req/s  ok %d/%d  shed %d  untyped %d  \
+         interactive %.2f  batch %.2f  hedges won %d\n%!"
+        overdrive r.ON.offered_rps r.ON.ok r.ON.issued r.ON.sheds r.ON.untyped
+        (ON.goodput r.ON.interactive) (ON.goodput r.ON.batch) r.ON.hedge_won)
+    [ 1.; 2.; 4. ]
+
 (* ----------------------------------------------------------------- perf *)
 
 (* Wall times of the core solvers on the seeded Perf_suite instances,
@@ -1217,6 +1246,7 @@ let section_runners =
     ("serve", serve_section);
     ("cluster", cluster_section);
     ("nemesis", nemesis_section);
+    ("overload", overload_section);
     ("perf", perf_section);
     ("bechamel", bechamel_suite)
   ]
@@ -1224,7 +1254,8 @@ let section_runners =
 let default_order () =
   [ "theorem1"; "theorem2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
     "ablation-child-order"; "ablation-bestk"; "ablation-amalgamation";
-    "parallel"; "sched"; "minio-gap"; "rounds"; "serve"; "cluster"; "nemesis"
+    "parallel"; "sched"; "minio-gap"; "rounds"; "serve"; "cluster"; "nemesis";
+    "overload"
   ]
   @ (if !run_bechamel then [ "bechamel" ] else [])
 

@@ -755,9 +755,14 @@ let request_cmd =
 
 (* ------------------------------------------------------------- loadgen *)
 
-let loadgen host port connections requests seed timeout rate entries_file
-    mix chaos retries read_timeout connect_timeout tag cluster =
+let loadgen host port connections requests seed timeout rate open_loop
+    batch_share entries_file mix chaos retries read_timeout connect_timeout
+    tag cluster =
   let module L = Tt_server.Loadgen in
+  if batch_share < 0. || batch_share > 1. then begin
+    prerr_endline "loadgen: --priority-mix must be in [0, 1]";
+    exit 2
+  end;
   let entries =
     match entries_file with
     | Some path ->
@@ -821,7 +826,14 @@ let loadgen host port connections requests seed timeout rate entries_file
         seed;
         entries;
         timeout_s = timeout;
-        mode = (match rate with None -> L.Closed | Some r -> L.Open r);
+        mode =
+          (* --open-loop is a total target rate, split across the
+             connections; --rate is already per-connection. *)
+          (match (open_loop, rate) with
+          | Some total, _ -> L.Open (total /. float_of_int (max 1 connections))
+          | None, Some r -> L.Open r
+          | None, None -> L.Closed);
+        batch_share;
         retry;
         read_timeout_s = read_timeout;
         connect_timeout_s = connect_timeout;
@@ -867,6 +879,21 @@ let loadgen_cmd =
          & info [ "rate" ] ~docv:"RPS"
              ~doc:"Open-loop target rate per connection (requests/second); \
                    default is closed-loop.")
+  in
+  let open_loop =
+    Arg.(value & opt (some float) None
+         & info [ "open-loop" ] ~docv:"RPS"
+             ~doc:"Open-loop target rate for the whole run (requests/second \
+                   across all connections — the overload drill's knob); \
+                   overrides --rate.")
+  in
+  let batch_share =
+    Arg.(value & opt float 0.
+         & info [ "priority-mix"; "batch-share" ] ~docv:"FRAC"
+             ~doc:"Fraction of requests sent at batch priority (0 to 1, \
+                   default 0 — all interactive). Batch traffic sheds first \
+                   under overload; the summary breaks goodput down per \
+                   class.")
   in
   let entries_file =
     Arg.(value & opt (some file) None
@@ -927,8 +954,8 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Drive a running server with a deterministic seeded workload.")
     Term.(const loadgen $ host $ port $ connections $ requests $ seed
-          $ timeout $ rate $ entries_file $ mix $ chaos $ retries
-          $ read_timeout $ connect_timeout $ tag $ cluster)
+          $ timeout $ rate $ open_loop $ batch_share $ entries_file $ mix
+          $ chaos $ retries $ read_timeout $ connect_timeout $ tag $ cluster)
 
 
 (* ------------------------------------------------------------- cluster *)
@@ -1200,6 +1227,99 @@ let nemesis_cmd =
     Term.(const nemesis $ seed $ steps $ shards $ max_shards $ requests
           $ connections $ step_gap $ restart_delay $ plan_only)
 
+(* ------------------------------------------------------------ overload *)
+
+let overload seed shards workers queue requests connections batch_share
+    deadline overdrive floor =
+  let module O = Tt_shard.Overload_nemesis in
+  let cfg =
+    { O.default_config with
+      seed;
+      shards;
+      workers;
+      queue_capacity = queue;
+      requests;
+      connections;
+      batch_share;
+      deadline_s = deadline;
+      overdrive;
+      interactive_floor = floor
+    }
+  in
+  Printf.printf "overload: seed %d, %d shards, %.1fx overdrive, %.2fs budget\n"
+    seed shards overdrive deadline;
+  flush stdout;
+  match O.run cfg with
+  | exception Invalid_argument e ->
+      Printf.eprintf "overload: %s\n" e;
+      2
+  | r -> (
+      print_string (O.report_to_string r);
+      match O.check r with
+      | Ok () ->
+          Printf.printf "overload invariants hold\n";
+          0
+      | Error e ->
+          Printf.printf "overload FAILED: %s\n" e;
+          1)
+
+let overload_cmd =
+  let d = Tt_shard.Overload_nemesis.default_config in
+  let seed =
+    Arg.(value & opt int d.seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Run seed — idems, priorities and the hedge gate are \
+                   pure functions of it.")
+  in
+  let shards =
+    Arg.(value & opt int d.shards
+         & info [ "shards" ] ~docv:"N" ~doc:"Ring size (at least 2).")
+  in
+  let workers =
+    Arg.(value & opt int d.workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let queue =
+    Arg.(value & opt int d.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc:"Per-shard admission queue bound.")
+  in
+  let requests =
+    Arg.(value & opt int d.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Overload-phase request volume.")
+  in
+  let connections =
+    Arg.(value & opt int d.connections
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Overload-phase client domains.")
+  in
+  let batch_share =
+    Arg.(value & opt float d.batch_share
+         & info [ "batch-share" ] ~docv:"FRAC"
+             ~doc:"Fraction of overload traffic sent priority=batch.")
+  in
+  let deadline =
+    Arg.(value & opt float d.deadline_s
+         & info [ "deadline" ] ~docv:"S" ~doc:"Per-request budget.")
+  in
+  let overdrive =
+    Arg.(value & opt float d.overdrive
+         & info [ "overdrive" ] ~docv:"X"
+             ~doc:"Offered rate as a multiple of the measured capacity.")
+  in
+  let floor =
+    Arg.(value & opt float d.interactive_floor
+         & info [ "interactive-floor" ] ~docv:"FRAC"
+             ~doc:"Minimum interactive goodput fraction the gate demands.")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:"Drive a cluster at a multiple of its measured capacity with \
+             one shard stalled, then check every loss was typed, every \
+             completion met its deadline and matched a clean oracle, batch \
+             shed before interactive, and at least one hedge won.")
+    Term.(const overload $ seed $ shards $ workers $ queue $ requests
+          $ connections $ batch_share $ deadline $ overdrive $ floor)
+
 (* ---------------------------------------------------------------- perf *)
 
 let perf quick reps out kernels =
@@ -1340,4 +1460,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; analyze_cmd; schedule_cmd; sched_cmd; corpus_cmd;
             batch_cmd; serve_cmd; request_cmd; loadgen_cmd; cluster_cmd;
-            nemesis_cmd; perf_cmd; chaos_proxy_cmd ]))
+            nemesis_cmd; overload_cmd; perf_cmd; chaos_proxy_cmd ]))

@@ -58,3 +58,20 @@ let delays policy ~key =
         Float.min policy.max_delay_s
           (d *. (1. -. policy.jitter +. (2. *. policy.jitter *. u))))
   end
+
+(* The longest prefix of [delays] whose cumulative sleep fits inside the
+   remaining deadline budget. Sleeping past the deadline can never help:
+   the attempt after the sleep would be refused anyway, so the caller
+   should return a terminal deadline_exceeded instead of burning the
+   budget asleep. *)
+let delays_within policy ~key ~budget_s =
+  if budget_s <= 0. then []
+  else begin
+    let rec take acc spent = function
+      | [] -> List.rev acc
+      | d :: rest ->
+          if spent +. d > budget_s then List.rev acc
+          else take (d :: acc) (spent +. d) rest
+    in
+    take [] 0. (delays policy ~key)
+  end

@@ -51,3 +51,13 @@ val delays : policy -> key:string -> float list
 (** The full backoff schedule for a job (length [retries]): delay [k] is
     [min (base * 2^k) max] jittered by a factor in [1-jitter, 1+jitter]
     drawn from an RNG seeded by ([seed], [key]). Deterministic. *)
+
+val delays_within : policy -> key:string -> budget_s:float -> float list
+(** The longest prefix of [delays policy ~key] whose cumulative sleep
+    stays within [budget_s] — a backoff that would land past the
+    request's remaining deadline budget is dropped along with every
+    later one, so the caller returns a terminal [deadline_exceeded]
+    instead of sleeping through a budget it can no longer use. A
+    non-positive budget yields the empty schedule. Deterministic: a
+    prefix of {!delays}, so chaos replays are unchanged while the
+    budget covers the whole schedule. *)

@@ -1,7 +1,19 @@
-type 'a t = {
-  ring : 'a option array;
+(* Two-class bounded admission queue: one shared capacity, two internal
+   FIFO rings. [pop] serves the interactive ring first, so queued batch
+   work never delays an interactive request — the queue-level half of
+   brownout (the admission-time half, shedding batch pushes early,
+   lives in {!Overload.shed_decision}). *)
+
+type 'a ring = {
+  slots : 'a option array;
   mutable head : int;  (* next pop position *)
   mutable len : int;
+}
+
+type 'a t = {
+  interactive : 'a ring;
+  batch : 'a ring;
+  capacity : int;  (* shared across both rings *)
   mutable is_closed : bool;
   mutable pushed : int;
   mutable rejected : int;
@@ -12,11 +24,13 @@ type 'a t = {
 
 type stats = { pushed : int; rejected : int; high_watermark : int }
 
+let make_ring capacity = { slots = Array.make capacity None; head = 0; len = 0 }
+
 let create ~capacity =
   if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
-  { ring = Array.make capacity None;
-    head = 0;
-    len = 0;
+  { interactive = make_ring capacity;
+    batch = make_ring capacity;
+    capacity;
     is_closed = false;
     pushed = 0;
     rejected = 0;
@@ -29,21 +43,32 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let capacity t = Array.length t.ring
-let length t = locked t (fun () -> t.len)
+let capacity t = t.capacity
+let total t = t.interactive.len + t.batch.len
+let length t = locked t (fun () -> total t)
 let closed t = locked t (fun () -> t.is_closed)
 
-let try_push t v =
+let ring_push r v =
+  r.slots.((r.head + r.len) mod Array.length r.slots) <- Some v;
+  r.len <- r.len + 1
+
+let ring_pop r =
+  let v = r.slots.(r.head) in
+  r.slots.(r.head) <- None;
+  r.head <- (r.head + 1) mod Array.length r.slots;
+  r.len <- r.len - 1;
+  v
+
+let try_push t ?(batch = false) v =
   locked t (fun () ->
-      if t.is_closed || t.len = Array.length t.ring then begin
+      if t.is_closed || total t = t.capacity then begin
         t.rejected <- t.rejected + 1;
         false
       end
       else begin
-        t.ring.((t.head + t.len) mod Array.length t.ring) <- Some v;
-        t.len <- t.len + 1;
+        ring_push (if batch then t.batch else t.interactive) v;
         t.pushed <- t.pushed + 1;
-        if t.len > t.high_watermark then t.high_watermark <- t.len;
+        if total t > t.high_watermark then t.high_watermark <- total t;
         Condition.signal t.nonempty;
         true
       end)
@@ -54,17 +79,12 @@ let stats t =
 
 let pop t =
   locked t (fun () ->
-      while t.len = 0 && not t.is_closed do
+      while total t = 0 && not t.is_closed do
         Condition.wait t.nonempty t.mu
       done;
-      if t.len = 0 then None
-      else begin
-        let v = t.ring.(t.head) in
-        t.ring.(t.head) <- None;
-        t.head <- (t.head + 1) mod Array.length t.ring;
-        t.len <- t.len - 1;
-        v
-      end)
+      if t.interactive.len > 0 then ring_pop t.interactive
+      else if t.batch.len > 0 then ring_pop t.batch
+      else None)
 
 let close t =
   locked t (fun () ->

@@ -12,6 +12,12 @@
     resident set proportional to [workers + capacity], not to offered
     load.
 
+    Two-class: each item is pushed as interactive (default) or batch,
+    into separate internal FIFO rings under one shared capacity, and
+    {!pop} always serves interactive first — queued batch work never
+    delays an interactive request (the queue-level half of brownout;
+    the admission-time half is {!Overload.shed_decision}).
+
     Domain-safe: one mutex, one condition; producers never wait,
     consumers block in {!pop} until an item or {!close} arrives. *)
 
@@ -23,15 +29,18 @@ val create : capacity:int -> 'a t
 val capacity : 'a t -> int
 
 val length : 'a t -> int
-(** Current depth (racy by nature; exact under the internal lock). *)
+(** Current depth, both classes combined (racy by nature; exact under
+    the internal lock). *)
 
-val try_push : 'a t -> 'a -> bool
-(** [false] when the queue is full or closed. Never blocks. *)
+val try_push : 'a t -> ?batch:bool -> 'a -> bool
+(** [false] when the queue is full (shared capacity, both classes) or
+    closed. Never blocks. [batch] (default [false]) selects the
+    lower-priority ring. *)
 
 val pop : 'a t -> 'a option
 (** Blocks until an item is available ([Some]) or the queue is closed
-    {e and} drained ([None] — the consumer should exit). Items come out
-    in push (FIFO) order. *)
+    {e and} drained ([None] — the consumer should exit). Interactive
+    items come out first, each class in its own push (FIFO) order. *)
 
 val close : 'a t -> unit
 (** Refuse further pushes and wake every blocked consumer. Items already

@@ -62,7 +62,13 @@ let connect ?(host = "127.0.0.1") ?(read_timeout_s = default_read_timeout_s)
    with e ->
      Unix.close fd;
      raise e);
+  (* Request/response framing over three hops (client, router, ingress
+     proxy): Nagle batching against delayed ACKs adds tens of
+     milliseconds per hop to every newline-framed exchange. *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   { fd; rbuf = ""; next_id = 0; read_timeout_s; is_closed = false }
+
+let fd t = t.fd
 
 let close t =
   if not t.is_closed then begin
@@ -147,8 +153,8 @@ let call t op =
              (Option.value ~default:"null" req_id))
       else Ok body
 
-let solve t ?timeout_s ?idem entry =
-  match call t (P.Solve { entry; timeout_s; idem }) with
+let solve t ?timeout_s ?idem ?(priority = P.Interactive) entry =
+  match call t (P.Solve { entry; timeout_s; idem; priority }) with
   | Error _ as e -> e
   | Ok (P.Results reports) -> Ok reports
   | Ok (P.Refused { code; msg }) ->
@@ -213,14 +219,18 @@ let session_conn s =
       | exception Failure msg -> Error msg)
 
 (* Transient refusals: the server is alive and answered, but retrying
-   later can succeed. Everything else ([Bad_request] & co.) is
-   deterministic — retrying would just repeat it. *)
+   later can succeed. [Deadline_exceeded] is deliberately {e not} here —
+   it is retry-hint-free: the budget is spent, and retrying the same
+   request under the same (now smaller) budget can only waste server
+   work. Everything else ([Bad_request] & co.) is deterministic —
+   retrying would just repeat it. *)
 let retryable = function
-  | P.Overloaded | P.Deadline_exceeded | P.Internal | P.Unavailable -> true
-  | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Shutting_down ->
+  | P.Overloaded | P.Internal | P.Unavailable -> true
+  | P.Bad_frame | P.Bad_request | P.Unsupported_version | P.Deadline_exceeded
+  | P.Shutting_down ->
       false
 
-let session_solve s ?timeout_s ?idem entry =
+let session_solve s ?timeout_s ?idem ?(priority = P.Interactive) entry =
   let key =
     match idem with
     | Some k -> k
@@ -229,30 +239,51 @@ let session_solve s ?timeout_s ?idem entry =
         s.s_seq <- s.s_seq + 1;
         k
   in
-  let op = P.Solve { entry; timeout_s; idem = Some key } in
+  (* The deadline is absolute, fixed at the first attempt: every retry
+     forwards only the budget that remains, and the loop refuses
+     locally — without burning a connection or a backoff sleep — once
+     the budget is gone. *)
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+  in
+  let remaining () =
+    Option.map (fun d -> d -. Unix.gettimeofday ()) deadline
+  in
+  let deadline_error () =
+    Error
+      (Refused
+         (P.Deadline_exceeded, "deadline budget exhausted before attempt"))
+  in
   let attempt () =
-    match session_conn s with
-    | Error msg -> Error (Transport msg)
-    | Ok c -> (
-        match call c op with
-        | Error msg ->
-            (* The connection is in an unknown state (half-written
-               frame, stale buffered bytes): drop it so the next
-               attempt reconnects. The idempotency key makes the
-               retry safe even if the solve actually ran. *)
-            session_drop s;
-            Error (Transport msg)
-        | Ok (P.Results reports) -> Ok reports
-        | Ok (P.Refused { code; msg }) -> Error (Refused (code, msg))
-        | Ok
-            (P.Stats_reply _ | P.Health_reply _ | P.Pong | P.Draining
-            | P.Peeked _) ->
-            session_drop s;
-            Error (Transport "unexpected response body for solve"))
+    match remaining () with
+    | Some r when r <= 0. -> deadline_error ()
+    | r -> (
+        let op = P.Solve { entry; timeout_s = r; idem = Some key; priority } in
+        match session_conn s with
+        | Error msg -> Error (Transport msg)
+        | Ok c -> (
+            match call c op with
+            | Error msg ->
+                (* The connection is in an unknown state (half-written
+                   frame, stale buffered bytes): drop it so the next
+                   attempt reconnects. The idempotency key makes the
+                   retry safe even if the solve actually ran. *)
+                session_drop s;
+                Error (Transport msg)
+            | Ok (P.Results reports) -> Ok reports
+            | Ok (P.Refused { code; msg }) -> Error (Refused (code, msg))
+            | Ok
+                (P.Stats_reply _ | P.Health_reply _ | P.Pong | P.Draining
+                | P.Peeked _) ->
+                session_drop s;
+                Error (Transport "unexpected response body for solve")))
   in
   (* [Retry.delays] yields the gaps between attempts (one per retry);
      seeding by key keeps each request's backoff schedule deterministic
-     and decorrelated from its neighbours'. *)
+     and decorrelated from its neighbours'. A sleep that would land
+     past the deadline is not taken: the attempt after it could only be
+     refused, so the loop returns a terminal [Deadline_exceeded]
+     instead of burning the budget asleep. *)
   let rec go delays =
     match attempt () with
     | Ok _ as ok -> ok
@@ -260,8 +291,11 @@ let session_solve s ?timeout_s ?idem entry =
     | Error _ as e -> (
         match delays with
         | [] -> e
-        | d :: rest ->
-            if d > 0. then Unix.sleepf d;
-            go rest)
+        | d :: rest -> (
+            match remaining () with
+            | Some r when r <= d -> deadline_error ()
+            | _ ->
+                if d > 0. then Unix.sleepf d;
+                go rest))
   in
   go (Retry.delays s.s_retry ~key)

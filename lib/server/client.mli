@@ -40,6 +40,12 @@ val connect :
 val close : t -> unit
 (** Idempotent. *)
 
+val fd : t -> Unix.file_descr
+(** The underlying socket, for callers that multiplex several
+    connections with [Unix.select] (the shard tier's hedged forward
+    races two connections and takes the first readable one). Do not
+    read or close it directly — use {!recv} / {!close}. *)
+
 val with_connection :
   ?host:string ->
   ?read_timeout_s:float ->
@@ -69,10 +75,12 @@ val solve :
   t ->
   ?timeout_s:float ->
   ?idem:string ->
+  ?priority:Protocol.priority ->
   string ->
   (Protocol.job_report list, string) result
 (** [solve t entry] runs one manifest entry; flattens [Refused] replies
-    into [Error "code: msg"]. No retries — see {!session_solve}. *)
+    into [Error "code: msg"]. [priority] defaults to
+    {!Protocol.Interactive}. No retries — see {!session_solve}. *)
 
 (* ----------------------------------------------------------- sessions *)
 
@@ -109,14 +117,20 @@ val session_solve :
   session ->
   ?timeout_s:float ->
   ?idem:string ->
+  ?priority:Protocol.priority ->
   string ->
   (Protocol.job_report list, failure) result
-(** Solve with retries. Each solve carries an idempotency key ([idem]
-    if given, else ["<tag>-<seq>"]), so retries after a lost reply
-    cannot double-execute. Transport failures drop the connection and
-    reconnect on the next attempt; [Overloaded], [Deadline_exceeded],
-    [Internal] and [Unavailable] refusals are retried on the backoff
-    schedule (an [Unavailable] shard tier is expected to recover
-    within a breaker half-open interval);
-    deterministic refusals ([Bad_request], [Shutting_down], …) return
-    immediately. *)
+(** Solve with retries under a propagated deadline. Each solve carries
+    an idempotency key ([idem] if given, else ["<tag>-<seq>"]), so
+    retries after a lost reply cannot double-execute. [timeout_s]
+    fixes an {e absolute} deadline at the first attempt: every retry
+    forwards only the remaining budget, a backoff sleep that would
+    land past the deadline is never taken (the call returns a terminal
+    [Refused (Deadline_exceeded, _)] instead), and an exhausted budget
+    refuses locally without touching the network. Transport failures
+    drop the connection and reconnect on the next attempt;
+    [Overloaded], [Internal] and [Unavailable] refusals are retried on
+    the backoff schedule (an [Unavailable] shard tier is expected to
+    recover within a breaker half-open interval); deterministic and
+    retry-hint-free refusals ([Bad_request], [Deadline_exceeded],
+    [Shutting_down], …) return immediately. *)

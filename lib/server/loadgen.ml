@@ -8,6 +8,7 @@ type mode = Closed | Open of float
 type solver = {
   sv_solve :
     ?timeout_s:float ->
+    ?priority:P.priority ->
     idem:string ->
     string ->
     (P.job_report list, Client.failure) result;
@@ -23,6 +24,7 @@ type config = {
   entries : string array;
   timeout_s : float option;
   mode : mode;
+  batch_share : float;
   retry : Tt_engine.Retry.policy;
   read_timeout_s : float;
   connect_timeout_s : float option;
@@ -67,6 +69,7 @@ let default_config =
     entries = default_entries;
     timeout_s = None;
     mode = Closed;
+    batch_share = 0.;
     retry = Tt_engine.Retry.none;
     read_timeout_s = Client.default_read_timeout_s;
     connect_timeout_s = None;
@@ -75,13 +78,19 @@ let default_config =
     solver = None
   }
 
-(* What one client domain brings home. *)
+type class_stats = { issued : int; ok : int; shed : int }
+
+(* What one client domain brings home. [t_pri] keys per-priority
+   (issued, ok, shed) triples by priority name; a shed is a typed
+   [overloaded] or [deadline_exceeded] refusal — the two codes overload
+   control answers with. *)
 type tally = {
   mutable issued : int;
   mutable t_ok : int;
   t_errors : (string, int) Hashtbl.t;
   mutable t_transport : int;
   t_transport_kinds : (string, int) Hashtbl.t;
+  t_pri : (string, int * int * int) Hashtbl.t;
   mutable lats : float list;
   mutable reports : P.job_report list;
 }
@@ -120,9 +129,18 @@ let client cfg ~host ~port ~k ~n ~rng =
       t_errors = Hashtbl.create 8;
       t_transport = 0;
       t_transport_kinds = Hashtbl.create 8;
+      t_pri = Hashtbl.create 2;
       lats = [];
       reports = []
     }
+  in
+  let pri_account priority ~ok ~shed =
+    let key = P.priority_to_string priority in
+    let i, o, s =
+      Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tally.t_pri key)
+    in
+    Hashtbl.replace tally.t_pri key
+      (i + 1, o + (if ok then 1 else 0), s + if shed then 1 else 0)
   in
   let solver =
     match cfg.solver with
@@ -133,8 +151,8 @@ let client cfg ~host ~port ~k ~n ~rng =
             ?connect_timeout_s:cfg.connect_timeout_s ~retry:cfg.retry ~port ()
         in
         { sv_solve =
-            (fun ?timeout_s ~idem entry ->
-              Client.session_solve session ?timeout_s ~idem entry);
+            (fun ?timeout_s ?priority ~idem entry ->
+              Client.session_solve session ?timeout_s ?priority ~idem entry);
           sv_close = (fun () -> Client.close_session session)
         }
   in
@@ -152,18 +170,38 @@ let client cfg ~host ~port ~k ~n ~rng =
             if wait > 0. then Unix.sleepf wait);
         let entry = Tt_util.Rng.pick rng cfg.entries in
         let idem = Printf.sprintf "%s%d-c%d-r%d" cfg.tag cfg.seed k i in
+        (* The priority draw is a pure hash gate on (seed, conn, i) —
+           independent of the entry RNG stream, so setting a batch
+           share changes which requests are batch without changing
+           which entries are drawn. *)
+        let priority =
+          if
+            Overload.hedge_gate ~seed:cfg.seed ~key:idem
+              ~ratio:cfg.batch_share
+          then P.Batch
+          else P.Interactive
+        in
         tally.issued <- tally.issued + 1;
         let sent = Unix.gettimeofday () in
-        match solver.sv_solve ?timeout_s:cfg.timeout_s ~idem entry with
+        match
+          solver.sv_solve ?timeout_s:cfg.timeout_s ~priority ~idem entry
+        with
         | Ok reports ->
             tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
             tally.t_ok <- tally.t_ok + 1;
+            pri_account priority ~ok:true ~shed:false;
             tally.reports <- List.rev_append reports tally.reports
         | Error (Client.Refused (code, _)) ->
             tally.lats <- (Unix.gettimeofday () -. sent) :: tally.lats;
+            pri_account priority ~ok:false
+              ~shed:
+                (match code with
+                | P.Overloaded | P.Deadline_exceeded -> true
+                | _ -> false);
             count_error tally (P.error_code_to_string code)
         | Error (Client.Transport msg) ->
             tally.t_transport <- tally.t_transport + 1;
+            pri_account priority ~ok:false ~shed:false;
             bump tally.t_transport_kinds (transport_kind msg)
       done);
   tally
@@ -171,6 +209,7 @@ let client cfg ~host ~port ~k ~n ~rng =
 type summary = {
   requests : int;
   ok : int;
+  by_priority : (string * class_stats) list;
   errors : (string * int) list;
   transport_errors : int;
   transport_breakdown : (string * int) list;
@@ -287,8 +326,26 @@ let run cfg =
   let q p =
     if Array.length lats = 0 then nan else Tt_util.Statistics.quantile lats p
   in
+  let by_priority =
+    let h = Hashtbl.create 2 in
+    Array.iter
+      (fun t ->
+        Hashtbl.iter
+          (fun k (i, o, s) ->
+            let pi, po, ps =
+              Option.value ~default:(0, 0, 0) (Hashtbl.find_opt h k)
+            in
+            Hashtbl.replace h k (pi + i, po + o, ps + s))
+          t.t_pri)
+      tallies;
+    List.sort compare
+      (Hashtbl.fold
+         (fun k (i, o, s) acc -> (k, { issued = i; ok = o; shed = s }) :: acc)
+         h [])
+  in
   { requests = issued;
     ok;
+    by_priority;
     errors;
     transport_errors = transport;
     transport_breakdown;
@@ -311,6 +368,21 @@ let summary_to_string s =
   pf "requests: %d (ok %d, errors %d, transport errors %d)\n" s.requests s.ok
     (List.fold_left (fun a (_, v) -> a + v) 0 s.errors)
     s.transport_errors;
+  (* Per-priority goodput/shed line, only once batch traffic exists —
+     an all-interactive run (every pre-overload gate) keeps its output
+     byte-identical. *)
+  (match s.by_priority with
+  | [] | [ ("interactive", _) ] -> ()
+  | classes ->
+      pf "priority:";
+      List.iter
+        (fun (name, (c : class_stats)) ->
+          pf " %s issued=%d ok=%d shed=%d goodput=%.3f" name c.issued c.ok
+            c.shed
+            (if c.issued = 0 then 0.
+             else float_of_int c.ok /. float_of_int c.issued))
+        classes;
+      pf "\n");
   (match s.errors with
   | [] -> pf "errors: none\n"
   | errs ->

@@ -43,6 +43,7 @@ type mode =
 type solver = {
   sv_solve :
     ?timeout_s:float ->
+    ?priority:Protocol.priority ->
     idem:string ->
     string ->
     (Protocol.job_report list, Client.failure) result;
@@ -58,6 +59,11 @@ type config = {
   entries : string array;  (** Manifest entries to draw from (≥ 1). *)
   timeout_s : float option;  (** Per-request deadline sent to the server. *)
   mode : mode;
+  batch_share : float;
+      (** Fraction of requests sent [priority=batch] (default 0), drawn
+          per request by a pure hash gate on (seed, connection, index) —
+          independent of the entry RNG stream, so turning it on changes
+          priorities without changing which entries are drawn. *)
   retry : Tt_engine.Retry.policy;
       (** Session retry policy (default {!Tt_engine.Retry.none}). *)
   read_timeout_s : float;  (** Per-reply read deadline (default 30 s). *)
@@ -99,9 +105,20 @@ val mixes : (string * string array) list
 val entries_of_mix : string -> string array option
 (** Look a mix up by name. *)
 
+type class_stats = {
+  issued : int;
+  ok : int;
+  shed : int;
+      (** Typed [overloaded] / [deadline_exceeded] refusals — the two
+          codes overload control sheds with. *)
+}
+
 type summary = {
   requests : int;  (** Requests actually issued. *)
   ok : int;
+  by_priority : (string * class_stats) list;
+      (** Per-priority goodput/shed accounting, sorted by priority
+          name. *)
   errors : (string * int) list;  (** Error-code → count, sorted. *)
   transport_errors : int;
       (** Requests whose whole retry schedule was eaten by

@@ -24,6 +24,11 @@ type t = {
   mutable idle_evictions : int;
   mutable replay_hits : int;
   mutable write_overflows : int;
+  sheds : (string * string, int) Hashtbl.t;  (* (reason, priority) *)
+  mutable deadline_exceeded : int;
+  mutable admission_queue_depth : int;
+  mutable admission_admitted : int;
+  mutable admission_limit : int;
 }
 
 let create ?(latency_window = 4096) () =
@@ -50,7 +55,12 @@ let create ?(latency_window = 4096) () =
     worker_restarts = 0;
     idle_evictions = 0;
     replay_hits = 0;
-    write_overflows = 0
+    write_overflows = 0;
+    sheds = Hashtbl.create 8;
+    deadline_exceeded = 0;
+    admission_queue_depth = 0;
+    admission_admitted = 0;
+    admission_limit = 0
   }
 
 let locked t f =
@@ -83,6 +93,21 @@ let observe_solve t ~latency_s =
       t.lat_count <- t.lat_count + 1;
       t.lat_sum <- t.lat_sum +. latency_s;
       if latency_s > t.lat_max then t.lat_max <- latency_s)
+
+let shed t ~reason ~priority =
+  locked t (fun () ->
+      let k = (reason, priority) in
+      Hashtbl.replace t.sheds k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.sheds k)))
+
+let deadline_exceeded t =
+  locked t (fun () -> t.deadline_exceeded <- t.deadline_exceeded + 1)
+
+let set_admission t ~queue_depth ~admitted ~limit =
+  locked t (fun () ->
+      t.admission_queue_depth <- queue_depth;
+      t.admission_admitted <- admitted;
+      t.admission_limit <- limit)
 
 let worker_restart t = locked t (fun () -> t.worker_restarts <- t.worker_restarts + 1)
 let idle_eviction t = locked t (fun () -> t.idle_evictions <- t.idle_evictions + 1)
@@ -128,6 +153,11 @@ type snapshot = {
   idle_evictions : int;
   replay_hits : int;
   write_overflows : int;
+  sheds : ((string * string) * int) list;
+  deadline_exceeded : int;
+  admission_queue_depth : int;
+  admission_admitted : int;
+  admission_limit : int;
   latency : latency_summary;
 }
 
@@ -157,6 +187,13 @@ let snapshot t =
         idle_evictions = t.idle_evictions;
         replay_hits = t.replay_hits;
         write_overflows = t.write_overflows;
+        sheds =
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sheds []);
+        deadline_exceeded = t.deadline_exceeded;
+        admission_queue_depth = t.admission_queue_depth;
+        admission_admitted = t.admission_admitted;
+        admission_limit = t.admission_limit;
         latency =
           { count = t.lat_count;
             window;
@@ -203,6 +240,19 @@ let to_json s =
             ("idle_evictions", Json.Int s.idle_evictions);
             ("replay_hits", Json.Int s.replay_hits);
             ("write_overflows", Json.Int s.write_overflows)
+          ] );
+      ( "overload",
+        Json.Obj
+          [ ( "sheds",
+              Json.Obj
+                (List.map
+                   (fun ((reason, priority), v) ->
+                     (reason ^ "/" ^ priority, Json.Int v))
+                   s.sheds) );
+            ("deadline_exceeded", Json.Int s.deadline_exceeded);
+            ("queue_depth", Json.Int s.admission_queue_depth);
+            ("admitted", Json.Int s.admission_admitted);
+            ("limit", Json.Int s.admission_limit)
           ] );
       ( "latency",
         Json.Obj
@@ -265,6 +315,21 @@ let to_prometheus s =
   counter "replay_hits_total" s.replay_hits;
   typ "write_overflows_total" "counter";
   counter "write_overflows_total" s.write_overflows;
+  typ "sheds_total" "counter";
+  List.iter
+    (fun ((reason, priority), v) ->
+      counter "sheds_total"
+        ~labels:(Printf.sprintf {|{reason=%S,priority=%S}|} reason priority)
+        v)
+    s.sheds;
+  typ "deadline_exceeded_total" "counter";
+  counter "deadline_exceeded_total" s.deadline_exceeded;
+  typ "admission_queue_depth" "gauge";
+  counter "admission_queue_depth" s.admission_queue_depth;
+  typ "admission_admitted" "gauge";
+  counter "admission_admitted" s.admission_admitted;
+  typ "admission_limit" "gauge";
+  counter "admission_limit" s.admission_limit;
   typ "solve_latency_seconds" "summary";
   List.iter
     (fun (q, v) ->

@@ -54,6 +54,20 @@ val write_overflow : t -> unit
 (** One connection dropped because its reply backlog exceeded the
     write-buffer cap (a reader too slow to keep up). *)
 
+val shed : t -> reason:string -> priority:string -> unit
+(** One request shed at admission time, keyed by
+    ({!Overload.shed_reason_to_string}, {!Protocol.priority_to_string})
+    — the [tt_server_sheds_total{reason,priority}] series. *)
+
+val deadline_exceeded : t -> unit
+(** One request refused with [deadline_exceeded] (at admission, at
+    dequeue, or after execution outran the budget). *)
+
+val set_admission : t -> queue_depth:int -> admitted:int -> limit:int -> unit
+(** Update the admission gauges: current queue depth, the number of
+    requests admitted but not yet replied (queued + executing), and the
+    current AIMD concurrency limit. *)
+
 (* ----------------------------------------------------------- snapshot *)
 
 type latency_summary = {
@@ -86,6 +100,12 @@ type snapshot = {
   idle_evictions : int;
   replay_hits : int;
   write_overflows : int;
+  sheds : ((string * string) * int) list;
+      (** By (reason, priority), sorted. *)
+  deadline_exceeded : int;
+  admission_queue_depth : int;  (** Gauge: last reported depth. *)
+  admission_admitted : int;  (** Gauge: admitted but not yet replied. *)
+  admission_limit : int;  (** Gauge: current AIMD limit. *)
   latency : latency_summary;
 }
 

@@ -369,6 +369,10 @@ let accept_one t =
           (Unix.ADDR_INET (resolve t.upstream_host, t.upstream_port))
       with
       | () ->
+          (try
+             Unix.setsockopt cfd Unix.TCP_NODELAY true;
+             Unix.setsockopt ufd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
           let pair =
             { cid = t.next_cid;
               cfd;

@@ -1,0 +1,150 @@
+(* Pure overload-control decisions: AIMD concurrency limiting,
+   CoDel-style deadline-aware shedding, and budget-aware hedging. Every
+   function here is a pure function of its arguments (plus, for the
+   hedge gate, a seed) — no wall clock, no hidden state — so the server
+   and router stay deterministic under a fake clock and every behaviour
+   is property-testable. *)
+
+(* ------------------------------------------------------ AIMD limiter *)
+
+module Limiter = struct
+  type t = {
+    mutable limit : float;
+    min_limit : float;
+    max_limit : float;
+    increase : float;  (* additive, per success *)
+    decrease : float;  (* multiplicative, per loss *)
+  }
+
+  let create ?(min_limit = 1.) ?(increase = 1.) ?(decrease = 0.7) ~initial
+      ~max_limit () =
+    if min_limit < 1. then invalid_arg "Limiter.create: min_limit < 1";
+    if decrease <= 0. || decrease >= 1. then
+      invalid_arg "Limiter.create: decrease not in (0, 1)";
+    if increase <= 0. then invalid_arg "Limiter.create: increase <= 0";
+    let max_limit = Float.max max_limit min_limit in
+    let initial = Float.min max_limit (Float.max min_limit initial) in
+    { limit = initial; min_limit; max_limit; increase; decrease }
+
+  let limit t = int_of_float t.limit
+
+  (* Additive increase, scaled down by the current limit so the window
+     grows by ~1 slot per [limit] successes (TCP-style congestion
+     avoidance), capped at [max_limit]. *)
+  let on_success t =
+    t.limit <-
+      Float.min t.max_limit (t.limit +. (t.increase /. Float.max 1. t.limit))
+
+  (* Multiplicative decrease on a loss signal (deadline blown, worker
+     wedged), floored at [min_limit] so the server always admits
+     something and can probe its way back up. *)
+  let on_loss t =
+    t.limit <- Float.max t.min_limit (t.limit *. t.decrease)
+end
+
+(* ------------------------------------------------- exponential average *)
+
+let ema ~alpha ~prev x =
+  match prev with None -> x | Some p -> p +. (alpha *. (x -. p))
+
+(* ----------------------------------------------------------- shedding *)
+
+type shed_reason = Limit | Brownout | Queue_wait
+
+let shed_reason_to_string = function
+  | Limit -> "limit"
+  | Brownout -> "brownout"
+  | Queue_wait -> "queue_wait"
+
+(* Expected wait before a request admitted now starts running: the
+   backlog ahead of it divided by service throughput. A zero/unknown
+   service-time estimate means no waiting is predicted. *)
+let queue_wait_estimate ~depth ~ema_service_s ~workers =
+  if depth <= 0 || ema_service_s <= 0. then 0.
+  else float_of_int depth *. ema_service_s /. float_of_int (max 1 workers)
+
+(* The shed decision, checked at admission time in order of
+   usefulness-to-the-client:
+
+   - [Queue_wait] (CoDel-style): the queue-wait estimate already
+     exceeds the request's remaining budget, so admitting it only
+     manufactures a deadline_exceeded later — refuse now. Monotone in
+     [est_wait_s]: once a given (remaining, priority) sheds at wait w,
+     it sheds at every w' >= w.
+   - [Brownout]: batch traffic sheds once in-flight work crosses
+     [batch_headroom] of the limit, reserving the top of the window for
+     interactive traffic.
+   - [Limit]: the AIMD window is full.
+
+   Returns [None] to admit. *)
+let shed_decision ~limit ~admitted ~batch_headroom ~est_wait_s ~remaining_s
+    ~(priority : Protocol.priority) =
+  match remaining_s with
+  | Some r when est_wait_s > r -> Some Queue_wait
+  | _ ->
+      if
+        priority = Protocol.Batch
+        && float_of_int admitted
+           >= batch_headroom *. float_of_int (max 1 limit)
+      then Some Brownout
+      else if admitted >= max 1 limit then Some Limit
+      else None
+
+(* ------------------------------------------------------------ hedging *)
+
+(* A hedge is only worth firing when the remaining budget could still
+   cover the successor's observed RTT — otherwise the hedge is doomed
+   work for the successor. Unknown budget (no deadline) always allows. *)
+let should_hedge ~remaining_s ~successor_rtt_s =
+  match remaining_s with
+  | None -> true
+  | Some r -> r > successor_rtt_s
+
+(* Deterministic per-key hedge gate: a pure function of (seed, key)
+   admitting roughly [ratio] of candidates. Keeps hedge volume bounded
+   and replayable — the same seeded run hedges the same requests. *)
+let hedge_gate ~seed ~key ~ratio =
+  if ratio >= 1. then true
+  else if ratio <= 0. then false
+  else begin
+    let h = Digest.string (Printf.sprintf "hedge-%d-%s" seed key) in
+    let v = ref 0 in
+    String.iter (fun c -> v := ((!v * 31) + Char.code c) land 0xFFFFFF) h;
+    float_of_int !v /. float_of_int 0xFFFFFF < ratio
+  end
+
+(* ------------------------------------------------------ RTT estimator *)
+
+module Rtt = struct
+  (* Windowed quantile estimate over the last [cap] observations. Small
+     (64 samples) and exact: sorting 64 floats per decision is cheaper
+     than a streaming sketch and has no tuning parameters. *)
+  type t = {
+    samples : float array;
+    mutable n : int;  (* total observations ever *)
+    cap : int;
+  }
+
+  let create ?(cap = 64) () =
+    { samples = Array.make (max 1 cap) 0.; n = 0; cap = max 1 cap }
+
+  let observe t x =
+    t.samples.(t.n mod t.cap) <- x;
+    t.n <- t.n + 1
+
+  let count t = min t.n t.cap
+
+  (* Quantile of the current window, or [None] below [min_samples] —
+     hedging on one or two observations would fire on noise. *)
+  let quantile ?(min_samples = 8) t q =
+    let n = count t in
+    if n < min_samples then None
+    else begin
+      let a = Array.sub t.samples 0 n in
+      Array.sort compare a;
+      let idx =
+        int_of_float (Float.of_int (n - 1) *. Float.max 0. (Float.min 1. q))
+      in
+      Some a.(idx)
+    end
+end

@@ -1,0 +1,95 @@
+(** Pure overload-control decisions: AIMD concurrency limiting,
+    CoDel-style deadline-aware shedding, and budget-aware hedging.
+
+    Everything here is a pure function of its explicit arguments (plus
+    a seed for the hedge gate) — no wall clock, no global state — so
+    the server's and router's overload behaviour is a deterministic
+    function of (seed, clock, observations), property-testable on a
+    fake clock, and the chaos-overload gate replays byte-for-byte. *)
+
+(** Adaptive concurrency window, TCP-style: additive increase on
+    success ([+increase/limit] per success, so the window grows ~1 slot
+    per window of successes), multiplicative decrease on a loss signal
+    ([*decrease]), never below [min_limit] (>= 1) and never above
+    [max_limit]. The only mutable state is the current window. *)
+module Limiter : sig
+  type t
+
+  val create :
+    ?min_limit:float ->
+    ?increase:float ->
+    ?decrease:float ->
+    initial:float ->
+    max_limit:float ->
+    unit ->
+    t
+  (** Defaults: [min_limit] 1, [increase] 1, [decrease] 0.7. [initial]
+      is clamped into [min_limit, max_limit].
+      @raise Invalid_argument when [min_limit < 1], [increase <= 0], or
+      [decrease] outside (0, 1). *)
+
+  val limit : t -> int
+  (** Current window, truncated to an integer (>= 1 by construction). *)
+
+  val on_success : t -> unit
+  val on_loss : t -> unit
+end
+
+val ema : alpha:float -> prev:float option -> float -> float
+(** One exponential-moving-average step; [prev = None] seeds with the
+    observation itself. *)
+
+type shed_reason = Limit | Brownout | Queue_wait
+
+val shed_reason_to_string : shed_reason -> string
+(** ["limit"] / ["brownout"] / ["queue_wait"] — the [reason] label of
+    [tt_server_sheds_total]. *)
+
+val queue_wait_estimate :
+  depth:int -> ema_service_s:float -> workers:int -> float
+(** Expected wait before a request admitted now starts running:
+    [depth * ema_service_s / workers]; 0 when the queue is empty or no
+    service-time estimate exists yet. *)
+
+val shed_decision :
+  limit:int ->
+  admitted:int ->
+  batch_headroom:float ->
+  est_wait_s:float ->
+  remaining_s:float option ->
+  priority:Protocol.priority ->
+  shed_reason option
+(** The admission-time shed decision, [None] to admit. Checked in
+    order: {!Queue_wait} when [est_wait_s] exceeds the remaining
+    deadline budget (CoDel-style — admitting would only manufacture a
+    [deadline_exceeded] later; monotone in [est_wait_s]); {!Brownout}
+    when a {!Protocol.Batch} request arrives with in-flight work at or
+    past [batch_headroom * limit] (batch sheds first, reserving window
+    headroom for interactive); {!Limit} when [admitted >= limit]. *)
+
+val should_hedge : remaining_s:float option -> successor_rtt_s:float -> bool
+(** A hedge never fires when the remaining budget cannot cover the
+    successor's observed RTT — the hedge would be doomed work. A
+    request without a deadline always qualifies. *)
+
+val hedge_gate : seed:int -> key:string -> ratio:float -> bool
+(** Deterministic per-key hedge admission: a pure function of
+    ([seed], [key]) passing roughly [ratio] of keys, so hedge volume is
+    bounded and a seeded run hedges the same requests every replay. *)
+
+(** Windowed RTT quantile estimator (last [cap] observations, default
+    64). Exact over its window; refuses to estimate below a minimum
+    sample count so hedges never fire on noise. *)
+module Rtt : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  (** Observations currently in the window. *)
+
+  val quantile : ?min_samples:int -> t -> float -> float option
+  (** [quantile t 0.95] is the p95 of the window, or [None] while fewer
+      than [min_samples] (default 8) observations exist. *)
+end

@@ -39,8 +39,24 @@ let error_code_of_string = function
 
 (* ----------------------------------------------------------- requests *)
 
+type priority = Interactive | Batch
+
+let priority_to_string = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+
+let priority_of_string = function
+  | "interactive" -> Some Interactive
+  | "batch" -> Some Batch
+  | _ -> None
+
 type op =
-  | Solve of { entry : string; timeout_s : float option; idem : string option }
+  | Solve of {
+      entry : string;
+      timeout_s : float option;
+      idem : string option;
+      priority : priority;
+    }
   | Peek of { key : string }
   | Stats
   | Ping
@@ -53,7 +69,7 @@ let encode_request { id; op } =
   let base = [ ("v", Json.Int version); ("id", Json.String id) ] in
   let fields =
     match op with
-    | Solve { entry; timeout_s; idem } ->
+    | Solve { entry; timeout_s; idem; priority } ->
         base
         @ [ ("op", Json.String "solve"); ("entry", Json.String entry) ]
         @ (match timeout_s with
@@ -62,6 +78,12 @@ let encode_request { id; op } =
         @ (match idem with
           | Some k -> [ ("idem", Json.String k) ]
           | None -> [])
+        (* Interactive is the default and stays off the wire, so frames
+           from pre-priority clients and to pre-priority servers are
+           byte-identical to before. *)
+        @ (match priority with
+          | Interactive -> []
+          | Batch -> [ ("priority", Json.String "batch") ])
     | Peek { key } ->
         base @ [ ("op", Json.String "peek"); ("key", Json.String key) ]
     | Stats -> base @ [ ("op", Json.String "stats") ]
@@ -100,21 +122,45 @@ let decode_request line =
                     match Json.member "entry" json with
                     | Some (Json.String entry) -> (
                         match Json.member "idem" json with
-                        | Some (Json.String _ ) | None ->
+                        | Some (Json.String _ ) | None -> (
                             let idem =
                               match Json.member "idem" json with
                               | Some (Json.String k) -> Some k
                               | _ -> None
                             in
-                            Ok
-                              { id;
-                                op =
-                                  Solve
-                                    { entry;
-                                      timeout_s = float_member "timeout_s" json;
-                                      idem
-                                    }
-                              }
+                            match Json.member "priority" json with
+                            | None -> (
+                                Ok
+                                  { id;
+                                    op =
+                                      Solve
+                                        { entry;
+                                          timeout_s =
+                                            float_member "timeout_s" json;
+                                          idem;
+                                          priority = Interactive
+                                        }
+                                  })
+                            | Some (Json.String p) -> (
+                                match priority_of_string p with
+                                | Some priority ->
+                                    Ok
+                                      { id;
+                                        op =
+                                          Solve
+                                            { entry;
+                                              timeout_s =
+                                                float_member "timeout_s" json;
+                                              idem;
+                                              priority
+                                            }
+                                      }
+                                | None ->
+                                    fail Bad_request
+                                      ("unknown priority: " ^ p))
+                            | Some _ ->
+                                fail Bad_request
+                                  "priority must be a string when present")
                         | Some _ ->
                             fail Bad_request "idem must be a string when present")
                     | _ -> fail Bad_request "solve needs a string entry")

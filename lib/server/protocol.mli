@@ -69,13 +69,32 @@ val error_code_of_string : string -> error_code option
 
 (* ----------------------------------------------------------- requests *)
 
+type priority = Interactive | Batch
+(** Request class for brownout shedding: under overload the server
+    sheds [Batch] traffic first, preserving [Interactive] goodput.
+    [Interactive] is the default and is omitted from the wire frame, so
+    pre-priority clients and servers interoperate byte-identically. *)
+
+val priority_to_string : priority -> string
+val priority_of_string : string -> priority option
+
 type op =
-  | Solve of { entry : string; timeout_s : float option; idem : string option }
+  | Solve of {
+      entry : string;
+      timeout_s : float option;
+      idem : string option;
+      priority : priority;
+    }
       (** [idem] is a client-chosen idempotency key: the server caches
           the successful reply body under it (bounded {!Replay} cache),
           so a retry of the same solve after a lost reply is answered
           from the cache instead of re-admitted — the client may retry
-          freely without double execution. *)
+          freely without double execution. [timeout_s] is the remaining
+          deadline budget at the sender: each hop converts it to an
+          absolute deadline on receipt and rewrites it to
+          [deadline - now] when forwarding, so the budget shrinks by
+          real elapsed time across hops and retries. [priority] selects
+          the brownout class ({!Batch} sheds first). *)
   | Peek of { key : string }
       (** Cache peering (shard tier): does this server's result cache
           hold [key] (a content address, typically a {!Tt_engine.Job}

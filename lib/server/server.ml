@@ -16,6 +16,7 @@ type config = {
   replay_capacity : int;
   wedge_grace_s : float;
   worker_faults : Fault.t option;
+  batch_headroom : float;
 }
 
 let default_config =
@@ -29,7 +30,8 @@ let default_config =
     max_write_buf = 8 * 1024 * 1024;
     replay_capacity = 1024;
     wedge_grace_s = 5.;
-    worker_faults = None
+    worker_faults = None;
+    batch_headroom = 0.75
   }
 
 (* One accepted connection. The I/O domain owns the read side ([pending]
@@ -65,6 +67,7 @@ type work = {
   jobs : Job.t list;
   deadline : float;  (* absolute, seconds *)
   received : float;
+  priority : P.priority;
   idem : string option;
   seq : int;  (* admission sequence number; the worker-fault roll key *)
   replied : bool Atomic.t;
@@ -101,6 +104,9 @@ type t = {
   metrics : Metrics.t;
   queue : work Admission.t;
   replay : Replay.t;
+  limiter : Overload.Limiter.t;
+  admitted : int Atomic.t;  (* queued + executing, not yet replied *)
+  mutable ema_service_s : float option;  (* guarded by [mu] *)
   admit_seq : int Atomic.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -153,6 +159,16 @@ let create ?(config = default_config) ?cache ?(retry = Tt_engine.Retry.none)
     metrics = Metrics.create ();
     queue = Admission.create ~capacity:config.queue_capacity;
     replay = Replay.create ~capacity:(max 1 config.replay_capacity);
+    (* The AIMD window starts (and is capped) at queued + executing
+       capacity, so an unloaded server behaves exactly like the static
+       ring did; only loss signals (blown deadlines, wedges) shrink it
+       below that, moving rejection from queue-full to admission
+       time. *)
+    limiter =
+      (let cap = float_of_int (config.queue_capacity + config.workers) in
+       Overload.Limiter.create ~initial:cap ~max_limit:cap ());
+    admitted = Atomic.make 0;
+    ema_service_s = None;
     admit_seq = Atomic.make 0;
     listen_fd;
     bound_port;
@@ -189,6 +205,11 @@ let request_shutdown t =
 
 let stats_json t =
   let astats = Admission.stats t.queue in
+  (* Freshen the admission gauges so the [metrics.overload] object a
+     client reads is current, not last-reply-time. *)
+  Metrics.set_admission t.metrics ~queue_depth:(Admission.length t.queue)
+    ~admitted:(Atomic.get t.admitted)
+    ~limit:(Overload.Limiter.limit t.limiter);
   Json.Obj
     [ ( "server",
         Json.Obj
@@ -196,6 +217,7 @@ let stats_json t =
             ("workers", Json.Int t.config.workers);
             ("queue_capacity", Json.Int (Admission.capacity t.queue));
             ("queue_depth", Json.Int (Admission.length t.queue));
+            ("admission_limit", Json.Int (Overload.Limiter.limit t.limiter));
             ("draining", Json.Bool (Atomic.get t.stop));
             ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started))
           ] );
@@ -290,17 +312,39 @@ let reply t conn req_id body =
    supervisor already answered, a crash handler racing a wedge
    detector) no-op, so an admitted request gets exactly one reply and
    exactly one decrement. *)
-let reply_work t w body =
+let reply_work ?(loss = false) t w body =
   if Atomic.compare_and_set w.replied false true then begin
+    let sojourn = Unix.gettimeofday () -. w.received in
     (* Record the latency before the reply hits the wire: a client may
        issue STATS the instant it reads this response, and the snapshot
        it gets back must already account for it. *)
-    Metrics.observe_solve t.metrics
-      ~latency_s:(Unix.gettimeofday () -. w.received);
+    Metrics.observe_solve t.metrics ~latency_s:sojourn;
+    (* AIMD signals: a blown deadline (refused here or detected by the
+       wedge supervisor, which passes [~loss:true]) shrinks the window;
+       a served result grows it and feeds the sojourn-time EMA behind
+       the queue-wait estimate. Plain crashes are {e not} losses — they
+       say nothing about load, and chaos runs inject them freely. *)
+    (match body with
+    | P.Refused { code = P.Deadline_exceeded; _ } ->
+        Metrics.deadline_exceeded t.metrics;
+        Overload.Limiter.on_loss t.limiter
+    | P.Results _ ->
+        if loss then Overload.Limiter.on_loss t.limiter
+        else begin
+          Overload.Limiter.on_success t.limiter;
+          locked t (fun () ->
+              t.ema_service_s <-
+                Some (Overload.ema ~alpha:0.2 ~prev:t.ema_service_s sojourn))
+        end
+    | _ -> if loss then Overload.Limiter.on_loss t.limiter);
     (match (body, w.idem) with
     | P.Results _, Some key -> Replay.put t.replay key body
     | _ -> ());
     reply t w.wconn (Some w.req_id) body;
+    ignore (Atomic.fetch_and_add t.admitted (-1));
+    Metrics.set_admission t.metrics ~queue_depth:(Admission.length t.queue)
+      ~admitted:(Atomic.get t.admitted)
+      ~limit:(Overload.Limiter.limit t.limiter);
     locked t (fun () -> w.wconn.inflight <- w.wconn.inflight - 1);
     wake t
   end
@@ -414,7 +458,7 @@ let supervise t =
         | Some w
           when (not (Atomic.get w.replied))
                && now > w.deadline +. t.config.wedge_grace_s ->
-            reply_work t w
+            reply_work ~loss:true t w
               (P.Refused
                  { code = P.Internal; msg = "worker wedged; replaced" });
             Atomic.set slot.abandon true;
@@ -430,7 +474,7 @@ let supervise t =
 
 (* ----------------------------------------------------------- frames *)
 
-let handle_solve t conn ~id ~entry ~timeout_s ~idem ~received =
+let handle_solve t conn ~id ~entry ~timeout_s ~idem ~priority ~received =
   let refuse code msg =
     Metrics.observe_solve t.metrics
       ~latency_s:(Unix.gettimeofday () -. received);
@@ -447,53 +491,110 @@ let handle_solve t conn ~id ~entry ~timeout_s ~idem ~received =
           ~latency_s:(Unix.gettimeofday () -. received);
         reply t conn (Some id) body
     | None -> (
-        match Tt_engine.Manifest.parse entry with
-        | Error e -> refuse P.Bad_request e
-        | Ok [] -> refuse P.Bad_request "entry contains no jobs"
-        | Ok jobs ->
-            let budget =
-              match timeout_s with
-              | Some s -> Float.max 0. (Float.min s t.config.max_deadline_s)
-              | None -> t.config.max_deadline_s
-            in
-            let w =
-              { wconn = conn;
-                req_id = id;
-                jobs;
-                deadline = received +. budget;
-                received;
-                idem;
-                seq = Atomic.fetch_and_add t.admit_seq 1;
-                replied = Atomic.make false
-              }
-            in
-            (* Count the request in-flight before exposing it to
-               workers — a worker may pop, reply and decrement before
-               try_push even returns. The same locked section enforces
-               the per-connection cap, so one pipelining client cannot
-               monopolize the queue. *)
-            let admitted =
-              locked t (fun () ->
-                  if conn.inflight >= t.config.max_inflight then false
-                  else begin
-                    conn.inflight <- conn.inflight + 1;
-                    true
-                  end)
-            in
-            if not admitted then
-              refuse P.Overloaded
-                (Printf.sprintf "per-connection in-flight limit (%d) reached"
-                   t.config.max_inflight)
-            else if not (Admission.try_push t.queue w) then
-              (* Roll back through the normal exit so the reply and the
-                 decrement stay paired. *)
-              reply_work t w
-                (P.Refused
-                   { code = P.Overloaded;
-                     msg =
-                       Printf.sprintf "admission queue full (capacity %d)"
-                         (Admission.capacity t.queue)
-                   }))
+        let budget =
+          match timeout_s with
+          | Some s -> Float.max 0. (Float.min s t.config.max_deadline_s)
+          | None -> t.config.max_deadline_s
+        in
+        (* The adaptive admission decision, before any parsing, queue or
+           per-connection bookkeeping: a pure function of the AIMD
+           window, the in-flight count, the queue-wait estimate and the
+           request's remaining budget. Shedding must be the cheapest
+           path through the server — entry parsing (matrix generation,
+           ordering, etree) costs real CPU, and an overloaded server
+           that parses before refusing collapses under the very traffic
+           it is trying to turn away. *)
+        let limit = Overload.Limiter.limit t.limiter in
+        let depth = Admission.length t.queue in
+        let est_wait_s =
+          Overload.queue_wait_estimate ~depth
+            ~ema_service_s:
+              (locked t (fun () ->
+                   Option.value ~default:0. t.ema_service_s))
+            ~workers:t.config.workers
+        in
+        Metrics.set_admission t.metrics ~queue_depth:depth
+          ~admitted:(Atomic.get t.admitted) ~limit;
+        match
+          Overload.shed_decision ~limit
+            ~admitted:(Atomic.get t.admitted)
+            ~batch_headroom:t.config.batch_headroom ~est_wait_s
+            ~remaining_s:(Some budget) ~priority
+        with
+        | Some reason -> (
+            Metrics.shed t.metrics
+              ~reason:(Overload.shed_reason_to_string reason)
+              ~priority:(P.priority_to_string priority);
+            match reason with
+            | Overload.Queue_wait ->
+                Metrics.deadline_exceeded t.metrics;
+                refuse P.Deadline_exceeded
+                  (Printf.sprintf
+                     "queue-wait estimate %.3fs exceeds remaining budget %.3fs"
+                     est_wait_s budget)
+            | Overload.Brownout ->
+                refuse P.Overloaded "shedding batch traffic (brownout)"
+            | Overload.Limit ->
+                refuse P.Overloaded
+                  (Printf.sprintf "concurrency limit (%d) reached" limit))
+        | None -> (
+            match Tt_engine.Manifest.parse entry with
+            | Error e -> refuse P.Bad_request e
+            | Ok [] -> refuse P.Bad_request "entry contains no jobs"
+            | Ok jobs ->
+                let w =
+                  { wconn = conn;
+                    req_id = id;
+                    jobs;
+                    deadline = received +. budget;
+                    received;
+                    priority;
+                    idem;
+                    seq = Atomic.fetch_and_add t.admit_seq 1;
+                    replied = Atomic.make false
+                  }
+                in
+                (* Count the request in-flight before exposing it to
+                   workers — a worker may pop, reply and decrement before
+                   try_push even returns. The same locked section enforces
+                   the per-connection cap, so one pipelining client cannot
+                   monopolize the queue. *)
+                let admitted =
+                  locked t (fun () ->
+                      if conn.inflight >= t.config.max_inflight then false
+                      else begin
+                        conn.inflight <- conn.inflight + 1;
+                        true
+                      end)
+                in
+                if not admitted then
+                  refuse P.Overloaded
+                    (Printf.sprintf
+                       "per-connection in-flight limit (%d) reached"
+                       t.config.max_inflight)
+                else begin
+                  ignore (Atomic.fetch_and_add t.admitted 1);
+                  if
+                    not
+                      (Admission.try_push t.queue
+                         ~batch:(priority = P.Batch) w)
+                  then begin
+                    (* Roll back through the normal exit so the reply and
+                       the decrement stay paired. *)
+                    Metrics.shed t.metrics
+                      ~reason:
+                        (Overload.shed_reason_to_string Overload.Limit)
+                      ~priority:(P.priority_to_string priority);
+                    reply_work t w
+                      (P.Refused
+                         { code = P.Overloaded;
+                           msg =
+                             Printf.sprintf
+                               "admission queue full (capacity %d)"
+                               (Admission.capacity t.queue)
+                         })
+                  end
+                end))
 
 let handle_line t conn line =
   let line =
@@ -524,9 +625,9 @@ let handle_line t conn line =
         Metrics.request t.metrics `Shutdown;
         reply t conn (Some id) P.Draining;
         request_shutdown t
-    | Ok { P.id; op = P.Solve { entry; timeout_s; idem } } ->
+    | Ok { P.id; op = P.Solve { entry; timeout_s; idem; priority } } ->
         Metrics.request t.metrics `Solve;
-        handle_solve t conn ~id ~entry ~timeout_s ~idem ~received
+        handle_solve t conn ~id ~entry ~timeout_s ~idem ~priority ~received
   end
 
 let feed t conn chunk =
@@ -676,6 +777,8 @@ let run t =
                 | exception Unix.Unix_error _ -> ()
                 | cfd, _ ->
                     Unix.set_nonblock cfd;
+                    (try Unix.setsockopt cfd Unix.TCP_NODELAY true
+                     with Unix.Unix_error _ -> ());
                     let c =
                       { fd = cfd;
                         wmu = Mutex.create ();

@@ -81,6 +81,11 @@ type config = {
           supervision), [Delay] sleeps (exercising wedge detection
           when it outlasts deadline + grace). Seeded and keyed by
           admission sequence, so runs replay deterministically. *)
+  batch_headroom : float;
+      (** Brownout threshold (default 0.75): a [priority=batch] solve
+          is shed [overloaded] once in-flight admitted work reaches
+          this fraction of the AIMD limit, reserving the rest of the
+          window for interactive traffic. *)
 }
 
 val default_config : config

@@ -56,6 +56,21 @@ let ring_node (s : shard) =
 
 let mk_shard ~peering ~ring_ref name =
   let peer_metrics = Metrics.create () in
+  (* Per-peer breaker for the peek path: lives in the hook's closure,
+     so each shard remembers which peers stopped answering and stops
+     paying their read timeout on every local cache miss. Far more
+     aggressive than the router's forward breaker — a peek is an
+     optimization, so one silence opens it (a false open costs one
+     local compute, not an error) and reopens back off from a full
+     second so trial peeks cannot keep a worker pinned on a peer that
+     is stalled rather than down. *)
+  let peer_health =
+    Health.create ~threshold:1
+      ~retry:
+        (Tt_engine.Retry.create ~retries:6 ~base_delay_s:1.0 ~max_delay_s:8.0
+           ~jitter:0.25 ())
+      ~metrics:peer_metrics ()
+  in
   (* [rec]ursive knot: the fetch hook needs the shard record (to read
      [joined_late]) which needs the cache which needs the hook — tie it
      through a forward ref. *)
@@ -66,7 +81,7 @@ let mk_shard ~peering ~ring_ref name =
       match (!ring_ref, !self) with
       | Some ring, Some s ->
           Peer.fetch ~self:name ~ring ~warm_from_successor:s.joined_late
-            ~metrics:peer_metrics () key
+            ~health:peer_health ~metrics:peer_metrics () key
       | _ -> None
   in
   let s =

@@ -19,6 +19,8 @@ type t = {
   mutable breaker_closes : int;
   breaker_states : (string, breaker_state) Hashtbl.t;
   restarts : (string, int) Hashtbl.t;  (* shard name -> supervised restarts *)
+  hedges : (string, int) Hashtbl.t;  (* outcome -> count *)
+  mutable deadline_rejects : int;
   mutable downtime_s : float;
   mutable ring_epoch : int;
 }
@@ -35,6 +37,8 @@ let create () =
     breaker_closes = 0;
     breaker_states = Hashtbl.create 8;
     restarts = Hashtbl.create 8;
+    hedges = Hashtbl.create 4;
+    deadline_rejects = 0;
     downtime_s = 0.;
     ring_epoch = 0
   }
@@ -73,6 +77,14 @@ let restart t ~shard ~downtime_s =
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.restarts shard));
       t.downtime_s <- t.downtime_s +. Float.max 0. downtime_s)
 
+let hedge t ~outcome =
+  locked t (fun () ->
+      Hashtbl.replace t.hedges outcome
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.hedges outcome)))
+
+let deadline_reject t =
+  locked t (fun () -> t.deadline_rejects <- t.deadline_rejects + 1)
+
 let set_ring_epoch t epoch = locked t (fun () -> t.ring_epoch <- epoch)
 
 type snapshot = {
@@ -88,6 +100,8 @@ type snapshot = {
   breaker_states : (string * breaker_state) list;
   restarts : (string * int) list;
   restarts_total : int;
+  hedges : (string * int) list;
+  deadline_rejects : int;
   downtime_s : float;
   ring_epoch : int;
 }
@@ -111,6 +125,8 @@ let snapshot t =
         breaker_states = sorted t.breaker_states;
         restarts;
         restarts_total = List.fold_left (fun a (_, v) -> a + v) 0 restarts;
+        hedges = sorted t.hedges;
+        deadline_rejects = t.deadline_rejects;
         downtime_s = t.downtime_s;
         ring_epoch = t.ring_epoch
       })
@@ -135,6 +151,9 @@ let to_json s =
       ( "restarts",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.restarts) );
       ("restarts_total", Json.Int s.restarts_total);
+      ( "hedges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.hedges) );
+      ("deadline_rejects", Json.Int s.deadline_rejects);
       ("downtime_s", Json.Float s.downtime_s);
       ("ring_epoch", Json.Int s.ring_epoch)
     ]
@@ -182,6 +201,15 @@ let to_prometheus s =
     (fun (shard, v) ->
       counter "restarts_total" ~labels:(Printf.sprintf {|{shard=%S}|} shard) v)
     s.restarts;
+  typ "hedges_total" "counter";
+  List.iter
+    (fun (outcome, v) ->
+      counter "hedges_total"
+        ~labels:(Printf.sprintf {|{outcome=%S}|} outcome)
+        v)
+    s.hedges;
+  typ "deadline_exceeded_total" "counter";
+  counter "deadline_exceeded_total" s.deadline_rejects;
   typ "downtime_seconds_total" "counter";
   Buffer.add_string b
     (Printf.sprintf "tt_shard_downtime_seconds_total %.9g\n"

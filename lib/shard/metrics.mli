@@ -48,6 +48,17 @@ val restart : t -> shard:string -> downtime_s:float -> unit
 (** One supervised restart of [shard], down for [downtime_s] (clamped
     to ≥ 0) between death detection and the restart. *)
 
+val hedge : t -> outcome:string -> unit
+(** One hedged attempt resolved with [outcome] — ["won"] (the hedge's
+    reply was used), ["lost"] (the primary answered first after the
+    hedge fired), or ["failed"] (both legs failed and the sweep moved
+    on). *)
+
+val deadline_reject : t -> unit
+(** A request was refused with [deadline_exceeded] by this tier — its
+    budget ran out before (or while) forwarding, so no further shard
+    work was attempted. *)
+
 val set_ring_epoch : t -> int -> unit
 (** Current ring epoch (bumped by every join/leave reconfiguration). *)
 
@@ -64,6 +75,8 @@ type snapshot = {
   breaker_states : (string * breaker_state) list;  (** sorted by shard *)
   restarts : (string * int) list;  (** per shard name, sorted *)
   restarts_total : int;
+  hedges : (string * int) list;  (** per outcome, sorted *)
+  deadline_rejects : int;
   downtime_s : float;
   ring_epoch : int;
 }
@@ -79,4 +92,6 @@ val to_prometheus : snapshot -> string
     [tt_shard_breaker_opens_total], [tt_shard_breaker_closes_total],
     [tt_shard_breaker_state{shard="…"}] (gauge 0/1/2),
     [tt_shard_restarts_total{shard="…"}],
+    [tt_shard_hedges_total{outcome="…"}],
+    [tt_shard_deadline_exceeded_total],
     [tt_shard_downtime_seconds_total], [tt_shard_ring_epoch]. *)

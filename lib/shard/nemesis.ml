@@ -313,8 +313,8 @@ let run cfg =
             ()
         in
         { Loadgen.sv_solve =
-            (fun ?timeout_s ~idem entry ->
-              let r = Client.session_solve s ?timeout_s ~idem entry in
+            (fun ?timeout_s ?priority ~idem entry ->
+              let r = Client.session_solve s ?timeout_s ?priority ~idem entry in
               (match r with
               | Ok reports ->
                   record entry reports;

@@ -1,24 +1,28 @@
 module P = Tt_server.Protocol
 module Client = Tt_server.Client
 
-let default_read_timeout_s = 5.
+let default_read_timeout_s = 0.15
 
 (* The hook runs inside [Cache.find_or_compute] on a worker domain, so
    every failure mode must degrade to [None] (= compute locally) and
    every wait must be short: a wedged peer that stalled peeks for the
-   full solve time would be slower than just computing. *)
+   full solve time would be slower than just computing. A peer that
+   answers "not cached" is healthy ([`Miss]); only transport-level
+   silence ([`Unreachable]) should count against it. *)
 let peek_node (node : Ring.node) ~connect_timeout_s ~read_timeout_s key =
   try
     Client.with_connection ~host:node.Ring.host ~read_timeout_s
       ~connect_timeout_s ~port:node.Ring.port (fun c ->
         match Client.call c (P.Peek { key }) with
-        | Ok (P.Peeked r) -> r
-        | Ok _ | Error _ -> None)
-  with Unix.Unix_error _ | Failure _ -> None
+        | Ok (P.Peeked (Some r)) -> `Hit r
+        | Ok (P.Peeked None) -> `Miss
+        | Ok _ -> `Miss  (* answered, just not what we asked for *)
+        | Error _ -> `Unreachable)
+  with Unix.Unix_error _ | Failure _ -> `Unreachable
 
 let fetch ~self ~ring ?(warm_from_successor = false)
     ?(connect_timeout_s = Forward.default_connect_timeout_s)
-    ?(read_timeout_s = default_read_timeout_s) ~metrics () key =
+    ?(read_timeout_s = default_read_timeout_s) ?health ~metrics () key =
   let owner = Ring.owner ring key in
   let target =
     if owner.Ring.name <> self then Some owner
@@ -37,9 +41,32 @@ let fetch ~self ~ring ?(warm_from_successor = false)
   in
   match target with
   | None -> None
-  | Some node ->
-      let result = peek_node node ~connect_timeout_s ~read_timeout_s key in
-      (match result with
-      | Some _ -> Metrics.peer_hit metrics
-      | None -> Metrics.peer_miss metrics);
-      result
+  | Some node -> (
+      (* Peeks are strictly an optimization, so an unreachable peer
+         must cost ~zero: the breaker eats the read timeout a few
+         times, opens, and every later miss computes locally without
+         touching the network until the backoff lets one trial
+         through. Without this, a stalled peer turns every cache miss
+         on every OTHER shard into a blocked worker — the cluster
+         fails over the requests and then peering walks them straight
+         back into the stall. *)
+      let allowed =
+        match health with
+        | None -> true
+        | Some h -> Health.allow h node.Ring.name
+      in
+      if not allowed then None
+      else
+        match peek_node node ~connect_timeout_s ~read_timeout_s key with
+        | `Hit r ->
+            Option.iter (fun h -> Health.success h node.Ring.name) health;
+            Metrics.peer_hit metrics;
+            Some r
+        | `Miss ->
+            Option.iter (fun h -> Health.success h node.Ring.name) health;
+            Metrics.peer_miss metrics;
+            None
+        | `Unreachable ->
+            Option.iter (fun h -> Health.failure h node.Ring.name) health;
+            Metrics.peer_miss metrics;
+            None)

@@ -12,7 +12,9 @@
     shard comes back it can re-fill from the successor the same way. *)
 
 val default_read_timeout_s : float
-(** 5 s. *)
+(** 0.15 s. A peek is an optimization running on a worker domain: it
+    must always be far cheaper than the compute it might save, even
+    when the peer has stalled mid-connection. *)
 
 val fetch :
   self:string ->
@@ -20,6 +22,7 @@ val fetch :
   ?warm_from_successor:bool ->
   ?connect_timeout_s:float ->
   ?read_timeout_s:float ->
+  ?health:Health.t ->
   metrics:Metrics.t ->
   unit ->
   string ->
@@ -31,6 +34,14 @@ val fetch :
     refused/timeout, read timeout, refusal); hits and misses are
     counted in [metrics]. Thread-safe; called concurrently from worker
     domains.
+
+    [health], when given, is a per-peer circuit breaker consulted
+    before and fed after every peek. A peer that {e answers} — hit or
+    miss — is healthy; only transport-level silence (connect failure,
+    read timeout, reset) counts toward opening. While the breaker is
+    open the peek short-circuits to [None] (compute locally) without
+    touching the network, so a stalled peer cannot serialize every
+    other shard's cache misses behind its read timeout.
 
     [warm_from_successor] (default [false]) is cache warming for a
     shard that {e joined} an existing ring: when [self] is the owner,

@@ -12,6 +12,9 @@ type config = {
   probe_seed : int;
   breaker_threshold : int;
   breaker_retry : Retry.policy;
+  hedge_seed : int;
+  hedge_ratio : float;
+  hedge_quantile : float;
 }
 
 let default_config =
@@ -23,7 +26,10 @@ let default_config =
   ; probe_interval_s = 0.25;
     probe_seed = 43;
     breaker_threshold = Health.default_threshold;
-    breaker_retry = Health.default_retry
+    breaker_retry = Health.default_retry;
+    hedge_seed = 29;
+    hedge_ratio = 1.;
+    hedge_quantile = 0.95
   }
 
 type t = {
@@ -35,6 +41,7 @@ type t = {
   bound_port : int;
   metrics : Metrics.t;
   health : Health.t;
+  hedge : Forward.hedge_state;
   stop : bool Atomic.t;
   idem_seq : int Atomic.t;
   (* entry -> routing key. Routing parses the manifest entry (to get
@@ -86,6 +93,9 @@ let create ?(config = default_config) ~ring () =
     health =
       Health.create ~threshold:config.breaker_threshold
         ~retry:config.breaker_retry ~metrics ();
+    hedge =
+      Forward.create_hedge ~ratio:config.hedge_ratio
+        ~quantile:config.hedge_quantile ~seed:config.hedge_seed ();
     stop = Atomic.make false;
     idem_seq = Atomic.make 0;
     route_mu = Mutex.create ();
@@ -277,30 +287,49 @@ let handle_line t fwd fd line =
           match Forward.call fwd ~key op with
           | Ok body -> reply fd req_id body
           | Error (code, msg) -> reply fd req_id (P.Refused { code; msg }))
-      | P.Solve { entry; timeout_s; idem } -> (
-          match route_key t entry with
-          | Error msg ->
-              Metrics.reject t.metrics;
-              reply fd req_id (P.Refused { code = P.Bad_request; msg })
-          | Ok key -> (
-              (* Guarantee an idempotency key before forwarding: it is
-                 what makes the failover sweep safe to re-send. Chosen
-                 once per logical request, so every attempt of the
-                 sweep carries the same key. *)
-              let idem =
-                Some (match idem with Some k -> k | None -> fresh_idem t)
-              in
-              let op = P.Solve { entry; timeout_s; idem } in
-              match Forward.call fwd ~key op with
-              | Ok body -> reply fd req_id body
-              | Error (code, msg) ->
-                  reply fd req_id (P.Refused { code; msg }))))
+      | P.Solve { entry; timeout_s; idem; priority } -> (
+          (* The wire carries {e relative} budget; pin it to an
+             absolute deadline at receipt, before the (potentially
+             slow) route-key parse spends any of it. An already-spent
+             budget is refused here — forwarding could only produce a
+             deadline_exceeded after wasted shard work. *)
+          let deadline =
+            Option.map (fun b -> Unix.gettimeofday () +. b) timeout_s
+          in
+          match timeout_s with
+          | Some b when b <= 0. ->
+              Metrics.deadline_reject t.metrics;
+              reply fd req_id
+                (P.Refused
+                   { code = P.Deadline_exceeded;
+                     msg = "deadline budget exhausted at router"
+                   })
+          | _ -> (
+              match route_key t entry with
+              | Error msg ->
+                  Metrics.reject t.metrics;
+                  reply fd req_id (P.Refused { code = P.Bad_request; msg })
+              | Ok key -> (
+                  (* Guarantee an idempotency key before forwarding: it
+                     is what makes the failover sweep — and the hedged
+                     duplicate — safe to re-send. Chosen once per
+                     logical request, so every attempt carries the same
+                     key. *)
+                  let idem =
+                    Some (match idem with Some k -> k | None -> fresh_idem t)
+                  in
+                  let op = P.Solve { entry; timeout_s; idem; priority } in
+                  match Forward.call fwd ~key ?deadline op with
+                  | Ok body -> reply fd req_id body
+                  | Error (code, msg) ->
+                      reply fd req_id (P.Refused { code; msg })))))
 
 let serve_conn t fd =
   let fwd =
     Forward.create ~connect_timeout_s:t.cfg.connect_timeout_s
       ~read_timeout_s:t.cfg.read_timeout_s ~retry:t.cfg.retry
-      ~health:t.health ~route:(plan t) ~metrics:t.metrics (ring t)
+      ~health:t.health ~hedge:t.hedge ~route:(plan t) ~metrics:t.metrics
+      (ring t)
   in
   let rbuf = ref "" in
   let buf = Bytes.create 65536 in
@@ -349,6 +378,8 @@ let accept_loop t =
     | _ -> (
         match Unix.accept t.lfd with
         | fd, _ ->
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
             let d = Domain.spawn (fun () -> serve_conn t fd) in
             Mutex.lock t.conns_mu;
             t.conns <- d :: t.conns;

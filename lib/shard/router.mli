@@ -73,6 +73,16 @@ type config = {
   breaker_retry : Tt_engine.Retry.policy;
       (** Breaker open-duration schedule (default
           {!Health.default_retry}). *)
+  hedge_seed : int;
+      (** Seed of the pure per-key hedge gate (default 29): a seeded
+          run hedges the same requests on every replay. *)
+  hedge_ratio : float;
+      (** Fraction of keys eligible for hedging (default 1.0; 0
+          disables hedging entirely). *)
+  hedge_quantile : float;
+      (** RTT quantile that arms the hedge trigger (default 0.95): a
+          solve hedges to the ring successor only after its owner has
+          been silent this long). *)
 }
 
 val default_config : config

@@ -41,7 +41,7 @@ let route_key t entry =
       Hashtbl.replace t.memo entry r;
       r
 
-let solve t ?timeout_s ?idem entry =
+let solve t ?timeout_s ?idem ?(priority = P.Interactive) entry =
   match route_key t entry with
   | Error msg -> Error (Client.Refused (P.Bad_request, msg))
   | Ok key -> (
@@ -53,7 +53,7 @@ let solve t ?timeout_s ?idem entry =
             t.seq <- t.seq + 1;
             k
       in
-      let op = P.Solve { entry; timeout_s; idem = Some idem } in
+      let op = P.Solve { entry; timeout_s; idem = Some idem; priority } in
       match Forward.call t.fwd ~key op with
       | Ok (P.Results reports) -> Ok reports
       | Ok (P.Refused { code; msg }) -> Error (Client.Refused (code, msg))
@@ -79,6 +79,8 @@ let loadgen_solver ?connect_timeout_s ?read_timeout_s ?retry ?metrics ring =
         ~tag:(Printf.sprintf "%s-c%d" tag conn)
         ~metrics ring
     in
-    { L.sv_solve = (fun ?timeout_s ~idem entry -> solve sc ?timeout_s ~idem entry);
+    { L.sv_solve =
+        (fun ?timeout_s ?priority ~idem entry ->
+          solve sc ?timeout_s ?priority ~idem entry);
       sv_close = (fun () -> close sc)
     }

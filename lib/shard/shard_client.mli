@@ -26,13 +26,15 @@ val solve :
   t ->
   ?timeout_s:float ->
   ?idem:string ->
+  ?priority:Tt_server.Protocol.priority ->
   string ->
   (Tt_server.Protocol.job_report list, Tt_server.Client.failure) result
 (** Route one manifest entry to its owner shard, failing over along
     the ring. Every solve carries an idempotency key ([idem] or
-    ["<tag>-<seq>"]). Unparseable entries are [Refused Bad_request]
-    without touching the network; an exhausted sweep surfaces as
-    [Transport] (retryable by the caller — re-solving is idempotent). *)
+    ["<tag>-<seq>"]) and forwards [priority] (default interactive).
+    Unparseable entries are [Refused Bad_request] without touching the
+    network; an exhausted sweep surfaces as [Transport] (retryable by
+    the caller — re-solving is idempotent). *)
 
 val peek : t -> string -> Tt_engine.Job.outcome option
 (** Best-effort cache peek for a job id at its owner (with failover);

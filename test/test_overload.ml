@@ -1,0 +1,267 @@
+(* Property tests for the pure overload-control layer: the AIMD
+   limiter, the CoDel-style shed decision, the budget-aware hedge
+   rules, the windowed RTT quantile — and the retry schedule's
+   deadline-budget clamp. Everything here runs on explicit inputs (a
+   fake clock where time matters), so these are the deterministic
+   counterparts of what the chaos-overload gate exercises end to
+   end. *)
+
+module O = Tt_server.Overload
+module P = Tt_server.Protocol
+module Retry = Tt_engine.Retry
+module H = Helpers
+
+(* ------------------------------------------------------------ limiter *)
+
+let test_limiter_loss_decreases () =
+  let l = O.Limiter.create ~initial:10. ~max_limit:10. () in
+  Alcotest.(check int) "initial" 10 (O.Limiter.limit l);
+  O.Limiter.on_loss l;
+  Alcotest.(check int) "one loss multiplies by 0.7" 7 (O.Limiter.limit l);
+  O.Limiter.on_loss l;
+  Alcotest.(check int) "second loss compounds" 4 (O.Limiter.limit l)
+
+let test_limiter_success_additive () =
+  let l = O.Limiter.create ~initial:4. ~max_limit:100. () in
+  (* Additive increase is scaled by the current window: ~limit
+     successes grow the window by ~1 slot, never more. *)
+  for _ = 1 to 4 do
+    O.Limiter.on_success l
+  done;
+  Alcotest.(check bool) "four successes at limit 4 add at most 1" true
+    (O.Limiter.limit l <= 5);
+  O.Limiter.on_success l;
+  Alcotest.(check int) "five successes cross the next slot" 5
+    (O.Limiter.limit l)
+
+let test_limiter_floor_and_cap () =
+  let l = O.Limiter.create ~initial:2. ~max_limit:3. () in
+  for _ = 1 to 50 do
+    O.Limiter.on_loss l
+  done;
+  Alcotest.(check int) "losses never push below 1" 1 (O.Limiter.limit l);
+  for _ = 1 to 500 do
+    O.Limiter.on_success l
+  done;
+  Alcotest.(check int) "successes never exceed max_limit" 3
+    (O.Limiter.limit l)
+
+let test_limiter_invalid_args () =
+  Alcotest.check_raises "min_limit < 1"
+    (Invalid_argument "Limiter.create: min_limit < 1") (fun () ->
+      ignore (O.Limiter.create ~min_limit:0.5 ~initial:2. ~max_limit:4. ()));
+  Alcotest.check_raises "decrease outside (0,1)"
+    (Invalid_argument "Limiter.create: decrease not in (0, 1)") (fun () ->
+      ignore (O.Limiter.create ~decrease:1.0 ~initial:2. ~max_limit:4. ()))
+
+(* Any interleaving of successes and losses keeps the window inside
+   [1, max] — the invariant the server's admission depends on. *)
+let prop_limiter_bounded =
+  H.qcheck ~count:300 "limiter stays within [1, max] under any history"
+    QCheck.(pair (int_bound 30) (small_list bool))
+    (fun (max_l, ops) ->
+      let max_limit = float_of_int (1 + max_l) in
+      let l = O.Limiter.create ~initial:(max_limit /. 2.) ~max_limit () in
+      List.for_all
+        (fun success ->
+          if success then O.Limiter.on_success l else O.Limiter.on_loss l;
+          let v = O.Limiter.limit l in
+          v >= 1 && v <= int_of_float max_limit)
+        ops)
+
+(* ----------------------------------------------------------- shedding *)
+
+let shed = O.shed_decision ~batch_headroom:0.75
+
+let test_shed_queue_wait_beats_budget () =
+  (* est_wait > remaining ⇒ CoDel shed, regardless of window room. *)
+  Alcotest.(check bool) "sheds when wait exceeds budget" true
+    (shed ~limit:10 ~admitted:0 ~est_wait_s:2.0 ~remaining_s:(Some 1.0)
+       ~priority:P.Interactive
+    = Some O.Queue_wait);
+  Alcotest.(check bool) "admits when wait fits budget" true
+    (shed ~limit:10 ~admitted:0 ~est_wait_s:0.5 ~remaining_s:(Some 1.0)
+       ~priority:P.Interactive
+    = None);
+  Alcotest.(check bool) "no deadline, no queue-wait shed" true
+    (shed ~limit:10 ~admitted:0 ~est_wait_s:1000. ~remaining_s:None
+       ~priority:P.Interactive
+    = None)
+
+(* Monotone in the queue-wait estimate: once a (remaining, priority,
+   window) state sheds at wait w, it sheds at every w' >= w. *)
+let prop_shed_monotone_in_wait =
+  H.qcheck ~count:500 "shed decision monotone in est_wait_s"
+    QCheck.(
+      quad (int_bound 20) (int_bound 25) (pair pos_float pos_float) bool)
+    (fun (limit, admitted, (w, dw), batch) ->
+      let priority = if batch then P.Batch else P.Interactive in
+      let remaining = Some 1.0 in
+      let at wait =
+        shed ~limit ~admitted ~est_wait_s:wait ~remaining_s:remaining
+          ~priority
+      in
+      match at w with
+      | None -> true  (* admitted at w says nothing about w' > w *)
+      | Some _ -> at (w +. dw) <> None)
+
+let test_shed_brownout_batch_first () =
+  (* In-flight work at 75% of the window: batch sheds, interactive
+     still admits — the brownout ordering the nemesis checks. *)
+  let args = (10, 8, 0.0, Some 1.0) in
+  let limit, admitted, est_wait_s, remaining_s = args in
+  Alcotest.(check bool) "batch browns out" true
+    (shed ~limit ~admitted ~est_wait_s ~remaining_s ~priority:P.Batch
+    = Some O.Brownout);
+  Alcotest.(check bool) "interactive rides the headroom" true
+    (shed ~limit ~admitted ~est_wait_s ~remaining_s ~priority:P.Interactive
+    = None)
+
+(* Whenever batch is admitted, interactive is admitted in the same
+   state: brownout only ever removes batch traffic. *)
+let prop_shed_batch_sheds_first =
+  H.qcheck ~count:500 "interactive never sheds while batch admits"
+    QCheck.(triple (int_bound 20) (int_bound 25) pos_float)
+    (fun (limit, admitted, w) ->
+      let at priority =
+        shed ~limit ~admitted ~est_wait_s:w ~remaining_s:(Some 1.0)
+          ~priority
+      in
+      match at P.Batch with None -> at P.Interactive = None | Some _ -> true)
+
+let test_shed_limit_full_window () =
+  Alcotest.(check bool) "window full sheds interactive too" true
+    (shed ~limit:4 ~admitted:4 ~est_wait_s:0. ~remaining_s:None
+       ~priority:P.Interactive
+    = Some O.Limit)
+
+(* ------------------------------------------------------------ hedging *)
+
+let test_should_hedge_budget_rule () =
+  Alcotest.(check bool) "budget covers successor RTT" true
+    (O.should_hedge ~remaining_s:(Some 0.5) ~successor_rtt_s:0.1);
+  Alcotest.(check bool) "budget below successor RTT never hedges" false
+    (O.should_hedge ~remaining_s:(Some 0.05) ~successor_rtt_s:0.1);
+  Alcotest.(check bool) "no deadline always qualifies" true
+    (O.should_hedge ~remaining_s:None ~successor_rtt_s:10.)
+
+let prop_should_hedge_never_doomed =
+  H.qcheck ~count:500 "hedge never fires when budget < successor RTT"
+    QCheck.(pair pos_float pos_float)
+    (fun (remaining, rtt) ->
+      (not (O.should_hedge ~remaining_s:(Some remaining) ~successor_rtt_s:rtt))
+      || remaining > rtt)
+
+let test_hedge_gate_deterministic () =
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%d" i) in
+  let pass seed = List.map (fun k -> O.hedge_gate ~seed ~key:k ~ratio:0.5) keys in
+  Alcotest.(check (list bool)) "same seed, same verdicts" (pass 7) (pass 7);
+  Alcotest.(check bool) "different seed reshuffles" true (pass 7 <> pass 8);
+  Alcotest.(check bool) "ratio 0 admits nothing" true
+    (List.for_all not (List.map (fun k -> O.hedge_gate ~seed:7 ~key:k ~ratio:0.) keys));
+  Alcotest.(check bool) "ratio 1 admits everything" true
+    (List.for_all Fun.id (List.map (fun k -> O.hedge_gate ~seed:7 ~key:k ~ratio:1.) keys))
+
+(* -------------------------------------------------------------- rtt *)
+
+let test_rtt_min_samples () =
+  let r = O.Rtt.create () in
+  for _ = 1 to 7 do
+    O.Rtt.observe r 0.01
+  done;
+  Alcotest.(check bool) "below min_samples refuses to estimate" true
+    (O.Rtt.quantile r 0.95 = None);
+  O.Rtt.observe r 0.01;
+  Alcotest.(check bool) "at min_samples answers" true
+    (O.Rtt.quantile r 0.95 <> None)
+
+let test_rtt_window_quantile () =
+  let r = O.Rtt.create ~cap:8 () in
+  (* Old observations fall out of the window: fill with 1.0 then push
+     eight fast samples — the p95 must reflect only the recent ones. *)
+  for _ = 1 to 8 do
+    O.Rtt.observe r 1.0
+  done;
+  for _ = 1 to 8 do
+    O.Rtt.observe r 0.001
+  done;
+  (match O.Rtt.quantile r 0.95 with
+  | Some q -> Alcotest.(check bool) "window evicts stale tail" true (q < 0.01)
+  | None -> Alcotest.fail "expected a quantile");
+  Alcotest.(check int) "count capped at window" 8 (O.Rtt.count r)
+
+let prop_rtt_quantile_in_range =
+  H.qcheck ~count:300 "windowed quantile is an observed sample"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 8 80) pos_float) (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let r = O.Rtt.create () in
+      List.iter (O.Rtt.observe r) xs;
+      match O.Rtt.quantile r q with
+      | None -> false
+      | Some v -> List.exists (fun x -> x = v) xs)
+
+(* ------------------------------------------------- retry budget clamp *)
+
+let policy = Retry.create ~retries:6 ~base_delay_s:0.1 ~max_delay_s:2.0 ~jitter:0.5 ~seed:3 ()
+
+let test_retry_budget_clamp () =
+  (* The regression the deadline work fixed: a backoff schedule must
+     never sleep past the request's remaining budget. *)
+  let key = "job-under-deadline" in
+  let all = Retry.delays policy ~key in
+  let within = Retry.delays_within policy ~key ~budget_s:0.25 in
+  Alcotest.(check bool) "clamped schedule is a prefix" true
+    (within = List.filteri (fun i _ -> i < List.length within) all);
+  Alcotest.(check bool) "cumulative sleep fits the budget" true
+    (List.fold_left ( +. ) 0. within <= 0.25);
+  Alcotest.(check (list (float 1e-9))) "zero budget sleeps never" []
+    (Retry.delays_within policy ~key ~budget_s:0.)
+
+let prop_retry_budget_never_exceeded =
+  H.qcheck ~count:300 "delays_within never outspends its budget"
+    QCheck.(pair small_string pos_float)
+    (fun (key, budget) ->
+      let ds = Retry.delays_within policy ~key ~budget_s:budget in
+      List.fold_left ( +. ) 0. ds <= budget
+      && List.for_all (fun d -> d >= 0.) ds)
+
+(* ---------------------------------------------------------------- ema *)
+
+let test_ema () =
+  Alcotest.(check (float 1e-9)) "None seeds with the observation" 0.42
+    (O.ema ~alpha:0.2 ~prev:None 0.42);
+  Alcotest.(check (float 1e-9)) "step moves alpha of the gap" 1.2
+    (O.ema ~alpha:0.2 ~prev:(Some 1.0) 2.0)
+
+let () =
+  H.run "overload"
+    [ ( "limiter",
+        [ H.case "loss decreases multiplicatively" test_limiter_loss_decreases;
+          H.case "success increases additively" test_limiter_success_additive;
+          H.case "floor 1, cap max" test_limiter_floor_and_cap;
+          H.case "invalid arguments" test_limiter_invalid_args;
+          prop_limiter_bounded
+        ] );
+      ( "shed",
+        [ H.case "queue-wait beats budget" test_shed_queue_wait_beats_budget;
+          H.case "brownout sheds batch first" test_shed_brownout_batch_first;
+          H.case "full window sheds all" test_shed_limit_full_window;
+          prop_shed_monotone_in_wait;
+          prop_shed_batch_sheds_first
+        ] );
+      ( "hedge",
+        [ H.case "budget rule" test_should_hedge_budget_rule;
+          H.case "gate is seeded and bounded" test_hedge_gate_deterministic;
+          prop_should_hedge_never_doomed
+        ] );
+      ( "rtt",
+        [ H.case "min samples" test_rtt_min_samples;
+          H.case "windowed quantile" test_rtt_window_quantile;
+          prop_rtt_quantile_in_range
+        ] );
+      ( "retry-budget",
+        [ H.case "schedule clamped to budget" test_retry_budget_clamp;
+          prop_retry_budget_never_exceeded
+        ] );
+      ("ema", [ H.case "seeding and stepping" test_ema ])
+    ]

@@ -39,12 +39,18 @@ let test_request_round_trip () =
     [ P.Ping; P.Stats; P.Shutdown;
       P.Peek { key = "deadbeef00112233" };
       P.Solve
-        { entry = "gen grid2d size=8 :: minmem"; timeout_s = None; idem = None };
-      P.Solve { entry = "tree \"x :: y\""; timeout_s = Some 2.5; idem = None };
+        { entry = "gen grid2d size=8 :: minmem"; timeout_s = None; idem = None; priority = P.Interactive };
+      P.Solve
+        { entry = "tree \"x :: y\"";
+          timeout_s = Some 2.5;
+          idem = None;
+          priority = P.Batch
+        };
       P.Solve
         { entry = "gen grid2d size=8 :: minmem";
           timeout_s = Some 1.;
-          idem = Some "key-42"
+          idem = Some "key-42";
+          priority = P.Interactive
         }
     ]
 
@@ -245,6 +251,11 @@ let test_metrics_prometheus () =
   M.idle_eviction m;
   M.replay_hit m;
   M.write_overflow m;
+  M.shed m ~reason:"brownout" ~priority:"batch";
+  M.shed m ~reason:"limit" ~priority:"interactive";
+  M.shed m ~reason:"limit" ~priority:"interactive";
+  M.deadline_exceeded m;
+  M.set_admission m ~queue_depth:3 ~admitted:5 ~limit:8;
   let text = M.to_prometheus (M.snapshot m) in
   List.iter
     (fun needle ->
@@ -257,7 +268,14 @@ let test_metrics_prometheus () =
       "tt_server_worker_restarts_total 1";
       "tt_server_idle_evictions_total 1";
       "tt_server_replay_hits_total 1";
-      "tt_server_write_overflows_total 1"
+      "tt_server_write_overflows_total 1";
+      {|tt_server_sheds_total{reason="brownout",priority="batch"} 1|};
+      {|tt_server_sheds_total{reason="limit",priority="interactive"} 2|};
+      "tt_server_deadline_exceeded_total 1";
+      "# TYPE tt_server_admission_queue_depth gauge";
+      "tt_server_admission_queue_depth 3";
+      "tt_server_admission_admitted 5";
+      "tt_server_admission_limit 8"
     ]
 
 (* Exposition-format conformance, via the shared checker in
@@ -281,6 +299,10 @@ let test_prometheus_conformance () =
   M.idle_eviction m;
   M.replay_hit m;
   M.write_overflow m;
+  M.shed m ~reason:"queue_wait" ~priority:"interactive";
+  M.shed m ~reason:"brownout" ~priority:"batch";
+  M.deadline_exceeded m;
+  M.set_admission m ~queue_depth:2 ~admitted:4 ~limit:6;
   H.check_prometheus_conformance ~min_samples:11 (M.to_prometheus (M.snapshot m))
 
 (* ------------------------------------------------------------- replay *)
@@ -450,7 +472,7 @@ let test_overload () =
                 let entry = if k = 0 then slow_entry else tiny_entry k in
                 C.send c
                   { P.id;
-                    op = P.Solve { entry; timeout_s = None; idem = None }
+                    op = P.Solve { entry; timeout_s = None; idem = None; priority = P.Interactive }
                   };
                 id)
           in
@@ -486,7 +508,8 @@ let test_deadline_exceeded () =
               (P.Solve
                  { entry = "gen grid2d size=10 :: minmem";
                    timeout_s = Some 0.;
-                   idem = None
+                   idem = None;
+                   priority = P.Interactive
                  })
           with
           | Ok (P.Refused { code = P.Deadline_exceeded; _ }) -> ()
@@ -510,7 +533,8 @@ let test_graceful_drain () =
                   P.Solve
                     { entry = "gen grid2d size=12 :: minmem; liu";
                       timeout_s = None;
-                      idem = None
+                      idem = None;
+                      priority = P.Interactive
                     }
               };
             id)
@@ -541,7 +565,8 @@ let test_graceful_drain () =
           (P.Solve
              { entry = "gen grid2d size=8 :: minmem";
                timeout_s = None;
-               idem = None
+               idem = None;
+               priority = P.Interactive
              })
       with
       | Ok (P.Refused { code = P.Shutting_down; _ }) | Error _ ->
@@ -575,7 +600,8 @@ let test_partial_frame_reassembly () =
                   P.Solve
                     { entry = "gen grid2d size=8 :: minmem";
                       timeout_s = None;
-                      idem = None
+                      idem = None;
+                      priority = P.Interactive
                     }
               }
             ^ "\n"
@@ -683,7 +709,7 @@ let test_max_inflight () =
                 in
                 C.send c
                   { P.id;
-                    op = P.Solve { entry; timeout_s = None; idem = None }
+                    op = P.Solve { entry; timeout_s = None; idem = None; priority = P.Interactive }
                   };
                 id)
           in
@@ -813,7 +839,7 @@ let test_worker_wedge_supervision () =
             let entry =
               Printf.sprintf "gen grid2d size=8 seed=%d :: minmem" i
             in
-            match C.call c (P.Solve { entry; timeout_s = Some 0.2; idem = None }) with
+            match C.call c (P.Solve { entry; timeout_s = Some 0.2; idem = None; priority = P.Interactive }) with
             | Ok (P.Results _) -> bump "ok"
             | Ok (P.Refused { code; _ }) -> bump (P.error_code_to_string code)
             | Ok _ -> Alcotest.fail "unexpected reply body"

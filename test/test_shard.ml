@@ -219,6 +219,10 @@ let test_shard_metrics () =
   SM.reject m;
   SM.peer_hit m;
   SM.peer_miss m;
+  SM.hedge m ~outcome:"won";
+  SM.hedge m ~outcome:"won";
+  SM.hedge m ~outcome:"lost";
+  SM.deadline_reject m;
   let s = SM.snapshot m in
   Alcotest.(check int) "forwards total" 3 s.SM.forwards_total;
   Alcotest.(check bool) "per-shard forwards" true
@@ -234,7 +238,10 @@ let test_shard_metrics () =
       "tt_shard_rejects_total 1";
       "tt_shard_unrouted_total 0";
       "tt_shard_peer_hits_total 1";
-      "tt_shard_peer_misses_total 1"
+      "tt_shard_peer_misses_total 1";
+      {|tt_shard_hedges_total{outcome="won"} 2|};
+      {|tt_shard_hedges_total{outcome="lost"} 1|};
+      "tt_shard_deadline_exceeded_total 1"
     ];
   (* Same exposition-format conformance gate as the server metrics. *)
   H.check_prometheus_conformance ~min_samples:7 text
