@@ -24,8 +24,14 @@ batch-smoke:
 # timings, every row of BENCH_CORE.json carries a result digest, so two
 # runs of this target on different revisions double as a behavioural
 # regression check (compare the result_digest fields, not the times).
+# The quick mode includes the huge-family rows at p = 1M; the kernel
+# itself fails the run when a certified minmem-approx gap exceeds the
+# pinned threshold, and `timeout` bounds the wall time so a scaling
+# regression fails the gate instead of wedging CI.
 perf-smoke: build
-	dune exec bin/treetrav.exe -- perf --quick --out BENCH_CORE.json
+	timeout 600 dune exec bin/treetrav.exe -- perf --quick --out BENCH_CORE.json
+	grep -q '"kernel": "huge/minmem-approx"' BENCH_CORE.json \
+	  || { echo "perf-smoke: huge-family rows missing from BENCH_CORE.json"; exit 1; }
 
 # Scheduling-tier smoke gate. The same par-schedule/pareto manifest
 # must produce bit-identical results digests via direct batch (at two

@@ -1171,6 +1171,56 @@ let perf_section () =
   Printf.printf "[perf] wrote %s (%d kernels, %d timed reps each)\n" !perf_out
     (List.length results) reps
 
+(* ------------------------------------------------------------------ huge *)
+
+(* The huge-tree tier end to end: streaming generation plus certified
+   MinMem bounds at p = 1M and 10M on the three flat-tree families. Each
+   row prints the certified [lower, upper] sandwich and its gap; the 10M
+   rows also print the per-node slowdown against the 1M row of the same
+   family — the near-linearity witness (1.00x = perfectly linear in p).
+   Opt-in via --section huge: the 10M rows allocate ~1 GB per instance. *)
+let huge_section () =
+  header "Huge" "certified MinMem bounds at p = 1M / 10M, flat-tree tier";
+  let module Ma = Tt_core.Minmem_approx in
+  let families =
+    [ ( "caterpillar",
+        fun ~p ~seed -> Tt_workloads.Huge.caterpillar ~p ~seed () );
+      ("binary", fun ~p ~seed -> Tt_workloads.Huge.binary ~p ~seed ());
+      ("random", fun ~p ~seed -> Tt_workloads.Huge.random_attach ~p ~seed ())
+    ]
+  in
+  let sizes = [ 1_000_000; 10_000_000 ] in
+  List.iter
+    (fun (name, build) ->
+      let base = ref nan in
+      List.iter
+        (fun p ->
+          let t0 = Unix.gettimeofday () in
+          let ft = build ~p ~seed:!seed in
+          let t_gen = Unix.gettimeofday () -. t0 in
+          let t0 = Unix.gettimeofday () in
+          let b = Ma.run ft in
+          let t_run = Unix.gettimeofday () -. t0 in
+          let scaling =
+            if Float.is_nan !base then begin
+              base := t_run /. float_of_int p;
+              ""
+            end
+            else
+              Printf.sprintf "  per-node vs 1M %.2fx"
+                (t_run /. float_of_int p /. !base)
+          in
+          Printf.printf
+            "%-11s p=%8d  gen %5.2fs  bounds [%d, %d]  gap %5.3f%%  \
+             rounds %d  %s  %6.2fs%s\n%!"
+            name p t_gen b.Ma.lower b.Ma.upper
+            (100. *. Ma.gap b)
+            b.Ma.rounds
+            (if b.Ma.exact then "exact " else "approx")
+            t_run scaling)
+        sizes)
+    families
+
 (* ------------------------------------------------------------- bechamel *)
 
 let bechamel_suite () =
@@ -1248,6 +1298,7 @@ let section_runners =
     ("nemesis", nemesis_section);
     ("overload", overload_section);
     ("perf", perf_section);
+    ("huge", huge_section);
     ("bechamel", bechamel_suite)
   ]
 

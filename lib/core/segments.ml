@@ -186,6 +186,56 @@ let append_parent prof ~hill ~valley ~node =
 
 let peak prof = Array.fold_left (fun acc s -> max acc s.hill) 0 prof
 
+(* Both truncations keep the canonical prefix (costs strictly decrease,
+   so the first cap-1 segments are the costliest) and summarize the tail
+   in one segment ending at the exact final valley v_m. Canonicity of
+   the result is structural: the prefix is untouched, v_{cap-1} < v_m
+   because valleys strictly increase, and the summary segment's cost is
+   strictly below cost cap-1 — zero for the minorant, and for the fused
+   majorant max_j (v_j + c_j) - v_m < c_cap since v_j <= v_m with
+   equality only at j = m. *)
+let truncate_with prof ~cap ~tail =
+  if cap < 2 then invalid_arg "Segments.truncate: cap < 2";
+  let m = Array.length prof in
+  if m <= cap then prof
+  else begin
+    let keep = cap - 1 in
+    let out = Array.make cap dummy in
+    Array.blit prof 0 out 0 keep;
+    out.(keep) <- tail keep;
+    out
+  end
+
+let truncate_lower prof ~cap =
+  truncate_with prof ~cap ~tail:(fun keep ->
+      (* the tail's executions are claimed at the final valley: pausing
+         lower than the original is always sound for a lower bound, and
+         the single zero-cost hop lands exactly on the exact output
+         size. Sequences are irrelevant on the lower-bound pass but are
+         concatenated anyway so the invariant "a profile carries its
+         subtree's nodes" survives. *)
+      let m = Array.length prof in
+      let v = prof.(m - 1).valley in
+      let seq = ref Empty in
+      for j = keep to m - 1 do
+        seq := seq_cat !seq prof.(j).seq
+      done;
+      { hill = v; valley = v; seq = !seq })
+
+let truncate_upper prof ~cap =
+  truncate_with prof ~cap ~tail:(fun keep ->
+      (* fusing the tail forbids pausing inside it: the claimed hill is
+         the max tail hill, and the recorded node sequence executes the
+         tail contiguously, which any scheduler may do *)
+      let m = Array.length prof in
+      let hill = ref prof.(keep).hill in
+      let seq = ref prof.(keep).seq in
+      for j = keep + 1 to m - 1 do
+        if prof.(j).hill > !hill then hill := prof.(j).hill;
+        seq := seq_cat !seq prof.(j).seq
+      done;
+      { hill = !hill; valley = prof.(m - 1).valley; seq = !seq })
+
 let final_valley prof =
   let n = Array.length prof in
   if n = 0 then 0 else prof.(n - 1).valley

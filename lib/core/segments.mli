@@ -104,6 +104,31 @@ val peak : t -> int
     the empty profile. (Canonical profiles have decreasing costs, not
     necessarily decreasing hills.) *)
 
+val truncate_lower : t -> cap:int -> t
+(** Minorant truncation to at most [cap] segments: the [cap - 1]
+    costliest segments (the canonical prefix) are kept verbatim and the
+    cheap tail is replaced by one zero-cost segment sitting at the final
+    valley. The result is canonical and {e dominates the original from
+    below}: any schedule of the original profile maps to a schedule of
+    the truncated one with pointwise smaller or equal claimed memory, so
+    propagating truncated profiles through {!merge}/{!append_parent}
+    yields a certified {e lower} bound on the exact optimal peak. The
+    final valley (the subtree's output size) is preserved exactly.
+    Profiles with at most [cap] segments are returned unchanged.
+    @raise Invalid_argument if [cap < 2]. *)
+
+val truncate_upper : t -> cap:int -> t
+(** Majorant truncation to at most [cap] segments: the [cap - 1]
+    costliest segments are kept verbatim and the cheap tail segments are
+    fused into a single segment (hill = max tail hill, valley = final
+    valley, node sequence = tail concatenation). Fusing only removes
+    pause points, so any schedule built from truncated profiles is
+    realizable by the original subtrees within the claimed memory:
+    propagating through {!merge}/{!append_parent} yields a certified
+    {e upper} bound together with a concrete traversal achieving it.
+    Profiles with at most [cap] segments are returned unchanged.
+    @raise Invalid_argument if [cap < 2]. *)
+
 val final_valley : t -> int
 (** Valley of the last segment; 0 for the empty profile. *)
 

@@ -146,12 +146,24 @@ let equal a b = a.parent = b.parent && a.f = b.f && a.n = b.n
 
 let pp ppf t =
   let d = depth t in
-  let rec show i =
-    Format.fprintf ppf "%s%d [f=%d n=%d]@\n" (String.make (2 * d.(i)) ' ') i t.f.(i)
-      t.n.(i);
-    Array.iter show t.children.(i)
-  in
-  show t.root
+  (* explicit stack: depth-first preorder without recursing down the
+     tree, so printing survives chains deeper than the call stack. The
+     indent is capped so a deep chain costs O(p) output, not O(p²). *)
+  let max_indent = 64 in
+  let stack = ref [ t.root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+        stack := rest;
+        Format.fprintf ppf "%s%d [f=%d n=%d]@\n"
+          (String.make (min max_indent (2 * d.(i))) ' ')
+          i t.f.(i) t.n.(i);
+        let cs = t.children.(i) in
+        for j = Array.length cs - 1 downto 0 do
+          stack := cs.(j) :: !stack
+        done
+  done
 
 let to_dot ?label t =
   let label =

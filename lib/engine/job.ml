@@ -10,6 +10,7 @@ type spec =
   | Schedule of { procs : int; mem_factor : float }
   | Par_schedule of { algo : par_algo; procs : int; mem_factor : float }
   | Pareto_sweep of { procs : int; steps : int }
+  | Approx_memory of { seg_cap : int; tol : float }
 
 type t = { label : string; tree : T.t; spec : spec }
 
@@ -45,6 +46,8 @@ let spec_to_string = function
         procs mem_factor
   | Pareto_sweep { procs; steps } ->
       Printf.sprintf "pareto:procs=%d:steps=%d" procs steps
+  | Approx_memory { seg_cap; tol } ->
+      Printf.sprintf "minmem-approx:cap=%d:tol=%g" seg_cap tol
 
 let make ?label tree spec =
   let label = match label with Some l -> l | None -> spec_to_string spec in
@@ -68,6 +71,13 @@ type outcome =
       peak : int option;
     }
   | Pareto of { procs : int; steps : int; points : Tt_sched.Pareto.point list }
+  | Approx of {
+      lower : int;
+      upper : int;
+      rounds : int;
+      exact : bool;
+      order : int array;
+    }
 
 type error = Timed_out of float | Crashed of string
 type result = (outcome, error) Stdlib.result
@@ -76,8 +86,9 @@ let needs_minmem job =
   match job.spec with
   | Min_memory _ -> false
   | Min_io _ | Schedule _ | Par_schedule _ -> true
-  (* the sweep derives its own budget ladder from scratch *)
-  | Pareto_sweep _ -> false
+  (* the sweep derives its own budget ladder from scratch; the certified
+     bounds exist precisely to avoid the exact solvers *)
+  | Pareto_sweep _ | Approx_memory _ -> false
 
 (* The bench's duration convention for the parallel extension: heavier
    execution files mean longer factorization of the front. The formula
@@ -164,6 +175,15 @@ let compute ?(cancel = Tt_util.Cancel.never) ?minmem job =
       let work = work_of job.tree in
       let points = Tt_sched.Pareto.sweep ~steps job.tree ~procs ~work in
       Pareto { procs; steps; points }
+  | Approx_memory { seg_cap; tol } ->
+      let b = Tt_core.Minmem_approx.run_tree ~seg_cap ~tol job.tree in
+      Approx
+        { lower = b.Tt_core.Minmem_approx.lower;
+          upper = b.Tt_core.Minmem_approx.upper;
+          rounds = b.Tt_core.Minmem_approx.rounds;
+          exact = b.Tt_core.Minmem_approx.exact;
+          order = b.Tt_core.Minmem_approx.order
+        }
 
 (* ------------------------------------------------------------ equality *)
 
@@ -178,6 +198,9 @@ let equal_outcome a b =
       && x.peak = y.peak
   | Pareto x, Pareto y ->
       x.procs = y.procs && x.steps = y.steps && x.points = y.points
+  | Approx x, Approx y ->
+      x.lower = y.lower && x.upper = y.upper && x.rounds = y.rounds
+      && x.exact = y.exact && x.order = y.order
   | _ -> false
 
 let equal_result a b =
@@ -207,6 +230,14 @@ let result_to_string = function
         (List.length points)
         (List.length (Tt_sched.Pareto.frontier points))
         (String.sub (Tt_sched.Pareto.digest points) 0 8)
+  | Ok (Approx { upper; exact = true; _ }) ->
+      Printf.sprintf "peak=%d (certified exact)" upper
+  | Ok (Approx { lower; upper; _ }) ->
+      let gap =
+        if upper = 0 then 0.
+        else 100. *. float_of_int (upper - lower) /. float_of_int upper
+      in
+      Printf.sprintf "peak in [%d, %d] (gap %.2f%%)" lower upper gap
   | Error (Timed_out s) -> Printf.sprintf "timed out after %.2fs" s
   | Error (Crashed msg) -> "crashed: " ^ msg
 
@@ -247,6 +278,14 @@ let outcome_fields outcome =
         ("steps", J.Int steps);
         ("points", J.Int (List.length points));
         ("digest", J.String (Tt_sched.Pareto.digest points))
+      ]
+  | Approx { lower; upper; rounds; exact; order } ->
+      [ ("kind", J.String "approx");
+        ("lower", J.Int lower);
+        ("upper", J.Int upper);
+        ("rounds", J.Int rounds);
+        ("exact", J.Bool exact);
+        ("order_digest", J.String (order_digest order))
       ]
 
 let result_fields result =
@@ -312,6 +351,16 @@ let result_to_json result =
                       J.Int p.peak ])
                 points))
         ]
+  | Ok (Approx { lower; upper; rounds; exact; order }) ->
+      J.Obj
+        [ ("ok", J.Bool true);
+          ("kind", J.String "approx");
+          ("lower", J.Int lower);
+          ("upper", J.Int upper);
+          ("rounds", J.Int rounds);
+          ("exact", J.Bool exact);
+          ("order", J.List (Array.to_list (Array.map (fun i -> J.Int i) order)))
+        ]
   | Error (Timed_out s) ->
       J.Obj
         [ ("ok", J.Bool false); ("error", J.String "timeout"); ("after_s", J.Float s) ]
@@ -332,24 +381,37 @@ let result_of_json json =
     | Some J.Null -> Ok None
     | _ -> Error (Printf.sprintf "missing nullable int field %S" k)
   in
+  let bool_field k =
+    match J.member k json with
+    | Some (J.Bool v) -> Ok v
+    | _ -> Error (Printf.sprintf "missing bool field %S" k)
+  in
+  let order_field () =
+    match J.member "order" json with
+    | Some (J.List items) ->
+        let rec ints acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | J.Int i :: rest -> ints (i :: acc) rest
+          | _ -> Error "non-integer in order array"
+        in
+        ints [] items
+    | _ -> Error "missing order array"
+  in
   let ( let* ) = Result.bind in
   match J.member "ok" json with
   | Some (J.Bool true) -> (
       match J.member "kind" json with
       | Some (J.String "memory") ->
           let* peak = int_field "peak" in
-          let* order =
-            match J.member "order" json with
-            | Some (J.List items) ->
-                let rec ints acc = function
-                  | [] -> Ok (Array.of_list (List.rev acc))
-                  | J.Int i :: rest -> ints (i :: acc) rest
-                  | _ -> Error "non-integer in order array"
-                in
-                ints [] items
-            | _ -> Error "missing order array"
-          in
+          let* order = order_field () in
           Ok (Ok (Memory { peak; order }))
+      | Some (J.String "approx") ->
+          let* lower = int_field "lower" in
+          let* upper = int_field "upper" in
+          let* rounds = int_field "rounds" in
+          let* exact = bool_field "exact" in
+          let* order = order_field () in
+          Ok (Ok (Approx { lower; upper; rounds; exact; order }))
       | Some (J.String "io") ->
           let* in_core = int_field "in_core" in
           let* memory = int_field "memory" in

@@ -24,7 +24,10 @@
       by the independent {!Tt_sched.Validate} before the outcome is
       reported;
     - {!spec.Pareto_sweep} — the full memory/makespan sweep of
-      {!Tt_sched.Pareto} over all three schedulers. *)
+      {!Tt_sched.Pareto} over all three schedulers;
+    - {!spec.Approx_memory} — certified MinMemory bounds from the
+      bounded-profile pass ({!Tt_core.Minmem_approx}), the near-linear
+      tier for huge trees where the exact solvers are impractical. *)
 
 type algo = Minmem | Liu | Postorder
 
@@ -53,6 +56,10 @@ type spec =
           reported infeasible when its peak overshoots it. *)
   | Pareto_sweep of { procs : int; steps : int }
       (** {!Tt_sched.Pareto.sweep} with [steps] budget points. *)
+  | Approx_memory of { seg_cap : int; tol : float }
+      (** {!Tt_core.Minmem_approx.run_tree} with the given initial
+          segment cap and relative gap tolerance (the remaining
+          refinement parameters keep their library defaults). *)
 
 type t = {
   label : string;  (** Display only — not part of the job identity. *)
@@ -67,7 +74,7 @@ val spec_to_string : spec -> string
 (** Canonical one-token rendering, e.g. ["min-memory:liu"],
     ["min-io:First Fit:frac=0.5"], ["schedule:procs=4:mem=1.5"],
     ["par-schedule:booking:procs=4:mem=1.5"],
-    ["pareto:procs=4:steps=8"]. *)
+    ["pareto:procs=4:steps=8"], ["minmem-approx:cap=8:tol=0.01"]. *)
 
 val algo_name : algo -> string
 
@@ -107,6 +114,15 @@ type outcome =
     }
   | Pareto of { procs : int; steps : int; points : Tt_sched.Pareto.point list }
       (** The validated points of a {!Tt_sched.Pareto.sweep}. *)
+  | Approx of {
+      lower : int;  (** Certified lower bound on the optimal peak. *)
+      upper : int;  (** Simulated peak of [order]. *)
+      rounds : int;  (** Refinement rounds actually run. *)
+      exact : bool;  (** [lower = upper = opt] provably. *)
+      order : int array;  (** A valid traversal achieving [upper]. *)
+    }
+      (** Certified MinMemory bounds ({!Tt_core.Minmem_approx.bounds}),
+          with [lower <= opt <= upper] guaranteed. *)
 
 type error =
   | Timed_out of float  (** Wall seconds actually spent. *)

@@ -158,10 +158,18 @@ let parse_job_spec text =
         { procs = int_of ~what:"procs" (lookup pairs "procs");
           steps = int_of ~what:"steps" (lookup ~default:"8" pairs "steps")
         }
+  | "minmem-approx" :: rest ->
+      let pairs = kv_pairs rest in
+      check_keys pairs [ "cap"; "tol" ];
+      let seg_cap = int_of ~what:"cap" (lookup ~default:"8" pairs "cap") in
+      if seg_cap < 2 then bad "cap must be >= 2, got %d" seg_cap;
+      let tol = float_of ~what:"tol" (lookup ~default:"0.01" pairs "tol") in
+      if tol < 0. then bad "tol must be >= 0, got %g" tol;
+      Job.Approx_memory { seg_cap; tol }
   | kw :: _ ->
       bad
         "unknown job %S (expected minmem, liu, postorder, minio, schedule, \
-         par-schedule or pareto)"
+         par-schedule, pareto or minmem-approx)"
         kw
   | [] -> bad "empty job spec"
 

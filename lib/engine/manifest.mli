@@ -15,6 +15,7 @@
                | schedule procs=N mem=F
                | par-schedule [algo=A] procs=N [mem=F]
                | pareto procs=N [steps=K]
+               | minmem-approx [cap=N] [tol=F]
     v}
 
     [ORD] is [natural], [rcm], [mindeg] or [nd] (default [mindeg]);
@@ -28,7 +29,11 @@
     [A] is a [tt_sched] scheduler: [greedy], [booking] (default) or
     [split]; [mem] is the budget as a multiple of the MinMem in-core
     optimum (default 1.5). [pareto] runs the full memory/makespan sweep
-    with [steps] budget points (default 8).
+    with [steps] budget points (default 8). [minmem-approx] computes
+    certified MinMemory bounds via {!Tt_core.Minmem_approx} with initial
+    segment cap [cap >= 2] (default 8) and relative gap tolerance [tol]
+    (default 0.01) — the near-linear tier for trees too large for the
+    exact solvers.
 
     Example:
 

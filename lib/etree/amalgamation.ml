@@ -55,14 +55,22 @@ let run ~parent ~col_counts ~limit =
     in
     relaxed ()
   done;
-  (* resolve final heads with path compression *)
-  let rec head v =
-    if merged.(v) = -1 then v
-    else begin
-      let h = head merged.(v) in
-      merged.(v) <- h;
-      h
-    end
+  (* resolve final heads with path compression; iterative (find root,
+     then rewrite the path) — a fully merged chain makes the path O(n)
+     long, far beyond the stack at huge p *)
+  let head v =
+    let r = ref v in
+    while merged.(!r) <> -1 do
+      r := merged.(!r)
+    done;
+    let h = !r in
+    let v = ref v in
+    while merged.(!v) <> -1 do
+      let next = merged.(!v) in
+      merged.(!v) <- h;
+      v := next
+    done;
+    h
   in
   let group_index = Array.make n (-1) in
   let heads = ref [] in

@@ -2,6 +2,7 @@ type spec = {
   kernel : string;
   instance : string;
   p : int;
+  max_reps : int;
   run : unit -> string;
 }
 
@@ -15,12 +16,23 @@ type result = {
   min_ms : float;
   mean_ms : float;
   digest : string;
+  top_heap_words : int;
+  minor_words : float;
+  major_words : float;
 }
 
 exception Digest_mismatch of { kernel : string; instance : string }
 
 let measure_spec ?(reps = 5) ?(warmup = 1) (spec : spec) =
   if reps < 1 then invalid_arg "Microbench.measure: reps < 1";
+  (* expensive specs (huge family: one run is tens of seconds) cap their
+     own repetitions; the warmup is folded into the cap so a max_reps = 1
+     spec runs exactly once *)
+  let reps = if spec.max_reps > 0 then min reps spec.max_reps else reps in
+  let warmup =
+    if spec.max_reps > 0 then min warmup (max 0 (spec.max_reps - reps))
+    else warmup
+  in
   (* warmup runs establish the digest and touch the allocator/caches;
      every later run must reproduce it bit for bit *)
   let digest = ref "" in
@@ -34,10 +46,16 @@ let measure_spec ?(reps = 5) ?(warmup = 1) (spec : spec) =
     observe (Sys.opaque_identity (spec.run ()))
   done;
   let samples = Array.make reps 0.0 in
+  let minor = Array.make reps 0.0 in
+  let major = Array.make reps 0.0 in
   for r = 0 to reps - 1 do
+    let before = Gc.quick_stat () in
     let payload, dt = Tt_util.Timer.time spec.run in
+    let after = Gc.quick_stat () in
     observe payload;
-    samples.(r) <- dt *. 1000.0
+    samples.(r) <- dt *. 1000.0;
+    minor.(r) <- after.Gc.minor_words -. before.Gc.minor_words;
+    major.(r) <- after.Gc.major_words -. before.Gc.major_words
   done;
   { kernel = spec.kernel;
     instance = spec.instance;
@@ -47,7 +65,10 @@ let measure_spec ?(reps = 5) ?(warmup = 1) (spec : spec) =
     p90_ms = Tt_util.Statistics.quantile samples 0.90;
     min_ms = fst (Tt_util.Statistics.min_max samples);
     mean_ms = Tt_util.Statistics.mean samples;
-    digest = !digest }
+    digest = !digest;
+    top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    minor_words = Tt_util.Statistics.median minor;
+    major_words = Tt_util.Statistics.median major }
 
 let measure ?reps ?warmup ?(progress = fun _ -> ()) specs =
   List.map
@@ -77,7 +98,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let schema = "tt-bench-core/1"
+(* /2 adds the allocation fields (top_heap_words, minor_words,
+   major_words). The change is purely additive — readers of /1 documents
+   that index by field name keep working on both versions. *)
+let schema = "tt-bench-core/2"
 
 let to_json results =
   let buf = Buffer.create 4096 in
@@ -89,9 +113,11 @@ let to_json results =
         (Printf.sprintf
            "  {\"kernel\": \"%s\", \"instance\": \"%s\", \"p\": %d, \"reps\": %d, \
             \"median_ms\": %.6f, \"p90_ms\": %.6f, \"min_ms\": %.6f, \
-            \"mean_ms\": %.6f, \"result_digest\": \"%s\"}"
+            \"mean_ms\": %.6f, \"result_digest\": \"%s\", \
+            \"top_heap_words\": %d, \"minor_words\": %.0f, \"major_words\": %.0f}"
            (json_escape r.kernel) (json_escape r.instance) r.p r.reps r.median_ms
-           r.p90_ms r.min_ms r.mean_ms (json_escape r.digest)))
+           r.p90_ms r.min_ms r.mean_ms (json_escape r.digest) r.top_heap_words
+           r.minor_words r.major_words))
     results;
   Buffer.add_string buf "\n ]}\n";
   Buffer.contents buf

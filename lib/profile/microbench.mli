@@ -14,6 +14,10 @@ type spec = {
   kernel : string;  (** e.g. ["minio/first-fit"]. *)
   instance : string;  (** e.g. ["chain-50000"]. *)
   p : int;  (** Instance size (tree nodes). *)
+  max_reps : int;
+      (** Cap on total executions (warmup included) regardless of the
+          [reps] argument; [0] means uncapped. The huge family sets [1]
+          so a p = 10M kernel runs exactly once. *)
   run : unit -> string;  (** One full kernel run; returns the result payload. *)
 }
 
@@ -27,6 +31,11 @@ type result = {
   min_ms : float;
   mean_ms : float;
   digest : string;  (** MD5 hex of the (identical) per-rep payloads. *)
+  top_heap_words : int;
+      (** [Gc.top_heap_words] after the spec's runs — the process-wide
+          heap high-water mark in words, monotone across a session. *)
+  minor_words : float;  (** Median minor allocation per rep, in words. *)
+  major_words : float;  (** Median major allocation per rep, in words. *)
 }
 
 exception Digest_mismatch of { kernel : string; instance : string }
@@ -35,7 +44,9 @@ exception Digest_mismatch of { kernel : string; instance : string }
 
 val measure_spec : ?reps:int -> ?warmup:int -> spec -> result
 (** Time one spec: [warmup] untimed runs (default 1), then [reps] timed
-    runs (default 5). @raise Digest_mismatch on nondeterminism. *)
+    runs (default 5), both clipped by the spec's [max_reps]. Per-rep
+    minor/major allocation is measured with [Gc.quick_stat] deltas.
+    @raise Digest_mismatch on nondeterminism. *)
 
 val measure :
   ?reps:int -> ?warmup:int -> ?progress:(string -> unit) -> spec list -> result list
@@ -43,7 +54,9 @@ val measure :
     a human-readable label before each one. *)
 
 val schema : string
-(** The JSON schema tag, ["tt-bench-core/1"]. *)
+(** The JSON schema tag, ["tt-bench-core/2"]. Version 2 added the
+    allocation fields; the change is additive, so readers of version 1
+    documents keep working. *)
 
 val to_json : result list -> string
 (** Render results as the [BENCH_CORE.json] document. *)

@@ -40,7 +40,9 @@ let default_entries =
      "gen random size=40 seed=7 :: minmem";
      "gen arrow size=32 :: postorder; liu";
      "gen grid2d size=12 :: minio policy=first-fit budget=50%";
-     "gen tridiagonal size=64 :: minmem; schedule procs=4 mem=1.5"
+     "gen tridiagonal size=64 :: minmem; schedule procs=4 mem=1.5";
+     "gen random size=40 seed=7 :: minmem-approx cap=4 tol=0.0";
+     "gen grid2d size=16 :: minmem-approx"
   |]
 
 let sched_entries =
@@ -313,6 +315,7 @@ let run cfg =
       | Ok (Tt_engine.Job.Sched _) -> "sched"
       | Ok (Tt_engine.Job.Par_sched _) -> "par-sched"
       | Ok (Tt_engine.Job.Pareto _) -> "pareto"
+      | Ok (Tt_engine.Job.Approx _) -> "approx"
       | Error _ -> "error"
     in
     let h = Hashtbl.create 8 in

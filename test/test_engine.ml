@@ -449,6 +449,63 @@ let test_manifest_sched_jobs () =
           | Error e -> Alcotest.failf "round trip: %s" e)
         results
 
+let test_manifest_approx_jobs () =
+  let text =
+    "gen grid2d size=8 :: minmem-approx; minmem-approx cap=4 tol=0.1; minmem\n"
+  in
+  match Tt_engine.Manifest.parse text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok jobs -> (
+      let specs = List.map (fun (j : J.t) -> J.spec_to_string j.J.spec) jobs in
+      Alcotest.(check (list string)) "specs"
+        [ "minmem-approx:cap=8:tol=0.01";
+          "minmem-approx:cap=4:tol=0.1";
+          "min-memory:minmem"
+        ]
+        specs;
+      (* distinct params -> distinct content addresses *)
+      Alcotest.(check bool) "params are part of the job identity" false
+        (J.id (List.nth jobs 0) = J.id (List.nth jobs 1));
+      let results = E.run (E.create ~domains:2 ()) jobs in
+      match results with
+      | [ Ok (J.Approx { lower = la; upper = ua; exact = ea; order; _ });
+          Ok (J.Approx { lower = lb; upper = ub; exact = eb; _ });
+          Ok (J.Memory { peak = opt; _ })
+        ] ->
+          (* this tree is far below the exact threshold, so the bounds
+             collapse onto the exact optimum for any cap/tol *)
+          List.iter
+            (fun (lower, upper, exact) ->
+              Alcotest.(check int) "lower is the exact optimum" opt lower;
+              Alcotest.(check int) "upper is the exact optimum" opt upper;
+              Alcotest.(check bool) "certified exact" true exact)
+            [ (la, ua, ea); (lb, ub, eb) ];
+          let tree = (List.nth jobs 0).J.tree in
+          Alcotest.(check int) "order achieves the reported peak" ua
+            (Tt_core.Traversal.peak tree order);
+          List.iter
+            (fun r ->
+              match J.result_of_json (J.result_to_json r) with
+              | Ok r' ->
+                  Alcotest.(check bool) "json round trip" true
+                    (J.equal_result r r')
+              | Error e -> Alcotest.failf "round trip: %s" e)
+            results
+      | _ -> Alcotest.fail "unexpected result shapes")
+
+let test_manifest_approx_errors () =
+  let check_error text fragment =
+    match Tt_engine.Manifest.parse text with
+    | Ok _ -> Alcotest.failf "expected an error for %S" text
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" text fragment e)
+          true (H.contains e fragment)
+  in
+  check_error "gen grid2d :: minmem-approx cap=1" "cap must be >= 2";
+  check_error "gen grid2d :: minmem-approx tol=-0.5" "tol must be >= 0";
+  check_error "gen grid2d :: minmem-approx steps=3" "unknown key"
+
 let () =
   H.run "engine"
     [ ( "job",
@@ -478,6 +535,8 @@ let () =
         [ H.case "parse" test_manifest_parse;
           H.case "errors" test_manifest_errors;
           H.case "end to end" test_manifest_runs_through_engine;
-          H.case "sched jobs" test_manifest_sched_jobs
+          H.case "sched jobs" test_manifest_sched_jobs;
+          H.case "minmem-approx jobs" test_manifest_approx_jobs;
+          H.case "minmem-approx errors" test_manifest_approx_errors
         ] )
     ]

@@ -1,0 +1,316 @@
+(* The huge-tree tier: flat trees must be bit-identical to the [Tree.t]
+   kernels they transcribe, the certified Minmem_approx bounds must
+   really sandwich the exact optimum (gap 0 wherever the exact answer is
+   affordable), the segment truncations must preserve the canonical
+   invariants, and the streaming generators must be deterministic across
+   runs and domain counts. *)
+
+module T = Tt_core.Tree
+module Ft = Tt_core.Flat_tree
+module Ma = Tt_core.Minmem_approx
+module Seg = Tt_core.Segments
+module Traversal = Tt_core.Traversal
+module Liu = Tt_core.Liu_exact
+module Huge = Tt_workloads.Huge
+module H = Helpers
+
+(* the parity corpus of test_perf_parity: every family the paper's
+   experiments exercise, with index-hashed weights *)
+let hash_weight i m = 1 + (i * 2654435761) land max_int mod m
+
+let reweight ~max_f t =
+  T.map_weights ~f:(fun i -> hash_weight i max_f) ~n:(fun i -> hash_weight (i + 1) 7 - 1) t
+
+let family_instances =
+  let module I = Tt_core.Instances in
+  [ ("chain-stair", reweight ~max_f:401 (I.chain ~length:120 ~f:1 ~n:0));
+    ("binary-rand", reweight ~max_f:401 (I.complete_binary ~levels:6 ~f:1 ~n:0));
+    ("star", I.star ~branches:60 ~f_root:3 ~f_leaf:7 ~n:5);
+    ("harpoon", I.harpoon_nested ~branches:2 ~levels:5 ~m:64 ~eps:3);
+    ("caterpillar", reweight ~max_f:97 (I.caterpillar ~length:40 ~leaves_per_node:3 ~f:7 ~n:3));
+    ("random", T.random ~rng:(Tt_util.Rng.create 97) ~size:150 ~max_f:50 ~max_n:9)
+  ]
+
+(* --- conversion ---------------------------------------------------------- *)
+
+let test_roundtrip () =
+  List.iter
+    (fun (name, tree) ->
+      let ft = Ft.of_tree tree in
+      Alcotest.(check bool) (name ^ " roundtrip") true (T.equal tree (Ft.to_tree ft));
+      Alcotest.(check (array int)) (name ^ " depth") (T.depth tree) (Ft.depth ft);
+      Alcotest.(check (array int))
+        (name ^ " bottom-up")
+        (T.bottom_up_order tree) (Ft.bottom_up_order ft);
+      Alcotest.(check int) (name ^ " height") (T.height tree) (Ft.height ft);
+      Alcotest.(check int) (name ^ " max-mem-req") (T.max_mem_req tree) (Ft.max_mem_req ft);
+      Alcotest.(check int) (name ^ " total-f") (T.total_f tree) (Ft.total_f ft);
+      for i = 0 to T.size tree - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s mem-req %d" name i)
+          (T.mem_req tree i) (Ft.mem_req ft i);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s leaf %d" name i)
+          (T.is_leaf tree i) (Ft.is_leaf ft i)
+      done)
+    family_instances
+
+let test_of_arrays_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  let ok = Alcotest.(check bool) in
+  ok "empty" true (raises (fun () -> Ft.of_arrays ~parent:[||] ~f:[||] ~n:[||]));
+  ok "length mismatch" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| -1 |] ~f:[| 1; 2 |] ~n:[| 0 |]));
+  ok "negative f" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| -1 |] ~f:[| -3 |] ~n:[| 0 |]));
+  ok "two roots" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| -1; -1 |] ~f:[| 1; 1 |] ~n:[| 0; 0 |]));
+  ok "no root" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| 1; 0 |] ~f:[| 1; 1 |] ~n:[| 0; 0 |]));
+  ok "out of range" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| -1; 7 |] ~f:[| 1; 1 |] ~n:[| 0; 0 |]));
+  ok "self-loop" true
+    (raises (fun () -> Ft.of_arrays ~parent:[| -1; 1 |] ~f:[| 1; 1 |] ~n:[| 0; 0 |]));
+  ok "cycle" true
+    (raises (fun () ->
+         Ft.of_arrays ~parent:[| -1; 2; 3; 1 |] ~f:[| 1; 1; 1; 1 |] ~n:[| 0; 0; 0; 0 |]));
+  ok "valid chain" true
+    (match Ft.of_arrays ~parent:[| -1; 0; 1 |] ~f:[| 0; 2; 3 |] ~n:[| 1; 0; 2 |] with
+    | ft -> Ft.size ft = 3 && ft.Ft.root = 0
+    | exception _ -> false)
+
+(* --- kernel parity -------------------------------------------------------- *)
+
+let test_kernel_parity_families () =
+  List.iter
+    (fun (name, tree) ->
+      let ft = Ft.of_tree tree in
+      let em, eo = Tt_core.Postorder_opt.run tree in
+      let gm, go = Ft.postorder_run ft in
+      Alcotest.(check int) (name ^ " postorder mem") em gm;
+      Alcotest.(check (array int)) (name ^ " postorder order") eo go;
+      let lm, lo = Liu.run tree in
+      let fm, fo = Ft.liu_run ft in
+      Alcotest.(check int) (name ^ " liu mem") lm fm;
+      Alcotest.(check (array int)) (name ^ " liu order") lo fo)
+    family_instances
+
+let prop_kernel_parity_random =
+  H.qcheck ~count:300 "flat kernels bit-identical to Tree.t kernels"
+    (H.arb_tree ~size_max:60 ())
+    (fun tree ->
+      let ft = Ft.of_tree tree in
+      Tt_core.Postorder_opt.run tree = Ft.postorder_run ft
+      && Liu.run tree = Ft.liu_run ft
+      && T.bottom_up_order tree = Ft.bottom_up_order ft
+      && T.equal tree (Ft.to_tree ft))
+
+let prop_peak_parity =
+  H.qcheck ~count:200 "flat peak simulation matches Traversal.peak"
+    (H.arb_tree_with_order ~size_max:40 ())
+    (fun (tree, order) ->
+      Ft.peak (Ft.of_tree tree) order = Traversal.peak tree order)
+
+(* --- segment truncation --------------------------------------------------- *)
+
+(* Liu subtree profiles of random trees are a rich source of canonical
+   profiles; truncating them at aggressive caps must preserve the
+   canonical invariants, the final valley (the subtree's output size),
+   the node coverage, and bracket the original peak from the right
+   sides. *)
+let prop_truncate_invariants =
+  H.qcheck ~count:300 "truncations stay canonical and bracket the peak"
+    (QCheck.pair (H.arb_tree ~size_max:40 ()) QCheck.(2 -- 5))
+    (fun (tree, cap) ->
+      let profiles = Liu.profiles tree in
+      Array.for_all
+        (fun prof ->
+          let tl = Seg.truncate_lower prof ~cap in
+          let tu = Seg.truncate_upper prof ~cap in
+          Seg.check_canonical tl && Seg.check_canonical tu
+          && Seg.length tl <= cap
+          && Seg.length tu <= cap
+          && Seg.peak tl <= Seg.peak prof
+          && Seg.peak tu = Seg.peak prof
+          && Seg.final_valley tl = Seg.final_valley prof
+          && Seg.final_valley tu = Seg.final_valley prof
+          && Seg.nodes tu = Seg.nodes prof
+          && List.sort compare (Seg.nodes tl) = List.sort compare (Seg.nodes prof))
+        profiles)
+
+let test_truncate_cap_errors () =
+  let prof = Seg.singleton ~hill:5 ~valley:2 ~node:0 in
+  Alcotest.check_raises "lower cap<2" (Invalid_argument "Segments.truncate: cap < 2")
+    (fun () -> ignore (Seg.truncate_lower prof ~cap:1));
+  Alcotest.check_raises "upper cap<2" (Invalid_argument "Segments.truncate: cap < 2")
+    (fun () -> ignore (Seg.truncate_upper prof ~cap:1))
+
+(* --- certified bounds ----------------------------------------------------- *)
+
+let test_bounds_exact_small () =
+  List.iter
+    (fun (name, tree) ->
+      let b = Ma.run_tree tree in
+      let opt = Liu.min_memory tree in
+      Alcotest.(check int) (name ^ " lower") opt b.Ma.lower;
+      Alcotest.(check int) (name ^ " upper") opt b.Ma.upper;
+      Alcotest.(check bool) (name ^ " exact") true b.Ma.exact;
+      Alcotest.(check (float 0.)) (name ^ " gap") 0. (Ma.gap b);
+      H.check_valid_traversal tree b.Ma.order;
+      Alcotest.(check int) (name ^ " order peak") opt (Traversal.peak tree b.Ma.order))
+    family_instances
+
+let prop_bounds_exact_small =
+  H.qcheck ~count:200 "gap 0 wherever the exact answer is affordable"
+    (H.arb_tree ~size_max:50 ())
+    (fun tree ->
+      let b = Ma.run_tree tree in
+      let opt = Liu.min_memory tree in
+      b.Ma.lower = opt && b.Ma.upper = opt && b.Ma.exact && Ma.gap b = 0.)
+
+(* force the approximate path with brutal caps: the sandwich must hold
+   no matter how hard the profiles are truncated *)
+let prop_bounds_sandwich =
+  H.qcheck ~count:300 "lower <= Minmem.min_memory <= upper under truncation"
+    (QCheck.pair (H.arb_tree ~size_max:45 ()) QCheck.(2 -- 6))
+    (fun (tree, cap) ->
+      let opt = Liu.min_memory tree in
+      let b =
+        Ma.run_tree ~exact_threshold:0 ~seg_cap:cap ~tol:0. ~max_rounds:2 tree
+      in
+      b.Ma.lower <= opt && opt <= b.Ma.upper
+      && Traversal.is_valid_order tree b.Ma.order
+      && Traversal.peak tree b.Ma.order = b.Ma.upper
+      && ((not b.Ma.exact) || b.Ma.lower = b.Ma.upper))
+
+(* with a cap no profile reaches, the relaxation is vacuous: the numeric
+   lower-bound pass must reproduce Liu's exact optimum bit for bit —
+   this pins the number-only transcription of the segment calculus *)
+let prop_lb_exact_when_uncapped =
+  H.qcheck ~count:300 "uncapped numeric lower bound equals Liu exactly"
+    (H.arb_tree ~size_max:60 ())
+    (fun tree ->
+      let b =
+        Ma.run_tree ~exact_threshold:0 ~seg_cap:1_000_000 ~tol:0. ~max_rounds:0 tree
+      in
+      b.Ma.lower = Liu.min_memory tree)
+
+(* --- generator determinism ------------------------------------------------ *)
+
+let generators =
+  [ ("caterpillar", fun ~domains ~p ~seed -> Huge.caterpillar ~domains ~p ~seed ());
+    ("binary", fun ~domains ~p ~seed -> Huge.binary ~domains ~p ~seed ());
+    ("random", fun ~domains ~p ~seed -> Huge.random_attach ~domains ~p ~seed ())
+  ]
+
+let test_generator_determinism () =
+  List.iter
+    (fun (name, build) ->
+      (* same seed, two runs: identical digests *)
+      let a = Ft.digest (build ~domains:1 ~p:200_000 ~seed:11) in
+      let b = Ft.digest (build ~domains:1 ~p:200_000 ~seed:11) in
+      Alcotest.(check string) (name ^ " rerun") a b;
+      (* 1 vs N domains: identical instance *)
+      let par = Ft.digest (build ~domains:4 ~p:200_000 ~seed:11) in
+      Alcotest.(check string) (name ^ " 1-vs-4 domains") a par;
+      (* a different seed changes the instance *)
+      let other = Ft.digest (build ~domains:1 ~p:200_000 ~seed:12) in
+      Alcotest.(check bool) (name ^ " seed sensitivity") true (a <> other))
+    generators
+
+let test_generator_shapes () =
+  List.iter
+    (fun (name, build) ->
+      let ft = build ~domains:2 ~p:50_000 ~seed:3 in
+      Alcotest.(check int) (name ^ " size") 50_000 (Ft.size ft);
+      (* of_arrays validated the structure; cross-check via Tree.make *)
+      let tree = Ft.to_tree ft in
+      Alcotest.(check bool) (name ^ " roundtrip") true (T.equal tree (Ft.to_tree (Ft.of_tree tree))))
+    generators
+
+let test_digest_ints () =
+  let a = Ft.digest_ints (Array.init 100_000 (fun i -> i * 7)) in
+  let b = Ft.digest_ints (Array.init 100_000 (fun i -> i * 7)) in
+  Alcotest.(check string) "stable" a b;
+  let c = Ft.digest_ints (Array.init 100_000 (fun i -> i * 7 + (if i = 99_999 then 1 else 0))) in
+  Alcotest.(check bool) "last-entry sensitivity" true (a <> c);
+  (* chunked chaining must not collide length-prefix boundaries *)
+  Alcotest.(check bool) "length sensitivity" true
+    (Ft.digest_ints [| 1; 2 |] <> Ft.digest_ints [| 1; 2; 0 |])
+
+(* --- stack safety at depth ------------------------------------------------ *)
+
+(* p = 5M deep caterpillar (~1.7M levels): every flat path — validation
+   climb, BFS, counting sort, postorder emission, bounded Liu, peak
+   simulation — must run without growing the OCaml stack. This is the
+   smoke test the recursive implementations could not survive. *)
+let test_deep_caterpillar_5m () =
+  let p = 5_000_000 in
+  let ft = Huge.caterpillar ~p ~seed:5 () in
+  Alcotest.(check int) "size" p (Ft.size ft);
+  Alcotest.(check bool) "deep" true (Ft.height ft > 1_000_000);
+  let b = Ma.run ft in
+  Alcotest.(check bool) "bounds ordered" true (b.Ma.lower <= b.Ma.upper);
+  Alcotest.(check bool) "certified gap within pinned threshold" true
+    (Ma.gap b <= 0.05);
+  Alcotest.(check int) "upper is the order's simulated peak" b.Ma.upper
+    (Ft.peak ft b.Ma.order)
+
+(* Deep chains through the two paths the audit rewrote iteratively:
+   Tree.pp's preorder walk and Amalgamation's head resolution (a fully
+   merged chain makes its compression path O(n) long). Both previously
+   recursed once per level and overflowed well below this size. *)
+let test_deep_pp () =
+  let p = 2_000_000 in
+  let parent = Array.init p (fun i -> i - 1) in
+  let t = T.make ~parent ~f:(Array.make p 1) ~n:(Array.make p 0) in
+  let sink = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  T.pp sink t;
+  Format.pp_print_flush sink ()
+
+let test_deep_amalgamation () =
+  let n = 2_000_000 in
+  (* etree convention: parents have larger indices; strictly decreasing
+     col counts towards the root make every merge "perfect", collapsing
+     the whole chain into one group *)
+  let parent = Array.init n (fun i -> if i = n - 1 then -1 else i + 1) in
+  let col_counts = Array.init n (fun i -> n - i) in
+  let a = Tt_etree.Amalgamation.run ~parent ~col_counts ~limit:max_int in
+  Alcotest.(check int) "one group" 1 (Array.length a.Tt_etree.Amalgamation.groups);
+  Alcotest.(check int) "group_of covers every vertex" 0
+    (Array.fold_left max 0 a.Tt_etree.Amalgamation.group_of)
+
+let () =
+  H.run "flat"
+    [ ( "conversion",
+        [ H.case "family roundtrips" test_roundtrip;
+          H.case "of_arrays validation" test_of_arrays_validation
+        ] );
+      ( "parity",
+        [ H.case "family instances" test_kernel_parity_families;
+          prop_kernel_parity_random;
+          prop_peak_parity
+        ] );
+      ( "truncation",
+        [ prop_truncate_invariants; H.case "cap errors" test_truncate_cap_errors ] );
+      ( "bounds",
+        [ H.case "exact on families" test_bounds_exact_small;
+          prop_bounds_exact_small;
+          prop_bounds_sandwich;
+          prop_lb_exact_when_uncapped
+        ] );
+      ( "generators",
+        [ H.case "determinism across runs and domains" test_generator_determinism;
+          H.case "shapes validate" test_generator_shapes;
+          H.case "digest_ints" test_digest_ints
+        ] );
+      ( "deep",
+        [ H.case "caterpillar p=5M end to end" test_deep_caterpillar_5m;
+          H.case "pp on a 2M chain" test_deep_pp;
+          H.case "amalgamation head on a 2M chain" test_deep_amalgamation
+        ] )
+    ]
